@@ -1,0 +1,84 @@
+//! Criterion benchmarks of the compiler passes themselves: pattern
+//! finding, decomposition, async conversion, fusion and both schedulers,
+//! on a realistic transformer-layer module.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use overlap_core::{
+    asyncify, decompose, find_patterns, fuse, schedule_bottom_up, schedule_top_down,
+    DecomposeOptions, FusionOptions, OverlapOptions, OverlapPipeline,
+};
+use overlap_models::{Arch, ModelConfig, PartitionStrategy};
+
+fn layer_config() -> ModelConfig {
+    ModelConfig {
+        name: "bench_layer".into(),
+        params: 0.0,
+        layers: 1,
+        model_dim: 2048,
+        ff_dim: 8192,
+        batch: 256,
+        seq_len: 64,
+        chips: 16,
+        arch: Arch::Decoder,
+        strategy: PartitionStrategy::TwoD,
+    }
+}
+
+fn passes(c: &mut Criterion) {
+    let cfg = layer_config();
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+
+    c.bench_function("find_patterns/layer16", |b| {
+        b.iter(|| find_patterns(std::hint::black_box(&module)))
+    });
+
+    let patterns: Vec<_> = {
+        let mut p = find_patterns(&module);
+        let mut seen = std::collections::HashSet::new();
+        p.retain(|x| seen.insert(x.einsum));
+        p
+    };
+    c.bench_function("decompose/layer16", |b| {
+        b.iter(|| decompose(&module, &DecomposeOptions::default(), &patterns))
+    });
+
+    let (decomposed, _) = decompose(&module, &DecomposeOptions::default(), &patterns);
+    c.bench_function("asyncify/layer16", |b| b.iter(|| asyncify(&decomposed)));
+
+    let asynced = asyncify(&decomposed);
+    c.bench_function("fuse/layer16", |b| {
+        b.iter(|| fuse(&asynced, &FusionOptions::default()))
+    });
+
+    let fused = fuse(&asynced, &FusionOptions::default());
+    c.bench_function("schedule_bottom_up/layer16", |b| {
+        b.iter_batched(
+            || fused.clone(),
+            |m| schedule_bottom_up(&m, &machine),
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("schedule_top_down/layer16", |b| {
+        b.iter_batched(
+            || fused.clone(),
+            |m| schedule_top_down(&m, &machine),
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("pipeline_end_to_end/layer16", |b| {
+        b.iter(|| {
+            OverlapPipeline::new(OverlapOptions::paper_default())
+                .run(&module, &machine)
+                .expect("pipeline")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = passes
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the discrete-event simulator, plus the Fig. 11
+//! fusion-heuristic ablation (overlap-aware vs. default fusion decisions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use overlap_core::{fuse, FusionOptions, OverlapOptions, OverlapPipeline};
+use overlap_models::{Arch, ModelConfig, PartitionStrategy};
+use overlap_sim::{simulate, simulate_order};
+
+fn layer_config(chips: usize) -> ModelConfig {
+    ModelConfig {
+        name: format!("sim_layer_{chips}"),
+        params: 0.0,
+        layers: 1,
+        model_dim: 2048,
+        ff_dim: 8192,
+        batch: chips * 16,
+        seq_len: 64,
+        chips,
+        arch: Arch::Decoder,
+        strategy: PartitionStrategy::TwoD,
+    }
+}
+
+fn simulator(c: &mut Criterion) {
+    for chips in [8usize, 32] {
+        let cfg = layer_config(chips);
+        let module = cfg.layer_module();
+        let machine = cfg.machine();
+        c.bench_function(&format!("simulate_baseline/{chips}chips"), |b| {
+            b.iter(|| simulate(&module, &machine).expect("simulate"))
+        });
+        let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
+            .run(&module, &machine)
+            .expect("pipeline");
+        c.bench_function(&format!("simulate_overlapped/{chips}chips"), |b| {
+            b.iter(|| {
+                simulate_order(&compiled.module, &machine, &compiled.order).expect("simulate")
+            })
+        });
+    }
+}
+
+/// Fig. 11 ablation: the same scheduled module, annotated with the
+/// overlap-aware vs. the default fusion heuristic. Fusion only attaches
+/// groups (the instruction set and order are unchanged), so the simulated
+/// makespans isolate the fusion decision.
+fn fusion_ablation(c: &mut Criterion) {
+    let cfg = layer_config(16);
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+    // Compile without a fusion pass; apply each heuristic to the result.
+    let compiled = OverlapPipeline::new(OverlapOptions {
+        fusion: None,
+        ..OverlapOptions::paper_default()
+    })
+    .run(&module, &machine)
+    .expect("pipeline");
+    for (name, aware) in [("overlap_aware", true), ("default", false)] {
+        let fused = fuse(&compiled.module, &FusionOptions { overlap_aware: aware });
+        let report =
+            simulate_order(&fused, &machine, &compiled.order).expect("simulate");
+        println!("fig11 fusion {name}: simulated makespan {:.4e}s", report.makespan());
+        c.bench_function(&format!("fig11_fusion/{name}"), |b| {
+            b.iter(|| simulate_order(&fused, &machine, &compiled.order).expect("simulate"))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = simulator, fusion_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 1: training step-time breakdown (computation vs communication)
+//! of the Table-1 models under the baseline (no overlap).
+
+use overlap_bench::{bar, run_baseline, write_json};
+use overlap_models::table1_models;
+
+fn main() {
+    println!("Figure 1: training step time breakdown of large models (baseline)");
+    println!("(paper: every model spends a substantial fraction on communication)\n");
+    println!(
+        "{:<14} {:>6} {:>11} {:>12} {:>8}  comm share",
+        "model", "chips", "step", "compute%", "comm%"
+    );
+    let mut rows = Vec::new();
+    for cfg in table1_models() {
+        let s = run_baseline(&cfg);
+        println!(
+            "{:<14} {:>6} {:>9.2}s {:>11.1}% {:>7.1}%  |{}|",
+            s.model,
+            s.chips,
+            s.step_time,
+            100.0 * s.compute_fraction,
+            100.0 * s.comm_fraction,
+            bar(s.comm_fraction, 40),
+        );
+        rows.push(s);
+    }
+    write_json("fig1", &rows);
+}

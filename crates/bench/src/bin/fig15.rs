@@ -1,0 +1,52 @@
+//! Figure 15: performance improvements provided by bidirectional data
+//! transfer (§5.4.2), on the weakly scaled GPT family.
+//!
+//! Paper: GPT_32B and GPT_128B see <5% improvement (small partition
+//! counts along the overlapped dimension already hide most of the
+//! unidirectional transfer); larger models benefit more.
+
+use overlap_bench::{run_baseline, run_overlapped, write_json};
+use overlap_core::{DecomposeOptions, OverlapOptions};
+use overlap_models::table2_models;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    normalized_unidirectional: f64,
+    normalized_bidirectional: f64,
+}
+
+fn main() {
+    println!("Figure 15: performance improvements provided by bidirectional transfer");
+    println!("(normalized step time, baseline = 1.0; lower is better)\n");
+    println!("{:<10} {:>15} {:>15} {:>10}", "model", "unidirectional", "bidirectional", "gain");
+    let mut rows = Vec::new();
+    for cfg in table2_models() {
+        let base = run_baseline(&cfg).step_time;
+        let uni = run_overlapped(
+            &cfg,
+            OverlapOptions {
+                decompose: DecomposeOptions { bidirectional: false, ..Default::default() },
+                ..OverlapOptions::paper_default()
+            },
+        )
+        .step_time;
+        let bidi = run_overlapped(&cfg, OverlapOptions::paper_default()).step_time;
+        let row = Row {
+            model: cfg.name.clone(),
+            normalized_unidirectional: uni / base,
+            normalized_bidirectional: bidi / base,
+        };
+        println!(
+            "{:<10} {:>15.3} {:>15.3} {:>9.1}%",
+            row.model,
+            row.normalized_unidirectional,
+            row.normalized_bidirectional,
+            100.0 * (row.normalized_unidirectional - row.normalized_bidirectional)
+                / row.normalized_unidirectional,
+        );
+        rows.push(row);
+    }
+    write_json("fig15", &rows);
+}

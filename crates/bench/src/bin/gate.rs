@@ -1,0 +1,53 @@
+//! Diagnostic: print the §5.5 cost-gate decisions for one model's layer —
+//! per-pattern `comp_t`, `comm_t`, `comm_t_ring`, `extra_t`, the
+//! decomposed-compute estimate, the chosen transfer direction mode and
+//! the verdict.
+//!
+//! ```sh
+//! cargo run --release -p overlap-bench --bin gate [MODEL]
+//! ```
+
+use overlap_core::{find_patterns, CostModel, DecomposeOptions};
+use overlap_models::{table1_models, table2_models};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "GPT_1T".into());
+    let Some(cfg) = table1_models()
+        .into_iter()
+        .chain(table2_models())
+        .find(|m| m.name == which)
+    else {
+        eprintln!("unknown model {which}; use a Table 1/Table 2 name like GPT_1T");
+        std::process::exit(1);
+    };
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+    let cm = CostModel::new(&machine, DecomposeOptions::default());
+    let patterns = find_patterns(&module);
+    println!(
+        "{}: {} candidate patterns on mesh {:?}\n",
+        cfg.name,
+        patterns.len(),
+        machine.mesh().shape()
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6} {:>9}",
+        "einsum", "comp_t", "comm_t", "ring_t", "comp_d", "extra_t", "bidi", "verdict"
+    );
+    let decisions = cm.select(&module, &patterns, false);
+    for d in &decisions {
+        println!(
+            "{:<22} {:>9.2}ms {:>9.2}ms {:>9.2}ms {:>9.2}ms {:>9.2}ms {:>6} {:>9}",
+            module.instr(d.pattern.einsum).name(),
+            d.comp_t * 1e3,
+            d.comm_t * 1e3,
+            d.comm_t_ring * 1e3,
+            d.comp_d * 1e3,
+            d.extra_t * 1e3,
+            if d.bidirectional { "yes" } else { "no" },
+            if d.beneficial { "overlap" } else { "keep" },
+        );
+    }
+    let kept = decisions.iter().filter(|d| d.beneficial).count();
+    println!("\n{kept} of {} einsums will be decomposed", decisions.len());
+}

@@ -1,0 +1,85 @@
+//! Cost-model accuracy: §5.5's estimator vs. the simulator.
+//!
+//! For each decomposable pattern in a layer, compare the gate's predicted
+//! net saving (`comp_t + comm_t − max(comp_d, comm_t_ring) − extra_t`)
+//! against the measured saving from decomposing **only that pattern**
+//! (simulated makespan delta). The paper enables overlap "based on the
+//! net benefits"; this tool quantifies how well that estimate tracks
+//! reality in our machine model.
+//!
+//! ```sh
+//! cargo run --release -p overlap-bench --bin gate_accuracy [MODEL]
+//! ```
+
+use overlap_bench::write_json;
+use overlap_core::{
+    asyncify, decompose_each, find_patterns, fuse, schedule_bottom_up, CostModel,
+    DecomposeOptions, FusionOptions,
+};
+use overlap_models::{table1_models, table2_models};
+use overlap_sim::{simulate, simulate_order};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    einsum: String,
+    predicted_saving_ms: f64,
+    measured_saving_ms: f64,
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "GPT_256B".into());
+    let Some(cfg) = table1_models()
+        .into_iter()
+        .chain(table2_models())
+        .find(|m| m.name == which)
+    else {
+        eprintln!("unknown model {which}; use a Table 1/Table 2 name");
+        std::process::exit(1);
+    };
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+    let baseline = simulate(&module, &machine).expect("baseline").makespan();
+
+    let options = DecomposeOptions::default();
+    let cost_model = CostModel::new(&machine, options);
+    let patterns = find_patterns(&module);
+    let decisions = cost_model.select(&module, &patterns, false);
+
+    println!(
+        "{}: gate prediction vs simulation, per pattern (baseline {:.3} ms)\n",
+        cfg.name,
+        baseline * 1e3
+    );
+    println!("{:<24} {:>14} {:>14} {:>8}", "einsum", "predicted", "measured", "ratio");
+    let mut rows = Vec::new();
+    for d in &decisions {
+        // Decompose only this pattern, with its chosen direction mode.
+        let opts = DecomposeOptions { bidirectional: d.bidirectional, ..options };
+        let (out, _) = decompose_each(&module, &[(d.pattern, opts)]);
+        let fused = fuse(&asyncify(&out), &FusionOptions::default());
+        let order = schedule_bottom_up(&fused, &machine);
+        let measured =
+            baseline - simulate_order(&fused, &machine, &order).expect("sim").makespan();
+        let row = Row {
+            einsum: module.instr(d.pattern.einsum).name().to_string(),
+            predicted_saving_ms: d.net_benefit() * 1e3,
+            measured_saving_ms: measured * 1e3,
+        };
+        let ratio = if row.predicted_saving_ms.abs() > 1e-9 {
+            row.measured_saving_ms / row.predicted_saving_ms
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{:<24} {:>11.3} ms {:>11.3} ms {:>8.2}",
+            row.einsum, row.predicted_saving_ms, row.measured_saving_ms, ratio
+        );
+        rows.push(row);
+    }
+    let (pred, meas): (f64, f64) = rows
+        .iter()
+        .fold((0.0, 0.0), |(p, m), r| (p + r.predicted_saving_ms, m + r.measured_saving_ms));
+    println!("\ntotal predicted {pred:.3} ms, total measured {meas:.3} ms");
+    write_json("gate_accuracy", &rows);
+}

@@ -1,0 +1,84 @@
+//! `overlapc` — a small compiler driver over serialized modules.
+//!
+//! ```sh
+//! # Write a demo module to ./module.json:
+//! cargo run --release -p overlap-bench --bin overlapc -- demo module.json
+//!
+//! # Compile it for an 8-chip ring and report:
+//! cargo run --release -p overlap-bench --bin overlapc -- compile module.json
+//! ```
+//!
+//! `compile` runs the full overlap pipeline on the module, prints the
+//! §5.5 gate decisions, the before/after instruction statistics, the
+//! simulated baseline vs. overlapped step times and an ASCII timeline,
+//! and writes `<input>.trace.json` (Chrome tracing) plus `<input>.dot`
+//! (GraphViz) next to the input.
+
+use overlap_core::{CompileReport, OverlapOptions, OverlapPipeline};
+use overlap_hlo::{to_dot, Builder, DType, DotDims, Module, ReplicaGroups, Shape};
+use overlap_mesh::Machine;
+use overlap_sim::{simulate, simulate_order};
+
+fn demo_module() -> Module {
+    let n = 8;
+    let mut b = Builder::new("demo", n);
+    let x = b.parameter(Shape::new(DType::BF16, vec![16384, 2048]), "activation");
+    let w1 = b.parameter(Shape::new(DType::BF16, vec![2048, 8192 / n]), "w1_shard");
+    let w2 = b.parameter(Shape::new(DType::BF16, vec![8192 / n, 2048]), "w2_shard");
+    let w1f = b.all_gather(w1, 1, ReplicaGroups::full(n), "w1");
+    let h = b.einsum(x, w1f, DotDims::matmul(), "h");
+    let w2f = b.all_gather(w2, 0, ReplicaGroups::full(n), "w2");
+    let y = b.einsum(h, w2f, DotDims::matmul(), "y");
+    b.build(vec![y])
+}
+
+fn usage() -> ! {
+    eprintln!("usage: overlapc demo <out.json> | overlapc compile <module.json>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("demo") => {
+            let path = args.get(2).map(String::as_str).unwrap_or("module.json");
+            let m = demo_module();
+            std::fs::write(path, serde_json::to_string_pretty(&m).expect("serialize"))
+                .expect("write module");
+            println!("wrote {path} ({} instructions, {} partitions)", m.len(), m.num_partitions());
+        }
+        Some("compile") => {
+            let Some(path) = args.get(2) else { usage() };
+            let text = std::fs::read_to_string(path).expect("read module");
+            let module: Module = serde_json::from_str(&text).expect("parse module");
+            // Deserialized modules are untrusted: verify before use.
+            if let Err(e) = module.verify() {
+                eprintln!("module failed verification: {e}");
+                std::process::exit(1);
+            }
+            let machine = Machine::tpu_v4_like(module.num_partitions());
+            let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
+                .run(&module, &machine)
+                .expect("pipeline");
+            println!("{}", CompileReport::new(&module, &compiled, &machine));
+
+            let baseline = simulate(&module, &machine).expect("baseline");
+            let over = simulate_order(&compiled.module, &machine, &compiled.order)
+                .expect("simulate");
+            println!(
+                "\nbaseline {:.3} ms -> overlapped {:.3} ms ({:.2}x)",
+                baseline.makespan() * 1e3,
+                over.makespan() * 1e3,
+                baseline.makespan() / over.makespan()
+            );
+            println!("{}", over.timeline().render(76));
+
+            let trace = format!("{path}.trace.json");
+            std::fs::write(&trace, over.timeline().to_chrome_trace()).expect("write trace");
+            let dot = format!("{path}.dot");
+            std::fs::write(&dot, to_dot(&compiled.module)).expect("write dot");
+            println!("\nwrote {trace} and {dot}");
+        }
+        _ => usage(),
+    }
+}

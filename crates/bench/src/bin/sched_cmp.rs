@@ -1,0 +1,28 @@
+//! Compare scheduler quality breakdowns.
+use overlap_core::{OverlapOptions, OverlapPipeline, SchedulerKind};
+use overlap_models::{table1_models, table2_models};
+use overlap_sim::simulate_order;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "GPT_512B".into());
+    for cfg in table1_models().into_iter().chain(table2_models()) {
+        if cfg.name != which { continue; }
+        let module = cfg.layer_module();
+        let machine = cfg.machine();
+        for sched in [SchedulerKind::BottomUp, SchedulerKind::TopDown] {
+            let mut o = OverlapOptions::paper_default();
+            o.scheduler = sched;
+            let c = OverlapPipeline::new(o).run(&module, &machine).unwrap();
+            let r = simulate_order(&c.module, &machine, &c.order).unwrap();
+            println!("{sched:?}: makespan {:.4e} comp {:.4e} mem {:.4e} sync {:.4e} exposed {:.4e} hidden {:.4e}",
+                r.makespan(), r.compute_time(), r.memory_time(), r.sync_comm_time(), r.exposed_async_time(), r.hidden_async_time());
+            println!("{}", r.timeline().render(110));
+            if std::env::args().nth(2).is_some() {
+                for sp in r.timeline().spans.iter().take(48) {
+                    println!("{:>9.3} {:>9.3}  {:?} {}", sp.start*1e3, sp.end*1e3, sp.kind, sp.name);
+                }
+            }
+        }
+        break;
+    }
+}

@@ -1,0 +1,42 @@
+//! Diagnostic: dump the first timeline spans of a model's overlapped
+//! schedule.
+//!
+//! ```sh
+//! cargo run --release -p overlap-bench --bin spans [MODEL] [COUNT]
+//! ```
+
+use overlap_core::{OverlapOptions, OverlapPipeline};
+use overlap_models::{table1_models, table2_models};
+use overlap_sim::simulate_order;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "GPT_32B".into());
+    let count: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let Some(cfg) = table1_models()
+        .into_iter()
+        .chain(table2_models())
+        .find(|m| m.name == which)
+    else {
+        eprintln!("unknown model {which}; use a Table 1/Table 2 name like GPT_32B");
+        std::process::exit(1);
+    };
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+    let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
+        .run(&module, &machine)
+        .expect("pipeline");
+    let r = simulate_order(&compiled.module, &machine, &compiled.order).expect("simulate");
+    println!("{} — first {count} spans of {}:", cfg.name, r.timeline().spans.len());
+    for s in r.timeline().spans.iter().take(count) {
+        println!(
+            "{:>10.4} ms {:>10.4} ms  {:?} {}",
+            s.start * 1e3,
+            s.end * 1e3,
+            s.kind,
+            s.name
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Shared experiment machinery for the figure/table binaries.
+//!
+//! Every binary follows the same recipe: build each model's one-layer step
+//! module ([`overlap_models`]), simulate it under the baseline order and
+//! under the overlap pipeline, scale by the layer count, and print the
+//! paper's series. Results are also emitted as JSON records so
+//! EXPERIMENTS.md can cite exact numbers.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use overlap_core::{OverlapOptions, OverlapPipeline};
+use overlap_mesh::Machine;
+use overlap_models::ModelConfig;
+use overlap_sim::{simulate, simulate_order, Report};
+use serde::Serialize;
+
+/// Simulated per-step statistics for one configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct StepStats {
+    /// Model name.
+    pub model: String,
+    /// Chip count.
+    pub chips: usize,
+    /// End-to-end step time in seconds (per-layer makespan × layers).
+    pub step_time: f64,
+    /// Fraction of the step spent on compute-stream computation.
+    pub compute_fraction: f64,
+    /// Fraction of the step exposed as communication (sync collectives +
+    /// unhidden async transfers).
+    pub comm_fraction: f64,
+    /// Achieved fraction of peak FLOPS.
+    pub flops_utilization: f64,
+}
+
+impl StepStats {
+    fn from_report(cfg: &ModelConfig, machine: &Machine, r: &Report) -> Self {
+        StepStats {
+            model: cfg.name.clone(),
+            chips: cfg.chips,
+            step_time: r.makespan() * cfg.layers as f64,
+            compute_fraction: (r.compute_time() + r.memory_time()) / r.makespan(),
+            comm_fraction: r.comm_fraction(),
+            flops_utilization: r.flops_utilization(machine.peak_flops()),
+        }
+    }
+}
+
+/// Baseline and overlapped step statistics for one model.
+#[derive(Debug, Clone, Serialize)]
+pub struct Comparison {
+    /// Baseline (synchronous collectives, program order).
+    pub baseline: StepStats,
+    /// With the overlap pipeline.
+    pub overlapped: StepStats,
+}
+
+impl Comparison {
+    /// Baseline / overlapped step-time ratio (the paper's speedup).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.baseline.step_time / self.overlapped.step_time
+    }
+}
+
+/// Simulates one model's step without the overlap pipeline.
+///
+/// # Panics
+///
+/// Panics if the layer module fails to build or simulate (the published
+/// configurations all succeed).
+#[must_use]
+pub fn run_baseline(cfg: &ModelConfig) -> StepStats {
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+    let report = simulate(&module, &machine).expect("baseline simulation");
+    StepStats::from_report(cfg, &machine, &report)
+}
+
+/// Simulates one model's step with the overlap pipeline under `options`.
+///
+/// # Panics
+///
+/// Panics if compilation or simulation fails.
+#[must_use]
+pub fn run_overlapped(cfg: &ModelConfig, options: OverlapOptions) -> StepStats {
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+    let compiled = OverlapPipeline::new(options).run(&module, &machine).expect("pipeline");
+    let report =
+        simulate_order(&compiled.module, &machine, &compiled.order).expect("simulation");
+    StepStats::from_report(cfg, &machine, &report)
+}
+
+/// Baseline-vs-overlapped comparison with the paper-default options.
+#[must_use]
+pub fn run_comparison(cfg: &ModelConfig) -> Comparison {
+    Comparison {
+        baseline: run_baseline(cfg),
+        overlapped: run_overlapped(cfg, OverlapOptions::paper_default()),
+    }
+}
+
+/// Renders a unit-interval value as a fixed-width ASCII bar.
+#[must_use]
+pub fn bar(fraction: f64, width: usize) -> String {
+    let n = ((fraction.clamp(0.0, 1.2) * width as f64) / 1.2).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < n { '#' } else { ' ' });
+    }
+    s
+}
+
+/// Writes a JSON record for EXPERIMENTS.md under `results/<name>.json`.
+///
+/// Failures to write are reported on stderr but do not abort the run.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_is_monotone_and_bounded() {
+        assert_eq!(bar(0.0, 10).trim(), "");
+        let half = bar(0.6, 12);
+        assert_eq!(half.len(), 12);
+        assert!(bar(1.2, 12).chars().filter(|&c| c == '#').count() == 12);
+    }
+
+    #[test]
+    fn small_model_comparison_runs() {
+        let cfg = overlap_models::ModelConfig {
+            name: "smoke".into(),
+            params: 1e9,
+            layers: 4,
+            model_dim: 256,
+            ff_dim: 1024,
+            batch: 16,
+            seq_len: 64,
+            chips: 8,
+            arch: overlap_models::Arch::Decoder,
+            strategy: overlap_models::PartitionStrategy::TwoD,
+        };
+        let c = run_comparison(&cfg);
+        assert!(c.baseline.step_time > 0.0);
+        assert!(c.overlapped.step_time > 0.0);
+        assert!(c.baseline.comm_fraction > 0.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! The §5.5 enablement cost model.
+//!
+//! Decomposing a collective into a unidirectional ring of point-to-point
+//! permutes can *lengthen* total communication (only half the interconnect
+//! bandwidth is used), so the transformation only pays off when enough
+//! dependent computation exists to hide the stretched transfer. The gate
+//! implements the paper's test
+//!
+//! ```text
+//! comp_t + comm_t >= max(comp_t, comm_t_ring) + extra_t
+//! ```
+//!
+//! where `comp_t`/`comm_t` are the original einsum/collective times,
+//! `comm_t_ring` is the decomposed permute-sequence time and `extra_t`
+//! conservatively charges the prologue/epilogue permutes as unoverlapped.
+//! It also implements the §5.5 selection rule when one einsum has two
+//! collective candidates.
+
+use overlap_hlo::{InstrId, Module, Op};
+use overlap_mesh::{cost as ccost, Machine};
+use overlap_sim::{einsum_time_for, instruction_cost, InstrCost};
+
+use crate::decompose::DecomposeOptions;
+use crate::pattern::{Pattern, PatternKind};
+
+/// Outcome of evaluating one pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateDecision {
+    /// The evaluated pattern.
+    pub pattern: Pattern,
+    /// Original computation time (`comp_t`).
+    pub comp_t: f64,
+    /// Original collective time (`comm_t`).
+    pub comm_t: f64,
+    /// Decomposed ring-permute sequence time (`comm_t_ring`).
+    pub comm_t_ring: f64,
+    /// Unoverlappable prologue/epilogue time (`extra_t`).
+    pub extra_t: f64,
+    /// Estimated compute time of the decomposed partial-einsum sequence
+    /// (includes small-extent efficiency loss and per-kernel overhead).
+    pub comp_d: f64,
+    /// Whether decomposition is estimated beneficial.
+    pub beneficial: bool,
+    /// Whether the bidirectional form was chosen for this pattern (the
+    /// unidirectional fallback wins when the prologue/epilogue overhead
+    /// outweighs the halved ring time, e.g. for small rings).
+    pub bidirectional: bool,
+}
+
+impl GateDecision {
+    /// Estimated time saved by decomposing:
+    /// `(comp_t + comm_t) - (max(comp_t, comm_t_ring) + extra_t)`.
+    #[must_use]
+    pub fn net_benefit(&self) -> f64 {
+        (self.comp_t + self.comm_t) - (self.comp_d.max(self.comm_t_ring) + self.extra_t)
+    }
+}
+
+/// The enablement cost model (§5.5).
+#[derive(Debug, Clone)]
+pub struct CostModel<'m> {
+    machine: &'m Machine,
+    options: DecomposeOptions,
+}
+
+impl<'m> CostModel<'m> {
+    /// Creates a cost model for the given machine and decomposition
+    /// options (bidirectional transfer halves `comm_t_ring` but adds a
+    /// prologue/epilogue permute to `extra_t`).
+    #[must_use]
+    pub fn new(machine: &'m Machine, options: DecomposeOptions) -> Self {
+        CostModel { machine, options }
+    }
+
+    fn einsum_time(&self, module: &Module, id: InstrId) -> f64 {
+        match instruction_cost(module, id, self.machine) {
+            InstrCost::Compute { seconds, .. } => seconds,
+            _ => 0.0,
+        }
+    }
+
+    fn collective_time(&self, module: &Module, id: InstrId) -> f64 {
+        match instruction_cost(module, id, self.machine) {
+            InstrCost::SyncCollective { seconds } => seconds,
+            _ => 0.0,
+        }
+    }
+
+    /// Total compute time of the decomposed form: the sum of the partial
+    /// einsums' costs, including the efficiency loss of the smaller
+    /// per-partial extents and the per-kernel launch overhead. This is
+    /// what makes the gate reject decompositions whose partials are too
+    /// small to run efficiently (the regime the paper's narrow models hit).
+    fn decomposed_comp_time(&self, module: &Module, pattern: &Pattern, bidi: bool) -> f64 {
+        let einsum = module.instr(pattern.einsum);
+        let Op::Einsum(dims) = einsum.op() else { unreachable!("pattern einsum") };
+        let lhs = module.shape_of(einsum.operands()[0]).clone();
+        let rhs = module.shape_of(einsum.operands()[1]).clone();
+        match pattern.kind {
+            PatternKind::AllGatherEinsum { gathered_is_lhs, case } => {
+                let Op::AllGather { dim, groups } = module.instr(pattern.collective).op()
+                else {
+                    unreachable!("pattern collective")
+                };
+                let g = groups.group_size();
+                // Bidirectional non-contracting partials are double-width.
+                let (count, width) = if bidi && case != crate::AgCase::Contracting {
+                    (g / 2, 2)
+                } else {
+                    (g, 1)
+                };
+                let shard = module
+                    .shape_of(module.instr(pattern.collective).operands()[0])
+                    .dim(*dim)
+                    * width;
+                let (plhs, prhs) = if gathered_is_lhs {
+                    (lhs.with_dim(*dim, shard), rhs.clone())
+                } else {
+                    (lhs.clone(), rhs.with_dim(*dim, shard))
+                };
+                // Cases 2/3 also slice the other operand, but that does not
+                // change the per-partial flops beyond the sliced dim, which
+                // the paired-dimension constraint already captures: for the
+                // contracting/batch cases slice the paired dim too.
+                let (plhs, prhs) = match case {
+                    crate::AgCase::Free => (plhs, prhs),
+                    crate::AgCase::Contracting | crate::AgCase::Batch => {
+                        if gathered_is_lhs {
+                            let od = dims
+                                .rhs_dim_paired_with(*dim)
+                                .expect("paired dimension");
+                            let p = prhs.with_dim(od, shard);
+                            (plhs, p)
+                        } else {
+                            let od = dims
+                                .lhs_dim_paired_with(*dim)
+                                .expect("paired dimension");
+                            let p = plhs.with_dim(od, shard);
+                            (p, prhs)
+                        }
+                    }
+                };
+                count as f64 * einsum_time_for(dims, &plhs, &prhs, self.machine)
+            }
+            PatternKind::EinsumReduceScatter { sliced_is_lhs, sliced_dim } => {
+                let Op::ReduceScatter { groups, .. } = module.instr(pattern.collective).op()
+                else {
+                    unreachable!("pattern collective")
+                };
+                let g = groups.group_size();
+                let (plhs, prhs) = if sliced_is_lhs {
+                    (lhs.with_dim_divided(sliced_dim, g), rhs)
+                } else {
+                    (lhs, rhs.with_dim_divided(sliced_dim, g))
+                };
+                g as f64 * einsum_time_for(dims, &plhs, &prhs, self.machine)
+            }
+        }
+    }
+
+    /// Per-iteration shard bytes circulated by the decomposed form.
+    fn shard_bytes(&self, module: &Module, pattern: &Pattern) -> usize {
+        match pattern.kind {
+            PatternKind::AllGatherEinsum { .. } => {
+                // The gathered operand's local shard circulates.
+                let src = module.instr(pattern.collective).operands()[0];
+                module.shape_of(src).byte_size()
+            }
+            PatternKind::EinsumReduceScatter { .. } => {
+                // The scattered accumulator circulates.
+                module.shape_of(pattern.collective).byte_size()
+            }
+        }
+    }
+
+    /// Evaluates the §5.5 inequality for one pattern: when the options
+    /// allow bidirectional transfer, both the bidirectional and the
+    /// unidirectional forms are estimated and the better one is chosen.
+    #[must_use]
+    pub fn evaluate(&self, module: &Module, pattern: &Pattern) -> GateDecision {
+        let uni = self.evaluate_variant(module, pattern, false);
+        if !self.options.bidirectional {
+            return uni;
+        }
+        let bidi = self.evaluate_variant(module, pattern, true);
+        if bidi.net_benefit() >= uni.net_benefit() {
+            bidi
+        } else {
+            uni
+        }
+    }
+
+    /// Evaluates one pattern with the bidirectional form forced on or off.
+    #[must_use]
+    pub fn evaluate_variant(
+        &self,
+        module: &Module,
+        pattern: &Pattern,
+        bidirectional: bool,
+    ) -> GateDecision {
+        let comp_t = self.einsum_time(module, pattern.einsum);
+        let comm_t = self.collective_time(module, pattern.collective);
+        let groups = match module.instr(pattern.collective).op() {
+            Op::AllGather { groups, .. } | Op::ReduceScatter { groups, .. } => groups.clone(),
+            _ => unreachable!("pattern collective is AG or RS"),
+        };
+        let g = groups.group_size();
+        let shard = self.shard_bytes(module, pattern);
+        let is_rs = matches!(pattern.kind, PatternKind::EinsumReduceScatter { .. });
+        let loop_steps = if is_rs { g } else { g - 1 };
+
+        let bidi = bidirectional && g % 2 == 0;
+        let (comm_t_ring, extra_t) = if bidi {
+            let steps = g / 2;
+            let ring = ccost::decomposed_bidi_ring_time(self.machine, steps, shard);
+            // Prologue (AllGather) or epilogue (ReduceScatter) shift of one
+            // whole shard, conservatively unoverlapped.
+            let extra = ccost::collective_permute_time(self.machine, shard);
+            (ring, extra)
+        } else {
+            (ccost::decomposed_ring_time(self.machine, loop_steps, shard), 0.0)
+        };
+        // The decomposed side computes `g` partial einsums whose smaller
+        // extents may run less efficiently and each pays a kernel launch;
+        // the portion of that compute which actually overlaps wire time
+        // additionally pays the DMA interference slowdown. Compare against
+        // that, not the original `comp_t`.
+        let comp_d_raw = self.decomposed_comp_time(module, pattern, bidi);
+        let comp_d = comp_d_raw
+            + self.machine.dma_interference() * comp_d_raw.min(comm_t_ring);
+
+        let beneficial = comp_t + comm_t >= comp_d.max(comm_t_ring) + extra_t;
+        GateDecision {
+            pattern: *pattern,
+            comp_t,
+            comm_t,
+            comm_t_ring,
+            extra_t,
+            comp_d,
+            beneficial,
+            bidirectional: bidi,
+        }
+    }
+
+    /// Selects the patterns to decompose: evaluates every candidate,
+    /// resolves einsums with two candidates by the §5.5 rule (if the
+    /// einsum is faster than both collectives, prefer the smaller shard —
+    /// smaller unoverlapped residue; otherwise prefer the longer
+    /// collective), and keeps only beneficial ones.
+    ///
+    /// When `gate` is `false` every candidate passes the benefit test (one
+    /// pattern per einsum is still enforced) — used by ablation studies.
+    #[must_use]
+    pub fn select(&self, module: &Module, patterns: &[Pattern], gate: bool) -> Vec<GateDecision> {
+        let mut by_einsum: Vec<(InstrId, Vec<GateDecision>)> = Vec::new();
+        for p in patterns {
+            let d = self.evaluate(module, p);
+            match by_einsum.iter_mut().find(|(e, _)| *e == p.einsum) {
+                Some((_, v)) => v.push(d),
+                None => by_einsum.push((p.einsum, vec![d])),
+            }
+        }
+        let mut selected = Vec::new();
+        for (_, mut candidates) in by_einsum {
+            let pick = if candidates.len() == 1 {
+                candidates.remove(0)
+            } else {
+                // "The proposed scheme chooses the one that leads to higher
+                // benefits": compare the estimated net saving directly (the
+                // paper's shard-size/longer-collective rules are proxies
+                // for the same quantity).
+                candidates
+                    .into_iter()
+                    .max_by(|a, b| {
+                        a.net_benefit()
+                            .partial_cmp(&b.net_benefit())
+                            .expect("finite times")
+                    })
+                    .expect("non-empty")
+            };
+            if !gate || pick.beneficial {
+                selected.push(pick);
+            }
+        }
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use overlap_hlo::{Builder, DType, DotDims, ReplicaGroups, Shape};
+    use overlap_mesh::DeviceMesh;
+
+    use super::*;
+    use crate::find_patterns;
+
+    fn f32s(dims: &[usize]) -> Shape {
+        Shape::new(DType::F32, dims.to_vec())
+    }
+
+    fn uni() -> DecomposeOptions {
+        DecomposeOptions { bidirectional: false, ..Default::default() }
+    }
+
+    fn ag_module(n: usize, b_sz: usize, f: usize, h: usize) -> Module {
+        let mut b = Builder::new("ag", n);
+        let x = b.parameter(f32s(&[b_sz, f]), "x");
+        let w = b.parameter(f32s(&[f, h / n]), "w");
+        let g = b.all_gather(w, 1, ReplicaGroups::full(n), "g");
+        let e = b.einsum(x, g, DotDims::matmul(), "e");
+        b.build(vec![e])
+    }
+
+    #[test]
+    fn big_compute_passes_gate() {
+        // Batch sized so the einsum covers the stretched ring while the
+        // collective saving still exceeds the DMA-interference tax.
+        let m = ag_module(4, 8192, 4096, 4096);
+        let machine = Machine::with_mesh(DeviceMesh::ring(4));
+        let cm = CostModel::new(&machine, uni());
+        let pats = find_patterns(&m);
+        let d = cm.evaluate(&m, &pats[0]);
+        assert!(d.beneficial, "large einsum should hide the ring: {d:?}");
+        assert!(d.comp_t > d.comm_t_ring);
+    }
+
+    #[test]
+    fn tiny_compute_fails_gate() {
+        // Minuscule einsum, large gathered weight: the stretched ring
+        // cannot be hidden.
+        let n = 8;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[1, 8192]), "x");
+        let w = b.parameter(f32s(&[8192, 8192 / n]), "w");
+        let g = b.all_gather(w, 1, ReplicaGroups::full(n), "g");
+        let e = b.einsum(x, g, DotDims::matmul(), "e");
+        let m = b.build(vec![e]);
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let cm = CostModel::new(&machine, uni());
+        let pats = find_patterns(&m);
+        let d = cm.evaluate(&m, &pats[0]);
+        assert!(d.comm_t_ring > d.comp_t);
+        assert!(!d.beneficial, "unhideable ring must be rejected: {d:?}");
+    }
+
+    #[test]
+    fn bidirectional_ring_is_cheaper() {
+        let m = ag_module(4, 1024, 1024, 1024);
+        let machine = Machine::with_mesh(DeviceMesh::ring(4));
+        let pats = find_patterns(&m);
+        let du = CostModel::new(&machine, uni()).evaluate(&m, &pats[0]);
+        let db = CostModel::new(&machine, DecomposeOptions::default()).evaluate(&m, &pats[0]);
+        assert!(db.comm_t_ring < du.comm_t_ring);
+        assert!(db.extra_t > 0.0);
+        assert_eq!(du.extra_t, 0.0);
+    }
+
+    #[test]
+    fn two_candidates_resolve_to_one() {
+        let n = 2;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[512, 1024]), "x");
+        let w = b.parameter(f32s(&[512, 256]), "w");
+        let gx = b.all_gather(x, 0, ReplicaGroups::full(n), "gx");
+        let gw = b.all_gather(w, 0, ReplicaGroups::full(n), "gw");
+        let e = b.einsum(gx, gw, DotDims::matmul(), "e");
+        let m = b.build(vec![e]);
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let cm = CostModel::new(&machine, uni());
+        let pats = find_patterns(&m);
+        assert_eq!(pats.len(), 2);
+        let sel = cm.select(&m, &pats, false);
+        assert_eq!(sel.len(), 1, "one pattern per einsum");
+    }
+
+    #[test]
+    fn gate_filters_select() {
+        let n = 8;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[1, 8192]), "x");
+        let w = b.parameter(f32s(&[8192, 8192 / n]), "w");
+        let g = b.all_gather(w, 1, ReplicaGroups::full(n), "g");
+        let e = b.einsum(x, g, DotDims::matmul(), "e");
+        let m = b.build(vec![e]);
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let cm = CostModel::new(&machine, uni());
+        let pats = find_patterns(&m);
+        assert!(cm.select(&m, &pats, true).is_empty());
+        assert_eq!(cm.select(&m, &pats, false).len(), 1);
+    }
+}

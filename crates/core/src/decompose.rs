@@ -1,0 +1,837 @@
+//! The looped collective-einsum graph rewrite (§5.1, Algorithm 1, plus the
+//! §5.4 optimizations).
+//!
+//! Each selected `AllGather → Einsum` or `Einsum → ReduceScatter` pair is
+//! replaced with the fully unrolled iteration sequence of the paper's
+//! generated loop: per iteration, one partial einsum over the data shard
+//! currently held, a `DynamicUpdateSlice`/`Add` combining step, and a
+//! single-hop `CollectivePermute` circulating shards (AllGather case) or
+//! accumulators (ReduceScatter case) around the partition ring.
+//!
+//! Emitting the unrolled form (instead of a rolled `While` loop) is
+//! behaviour-preserving — XLA itself schedules straight-line per-iteration
+//! bodies — and lets the schedulers and the simulator work on one flat
+//! instruction sequence. The *loop unrolling* optimization of §5.4.1 is
+//! modeled as what it actually changes in the dataflow: without it, every
+//! circulated value needs an explicit `Copy` (the loop-carried aliasing
+//! copy XLA inserts) and the ReduceScatter case has a single accumulation
+//! chain; with it, the copies disappear and the accumulation splits into
+//! two interleaved chains with a one-hop alignment epilogue (Fig. 8). The
+//! *bidirectional transfer* of §5.4.2 circulates two half-sets of shards
+//! in opposite ring directions with a prologue (AllGather) or epilogue
+//! (ReduceScatter) shift, doubling usable link bandwidth.
+
+use overlap_hlo::{
+    Builder, DType, InstrId, Module, Op, PadDim, ReplicaGroups, Shape,
+};
+use overlap_mesh::shift_pairs;
+
+use crate::pattern::{AgCase, Pattern, PatternKind};
+
+/// Options controlling the decomposition (the §5.4 optimizations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecomposeOptions {
+    /// Loop unrolling (§5.4.1): eliminates loop-carried copies and splits
+    /// the ReduceScatter accumulation into two interleaved chains.
+    /// Requires an even partition count; odd groups fall back to the
+    /// non-unrolled form.
+    pub unroll: bool,
+    /// Bidirectional transfer (§5.4.2): circulate half the shards in each
+    /// ring direction. Requires an even partition count; odd groups fall
+    /// back to unidirectional.
+    pub bidirectional: bool,
+    /// Rewrite the bidirectional operand concatenation as
+    /// `Max(PadLow, PadHigh)` (§5.4.3's fusion-friendly form).
+    pub pad_max_concat: bool,
+}
+
+impl Default for DecomposeOptions {
+    fn default() -> Self {
+        DecomposeOptions { unroll: true, bidirectional: true, pad_max_concat: false }
+    }
+}
+
+/// What the decomposition did to one pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecomposeSummary {
+    /// Name of the original einsum.
+    pub einsum: String,
+    /// Ring length (partition-group size).
+    pub group_size: usize,
+    /// Number of partial einsums emitted.
+    pub partial_einsums: usize,
+    /// Number of collective permutes emitted (loop + prologue/epilogue).
+    pub permutes: usize,
+    /// Whether the bidirectional form was used.
+    pub bidirectional: bool,
+    /// Whether the unrolled (two-chain / copy-free) form was used.
+    pub unrolled: bool,
+}
+
+/// Tag placed on every instruction the decomposition emits.
+pub(crate) const LCE_TAG: &str = "lce";
+/// Tag on the partial einsums.
+pub(crate) const LCE_EINSUM_TAG: &str = "lce.partial_einsum";
+/// Tag on the combining `Add`/`DynamicUpdateSlice` steps.
+pub(crate) const LCE_COMBINE_TAG: &str = "lce.combine";
+/// Tag on the circulating collective permutes.
+pub(crate) const LCE_CP_TAG: &str = "lce.cp";
+
+/// Applies the looped collective-einsum rewrite to `selected` patterns.
+///
+/// Patterns must come from [`find_patterns`](crate::find_patterns) on this
+/// very module and reference disjoint instructions (at most one pattern
+/// per einsum; the pipeline's cost gate guarantees this). All other
+/// instructions are copied unchanged.
+///
+/// Returns the transformed module and a per-pattern summary.
+///
+/// # Example
+///
+/// ```
+/// use overlap_core::{decompose, find_patterns, DecomposeOptions};
+/// use overlap_hlo::{Builder, DType, DotDims, Op, ReplicaGroups, Shape};
+///
+/// let n = 4;
+/// let mut b = Builder::new("layer", n);
+/// let x = b.parameter(Shape::new(DType::F32, vec![8, 16]), "x");
+/// let w = b.parameter(Shape::new(DType::F32, vec![16, 8]), "w_shard");
+/// let wg = b.all_gather(w, 1, ReplicaGroups::full(n), "w");
+/// let y = b.einsum(x, wg, DotDims::matmul(), "y");
+/// let m = b.build(vec![y]);
+///
+/// let patterns = find_patterns(&m);
+/// let (out, summaries) = decompose(&m, &DecomposeOptions::default(), &patterns);
+/// assert_eq!(summaries[0].partial_einsums, 2); // bidirectional: N/2 double-width
+/// assert_eq!(out.count_live(|i| matches!(i.op(), Op::AllGather { .. })), 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if a pattern references instructions that do not form the
+/// expected shape (i.e. was not produced by `find_patterns` on `module`).
+#[must_use]
+pub fn decompose(
+    module: &Module,
+    options: &DecomposeOptions,
+    selected: &[Pattern],
+) -> (Module, Vec<DecomposeSummary>) {
+    let items: Vec<(Pattern, DecomposeOptions)> =
+        selected.iter().map(|&p| (p, *options)).collect();
+    decompose_each(module, &items)
+}
+
+/// Like [`decompose`] but with per-pattern options (the pipeline's cost
+/// model chooses the bidirectional form per pattern).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`decompose`].
+#[must_use]
+pub fn decompose_each(
+    module: &Module,
+    selected: &[(Pattern, DecomposeOptions)],
+) -> (Module, Vec<DecomposeSummary>) {
+    let mut b = Builder::new(module.name().to_string(), module.num_partitions());
+    let mut map: Vec<Option<InstrId>> = vec![None; module.len()];
+    let mut summaries = Vec::new();
+
+    // Index patterns by the instruction at which we emit the loop: the
+    // einsum for AllGather patterns, the ReduceScatter for RS patterns.
+    let mut skip = vec![false; module.len()];
+    let mut emit_at: Vec<Option<&(Pattern, DecomposeOptions)>> = vec![None; module.len()];
+    for item in selected {
+        let p = &item.0;
+        match p.kind {
+            PatternKind::AllGatherEinsum { .. } => {
+                skip[p.collective.index()] = true;
+                emit_at[p.einsum.index()] = Some(item);
+            }
+            PatternKind::EinsumReduceScatter { .. } => {
+                skip[p.einsum.index()] = true;
+                emit_at[p.collective.index()] = Some(item);
+            }
+        }
+    }
+
+    for (id, ins) in module.iter() {
+        if skip[id.index()] {
+            continue;
+        }
+        if let Some((pattern, options)) = emit_at[id.index()] {
+            let (result, summary) = emit_pattern(&mut b, module, pattern, options, &map);
+            map[id.index()] = Some(result);
+            summaries.push(summary);
+            continue;
+        }
+        let operands: Vec<InstrId> = ins
+            .operands()
+            .iter()
+            .map(|o| map[o.index()].expect("operands precede users"))
+            .collect();
+        map[id.index()] = Some(b.copy_of(module, id, operands));
+    }
+
+    let outputs = module
+        .outputs()
+        .iter()
+        .map(|o| map[o.index()].expect("outputs mapped"))
+        .collect();
+    (b.build(outputs), summaries)
+}
+
+/// Per-pattern loop emission context: group bookkeeping plus the scalar
+/// index-arithmetic instructions shared by all iterations.
+struct LoopCtx {
+    g: usize,
+    /// This device's rank within its replica group (`u32` scalar), looked
+    /// up from a partition-id-indexed constant table.
+    rank: InstrId,
+    /// Shared `u32` zero used for untouched `DynamicUpdateSlice` indices.
+    zero: InstrId,
+    g_const: InstrId,
+}
+
+impl LoopCtx {
+    fn new(b: &mut Builder, groups: &ReplicaGroups, num_partitions: usize) -> Self {
+        let table_vals: Vec<f64> = (0..num_partitions as u32)
+            .map(|pid| groups.rank_in_group(pid).expect("groups cover all partitions") as f64)
+            .collect();
+        let table = b.constant_tensor(
+            Shape::new(DType::U32, vec![num_partitions]),
+            table_vals,
+            "lce.rank_table",
+        );
+        let pid = b.partition_id("lce.pid");
+        let rank1 = b.dynamic_slice(table, &[pid], vec![1], "lce.rank1");
+        let rank = b.reshape(rank1, vec![], "lce.rank");
+        let zero = b.constant(Shape::scalar(DType::U32), 0.0, "lce.zero");
+        let g_const =
+            b.constant(Shape::scalar(DType::U32), groups.group_size() as f64, "lce.g");
+        LoopCtx { g: groups.group_size(), rank, zero, g_const }
+    }
+
+    /// `(rank + delta) mod g` as a `u32` scalar (delta normalized into
+    /// `0..g`).
+    fn shard_index(&self, b: &mut Builder, delta: i64) -> InstrId {
+        let d = delta.rem_euclid(self.g as i64);
+        let c = b.constant(Shape::scalar(DType::U32), d as f64, "lce.delta");
+        let sum = b.add(self.rank, c, "lce.rank_plus");
+        b.rem(sum, self.g_const, "lce.shard")
+    }
+
+    /// `((rank + delta) mod g) * scale` as a `u32` scalar.
+    fn offset(&self, b: &mut Builder, delta: i64, scale: usize) -> InstrId {
+        let idx = self.shard_index(b, delta);
+        let s = b.constant(Shape::scalar(DType::U32), scale as f64, "lce.scale");
+        b.mul(idx, s, "lce.offset")
+    }
+
+    /// Index vector for a rank-`rank_count` slice/update touching only
+    /// `dim` (all other indices zero).
+    fn index_vec(&self, dim: usize, rank_count: usize, offset: InstrId) -> Vec<InstrId> {
+        (0..rank_count).map(|d| if d == dim { offset } else { self.zero }).collect()
+    }
+}
+
+fn emit_pattern(
+    b: &mut Builder,
+    module: &Module,
+    pattern: &Pattern,
+    options: &DecomposeOptions,
+    map: &[Option<InstrId>],
+) -> (InstrId, DecomposeSummary) {
+    b.set_tag(Some(LCE_TAG));
+    let result = match pattern.kind {
+        PatternKind::AllGatherEinsum { gathered_is_lhs, case } => {
+            emit_ag_einsum(b, module, pattern, gathered_is_lhs, case, options, map)
+        }
+        PatternKind::EinsumReduceScatter { sliced_is_lhs, sliced_dim } => {
+            emit_einsum_rs(b, module, pattern, sliced_is_lhs, sliced_dim, options, map)
+        }
+    };
+    b.set_tag(None);
+    result
+}
+
+/// Emits a concatenation of two shards along `dim` — either a plain
+/// `Concatenate` or the fusion-friendly `Max(PadLow, PadHigh)` form of
+/// §5.4.3 (the two are semantically identical for the `-inf` pad value).
+fn emit_join(
+    b: &mut Builder,
+    a: InstrId,
+    c: InstrId,
+    dim: usize,
+    pad_max: bool,
+    name: &str,
+) -> InstrId {
+    if !pad_max {
+        return b.concatenate(&[a, c], dim, name);
+    }
+    let sa = b.shape_of(a).clone();
+    let sc = b.shape_of(c).clone();
+    let ninf = b.constant(Shape::scalar(sa.dtype()), f64::NEG_INFINITY, "lce.ninf");
+    let mut low_cfg = vec![PadDim::none(); sa.rank()];
+    low_cfg[dim] = PadDim::new(0, sc.dim(dim));
+    let mut high_cfg = vec![PadDim::none(); sc.rank()];
+    high_cfg[dim] = PadDim::new(sa.dim(dim), 0);
+    let pa = b.pad(a, ninf, low_cfg, &format!("{name}.padlow"));
+    let pc = b.pad(c, ninf, high_cfg, &format!("{name}.padhigh"));
+    b.max(pa, pc, name)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AgGeometry {
+    /// Gathered-operand dimension being circulated.
+    gather_dim: usize,
+    /// Shard size along that dimension.
+    shard: usize,
+    /// For case 2/3: the other operand's paired dimension to slice.
+    other_dim: Option<usize>,
+    /// For case 1/3: the output dimension to update.
+    out_dim: Option<usize>,
+}
+
+fn ag_geometry(
+    module: &Module,
+    pattern: &Pattern,
+    gathered_is_lhs: bool,
+    case: AgCase,
+) -> AgGeometry {
+    let einsum = module.instr(pattern.einsum);
+    let Op::Einsum(dims) = einsum.op() else { panic!("pattern einsum is not an einsum") };
+    let Op::AllGather { dim: gather_dim, .. } = module.instr(pattern.collective).op() else {
+        panic!("pattern collective is not an all-gather")
+    };
+    let gather_dim = *gather_dim;
+    let shard_shape = module.shape_of(module.instr(pattern.collective).operands()[0]);
+    let shard = shard_shape.dim(gather_dim);
+    let lhs_rank = module.shape_of(einsum.operands()[0]).rank();
+    let rhs_rank = module.shape_of(einsum.operands()[1]).rank();
+
+    let (other_dim, out_dim) = match case {
+        AgCase::Free => {
+            let out_dim = if gathered_is_lhs {
+                dims.output_dim_of_lhs_free(lhs_rank, gather_dim)
+            } else {
+                dims.output_dim_of_rhs_free(lhs_rank, rhs_rank, gather_dim)
+            };
+            (None, Some(out_dim.expect("free dim maps to output")))
+        }
+        AgCase::Contracting => {
+            let other = if gathered_is_lhs {
+                dims.rhs_dim_paired_with(gather_dim)
+            } else {
+                dims.lhs_dim_paired_with(gather_dim)
+            };
+            (Some(other.expect("contracting dim is paired")), None)
+        }
+        AgCase::Batch => {
+            let (other, batch_index) = if gathered_is_lhs {
+                let i = dims
+                    .batch()
+                    .iter()
+                    .position(|&(l, _)| l == gather_dim)
+                    .expect("batch dim is paired");
+                (dims.batch()[i].1, i)
+            } else {
+                let i = dims
+                    .batch()
+                    .iter()
+                    .position(|&(_, r)| r == gather_dim)
+                    .expect("batch dim is paired");
+                (dims.batch()[i].0, i)
+            };
+            (Some(other), Some(batch_index))
+        }
+    };
+    AgGeometry { gather_dim, shard, other_dim, out_dim }
+}
+
+#[allow(clippy::too_many_lines)]
+fn emit_ag_einsum(
+    b: &mut Builder,
+    module: &Module,
+    pattern: &Pattern,
+    gathered_is_lhs: bool,
+    case: AgCase,
+    options: &DecomposeOptions,
+    map: &[Option<InstrId>],
+) -> (InstrId, DecomposeSummary) {
+    let einsum = module.instr(pattern.einsum);
+    let Op::Einsum(dims) = einsum.op().clone() else { unreachable!() };
+    let Op::AllGather { groups, .. } = module.instr(pattern.collective).op().clone() else {
+        unreachable!()
+    };
+    let geom = ag_geometry(module, pattern, gathered_is_lhs, case);
+    let out_shape = einsum.shape().clone();
+    let name = einsum.name().to_string();
+
+    // Mapped local inputs.
+    let gathered_src = module.instr(pattern.collective).operands()[0];
+    let looped0 = map[gathered_src.index()].expect("gather operand mapped");
+    let other_src = if gathered_is_lhs { einsum.operands()[1] } else { einsum.operands()[0] };
+    let other = map[other_src.index()].expect("other operand mapped");
+
+    let ctx = LoopCtx::new(b, &groups, module.num_partitions());
+    let g = ctx.g;
+    let bidi = options.bidirectional && g.is_multiple_of(2) && g >= 2;
+    let mut permutes = 0usize;
+    let mut partials = 0usize;
+
+    // Slice of the non-circulating operand matching the shard with index
+    // expression `(rank + delta) mod g` (cases 2 and 3; case 1 uses the
+    // whole operand).
+    let slice_other = |b: &mut Builder, delta: i64| -> InstrId {
+        let od = geom.other_dim.expect("slice only in cases 2/3");
+        let offset = ctx.offset(b, delta, geom.shard);
+        let sizes: Vec<usize> = b
+            .shape_of(other)
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(d, &s)| if d == od { geom.shard } else { s })
+            .collect();
+        let rank_count = b.shape_of(other).rank();
+        let idx = ctx.index_vec(od, rank_count, offset);
+        b.set_tag(Some(LCE_TAG));
+        b.dynamic_slice(other, &idx, sizes, &format!("{name}.ds"))
+    };
+
+    // The partial einsum for the shard with index expression
+    // `(rank + delta) mod g`, given the circulating shard value.
+    let emit_partial = |b: &mut Builder, looped: InstrId, delta: i64| {
+        let other_used = match geom.other_dim {
+            None => other,
+            Some(_) => slice_other(b, delta),
+        };
+        b.set_tag(Some(LCE_EINSUM_TAG));
+        let partial = if gathered_is_lhs {
+            b.einsum(looped, other_used, dims.clone(), &format!("{name}.partial"))
+        } else {
+            b.einsum(other_used, looped, dims.clone(), &format!("{name}.partial"))
+        };
+        b.set_tag(Some(LCE_TAG));
+        partial
+    };
+
+    // Combine a partial into the result.
+    let combine = |b: &mut Builder,
+                   ctx: &LoopCtx,
+                   result: InstrId,
+                   partial: InstrId,
+                   delta: i64|
+     -> InstrId {
+        b.set_tag(Some(LCE_COMBINE_TAG));
+        let combined = match geom.out_dim {
+            None => b.add(result, partial, &format!("{name}.acc")),
+            Some(out_dim) => {
+                let out_shard = b.shape_of(partial).dim(out_dim);
+                let offset = ctx.offset(b, delta, out_shard);
+                let rank_count = b.shape_of(result).rank();
+                let idx = ctx.index_vec(out_dim, rank_count, offset);
+                b.dynamic_update_slice(result, partial, &idx, &format!("{name}.dus"))
+            }
+        };
+        b.set_tag(Some(LCE_TAG));
+        combined
+    };
+
+    let cp = |b: &mut Builder, value: InstrId, step: i64, permutes: &mut usize| -> InstrId {
+        b.set_tag(Some(LCE_CP_TAG));
+        let sent = b.collective_permute(
+            value,
+            shift_pairs(&groups, step),
+            &format!("{name}.cp"),
+        );
+        *permutes += 1;
+        b.set_tag(Some(LCE_TAG));
+        if options.unroll {
+            sent
+        } else {
+            // Loop-carried aliasing copy of the rolled loop (§5.4.1).
+            b.copy(sent, &format!("{name}.loop_copy"))
+        }
+    };
+
+    let mut result = b.zeros(out_shape.clone(), &format!("{name}.init"));
+    // Case 2 accumulates into a zero buffer via Add; for the einsum output
+    // to match, start from zeros of the einsum's (local) output shape —
+    // identical to `out_shape` in all cases.
+
+    if !bidi {
+        let mut looped = looped0;
+        for i in 0..g {
+            let partial = emit_partial(b, looped, i as i64);
+            partials += 1;
+            if i + 1 < g {
+                looped = cp(b, looped, -1, &mut permutes);
+            }
+            result = combine(b, &ctx, result, partial, i as i64);
+        }
+    } else {
+        // Bidirectional (§5.4.2): prologue shifts a copy of the local
+        // shard clockwise so each device starts with shards
+        // {rank, rank-1}, then the two sets circulate in opposite
+        // directions.
+        let m = g / 2;
+        let mut left = looped0;
+        let mut right = cp(b, looped0, 1, &mut permutes);
+        for t in 0..m {
+            let (dl, dr) = (t as i64, -1 - t as i64);
+            if case == AgCase::Contracting {
+                // Contracting case: two single-shard partials, two
+                // accumulating adds (contributions are order-independent).
+                let pl = emit_partial(b, left, dl);
+                let pr = emit_partial(b, right, dr);
+                partials += 2;
+                result = combine(b, &ctx, result, pl, dl);
+                result = combine(b, &ctx, result, pr, dr);
+            } else {
+                // Concatenate the two circulating shards (and, in the
+                // batch case, the matching slices of the other operand) so
+                // one double-width einsum covers both — the §5.4.2 trick
+                // that keeps per-iteration compute large.
+                let join_dim = geom.gather_dim;
+                let joined = emit_join(
+                    b,
+                    left,
+                    right,
+                    join_dim,
+                    options.pad_max_concat,
+                    &format!("{name}.join"),
+                );
+                let other_used = match geom.other_dim {
+                    None => other,
+                    Some(od) => {
+                        let sl = slice_other(b, dl);
+                        let sr = slice_other(b, dr);
+                        b.concatenate(&[sl, sr], od, &format!("{name}.join_other"))
+                    }
+                };
+                // The two shards are not contiguous in the output, so
+                // compute a double-width partial and split it.
+                let partial2 = {
+                    b.set_tag(Some(LCE_EINSUM_TAG));
+                    let p = if gathered_is_lhs {
+                        b.einsum(joined, other_used, dims.clone(), &format!("{name}.partial2"))
+                    } else {
+                        b.einsum(other_used, joined, dims.clone(), &format!("{name}.partial2"))
+                    };
+                    b.set_tag(Some(LCE_TAG));
+                    p
+                };
+                partials += 1;
+                let out_dim = geom.out_dim.expect("free/batch case has an output dim");
+                let p2 = b.shape_of(partial2).clone();
+                let half = p2.dim(out_dim) / 2;
+                let mut starts = vec![0usize; p2.rank()];
+                let mut limits = p2.dims().to_vec();
+                limits[out_dim] = half;
+                let pl = b.slice(partial2, starts.clone(), limits.clone(), &format!("{name}.lo"));
+                starts[out_dim] = half;
+                limits[out_dim] = 2 * half;
+                let pr = b.slice(partial2, starts, limits, &format!("{name}.hi"));
+                result = combine(b, &ctx, result, pl, dl);
+                result = combine(b, &ctx, result, pr, dr);
+            }
+            if t + 1 < m {
+                left = cp(b, left, -1, &mut permutes);
+                right = cp(b, right, 1, &mut permutes);
+            }
+        }
+    }
+
+    let summary = DecomposeSummary {
+        einsum: name,
+        group_size: g,
+        partial_einsums: partials,
+        permutes,
+        bidirectional: bidi,
+        unrolled: options.unroll,
+    };
+    (result, summary)
+}
+
+#[allow(clippy::too_many_lines)]
+fn emit_einsum_rs(
+    b: &mut Builder,
+    module: &Module,
+    pattern: &Pattern,
+    sliced_is_lhs: bool,
+    sliced_dim: usize,
+    options: &DecomposeOptions,
+    map: &[Option<InstrId>],
+) -> (InstrId, DecomposeSummary) {
+    let einsum = module.instr(pattern.einsum);
+    let Op::Einsum(dims) = einsum.op().clone() else { unreachable!() };
+    let rs = module.instr(pattern.collective);
+    let Op::ReduceScatter { groups, .. } = rs.op().clone() else { unreachable!() };
+    let name = einsum.name().to_string();
+    let shard_shape = rs.shape().clone();
+
+
+    let lhs = map[einsum.operands()[0].index()].expect("mapped");
+    let rhs = map[einsum.operands()[1].index()].expect("mapped");
+    let (owner, other) = if sliced_is_lhs { (lhs, rhs) } else { (rhs, lhs) };
+    let owner_shard = b.shape_of(owner).dim(sliced_dim) / groups.group_size();
+
+    let ctx = LoopCtx::new(b, &groups, module.num_partitions());
+    let g = ctx.g;
+    let bidi = options.bidirectional && g.is_multiple_of(2);
+    let two_chain = options.unroll && g.is_multiple_of(2) && !bidi;
+    let mut permutes = 0usize;
+    let mut partials = 0usize;
+
+    // Partial einsum for shard `(rank + delta) mod g`.
+    let mut emit_partial = |b: &mut Builder, delta: i64| -> InstrId {
+        let offset = ctx.offset(b, delta, owner_shard);
+        let sizes: Vec<usize> = b
+            .shape_of(owner)
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(d, &s)| if d == sliced_dim { owner_shard } else { s })
+            .collect();
+        let rank_count = b.shape_of(owner).rank();
+        let idx = ctx.index_vec(sliced_dim, rank_count, offset);
+        b.set_tag(Some(LCE_TAG));
+        let sliced = b.dynamic_slice(owner, &idx, sizes, &format!("{name}.ds"));
+        b.set_tag(Some(LCE_EINSUM_TAG));
+        let partial = if sliced_is_lhs {
+            b.einsum(sliced, other, dims.clone(), &format!("{name}.partial"))
+        } else {
+            b.einsum(other, sliced, dims.clone(), &format!("{name}.partial"))
+        };
+        b.set_tag(Some(LCE_TAG));
+        partials += 1;
+        partial
+    };
+
+    let cp = |b: &mut Builder, value: InstrId, step: i64, permutes: &mut usize| -> InstrId {
+        b.set_tag(Some(LCE_CP_TAG));
+        let sent = b.collective_permute(
+            value,
+            shift_pairs(&groups, step),
+            &format!("{name}.cp"),
+        );
+        *permutes += 1;
+        b.set_tag(Some(LCE_TAG));
+        if options.unroll {
+            sent
+        } else {
+            b.copy(sent, &format!("{name}.loop_copy"))
+        }
+    };
+
+    let acc_add = |b: &mut Builder, acc: InstrId, partial: InstrId| -> InstrId {
+        b.set_tag(Some(LCE_COMBINE_TAG));
+        let r = b.add(acc, partial, &format!("{name}.acc"));
+        b.set_tag(Some(LCE_TAG));
+        r
+    };
+
+    let result = if bidi {
+        // Two accumulators travel in opposite directions (§5.4.2, Fig. 10);
+        // the clockwise one is shifted once more in the epilogue and added.
+        let m = g / 2;
+        let mut acc_l = b.zeros(shard_shape.clone(), &format!("{name}.init_l"));
+        let mut acc_r = b.zeros(shard_shape.clone(), &format!("{name}.init_r"));
+        for t in 0..m {
+            let dl = 1 - (m as i64) + t as i64; // shard (rank - m + 1 + t)
+            let dr = m as i64 - t as i64; // shard (rank + m - t)
+            let pl = emit_partial(b, dl);
+            let pr = emit_partial(b, dr);
+            if t > 0 {
+                acc_l = cp(b, acc_l, -1, &mut permutes);
+                acc_r = cp(b, acc_r, 1, &mut permutes);
+            }
+            acc_l = acc_add(b, acc_l, pl);
+            acc_r = acc_add(b, acc_r, pr);
+        }
+        let aligned = cp(b, acc_r, 1, &mut permutes);
+        acc_add(b, acc_l, aligned)
+    } else if two_chain {
+        // Unrolled two-chain form (§5.4.1, Fig. 8): chain A accumulates
+        // shards (rank + 2j + 2), chain B (rank + 2j + 3); both hop two
+        // ring positions between contributions; the epilogue aligns chain
+        // B with a single forward hop.
+        let m = g / 2;
+        let mut acc_a = b.zeros(shard_shape.clone(), &format!("{name}.init_a"));
+        let mut acc_b = b.zeros(shard_shape.clone(), &format!("{name}.init_b"));
+        for j in 0..m {
+            let da = 2 * j as i64 + 2;
+            let db = 2 * j as i64 + 3;
+            let pa = emit_partial(b, da);
+            let pb = emit_partial(b, db);
+            if j > 0 {
+                acc_a = cp(b, acc_a, -2, &mut permutes);
+                acc_b = cp(b, acc_b, -2, &mut permutes);
+            }
+            acc_a = acc_add(b, acc_a, pa);
+            acc_b = acc_add(b, acc_b, pb);
+        }
+        let aligned = cp(b, acc_b, 1, &mut permutes);
+        acc_add(b, acc_a, aligned)
+    } else {
+        // Single chain (Algorithm 1): the accumulator is transferred at
+        // the start of every iteration and the partial added on arrival.
+        let mut acc = b.zeros(shard_shape.clone(), &format!("{name}.init"));
+        for i in 0..g {
+            let partial = emit_partial(b, i as i64 + 1);
+            acc = cp(b, acc, -1, &mut permutes);
+            acc = acc_add(b, acc, partial);
+        }
+        acc
+    };
+
+    let summary = DecomposeSummary {
+        einsum: name,
+        group_size: g,
+        partial_einsums: partials,
+        permutes,
+        bidirectional: bidi,
+        unrolled: options.unroll,
+    };
+    (result, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use overlap_hlo::{Builder, DType, DotDims, ReplicaGroups, Shape};
+
+    use super::*;
+    use crate::find_patterns;
+
+    fn f32s(dims: &[usize]) -> Shape {
+        Shape::new(DType::F32, dims.to_vec())
+    }
+
+    fn ag_module(n: usize) -> Module {
+        let mut b = Builder::new("ag", n);
+        let x = b.parameter(f32s(&[8, 16]), "x");
+        let w = b.parameter(f32s(&[16, 32 / n]), "w");
+        let g = b.all_gather(w, 1, ReplicaGroups::full(n), "g");
+        let e = b.einsum(x, g, DotDims::matmul(), "e");
+        b.build(vec![e])
+    }
+
+    fn rs_module(n: usize) -> Module {
+        let mut b = Builder::new("rs", n);
+        let x = b.parameter(f32s(&[8, 16]), "x");
+        let w = b.parameter(f32s(&[16, 32]), "w");
+        let e = b.einsum(x, w, DotDims::matmul(), "e");
+        let rs = b.reduce_scatter(e, 1, ReplicaGroups::full(n), "rs");
+        b.build(vec![rs])
+    }
+
+    #[test]
+    fn ag_unidirectional_structure() {
+        let m = ag_module(4);
+        let pats = find_patterns(&m);
+        let opts = DecomposeOptions { bidirectional: false, ..Default::default() };
+        let (out, summaries) = decompose(&m, &opts, &pats);
+        out.verify().unwrap();
+        assert_eq!(summaries.len(), 1);
+        let s = &summaries[0];
+        assert_eq!(s.group_size, 4);
+        assert_eq!(s.partial_einsums, 4);
+        assert_eq!(s.permutes, 3); // N-1 for the AllGather case
+        assert!(!s.bidirectional);
+        // The original collective is gone.
+        assert_eq!(out.count_live(|i| matches!(i.op(), Op::AllGather { .. })), 0);
+        assert_eq!(
+            out.count_live(|i| matches!(i.op(), Op::CollectivePermute { .. })),
+            3
+        );
+        // Output shape preserved.
+        assert_eq!(out.shape_of(out.outputs()[0]), m.shape_of(m.outputs()[0]));
+    }
+
+    #[test]
+    fn ag_bidirectional_structure() {
+        let m = ag_module(4);
+        let pats = find_patterns(&m);
+        let opts = DecomposeOptions { bidirectional: true, ..Default::default() };
+        let (out, summaries) = decompose(&m, &opts, &pats);
+        out.verify().unwrap();
+        let s = &summaries[0];
+        assert!(s.bidirectional);
+        // Prologue + 2*(m-1) loop permutes = 1 + 2 = 3 for g=4.
+        assert_eq!(s.permutes, 3);
+        // m iterations of one double-width einsum each.
+        assert_eq!(s.partial_einsums, 2);
+    }
+
+    #[test]
+    fn rs_single_chain_structure() {
+        let m = rs_module(4);
+        let pats = find_patterns(&m);
+        let opts =
+            DecomposeOptions { bidirectional: false, unroll: false, ..Default::default() };
+        let (out, summaries) = decompose(&m, &opts, &pats);
+        out.verify().unwrap();
+        let s = &summaries[0];
+        assert_eq!(s.partial_einsums, 4);
+        assert_eq!(s.permutes, 4); // N for the ReduceScatter case
+        assert_eq!(out.count_live(|i| matches!(i.op(), Op::ReduceScatter { .. })), 0);
+        // Non-unrolled form carries the aliasing copies.
+        assert!(out.count_live(|i| matches!(i.op(), Op::Copy)) >= 4);
+        assert_eq!(out.shape_of(out.outputs()[0]), m.shape_of(m.outputs()[0]));
+    }
+
+    #[test]
+    fn rs_two_chain_structure() {
+        let m = rs_module(4);
+        let pats = find_patterns(&m);
+        let opts =
+            DecomposeOptions { bidirectional: false, unroll: true, ..Default::default() };
+        let (out, summaries) = decompose(&m, &opts, &pats);
+        out.verify().unwrap();
+        let s = &summaries[0];
+        assert_eq!(s.partial_einsums, 4);
+        // 2 chains * (m-1) + epilogue = 2 + 1 = 3.
+        assert_eq!(s.permutes, 3);
+        assert_eq!(out.count_live(|i| matches!(i.op(), Op::Copy)), 0);
+    }
+
+    #[test]
+    fn odd_group_falls_back_to_unidirectional() {
+        let m = ag_module(3);
+        let pats = find_patterns(&m);
+        let opts = DecomposeOptions { bidirectional: true, ..Default::default() };
+        let (out, summaries) = decompose(&m, &opts, &pats);
+        out.verify().unwrap();
+        let s = &summaries[0];
+        assert!(!s.bidirectional, "odd group must fall back to unidirectional");
+        assert_eq!(s.partial_einsums, 3);
+        assert_eq!(s.permutes, 2);
+    }
+
+    #[test]
+    fn pad_max_concat_variant_verifies() {
+        let m = ag_module(4);
+        let pats = find_patterns(&m);
+        let opts = DecomposeOptions {
+            bidirectional: true,
+            pad_max_concat: true,
+            ..Default::default()
+        };
+        let (out, _) = decompose(&m, &opts, &pats);
+        out.verify().unwrap();
+        assert!(out.count_live(|i| matches!(i.op(), Op::Pad { .. })) > 0);
+        assert_eq!(out.count_live(|i| matches!(i.op(), Op::Concatenate { .. })), 0);
+    }
+
+    #[test]
+    fn empty_selection_is_identity_modulo_names() {
+        let m = ag_module(2);
+        let (out, summaries) = decompose(&m, &DecomposeOptions::default(), &[]);
+        assert!(summaries.is_empty());
+        assert_eq!(out.len(), m.len());
+        assert_eq!(
+            out.count_live(|i| matches!(i.op(), Op::AllGather { .. })),
+            m.count_live(|i| matches!(i.op(), Op::AllGather { .. }))
+        );
+    }
+}

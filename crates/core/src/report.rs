@@ -1,0 +1,136 @@
+//! Human-readable compilation reports.
+//!
+//! [`CompileReport`] aggregates what the pipeline did to a module — the
+//! §5.5 gate decisions, per-pattern decomposition summaries, before/after
+//! instruction statistics and the memory-profile delta — and renders it
+//! as text. The `overlapc` CLI and the `diag` tool print these.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use overlap_hlo::{module_stats, Module, ModuleStats};
+use overlap_mesh::Machine;
+use overlap_sim::memory_profile;
+
+use crate::pipeline::Compiled;
+
+/// Aggregated description of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    /// Statistics of the input module.
+    pub before: ModuleStats,
+    /// Statistics of the compiled module.
+    pub after: ModuleStats,
+    /// Peak live bytes of the input module in its own order.
+    pub peak_bytes_before: usize,
+    /// Peak live bytes of the compiled module under its schedule.
+    pub peak_bytes_after: usize,
+    /// Patterns decomposed / candidates evaluated.
+    pub decomposed: usize,
+    /// Candidates the gate evaluated (including kept-synchronous ones).
+    pub evaluated: usize,
+    /// Lines describing each gate decision.
+    pub decision_lines: Vec<String>,
+}
+
+impl CompileReport {
+    /// Builds the report for a `compiled` result of `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compiled order is inconsistent with its module
+    /// (cannot happen for pipeline output).
+    #[must_use]
+    pub fn new(input: &Module, compiled: &Compiled, machine: &Machine) -> Self {
+        let _ = machine;
+        let decision_lines = compiled
+            .decisions
+            .iter()
+            .map(|d| {
+                format!(
+                    "{:<24} comp {:>9.3}ms comm {:>8.3}ms ring {:>8.3}ms -> {}",
+                    input.instr(d.pattern.einsum).name(),
+                    d.comp_t * 1e3,
+                    d.comm_t * 1e3,
+                    d.comm_t_ring * 1e3,
+                    if d.beneficial {
+                        if d.bidirectional { "overlap (bidi)" } else { "overlap (uni)" }
+                    } else {
+                        "keep"
+                    }
+                )
+            })
+            .collect();
+        CompileReport {
+            before: module_stats(input),
+            after: module_stats(&compiled.module),
+            peak_bytes_before: memory_profile(input, &input.ids()).peak_bytes,
+            peak_bytes_after: memory_profile(&compiled.module, &compiled.order).peak_bytes,
+            decomposed: compiled.summaries.len(),
+            evaluated: compiled.decisions.len(),
+            decision_lines,
+        }
+    }
+}
+
+impl fmt::Display for CompileReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "instructions: {} -> {} live ({:.1} GFLOP/device)",
+            self.before.live,
+            self.after.live,
+            self.after.einsum_flops as f64 / 1e9
+        )?;
+        writeln!(
+            f,
+            "peak live memory: {:.1} MB -> {:.1} MB",
+            self.peak_bytes_before as f64 / 1e6,
+            self.peak_bytes_after as f64 / 1e6
+        )?;
+        writeln!(f, "patterns decomposed: {} of {} evaluated", self.decomposed, self.evaluated)?;
+        let mut ops = String::new();
+        for (name, count) in &self.after.op_counts {
+            let _ = write!(ops, "{name}={count} ");
+        }
+        writeln!(f, "op mix: {}", ops.trim_end())?;
+        for line in &self.decision_lines {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use overlap_hlo::{Builder, DType, DotDims, ReplicaGroups, Shape};
+    use overlap_mesh::{DeviceMesh, Machine};
+
+    use super::*;
+    use crate::{OverlapOptions, OverlapPipeline};
+
+    #[test]
+    fn report_summarizes_a_compilation() {
+        let n = 4;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(Shape::new(DType::BF16, vec![4096, 2048]), "x");
+        let w = b.parameter(Shape::new(DType::BF16, vec![2048, 2048 / n]), "w");
+        let wg = b.all_gather(w, 1, ReplicaGroups::full(n), "wg");
+        let y = b.einsum(x, wg, DotDims::matmul(), "y");
+        let m = b.build(vec![y]);
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let compiled = OverlapPipeline::new(OverlapOptions {
+            disable_cost_gate: true,
+            ..OverlapOptions::paper_default()
+        })
+        .run(&m, &machine)
+        .unwrap();
+        let report = CompileReport::new(&m, &compiled, &machine);
+        assert_eq!(report.decomposed, 1);
+        assert!(report.after.live > report.before.live);
+        let text = report.to_string();
+        assert!(text.contains("patterns decomposed: 1 of 1"));
+        assert!(text.contains("overlap"));
+        assert!(text.contains("peak live memory"));
+    }
+}

@@ -1,0 +1,428 @@
+//! Latency-hiding instruction scheduling (§5.2).
+//!
+//! Both schedulers take a verified module (typically after [`asyncify`])
+//! and produce a linear instruction order in which asynchronous
+//! `CollectivePermuteStart`s issue as early and `Done`s retire as late as
+//! data dependences allow, so transfers run concurrently with the compute
+//! between them. The simulator executes the returned order directly.
+//!
+//! [`asyncify`]: crate::asyncify
+
+#[cfg(test)]
+use std::collections::HashMap;
+
+use overlap_hlo::{InstrId, Module, Op};
+use overlap_mesh::Machine;
+use overlap_sim::{instruction_cost, InstrCost};
+
+fn latency(module: &Module, id: InstrId, machine: &Machine) -> f64 {
+    match instruction_cost(module, id, machine) {
+        InstrCost::Free => 0.0,
+        InstrCost::Compute { seconds, .. }
+        | InstrCost::Memory { seconds }
+        | InstrCost::SyncCollective { seconds } => seconds,
+        // The transfer latency is attributed to the *done*: in the
+        // bottom-up pass this is what pushes the matching start earlier.
+        InstrCost::AsyncStart(_) => 0.0,
+        InstrCost::AsyncDone => 0.0,
+    }
+}
+
+/// Per-instruction latencies as the *simulator* will charge them: fused
+/// non-root members cost nothing at their own position (the engine
+/// executes the whole group at its root), and each fusion root carries
+/// the group's cost. Without this the scheduler would count a fused
+/// `DynamicSlice`'s memory time as overlap opportunity that the executed
+/// program does not actually provide.
+fn effective_latencies(module: &Module, machine: &Machine) -> Vec<f64> {
+    let mut lat: Vec<f64> = module
+        .ids()
+        .into_iter()
+        .map(|id| latency(module, id, machine))
+        .collect();
+    for group in module.fusion_groups() {
+        let total: f64 = group
+            .members
+            .iter()
+            .map(|&m| match instruction_cost(module, m, machine) {
+                InstrCost::Compute { seconds, .. } => seconds,
+                _ => 0.0,
+            })
+            .sum();
+        for &m in &group.members {
+            lat[m.index()] = 0.0;
+        }
+        lat[group.root.index()] = total + machine.op_overhead();
+    }
+    lat
+}
+
+fn done_transfer_latency(module: &Module, id: InstrId, machine: &Machine) -> f64 {
+    let start = module.instr(id).operands()[0];
+    done_transfer_latency_of_start(module, start, machine)
+}
+
+fn done_transfer_latency_of_start(module: &Module, start: InstrId, machine: &Machine) -> f64 {
+    match instruction_cost(module, start, machine) {
+        InstrCost::AsyncStart(t) => t.seconds,
+        _ => 0.0,
+    }
+}
+
+/// The bottom-up scheduler of Algorithm 2.
+///
+/// Instructions are scheduled in reverse, starting from the dataflow
+/// roots. A ready queue prioritizes `CollectivePermuteDone`s (placing
+/// them as close as possible to their first user, i.e. as late as
+/// possible in forward order); the transfer latency attributed to a
+/// scheduled done pushes its `Start`'s reverse-ready time out, so the
+/// scheduler fills the gap with independent compute before placing the
+/// start — which is exactly what makes the transfer overlap. A pending
+/// queue holds instructions whose users are all scheduled but whose
+/// estimated ready time has not been reached; the in-flight asynchronous
+/// budget (`machine.max_inflight_async()`) defers additional dones when
+/// exhausted (footnote 11 of the paper).
+///
+/// Returns a complete topological order (operands precede users).
+///
+/// # Example
+///
+/// ```
+/// use overlap_core::{asyncify, schedule_bottom_up};
+/// use overlap_hlo::{Builder, DType, Shape};
+/// use overlap_mesh::Machine;
+///
+/// let mut b = Builder::new("m", 2);
+/// let x = b.parameter(Shape::new(DType::F32, vec![1024]), "x");
+/// let p = b.collective_permute(x, vec![(0, 1), (1, 0)], "p");
+/// let c = b.copy(p, "c");
+/// let m = asyncify(&b.build(vec![c]));
+///
+/// let order = schedule_bottom_up(&m, &Machine::tpu_v4_like(2));
+/// assert_eq!(order.len(), m.len());
+/// ```
+///
+/// # Panics
+///
+/// Panics if the module fails verification.
+#[must_use]
+pub fn schedule_bottom_up(module: &Module, machine: &Machine) -> Vec<InstrId> {
+    module.verify().expect("schedule requires a verified module");
+    let users = module.users();
+    let n = module.len();
+    let mut unscheduled_users: Vec<usize> = users.iter().map(Vec::len).collect();
+    let mut finish = vec![0.0f64; n];
+    let mut ready_time = vec![0.0f64; n];
+    let mut in_ready: Vec<InstrId> = Vec::new();
+    let mut in_pending: Vec<InstrId> = Vec::new();
+    let mut scheduled = vec![false; n];
+    let mut reverse_seq: Vec<InstrId> = Vec::with_capacity(n);
+    let mut current_time = 0.0f64;
+    let mut inflight_async = 0usize;
+    let budget = machine.max_inflight_async();
+    let effective_lat = effective_latencies(module, machine);
+
+    for id in module.ids() {
+        if unscheduled_users[id.index()] == 0 {
+            ready_time[id.index()] = 0.0;
+            in_ready.push(id);
+        }
+    }
+
+    let is_done = |id: InstrId| matches!(module.instr(id).op(), Op::CollectivePermuteDone);
+    let is_start =
+        |id: InstrId| matches!(module.instr(id).op(), Op::CollectivePermuteStart { .. });
+
+    while !in_ready.is_empty() || !in_pending.is_empty() {
+        // SelectNodeFromReadyQ: prefer dones (budget permitting; they land
+        // as late as possible in forward order), then starts (a start only
+        // becomes ready after the pending queue has delayed it by its
+        // transfer latency, so once ready it should be placed eagerly —
+        // that is what pushes it early in forward order), then the
+        // original order (footnote 10).
+        let pick_from = |queue: &[InstrId], by_ready_time: bool| {
+            let allowed = |id: InstrId| !(is_done(id) && inflight_async >= budget);
+            let class = |id: InstrId| {
+                if is_done(id) {
+                    2u8
+                } else if is_start(id) {
+                    1
+                } else {
+                    0
+                }
+            };
+            let key = |id: InstrId| {
+                if by_ready_time {
+                    // Earliest ready first (pending queue rule).
+                    (-ready_time[id.index()], id.index() as i64)
+                } else {
+                    (0.0, id.index() as i64)
+                }
+            };
+            queue.iter().copied().filter(|&id| allowed(id)).max_by(|&a, &b| {
+                (class(a), key(a))
+                    .partial_cmp(&(class(b), key(b)))
+                    .expect("ordering keys are finite")
+            })
+        };
+
+        let candidate = pick_from(&in_ready, false)
+            .or_else(|| pick_from(&in_pending, true))
+            // Only over-budget dones remain anywhere: take one to
+            // guarantee progress (footnote 11's rare degradation).
+            .or_else(|| in_ready.last().copied())
+            .or_else(|| in_pending.last().copied())
+            .expect("a queue is non-empty");
+        in_ready.retain(|&x| x != candidate);
+        in_pending.retain(|&x| x != candidate);
+
+        debug_assert!(!scheduled[candidate.index()]);
+        scheduled[candidate.index()] = true;
+        reverse_seq.push(candidate);
+        if is_done(candidate) {
+            inflight_async += 1;
+        } else if is_start(candidate) {
+            inflight_async = inflight_async.saturating_sub(1);
+        }
+
+        // Reverse-timeline bookkeeping (Algorithm 2). A done occupies the
+        // stream for ~nothing but its *data* finishes a transfer-latency
+        // later: `current_time` advances by the occupancy while `finish`
+        // carries the latency, so the matching start sits in the pending
+        // queue until enough other work has been scheduled to cover the
+        // transfer — that reverse gap is the forward overlap window.
+        let mut rt = 0.0f64;
+        for &u in &users[candidate.index()] {
+            rt = rt.max(finish[u.index()]);
+        }
+        ready_time[candidate.index()] = rt;
+        let (occupancy, data_latency) = if is_done(candidate) {
+            // Inflate the transfer latency so discretization never places
+            // the start a slot too late — issuing a transfer early is
+            // free, issuing it late exposes it.
+            (0.0, 2.0 * done_transfer_latency(module, candidate, machine))
+        } else {
+            let l = effective_lat[candidate.index()];
+            (l, l)
+        };
+        let base = rt.max(current_time);
+        finish[candidate.index()] = base + data_latency;
+        current_time = base + occupancy;
+
+        // Operands whose users are now all scheduled become available.
+        for &op in module.instr(candidate).operands() {
+            let c = &mut unscheduled_users[op.index()];
+            *c -= 1;
+            if *c == 0 {
+                let mut rt = users[op.index()]
+                    .iter()
+                    .map(|u| finish[u.index()])
+                    .fold(0.0f64, f64::max);
+                if is_start(op) {
+                    // A start must sit in the pending queue for its
+                    // transfer latency measured from *now* — its done's
+                    // recorded finish can be stale when the done's users
+                    // were scheduled long ago in the reverse pass, and an
+                    // immediately-ready start would land adjacent to its
+                    // done in forward order (zero overlap).
+                    let gate = current_time
+                        + 2.0 * done_transfer_latency_of_start(module, op, machine);
+                    rt = rt.max(gate);
+                }
+                ready_time[op.index()] = rt;
+                if rt <= current_time {
+                    in_ready.push(op);
+                } else {
+                    in_pending.push(op);
+                }
+            }
+        }
+        // Promote pending entries that became ready.
+        let (now_ready, still_pending): (Vec<_>, Vec<_>) = in_pending
+            .iter()
+            .copied()
+            .partition(|id| ready_time[id.index()] <= current_time);
+        in_ready.extend(now_ready);
+        in_pending = still_pending;
+    }
+
+    reverse_seq.reverse();
+    reverse_seq
+}
+
+/// The top-down scheduler of §5.2.
+///
+/// Forward greedy list scheduling: among the dependence-ready
+/// instructions, a `CollectivePermuteStart` is always issued first (as
+/// early as possible), a `CollectivePermuteDone` is deferred until
+/// nothing else can run (as late as possible), and everything else keeps
+/// the input order — the input order itself provides the cost
+/// "rebalancing" the paper describes, since the decomposition interleaves
+/// permutes with the partial einsums they should hide behind. When the
+/// in-flight asynchronous budget is exhausted the priorities flip so a
+/// done retires before the next start issues.
+///
+/// Returns a complete topological order (operands precede users).
+///
+/// # Panics
+///
+/// Panics if the module fails verification.
+#[must_use]
+pub fn schedule_top_down(module: &Module, machine: &Machine) -> Vec<InstrId> {
+    module.verify().expect("schedule requires a verified module");
+    let n = module.len();
+    let users = module.users();
+    let mut remaining_deps: Vec<usize> =
+        module.ids().iter().map(|&id| module.instr(id).operands().len()).collect();
+    let mut ready: Vec<InstrId> = module
+        .ids()
+        .into_iter()
+        .filter(|id| remaining_deps[id.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    let mut inflight = 0usize;
+    let budget = machine.max_inflight_async();
+
+    let class = |id: InstrId, inflight: usize| -> u8 {
+        match module.instr(id).op() {
+            Op::CollectivePermuteStart { .. } => {
+                if inflight < budget {
+                    0 // issue ASAP
+                } else {
+                    2
+                }
+            }
+            Op::CollectivePermuteDone => {
+                if inflight < budget {
+                    2 // retire as late as possible
+                } else {
+                    0
+                }
+            }
+            _ => 1,
+        }
+    };
+
+    while !ready.is_empty() {
+        // Lowest class first; ties by original position (input order).
+        let best = ready
+            .iter()
+            .copied()
+            .min_by_key(|&id| (class(id, inflight), id.index()))
+            .expect("ready non-empty");
+        ready.retain(|&x| x != best);
+        match module.instr(best).op() {
+            Op::CollectivePermuteStart { .. } => inflight += 1,
+            Op::CollectivePermuteDone => inflight = inflight.saturating_sub(1),
+            _ => {}
+        }
+        order.push(best);
+        for &u in &users[best.index()] {
+            remaining_deps[u.index()] -= 1;
+            if remaining_deps[u.index()] == 0 {
+                ready.push(u);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "schedule must cover every instruction");
+    order
+}
+
+/// Positions of each instruction in an order (for tests and analyses).
+#[cfg(test)]
+pub(crate) fn positions(order: &[InstrId]) -> HashMap<InstrId, usize> {
+    order.iter().enumerate().map(|(i, &id)| (id, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use overlap_hlo::{Builder, DType, DotDims, Shape};
+    use overlap_sim::simulate_order;
+
+    use super::*;
+
+    fn f32s(dims: &[usize]) -> Shape {
+        Shape::new(DType::F32, dims.to_vec())
+    }
+
+    /// A module with one async transfer and one big independent einsum:
+    /// good schedulers put the start before the einsum and the done after.
+    fn overlap_opportunity() -> (Module, InstrId, InstrId, InstrId) {
+        let mut b = Builder::new("m", 2);
+        let big = b.parameter(f32s(&[2048, 2048]), "big");
+        let w = b.parameter(f32s(&[2048, 2048]), "w");
+        let x = b.parameter(f32s(&[1 << 16]), "x");
+        let s = b.collective_permute_start(x, vec![(0, 1), (1, 0)], "s");
+        let d = b.collective_permute_done(s, "d");
+        let y = b.einsum(big, w, DotDims::matmul(), "y");
+        // The final result consumes both.
+        let yc = b.reshape(y, vec![2048 * 2048], "yc");
+        let dc = b.reshape(d, vec![1 << 16], "dc");
+        let m = b.build(vec![yc, dc]);
+        (m, s, d, y)
+    }
+
+    #[test]
+    fn bottom_up_overlaps_transfer_with_compute() {
+        let (m, s, d, y) = overlap_opportunity();
+        let machine = Machine::tpu_v4_like(2);
+        let order = schedule_bottom_up(&m, &machine);
+        let pos = positions(&order);
+        assert!(pos[&s] < pos[&y], "start should issue before the einsum");
+        assert!(pos[&d] > pos[&y], "done should retire after the einsum");
+        let r = simulate_order(&m, &machine, &order).unwrap();
+        assert_eq!(r.exposed_async_time(), 0.0, "transfer should hide entirely");
+    }
+
+    #[test]
+    fn top_down_overlaps_transfer_with_compute() {
+        let (m, s, d, y) = overlap_opportunity();
+        let machine = Machine::tpu_v4_like(2);
+        let order = schedule_top_down(&m, &machine);
+        let pos = positions(&order);
+        assert!(pos[&s] < pos[&y]);
+        assert!(pos[&d] > pos[&y]);
+        let r = simulate_order(&m, &machine, &order).unwrap();
+        assert_eq!(r.exposed_async_time(), 0.0);
+    }
+
+    #[test]
+    fn schedules_are_complete_topological_orders() {
+        let (m, _, _, _) = overlap_opportunity();
+        let machine = Machine::tpu_v4_like(2);
+        for order in [schedule_bottom_up(&m, &machine), schedule_top_down(&m, &machine)] {
+            assert_eq!(order.len(), m.len());
+            // simulate_order validates topological completeness.
+            simulate_order(&m, &machine, &order).unwrap();
+        }
+    }
+
+    #[test]
+    fn budget_limits_inflight_starts_top_down() {
+        let machine = Machine::tpu_v4_like(2).with_max_inflight_async(1);
+        let mut b = Builder::new("m", 2);
+        let x = b.parameter(f32s(&[64]), "x");
+        let pairs = vec![(0u32, 1u32), (1, 0)];
+        let s1 = b.collective_permute_start(x, pairs.clone(), "s1");
+        let d1 = b.collective_permute_done(s1, "d1");
+        let s2 = b.collective_permute_start(x, pairs, "s2");
+        let d2 = b.collective_permute_done(s2, "d2");
+        let m = b.build(vec![d1, d2]);
+        let order = schedule_top_down(&m, &machine);
+        let pos = positions(&order);
+        // With budget 1, the second start must wait for the first done.
+        assert!(pos[&d1] < pos[&s2] || pos[&d2] < pos[&s1]);
+    }
+
+    #[test]
+    fn bottom_up_handles_modules_without_async() {
+        let mut b = Builder::new("m", 1);
+        let x = b.parameter(f32s(&[8]), "x");
+        let c = b.copy(x, "c");
+        let c2 = b.copy(c, "c2");
+        let m = b.build(vec![c2]);
+        let machine = Machine::tpu_v4_like(1);
+        let order = schedule_bottom_up(&m, &machine);
+        assert_eq!(order, vec![x, c, c2]);
+    }
+}

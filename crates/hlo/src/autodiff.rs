@@ -1,0 +1,361 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! The paper's backward-propagation graphs — where "the AllGathers will
+//! become ReduceScatters" (§2.2) — are produced by the frontend
+//! framework's autodiff. This module provides the same substrate for the
+//! IR's differentiable subset: einsum, elementwise add/sub/mul/neg, copy,
+//! reshape and transpose. [`gradients`] builds a new module that evaluates
+//! the forward value and the cotangents of selected parameters.
+//!
+//! For an einsum `out = Σ_k lhs · rhs`, the cotangent of each operand is
+//! itself an einsum of the output cotangent with the other operand —
+//! contracting over the other operand's free dimensions, keeping batch
+//! dimensions — followed by a transpose back into the operand's layout.
+//! This is exactly why tensor-parallel backward passes contain the
+//! `Einsum → ReduceScatter` patterns §5.1 decomposes.
+
+use crate::{BinaryKind, Builder, DotDims, HloError, InstrId, Module, Op, UnaryKind};
+
+/// A module computing gradients, produced by [`gradients`].
+#[derive(Debug, Clone)]
+pub struct GradModule {
+    /// The module: parameters are the original parameters followed by one
+    /// extra `seed` parameter (the cotangent of the chosen output);
+    /// outputs are the original output followed by one gradient per
+    /// requested parameter, in request order.
+    pub module: Module,
+    /// Id of the forward output inside [`GradModule::module`].
+    pub forward_output: InstrId,
+    /// Ids of the gradients, in request order.
+    pub gradients: Vec<InstrId>,
+}
+
+/// Builds the reverse-mode gradient module of `output` with respect to
+/// `wrt` (which must be parameters of `module`).
+///
+/// The produced module takes the original parameters plus a final `seed`
+/// parameter of the output's shape, and returns
+/// `[output, d⟨seed,output⟩/d wrt[0], …]`. A parameter the output does not
+/// depend on gets a zero gradient.
+///
+/// # Example
+///
+/// ```
+/// use overlap_hlo::{gradients, Builder, DType, DotDims, Shape};
+///
+/// let mut b = Builder::new("m", 1);
+/// let x = b.parameter(Shape::new(DType::F32, vec![4, 8]), "x");
+/// let w = b.parameter(Shape::new(DType::F32, vec![8, 2]), "w");
+/// let y = b.einsum(x, w, DotDims::matmul(), "y");
+/// let m = b.build(vec![y]);
+///
+/// let grad = gradients(&m, y, &[w]).unwrap();
+/// assert_eq!(grad.module.shape_of(grad.gradients[0]).dims(), &[8, 2]);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`HloError::Verification`] if `output`/`wrt` are invalid or
+/// the dataflow between them uses an op outside the differentiable
+/// subset.
+pub fn gradients(
+    module: &Module,
+    output: InstrId,
+    wrt: &[InstrId],
+) -> Result<GradModule, HloError> {
+    module.verify()?;
+    if output.index() >= module.len() {
+        return Err(HloError::Verification(format!("unknown output {output}")));
+    }
+    for &w in wrt {
+        if !matches!(module.instr(w).op(), Op::Parameter { .. }) {
+            return Err(HloError::Verification(format!(
+                "gradient target {} is not a parameter",
+                module.instr(w).name()
+            )));
+        }
+    }
+
+    // Forward copy.
+    let mut b = Builder::new(format!("{}.grad", module.name()), module.num_partitions());
+    let mut fwd: Vec<Option<InstrId>> = vec![None; module.len()];
+    for (id, ins) in module.iter() {
+        let operands = ins
+            .operands()
+            .iter()
+            .map(|o| fwd[o.index()].expect("operands precede users"))
+            .collect();
+        fwd[id.index()] = Some(b.copy_of(module, id, operands));
+    }
+    let forward_output = fwd[output.index()].expect("output mapped");
+    let seed = b.parameter(module.shape_of(output).clone(), "seed");
+
+    // Reverse sweep: accumulate cotangents from users down to operands.
+    let mut cotangent: Vec<Option<InstrId>> = vec![None; module.len()];
+    cotangent[output.index()] = Some(seed);
+    let needed = reachable_to(module, output);
+
+    for id in module.ids().into_iter().rev() {
+        if !needed[id.index()] {
+            continue;
+        }
+        let Some(ct) = cotangent[id.index()] else { continue };
+        let ins = module.instr(id);
+        let mut add_to = |b: &mut Builder, target: InstrId, value: InstrId| {
+            let slot = &mut cotangent[target.index()];
+            *slot = Some(match *slot {
+                None => value,
+                Some(existing) => b.add(existing, value, "grad.acc"),
+            });
+        };
+        match ins.op() {
+            Op::Parameter { .. } | Op::Constant { .. } | Op::ConstantTensor { .. } => {}
+            Op::Copy => add_to(&mut b, ins.operands()[0], ct),
+            Op::Unary(UnaryKind::Neg) => {
+                let v = b.neg(ct, "grad.neg");
+                add_to(&mut b, ins.operands()[0], v);
+            }
+            Op::Unary(UnaryKind::Relu) => {
+                // d relu(x) = ct ∘ step(x).
+                let fx = fwd[ins.operands()[0].index()].expect("mapped");
+                let mask = b.step(fx, "grad.relu_mask");
+                let v = b.mul(ct, mask, "grad.relu");
+                add_to(&mut b, ins.operands()[0], v);
+            }
+            Op::Unary(UnaryKind::Step) => {
+                // The step function is flat almost everywhere.
+            }
+            Op::Binary(BinaryKind::Add) => {
+                add_to(&mut b, ins.operands()[0], ct);
+                add_to(&mut b, ins.operands()[1], ct);
+            }
+            Op::Binary(BinaryKind::Sub) => {
+                add_to(&mut b, ins.operands()[0], ct);
+                let v = b.neg(ct, "grad.neg");
+                add_to(&mut b, ins.operands()[1], v);
+            }
+            Op::Binary(BinaryKind::Mul) => {
+                let r = fwd[ins.operands()[1].index()].expect("mapped");
+                let l = fwd[ins.operands()[0].index()].expect("mapped");
+                let dl = b.mul(ct, r, "grad.mul_l");
+                let dr = b.mul(ct, l, "grad.mul_r");
+                add_to(&mut b, ins.operands()[0], dl);
+                add_to(&mut b, ins.operands()[1], dr);
+            }
+            Op::Reshape => {
+                let src = module.shape_of(ins.operands()[0]);
+                let v = b.reshape(ct, src.dims().to_vec(), "grad.reshape");
+                add_to(&mut b, ins.operands()[0], v);
+            }
+            Op::Transpose { perm } => {
+                let mut inverse = vec![0usize; perm.len()];
+                for (i, &p) in perm.iter().enumerate() {
+                    inverse[p] = i;
+                }
+                let v = b.transpose(ct, inverse, "grad.transpose");
+                add_to(&mut b, ins.operands()[0], v);
+            }
+            Op::Einsum(dims) => {
+                let lhs = ins.operands()[0];
+                let rhs = ins.operands()[1];
+                let fl = fwd[lhs.index()].expect("mapped");
+                let fr = fwd[rhs.index()].expect("mapped");
+                let dl = einsum_operand_grad(&mut b, module, dims, lhs, rhs, ct, fr, true);
+                add_to(&mut b, lhs, dl);
+                let dr = einsum_operand_grad(&mut b, module, dims, lhs, rhs, ct, fl, false);
+                add_to(&mut b, rhs, dr);
+            }
+            other => {
+                return Err(HloError::Verification(format!(
+                    "{}: op {} is outside the differentiable subset",
+                    ins.name(),
+                    other.mnemonic()
+                )))
+            }
+        }
+    }
+
+    let mut grads = Vec::with_capacity(wrt.len());
+    for &w in wrt {
+        let g = match cotangent[w.index()] {
+            Some(g) => g,
+            None => b.zeros(module.shape_of(w).clone(), "grad.zero"),
+        };
+        grads.push(g);
+    }
+    let mut outputs = vec![forward_output];
+    outputs.extend_from_slice(&grads);
+    Ok(GradModule { module: b.build(outputs), forward_output, gradients: grads })
+}
+
+/// Instructions on which `output` (transitively) depends.
+fn reachable_to(module: &Module, output: InstrId) -> Vec<bool> {
+    let mut seen = vec![false; module.len()];
+    let mut stack = vec![output];
+    while let Some(id) = stack.pop() {
+        if seen[id.index()] {
+            continue;
+        }
+        seen[id.index()] = true;
+        stack.extend_from_slice(module.instr(id).operands());
+    }
+    seen
+}
+
+/// Gradient of one einsum operand: `einsum(dOut, other)` contracting over
+/// the other operand's free dimensions, then a transpose back into the
+/// operand's layout.
+#[allow(clippy::too_many_arguments)]
+fn einsum_operand_grad(
+    b: &mut Builder,
+    module: &Module,
+    dims: &DotDims,
+    lhs: InstrId,
+    rhs: InstrId,
+    ct: InstrId,
+    fwd_other: InstrId,
+    wrt_lhs: bool,
+) -> InstrId {
+    let lhs_rank = module.shape_of(lhs).rank();
+    let rhs_rank = module.shape_of(rhs).rank();
+    let batch_len = dims.batch().len();
+    let lhs_free = dims.lhs_free_dims(lhs_rank);
+    let rhs_free = dims.rhs_free_dims(rhs_rank);
+
+    // Pair dOut's batch block with the other operand's batch dims, and
+    // contract dOut's other-free block against the other operand's free
+    // dims.
+    let (other_batch, other_free, other_free_out_offset): (Vec<usize>, Vec<usize>, usize) =
+        if wrt_lhs {
+            (
+                dims.batch().iter().map(|&(_, r)| r).collect(),
+                rhs_free.clone(),
+                batch_len + lhs_free.len(),
+            )
+        } else {
+            (
+                dims.batch().iter().map(|&(l, _)| l).collect(),
+                lhs_free.clone(),
+                batch_len,
+            )
+        };
+    let batch_pairs: Vec<(usize, usize)> =
+        (0..batch_len).map(|i| (i, other_batch[i])).collect();
+    let contract_pairs: Vec<(usize, usize)> = other_free
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (other_free_out_offset + i, d))
+        .collect();
+    let gdims = DotDims::new(batch_pairs, contract_pairs).expect("valid grad dims");
+    let grad = b.einsum(ct, fwd_other, gdims, "grad.einsum");
+
+    // grad layout: [batch…, own-free…, own-contracting (other side order)].
+    // Build the transpose back into the operand's dimension order.
+    let own_rank = if wrt_lhs { lhs_rank } else { rhs_rank };
+    let own_free = if wrt_lhs { &lhs_free } else { &rhs_free };
+    let mut perm = vec![usize::MAX; own_rank];
+    for (own_dim, slot) in perm.iter_mut().enumerate() {
+        let pos = if let Some(i) = (0..batch_len).find(|&i| {
+            let pair = dims.batch()[i];
+            (if wrt_lhs { pair.0 } else { pair.1 }) == own_dim
+        }) {
+            i
+        } else if let Some(i) = own_free.iter().position(|&d| d == own_dim) {
+            batch_len + i
+        } else {
+            let k = dims
+                .contracting()
+                .iter()
+                .position(|&(l, r)| (if wrt_lhs { l } else { r }) == own_dim)
+                .expect("every dim is batch, free or contracting");
+            batch_len + own_free.len() + k
+        };
+        *slot = pos;
+    }
+    if perm.iter().enumerate().all(|(i, &p)| i == p) {
+        grad
+    } else {
+        b.transpose(grad, perm, "grad.layout")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DType, Shape};
+
+    fn f32s(dims: &[usize]) -> Shape {
+        Shape::new(DType::F32, dims.to_vec())
+    }
+
+    #[test]
+    fn matmul_gradients_have_operand_shapes() {
+        let mut b = Builder::new("m", 1);
+        let x = b.parameter(f32s(&[4, 6]), "x");
+        let w = b.parameter(f32s(&[6, 8]), "w");
+        let y = b.einsum(x, w, DotDims::matmul(), "y");
+        let m = b.build(vec![y]);
+        let g = gradients(&m, y, &[x, w]).unwrap();
+        g.module.verify().unwrap();
+        assert_eq!(g.module.shape_of(g.gradients[0]).dims(), &[4, 6]);
+        assert_eq!(g.module.shape_of(g.gradients[1]).dims(), &[6, 8]);
+        // The backward contains two new einsums.
+        assert_eq!(g.module.count_live(|i| matches!(i.op(), Op::Einsum(_))), 3);
+    }
+
+    #[test]
+    fn batch_matmul_gradients_have_operand_shapes() {
+        let mut b = Builder::new("m", 1);
+        let x = b.parameter(f32s(&[3, 4, 6]), "x");
+        let w = b.parameter(f32s(&[3, 6, 2]), "w");
+        let y = b.einsum(x, w, DotDims::batch_matmul(), "y");
+        let m = b.build(vec![y]);
+        let g = gradients(&m, y, &[x, w]).unwrap();
+        g.module.verify().unwrap();
+        assert_eq!(g.module.shape_of(g.gradients[0]).dims(), &[3, 4, 6]);
+        assert_eq!(g.module.shape_of(g.gradients[1]).dims(), &[3, 6, 2]);
+    }
+
+    #[test]
+    fn unused_parameter_gets_zero_gradient() {
+        let mut b = Builder::new("m", 1);
+        let x = b.parameter(f32s(&[4]), "x");
+        let unused = b.parameter(f32s(&[7]), "unused");
+        let y = b.neg(x, "y");
+        let m = b.build(vec![y]);
+        let g = gradients(&m, y, &[x, unused]).unwrap();
+        assert_eq!(g.module.shape_of(g.gradients[1]).dims(), &[7]);
+        let grad_instr = g.module.instr(g.gradients[1]);
+        assert!(matches!(grad_instr.op(), Op::Constant { value } if *value == 0.0));
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // y = x + x: dy/dx = 2 (an Add of two seed contributions).
+        let mut b = Builder::new("m", 1);
+        let x = b.parameter(f32s(&[4]), "x");
+        let y = b.add(x, x, "y");
+        let m = b.build(vec![y]);
+        let g = gradients(&m, y, &[x]).unwrap();
+        let acc = g.module.instr(g.gradients[0]);
+        assert!(matches!(acc.op(), Op::Binary(BinaryKind::Add)));
+    }
+
+    #[test]
+    fn non_differentiable_op_rejected() {
+        let mut b = Builder::new("m", 2);
+        let x = b.parameter(f32s(&[4]), "x");
+        let gph = b.all_gather(x, 0, crate::ReplicaGroups::full(2), "ag");
+        let m = b.build(vec![gph]);
+        assert!(gradients(&m, gph, &[x]).is_err());
+    }
+
+    #[test]
+    fn non_parameter_target_rejected() {
+        let mut b = Builder::new("m", 1);
+        let x = b.parameter(f32s(&[4]), "x");
+        let y = b.neg(x, "y");
+        let m = b.build(vec![y]);
+        assert!(gradients(&m, y, &[y]).is_err());
+    }
+}

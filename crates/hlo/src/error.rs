@@ -1,0 +1,87 @@
+//! Error type for IR construction and verification.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or verifying a [`Module`](crate::Module).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HloError {
+    /// Einsum dimension numbers are malformed or inconsistent with the
+    /// operand shapes.
+    InvalidEinsum(String),
+    /// An instruction references an operand id that does not exist.
+    DanglingOperand {
+        /// Name of the offending instruction.
+        instr: String,
+        /// The missing operand id (raw index).
+        operand: usize,
+    },
+    /// An operand has the wrong shape, dtype or rank for its user.
+    ShapeMismatch {
+        /// Name of the offending instruction.
+        instr: String,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// Replica groups are malformed (empty, duplicated or out-of-range ids,
+    /// or not a partition of the device set).
+    InvalidReplicaGroups(String),
+    /// Collective-permute source/destination pairs are malformed.
+    InvalidPermutePairs(String),
+    /// The graph contains a cycle or a use-before-def ordering violation.
+    NotADag(String),
+    /// A fusion group is malformed (unknown ids, duplicates across groups).
+    InvalidFusion(String),
+    /// Generic verification failure.
+    Verification(String),
+}
+
+impl fmt::Display for HloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HloError::InvalidEinsum(m) => write!(f, "invalid einsum: {m}"),
+            HloError::DanglingOperand { instr, operand } => {
+                write!(f, "instruction {instr} references missing operand %{operand}")
+            }
+            HloError::ShapeMismatch { instr, message } => {
+                write!(f, "shape mismatch at {instr}: {message}")
+            }
+            HloError::InvalidReplicaGroups(m) => write!(f, "invalid replica groups: {m}"),
+            HloError::InvalidPermutePairs(m) => write!(f, "invalid permute pairs: {m}"),
+            HloError::NotADag(m) => write!(f, "graph is not a dag: {m}"),
+            HloError::InvalidFusion(m) => write!(f, "invalid fusion group: {m}"),
+            HloError::Verification(m) => write!(f, "verification failed: {m}"),
+        }
+    }
+}
+
+impl Error for HloError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            HloError::InvalidEinsum("x".into()),
+            HloError::DanglingOperand { instr: "a".into(), operand: 3 },
+            HloError::ShapeMismatch { instr: "a".into(), message: "m".into() },
+            HloError::InvalidReplicaGroups("g".into()),
+            HloError::InvalidPermutePairs("p".into()),
+            HloError::NotADag("c".into()),
+            HloError::InvalidFusion("f".into()),
+            HloError::Verification("v".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HloError>();
+    }
+}

@@ -1,0 +1,81 @@
+//! Text rendering of modules in an HLO-like format.
+
+use std::fmt;
+
+use crate::{Module, Op};
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} (partitions={}) {{", self.name, self.num_partitions)?;
+        let fusion_of = self.fusion_of();
+        for (id, ins) in self.iter() {
+            write!(f, "  {} = {} {}(", ins.name(), ins.shape(), ins.op().mnemonic())?;
+            for (i, o) in ins.operands().iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.instr(*o).name())?;
+            }
+            write!(f, ")")?;
+            match ins.op() {
+                Op::Parameter { index } => write!(f, ", index={index}")?,
+                Op::Constant { value } => write!(f, ", value={value}")?,
+                Op::Einsum(d) => {
+                    write!(f, ", batch={:?}, contracting={:?}", d.batch(), d.contracting())?;
+                }
+                Op::AllGather { dim, groups } | Op::ReduceScatter { dim, groups } => {
+                    write!(f, ", dim={dim}, groups={:?}", groups.groups())?;
+                }
+                Op::AllToAll { split_dim, concat_dim, .. } => {
+                    write!(f, ", split={split_dim}, concat={concat_dim}")?;
+                }
+                Op::CollectivePermute { pairs } | Op::CollectivePermuteStart { pairs } => {
+                    write!(f, ", pairs={pairs:?}")?;
+                }
+                Op::Concatenate { dim } => write!(f, ", dim={dim}")?,
+                Op::DynamicSlice { sizes } => write!(f, ", sizes={sizes:?}")?,
+                Op::Transpose { perm } => write!(f, ", perm={perm:?}")?,
+                _ => {}
+            }
+            if let Some(g) = fusion_of.get(&id) {
+                write!(f, ", fusion=f{}", g.index())?;
+            }
+            if let Some(tag) = ins.tag() {
+                write!(f, ", tag={tag}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "  outputs: ")?;
+        for (i, o) in self.outputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.instr(*o).name())?;
+        }
+        writeln!(f)?;
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Builder, DType, DotDims, ReplicaGroups, Shape};
+
+    #[test]
+    fn printer_includes_key_fields() {
+        let mut b = Builder::new("demo", 2);
+        let x = b.parameter(Shape::new(DType::F32, vec![2, 4]), "x");
+        let w = b.parameter(Shape::new(DType::F32, vec![2, 8]), "w");
+        let wg = b.all_gather(w, 0, ReplicaGroups::full(2), "wg");
+        b.set_tag(Some("lce"));
+        let y = b.einsum(x, wg, DotDims::new(vec![], vec![(1, 0)]).unwrap(), "y");
+        let m = b.build(vec![y]);
+        let text = m.to_string();
+        assert!(text.contains("module demo (partitions=2)"));
+        assert!(text.contains("all-gather"));
+        assert!(text.contains("dim=0"));
+        assert!(text.contains("einsum"));
+        assert!(text.contains("tag=lce"));
+        assert!(text.contains("outputs: y"));
+    }
+}

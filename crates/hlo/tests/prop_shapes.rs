@@ -1,0 +1,87 @@
+//! Property tests for shape and einsum inference invariants.
+
+use overlap_hlo::{DType, DotDims, Shape};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..8, 0..4)
+}
+
+proptest! {
+    /// num_elements is the product of the dims; byte_size scales with the
+    /// element width.
+    #[test]
+    fn shape_size_consistency(dims in small_dims()) {
+        let f32s = Shape::new(DType::F32, dims.clone());
+        let bf16 = Shape::new(DType::BF16, dims.clone());
+        let expect: usize = dims.iter().product();
+        prop_assert_eq!(f32s.num_elements(), expect);
+        prop_assert_eq!(f32s.byte_size(), expect * 4);
+        prop_assert_eq!(bf16.byte_size(), expect * 2);
+    }
+
+    /// Row-major strides: stride[d] * dim[d] == stride[d-1] (for non-empty
+    /// dims), and stride of the last dim is 1.
+    #[test]
+    fn strides_are_row_major(dims in prop::collection::vec(1usize..8, 1..4)) {
+        let s = Shape::new(DType::F32, dims.clone());
+        let strides = s.strides();
+        prop_assert_eq!(strides[dims.len() - 1], 1);
+        for d in 1..dims.len() {
+            prop_assert_eq!(strides[d - 1], strides[d] * dims[d]);
+        }
+    }
+
+    /// Scaling then dividing a dimension round-trips.
+    #[test]
+    fn scale_divide_round_trip(
+        dims in prop::collection::vec(1usize..8, 1..4),
+        factor in 1usize..5,
+    ) {
+        let s = Shape::new(DType::F32, dims);
+        let back = s.with_dim_scaled(0, factor).with_dim_divided(0, factor);
+        prop_assert_eq!(back, s);
+    }
+
+    /// Matmul einsum: output dims are [m, n] and flops are 2·m·n·k.
+    #[test]
+    fn matmul_inference(m in 1usize..32, k in 1usize..32, n in 1usize..32) {
+        let d = DotDims::matmul();
+        let lhs = Shape::new(DType::F32, vec![m, k]);
+        let rhs = Shape::new(DType::F32, vec![k, n]);
+        let out = d.output_shape(&lhs, &rhs).unwrap();
+        prop_assert_eq!(out.dims(), &[m, n]);
+        prop_assert_eq!(d.flops(&lhs, &rhs), (2 * m * k * n) as u64);
+    }
+
+    /// Swapping the operands swaps the free-dimension blocks but keeps the
+    /// element count and flops identical.
+    #[test]
+    fn swapped_preserves_flops(
+        b in 1usize..6, m in 1usize..6, k in 1usize..6, n in 1usize..6,
+    ) {
+        let d = DotDims::batch_matmul();
+        let lhs = Shape::new(DType::F32, vec![b, m, k]);
+        let rhs = Shape::new(DType::F32, vec![b, k, n]);
+        let fwd = d.output_shape(&lhs, &rhs).unwrap();
+        let swp = d.swapped().output_shape(&rhs, &lhs).unwrap();
+        prop_assert_eq!(fwd.num_elements(), swp.num_elements());
+        prop_assert_eq!(d.flops(&lhs, &rhs), d.swapped().flops(&rhs, &lhs));
+    }
+
+    /// Free dims partition the operand dims together with batch/contracting.
+    #[test]
+    fn dim_classification_is_a_partition(rank in 1usize..5) {
+        // Contract dim 0 when possible, batch nothing.
+        let contracting = if rank >= 2 { vec![(0, 0)] } else { vec![] };
+        let d = DotDims::new(vec![], contracting.clone()).unwrap();
+        let free = d.lhs_free_dims(rank);
+        let total = free.len() + contracting.len();
+        prop_assert_eq!(total, rank);
+        for dim in 0..rank {
+            let in_free = free.contains(&dim);
+            let in_contract = d.is_lhs_contracting(dim);
+            prop_assert!(in_free ^ in_contract);
+        }
+    }
+}

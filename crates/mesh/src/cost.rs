@@ -1,0 +1,175 @@
+//! Analytic time estimates for collective operations.
+//!
+//! These closed forms serve two roles:
+//!
+//! * the §5.5 enablement cost model (`comp_t + comm_t >=
+//!   max(comp_t, comm_t_ring) + extra_t`) compares the *original*
+//!   collective time (`comm_t`, bidirectional ring) against the
+//!   *decomposed* sequence time (`comm_t_ring`, one direction only —
+//!   "it utilizes only half of the interconnect bandwidth"),
+//! * the discrete-event simulator charges synchronous collectives using
+//!   the same formulas, so the gate's predictions and the simulator's
+//!   measurements are consistent.
+//!
+//! All functions take the per-group `group_size` and data sizes in bytes,
+//! and return seconds on the given [`Machine`].
+
+use crate::Machine;
+
+/// Time of an original (non-decomposed) `AllGather` over a ring of
+/// `group_size` devices producing `output_bytes` per device.
+///
+/// Uses the standard bidirectional-ring algorithm: `g-1` shards of
+/// `output_bytes/g` arrive over both link directions.
+#[must_use]
+pub fn all_gather_time(machine: &Machine, group_size: usize, output_bytes: usize) -> f64 {
+    ring_collective_time(machine, group_size, output_bytes, 2.0)
+}
+
+/// Time of an original `ReduceScatter` over a ring of `group_size` devices
+/// consuming `input_bytes` per device (the pre-scatter size).
+#[must_use]
+pub fn reduce_scatter_time(machine: &Machine, group_size: usize, input_bytes: usize) -> f64 {
+    ring_collective_time(machine, group_size, input_bytes, 2.0)
+}
+
+/// Time of an `AllReduce` of `bytes` per device over `group_size` devices
+/// (reduce-scatter followed by all-gather).
+#[must_use]
+pub fn all_reduce_time(machine: &Machine, group_size: usize, bytes: usize) -> f64 {
+    reduce_scatter_time(machine, group_size, bytes) + all_gather_time(machine, group_size, bytes)
+}
+
+/// Time of an `AllToAll` of `bytes_per_device` over `group_size` devices.
+///
+/// Torus transit-load model: each device injects `(g-1)/g` of its data,
+/// the average shard travels `Σ axis_size/4` hops (shortest path on the
+/// machine's torus), and every device drives `2·rank` outgoing links (one
+/// per direction per axis). When the group is smaller than the mesh the
+/// hop estimate scales down proportionally.
+#[must_use]
+pub fn all_to_all_time(machine: &Machine, group_size: usize, bytes_per_device: usize) -> f64 {
+    let g = group_size as f64;
+    if group_size <= 1 {
+        return 0.0;
+    }
+    let mesh = machine.mesh();
+    let full: usize = mesh.num_devices();
+    let scale = (group_size as f64 / full as f64).min(1.0);
+    let avg_hops: f64 =
+        mesh.shape().iter().map(|&s| s as f64 / 4.0).sum::<f64>() * scale;
+    let links = (2 * mesh.rank()) as f64;
+    let transit = bytes_per_device as f64 * (g - 1.0) / g * avg_hops.max(0.5);
+    transit / (links * machine.link_bandwidth()) + avg_hops.max(1.0) * machine.hop_latency()
+}
+
+/// Time of one decomposed, single-hop `CollectivePermute` of `shard_bytes`
+/// in **one** link direction (the unidirectional ring step of §5.1).
+#[must_use]
+pub fn collective_permute_time(machine: &Machine, shard_bytes: usize) -> f64 {
+    machine.hop_time(shard_bytes)
+}
+
+/// Total time of the decomposed sequence of `steps` unidirectional
+/// `CollectivePermute`s of `shard_bytes`, executed back to back with no
+/// overlap — the paper's `comm_t_ring`.
+#[must_use]
+pub fn decomposed_ring_time(machine: &Machine, steps: usize, shard_bytes: usize) -> f64 {
+    steps as f64 * collective_permute_time(machine, shard_bytes)
+}
+
+/// Total time of the decomposed **bidirectional** sequence (§5.4.2): each
+/// step moves two half-shards in opposite directions concurrently, so a
+/// `group_size`-way transfer finishes in about half the steps.
+#[must_use]
+pub fn decomposed_bidi_ring_time(machine: &Machine, steps: usize, shard_bytes: usize) -> f64 {
+    steps as f64 * machine.hop_time(shard_bytes / 2)
+}
+
+fn ring_collective_time(
+    machine: &Machine,
+    group_size: usize,
+    full_bytes: usize,
+    directions: f64,
+) -> f64 {
+    if group_size <= 1 {
+        return 0.0;
+    }
+    let g = group_size as f64;
+    let shard = full_bytes as f64 / g;
+    let steps = g - 1.0;
+    steps * shard / (directions * machine.link_bandwidth())
+        + (steps / directions).ceil() * machine.hop_latency()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::tpu_v4_like(16).with_hop_latency(0.0).with_op_overhead(0.0)
+    }
+
+    #[test]
+    fn trivial_groups_are_free() {
+        let m = machine();
+        assert_eq!(all_gather_time(&m, 1, 1 << 20), 0.0);
+        assert_eq!(reduce_scatter_time(&m, 1, 1 << 20), 0.0);
+        assert_eq!(all_to_all_time(&m, 1, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn decomposed_ring_is_twice_the_original() {
+        // §5.5: the unidirectional decomposed sequence uses half the
+        // interconnect bandwidth of the bidirectional original.
+        let m = machine();
+        let g = 8;
+        let bytes = 1 << 24;
+        let original = all_gather_time(&m, g, bytes);
+        let decomposed = decomposed_ring_time(&m, g - 1, bytes / g);
+        assert!((decomposed / original - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bidirectional_recovers_original_bandwidth() {
+        let m = machine();
+        let g = 8;
+        let bytes = 1 << 24;
+        let original = all_gather_time(&m, g, bytes);
+        // Bidirectional: ~g/2 steps, each moving half a shard per direction.
+        let bidi = decomposed_bidi_ring_time(&m, g / 2, bytes / g);
+        assert!(bidi <= original * 1.2, "bidi {bidi} vs original {original}");
+    }
+
+    #[test]
+    fn all_reduce_is_rs_plus_ag() {
+        let m = machine();
+        let t = all_reduce_time(&m, 4, 1 << 20);
+        let expect = reduce_scatter_time(&m, 4, 1 << 20) + all_gather_time(&m, 4, 1 << 20);
+        assert_eq!(t, expect);
+    }
+
+    #[test]
+    fn all_gather_scales_with_bytes_and_group() {
+        let m = machine();
+        assert!(all_gather_time(&m, 8, 2 << 20) > all_gather_time(&m, 8, 1 << 20));
+        // Larger group, same total bytes: more steps of smaller shards, a
+        // bit more total traffic per device ((g-1)/g grows).
+        assert!(all_gather_time(&m, 16, 1 << 20) > all_gather_time(&m, 8, 1 << 20));
+    }
+
+    #[test]
+    fn hop_latency_contributes() {
+        let with_latency = Machine::tpu_v4_like(8).with_hop_latency(1e-5);
+        let without = Machine::tpu_v4_like(8).with_hop_latency(0.0);
+        assert!(
+            all_gather_time(&with_latency, 8, 1 << 10) > all_gather_time(&without, 8, 1 << 10)
+        );
+    }
+
+    #[test]
+    fn all_to_all_grows_with_group() {
+        let m = machine();
+        assert!(all_to_all_time(&m, 16, 1 << 20) > all_to_all_time(&m, 4, 1 << 20));
+    }
+}

@@ -1,0 +1,25 @@
+//! Device meshes, the interconnect/compute machine model, and analytic
+//! collective cost functions.
+//!
+//! Intra-layer model parallelism arranges device partitions into a logical
+//! mesh or torus (§2.2 of the paper). This crate provides:
+//!
+//! * [`DeviceMesh`] — an n-dimensional logical torus of partitions with
+//!   axis subgroups (the `(x)`/`(y)` collectives of Fig. 3) and ring
+//!   circular-shift pair construction (§5.1, Figs. 6/7),
+//! * [`Machine`] — a TPU-v4-pod-like machine model: per-chip peak FLOPS,
+//!   a matmul efficiency curve, per-link per-direction ICI bandwidth and
+//!   hop latency, and the in-flight asynchronous-collective budget
+//!   (the "synchronization flags" of §5.2),
+//! * [`cost`] — closed-form time estimates for the collectives, used both
+//!   by the §5.5 enablement cost model and by the discrete-event simulator.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cost;
+mod machine;
+mod mesh;
+
+pub use machine::{Machine, MatmulEfficiency};
+pub use mesh::{shift_pairs, Axis, DeviceMesh};

@@ -1,0 +1,342 @@
+//! Machine model: compute and interconnect parameters.
+
+use crate::DeviceMesh;
+
+/// Matmul efficiency curve: the achievable fraction of peak FLOPS for a
+/// given einsum shape.
+///
+/// Systolic-array accelerators lose efficiency when an operand dimension
+/// does not fill the MXU tile (TPU: 128×128): a dimension of size `d`
+/// occupies `ceil(d/tile)` tiles but only fills `d/ (ceil(d/tile)*tile)` of
+/// them. The product of the per-dimension fill fractions, scaled by a base
+/// efficiency for large shapes, reproduces why "narrower" models (GLaM,
+/// BigSSL in §6.1) see lower utilization than the big dense LLMs.
+///
+/// # Example
+///
+/// ```
+/// use overlap_mesh::MatmulEfficiency;
+/// let eff = MatmulEfficiency::new(0.9, 128);
+/// assert!((eff.efficiency(4096, 4096, 4096) - 0.9).abs() < 1e-12);
+/// assert!(eff.efficiency(64, 4096, 4096) < 0.5); // half-filled tile
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatmulEfficiency {
+    base: f64,
+    tile: usize,
+}
+
+impl MatmulEfficiency {
+    /// Creates a curve with the given large-shape base efficiency and MXU
+    /// tile size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not in `(0, 1]` or `tile == 0`.
+    #[must_use]
+    pub fn new(base: f64, tile: usize) -> Self {
+        assert!(base > 0.0 && base <= 1.0, "base efficiency must be in (0,1]");
+        assert!(tile > 0, "tile must be positive");
+        MatmulEfficiency { base, tile }
+    }
+
+    fn fill(self, d: u64) -> f64 {
+        if d == 0 {
+            return 0.0;
+        }
+        let tile = self.tile as u64;
+        let tiles = d.div_ceil(tile);
+        d as f64 / (tiles * tile) as f64
+    }
+
+    /// Achievable fraction of peak for an `m × k · k × n` contraction
+    /// (batch dimensions folded into `m`).
+    #[must_use]
+    pub fn efficiency(self, m: u64, n: u64, k: u64) -> f64 {
+        self.base * self.fill(m) * self.fill(n) * self.fill(k)
+    }
+}
+
+/// A TPU-v4-pod-like machine: a [`DeviceMesh`] of identical chips with a
+/// peak-FLOPS/efficiency compute model and a per-link, per-direction ICI
+/// interconnect model.
+///
+/// All times are in seconds, bandwidths in bytes/second, compute rates in
+/// FLOP/second. The constructor [`Machine::tpu_v4_like`] picks constants
+/// that give paper-shaped (not paper-exact) results; every parameter has a
+/// `with_*` override for sensitivity studies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    mesh: DeviceMesh,
+    peak_flops: f64,
+    efficiency: MatmulEfficiency,
+    link_bandwidth: f64,
+    hop_latency: f64,
+    hbm_bandwidth: f64,
+    op_overhead: f64,
+    max_inflight_async: usize,
+    dma_interference: f64,
+}
+
+impl Machine {
+    /// A machine resembling a slice of a TPU v4 pod with `num_chips` chips
+    /// arranged as a near-square 2-D logical mesh.
+    ///
+    /// Constants: 275 TFLOP/s bf16 peak per chip, 0.9 base matmul
+    /// efficiency over 128×128 tiles, 90 GB/s effective bandwidth per
+    /// logical-mesh-axis hop per direction (a logical axis of the 2-D mesh
+    /// maps onto roughly two physical links of the TPU v4 3-D torus),
+    /// 1 µs hop latency, 1.2 TB/s HBM bandwidth, 1 µs per-op overhead, an
+    /// in-flight asynchronous-collective budget of 32 and a 30%
+    /// DMA/compute interference factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chips == 0`.
+    #[must_use]
+    pub fn tpu_v4_like(num_chips: usize) -> Self {
+        Machine::with_mesh(DeviceMesh::square_ish(num_chips))
+    }
+
+    /// A machine resembling an NVLink-connected GPU cluster (§7.2: "the
+    /// idea can be applied to other hardware ML systems, such as GPU
+    /// clusters connected via high-bandwidth and low-latency NVLink
+    /// Network interconnects"): H100-like 990 TFLOP/s bf16 peak, 0.75
+    /// base matmul efficiency, 225 GB/s effective per-logical-axis
+    /// bandwidth per direction, 2 µs hop latency, 3.35 TB/s HBM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chips == 0`.
+    #[must_use]
+    pub fn gpu_cluster_like(num_chips: usize) -> Self {
+        Machine::with_mesh(DeviceMesh::square_ish(num_chips))
+            .with_peak_flops(990e12)
+            .with_efficiency(MatmulEfficiency::new(0.75, 128))
+            .with_link_bandwidth(225e9)
+            .with_hop_latency(2e-6)
+            .with_hbm_bandwidth(3.35e12)
+    }
+
+    /// Same constants as [`Machine::tpu_v4_like`] but with an explicit
+    /// mesh shape.
+    #[must_use]
+    pub fn with_mesh(mesh: DeviceMesh) -> Self {
+        Machine {
+            mesh,
+            peak_flops: 275e12,
+            efficiency: MatmulEfficiency::new(0.9, 128),
+            link_bandwidth: 90e9,
+            hop_latency: 1e-6,
+            hbm_bandwidth: 1.2e12,
+            op_overhead: 1e-6,
+            max_inflight_async: 32,
+            dma_interference: 0.30,
+        }
+    }
+
+    /// The logical device mesh.
+    #[must_use]
+    pub fn mesh(&self) -> &DeviceMesh {
+        &self.mesh
+    }
+
+    /// Peak FLOP/s per chip.
+    #[must_use]
+    pub fn peak_flops(&self) -> f64 {
+        self.peak_flops
+    }
+
+    /// The matmul efficiency curve.
+    #[must_use]
+    pub fn efficiency(&self) -> MatmulEfficiency {
+        self.efficiency
+    }
+
+    /// Per-link per-direction ICI bandwidth, bytes/s.
+    #[must_use]
+    pub fn link_bandwidth(&self) -> f64 {
+        self.link_bandwidth
+    }
+
+    /// Per-hop transfer latency, seconds.
+    #[must_use]
+    pub fn hop_latency(&self) -> f64 {
+        self.hop_latency
+    }
+
+    /// HBM bandwidth (memory-bound elementwise ops), bytes/s.
+    #[must_use]
+    pub fn hbm_bandwidth(&self) -> f64 {
+        self.hbm_bandwidth
+    }
+
+    /// Fixed per-instruction overhead, seconds.
+    #[must_use]
+    pub fn op_overhead(&self) -> f64 {
+        self.op_overhead
+    }
+
+    /// Maximum number of in-flight asynchronous collectives (the
+    /// synchronization-flag budget of §5.2).
+    #[must_use]
+    pub fn max_inflight_async(&self) -> usize {
+        self.max_inflight_async
+    }
+
+    /// Fractional slowdown of compute while an asynchronous transfer is in
+    /// flight: the DMA engines steal HBM bandwidth from the cores, so
+    /// overlapped compute does not run at full speed. This is what keeps
+    /// overlapped utilization below the no-communication ideal.
+    #[must_use]
+    pub fn dma_interference(&self) -> f64 {
+        self.dma_interference
+    }
+
+    /// Overrides the DMA/compute interference factor.
+    #[must_use]
+    pub fn with_dma_interference(mut self, v: f64) -> Self {
+        self.dma_interference = v;
+        self
+    }
+
+    /// Overrides the peak FLOP/s.
+    #[must_use]
+    pub fn with_peak_flops(mut self, v: f64) -> Self {
+        self.peak_flops = v;
+        self
+    }
+
+    /// Overrides the efficiency curve.
+    #[must_use]
+    pub fn with_efficiency(mut self, v: MatmulEfficiency) -> Self {
+        self.efficiency = v;
+        self
+    }
+
+    /// Overrides the per-link per-direction bandwidth.
+    #[must_use]
+    pub fn with_link_bandwidth(mut self, v: f64) -> Self {
+        self.link_bandwidth = v;
+        self
+    }
+
+    /// Overrides the hop latency.
+    #[must_use]
+    pub fn with_hop_latency(mut self, v: f64) -> Self {
+        self.hop_latency = v;
+        self
+    }
+
+    /// Overrides the HBM bandwidth.
+    #[must_use]
+    pub fn with_hbm_bandwidth(mut self, v: f64) -> Self {
+        self.hbm_bandwidth = v;
+        self
+    }
+
+    /// Overrides the per-instruction overhead.
+    #[must_use]
+    pub fn with_op_overhead(mut self, v: f64) -> Self {
+        self.op_overhead = v;
+        self
+    }
+
+    /// Overrides the in-flight async budget.
+    #[must_use]
+    pub fn with_max_inflight_async(mut self, v: usize) -> Self {
+        self.max_inflight_async = v;
+        self
+    }
+
+    /// Time to execute an einsum with the given total FLOPs and effective
+    /// `m, n, k` extents on one chip.
+    #[must_use]
+    pub fn einsum_time(&self, flops: u64, m: u64, n: u64, k: u64) -> f64 {
+        if flops == 0 {
+            return self.op_overhead;
+        }
+        let eff = self.efficiency.efficiency(m, n, k).max(1e-3);
+        flops as f64 / (self.peak_flops * eff) + self.op_overhead
+    }
+
+    /// Time for a memory-bound op moving `bytes` through HBM.
+    #[must_use]
+    pub fn memory_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.hbm_bandwidth + self.op_overhead
+    }
+
+    /// Time to move `bytes` across one ICI hop in one direction.
+    #[must_use]
+    pub fn hop_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.link_bandwidth + self.hop_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_curve() {
+        let e = MatmulEfficiency::new(0.9, 128);
+        assert!((e.efficiency(128, 128, 128) - 0.9).abs() < 1e-12);
+        assert!((e.efficiency(64, 128, 128) - 0.45).abs() < 1e-12);
+        // 129 occupies two tiles, just over half-filled.
+        let f = e.efficiency(129, 128, 128);
+        assert!(f > 0.45 && f < 0.46);
+        assert_eq!(e.efficiency(0, 128, 128), 0.0);
+    }
+
+    #[test]
+    fn machine_times_monotone() {
+        let m = Machine::tpu_v4_like(4);
+        let t1 = m.einsum_time(1 << 30, 1024, 1024, 1024);
+        let t2 = m.einsum_time(1 << 31, 1024, 1024, 1024);
+        assert!(t2 > t1);
+        assert!(m.hop_time(1 << 20) > m.hop_time(1 << 10));
+        assert!(m.memory_time(1 << 20) > 0.0);
+    }
+
+    #[test]
+    fn small_dims_slower_per_flop() {
+        let m = Machine::tpu_v4_like(4);
+        let flops = 1u64 << 30;
+        let wide = m.einsum_time(flops, 4096, 4096, 4096);
+        let narrow = m.einsum_time(flops, 32, 4096, 4096);
+        assert!(narrow > 2.0 * wide);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let m = Machine::tpu_v4_like(2)
+            .with_peak_flops(1e12)
+            .with_link_bandwidth(1e9)
+            .with_hop_latency(5e-6)
+            .with_hbm_bandwidth(1e11)
+            .with_op_overhead(0.0)
+            .with_max_inflight_async(4);
+        assert_eq!(m.peak_flops(), 1e12);
+        assert_eq!(m.link_bandwidth(), 1e9);
+        assert_eq!(m.hop_latency(), 5e-6);
+        assert_eq!(m.hbm_bandwidth(), 1e11);
+        assert_eq!(m.op_overhead(), 0.0);
+        assert_eq!(m.max_inflight_async(), 4);
+    }
+
+    #[test]
+    fn gpu_preset_differs_from_tpu() {
+        let gpu = Machine::gpu_cluster_like(8);
+        let tpu = Machine::tpu_v4_like(8);
+        assert!(gpu.peak_flops() > tpu.peak_flops());
+        assert!(gpu.link_bandwidth() > tpu.link_bandwidth());
+        assert!(gpu.hbm_bandwidth() > tpu.hbm_bandwidth());
+        assert_eq!(gpu.mesh().num_devices(), 8);
+    }
+
+    #[test]
+    fn zero_flop_einsum_costs_overhead_only() {
+        let m = Machine::tpu_v4_like(1);
+        assert_eq!(m.einsum_time(0, 0, 0, 0), m.op_overhead());
+    }
+}

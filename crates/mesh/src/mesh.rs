@@ -1,0 +1,272 @@
+//! Logical device meshes and torus rings.
+
+use std::fmt;
+
+use overlap_hlo::ReplicaGroups;
+
+/// Index of a mesh axis. Following the paper's Fig. 3 convention, axis 0 is
+/// `x` and axis 1 is `y` for a 2-D mesh of shape `[M, N]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Axis(pub usize);
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "axis{}", self.0)
+    }
+}
+
+/// An n-dimensional logical torus of device partitions.
+///
+/// Partition ids are assigned in row-major order over the mesh
+/// coordinates. Every axis forms rings (wrapping last→first), which is how
+/// the decomposed collectives of §5 transfer shards.
+///
+/// # Example
+///
+/// ```
+/// use overlap_mesh::{Axis, DeviceMesh};
+/// let mesh = DeviceMesh::new(vec![2, 4]); // [M=2, N=4]
+/// assert_eq!(mesh.num_devices(), 8);
+/// assert_eq!(mesh.coords(5), vec![1, 1]);
+/// assert_eq!(mesh.device_at(&[1, 1]), 5);
+/// // The y-axis groups: two rings of 4 devices each.
+/// let g = mesh.axis_groups(Axis(1));
+/// assert_eq!(g.num_groups(), 2);
+/// assert_eq!(g.group_size(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceMesh {
+    shape: Vec<usize>,
+}
+
+impl DeviceMesh {
+    /// Creates a mesh with the given axis sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty or any axis has size 0.
+    #[must_use]
+    pub fn new(shape: Vec<usize>) -> Self {
+        assert!(!shape.is_empty(), "mesh needs at least one axis");
+        assert!(shape.iter().all(|&s| s > 0), "mesh axes must be non-empty");
+        DeviceMesh { shape }
+    }
+
+    /// A 1-D ring of `n` devices.
+    #[must_use]
+    pub fn ring(n: usize) -> Self {
+        DeviceMesh::new(vec![n])
+    }
+
+    /// A near-square 2-D mesh of `n` devices (`n` must factor as `M*N`
+    /// with `M <= N` both as close as possible; powers of two always work).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn square_ish(n: usize) -> Self {
+        assert!(n > 0);
+        let mut m = (n as f64).sqrt().floor() as usize;
+        while m > 1 && !n.is_multiple_of(m) {
+            m -= 1;
+        }
+        DeviceMesh::new(vec![m.max(1), n / m.max(1)])
+    }
+
+    /// The axis sizes.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Size of one axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axis is out of range.
+    #[must_use]
+    pub fn axis_size(&self, axis: Axis) -> usize {
+        self.shape[axis.0]
+    }
+
+    /// Total number of devices.
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Mesh coordinates of a partition id (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    #[must_use]
+    pub fn coords(&self, pid: u32) -> Vec<usize> {
+        assert!((pid as usize) < self.num_devices(), "pid {pid} out of range");
+        let mut rest = pid as usize;
+        let mut coords = vec![0usize; self.rank()];
+        for d in (0..self.rank()).rev() {
+            coords[d] = rest % self.shape[d];
+            rest /= self.shape[d];
+        }
+        coords
+    }
+
+    /// Partition id at the given mesh coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    #[must_use]
+    pub fn device_at(&self, coords: &[usize]) -> u32 {
+        assert_eq!(coords.len(), self.rank(), "coordinate arity");
+        let mut pid = 0usize;
+        for (d, &c) in coords.iter().enumerate() {
+            assert!(c < self.shape[d], "coordinate {c} out of range on axis {d}");
+            pid = pid * self.shape[d] + c;
+        }
+        pid as u32
+    }
+
+    /// Replica groups that vary along `axis` with all other coordinates
+    /// fixed — the subgroup collectives annotated `(x)`/`(y)` in Fig. 3.
+    ///
+    /// Each group lists its members in increasing axis coordinate, which is
+    /// also the ring order used by [`shift_pairs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the axis is out of range.
+    #[must_use]
+    pub fn axis_groups(&self, axis: Axis) -> ReplicaGroups {
+        assert!(axis.0 < self.rank(), "{axis} out of range");
+        let n = self.num_devices();
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        let mut assigned = vec![false; n];
+        for pid in 0..n as u32 {
+            if assigned[pid as usize] {
+                continue;
+            }
+            let base = self.coords(pid);
+            let mut group = Vec::with_capacity(self.shape[axis.0]);
+            for c in 0..self.shape[axis.0] {
+                let mut coords = base.clone();
+                coords[axis.0] = c;
+                let member = self.device_at(&coords);
+                assigned[member as usize] = true;
+                group.push(member);
+            }
+            groups.push(group);
+        }
+        ReplicaGroups::new(groups).expect("axis groups are a valid partition by construction")
+    }
+
+    /// A single group over all devices, ordered by partition id.
+    #[must_use]
+    pub fn full_groups(&self) -> ReplicaGroups {
+        ReplicaGroups::full(self.num_devices())
+    }
+}
+
+impl fmt::Display for DeviceMesh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mesh{:?}", self.shape)
+    }
+}
+
+/// Circular-shift source→destination pairs within each replica group.
+///
+/// Element `i` of each group sends to element `(i + step).rem_euclid(g)`.
+/// The looped collective-einsum's left shift (§5.1: `{0,N-1}, {1,0}, …`)
+/// is `step = -1`; the bidirectional variant (§5.4.2) also uses `step = 1`.
+///
+/// # Example
+///
+/// ```
+/// use overlap_hlo::ReplicaGroups;
+/// use overlap_mesh::shift_pairs;
+/// let g = ReplicaGroups::full(4);
+/// assert_eq!(shift_pairs(&g, -1), vec![(0, 3), (1, 0), (2, 1), (3, 2)]);
+/// assert_eq!(shift_pairs(&g, 1), vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// ```
+#[must_use]
+pub fn shift_pairs(groups: &ReplicaGroups, step: i64) -> Vec<(u32, u32)> {
+    let g = groups.group_size() as i64;
+    let mut pairs = Vec::with_capacity(groups.num_groups() * groups.group_size());
+    for group in groups.groups() {
+        for (i, &src) in group.iter().enumerate() {
+            let j = (i as i64 + step).rem_euclid(g) as usize;
+            pairs.push((src, group[j]));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let mesh = DeviceMesh::new(vec![3, 4, 5]);
+        for pid in 0..mesh.num_devices() as u32 {
+            assert_eq!(mesh.device_at(&mesh.coords(pid)), pid);
+        }
+    }
+
+    #[test]
+    fn square_ish_factors() {
+        assert_eq!(DeviceMesh::square_ish(64).shape(), &[8, 8]);
+        assert_eq!(DeviceMesh::square_ish(128).shape(), &[8, 16]);
+        assert_eq!(DeviceMesh::square_ish(12).shape(), &[3, 4]);
+        assert_eq!(DeviceMesh::square_ish(7).shape(), &[1, 7]);
+        assert_eq!(DeviceMesh::square_ish(1).shape(), &[1, 1]);
+    }
+
+    #[test]
+    fn axis_groups_2d() {
+        let mesh = DeviceMesh::new(vec![2, 3]);
+        // pids: (0,0)=0 (0,1)=1 (0,2)=2 (1,0)=3 (1,1)=4 (1,2)=5
+        let x = mesh.axis_groups(Axis(0));
+        assert_eq!(x.groups(), &[vec![0, 3], vec![1, 4], vec![2, 5]]);
+        let y = mesh.axis_groups(Axis(1));
+        assert_eq!(y.groups(), &[vec![0, 1, 2], vec![3, 4, 5]]);
+        x.validate(6).unwrap();
+        y.validate(6).unwrap();
+    }
+
+    #[test]
+    fn shift_pairs_left_matches_paper() {
+        // §5.1: {0,N-1}, {1,0}, {2,1}, ... {N-1,N-2}
+        let g = ReplicaGroups::full(4);
+        assert_eq!(shift_pairs(&g, -1), vec![(0, 3), (1, 0), (2, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn shift_pairs_subgroups() {
+        let mesh = DeviceMesh::new(vec![2, 2]);
+        let g = mesh.axis_groups(Axis(1)); // [[0,1],[2,3]]
+        assert_eq!(shift_pairs(&g, -1), vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
+    }
+
+    #[test]
+    fn ring_is_1d() {
+        let r = DeviceMesh::ring(8);
+        assert_eq!(r.rank(), 1);
+        assert_eq!(r.axis_size(Axis(0)), 8);
+        assert_eq!(r.full_groups().group_size(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_pid_panics() {
+        let _ = DeviceMesh::ring(2).coords(2);
+    }
+}

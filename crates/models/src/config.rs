@@ -1,0 +1,142 @@
+//! Model configurations.
+
+use overlap_hlo::Module;
+use overlap_mesh::{DeviceMesh, Machine};
+
+use crate::layer::build_layer_module;
+
+/// Architecture family of an evaluated model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// Dense decoder-only language model (GPT, Meena).
+    Decoder,
+    /// Dense encoder (the MLPerf BERT submission).
+    Encoder,
+    /// Encoder–decoder (T5): adds a backward `AllToAll` residue.
+    EncoderDecoder,
+    /// Sparse mixture-of-experts (GLaM): `AllToAll`s around the FFN.
+    MoE {
+        /// Number of experts.
+        experts: usize,
+    },
+    /// Speech model (BigSSL): 1-D partitioning.
+    Speech,
+}
+
+/// Which §2.2 partitioning strategy the model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// One partitioned dimension (Fig. 2), over a ring.
+    OneD,
+    /// Two partitioned dimensions (Fig. 3), over a 2-D mesh.
+    TwoD,
+}
+
+/// One evaluated model: the published hyperparameters of Table 1/Table 2
+/// plus the modeling knobs needed to build its layer graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Display name (e.g. `"GPT_1T"`).
+    pub name: String,
+    /// Approximate parameter count (for reporting only).
+    pub params: f64,
+    /// Number of layers.
+    pub layers: usize,
+    /// Model (bottleneck) dimension.
+    pub model_dim: usize,
+    /// Feedforward dimension.
+    pub ff_dim: usize,
+    /// Batch size (sequences) from the paper's tables.
+    pub batch: usize,
+    /// Tokens per sequence — the paper does not publish this; 1024 is
+    /// used throughout so token counts are comparable across models.
+    pub seq_len: usize,
+    /// Number of TPU chips.
+    pub chips: usize,
+    /// Architecture family.
+    pub arch: Arch,
+    /// Partitioning strategy.
+    pub strategy: PartitionStrategy,
+}
+
+impl ModelConfig {
+    /// Total tokens processed per step.
+    #[must_use]
+    pub fn tokens(&self) -> usize {
+        self.batch * self.seq_len
+    }
+
+    /// The logical device mesh this model is partitioned over.
+    ///
+    /// 2-D models use a near-square mesh over all chips; BigSSL's 1-D
+    /// strategy uses its 8-way model-parallel ring (the remaining
+    /// data-parallel factor divides the tokens instead).
+    #[must_use]
+    pub fn mesh(&self) -> DeviceMesh {
+        match self.strategy {
+            PartitionStrategy::TwoD => DeviceMesh::square_ish(self.chips),
+            PartitionStrategy::OneD => DeviceMesh::ring(8),
+        }
+    }
+
+    /// Tokens per model-parallel replica (differs from [`tokens`] only for
+    /// the 1-D strategy, where the data-parallel factor divides the
+    /// batch).
+    ///
+    /// [`tokens`]: ModelConfig::tokens
+    #[must_use]
+    pub fn tokens_per_replica(&self) -> usize {
+        match self.strategy {
+            PartitionStrategy::TwoD => self.tokens(),
+            PartitionStrategy::OneD => {
+                let replicas = (self.chips / 8).max(1);
+                (self.tokens() / replicas).max(8)
+            }
+        }
+    }
+
+    /// A TPU-v4-pod-like machine matching this model's mesh.
+    #[must_use]
+    pub fn machine(&self) -> Machine {
+        Machine::with_mesh(self.mesh())
+    }
+
+    /// Builds the one-layer (forward + backward) step module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hyperparameters do not divide by the mesh (the
+    /// published configurations all do).
+    #[must_use]
+    pub fn layer_module(&self) -> Module {
+        build_layer_module(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table1_models;
+
+    #[test]
+    fn meshes_cover_chips() {
+        for m in table1_models() {
+            match m.strategy {
+                PartitionStrategy::TwoD => {
+                    assert_eq!(m.mesh().num_devices(), m.chips, "{}", m.name);
+                }
+                PartitionStrategy::OneD => assert_eq!(m.mesh().num_devices(), 8),
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_scale_with_batch() {
+        let models = table1_models();
+        let gpt = models.iter().find(|m| m.name == "GPT_1T").unwrap();
+        assert_eq!(gpt.tokens(), gpt.batch * gpt.seq_len);
+        assert_eq!(gpt.tokens_per_replica(), gpt.tokens());
+        let bigssl = models.iter().find(|m| m.name == "BigSSL_10B").unwrap();
+        assert!(bigssl.tokens_per_replica() < bigssl.tokens());
+    }
+}

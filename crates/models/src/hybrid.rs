@@ -1,0 +1,181 @@
+//! Hybrid parallelism analysis (§7.3).
+//!
+//! The paper argues that cheapening intra-layer communication "changes
+//! the performance trade-offs between different types of parallelism".
+//! This module makes that concrete: for a fixed chip budget, it sweeps
+//! the split between GPipe-style pipeline stages and intra-layer (tensor)
+//! parallel groups, computing the synchronous-pipeline step time
+//!
+//! ```text
+//! step = stage_time × (microbatches + stages − 1)
+//! ```
+//!
+//! where `stage_time` is the simulated per-layer time (baseline or
+//! overlapped) times the layers per stage, and the pipeline is flushed
+//! each batch (strict weight-update semantics, as §7.3 requires for
+//! synchronous training).
+
+use overlap_hlo::HloError;
+use overlap_mesh::Machine;
+
+use crate::{ModelConfig, PartitionStrategy};
+
+/// One point of the pipeline×tensor sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridPoint {
+    /// Pipeline stages.
+    pub stages: usize,
+    /// Chips per stage (the intra-layer model-parallel group).
+    pub tensor_chips: usize,
+    /// Per-microbatch stage time, seconds.
+    pub stage_time: f64,
+    /// Bubble fraction `(S-1)/(M+S-1)`.
+    pub bubble_fraction: f64,
+    /// End-to-end step time, seconds.
+    pub step_time: f64,
+}
+
+/// Sweep of pipeline/tensor splits for one model at a fixed chip budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridSweep {
+    /// Sweep points in increasing stage count.
+    pub points: Vec<HybridPoint>,
+}
+
+impl HybridSweep {
+    /// The point with the smallest step time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is empty.
+    #[must_use]
+    pub fn best(&self) -> &HybridPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| a.step_time.partial_cmp(&b.step_time).expect("finite"))
+            .expect("sweep is non-empty")
+    }
+}
+
+/// Evaluates the pipeline×tensor trade-off for `cfg`'s model shape with
+/// `microbatches` per batch, using `layer_time` to obtain the simulated
+/// per-layer time on a given tensor-parallel machine (the caller passes a
+/// closure running either the baseline or the overlapped simulation).
+///
+/// Stage counts divide both the chip budget and the layer count; at
+/// least 2 chips remain per stage so intra-layer parallelism exists.
+///
+/// # Errors
+///
+/// Propagates any error from `layer_time`.
+pub fn sweep_hybrid<F>(
+    cfg: &ModelConfig,
+    microbatches: usize,
+    mut layer_time: F,
+) -> Result<HybridSweep, HloError>
+where
+    F: FnMut(&ModelConfig, &Machine) -> Result<f64, HloError>,
+{
+    assert_eq!(
+        cfg.strategy,
+        PartitionStrategy::TwoD,
+        "hybrid sweep models the 2-D strategy"
+    );
+    let mut points = Vec::new();
+    let mut stages = 1usize;
+    while stages <= cfg.layers && cfg.chips / stages >= 4 {
+        if cfg.layers.is_multiple_of(stages) && cfg.chips.is_multiple_of(stages) {
+            let tensor_chips = cfg.chips / stages;
+            // Each microbatch carries batch/microbatches sequences.
+            let mut stage_cfg = cfg.clone();
+            stage_cfg.chips = tensor_chips;
+            stage_cfg.batch = (cfg.batch / microbatches).max(1);
+            let machine = stage_cfg.machine();
+            let per_layer = layer_time(&stage_cfg, &machine)?;
+            let layers_per_stage = cfg.layers / stages;
+            let stage_time = per_layer * layers_per_stage as f64;
+            let m = microbatches as f64;
+            let s = stages as f64;
+            let step_time = stage_time * (m + s - 1.0);
+            points.push(HybridPoint {
+                stages,
+                tensor_chips,
+                stage_time,
+                bubble_fraction: (s - 1.0) / (m + s - 1.0),
+                step_time,
+            });
+        }
+        stages *= 2;
+    }
+    Ok(HybridSweep { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Arch;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig {
+            name: "hybrid_test".into(),
+            params: 0.0,
+            layers: 16,
+            model_dim: 1024,
+            ff_dim: 4096,
+            batch: 256,
+            seq_len: 32,
+            chips: 64,
+            arch: Arch::Decoder,
+            strategy: PartitionStrategy::TwoD,
+        }
+    }
+
+    #[test]
+    fn sweep_produces_divisible_splits() {
+        let sweep = sweep_hybrid(&cfg(), 8, |c, _m| Ok(c.chips as f64 * 1e-6)).unwrap();
+        assert!(!sweep.points.is_empty());
+        for p in &sweep.points {
+            assert_eq!(p.stages * p.tensor_chips, 64);
+            assert_eq!(16 % p.stages, 0);
+            assert!(p.bubble_fraction < 1.0);
+        }
+    }
+
+    #[test]
+    fn bubbles_grow_with_stage_count() {
+        let sweep = sweep_hybrid(&cfg(), 8, |_c, _m| Ok(1e-6)).unwrap();
+        for w in sweep.points.windows(2) {
+            assert!(w[0].bubble_fraction <= w[1].bubble_fraction);
+        }
+    }
+
+    #[test]
+    fn best_picks_minimum() {
+        // Perfectly scaling per-layer time (t = K / chips): pipelining
+        // only adds bubbles, so 1 stage wins.
+        let sweep = sweep_hybrid(&cfg(), 8, |c, _m| Ok(1e-3 / c.chips as f64)).unwrap();
+        assert_eq!(sweep.best().stages, 1);
+        // Constant per-layer time (tensor parallelism buys nothing):
+        // pipelining shrinks the per-stage work, so the deepest pipeline
+        // wins despite the bubbles.
+        let flat = sweep_hybrid(&cfg(), 8, |_c, _m| Ok(1e-6)).unwrap();
+        assert_eq!(flat.best().stages, flat.points.last().unwrap().stages);
+    }
+
+    #[test]
+    fn cheaper_tensor_comm_shifts_optimum_toward_fewer_stages() {
+        // Per-layer time = compute/chips + flat communication tax. The tax
+        // pushes the optimum toward more pipeline stages (narrower tensor
+        // groups); removing it — what the overlap technique approximates —
+        // shifts the optimum back toward fewer stages (§7.3's claim).
+        let comm_heavy =
+            sweep_hybrid(&cfg(), 8, |c, _m| Ok(1e-3 / c.chips as f64 + 3e-5)).unwrap();
+        let comm_free = sweep_hybrid(&cfg(), 8, |c, _m| Ok(1e-3 / c.chips as f64)).unwrap();
+        assert!(
+            comm_heavy.best().stages > comm_free.best().stages,
+            "comm-heavy best {} vs comm-free best {}",
+            comm_heavy.best().stages,
+            comm_free.best().stages
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Model zoo for the paper's evaluation (Tables 1 and 2).
+//!
+//! Each [`ModelConfig`] describes one evaluated model by the published
+//! hyperparameters (layers, model dimension, feedforward dimension, batch,
+//! chip count, architecture). [`ModelConfig::layer_module`] builds the HLO
+//! graph of **one transformer layer step** (forward + backward) under the
+//! paper's partitioning strategy — the 2-D strategy of Fig. 3 for the
+//! large models, the 1-D strategy of Fig. 2 for BigSSL — using the
+//! `overlap-sharding` einsum partitioner, so the AllGather/ReduceScatter
+//! patterns arise exactly as they do in the paper's production runs.
+//! Because every layer is identical, simulating one layer and scaling by
+//! the layer count reproduces the step-time *shape*.
+//!
+//! Modeling notes (see DESIGN.md for the full substitution table):
+//!
+//! * The four projection einsums per layer (QKV, attention output, MLP in,
+//!   MLP out) carry the partitioning-relevant compute and all of the
+//!   weight communication; the attention score/context einsums (whose cost
+//!   depends on an unpublished sequence length) are folded into the
+//!   [`ModelConfig::seq_len`] token-count knob.
+//! * GLaM's mixture-of-experts layers add non-decomposable `AllToAll`s
+//!   around the FFN; T5's encoder–decoder structure adds a backward
+//!   `AllToAll` (the paper attributes ~10% of its step to these).
+//! * BigSSL is modeled as its 8-way model-parallel ring (the 16-way data
+//!   parallel factor divides tokens and adds gradient `AllReduce`s the
+//!   paper does not target).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod config;
+pub mod hybrid;
+mod layer;
+mod layer_attention;
+mod zoo;
+
+pub use config::{Arch, ModelConfig, PartitionStrategy};
+pub use layer::build_layer_module;
+pub use layer_attention::build_attention_layer;
+pub use zoo::{gpt_scaled, table1_models, table2_models};

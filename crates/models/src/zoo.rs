@@ -1,0 +1,95 @@
+//! The published configurations of Tables 1 and 2.
+
+use crate::{Arch, ModelConfig, PartitionStrategy};
+
+/// Default tokens per sequence (unpublished in the paper; see crate docs).
+const SEQ_LEN: usize = 1024;
+
+#[allow(clippy::too_many_arguments)] // table row constructor: one argument per published column
+fn model(
+    name: &str,
+    params: f64,
+    layers: usize,
+    model_dim: usize,
+    ff_dim: usize,
+    batch: usize,
+    chips: usize,
+    arch: Arch,
+    strategy: PartitionStrategy,
+) -> ModelConfig {
+    ModelConfig {
+        name: name.to_string(),
+        params,
+        layers,
+        model_dim,
+        ff_dim,
+        batch,
+        seq_len: SEQ_LEN,
+        chips,
+        arch,
+        strategy,
+    }
+}
+
+/// The six evaluated applications of Table 1.
+#[must_use]
+pub fn table1_models() -> Vec<ModelConfig> {
+    vec![
+        model("GPT_1T", 1.03e12, 142, 24576, 98304, 4096, 2048, Arch::Decoder, PartitionStrategy::TwoD),
+        model("Meena_500B", 5.07e11, 120, 18432, 65536, 2048, 1024, Arch::Decoder, PartitionStrategy::TwoD),
+        model("MLPerf_200B", 1.99e11, 66, 12288, 98304, 4096, 1024, Arch::Encoder, PartitionStrategy::TwoD),
+        model("T5_300B", 2.90e11, 64, 12288, 36864, 3072, 512, Arch::EncoderDecoder, PartitionStrategy::TwoD),
+        model("GLaM_1T", 1.16e12, 32, 8192, 32768, 1024, 1024, Arch::MoE { experts: 64 }, PartitionStrategy::TwoD),
+        model("BigSSL_10B", 1.04e10, 48, 3072, 12288, 64, 128, Arch::Speech, PartitionStrategy::OneD),
+    ]
+}
+
+/// The weakly scaled GPT family of Table 2 (32B … 1T).
+#[must_use]
+pub fn table2_models() -> Vec<ModelConfig> {
+    vec![
+        model("GPT_32B", 3.22e10, 40, 8192, 32768, 512, 64, Arch::Decoder, PartitionStrategy::TwoD),
+        model("GPT_64B", 6.42e10, 51, 10240, 40960, 512, 128, Arch::Decoder, PartitionStrategy::TwoD),
+        model("GPT_128B", 1.286e11, 71, 12288, 49152, 1024, 256, Arch::Decoder, PartitionStrategy::TwoD),
+        model("GPT_256B", 2.577e11, 80, 16384, 65536, 2048, 512, Arch::Decoder, PartitionStrategy::TwoD),
+        model("GPT_512B", 5.134e11, 102, 20480, 81920, 3072, 1024, Arch::Decoder, PartitionStrategy::TwoD),
+        model("GPT_1T", 1.0e12, 142, 24576, 98304, 4096, 2048, Arch::Decoder, PartitionStrategy::TwoD),
+    ]
+}
+
+/// Alias of [`table2_models`] matching the paper's terminology.
+#[must_use]
+pub fn gpt_scaled() -> Vec<ModelConfig> {
+    table2_models()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let models = table1_models();
+        assert_eq!(models.len(), 6);
+        let glam = models.iter().find(|m| m.name == "GLaM_1T").unwrap();
+        assert_eq!(glam.layers, 32);
+        assert_eq!(glam.model_dim, 8192);
+        assert!(matches!(glam.arch, Arch::MoE { experts: 64 }));
+        let t5 = models.iter().find(|m| m.name == "T5_300B").unwrap();
+        assert_eq!(t5.chips, 512);
+        assert_eq!(t5.ff_dim, 36864);
+    }
+
+    #[test]
+    fn table2_is_weakly_scaled() {
+        let models = table2_models();
+        assert_eq!(models.len(), 6);
+        for pair in models.windows(2) {
+            assert!(pair[0].chips < pair[1].chips, "chips grow with model size");
+            assert!(pair[0].model_dim <= pair[1].model_dim);
+            assert!(pair[0].params < pair[1].params);
+        }
+        assert_eq!(models[0].chips, 64);
+        assert_eq!(models[5].chips, 2048);
+    }
+}

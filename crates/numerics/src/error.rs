@@ -1,0 +1,55 @@
+//! Interpreter error type.
+
+use std::error::Error;
+use std::fmt;
+
+use overlap_hlo::HloError;
+
+/// Errors produced while evaluating a module on the SPMD interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// The module failed verification before execution.
+    InvalidModule(HloError),
+    /// The per-device input lists have the wrong arity.
+    BadInputs(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::InvalidModule(e) => write!(f, "invalid module: {e}"),
+            EvalError::BadInputs(m) => write!(f, "bad inputs: {m}"),
+        }
+    }
+}
+
+impl Error for EvalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvalError::InvalidModule(e) => Some(e),
+            EvalError::BadInputs(_) => None,
+        }
+    }
+}
+
+impl From<HloError> for EvalError {
+    fn from(e: HloError) -> Self {
+        EvalError::InvalidModule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EvalError::from(HloError::Verification("x".into()));
+        assert!(e.to_string().contains("invalid module"));
+        assert!(Error::source(&e).is_some());
+        let b = EvalError::BadInputs("y".into());
+        assert!(Error::source(&b).is_none());
+        assert!(b.to_string().contains("bad inputs"));
+    }
+}

@@ -1,0 +1,429 @@
+//! Lockstep SPMD interpretation of modules on virtual devices.
+
+use overlap_hlo::{Module, Op, Shape};
+
+use crate::{kernels, EvalError, Literal};
+
+/// Executes `module` on `module.num_partitions()` virtual devices in
+/// lockstep and returns each device's output values.
+///
+/// `inputs[d]` holds device `d`'s parameter values in parameter-index
+/// order. The result is indexed `[output][device]`.
+///
+/// SPMD lockstep evaluation makes collective semantics direct: when a
+/// collective instruction is reached, every device's operand value is
+/// already available, so `AllGather` concatenates the group's literals,
+/// `ReduceScatter`/`AllReduce` sum them, `AllToAll` exchanges slices, and
+/// `CollectivePermute` routes whole literals between partitions (devices
+/// that receive nothing get zeros, matching XLA). The asynchronous
+/// `CollectivePermuteStart` carries its operand forward unchanged and the
+/// paired `Done` performs the routing — data-wise equivalent to the
+/// synchronous permute, which is exactly the §5.2 contract.
+///
+/// # Errors
+///
+/// Returns [`EvalError::InvalidModule`] if the module fails verification
+/// and [`EvalError::BadInputs`] if the input arity or shapes are wrong.
+pub fn run_spmd(
+    module: &Module,
+    inputs: &[Vec<Literal>],
+) -> Result<Vec<Vec<Literal>>, EvalError> {
+    module.verify()?;
+    let n = module.num_partitions();
+    if inputs.len() != n {
+        return Err(EvalError::BadInputs(format!(
+            "expected inputs for {n} devices, got {}",
+            inputs.len()
+        )));
+    }
+    let params = module.parameters();
+    for (d, dev_inputs) in inputs.iter().enumerate() {
+        if dev_inputs.len() != params.len() {
+            return Err(EvalError::BadInputs(format!(
+                "device {d}: expected {} parameters, got {}",
+                params.len(),
+                dev_inputs.len()
+            )));
+        }
+        for (p, (param, lit)) in params.iter().zip(dev_inputs).enumerate() {
+            if module.shape_of(*param).dims() != lit.shape().dims() {
+                return Err(EvalError::BadInputs(format!(
+                    "device {d}, parameter {p}: expected {}, got {}",
+                    module.shape_of(*param),
+                    lit.shape()
+                )));
+            }
+        }
+    }
+
+    // values[instr][device]
+    let mut values: Vec<Vec<Literal>> = Vec::with_capacity(module.len());
+    for (id, ins) in module.iter() {
+        let mut per_device: Vec<Literal> = Vec::with_capacity(n);
+        for d in 0..n {
+            let operand = |i: usize| &values[ins.operands()[i].index()][d];
+            let lit = match ins.op() {
+                Op::Parameter { index } => inputs[d][*index].clone(),
+                Op::Constant { value } => Literal::splat(ins.shape().clone(), *value),
+                Op::ConstantTensor { values } => {
+                    Literal::from_vec(ins.shape().clone(), values.clone())
+                }
+                Op::Iota { dim } => kernels::iota(ins.shape(), *dim),
+                Op::Broadcast { operand_dims } => {
+                    kernels::broadcast(operand(0), ins.shape(), operand_dims)
+                }
+                Op::Reshape => operand(0).reshaped(ins.shape().clone()),
+                Op::Transpose { perm } => kernels::transpose(operand(0), perm),
+                Op::Slice { starts, limits } => kernels::slice(operand(0), starts, limits),
+                Op::DynamicSlice { sizes } => {
+                    let starts = runtime_indices(&values, ins.operands(), 1, d);
+                    kernels::dynamic_slice(operand(0), &starts, sizes)
+                }
+                Op::DynamicUpdateSlice => {
+                    let starts = runtime_indices(&values, ins.operands(), 2, d);
+                    kernels::dynamic_update_slice(operand(0), operand(1), &starts)
+                }
+                Op::Concatenate { dim } => {
+                    let ops: Vec<&Literal> =
+                        (0..ins.operands().len()).map(operand).collect();
+                    kernels::concatenate(&ops, *dim)
+                }
+                Op::Pad { config } => {
+                    kernels::pad(operand(0), operand(1).as_scalar(), config)
+                }
+                Op::Binary(k) => kernels::binary(*k, operand(0), operand(1)),
+                Op::Unary(k) => kernels::unary(*k, operand(0)),
+                Op::Copy => operand(0).clone(),
+                Op::Einsum(dims) => kernels::einsum(operand(0), operand(1), dims),
+                Op::AllGather { dim, groups } => {
+                    let group = groups.group_containing(d as u32).expect("verified groups");
+                    let members: Vec<&Literal> = group
+                        .iter()
+                        .map(|&m| &values[ins.operands()[0].index()][m as usize])
+                        .collect();
+                    kernels::concatenate(&members, *dim)
+                }
+                Op::ReduceScatter { dim, groups } => {
+                    let group = groups.group_containing(d as u32).expect("verified groups");
+                    let sum = group_sum(&values, ins.operands()[0], group);
+                    let rank = groups.rank_in_group(d as u32).expect("member");
+                    let shard = ins.shape().dim(*dim);
+                    let mut starts = vec![0usize; sum.shape().rank()];
+                    let mut limits = sum.shape().dims().to_vec();
+                    starts[*dim] = rank * shard;
+                    limits[*dim] = (rank + 1) * shard;
+                    kernels::slice(&sum, &starts, &limits)
+                }
+                Op::AllReduce { groups } => {
+                    let group = groups.group_containing(d as u32).expect("verified groups");
+                    group_sum(&values, ins.operands()[0], group)
+                }
+                Op::AllToAll { split_dim, concat_dim, groups } => {
+                    let group = groups.group_containing(d as u32).expect("verified groups");
+                    let rank = groups.rank_in_group(d as u32).expect("member");
+                    let in_shape =
+                        module.shape_of(ins.operands()[0]).clone();
+                    let shard = in_shape.dim(*split_dim) / group.len();
+                    let pieces: Vec<Literal> = group
+                        .iter()
+                        .map(|&m| {
+                            let src = &values[ins.operands()[0].index()][m as usize];
+                            let mut starts = vec![0usize; in_shape.rank()];
+                            let mut limits = in_shape.dims().to_vec();
+                            starts[*split_dim] = rank * shard;
+                            limits[*split_dim] = (rank + 1) * shard;
+                            kernels::slice(src, &starts, &limits)
+                        })
+                        .collect();
+                    let refs: Vec<&Literal> = pieces.iter().collect();
+                    kernels::concatenate(&refs, *concat_dim)
+                }
+                Op::CollectivePermute { pairs } | Op::CollectivePermuteStart { pairs } => {
+                    // For the synchronous permute this is the final value;
+                    // for the start it is evaluated by the paired done.
+                    // Either way the routing math is identical.
+                    if matches!(ins.op(), Op::CollectivePermuteStart { .. }) {
+                        // Carry the operand; Done routes.
+                        operand(0).clone()
+                    } else {
+                        route_permute(&values, ins.operands()[0], pairs, d, ins.shape())
+                    }
+                }
+                Op::CollectivePermuteDone => {
+                    let start_id = ins.operands()[0];
+                    let Op::CollectivePermuteStart { pairs } = module.instr(start_id).op()
+                    else {
+                        unreachable!("verifier guarantees done consumes start")
+                    };
+                    // Route using the start's carried operand values.
+                    route_permute(&values, start_id, pairs, d, ins.shape())
+                }
+                Op::PartitionId => Literal::scalar(overlap_hlo::DType::U32, d as f64),
+            };
+            debug_assert_eq!(
+                lit.shape().dims(),
+                ins.shape().dims(),
+                "{} produced wrong shape on device {d}",
+                ins.name()
+            );
+            per_device.push(lit);
+        }
+        debug_assert_eq!(values.len(), id.index());
+        values.push(per_device);
+    }
+
+    Ok(module
+        .outputs()
+        .iter()
+        .map(|o| values[o.index()].clone())
+        .collect())
+}
+
+fn runtime_indices(
+    values: &[Vec<Literal>],
+    operands: &[overlap_hlo::InstrId],
+    skip: usize,
+    device: usize,
+) -> Vec<i64> {
+    operands[skip..]
+        .iter()
+        .map(|idx| values[idx.index()][device].as_scalar() as i64)
+        .collect()
+}
+
+fn group_sum(values: &[Vec<Literal>], operand: overlap_hlo::InstrId, group: &[u32]) -> Literal {
+    let first = &values[operand.index()][group[0] as usize];
+    let mut sum = first.clone();
+    for &m in &group[1..] {
+        let other = &values[operand.index()][m as usize];
+        for (a, b) in sum.data_mut().iter_mut().zip(other.data()) {
+            *a += b;
+        }
+    }
+    sum
+}
+
+fn route_permute(
+    values: &[Vec<Literal>],
+    operand: overlap_hlo::InstrId,
+    pairs: &[(u32, u32)],
+    device: usize,
+    shape: &Shape,
+) -> Literal {
+    match pairs.iter().find(|&&(_, dst)| dst as usize == device) {
+        Some(&(src, _)) => values[operand.index()][src as usize].clone(),
+        None => Literal::zeros(shape.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use overlap_hlo::{Builder, DType, DotDims, ReplicaGroups, Shape};
+
+    use super::*;
+
+    fn f32s(dims: &[usize]) -> Shape {
+        Shape::new(DType::F32, dims.to_vec())
+    }
+
+    fn lit(dims: &[usize], data: Vec<f64>) -> Literal {
+        Literal::from_vec(f32s(dims), data)
+    }
+
+    #[test]
+    fn all_gather_concatenates_in_group_order() {
+        let mut b = Builder::new("m", 2);
+        let x = b.parameter(f32s(&[1, 2]), "x");
+        let g = b.all_gather(x, 0, ReplicaGroups::full(2), "g");
+        let m = b.build(vec![g]);
+        let out = run_spmd(
+            &m,
+            &[vec![lit(&[1, 2], vec![1.0, 2.0])], vec![lit(&[1, 2], vec![3.0, 4.0])]],
+        )
+        .unwrap();
+        assert_eq!(out[0][0].data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(out[0][1].data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn reduce_scatter_sums_and_shards() {
+        let mut b = Builder::new("m", 2);
+        let x = b.parameter(f32s(&[2, 2]), "x");
+        let r = b.reduce_scatter(x, 0, ReplicaGroups::full(2), "r");
+        let m = b.build(vec![r]);
+        let d0 = lit(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let d1 = lit(&[2, 2], vec![10.0, 20.0, 30.0, 40.0]);
+        let out = run_spmd(&m, &[vec![d0], vec![d1]]).unwrap();
+        assert_eq!(out[0][0].data(), &[11.0, 22.0]);
+        assert_eq!(out[0][1].data(), &[33.0, 44.0]);
+    }
+
+    #[test]
+    fn all_reduce_replicates_sum() {
+        let mut b = Builder::new("m", 2);
+        let x = b.parameter(f32s(&[2]), "x");
+        let r = b.all_reduce(x, ReplicaGroups::full(2), "r");
+        let m = b.build(vec![r]);
+        let out = run_spmd(
+            &m,
+            &[vec![lit(&[2], vec![1.0, 2.0])], vec![lit(&[2], vec![3.0, 4.0])]],
+        )
+        .unwrap();
+        assert_eq!(out[0][0].data(), &[4.0, 6.0]);
+        assert_eq!(out[0][1].data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn all_reduce_equals_rs_plus_ag() {
+        // §2.1: AllReduce == ReduceScatter then AllGather.
+        let mut b = Builder::new("m", 2);
+        let x = b.parameter(f32s(&[2]), "x");
+        let ar = b.all_reduce(x, ReplicaGroups::full(2), "ar");
+        let rs = b.reduce_scatter(x, 0, ReplicaGroups::full(2), "rs");
+        let ag = b.all_gather(rs, 0, ReplicaGroups::full(2), "ag");
+        let m = b.build(vec![ar, ag]);
+        let out = run_spmd(
+            &m,
+            &[vec![lit(&[2], vec![1.0, -2.0])], vec![lit(&[2], vec![0.5, 8.0])]],
+        )
+        .unwrap();
+        for (a, b) in out[0].iter().zip(&out[1]) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn collective_permute_routes_and_zero_fills() {
+        let mut b = Builder::new("m", 3);
+        let x = b.parameter(f32s(&[1]), "x");
+        // 0 -> 1, 1 -> 2; device 0 receives nothing.
+        let p = b.collective_permute(x, vec![(0, 1), (1, 2)], "p");
+        let m = b.build(vec![p]);
+        let out = run_spmd(
+            &m,
+            &[
+                vec![lit(&[1], vec![10.0])],
+                vec![lit(&[1], vec![20.0])],
+                vec![lit(&[1], vec![30.0])],
+            ],
+        )
+        .unwrap();
+        assert_eq!(out[0][0].data(), &[0.0]);
+        assert_eq!(out[0][1].data(), &[10.0]);
+        assert_eq!(out[0][2].data(), &[20.0]);
+    }
+
+    #[test]
+    fn async_permute_matches_sync() {
+        let mut b = Builder::new("m", 2);
+        let x = b.parameter(f32s(&[2]), "x");
+        let pairs = vec![(0u32, 1u32), (1, 0)];
+        let sync = b.collective_permute(x, pairs.clone(), "sync");
+        let start = b.collective_permute_start(x, pairs, "start");
+        let done = b.collective_permute_done(start, "done");
+        let m = b.build(vec![sync, done]);
+        let out = run_spmd(
+            &m,
+            &[vec![lit(&[2], vec![1.0, 2.0])], vec![lit(&[2], vec![3.0, 4.0])]],
+        )
+        .unwrap();
+        for (a, b) in out[0].iter().zip(&out[1]) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes_shards() {
+        let mut b = Builder::new("m", 2);
+        let x = b.parameter(f32s(&[2, 1]), "x");
+        let t = b.all_to_all(x, 0, 0, ReplicaGroups::full(2), "t");
+        let m = b.build(vec![t]);
+        let out = run_spmd(
+            &m,
+            &[vec![lit(&[2, 1], vec![1.0, 2.0])], vec![lit(&[2, 1], vec![3.0, 4.0])]],
+        )
+        .unwrap();
+        // Device 0 keeps shard 0 of everyone: [1, 3]; device 1: [2, 4].
+        assert_eq!(out[0][0].data(), &[1.0, 3.0]);
+        assert_eq!(out[0][1].data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn partition_id_and_index_arithmetic() {
+        // shard = (pid + 1) % n, used to dynamic-slice a replicated tensor
+        // — the exact index pattern of the looped collective-einsum.
+        let n = 4usize;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[4]), "x");
+        let pid = b.partition_id("pid");
+        let one = b.constant(Shape::scalar(DType::U32), 1.0, "one");
+        let nn = b.constant(Shape::scalar(DType::U32), n as f64, "n");
+        let sum = b.add(pid, one, "pid_plus_1");
+        let idx = b.rem(sum, nn, "idx");
+        let sl = b.dynamic_slice(x, &[idx], vec![1], "sl");
+        let m = b.build(vec![sl, pid]);
+        let inputs: Vec<Vec<Literal>> = (0..n)
+            .map(|_| vec![lit(&[4], vec![10.0, 11.0, 12.0, 13.0])])
+            .collect();
+        let out = run_spmd(&m, &inputs).unwrap();
+        for (d, (sliced, pid)) in out[0].iter().zip(&out[1]).enumerate() {
+            let expect = 10.0 + ((d + 1) % n) as f64;
+            assert_eq!(sliced.data(), &[expect]);
+            assert_eq!(pid.as_scalar(), d as f64);
+        }
+    }
+
+    #[test]
+    fn subgroup_all_gather() {
+        let mut b = Builder::new("m", 4);
+        let x = b.parameter(f32s(&[1]), "x");
+        let groups = ReplicaGroups::new(vec![vec![0, 2], vec![1, 3]]).unwrap();
+        let g = b.all_gather(x, 0, groups, "g");
+        let m = b.build(vec![g]);
+        let inputs: Vec<Vec<Literal>> =
+            (0..4).map(|d| vec![lit(&[1], vec![d as f64])]).collect();
+        let out = run_spmd(&m, &inputs).unwrap();
+        assert_eq!(out[0][0].data(), &[0.0, 2.0]);
+        assert_eq!(out[0][2].data(), &[0.0, 2.0]);
+        assert_eq!(out[0][1].data(), &[1.0, 3.0]);
+        assert_eq!(out[0][3].data(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn sharded_matmul_end_to_end() {
+        // Fig. 2 pattern, one layer: x:[B/N, F] per device, w:[F/N, H]
+        // per device; AllGather(w) then einsum == full matmul.
+        let n = 2;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[1, 4]), "x");
+        let w = b.parameter(f32s(&[2, 3]), "w");
+        let wg = b.all_gather(w, 0, ReplicaGroups::full(n), "wg");
+        let y = b.einsum(x, wg, DotDims::matmul(), "y");
+        let m = b.build(vec![y]);
+
+        let full_w = lit(&[4, 3], (0..12).map(|i| i as f64).collect());
+        let w0 = kernels::slice(&full_w, &[0, 0], &[2, 3]);
+        let w1 = kernels::slice(&full_w, &[2, 0], &[4, 3]);
+        let x0 = lit(&[1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        let x1 = lit(&[1, 4], vec![5.0, 6.0, 7.0, 8.0]);
+
+        let out = run_spmd(&m, &[vec![x0.clone(), w0], vec![x1.clone(), w1]]).unwrap();
+        let expect0 = kernels::einsum(&x0, &full_w, &DotDims::matmul());
+        let expect1 = kernels::einsum(&x1, &full_w, &DotDims::matmul());
+        assert!(out[0][0].allclose(&expect0, 1e-12));
+        assert!(out[0][1].allclose(&expect1, 1e-12));
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let mut b = Builder::new("m", 2);
+        let x = b.parameter(f32s(&[2]), "x");
+        let m = b.build(vec![x]);
+        assert!(run_spmd(&m, &[vec![lit(&[2], vec![0.0, 0.0])]]).is_err());
+        assert!(run_spmd(&m, &[vec![], vec![]]).is_err());
+        let wrong_shape = lit(&[3], vec![0.0; 3]);
+        assert!(
+            run_spmd(&m, &[vec![wrong_shape.clone()], vec![wrong_shape]]).is_err()
+        );
+    }
+}

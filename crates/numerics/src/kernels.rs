@@ -1,0 +1,476 @@
+//! Reference (unoptimized, obviously-correct) kernels for every op.
+//!
+//! These are the ground truth the equivalence tests compare against; they
+//! favor clarity over speed and are only used on test-sized tensors.
+
+use overlap_hlo::{BinaryKind, DotDims, PadDim, Shape, UnaryKind};
+
+use crate::Literal;
+
+/// Where each operand dimension of an einsum gets its index from.
+#[derive(Debug, Clone, Copy)]
+enum DimSource {
+    /// From output position `i` (batch or free dimension).
+    Out(usize),
+    /// From contracting-loop position `i`.
+    Contract(usize),
+}
+
+/// Computes, for each operand dimension, where its index comes from.
+/// `free_offset` is where this operand's free block starts in the output
+/// (batch count for the LHS; batch count + LHS free count for the RHS).
+fn dim_sources(dims: &DotDims, rank: usize, is_lhs: bool, free_offset: usize) -> Vec<DimSource> {
+    let mut sources = vec![DimSource::Out(0); rank];
+    let pick = |pair: &(usize, usize)| if is_lhs { pair.0 } else { pair.1 };
+    for (bi, pair) in dims.batch().iter().enumerate() {
+        sources[pick(pair)] = DimSource::Out(bi);
+    }
+    for (ki, pair) in dims.contracting().iter().enumerate() {
+        sources[pick(pair)] = DimSource::Contract(ki);
+    }
+    let free: Vec<usize> =
+        if is_lhs { dims.lhs_free_dims(rank) } else { dims.rhs_free_dims(rank) };
+    for (fi, &d) in free.iter().enumerate() {
+        sources[d] = DimSource::Out(free_offset + fi);
+    }
+    sources
+}
+
+/// Reference einsum over two literals.
+///
+/// # Panics
+///
+/// Panics if the dimension numbers are inconsistent with the shapes (the
+/// verifier guarantees this never happens for verified modules).
+#[must_use]
+pub fn einsum(lhs: &Literal, rhs: &Literal, dims: &DotDims) -> Literal {
+    let out_shape = dims
+        .output_shape(lhs.shape(), rhs.shape())
+        .expect("einsum shapes validated by verifier");
+    // Fast path: plain 2-D matmul `[m,k] x [k,n]` (the overwhelmingly
+    // common case in tests and examples) with flat, cache-friendly
+    // indexing.
+    if dims.batch().is_empty()
+        && dims.contracting() == [(1, 0)]
+        && lhs.shape().rank() == 2
+        && rhs.shape().rank() == 2
+    {
+        let (m, k) = (lhs.shape().dim(0), lhs.shape().dim(1));
+        let n = rhs.shape().dim(1);
+        let (a, b) = (lhs.data(), rhs.data());
+        let mut out = vec![0.0f64; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        return Literal::from_vec(out_shape, out);
+    }
+    let lhs_rank = lhs.shape().rank();
+    let rhs_rank = rhs.shape().rank();
+    let lhs_free_count = dims.lhs_free_dims(lhs_rank).len();
+    let lhs_src = dim_sources(dims, lhs_rank, true, dims.batch().len());
+    let rhs_src = dim_sources(dims, rhs_rank, false, dims.batch().len() + lhs_free_count);
+
+    let contract_sizes: Vec<usize> =
+        dims.contracting().iter().map(|&(l, _)| lhs.shape().dim(l)).collect();
+    let contract_total: usize = contract_sizes.iter().product();
+
+    let mut out = Literal::zeros(out_shape.clone());
+    let mut lhs_idx = vec![0usize; lhs_rank];
+    let mut rhs_idx = vec![0usize; rhs_rank];
+    let mut k_idx = vec![0usize; contract_sizes.len()];
+    for out_idx in Literal::indices(&out_shape) {
+        let mut acc = 0.0f64;
+        for mut k_flat in 0..contract_total {
+            for d in (0..contract_sizes.len()).rev() {
+                k_idx[d] = k_flat % contract_sizes[d];
+                k_flat /= contract_sizes[d];
+            }
+            for (d, src) in lhs_src.iter().enumerate() {
+                lhs_idx[d] = match src {
+                    DimSource::Out(i) => out_idx[*i],
+                    DimSource::Contract(i) => k_idx[*i],
+                };
+            }
+            for (d, src) in rhs_src.iter().enumerate() {
+                rhs_idx[d] = match src {
+                    DimSource::Out(i) => out_idx[*i],
+                    DimSource::Contract(i) => k_idx[*i],
+                };
+            }
+            acc += lhs.at(&lhs_idx) * rhs.at(&rhs_idx);
+        }
+        out.set(&out_idx, acc);
+    }
+    out
+}
+
+/// Elementwise binary op on same-shaped literals.
+///
+/// # Panics
+///
+/// Panics if the shapes' dimensions differ.
+#[must_use]
+pub fn binary(kind: BinaryKind, a: &Literal, b: &Literal) -> Literal {
+    assert_eq!(a.shape().dims(), b.shape().dims(), "binary shape mismatch");
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| match kind {
+            BinaryKind::Add => x + y,
+            BinaryKind::Sub => x - y,
+            BinaryKind::Mul => x * y,
+            BinaryKind::Div => x / y,
+            BinaryKind::Max => x.max(y),
+            BinaryKind::Min => x.min(y),
+            BinaryKind::Rem => (x as i64).rem_euclid(y as i64) as f64,
+        })
+        .collect();
+    Literal::from_vec(a.shape().clone(), data)
+}
+
+/// Elementwise unary op.
+#[must_use]
+pub fn unary(kind: UnaryKind, x: &Literal) -> Literal {
+    let data = x
+        .data()
+        .iter()
+        .map(|&v| match kind {
+            UnaryKind::Neg => -v,
+            UnaryKind::Relu => v.max(0.0),
+            UnaryKind::Step => {
+                if v > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        })
+        .collect();
+    Literal::from_vec(x.shape().clone(), data)
+}
+
+/// Broadcast per the IR's `Broadcast` semantics.
+///
+/// # Panics
+///
+/// Panics if the mapping is inconsistent with the shapes.
+#[must_use]
+pub fn broadcast(x: &Literal, out_shape: &Shape, operand_dims: &[usize]) -> Literal {
+    let mut out = Literal::zeros(out_shape.clone());
+    let mut x_idx = vec![0usize; x.shape().rank()];
+    for out_idx in Literal::indices(out_shape) {
+        for (i, &d) in operand_dims.iter().enumerate() {
+            x_idx[i] = out_idx[d];
+        }
+        out.set(&out_idx, x.at(&x_idx));
+    }
+    out
+}
+
+/// Transpose: output dim `i` is operand dim `perm[i]`.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation.
+#[must_use]
+pub fn transpose(x: &Literal, perm: &[usize]) -> Literal {
+    let dims: Vec<usize> = perm.iter().map(|&p| x.shape().dim(p)).collect();
+    let out_shape = Shape::new(x.shape().dtype(), dims);
+    let mut out = Literal::zeros(out_shape.clone());
+    let mut x_idx = vec![0usize; x.shape().rank()];
+    for out_idx in Literal::indices(&out_shape) {
+        for (i, &p) in perm.iter().enumerate() {
+            x_idx[p] = out_idx[i];
+        }
+        out.set(&out_idx, x.at(&x_idx));
+    }
+    out
+}
+
+/// Static slice `[starts, limits)`.
+///
+/// # Panics
+///
+/// Panics if the bounds are invalid.
+#[must_use]
+pub fn slice(x: &Literal, starts: &[usize], limits: &[usize]) -> Literal {
+    let dims: Vec<usize> = starts.iter().zip(limits).map(|(&s, &l)| l - s).collect();
+    let out_shape = Shape::new(x.shape().dtype(), dims);
+    let mut out = Literal::zeros(out_shape.clone());
+    let mut x_idx = vec![0usize; x.shape().rank()];
+    for out_idx in Literal::indices(&out_shape) {
+        for d in 0..x_idx.len() {
+            x_idx[d] = out_idx[d] + starts[d];
+        }
+        out.set(&out_idx, x.at(&x_idx));
+    }
+    out
+}
+
+/// Clamps a dynamic start index per XLA semantics.
+fn clamp_start(start: i64, dim: usize, size: usize) -> usize {
+    start.clamp(0, (dim - size) as i64) as usize
+}
+
+/// Dynamic slice with XLA index clamping.
+///
+/// # Panics
+///
+/// Panics if `sizes` exceed the operand dimensions.
+#[must_use]
+pub fn dynamic_slice(x: &Literal, starts: &[i64], sizes: &[usize]) -> Literal {
+    let clamped: Vec<usize> = starts
+        .iter()
+        .zip(sizes)
+        .enumerate()
+        .map(|(d, (&s, &size))| clamp_start(s, x.shape().dim(d), size))
+        .collect();
+    let limits: Vec<usize> = clamped.iter().zip(sizes).map(|(&s, &z)| s + z).collect();
+    slice(x, &clamped, &limits)
+}
+
+/// Dynamic update slice with XLA index clamping.
+///
+/// # Panics
+///
+/// Panics if the update exceeds the operand dimensions.
+#[must_use]
+pub fn dynamic_update_slice(x: &Literal, update: &Literal, starts: &[i64]) -> Literal {
+    let clamped: Vec<usize> = starts
+        .iter()
+        .enumerate()
+        .map(|(d, &s)| clamp_start(s, x.shape().dim(d), update.shape().dim(d)))
+        .collect();
+    let mut out = x.clone();
+    let mut x_idx = vec![0usize; x.shape().rank()];
+    for u_idx in Literal::indices(update.shape()) {
+        for d in 0..x_idx.len() {
+            x_idx[d] = u_idx[d] + clamped[d];
+        }
+        out.set(&x_idx, update.at(&u_idx));
+    }
+    out
+}
+
+/// Concatenation along `dim`.
+///
+/// # Panics
+///
+/// Panics if operands disagree off-`dim` or the list is empty.
+#[must_use]
+pub fn concatenate(xs: &[&Literal], dim: usize) -> Literal {
+    assert!(!xs.is_empty());
+    let total: usize = xs.iter().map(|x| x.shape().dim(dim)).sum();
+    let out_shape = xs[0].shape().with_dim(dim, total);
+    let mut out = Literal::zeros(out_shape);
+    let mut offset = 0usize;
+    for x in xs {
+        let mut o_idx = vec![0usize; x.shape().rank()];
+        for idx in Literal::indices(x.shape()) {
+            o_idx.copy_from_slice(&idx);
+            o_idx[dim] += offset;
+            out.set(&o_idx, x.at(&idx));
+        }
+        offset += x.shape().dim(dim);
+    }
+    out
+}
+
+/// Pad with a scalar value.
+///
+/// # Panics
+///
+/// Panics if `config` arity differs from the operand rank.
+#[must_use]
+pub fn pad(x: &Literal, value: f64, config: &[PadDim]) -> Literal {
+    let dims: Vec<usize> = x
+        .shape()
+        .dims()
+        .iter()
+        .zip(config)
+        .map(|(&d, p)| d + p.low + p.high)
+        .collect();
+    let out_shape = Shape::new(x.shape().dtype(), dims);
+    let mut out = Literal::splat(out_shape, value);
+    let mut o_idx = vec![0usize; x.shape().rank()];
+    for idx in Literal::indices(x.shape()) {
+        for d in 0..o_idx.len() {
+            o_idx[d] = idx[d] + config[d].low;
+        }
+        out.set(&o_idx, x.at(&idx));
+    }
+    out
+}
+
+/// Iota: elements count up along `dim`.
+#[must_use]
+pub fn iota(shape: &Shape, dim: usize) -> Literal {
+    let mut out = Literal::zeros(shape.clone());
+    for idx in Literal::indices(shape) {
+        let v = idx[dim] as f64;
+        out.set(&idx, v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlap_hlo::DType;
+
+    fn f32s(dims: &[usize]) -> Shape {
+        Shape::new(DType::F32, dims.to_vec())
+    }
+
+    fn lit(dims: &[usize], data: Vec<f64>) -> Literal {
+        Literal::from_vec(f32s(dims), data)
+    }
+
+    #[test]
+    fn einsum_matmul() {
+        // [[1,2],[3,4]] x [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = lit(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = lit(&[2, 2], vec![5.0, 6.0, 7.0, 8.0]);
+        let c = einsum(&a, &b, &DotDims::matmul());
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn einsum_batch() {
+        let a = lit(&[2, 1, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = lit(&[2, 2, 1], vec![1.0, 1.0, 2.0, 2.0]);
+        let c = einsum(&a, &b, &DotDims::batch_matmul());
+        assert_eq!(c.shape().dims(), &[2, 1, 1]);
+        assert_eq!(c.data(), &[3.0, 14.0]);
+    }
+
+    #[test]
+    fn einsum_outer_product() {
+        let a = lit(&[2], vec![1.0, 2.0]);
+        let b = lit(&[3], vec![1.0, 10.0, 100.0]);
+        let d = DotDims::new(vec![], vec![]).unwrap();
+        let c = einsum(&a, &b, &d);
+        assert_eq!(c.shape().dims(), &[2, 3]);
+        assert_eq!(c.data(), &[1.0, 10.0, 100.0, 2.0, 20.0, 200.0]);
+    }
+
+    #[test]
+    fn einsum_contract_first_dim() {
+        // Contract lhs dim 0 with rhs dim 0: a^T @ b.
+        let a = lit(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = lit(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let d = DotDims::new(vec![], vec![(0, 0)]).unwrap();
+        let c = einsum(&a, &b, &d);
+        assert_eq!(c.shape().dims(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn binary_ops() {
+        let a = lit(&[3], vec![1.0, 5.0, -2.0]);
+        let b = lit(&[3], vec![2.0, 3.0, 4.0]);
+        assert_eq!(binary(BinaryKind::Add, &a, &b).data(), &[3.0, 8.0, 2.0]);
+        assert_eq!(binary(BinaryKind::Sub, &a, &b).data(), &[-1.0, 2.0, -6.0]);
+        assert_eq!(binary(BinaryKind::Mul, &a, &b).data(), &[2.0, 15.0, -8.0]);
+        assert_eq!(binary(BinaryKind::Max, &a, &b).data(), &[2.0, 5.0, 4.0]);
+        assert_eq!(binary(BinaryKind::Min, &a, &b).data(), &[1.0, 3.0, -2.0]);
+        // rem_euclid keeps results non-negative (index arithmetic).
+        assert_eq!(binary(BinaryKind::Rem, &a, &b).data(), &[1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn unary_neg() {
+        let a = lit(&[2], vec![1.0, -2.0]);
+        assert_eq!(unary(UnaryKind::Neg, &a).data(), &[-1.0, 2.0]);
+    }
+
+    #[test]
+    fn broadcast_vector_to_matrix() {
+        let v = lit(&[2], vec![1.0, 2.0]);
+        let out = broadcast(&v, &f32s(&[2, 3]), &[0]);
+        assert_eq!(out.data(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        let out2 = broadcast(&v, &f32s(&[3, 2]), &[1]);
+        assert_eq!(out2.data(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let a = lit(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = transpose(&a, &[1, 0]);
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(t.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn slicing() {
+        let a = lit(&[2, 4], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let s = slice(&a, &[0, 1], &[2, 3]);
+        assert_eq!(s.data(), &[1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn dynamic_slice_clamps() {
+        let a = lit(&[4], vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(dynamic_slice(&a, &[1], &[2]).data(), &[1.0, 2.0]);
+        // Start 3 with size 2 clamps to 2.
+        assert_eq!(dynamic_slice(&a, &[3], &[2]).data(), &[2.0, 3.0]);
+        // Negative start clamps to 0.
+        assert_eq!(dynamic_slice(&a, &[-5], &[2]).data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn dynamic_update_slice_clamps() {
+        let a = lit(&[4], vec![0.0; 4]);
+        let u = lit(&[2], vec![9.0, 9.0]);
+        assert_eq!(dynamic_update_slice(&a, &u, &[1]).data(), &[0.0, 9.0, 9.0, 0.0]);
+        assert_eq!(dynamic_update_slice(&a, &u, &[9]).data(), &[0.0, 0.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn concatenation() {
+        let a = lit(&[1, 2], vec![1.0, 2.0]);
+        let b = lit(&[1, 2], vec![3.0, 4.0]);
+        assert_eq!(concatenate(&[&a, &b], 0).data(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(concatenate(&[&a, &b], 1).data(), &[1.0, 2.0, 3.0, 4.0]);
+        let c1 = concatenate(&[&a, &b], 1);
+        assert_eq!(c1.shape().dims(), &[1, 4]);
+    }
+
+    #[test]
+    fn padding() {
+        let a = lit(&[2], vec![1.0, 2.0]);
+        let p = pad(&a, -1.0, &[PadDim::new(1, 2)]);
+        assert_eq!(p.data(), &[-1.0, 1.0, 2.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn pad_then_max_equals_concat() {
+        // The §5.4.3 rewrite: Concat(a, b) == Max(PadHigh(a), PadLow(b))
+        // for the padding value -inf.
+        let a = lit(&[2], vec![1.0, 2.0]);
+        let b = lit(&[2], vec![3.0, 4.0]);
+        let pa = pad(&a, f64::NEG_INFINITY, &[PadDim::new(0, 2)]);
+        let pb = pad(&b, f64::NEG_INFINITY, &[PadDim::new(2, 0)]);
+        let m = binary(BinaryKind::Max, &pa, &pb);
+        let c = concatenate(&[&a, &b], 0);
+        assert_eq!(m.data(), c.data());
+    }
+
+    #[test]
+    fn iota_counts_along_dim() {
+        let s = Shape::new(DType::S32, vec![2, 3]);
+        assert_eq!(iota(&s, 1).data(), &[0.0, 1.0, 2.0, 0.0, 1.0, 2.0]);
+        assert_eq!(iota(&s, 0).data(), &[0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Tensor literals, reference kernels and an SPMD multi-device interpreter.
+//!
+//! The paper's central claim about its graph transformation is *semantic
+//! equivalence*: the looped collective-einsum (with or without unrolling
+//! and bidirectional transfer) computes exactly what the original
+//! `AllGather→Einsum` / `Einsum→ReduceScatter` pair computed. This crate
+//! exists to check that claim mechanically:
+//!
+//! * [`Literal`] — a dense tensor value,
+//! * [`kernels`] — reference implementations of every op in the IR
+//!   (einsum, elementwise, slicing, padding, …),
+//! * [`run_spmd`] — executes a module on `num_partitions` virtual devices
+//!   in lockstep, with data-level collectives (`AllGather`,
+//!   `ReduceScatter`, `AllReduce`, `AllToAll`, `CollectivePermute` and the
+//!   asynchronous start/done pair).
+//!
+//! # Example
+//!
+//! ```
+//! use overlap_hlo::{Builder, DType, ReplicaGroups, Shape};
+//! use overlap_numerics::{run_spmd, Literal};
+//!
+//! // Each of 2 devices holds one shard; all-gather reassembles them.
+//! let mut b = Builder::new("ag", 2);
+//! let x = b.parameter(Shape::new(DType::F32, vec![1, 2]), "x");
+//! let g = b.all_gather(x, 0, ReplicaGroups::full(2), "g");
+//! let m = b.build(vec![g]);
+//!
+//! let d0 = Literal::from_vec(Shape::new(DType::F32, vec![1, 2]), vec![1.0, 2.0]);
+//! let d1 = Literal::from_vec(Shape::new(DType::F32, vec![1, 2]), vec![3.0, 4.0]);
+//! let out = run_spmd(&m, &[vec![d0], vec![d1]]).unwrap();
+//! assert_eq!(out[0][0].data(), &[1.0, 2.0, 3.0, 4.0]);
+//! assert_eq!(out[0][0], out[0][1]); // replicated after the gather
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod error;
+mod interp;
+pub mod kernels;
+mod literal;
+
+pub use error::EvalError;
+pub use interp::run_spmd;
+pub use literal::Literal;

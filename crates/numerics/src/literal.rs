@@ -1,0 +1,251 @@
+//! Dense tensor values.
+
+use std::fmt;
+
+use overlap_hlo::Shape;
+
+/// A dense tensor value in row-major order.
+///
+/// Elements are stored as `f64` regardless of the declared
+/// [`DType`](overlap_hlo::DType); integer dtypes hold exactly-representable
+/// integral values (the interpreter only performs integer arithmetic on
+/// small indices, far below the 2^53 exactness limit). This keeps the
+/// reference kernels simple while preserving bit-level reasoning for the
+/// equivalence tests.
+#[derive(Clone, PartialEq)]
+pub struct Literal {
+    shape: Shape,
+    data: Vec<f64>,
+}
+
+impl Literal {
+    /// Creates a literal from a shape and row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.num_elements()`.
+    #[must_use]
+    pub fn from_vec(shape: Shape, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.num_elements(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Literal { shape, data }
+    }
+
+    /// An all-`value` literal of the given shape.
+    #[must_use]
+    pub fn splat(shape: Shape, value: f64) -> Self {
+        let n = shape.num_elements();
+        Literal { shape, data: vec![value; n] }
+    }
+
+    /// An all-zeros literal of the given shape.
+    #[must_use]
+    pub fn zeros(shape: Shape) -> Self {
+        Literal::splat(shape, 0.0)
+    }
+
+    /// A rank-0 scalar literal.
+    #[must_use]
+    pub fn scalar(dtype: overlap_hlo::DType, value: f64) -> Self {
+        Literal::from_vec(Shape::new(dtype, vec![]), vec![value])
+    }
+
+    /// A literal filled by `f(flat_index)`.
+    #[must_use]
+    pub fn from_fn(shape: Shape, f: impl Fn(usize) -> f64) -> Self {
+        let n = shape.num_elements();
+        Literal { shape, data: (0..n).map(f).collect() }
+    }
+
+    /// The shape.
+    #[must_use]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The row-major element data.
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the row-major element data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The value of a rank-0 (or single-element) literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the literal has more than one element.
+    #[must_use]
+    pub fn as_scalar(&self) -> f64 {
+        assert_eq!(self.data.len(), 1, "as_scalar on non-scalar {}", self.shape);
+        self.data[0]
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds or has the wrong arity.
+    #[must_use]
+    pub fn at(&self, index: &[usize]) -> f64 {
+        self.data[self.flat_index(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds or has the wrong arity.
+    pub fn set(&mut self, index: &[usize], value: f64) {
+        let i = self.flat_index(index);
+        self.data[i] = value;
+    }
+
+    fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.rank(), "index arity");
+        let mut flat = 0usize;
+        for (d, &i) in index.iter().enumerate() {
+            assert!(i < self.shape.dim(d), "index {i} out of bounds on dim {d}");
+            flat = flat * self.shape.dim(d) + i;
+        }
+        flat
+    }
+
+    /// Returns a literal with the same data but a new shape of equal
+    /// element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    #[must_use]
+    pub fn reshaped(&self, shape: Shape) -> Self {
+        assert_eq!(self.shape.num_elements(), shape.num_elements(), "reshape count");
+        Literal { shape, data: self.data.clone() }
+    }
+
+    /// Whether all elements are within `tol` of `other`'s elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes' dimensions differ.
+    #[must_use]
+    pub fn allclose(&self, other: &Literal, tol: f64) -> bool {
+        assert_eq!(self.shape.dims(), other.shape.dims(), "allclose shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(a, b)| (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())))
+    }
+
+    /// Largest absolute elementwise difference from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes' dimensions differ.
+    #[must_use]
+    pub fn max_abs_diff(&self, other: &Literal) -> f64 {
+        assert_eq!(self.shape.dims(), other.shape.dims(), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Iterates over all multi-dimensional indices of `shape` in row-major
+    /// order.
+    pub fn indices(shape: &Shape) -> impl Iterator<Item = Vec<usize>> + '_ {
+        let rank = shape.rank();
+        let total = shape.num_elements();
+        (0..total).map(move |mut flat| {
+            let mut idx = vec![0usize; rank];
+            for d in (0..rank).rev() {
+                idx[d] = flat % shape.dim(d);
+                flat /= shape.dim(d);
+            }
+            idx
+        })
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Literal({} ", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, "{:?}", self.data)?;
+        } else {
+            write!(f, "[{} elements, first {:?}…]", self.data.len(), &self.data[..8])?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlap_hlo::DType;
+
+    fn f32s(dims: &[usize]) -> Shape {
+        Shape::new(DType::F32, dims.to_vec())
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        let l = Literal::from_vec(f32s(&[2, 2]), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(l.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_len() {
+        let _ = Literal::from_vec(f32s(&[2, 2]), vec![1.0]);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut l = Literal::zeros(f32s(&[2, 3]));
+        l.set(&[1, 2], 7.0);
+        assert_eq!(l.at(&[1, 2]), 7.0);
+        assert_eq!(l.data()[5], 7.0);
+    }
+
+    #[test]
+    fn indices_row_major() {
+        let s = f32s(&[2, 2]);
+        let idx: Vec<Vec<usize>> = Literal::indices(&s).collect();
+        assert_eq!(idx, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn allclose_and_diff() {
+        let a = Literal::from_vec(f32s(&[2]), vec![1.0, 2.0]);
+        let b = Literal::from_vec(f32s(&[2]), vec![1.0, 2.0 + 1e-12]);
+        assert!(a.allclose(&b, 1e-9));
+        assert!(a.max_abs_diff(&b) < 1e-9);
+        let c = Literal::from_vec(f32s(&[2]), vec![1.0, 3.0]);
+        assert!(!a.allclose(&c, 1e-9));
+        assert_eq!(a.max_abs_diff(&c), 1.0);
+    }
+
+    #[test]
+    fn scalar_and_splat() {
+        assert_eq!(Literal::scalar(DType::S32, 3.0).as_scalar(), 3.0);
+        let s = Literal::splat(f32s(&[3]), 2.5);
+        assert_eq!(s.data(), &[2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn debug_truncates() {
+        let big = Literal::zeros(f32s(&[100]));
+        let text = format!("{big:?}");
+        assert!(text.contains("100 elements"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the reference kernels: algebraic identities that
+//! must hold for arbitrary data.
+
+use overlap_hlo::{BinaryKind, DType, DotDims, PadDim, Shape};
+use overlap_numerics::{kernels, Literal};
+use proptest::prelude::*;
+
+fn literal(dims: Vec<usize>) -> impl Strategy<Value = Literal> {
+    let n: usize = dims.iter().product();
+    prop::collection::vec(-8.0f64..8.0, n).prop_map(move |data| {
+        Literal::from_vec(Shape::new(DType::F32, dims.clone()), data)
+    })
+}
+
+proptest! {
+    /// Einsum against a handwritten triple loop for plain matmul.
+    #[test]
+    fn einsum_matches_naive_matmul(
+        (m, k, n) in (1usize..5, 1usize..5, 1usize..5),
+        seed in 0u64..1000,
+    ) {
+        let a = Literal::from_fn(Shape::new(DType::F32, vec![m, k]), |i| {
+            ((i as u64 * 31 + seed) % 17) as f64 - 8.0
+        });
+        let b = Literal::from_fn(Shape::new(DType::F32, vec![k, n]), |i| {
+            ((i as u64 * 13 + seed) % 11) as f64 - 5.0
+        });
+        let c = kernels::einsum(&a, &b, &DotDims::matmul());
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.at(&[i, kk]) * b.at(&[kk, j]);
+                }
+                prop_assert!((c.at(&[i, j]) - acc).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Splitting the contracting dimension and summing partial einsums
+    /// equals the full einsum — the algebraic heart of AllGather case 2.
+    #[test]
+    fn split_contraction_sums_to_full(
+        m in 1usize..5, k2 in 1usize..4, n in 1usize..5, seed in 0u64..100,
+    ) {
+        let k = 2 * k2;
+        let a = Literal::from_fn(Shape::new(DType::F32, vec![m, k]), |i| {
+            ((i as u64 * 7 + seed) % 23) as f64 / 3.0 - 3.0
+        });
+        let b = Literal::from_fn(Shape::new(DType::F32, vec![k, n]), |i| {
+            ((i as u64 * 5 + seed) % 19) as f64 / 2.0 - 4.0
+        });
+        let full = kernels::einsum(&a, &b, &DotDims::matmul());
+
+        let a_lo = kernels::slice(&a, &[0, 0], &[m, k2]);
+        let a_hi = kernels::slice(&a, &[0, k2], &[m, k]);
+        let b_lo = kernels::slice(&b, &[0, 0], &[k2, n]);
+        let b_hi = kernels::slice(&b, &[k2, 0], &[k, n]);
+        let p1 = kernels::einsum(&a_lo, &b_lo, &DotDims::matmul());
+        let p2 = kernels::einsum(&a_hi, &b_hi, &DotDims::matmul());
+        let sum = kernels::binary(BinaryKind::Add, &p1, &p2);
+        prop_assert!(sum.allclose(&full, 1e-9), "max diff {}", sum.max_abs_diff(&full));
+    }
+
+    /// Concat(a, b) == Max(PadLow(a), PadHigh(b)) with a -inf pad value —
+    /// the §5.4.3 fusion-friendly rewrite.
+    #[test]
+    fn pad_max_equals_concat(a in literal(vec![3, 2]), b in literal(vec![3, 4])) {
+        let concat = kernels::concatenate(&[&a, &b], 1);
+        let ninf = f64::NEG_INFINITY;
+        let pa = kernels::pad(&a, ninf, &[PadDim::none(), PadDim::new(0, 4)]);
+        let pb = kernels::pad(&b, ninf, &[PadDim::none(), PadDim::new(2, 0)]);
+        let maxed = kernels::binary(BinaryKind::Max, &pa, &pb);
+        prop_assert_eq!(maxed.data(), concat.data());
+    }
+
+    /// DynamicUpdateSlice then DynamicSlice at the same (in-bounds) offset
+    /// recovers the update.
+    #[test]
+    fn dus_ds_round_trip(
+        base in literal(vec![6, 4]),
+        update in literal(vec![2, 3]),
+        off0 in 0i64..5, off1 in 0i64..2,
+    ) {
+        let written = kernels::dynamic_update_slice(&base, &update, &[off0, off1]);
+        // Clamp like the kernel does.
+        let c0 = off0.clamp(0, 4);
+        let c1 = off1.clamp(0, 1);
+        let read = kernels::dynamic_slice(&written, &[c0, c1], &[2, 3]);
+        prop_assert_eq!(read.data(), update.data());
+    }
+
+    /// Transposing twice is the identity.
+    #[test]
+    fn transpose_involution(a in literal(vec![3, 5])) {
+        let t = kernels::transpose(&a, &[1, 0]);
+        let back = kernels::transpose(&t, &[1, 0]);
+        prop_assert_eq!(back.data(), a.data());
+        prop_assert_eq!(back.shape().dims(), a.shape().dims());
+    }
+
+    /// Concatenating slices along a dimension reconstructs the original.
+    #[test]
+    fn slice_concat_round_trip(a in literal(vec![4, 6]), cut in 1usize..5) {
+        let lo = kernels::slice(&a, &[0, 0], &[4, cut]);
+        let hi = kernels::slice(&a, &[0, cut], &[4, 6]);
+        let back = kernels::concatenate(&[&lo, &hi], 1);
+        prop_assert_eq!(back.data(), a.data());
+    }
+
+    /// Binary Add/Mul are commutative; Max is idempotent.
+    #[test]
+    fn binary_algebra(a in literal(vec![8]), b in literal(vec![8])) {
+        let ab = kernels::binary(BinaryKind::Add, &a, &b);
+        let ba = kernels::binary(BinaryKind::Add, &b, &a);
+        prop_assert_eq!(ab.data(), ba.data());
+        let m1 = kernels::binary(BinaryKind::Mul, &a, &b);
+        let m2 = kernels::binary(BinaryKind::Mul, &b, &a);
+        prop_assert_eq!(m1.data(), m2.data());
+        let mx = kernels::binary(BinaryKind::Max, &a, &a);
+        prop_assert_eq!(mx.data(), a.data());
+    }
+}

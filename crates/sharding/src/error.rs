@@ -1,0 +1,39 @@
+//! Sharding error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while partitioning an einsum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShardingError {
+    /// The requested sharding combination is outside the supported
+    /// strategy family (e.g. requires resharding a free dimension by
+    /// slicing, or partitions one dimension along two axes).
+    Unsupported(String),
+    /// A sharding's arity does not match its tensor's rank, or an axis is
+    /// out of range for the mesh.
+    Invalid(String),
+}
+
+impl fmt::Display for ShardingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardingError::Unsupported(m) => write!(f, "unsupported sharding: {m}"),
+            ShardingError::Invalid(m) => write!(f, "invalid sharding: {m}"),
+        }
+    }
+}
+
+impl Error for ShardingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!ShardingError::Unsupported("x".into()).to_string().is_empty());
+        assert!(!ShardingError::Invalid("y".into()).to_string().is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! SPMD sharding specs and the einsum partitioner.
+//!
+//! Intra-layer (tensor) model parallelism keeps each tensor distributed
+//! over the device mesh, and inserts collectives whenever an einsum needs
+//! data laid out differently (§2.2). This crate provides
+//!
+//! * [`TensorSharding`] — which mesh [`Axis`](overlap_mesh::Axis) (if any)
+//!   each tensor dimension is partitioned along,
+//! * [`partition_einsum`] — a rule-based partitioner that, given operand
+//!   and output shardings, emits the required `AllGather`s before the
+//!   local einsum and the `ReduceScatter`/`AllReduce` after it (the exact
+//!   communication patterns of Figs. 2 and 3),
+//! * [`mlp`] — ready-made builders for the paper's two-layer MLP examples
+//!   under 1-D (Fig. 2) and 2-D (Fig. 3) partitioning strategies.
+//!
+//! The partitioner intentionally supports the strategy family the paper
+//! evaluates (each tensor dimension partitioned along at most one mesh
+//! axis, no resharding-by-slicing); unsupported layouts return
+//! [`ShardingError::Unsupported`] rather than silently degrading.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod error;
+pub mod mlp;
+mod module_partition;
+mod partition;
+mod spec;
+
+pub use error::ShardingError;
+pub use module_partition::{partition_module, PartitionedModule};
+pub use partition::{partition_einsum, PartitionedEinsum};
+pub use spec::TensorSharding;

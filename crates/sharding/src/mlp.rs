@@ -1,0 +1,227 @@
+//! The paper's running example: a two-layer MLP under the 1-D (Fig. 2)
+//! and 2-D (Fig. 3) partitioning strategies.
+//!
+//! These builders produce *baseline* modules — synchronous collectives
+//! followed by dependent einsums — which are precisely the patterns the
+//! looped collective-einsum transformation (`overlap-core`) decomposes.
+
+use overlap_hlo::{Builder, DType, DotDims, Module, Shape};
+use overlap_mesh::{Axis, DeviceMesh};
+
+use crate::{partition_einsum, ShardingError, TensorSharding};
+
+/// Global (unsharded) dimensions of the two-layer MLP: the batch `B`,
+/// feature `F` and hidden `H` sizes of Figs. 2 and 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MlpConfig {
+    /// Batch dimension `B`.
+    pub batch: usize,
+    /// Feature dimension `F` (layer input/output width).
+    pub feature: usize,
+    /// Hidden dimension `H` (intermediate width).
+    pub hidden: usize,
+}
+
+impl MlpConfig {
+    /// A small configuration for tests.
+    #[must_use]
+    pub fn small() -> Self {
+        MlpConfig { batch: 8, feature: 16, hidden: 32 }
+    }
+}
+
+/// Builds the Fig. 2 forward pass on a 1-D mesh: activations keep their
+/// batch shard (`[B/N, F]`), weights are stored sharded on their first
+/// dimension and `AllGather`ed before each einsum.
+///
+/// Parameters (per device): `x [B/N, F]`, `w1 [F/N, H]`, `w2 [H/N, F]`.
+///
+/// # Errors
+///
+/// Returns [`ShardingError`] if the sizes don't divide by the mesh.
+pub fn fig2_forward(mesh: &DeviceMesh, cfg: MlpConfig) -> Result<Module, ShardingError> {
+    if mesh.rank() != 1 {
+        return Err(ShardingError::Invalid(format!("fig2 needs a 1-D mesh, got {mesh}")));
+    }
+    let n = mesh.axis_size(Axis(0));
+    let mut b = Builder::new("fig2_mlp", mesh.num_devices());
+    let div = |v: usize, by: usize, what: &str| {
+        if v.is_multiple_of(by) {
+            Ok(v / by)
+        } else {
+            Err(ShardingError::Invalid(format!("{what} {v} not divisible by {by}")))
+        }
+    };
+    let x = b.parameter(
+        Shape::new(DType::F32, vec![div(cfg.batch, n, "batch")?, cfg.feature]),
+        "x",
+    );
+    let w1 = b.parameter(
+        Shape::new(DType::F32, vec![div(cfg.feature, n, "feature")?, cfg.hidden]),
+        "w1",
+    );
+    let w2 = b.parameter(
+        Shape::new(DType::F32, vec![div(cfg.hidden, n, "hidden")?, cfg.feature]),
+        "w2",
+    );
+
+    let batch_sharded = TensorSharding::replicated(2).with_dim(0, Axis(0));
+    let row_sharded = TensorSharding::replicated(2).with_dim(0, Axis(0));
+
+    let l1 = partition_einsum(
+        &mut b,
+        mesh,
+        x,
+        &batch_sharded,
+        w1,
+        &row_sharded,
+        &DotDims::matmul(),
+        &batch_sharded,
+        "layer1",
+    )?;
+    let l2 = partition_einsum(
+        &mut b,
+        mesh,
+        l1.result,
+        &batch_sharded,
+        w2,
+        &row_sharded,
+        &DotDims::matmul(),
+        &batch_sharded,
+        "layer2",
+    )?;
+    Ok(b.build(vec![l2.result]))
+}
+
+/// Builds the Fig. 3 forward pass on a 2-D mesh `[M, N]` (axis 0 = `x`,
+/// axis 1 = `y`): the first einsum `AllGather`s the activation along `x`
+/// and the weight along `y`; the second einsum `AllGather`s the weight
+/// along `y`, contracts the `x`-partitioned hidden dimension locally and
+/// `ReduceScatter`s the partial result along `x`.
+///
+/// Parameters (per device): `x [B/N, F/M]`, `w1 [F/N, H/M]`,
+/// `w2 [H/M, F/N]`.
+///
+/// # Errors
+///
+/// Returns [`ShardingError`] if the mesh is not 2-D or sizes don't divide.
+pub fn fig3_forward(mesh: &DeviceMesh, cfg: MlpConfig) -> Result<Module, ShardingError> {
+    if mesh.rank() != 2 {
+        return Err(ShardingError::Invalid(format!("fig3 needs a 2-D mesh, got {mesh}")));
+    }
+    let m = mesh.axis_size(Axis(0));
+    let n = mesh.axis_size(Axis(1));
+    let check = |v: usize, by: usize, what: &str| {
+        if v.is_multiple_of(by) {
+            Ok(v / by)
+        } else {
+            Err(ShardingError::Invalid(format!("{what} {v} not divisible by {by}")))
+        }
+    };
+    let mut b = Builder::new("fig3_mlp", mesh.num_devices());
+    let x = b.parameter(
+        Shape::new(
+            DType::F32,
+            vec![check(cfg.batch, n, "batch")?, check(cfg.feature, m, "feature")?],
+        ),
+        "x",
+    );
+    let w1 = b.parameter(
+        Shape::new(
+            DType::F32,
+            vec![check(cfg.feature, n, "feature")?, check(cfg.hidden, m, "hidden")?],
+        ),
+        "w1",
+    );
+    let w2 = b.parameter(
+        Shape::new(
+            DType::F32,
+            vec![check(cfg.hidden, m, "hidden")?, check(cfg.feature, n, "feature")?],
+        ),
+        "w2",
+    );
+
+    let x_sharding = TensorSharding::new(vec![Some(Axis(1)), Some(Axis(0))]);
+    let w1_sharding = TensorSharding::new(vec![Some(Axis(1)), Some(Axis(0))]);
+    let h_sharding = TensorSharding::new(vec![Some(Axis(1)), Some(Axis(0))]);
+
+    let l1 = partition_einsum(
+        &mut b,
+        mesh,
+        x,
+        &x_sharding,
+        w1,
+        &w1_sharding,
+        &DotDims::matmul(),
+        &h_sharding,
+        "layer1",
+    )?;
+
+    let w2_sharding = TensorSharding::new(vec![Some(Axis(0)), Some(Axis(1))]);
+    let out_sharding = TensorSharding::new(vec![Some(Axis(1)), Some(Axis(0))]);
+    let l2 = partition_einsum(
+        &mut b,
+        mesh,
+        l1.result,
+        &h_sharding,
+        w2,
+        &w2_sharding,
+        &DotDims::matmul(),
+        &out_sharding,
+        "layer2",
+    )?;
+    Ok(b.build(vec![l2.result]))
+}
+
+#[cfg(test)]
+mod tests {
+    use overlap_hlo::Op;
+
+    use super::*;
+
+    #[test]
+    fn fig2_structure() {
+        let mesh = DeviceMesh::ring(4);
+        let m = fig2_forward(&mesh, MlpConfig::small()).unwrap();
+        m.verify().unwrap();
+        // Two weight gathers, no reduce, two einsums.
+        assert_eq!(m.count_live(|i| matches!(i.op(), Op::AllGather { .. })), 2);
+        assert_eq!(m.count_live(|i| matches!(i.op(), Op::Einsum(_))), 2);
+        assert_eq!(m.count_live(|i| matches!(i.op(), Op::ReduceScatter { .. })), 0);
+        // Output keeps the batch shard: [B/N, F].
+        assert_eq!(m.shape_of(m.outputs()[0]).dims(), &[2, 16]);
+    }
+
+    #[test]
+    fn fig3_structure() {
+        let mesh = DeviceMesh::new(vec![2, 4]);
+        let m = fig3_forward(&mesh, MlpConfig::small()).unwrap();
+        m.verify().unwrap();
+        // Fig. 3: three AllGathers (x along x; w1 along y; w2 along y) and
+        // one ReduceScatter along x.
+        assert_eq!(m.count_live(|i| matches!(i.op(), Op::AllGather { .. })), 3);
+        assert_eq!(m.count_live(|i| matches!(i.op(), Op::ReduceScatter { .. })), 1);
+        assert_eq!(m.count_live(|i| matches!(i.op(), Op::Einsum(_))), 2);
+        // Output is fully partitioned: [B/N, F/M].
+        assert_eq!(m.shape_of(m.outputs()[0]).dims(), &[2, 8]);
+    }
+
+    #[test]
+    fn fig2_rejects_2d_mesh() {
+        let mesh = DeviceMesh::new(vec![2, 2]);
+        assert!(fig2_forward(&mesh, MlpConfig::small()).is_err());
+    }
+
+    #[test]
+    fn fig3_rejects_1d_mesh() {
+        let mesh = DeviceMesh::ring(4);
+        assert!(fig3_forward(&mesh, MlpConfig::small()).is_err());
+    }
+
+    #[test]
+    fn indivisible_sizes_rejected() {
+        let mesh = DeviceMesh::ring(3);
+        let err = fig2_forward(&mesh, MlpConfig { batch: 8, feature: 16, hidden: 32 });
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! Whole-module SPMD partitioning (a GSPMD-lite).
+//!
+//! The paper's inputs come from XLA's SPMD partitioner (GSPMD): a *global*
+//! program plus sharding annotations becomes a per-device program with the
+//! collectives of §2.2 inserted. [`partition_module`] provides the subset
+//! needed here: given a dense module (built as if on one device) and a
+//! sharding for every parameter, it propagates shardings forward, shards
+//! every parameter, routes every einsum through
+//! [`partition_einsum`](crate::partition_einsum), and keeps elementwise
+//! ops local.
+//!
+//! Sharding propagation for an einsum output keeps each batch/free
+//! dimension's axis when the producing operand dimension is partitioned
+//! (dropping duplicates so no axis appears twice), and resolves a
+//! both-sides-partitioned contraction by scattering onto the first
+//! unpartitioned output dimension (or an `AllReduce` if there is none).
+
+use std::collections::HashMap;
+
+use overlap_hlo::{Builder, DotDims, InstrId, Module, Op};
+use overlap_mesh::{Axis, DeviceMesh};
+
+use crate::{partition_einsum, ShardingError, TensorSharding};
+
+/// Result of partitioning a module.
+#[derive(Debug, Clone)]
+pub struct PartitionedModule {
+    /// The SPMD per-device module.
+    pub module: Module,
+    /// The sharding each module output carries.
+    pub output_shardings: Vec<TensorSharding>,
+}
+
+/// Derives the output sharding of an einsum from its operand shardings.
+fn propagate_einsum(
+    dims: &DotDims,
+    lhs_rank: usize,
+    rhs_rank: usize,
+    lhs: &TensorSharding,
+    rhs: &TensorSharding,
+) -> TensorSharding {
+    let mut used: Vec<Axis> = Vec::new();
+    let mut take = |axis: Option<Axis>| -> Option<Axis> {
+        match axis {
+            Some(a) if !used.contains(&a) => {
+                used.push(a);
+                Some(a)
+            }
+            _ => None,
+        }
+    };
+    let mut out_axes: Vec<Option<Axis>> = Vec::new();
+    for &(l, r) in dims.batch() {
+        // A batch dim stays partitioned only when both operands agree.
+        let axis = if lhs.axis_of(l) == rhs.axis_of(r) { lhs.axis_of(l) } else { None };
+        out_axes.push(take(axis));
+    }
+    for d in dims.lhs_free_dims(lhs_rank) {
+        out_axes.push(take(lhs.axis_of(d)));
+    }
+    for d in dims.rhs_free_dims(rhs_rank) {
+        out_axes.push(take(rhs.axis_of(d)));
+    }
+    // Both-sides-partitioned contraction: scatter onto the first
+    // unpartitioned output dim.
+    for &(l, r) in dims.contracting() {
+        if let (Some(a), Some(b)) = (lhs.axis_of(l), rhs.axis_of(r)) {
+            if a == b && !used.contains(&a) {
+                if let Some(slot) = out_axes.iter_mut().find(|s| s.is_none()) {
+                    *slot = Some(a);
+                    used.push(a);
+                }
+            }
+        }
+    }
+    TensorSharding::new(out_axes)
+}
+
+/// Partitions `global` (a dense, single-device module) over `mesh`.
+///
+/// `param_shardings[i]` describes parameter `i` (in parameter-index
+/// order). Supported ops: parameters, constants (splat), einsums,
+/// elementwise unary/binary, `Copy` and `Transpose`; anything else returns
+/// [`ShardingError::Unsupported`]. Elementwise operands must carry
+/// identical shardings (insert explicit resharding upstream otherwise).
+///
+/// # Errors
+///
+/// Returns [`ShardingError`] on unsupported ops, mismatched elementwise
+/// shardings, or shapes that do not divide the mesh.
+pub fn partition_module(
+    global: &Module,
+    mesh: &DeviceMesh,
+    param_shardings: &[TensorSharding],
+) -> Result<PartitionedModule, ShardingError> {
+    global
+        .verify()
+        .map_err(|e| ShardingError::Invalid(format!("input module: {e}")))?;
+    let params = global.parameters();
+    if params.len() != param_shardings.len() {
+        return Err(ShardingError::Invalid(format!(
+            "{} parameters but {} shardings",
+            params.len(),
+            param_shardings.len()
+        )));
+    }
+    let param_index: HashMap<InstrId, usize> =
+        params.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+
+    let mut b = Builder::new(format!("{}.spmd", global.name()), mesh.num_devices());
+    let mut map: Vec<Option<InstrId>> = vec![None; global.len()];
+    let mut shardings: Vec<Option<TensorSharding>> = vec![None; global.len()];
+
+    for (id, ins) in global.iter() {
+        let operand = |i: usize| map[ins.operands()[i].index()].expect("mapped");
+        let op_sharding =
+            |i: usize| shardings[ins.operands()[i].index()].clone().expect("sharded");
+        let (new_id, sharding) = match ins.op() {
+            Op::Parameter { .. } => {
+                let s = param_shardings[param_index[&id]].clone();
+                let local = s.local_shape(ins.shape(), mesh)?;
+                (b.parameter(local, ins.name()), s)
+            }
+            Op::Constant { value } => {
+                // Constants splat: any sharding works; keep replicated.
+                let s = TensorSharding::replicated(ins.shape().rank());
+                (b.constant(ins.shape().clone(), *value, ins.name()), s)
+            }
+            Op::Einsum(dims) => {
+                let lhs_rank = global.shape_of(ins.operands()[0]).rank();
+                let rhs_rank = global.shape_of(ins.operands()[1]).rank();
+                let ls = op_sharding(0);
+                let rs = op_sharding(1);
+                let out = propagate_einsum(dims, lhs_rank, rhs_rank, &ls, &rs);
+                let p = partition_einsum(
+                    &mut b,
+                    mesh,
+                    operand(0),
+                    &ls,
+                    operand(1),
+                    &rs,
+                    dims,
+                    &out,
+                    ins.name(),
+                )?;
+                (p.result, out)
+            }
+            Op::Binary(kind) => {
+                let ls = op_sharding(0);
+                let rs = op_sharding(1);
+                if ls != rs {
+                    return Err(ShardingError::Unsupported(format!(
+                        "{}: elementwise operands carry different shardings ({ls} vs {rs})",
+                        ins.name()
+                    )));
+                }
+                (b.binary_op(*kind, operand(0), operand(1), ins.name()), ls)
+            }
+            Op::Unary(kind) => {
+                let s = op_sharding(0);
+                (b.unary_op(*kind, operand(0), ins.name()), s)
+            }
+            Op::Copy => {
+                let s = op_sharding(0);
+                (b.copy(operand(0), ins.name()), s)
+            }
+            Op::Transpose { perm } => {
+                // A transpose permutes the sharding along with the dims.
+                let s = op_sharding(0);
+                let out = TensorSharding::new(perm.iter().map(|&p| s.axis_of(p)).collect());
+                (b.transpose(operand(0), perm.clone(), ins.name()), out)
+            }
+            other => {
+                return Err(ShardingError::Unsupported(format!(
+                    "{}: op {} is outside the partitioner's subset",
+                    ins.name(),
+                    other.mnemonic()
+                )))
+            }
+        };
+        map[id.index()] = Some(new_id);
+        shardings[id.index()] = Some(sharding);
+    }
+
+    let outputs: Vec<InstrId> =
+        global.outputs().iter().map(|o| map[o.index()].expect("mapped")).collect();
+    let output_shardings = global
+        .outputs()
+        .iter()
+        .map(|o| shardings[o.index()].clone().expect("sharded"))
+        .collect();
+    Ok(PartitionedModule { module: b.build(outputs), output_shardings })
+}
+
+#[cfg(test)]
+mod tests {
+    use overlap_hlo::{DType, Shape};
+
+    use super::*;
+
+    fn f32s(dims: &[usize]) -> Shape {
+        Shape::new(DType::F32, dims.to_vec())
+    }
+
+    /// Dense two-layer MLP as a single-device module.
+    fn dense_mlp(batch: usize, feature: usize, hidden: usize) -> Module {
+        let mut b = Builder::new("dense_mlp", 1);
+        let x = b.parameter(f32s(&[batch, feature]), "x");
+        let w1 = b.parameter(f32s(&[feature, hidden]), "w1");
+        let w2 = b.parameter(f32s(&[hidden, feature]), "w2");
+        let h = b.einsum(x, w1, DotDims::matmul(), "h");
+        let y = b.einsum(h, w2, DotDims::matmul(), "y");
+        b.build(vec![y])
+    }
+
+    #[test]
+    fn fig2_style_sharding_inserts_weight_gathers() {
+        let mesh = DeviceMesh::ring(4);
+        let m = dense_mlp(8, 16, 32);
+        let shardings = vec![
+            TensorSharding::replicated(2).with_dim(0, Axis(0)), // x: batch-sharded
+            TensorSharding::replicated(2).with_dim(0, Axis(0)), // w1: row-sharded
+            TensorSharding::replicated(2).with_dim(0, Axis(0)), // w2: row-sharded
+        ];
+        let p = partition_module(&m, &mesh, &shardings).unwrap();
+        p.module.verify().unwrap();
+        assert_eq!(p.module.count_live(|i| matches!(i.op(), Op::AllGather { .. })), 2);
+        assert_eq!(p.module.count_live(|i| matches!(i.op(), Op::Einsum(_))), 2);
+        // Output keeps the batch shard: [8/4, 16].
+        assert_eq!(p.module.shape_of(p.module.outputs()[0]).dims(), &[2, 16]);
+        assert_eq!(p.output_shardings[0].axis_of(0), Some(Axis(0)));
+    }
+
+    #[test]
+    fn contraction_partial_resolves_to_scatter() {
+        let mesh = DeviceMesh::ring(2);
+        let mut b = Builder::new("partial", 1);
+        let x = b.parameter(f32s(&[8, 16]), "x");
+        let w = b.parameter(f32s(&[16, 8]), "w");
+        let y = b.einsum(x, w, DotDims::matmul(), "y");
+        let m = b.build(vec![y]);
+        // Contracting dim partitioned on both sides.
+        let shardings = vec![
+            TensorSharding::replicated(2).with_dim(1, Axis(0)),
+            TensorSharding::replicated(2).with_dim(0, Axis(0)),
+        ];
+        let p = partition_module(&m, &mesh, &shardings).unwrap();
+        assert_eq!(
+            p.module.count_live(|i| matches!(i.op(), Op::ReduceScatter { .. })),
+            1
+        );
+        // The scatter landed on output dim 0.
+        assert_eq!(p.output_shardings[0].axis_of(0), Some(Axis(0)));
+    }
+
+    #[test]
+    fn elementwise_follows_sharding() {
+        let mesh = DeviceMesh::ring(2);
+        let mut b = Builder::new("ew", 1);
+        let x = b.parameter(f32s(&[8, 4]), "x");
+        let y = b.parameter(f32s(&[8, 4]), "y");
+        let s = b.add(x, y, "s");
+        let n = b.neg(s, "n");
+        let m = b.build(vec![n]);
+        let sh = TensorSharding::replicated(2).with_dim(0, Axis(0));
+        let p = partition_module(&m, &mesh, &[sh.clone(), sh.clone()]).unwrap();
+        assert_eq!(p.module.shape_of(p.module.outputs()[0]).dims(), &[4, 4]);
+        assert_eq!(p.output_shardings[0], sh);
+    }
+
+    #[test]
+    fn mismatched_elementwise_shardings_rejected() {
+        let mesh = DeviceMesh::new(vec![2, 2]);
+        let mut b = Builder::new("bad", 1);
+        let x = b.parameter(f32s(&[8, 4]), "x");
+        let y = b.parameter(f32s(&[8, 4]), "y");
+        let s = b.add(x, y, "s");
+        let m = b.build(vec![s]);
+        let err = partition_module(
+            &m,
+            &mesh,
+            &[
+                TensorSharding::replicated(2).with_dim(0, Axis(0)),
+                TensorSharding::replicated(2).with_dim(0, Axis(1)),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ShardingError::Unsupported(_)));
+    }
+
+    #[test]
+    fn transpose_permutes_sharding() {
+        let mesh = DeviceMesh::ring(2);
+        let mut b = Builder::new("tr", 1);
+        let x = b.parameter(f32s(&[4, 6]), "x");
+        let t = b.transpose(x, vec![1, 0], "t");
+        let m = b.build(vec![t]);
+        let sh = TensorSharding::replicated(2).with_dim(0, Axis(0));
+        let p = partition_module(&m, &mesh, &[sh]).unwrap();
+        assert_eq!(p.module.shape_of(p.module.outputs()[0]).dims(), &[6, 2]);
+        assert_eq!(p.output_shardings[0].axis_of(1), Some(Axis(0)));
+        assert_eq!(p.output_shardings[0].axis_of(0), None);
+    }
+
+    #[test]
+    fn unsupported_op_rejected() {
+        let mesh = DeviceMesh::ring(2);
+        let mut b = Builder::new("uns", 1);
+        let x = b.parameter(f32s(&[4, 4]), "x");
+        let zero = b.constant(Shape::scalar(DType::U32), 0.0, "z");
+        let d = b.dynamic_slice(x, &[zero, zero], vec![2, 2], "d");
+        let m = b.build(vec![d]);
+        let err = partition_module(&m, &mesh, &[TensorSharding::replicated(2)]).unwrap_err();
+        assert!(matches!(err, ShardingError::Unsupported(_)));
+    }
+}

@@ -1,0 +1,413 @@
+//! Rule-based SPMD partitioning of einsums.
+
+use overlap_hlo::{Builder, DotDims, InstrId};
+use overlap_mesh::{Axis, DeviceMesh};
+
+use crate::{ShardingError, TensorSharding};
+
+/// Result of partitioning one einsum: the final (sharded) result plus the
+/// collectives that were inserted, so callers (and tests) can see the
+/// communication pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionedEinsum {
+    /// The instruction producing the result with the requested output
+    /// sharding.
+    pub result: InstrId,
+    /// `AllGather`s inserted on the LHS, in dimension order.
+    pub lhs_gathers: Vec<InstrId>,
+    /// `AllGather`s inserted on the RHS, in dimension order.
+    pub rhs_gathers: Vec<InstrId>,
+    /// The trailing `ReduceScatter` or `AllReduce`, if the contraction ran
+    /// over a partitioned dimension.
+    pub reduction: Option<InstrId>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DimRole {
+    Batch(usize),
+    Contracting(usize),
+    Free,
+}
+
+fn role_of(dims: &DotDims, dim: usize, is_lhs: bool) -> DimRole {
+    for (i, &(l, r)) in dims.batch().iter().enumerate() {
+        if (is_lhs && l == dim) || (!is_lhs && r == dim) {
+            return DimRole::Batch(i);
+        }
+    }
+    for (i, &(l, r)) in dims.contracting().iter().enumerate() {
+        if (is_lhs && l == dim) || (!is_lhs && r == dim) {
+            return DimRole::Contracting(i);
+        }
+    }
+    DimRole::Free
+}
+
+/// Partitions one einsum for SPMD execution.
+///
+/// `lhs`/`rhs` are the *local shards* already present in the builder, with
+/// `lhs_sharding`/`rhs_sharding` describing how they relate to the global
+/// tensors. The function inserts the `AllGather`s required before the
+/// local einsum and the `ReduceScatter`/`AllReduce` required after it so
+/// the result carries `out_sharding` — exactly the communication patterns
+/// of Figs. 2 and 3:
+///
+/// * a **free** operand dimension stays partitioned iff the matching
+///   output dimension is partitioned along the same axis; otherwise the
+///   operand is all-gathered along it;
+/// * a **batch** dimension stays partitioned iff both operands and the
+///   output agree on its axis; otherwise both sides are gathered;
+/// * a **contracting** dimension partitioned along the same axis on both
+///   sides is contracted locally, producing partial sums that are
+///   reduce-scattered onto an output dimension the caller wants
+///   partitioned along that axis (or all-reduced if there is none);
+///   a contracting dimension partitioned on one side only is gathered.
+///
+/// # Example
+///
+/// ```
+/// use overlap_hlo::{Builder, DType, DotDims, Op, Shape};
+/// use overlap_mesh::{Axis, DeviceMesh};
+/// use overlap_sharding::{partition_einsum, TensorSharding};
+///
+/// // Fig. 2: batch-sharded activations, row-sharded weight.
+/// let mesh = DeviceMesh::ring(4);
+/// let mut b = Builder::new("m", 4);
+/// let x = b.parameter(Shape::new(DType::F32, vec![4, 32]), "x");
+/// let w = b.parameter(Shape::new(DType::F32, vec![8, 64]), "w");
+/// let batch = TensorSharding::replicated(2).with_dim(0, Axis(0));
+/// let row = TensorSharding::replicated(2).with_dim(0, Axis(0));
+/// let p = partition_einsum(
+///     &mut b, &mesh, x, &batch, w, &row, &DotDims::matmul(), &batch, "y",
+/// ).unwrap();
+/// assert_eq!(p.rhs_gathers.len(), 1); // the weight is all-gathered
+/// assert_eq!(b.shape_of(p.result).dims(), &[4, 64]);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ShardingError`] if a sharding fails validation or the
+/// requested output sharding would require resharding by slicing (outside
+/// the paper's strategy family).
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn partition_einsum(
+    b: &mut Builder,
+    mesh: &DeviceMesh,
+    lhs: InstrId,
+    lhs_sharding: &TensorSharding,
+    rhs: InstrId,
+    rhs_sharding: &TensorSharding,
+    dims: &DotDims,
+    out_sharding: &TensorSharding,
+    name: &str,
+) -> Result<PartitionedEinsum, ShardingError> {
+    let lhs_global = lhs_sharding.global_shape(b.shape_of(lhs), mesh);
+    let rhs_global = rhs_sharding.global_shape(b.shape_of(rhs), mesh);
+    lhs_sharding.validate(&lhs_global, mesh)?;
+    rhs_sharding.validate(&rhs_global, mesh)?;
+    let out_global = dims
+        .output_shape(&lhs_global, &rhs_global)
+        .map_err(|e| ShardingError::Invalid(e.to_string()))?;
+    out_sharding.validate(&out_global, mesh)?;
+
+    let lhs_rank = lhs_global.rank();
+    let rhs_rank = rhs_global.rank();
+
+    // Decide, per operand dimension, whether to gather it.
+    let mut gather_lhs: Vec<(usize, Axis)> = Vec::new();
+    let mut gather_rhs: Vec<(usize, Axis)> = Vec::new();
+    // Contracting-pair axes contracted locally (partial sums).
+    let mut partial_axes: Vec<Axis> = Vec::new();
+
+    for (side_is_lhs, sharding, rank) in
+        [(true, lhs_sharding, lhs_rank), (false, rhs_sharding, rhs_rank)]
+    {
+        for dim in 0..rank {
+            let Some(axis) = sharding.axis_of(dim) else { continue };
+            match role_of(dims, dim, side_is_lhs) {
+                DimRole::Free => {
+                    let out_dim = if side_is_lhs {
+                        dims.output_dim_of_lhs_free(lhs_rank, dim)
+                    } else {
+                        dims.output_dim_of_rhs_free(lhs_rank, rhs_rank, dim)
+                    }
+                    .expect("free dim maps to an output dim");
+                    if out_sharding.axis_of(out_dim) == Some(axis) {
+                        // Stays partitioned end to end.
+                    } else {
+                        // Output wants this dim replicated or on another
+                        // axis: gather. If the output's requested axis is
+                        // not later produced by a partial-sum reduction,
+                        // the final shape check reports Unsupported.
+                        if side_is_lhs {
+                            gather_lhs.push((dim, axis));
+                        } else {
+                            gather_rhs.push((dim, axis));
+                        }
+                    }
+                }
+                DimRole::Batch(i) => {
+                    let (l, r) = dims.batch()[i];
+                    let other = if side_is_lhs {
+                        rhs_sharding.axis_of(r)
+                    } else {
+                        lhs_sharding.axis_of(l)
+                    };
+                    let out_axis = out_sharding.axis_of(i);
+                    if other == Some(axis) && out_axis == Some(axis) {
+                        // Consistent batch sharding: stays partitioned.
+                    } else if other == Some(axis) && out_axis.is_none() {
+                        return Err(ShardingError::Unsupported(format!(
+                            "batch dim pair {i} partitioned along {axis} but output replicated"
+                        )));
+                    } else {
+                        // Mismatched batch sharding: gather this side.
+                        if side_is_lhs {
+                            gather_lhs.push((dim, axis));
+                        } else {
+                            gather_rhs.push((dim, axis));
+                        }
+                        if out_axis.is_some() && other != Some(axis) {
+                            return Err(ShardingError::Unsupported(format!(
+                                "batch dim pair {i}: inconsistent operand shardings with \
+                                 partitioned output"
+                            )));
+                        }
+                    }
+                }
+                DimRole::Contracting(i) => {
+                    let (l, r) = dims.contracting()[i];
+                    let other = if side_is_lhs {
+                        rhs_sharding.axis_of(r)
+                    } else {
+                        lhs_sharding.axis_of(l)
+                    };
+                    if other == Some(axis) {
+                        // Both sides partitioned the same way: contract
+                        // locally, reduce afterwards. Record once (from
+                        // the LHS side).
+                        if side_is_lhs {
+                            partial_axes.push(axis);
+                        }
+                    } else {
+                        // One-sided, or partitioned along *different* axes
+                        // (Fig. 3 layer 1: x gathers F along x, w gathers F
+                        // along y): gather this side to full.
+                        if side_is_lhs {
+                            gather_lhs.push((dim, axis));
+                        } else {
+                            gather_rhs.push((dim, axis));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Emit gathers.
+    let mut lhs_cur = lhs;
+    let mut lhs_gathers = Vec::new();
+    gather_lhs.sort_unstable_by_key(|&(d, _)| d);
+    for (dim, axis) in gather_lhs {
+        lhs_cur = b.all_gather(
+            lhs_cur,
+            dim,
+            mesh.axis_groups(axis),
+            &format!("{name}.lhs_ag{dim}"),
+        );
+        lhs_gathers.push(lhs_cur);
+    }
+    let mut rhs_cur = rhs;
+    let mut rhs_gathers = Vec::new();
+    gather_rhs.sort_unstable_by_key(|&(d, _)| d);
+    for (dim, axis) in gather_rhs {
+        rhs_cur = b.all_gather(
+            rhs_cur,
+            dim,
+            mesh.axis_groups(axis),
+            &format!("{name}.rhs_ag{dim}"),
+        );
+        rhs_gathers.push(rhs_cur);
+    }
+
+    // Local einsum.
+    let mut result = b.einsum(lhs_cur, rhs_cur, dims.clone(), name);
+
+    // Reduce partial sums.
+    if partial_axes.len() > 1 {
+        return Err(ShardingError::Unsupported(
+            "more than one contracting dimension partitioned".into(),
+        ));
+    }
+    let mut reduction = None;
+    if let Some(&axis) = partial_axes.first() {
+        // Find an output dim the caller wants partitioned along `axis`
+        // that the local result still has full.
+        let local_out_rank = b.shape_of(result).rank();
+        let mut scatter_dim = None;
+        for out_dim in 0..local_out_rank {
+            if out_sharding.axis_of(out_dim) == Some(axis)
+                && b.shape_of(result).dim(out_dim) == out_global.dim(out_dim)
+            {
+                scatter_dim = Some(out_dim);
+                break;
+            }
+        }
+        result = match scatter_dim {
+            Some(dim) => b.reduce_scatter(
+                result,
+                dim,
+                mesh.axis_groups(axis),
+                &format!("{name}.rs"),
+            ),
+            None => b.all_reduce(result, mesh.axis_groups(axis), &format!("{name}.ar")),
+        };
+        reduction = Some(result);
+    }
+
+    // Final check: the produced local shape must match the requested
+    // output sharding.
+    let want = out_sharding
+        .local_shape(&out_global, mesh)
+        .map_err(|e| ShardingError::Invalid(e.to_string()))?;
+    if b.shape_of(result) != &want {
+        return Err(ShardingError::Unsupported(format!(
+            "requested output sharding {out_sharding} needs local shape {want}, \
+             partitioner produced {}",
+            b.shape_of(result)
+        )));
+    }
+
+    Ok(PartitionedEinsum { result, lhs_gathers, rhs_gathers, reduction })
+}
+
+#[cfg(test)]
+mod tests {
+    use overlap_hlo::{DType, Op, Shape};
+
+    use super::*;
+
+    fn f32s(dims: &[usize]) -> Shape {
+        Shape::new(DType::F32, dims.to_vec())
+    }
+
+    /// Fig. 2 layer 1: x [B/N, F], w [F/N, H] -> AllGather(w) -> einsum.
+    #[test]
+    fn fig2_weight_gather() {
+        let mesh = DeviceMesh::ring(4);
+        let mut b = Builder::new("m", 4);
+        let x = b.parameter(f32s(&[4, 32]), "x"); // B=16 sharded /4
+        let w = b.parameter(f32s(&[8, 64]), "w"); // F=32 sharded /4
+        let sx = TensorSharding::replicated(2).with_dim(0, Axis(0));
+        let sw = TensorSharding::replicated(2).with_dim(0, Axis(0));
+        let so = TensorSharding::replicated(2).with_dim(0, Axis(0));
+        let p = partition_einsum(
+            &mut b, &mesh, x, &sx, w, &sw, &DotDims::matmul(), &so, "l1",
+        )
+        .unwrap();
+        assert!(p.lhs_gathers.is_empty());
+        assert_eq!(p.rhs_gathers.len(), 1);
+        assert!(p.reduction.is_none());
+        assert_eq!(b.shape_of(p.result).dims(), &[4, 64]);
+        b.build(vec![p.result]).verify().unwrap();
+    }
+
+    /// Backward dW = x^T · dy with batch contracted: both sides partition
+    /// the contracting (batch) dim -> partial sums -> ReduceScatter.
+    #[test]
+    fn backward_reduce_scatter() {
+        let mesh = DeviceMesh::ring(4);
+        let mut b = Builder::new("m", 4);
+        let x = b.parameter(f32s(&[4, 32]), "x"); // [B/4, F]
+        let dy = b.parameter(f32s(&[4, 64]), "dy"); // [B/4, H]
+        let s_b = TensorSharding::replicated(2).with_dim(0, Axis(0));
+        // dW = einsum over B: contracting (0, 0); out [F, H] sharded on F.
+        let dims = DotDims::new(vec![], vec![(0, 0)]).unwrap();
+        let so = TensorSharding::replicated(2).with_dim(0, Axis(0));
+        let p = partition_einsum(&mut b, &mesh, x, &s_b, dy, &s_b, &dims, &so, "dw").unwrap();
+        assert!(p.lhs_gathers.is_empty() && p.rhs_gathers.is_empty());
+        let rs = p.reduction.expect("reduce-scatter inserted");
+        let m = b.build(vec![p.result]);
+        assert!(matches!(m.instr(rs).op(), Op::ReduceScatter { dim: 0, .. }));
+        assert_eq!(m.shape_of(p.result).dims(), &[8, 64]);
+        m.verify().unwrap();
+    }
+
+    /// Partial sums with a replicated output -> AllReduce (Megatron-style).
+    #[test]
+    fn partial_with_replicated_output_allreduces() {
+        let mesh = DeviceMesh::ring(2);
+        let mut b = Builder::new("m", 2);
+        let x = b.parameter(f32s(&[8, 16]), "x"); // [B, K/2]
+        let w = b.parameter(f32s(&[16, 8]), "w"); // [K/2, H]
+        let sk = TensorSharding::replicated(2).with_dim(1, Axis(0));
+        let sw = TensorSharding::replicated(2).with_dim(0, Axis(0));
+        let so = TensorSharding::replicated(2);
+        let p = partition_einsum(
+            &mut b, &mesh, x, &sk, w, &sw, &DotDims::matmul(), &so, "y",
+        )
+        .unwrap();
+        let ar = p.reduction.expect("all-reduce inserted");
+        let m = b.build(vec![p.result]);
+        assert!(matches!(m.instr(ar).op(), Op::AllReduce { .. }));
+        m.verify().unwrap();
+    }
+
+    /// 2-D strategy layer 1 (Fig. 3): both operands gathered along
+    /// different axes.
+    #[test]
+    fn fig3_layer1_two_gathers() {
+        let mesh = DeviceMesh::new(vec![2, 4]); // [M=2 (x), N=4 (y)]
+        let mut b = Builder::new("m", 8);
+        // x: [B/N, F/M] local [4, 16]; w: [F/N? no — F/N is wrong: w [F/N, H/M]]
+        let x = b.parameter(f32s(&[4, 16]), "x"); // B=16/N=4, F=32/M=2
+        let w = b.parameter(f32s(&[8, 32]), "w"); // F=32/N=4, H=64/M=2
+        let sx = TensorSharding::new(vec![Some(Axis(1)), Some(Axis(0))]);
+        let sw = TensorSharding::new(vec![Some(Axis(1)), Some(Axis(0))]);
+        // out [B/N, H/M]: batch stays on y, H stays on x.
+        let so = TensorSharding::new(vec![Some(Axis(1)), Some(Axis(0))]);
+        let p = partition_einsum(
+            &mut b, &mesh, x, &sx, w, &sw, &DotDims::matmul(), &so, "l1",
+        )
+        .unwrap();
+        // x gathered along its F dim (axis 0 = x), w gathered along its F
+        // dim (axis 1 = y): different mesh axes, as in Fig. 3.
+        assert_eq!(p.lhs_gathers.len(), 1);
+        assert_eq!(p.rhs_gathers.len(), 1);
+        assert!(p.reduction.is_none());
+        assert_eq!(b.shape_of(p.result).dims(), &[4, 32]);
+        b.build(vec![p.result]).verify().unwrap();
+    }
+
+    #[test]
+    fn unsupported_resharding_rejected() {
+        let mesh = DeviceMesh::new(vec![2, 2]);
+        let mut b = Builder::new("m", 4);
+        let x = b.parameter(f32s(&[4, 8]), "x");
+        let w = b.parameter(f32s(&[8, 8]), "w");
+        let sx = TensorSharding::replicated(2).with_dim(0, Axis(0));
+        let sw = TensorSharding::replicated(2);
+        // Output wants the batch dim on a *different* axis: unsupported.
+        let so = TensorSharding::replicated(2).with_dim(0, Axis(1));
+        let err = partition_einsum(
+            &mut b, &mesh, x, &sx, w, &sw, &DotDims::matmul(), &so, "y",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ShardingError::Unsupported(_)));
+    }
+
+    #[test]
+    fn fully_replicated_is_plain_einsum() {
+        let mesh = DeviceMesh::ring(2);
+        let mut b = Builder::new("m", 2);
+        let x = b.parameter(f32s(&[4, 8]), "x");
+        let w = b.parameter(f32s(&[8, 16]), "w");
+        let s = TensorSharding::replicated(2);
+        let p = partition_einsum(
+            &mut b, &mesh, x, &s, w, &s, &DotDims::matmul(), &s, "y",
+        )
+        .unwrap();
+        assert!(p.lhs_gathers.is_empty() && p.rhs_gathers.is_empty());
+        assert!(p.reduction.is_none());
+    }
+}

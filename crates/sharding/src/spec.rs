@@ -1,0 +1,220 @@
+//! Tensor sharding specifications.
+
+use std::fmt;
+
+use overlap_hlo::Shape;
+use overlap_mesh::{Axis, DeviceMesh};
+
+use crate::ShardingError;
+
+/// How a tensor is distributed over the device mesh: each tensor dimension
+/// is either replicated (`None`) or partitioned along one mesh axis
+/// (`Some(axis)`).
+///
+/// This is the strategy family of §2.2 — the paper's models partition each
+/// tensor dimension along at most one axis ("/N", "/M" annotations in
+/// Figs. 2 and 3).
+///
+/// # Example
+///
+/// ```
+/// use overlap_hlo::{DType, Shape};
+/// use overlap_mesh::{Axis, DeviceMesh};
+/// use overlap_sharding::TensorSharding;
+///
+/// let mesh = DeviceMesh::new(vec![2, 4]);
+/// // [B, F] with the batch dimension partitioned along axis 1 (size 4).
+/// let s = TensorSharding::replicated(2).with_dim(0, Axis(1));
+/// let global = Shape::new(DType::F32, vec![64, 128]);
+/// assert_eq!(s.local_shape(&global, &mesh).unwrap().dims(), &[16, 128]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TensorSharding {
+    dim_axes: Vec<Option<Axis>>,
+}
+
+impl TensorSharding {
+    /// Fully replicated sharding for a rank-`rank` tensor.
+    #[must_use]
+    pub fn replicated(rank: usize) -> Self {
+        TensorSharding { dim_axes: vec![None; rank] }
+    }
+
+    /// Creates a sharding from explicit per-dimension axes.
+    #[must_use]
+    pub fn new(dim_axes: Vec<Option<Axis>>) -> Self {
+        TensorSharding { dim_axes }
+    }
+
+    /// Returns a copy with dimension `dim` partitioned along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    #[must_use]
+    pub fn with_dim(mut self, dim: usize, axis: Axis) -> Self {
+        self.dim_axes[dim] = Some(axis);
+        self
+    }
+
+    /// The axis (if any) dimension `dim` is partitioned along.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    #[must_use]
+    pub fn axis_of(&self, dim: usize) -> Option<Axis> {
+        self.dim_axes[dim]
+    }
+
+    /// The tensor rank this sharding describes.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.dim_axes.len()
+    }
+
+    /// Whether every dimension is replicated.
+    #[must_use]
+    pub fn is_replicated(&self) -> bool {
+        self.dim_axes.iter().all(Option::is_none)
+    }
+
+    /// Validates this sharding against a global shape and mesh: arity
+    /// matches, axes are in range, no axis is used twice, and every
+    /// partitioned dimension divides evenly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardingError::Invalid`] on any violation.
+    pub fn validate(&self, global: &Shape, mesh: &DeviceMesh) -> Result<(), ShardingError> {
+        if self.dim_axes.len() != global.rank() {
+            return Err(ShardingError::Invalid(format!(
+                "sharding rank {} vs shape {global}",
+                self.dim_axes.len()
+            )));
+        }
+        let mut used = vec![false; mesh.rank()];
+        for (d, axis) in self.dim_axes.iter().enumerate() {
+            if let Some(a) = axis {
+                if a.0 >= mesh.rank() {
+                    return Err(ShardingError::Invalid(format!("{a} out of range for {mesh}")));
+                }
+                if used[a.0] {
+                    return Err(ShardingError::Invalid(format!("{a} used on two dimensions")));
+                }
+                used[a.0] = true;
+                let size = mesh.axis_size(*a);
+                if !global.dim(d).is_multiple_of(size) {
+                    return Err(ShardingError::Invalid(format!(
+                        "dim {d} of {global} not divisible by {a} size {size}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-device shard shape of a tensor with this sharding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShardingError::Invalid`] if the sharding does not
+    /// validate against the shape and mesh.
+    pub fn local_shape(
+        &self,
+        global: &Shape,
+        mesh: &DeviceMesh,
+    ) -> Result<Shape, ShardingError> {
+        self.validate(global, mesh)?;
+        let mut local = global.clone();
+        for (d, axis) in self.dim_axes.iter().enumerate() {
+            if let Some(a) = axis {
+                local = local.with_dim_divided(d, mesh.axis_size(*a));
+            }
+        }
+        Ok(local)
+    }
+
+    /// The global shape corresponding to a local shard shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity mismatches or an axis is out of range.
+    #[must_use]
+    pub fn global_shape(&self, local: &Shape, mesh: &DeviceMesh) -> Shape {
+        assert_eq!(self.dim_axes.len(), local.rank(), "sharding arity");
+        let mut global = local.clone();
+        for (d, axis) in self.dim_axes.iter().enumerate() {
+            if let Some(a) = axis {
+                global = global.with_dim_scaled(d, mesh.axis_size(*a));
+            }
+        }
+        global
+    }
+}
+
+impl fmt::Display for TensorSharding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, a) in self.dim_axes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            match a {
+                Some(axis) => write!(f, "{axis}")?,
+                None => write!(f, "*")?,
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlap_hlo::DType;
+
+    fn shape(dims: &[usize]) -> Shape {
+        Shape::new(DType::F32, dims.to_vec())
+    }
+
+    #[test]
+    fn local_and_global_round_trip() {
+        let mesh = DeviceMesh::new(vec![2, 4]);
+        let s = TensorSharding::replicated(2).with_dim(0, Axis(1)).with_dim(1, Axis(0));
+        let global = shape(&[8, 6]);
+        let local = s.local_shape(&global, &mesh).unwrap();
+        assert_eq!(local.dims(), &[2, 3]);
+        assert_eq!(s.global_shape(&local, &mesh), global);
+    }
+
+    #[test]
+    fn replicated_is_identity() {
+        let mesh = DeviceMesh::ring(4);
+        let s = TensorSharding::replicated(2);
+        assert!(s.is_replicated());
+        assert_eq!(s.local_shape(&shape(&[4, 4]), &mesh).unwrap().dims(), &[4, 4]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mesh = DeviceMesh::new(vec![2, 4]);
+        // Arity mismatch.
+        assert!(TensorSharding::replicated(1).validate(&shape(&[4, 4]), &mesh).is_err());
+        // Axis out of range.
+        let bad_axis = TensorSharding::replicated(2).with_dim(0, Axis(5));
+        assert!(bad_axis.validate(&shape(&[4, 4]), &mesh).is_err());
+        // Same axis twice.
+        let dup = TensorSharding::replicated(2).with_dim(0, Axis(0)).with_dim(1, Axis(0));
+        assert!(dup.validate(&shape(&[4, 4]), &mesh).is_err());
+        // Non-divisible.
+        let nondiv = TensorSharding::replicated(2).with_dim(0, Axis(1));
+        assert!(nondiv.validate(&shape(&[6, 4]), &mesh).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = TensorSharding::replicated(2).with_dim(1, Axis(0));
+        assert_eq!(s.to_string(), "[*,axis0]");
+    }
+}

@@ -1,0 +1,289 @@
+//! Per-instruction cost classification.
+
+use overlap_hlo::{InstrId, Module, Op};
+use overlap_mesh::{cost as ccost, Machine};
+
+/// Direction of a ring transfer, mapped onto the two DMA streams.
+///
+/// `Forward` moves data toward increasing ring position (clockwise),
+/// `Backward` toward decreasing. The bidirectional optimization (§5.4.2)
+/// issues one transfer of each direction per iteration so both ICI link
+/// directions are busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Increasing ring position.
+    Forward,
+    /// Decreasing ring position.
+    Backward,
+}
+
+/// A classified point-to-point transfer: which DMA stream it occupies and
+/// for how long.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferClass {
+    /// Occupied DMA stream.
+    pub direction: Direction,
+    /// Transfer duration in seconds.
+    pub seconds: f64,
+    /// Ring hops traversed.
+    pub hops: usize,
+}
+
+/// What an instruction costs and which resource it occupies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InstrCost {
+    /// No modeled cost (parameters, constants, scalar index arithmetic,
+    /// reshapes/bitcasts).
+    Free,
+    /// Compute-bound work on the compute stream.
+    Compute {
+        /// Duration in seconds.
+        seconds: f64,
+        /// Floating-point operations performed.
+        flops: u64,
+    },
+    /// Memory-bound work on the compute stream.
+    Memory {
+        /// Duration in seconds.
+        seconds: f64,
+    },
+    /// A blocking collective: occupies the compute stream and both DMA
+    /// streams.
+    SyncCollective {
+        /// Duration in seconds.
+        seconds: f64,
+    },
+    /// An asynchronous transfer initiation (cost carried by the DMA
+    /// stream described in the [`TransferClass`]).
+    AsyncStart(TransferClass),
+    /// Completion marker: stalls the compute stream until the paired
+    /// start's transfer has finished.
+    AsyncDone,
+}
+
+/// Classifies the transfer of a collective permute with the given pairs
+/// moving `bytes` per device.
+///
+/// Under SPMD the pairs are a uniform circular shift, so the first pair
+/// determines the hop count and direction for all devices: source and
+/// destination coordinates differ along mesh ring(s); the shorter way
+/// around each ring is taken.
+#[must_use]
+pub fn permute_transfer(pairs: &[(u32, u32)], bytes: usize, machine: &Machine) -> TransferClass {
+    let mesh = machine.mesh();
+    let Some(&(src, dst)) = pairs.first() else {
+        return TransferClass { direction: Direction::Forward, seconds: 0.0, hops: 0 };
+    };
+    let a = mesh.coords(src);
+    let b = mesh.coords(dst);
+    let mut hops = 0usize;
+    let mut direction = Direction::Forward;
+    for (axis, (&ca, &cb)) in a.iter().zip(&b).enumerate() {
+        if ca == cb {
+            continue;
+        }
+        let size = mesh.shape()[axis];
+        let fwd = (cb + size - ca) % size;
+        let bwd = (ca + size - cb) % size;
+        if fwd <= bwd {
+            hops += fwd;
+            direction = Direction::Forward;
+        } else {
+            hops += bwd;
+            direction = Direction::Backward;
+        }
+    }
+    let seconds = if hops == 0 {
+        machine.hop_latency()
+    } else {
+        // Hops pipeline through intermediate routers: one serialization of
+        // the payload plus per-hop latency.
+        bytes as f64 / machine.link_bandwidth() + hops as f64 * machine.hop_latency()
+    };
+    TransferClass { direction, seconds, hops }
+}
+
+/// Time of an einsum with the given dimension numbers and operand
+/// shapes, including the machine's efficiency curve (batch and free
+/// extents fold into `m`/`n`, contracting extents into `k`) and the
+/// per-kernel launch overhead. Also used by the §5.5 cost model to
+/// estimate the *decomposed* partial einsums.
+#[must_use]
+pub fn einsum_time_for(
+    dims: &overlap_hlo::DotDims,
+    lhs: &overlap_hlo::Shape,
+    rhs: &overlap_hlo::Shape,
+    machine: &Machine,
+) -> f64 {
+    let flops = dims.flops(lhs, rhs);
+    let batch: u64 = dims.batch().iter().map(|&(l, _)| lhs.dim(l) as u64).product();
+    let m: u64 = dims
+        .lhs_free_dims(lhs.rank())
+        .iter()
+        .map(|&d| lhs.dim(d) as u64)
+        .product::<u64>()
+        * batch;
+    let n: u64 = dims.rhs_free_dims(rhs.rank()).iter().map(|&d| rhs.dim(d) as u64).product();
+    let k: u64 = dims.contracting().iter().map(|&(l, _)| lhs.dim(l) as u64).product();
+    machine.einsum_time(flops, m, n, k)
+}
+
+/// Computes the cost of instruction `id` on `machine`.
+///
+/// Scalar and near-scalar results (index arithmetic) are free; reshapes
+/// are bitcasts; elementwise/data-movement ops are memory-bound;
+/// `Einsum` is compute-bound; collectives use the analytic ring costs of
+/// [`overlap_mesh::cost`].
+///
+/// # Panics
+///
+/// Panics if `id` is out of range (call on verified modules).
+#[must_use]
+pub fn instruction_cost(module: &Module, id: InstrId, machine: &Machine) -> InstrCost {
+    let ins = module.instr(id);
+    let out_bytes = ins.shape().byte_size();
+    let memory = |extra_operand_bytes: usize| {
+        InstrCost::Memory { seconds: machine.memory_time(out_bytes + extra_operand_bytes) }
+    };
+    let operand_bytes =
+        |i: usize| module.shape_of(ins.operands()[i]).byte_size();
+    match ins.op() {
+        Op::Parameter { .. }
+        | Op::Constant { .. }
+        | Op::ConstantTensor { .. }
+        | Op::Iota { .. }
+        | Op::PartitionId => InstrCost::Free,
+        Op::Reshape => InstrCost::Free,
+        // Scalar index arithmetic is free.
+        _ if ins.shape().num_elements() <= 1 && !ins.op().is_collective() => InstrCost::Free,
+        Op::Broadcast { .. }
+        | Op::Transpose { .. }
+        | Op::Slice { .. }
+        | Op::DynamicSlice { .. }
+        | Op::Pad { .. }
+        | Op::Copy
+        | Op::Unary(_) => memory(operand_bytes(0)),
+        // In-place update (XLA aliases the input buffer): only the update
+        // region is read and written, not the whole result.
+        Op::DynamicUpdateSlice => InstrCost::Memory {
+            seconds: machine.memory_time(2 * operand_bytes(1)),
+        },
+        Op::Binary(_) => memory(operand_bytes(0) + operand_bytes(1)),
+        Op::Concatenate { .. } => {
+            let total: usize = (0..ins.operands().len()).map(operand_bytes).sum();
+            memory(total)
+        }
+        Op::Einsum(dims) => {
+            let lhs = module.shape_of(ins.operands()[0]);
+            let rhs = module.shape_of(ins.operands()[1]);
+            InstrCost::Compute {
+                seconds: einsum_time_for(dims, lhs, rhs, machine),
+                flops: dims.flops(lhs, rhs),
+            }
+        }
+        Op::AllGather { groups, .. } => InstrCost::SyncCollective {
+            seconds: ccost::all_gather_time(machine, groups.group_size(), out_bytes),
+        },
+        Op::ReduceScatter { groups, .. } => InstrCost::SyncCollective {
+            seconds: ccost::reduce_scatter_time(machine, groups.group_size(), operand_bytes(0)),
+        },
+        Op::AllReduce { groups } => InstrCost::SyncCollective {
+            seconds: ccost::all_reduce_time(machine, groups.group_size(), out_bytes),
+        },
+        Op::AllToAll { groups, .. } => InstrCost::SyncCollective {
+            seconds: ccost::all_to_all_time(machine, groups.group_size(), operand_bytes(0)),
+        },
+        Op::CollectivePermute { pairs } => {
+            let t = permute_transfer(pairs, out_bytes, machine);
+            InstrCost::SyncCollective { seconds: t.seconds }
+        }
+        Op::CollectivePermuteStart { pairs } => {
+            InstrCost::AsyncStart(permute_transfer(pairs, out_bytes, machine))
+        }
+        Op::CollectivePermuteDone => InstrCost::AsyncDone,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use overlap_hlo::{Builder, DType, DotDims, ReplicaGroups, Shape};
+    use overlap_mesh::DeviceMesh;
+
+    use super::*;
+
+    fn f32s(dims: &[usize]) -> Shape {
+        Shape::new(DType::F32, dims.to_vec())
+    }
+
+    #[test]
+    fn permute_directions_on_ring() {
+        let machine = Machine::with_mesh(DeviceMesh::ring(4));
+        let fwd = permute_transfer(&[(0, 1), (1, 2), (2, 3), (3, 0)], 1024, &machine);
+        assert_eq!(fwd.direction, Direction::Forward);
+        assert_eq!(fwd.hops, 1);
+        let bwd = permute_transfer(&[(0, 3), (1, 0), (2, 1), (3, 2)], 1024, &machine);
+        assert_eq!(bwd.direction, Direction::Backward);
+        assert_eq!(bwd.hops, 1);
+    }
+
+    #[test]
+    fn permute_multi_hop() {
+        let machine = Machine::with_mesh(DeviceMesh::ring(8));
+        let t = permute_transfer(&[(0, 2)], 1 << 20, &machine);
+        assert_eq!(t.hops, 2);
+        assert_eq!(t.direction, Direction::Forward);
+        let one = permute_transfer(&[(0, 1)], 1 << 20, &machine);
+        // Payload serializes once; extra hops only add latency.
+        assert!(t.seconds > one.seconds);
+        assert!(t.seconds < 2.0 * one.seconds);
+    }
+
+    #[test]
+    fn permute_on_2d_mesh_axis() {
+        let machine = Machine::with_mesh(DeviceMesh::new(vec![2, 4]));
+        // Shift along axis 1 within row 0: 0->1.
+        let t = permute_transfer(&[(0, 1)], 1024, &machine);
+        assert_eq!(t.hops, 1);
+        // Shift along axis 0: 0 -> 4 (coords [0,0] -> [1,0]).
+        let t2 = permute_transfer(&[(0, 4)], 1024, &machine);
+        assert_eq!(t2.hops, 1);
+    }
+
+    #[test]
+    fn costs_classify() {
+        let n = 2;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[64, 64]), "x");
+        let w = b.parameter(f32s(&[32, 64]), "w");
+        let wg = b.all_gather(w, 0, ReplicaGroups::full(n), "wg");
+        let y = b.einsum(x, wg, DotDims::new(vec![], vec![(1, 0)]).unwrap(), "y");
+        let c = b.copy(y, "c");
+        let idx = b.scalar_s32(1, "idx");
+        let m = b.build(vec![c, idx]);
+        let machine = Machine::tpu_v4_like(n);
+
+        assert_eq!(instruction_cost(&m, x, &machine), InstrCost::Free);
+        assert!(matches!(
+            instruction_cost(&m, wg, &machine),
+            InstrCost::SyncCollective { .. }
+        ));
+        let InstrCost::Compute { flops, .. } = instruction_cost(&m, y, &machine) else {
+            panic!("einsum should be compute")
+        };
+        assert_eq!(flops, 2 * 64 * 64 * 64);
+        assert!(matches!(instruction_cost(&m, c, &machine), InstrCost::Memory { .. }));
+        assert_eq!(instruction_cost(&m, idx, &machine), InstrCost::Free);
+    }
+
+    #[test]
+    fn async_start_and_done_classify() {
+        let mut b = Builder::new("m", 2);
+        let x = b.parameter(f32s(&[16]), "x");
+        let s = b.collective_permute_start(x, vec![(0, 1), (1, 0)], "s");
+        let d = b.collective_permute_done(s, "d");
+        let m = b.build(vec![d]);
+        let machine = Machine::tpu_v4_like(2);
+        assert!(matches!(instruction_cost(&m, s, &machine), InstrCost::AsyncStart(_)));
+        assert_eq!(instruction_cost(&m, d, &machine), InstrCost::AsyncDone);
+    }
+}

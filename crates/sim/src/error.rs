@@ -1,0 +1,54 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+use overlap_hlo::HloError;
+
+/// Errors produced by the discrete-event simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The module failed verification.
+    InvalidModule(HloError),
+    /// The provided instruction order is not a complete topological order
+    /// of the module.
+    InvalidSchedule(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidModule(e) => write!(f, "invalid module: {e}"),
+            SimError::InvalidSchedule(m) => write!(f, "invalid schedule: {m}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidModule(e) => Some(e),
+            SimError::InvalidSchedule(_) => None,
+        }
+    }
+}
+
+impl From<HloError> for SimError {
+    fn from(e: HloError) -> Self {
+        SimError::InvalidModule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!SimError::InvalidSchedule("x".into()).to_string().is_empty());
+        assert!(!SimError::from(HloError::Verification("v".into()))
+            .to_string()
+            .is_empty());
+    }
+}

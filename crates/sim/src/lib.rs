@@ -1,0 +1,38 @@
+//! Discrete-event performance simulator for SPMD programs.
+//!
+//! The paper's evaluation machinery: executes one representative device's
+//! instruction sequence (SPMD programs are symmetric) against a
+//! [`Machine`](overlap_mesh::Machine) model with
+//!
+//! * a **compute stream** that runs einsums, fusions, elementwise and
+//!   data-movement ops in schedule order,
+//! * two **DMA streams** (one per ICI ring direction) that carry
+//!   asynchronous `CollectivePermuteStart`/`Done` transfers concurrently
+//!   with compute — the §5.2 execution model,
+//! * synchronous collectives (`AllGather`, `ReduceScatter`, `AllReduce`,
+//!   `AllToAll`, sync `CollectivePermute`) that block the compute stream
+//!   for their analytic ring time,
+//! * the in-flight asynchronous-collective budget (§5.2's
+//!   "synchronization flags"): a `Start` cannot issue while the budget is
+//!   exhausted,
+//! * fusion groups executed as single kernels (fused elementwise ops are
+//!   free; this is what makes the Fig. 11 fusion decisions matter).
+//!
+//! The output is a [`Report`] with the makespan, per-category time
+//! breakdown (the Fig. 1 series), FLOPS utilization (Figs. 12/13) and a
+//! renderable [`Timeline`].
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod cost;
+mod engine;
+mod error;
+mod memory;
+mod report;
+
+pub use cost::{einsum_time_for, instruction_cost, permute_transfer, Direction, InstrCost, TransferClass};
+pub use engine::{simulate, simulate_order, simulate_order_repeated};
+pub use error::SimError;
+pub use memory::{memory_profile, MemoryProfile};
+pub use report::{Report, Span, SpanKind, Timeline};

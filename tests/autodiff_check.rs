@@ -1,0 +1,147 @@
+//! Finite-difference validation of the reverse-mode autodiff: for random
+//! small modules, the gradient module's outputs must match central
+//! finite differences of the scalar loss `L = Σ seed ∘ output`.
+
+use overlap::hlo::{gradients, Builder, DType, DotDims, InstrId, Module, Shape};
+use overlap::numerics::{run_spmd, Literal};
+use proptest::prelude::*;
+
+fn f32s(dims: &[usize]) -> Shape {
+    Shape::new(DType::F32, dims.to_vec())
+}
+
+/// Evaluates `L = Σ seed ∘ output(params)` for a single-device module.
+fn loss(module: &Module, params: &[Literal], seed: &Literal, output: usize) -> f64 {
+    let out = run_spmd(module, &[params.to_vec()]).expect("runs");
+    out[output][0]
+        .data()
+        .iter()
+        .zip(seed.data())
+        .map(|(a, b)| a * b)
+        .sum()
+}
+
+fn check_gradients(module: &Module, output: InstrId, seed_value: u64) {
+    let params = module.parameters();
+    let grad = gradients(module, output, &params).expect("differentiable");
+    grad.module.verify().expect("grad module verifies");
+
+    let inputs: Vec<Literal> = params
+        .iter()
+        .enumerate()
+        .map(|(p, &id)| {
+            Literal::from_fn(module.shape_of(id).clone(), move |i| {
+                ((i as u64 * 13 + p as u64 * 7 + seed_value) % 11) as f64 / 4.0 - 1.2
+            })
+        })
+        .collect();
+    let seed = Literal::from_fn(module.shape_of(output).clone(), move |i| {
+        ((i as u64 * 5 + seed_value) % 7) as f64 / 3.0 - 1.0
+    });
+
+    // Analytic gradients.
+    let mut grad_inputs = inputs.clone();
+    grad_inputs.push(seed.clone());
+    let analytic = run_spmd(&grad.module, &[grad_inputs]).expect("grad runs");
+
+    // Central finite differences on a handful of coordinates per param.
+    let h = 1e-5;
+    for (p, input) in inputs.iter().enumerate() {
+        let n = input.data().len();
+        for coord in [0, n / 2, n - 1] {
+            let mut plus = inputs.clone();
+            plus[p].data_mut()[coord] += h;
+            let mut minus = inputs.clone();
+            minus[p].data_mut()[coord] -= h;
+            let fd = (loss(module, &plus, &seed, 0) - loss(module, &minus, &seed, 0))
+                / (2.0 * h);
+            let an = analytic[1 + p][0].data()[coord];
+            assert!(
+                (fd - an).abs() <= 1e-5 * (1.0 + fd.abs().max(an.abs())),
+                "param {p} coord {coord}: fd {fd} vs autodiff {an}"
+            );
+        }
+    }
+}
+
+#[test]
+fn matmul_chain_gradients() {
+    let mut b = Builder::new("chain", 1);
+    let x = b.parameter(f32s(&[3, 4]), "x");
+    let w1 = b.parameter(f32s(&[4, 5]), "w1");
+    let w2 = b.parameter(f32s(&[5, 2]), "w2");
+    let h = b.einsum(x, w1, DotDims::matmul(), "h");
+    let y = b.einsum(h, w2, DotDims::matmul(), "y");
+    let m = b.build(vec![y]);
+    check_gradients(&m, y, 3);
+}
+
+#[test]
+fn residual_and_elementwise_gradients() {
+    let mut b = Builder::new("residual", 1);
+    let x = b.parameter(f32s(&[4, 4]), "x");
+    let w = b.parameter(f32s(&[4, 4]), "w");
+    let y = b.einsum(x, w, DotDims::matmul(), "y");
+    let scaled = b.mul(y, x, "scaled"); // elementwise product with x
+    let out = b.add(scaled, x, "residual");
+    let m = b.build(vec![out]);
+    check_gradients(&m, out, 11);
+}
+
+#[test]
+fn batch_matmul_with_transpose_gradients() {
+    let mut b = Builder::new("batched", 1);
+    let x = b.parameter(f32s(&[2, 3, 4]), "x");
+    let w = b.parameter(f32s(&[2, 4, 3]), "w");
+    let y = b.einsum(x, w, DotDims::batch_matmul(), "y"); // [2, 3, 3]
+    let t = b.transpose(y, vec![0, 2, 1], "t");
+    let s = b.sub(t, y, "antisym");
+    let m = b.build(vec![s]);
+    check_gradients(&m, s, 29);
+}
+
+#[test]
+fn relu_mlp_gradients() {
+    // relu between two matmuls: the VJP must mask by step(h_pre).
+    let mut b = Builder::new("relu_mlp", 1);
+    let x = b.parameter(f32s(&[4, 6]), "x");
+    let w1 = b.parameter(f32s(&[6, 5]), "w1");
+    let w2 = b.parameter(f32s(&[5, 3]), "w2");
+    let h_pre = b.einsum(x, w1, DotDims::matmul(), "h_pre");
+    let h = b.relu(h_pre, "h");
+    let y = b.einsum(h, w2, DotDims::matmul(), "y");
+    let m = b.build(vec![y]);
+    check_gradients(&m, y, 57);
+}
+
+#[test]
+fn contract_first_dims_gradients() {
+    // x^T-style contraction: einsum over dim 0 of both.
+    let mut b = Builder::new("xt", 1);
+    let x = b.parameter(f32s(&[5, 3]), "x");
+    let w = b.parameter(f32s(&[5, 2]), "w");
+    let dims = DotDims::new(vec![], vec![(0, 0)]).unwrap();
+    let y = b.einsum(x, w, dims, "y"); // [3, 2]
+    let m = b.build(vec![y]);
+    check_gradients(&m, y, 41);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random matmul shapes: autodiff matches finite differences.
+    #[test]
+    fn random_matmul_shapes(
+        m_dim in 1usize..5,
+        k_dim in 1usize..5,
+        n_dim in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        let mut b = Builder::new("rand", 1);
+        let x = b.parameter(f32s(&[m_dim, k_dim]), "x");
+        let w = b.parameter(f32s(&[k_dim, n_dim]), "w");
+        let y = b.einsum(x, w, DotDims::matmul(), "y");
+        let module = b.build(vec![y]);
+        check_gradients(&module, y, seed);
+    }
+}
