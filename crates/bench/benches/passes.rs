@@ -4,10 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use overlap_core::{
-    asyncify, decompose, find_patterns, fuse, schedule_bottom_up, schedule_top_down,
-    DecomposeOptions, FusionOptions, OverlapOptions, OverlapPipeline,
+    asyncify, decompose, find_patterns, fuse, schedule_bottom_up, schedule_bottom_up_with,
+    schedule_top_down, DecomposeOptions, FusionOptions, OverlapOptions, OverlapPipeline,
 };
 use overlap_models::{Arch, ModelConfig, PartitionStrategy};
+use overlap_sim::CostTable;
 
 fn layer_config() -> ModelConfig {
     ModelConfig {
@@ -56,6 +57,16 @@ fn passes(c: &mut Criterion) {
         b.iter_batched(
             || fused.clone(),
             |m| schedule_bottom_up(&m, &machine),
+            BatchSize::LargeInput,
+        )
+    });
+    // With the cost table amortized away, what remains is the list
+    // scheduler's own priority logic.
+    let table = CostTable::new(&fused, &machine).expect("cost table");
+    c.bench_function("schedule_bottom_up_cached_table/layer16", |b| {
+        b.iter_batched(
+            || fused.clone(),
+            |m| schedule_bottom_up_with(&table, &m, &machine),
             BatchSize::LargeInput,
         )
     });

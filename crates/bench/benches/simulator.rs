@@ -4,7 +4,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use overlap_core::{fuse, FusionOptions, OverlapOptions, OverlapPipeline};
 use overlap_models::{Arch, ModelConfig, PartitionStrategy};
-use overlap_sim::{simulate, simulate_order};
+use overlap_sim::{
+    simulate, simulate_order, simulate_order_repeated, simulate_order_repeated_with,
+    simulate_order_with, CostTable,
+};
 
 fn layer_config(chips: usize) -> ModelConfig {
     ModelConfig {
@@ -37,7 +40,49 @@ fn simulator(c: &mut Criterion) {
                 simulate_order(&compiled.module, &machine, &compiled.order).expect("simulate")
             })
         });
+        // The same schedule through the precomputed cost table: per-run
+        // work shrinks to the event loop itself.
+        c.bench_function(&format!("simulate_cached_table/{chips}chips"), |b| {
+            b.iter(|| {
+                simulate_order_with(
+                    &compiled.cost_table,
+                    &compiled.module,
+                    &machine,
+                    &compiled.order,
+                )
+                .expect("simulate")
+            })
+        });
     }
+}
+
+/// Repeated-execution path: `simulate_order_repeated` rebuilds the cost
+/// table once per call, `simulate_order_repeated_with` not at all. The
+/// old engine re-derived every instruction cost on every repetition.
+fn repeated(c: &mut Criterion) {
+    let cfg = layer_config(16);
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+    let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
+        .run(&module, &machine)
+        .expect("pipeline");
+    const REPS: usize = 64;
+    c.bench_function("simulate_repeated/64reps", |b| {
+        b.iter(|| {
+            simulate_order_repeated(&compiled.module, &machine, &compiled.order, REPS)
+                .expect("simulate")
+        })
+    });
+    let table = CostTable::new(&compiled.module, &machine).expect("cost table");
+    c.bench_function("simulate_repeated_cached_table/64reps", |b| {
+        b.iter(|| {
+            simulate_order_repeated_with(&table, &compiled.module, &machine, &compiled.order, REPS)
+                .expect("simulate")
+        })
+    });
+    c.bench_function("cost_table_build/layer16", |b| {
+        b.iter(|| CostTable::new(&compiled.module, &machine).expect("cost table"))
+    });
 }
 
 /// Fig. 11 ablation: the same scheduled module, annotated with the
@@ -69,6 +114,6 @@ fn fusion_ablation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = simulator, fusion_ablation
+    targets = simulator, repeated, fusion_ablation
 }
 criterion_main!(benches);

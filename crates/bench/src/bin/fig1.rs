@@ -1,7 +1,7 @@
 //! Figure 1: training step-time breakdown (computation vs communication)
 //! of the Table-1 models under the baseline (no overlap).
 
-use overlap_bench::{bar, run_baseline, write_json};
+use overlap_bench::{bar, run_baselines, write_json};
 use overlap_models::table1_models;
 
 fn main() {
@@ -11,9 +11,8 @@ fn main() {
         "{:<14} {:>6} {:>11} {:>12} {:>8}  comm share",
         "model", "chips", "step", "compute%", "comm%"
     );
-    let mut rows = Vec::new();
-    for cfg in table1_models() {
-        let s = run_baseline(&cfg);
+    let rows = run_baselines(&table1_models());
+    for s in &rows {
         println!(
             "{:<14} {:>6} {:>9.2}s {:>11.1}% {:>7.1}%  |{}|",
             s.model,
@@ -23,7 +22,6 @@ fn main() {
             100.0 * s.comm_fraction,
             bar(s.comm_fraction, 40),
         );
-        rows.push(s);
     }
     write_json("fig1", &rows);
 }

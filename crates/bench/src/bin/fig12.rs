@@ -1,7 +1,7 @@
 //! Figure 12: normalized FLOPS utilization of the six Table-1 models,
 //! baseline vs. overlapped.
 
-use overlap_bench::{bar, run_comparison, write_json};
+use overlap_bench::{bar, run_comparisons, write_json};
 use overlap_models::table1_models;
 
 fn main() {
@@ -11,9 +11,8 @@ fn main() {
         "{:<14} {:>6} {:>10} {:>10} {:>8}  utilization",
         "model", "chips", "base", "overlap", "speedup"
     );
-    let mut rows = Vec::new();
-    for cfg in table1_models() {
-        let c = run_comparison(&cfg);
+    let rows = run_comparisons(&table1_models());
+    for c in &rows {
         println!(
             "{:<14} {:>6} {:>9.1}% {:>9.1}% {:>7.2}x  |{}|",
             c.baseline.model,
@@ -23,7 +22,6 @@ fn main() {
             c.speedup(),
             bar(c.overlapped.flops_utilization, 40),
         );
-        rows.push(c);
     }
     let avg: f64 = rows.iter().map(overlap_bench::Comparison::speedup).sum::<f64>()
         / rows.len() as f64;

@@ -1,7 +1,7 @@
 //! Figure 13: weak-scaling study — the GPT family of Table 2 (32B … 1T
 //! parameters on 64 … 2048 chips), baseline vs. overlapped.
 
-use overlap_bench::{bar, run_comparison, write_json};
+use overlap_bench::{bar, run_comparisons, write_json};
 use overlap_models::table2_models;
 
 fn main() {
@@ -11,9 +11,8 @@ fn main() {
         "{:<10} {:>6} {:>10} {:>10} {:>8}  utilization",
         "model", "chips", "base", "overlap", "speedup"
     );
-    let mut rows = Vec::new();
-    for cfg in table2_models() {
-        let c = run_comparison(&cfg);
+    let rows = run_comparisons(&table2_models());
+    for c in &rows {
         println!(
             "{:<10} {:>6} {:>9.1}% {:>9.1}% {:>7.2}x  |{}|",
             c.baseline.model,
@@ -23,7 +22,6 @@ fn main() {
             c.speedup(),
             bar(c.overlapped.flops_utilization, 40),
         );
-        rows.push(c);
     }
     let (lo, hi) = rows.iter().fold((f64::MAX, 0.0f64), |(lo, hi), c| {
         (lo.min(c.speedup()), hi.max(c.speedup()))

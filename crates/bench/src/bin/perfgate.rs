@@ -1,0 +1,114 @@
+//! Performance gate: times the simulator hot path with and without the
+//! precomputed cost table, and the Table-1 sweep serial vs. fanned
+//! across cores, then records the numbers as `results/BENCH_sim.json`
+//! so successive PRs can track the trajectory.
+//!
+//! ```sh
+//! cargo run --release -p overlap-bench --bin perfgate [REPS]
+//! ```
+//!
+//! Exit code is always 0 — the record is informational; regressions are
+//! judged by comparing the JSON across commits.
+
+use std::time::Instant;
+
+use overlap_bench::{run_comparison, run_comparisons, sweep_threads, write_json};
+use overlap_core::{OverlapOptions, OverlapPipeline};
+use overlap_models::{table1_models, Arch, ModelConfig, PartitionStrategy};
+use overlap_sim::{simulate_order, simulate_order_repeated_with, CostTable};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PerfRecord {
+    reps: usize,
+    /// Repeated simulation rebuilding every instruction cost per run
+    /// (the pre-cost-table behavior, emulated by calling
+    /// `simulate_order` in a loop).
+    sim_fresh_seconds: f64,
+    /// The same repetitions through one precomputed [`CostTable`].
+    sim_cached_seconds: f64,
+    sim_speedup: f64,
+    /// Table-1 comparison sweep, one model at a time.
+    sweep_serial_seconds: f64,
+    /// The same sweep through the parallel driver.
+    sweep_parallel_seconds: f64,
+    sweep_speedup: f64,
+    threads: usize,
+}
+
+fn main() {
+    let reps: usize =
+        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(200);
+
+    // Hot-path timing on a mid-size transformer layer.
+    let cfg = ModelConfig {
+        name: "perfgate_layer".into(),
+        params: 0.0,
+        layers: 1,
+        model_dim: 2048,
+        ff_dim: 8192,
+        batch: 256,
+        seq_len: 64,
+        chips: 16,
+        arch: Arch::Decoder,
+        strategy: PartitionStrategy::TwoD,
+    };
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+    let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
+        .run(&module, &machine)
+        .expect("pipeline");
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        simulate_order(&compiled.module, &machine, &compiled.order).expect("simulate");
+    }
+    let sim_fresh_seconds = t.elapsed().as_secs_f64();
+
+    let table = CostTable::new(&compiled.module, &machine).expect("cost table");
+    let t = Instant::now();
+    simulate_order_repeated_with(&table, &compiled.module, &machine, &compiled.order, reps)
+        .expect("simulate");
+    let sim_cached_seconds = t.elapsed().as_secs_f64();
+
+    // Sweep timing: the six Table-1 models, serial then parallel.
+    let models = table1_models();
+    let t = Instant::now();
+    let serial: Vec<_> = models.iter().map(run_comparison).collect();
+    let sweep_serial_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let parallel = run_comparisons(&models);
+    let sweep_parallel_seconds = t.elapsed().as_secs_f64();
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            s.speedup().to_bits(),
+            p.speedup().to_bits(),
+            "parallel sweep diverged from serial on {}",
+            s.baseline.model
+        );
+    }
+
+    let record = PerfRecord {
+        reps,
+        sim_fresh_seconds,
+        sim_cached_seconds,
+        sim_speedup: sim_fresh_seconds / sim_cached_seconds,
+        sweep_serial_seconds,
+        sweep_parallel_seconds,
+        sweep_speedup: sweep_serial_seconds / sweep_parallel_seconds,
+        threads: sweep_threads(),
+    };
+    println!(
+        "simulate x{reps}: fresh {:.3}s, cached table {:.3}s ({:.2}x)",
+        record.sim_fresh_seconds, record.sim_cached_seconds, record.sim_speedup
+    );
+    println!(
+        "table-1 sweep: serial {:.3}s, parallel {:.3}s ({:.2}x on {} threads)",
+        record.sweep_serial_seconds,
+        record.sweep_parallel_seconds,
+        record.sweep_speedup,
+        record.threads
+    );
+    write_json("BENCH_sim", &record);
+}

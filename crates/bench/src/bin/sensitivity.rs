@@ -9,11 +9,11 @@
 //! communication share, how many patterns the §5.5 gate still accepts,
 //! and the resulting speedup.
 
-use overlap_bench::write_json;
+use overlap_bench::{par_map, write_json};
 use overlap_core::{OverlapOptions, OverlapPipeline};
 use overlap_mesh::Machine;
 use overlap_models::table2_models;
-use overlap_sim::{simulate, simulate_order};
+use overlap_sim::{simulate, simulate_order_with};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -32,21 +32,24 @@ fn main() {
         "{:>10} {:>12} {:>12} {:>10}",
         "GB/s/link", "base comm%", "decomposed", "speedup"
     );
-    let mut rows = Vec::new();
-    for gbps in [180.0, 90.0, 45.0, 22.5, 11.25, 5.6] {
+    let sweep = [180.0, 90.0, 45.0, 22.5, 11.25, 5.6];
+    let rows = par_map(&sweep, |&gbps| {
         let machine = cfg.machine().with_link_bandwidth(gbps * 1e9);
         let baseline = simulate(&module, &machine).expect("baseline");
         let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
             .run(&module, &machine)
             .expect("pipeline");
         let over =
-            simulate_order(&compiled.module, &machine, &compiled.order).expect("simulate");
-        let row = Row {
+            simulate_order_with(&compiled.cost_table, &compiled.module, &machine, &compiled.order)
+                .expect("simulate");
+        Row {
             bandwidth_gbps: gbps,
             baseline_comm_fraction: baseline.comm_fraction(),
             patterns_decomposed: compiled.summaries.len(),
             speedup: baseline.makespan() / over.makespan(),
-        };
+        }
+    });
+    for row in &rows {
         println!(
             "{:>10.1} {:>11.1}% {:>9}/12 {:>9.2}x",
             row.bandwidth_gbps,
@@ -54,7 +57,6 @@ fn main() {
             row.patterns_decomposed,
             row.speedup
         );
-        rows.push(row);
     }
     println!(
         "\nThe benefit peaks where communication is large but still hideable; on a\n\
@@ -68,7 +70,8 @@ fn main() {
     let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
         .run(&module, &gpu)
         .expect("gpu pipeline");
-    let over = simulate_order(&compiled.module, &gpu, &compiled.order).expect("gpu sim");
+    let over = simulate_order_with(&compiled.cost_table, &compiled.module, &gpu, &compiled.order)
+        .expect("gpu sim");
     println!(
         "\nGPU-cluster preset ({} chips): baseline comm {:.1}%, speedup {:.2}x",
         cfg.chips,

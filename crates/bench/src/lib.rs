@@ -12,7 +12,7 @@
 use overlap_core::{OverlapOptions, OverlapPipeline};
 use overlap_mesh::Machine;
 use overlap_models::ModelConfig;
-use overlap_sim::{simulate, simulate_order, Report};
+use overlap_sim::{simulate, simulate_order_with, Report};
 use serde::Serialize;
 
 /// Simulated per-step statistics for one configuration.
@@ -87,8 +87,11 @@ pub fn run_overlapped(cfg: &ModelConfig, options: OverlapOptions) -> StepStats {
     let module = cfg.layer_module();
     let machine = cfg.machine();
     let compiled = OverlapPipeline::new(options).run(&module, &machine).expect("pipeline");
+    // The pipeline already built the compiled module's cost table for its
+    // scheduler; reuse it instead of re-deriving every instruction cost.
     let report =
-        simulate_order(&compiled.module, &machine, &compiled.order).expect("simulation");
+        simulate_order_with(&compiled.cost_table, &compiled.module, &machine, &compiled.order)
+            .expect("simulation");
     StepStats::from_report(cfg, &machine, &report)
 }
 
@@ -99,6 +102,94 @@ pub fn run_comparison(cfg: &ModelConfig) -> Comparison {
         baseline: run_baseline(cfg),
         overlapped: run_overlapped(cfg, OverlapOptions::paper_default()),
     }
+}
+
+/// Number of worker threads for [`par_map`]: `RAYON_NUM_THREADS` if set
+/// to a positive integer (one knob for both the rayon and the
+/// std-thread execution paths), otherwise the machine's available
+/// parallelism.
+#[must_use]
+pub fn sweep_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies `f` to every item across worker threads and returns the
+/// results **in input order**, regardless of which thread finished when —
+/// sweeps produce byte-identical output serial or parallel.
+///
+/// With the `parallel` feature the map runs on rayon's global pool;
+/// otherwise a built-in scoped-thread pool with an atomic work-stealing
+/// index is used. Both honor `RAYON_NUM_THREADS` (see [`sweep_threads`]).
+pub fn par_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        use rayon::prelude::*;
+        items.par_iter().map(|item| f(item)).collect()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::mpsc;
+
+        let n = items.len();
+        let threads = sweep_threads().min(n);
+        if threads <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = f(&items[i]);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Results land in their input slot as they arrive, which
+            // erases completion-order nondeterminism.
+            for (i, result) in rx {
+                slots[i] = Some(result);
+            }
+        });
+        slots.into_iter().map(|s| s.expect("worker computed every index")).collect()
+    }
+}
+
+/// [`run_baseline`] over a whole model zoo, fanned across cores (input
+/// order preserved).
+#[must_use]
+pub fn run_baselines(cfgs: &[ModelConfig]) -> Vec<StepStats> {
+    par_map(cfgs, run_baseline)
+}
+
+/// [`run_comparison`] over a whole model zoo, fanned across cores (input
+/// order preserved).
+#[must_use]
+pub fn run_comparisons(cfgs: &[ModelConfig]) -> Vec<Comparison> {
+    par_map(cfgs, run_comparison)
 }
 
 /// Renders a unit-interval value as a fixed-width ASCII bar.
@@ -142,6 +233,25 @@ mod tests {
         let half = bar(0.6, 12);
         assert_eq!(half.len(), 12);
         assert!(bar(1.2, 12).chars().filter(|&c| c == '#').count() == 12);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let expected: Vec<usize> = items.iter().map(|&i| i * 2 + 1).collect();
+        assert_eq!(par_map(&items, |&i| i * 2 + 1), expected);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_singleton() {
+        let empty: [u32; 0] = [];
+        assert!(par_map(&empty, |&i| i).is_empty());
+        assert_eq!(par_map(&[7u32], |&i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn sweep_threads_is_positive() {
+        assert!(sweep_threads() >= 1);
     }
 
     #[test]

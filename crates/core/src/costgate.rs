@@ -16,9 +16,11 @@
 //! It also implements the §5.5 selection rule when one einsum has two
 //! collective candidates.
 
+use std::cell::RefCell;
+
 use overlap_hlo::{InstrId, Module, Op};
 use overlap_mesh::{cost as ccost, Machine};
-use overlap_sim::{einsum_time_for, instruction_cost, InstrCost};
+use overlap_sim::{einsum_cost_key, instruction_cost, CostTable, InstrCost};
 
 use crate::decompose::DecomposeOptions;
 use crate::pattern::{Pattern, PatternKind};
@@ -57,10 +59,16 @@ impl GateDecision {
 }
 
 /// The enablement cost model (§5.5).
+///
+/// Evaluating a pattern estimates the decomposed partial einsums via the
+/// machine's efficiency interpolation; the model memoizes those lookups
+/// per `(flops, m, n, k)` key (many patterns of one layer share partial
+/// shapes), which is exact — a hit returns the identical bits.
 #[derive(Debug, Clone)]
 pub struct CostModel<'m> {
     machine: &'m Machine,
     options: DecomposeOptions,
+    memo: RefCell<ccost::EinsumTimeMemo>,
 }
 
 impl<'m> CostModel<'m> {
@@ -69,18 +77,28 @@ impl<'m> CostModel<'m> {
     /// prologue/epilogue permute to `extra_t`).
     #[must_use]
     pub fn new(machine: &'m Machine, options: DecomposeOptions) -> Self {
-        CostModel { machine, options }
+        CostModel { machine, options, memo: RefCell::new(ccost::EinsumTimeMemo::new()) }
     }
 
-    fn einsum_time(&self, module: &Module, id: InstrId) -> f64 {
-        match instruction_cost(module, id, self.machine) {
+    fn partial_einsum_time(
+        &self,
+        dims: &overlap_hlo::DotDims,
+        lhs: &overlap_hlo::Shape,
+        rhs: &overlap_hlo::Shape,
+    ) -> f64 {
+        let (flops, m, n, k) = einsum_cost_key(dims, lhs, rhs);
+        self.memo.borrow_mut().time(self.machine, flops, m, n, k)
+    }
+
+    fn einsum_time_of(cost: InstrCost) -> f64 {
+        match cost {
             InstrCost::Compute { seconds, .. } => seconds,
             _ => 0.0,
         }
     }
 
-    fn collective_time(&self, module: &Module, id: InstrId) -> f64 {
-        match instruction_cost(module, id, self.machine) {
+    fn collective_time_of(cost: InstrCost) -> f64 {
+        match cost {
             InstrCost::SyncCollective { seconds } => seconds,
             _ => 0.0,
         }
@@ -140,7 +158,7 @@ impl<'m> CostModel<'m> {
                         }
                     }
                 };
-                count as f64 * einsum_time_for(dims, &plhs, &prhs, self.machine)
+                count as f64 * self.partial_einsum_time(dims, &plhs, &prhs)
             }
             PatternKind::EinsumReduceScatter { sliced_is_lhs, sliced_dim } => {
                 let Op::ReduceScatter { groups, .. } = module.instr(pattern.collective).op()
@@ -153,7 +171,7 @@ impl<'m> CostModel<'m> {
                 } else {
                     (lhs, rhs.with_dim_divided(sliced_dim, g))
                 };
-                g as f64 * einsum_time_for(dims, &plhs, &prhs, self.machine)
+                g as f64 * self.partial_einsum_time(dims, &plhs, &prhs)
             }
         }
     }
@@ -178,11 +196,33 @@ impl<'m> CostModel<'m> {
     /// unidirectional forms are estimated and the better one is chosen.
     #[must_use]
     pub fn evaluate(&self, module: &Module, pattern: &Pattern) -> GateDecision {
-        let uni = self.evaluate_variant(module, pattern, false);
+        self.evaluate_impl(module, pattern, &|id| instruction_cost(module, id, self.machine))
+    }
+
+    /// [`CostModel::evaluate`] with the original einsum/collective times
+    /// looked up in a pre-built [`CostTable`] for this `(module,
+    /// machine)` pair instead of re-derived per call.
+    #[must_use]
+    pub fn evaluate_with(
+        &self,
+        table: &CostTable,
+        module: &Module,
+        pattern: &Pattern,
+    ) -> GateDecision {
+        self.evaluate_impl(module, pattern, &|id| table.cost(id))
+    }
+
+    fn evaluate_impl(
+        &self,
+        module: &Module,
+        pattern: &Pattern,
+        cost_of: &dyn Fn(InstrId) -> InstrCost,
+    ) -> GateDecision {
+        let uni = self.evaluate_variant_impl(module, pattern, false, cost_of);
         if !self.options.bidirectional {
             return uni;
         }
-        let bidi = self.evaluate_variant(module, pattern, true);
+        let bidi = self.evaluate_variant_impl(module, pattern, true, cost_of);
         if bidi.net_benefit() >= uni.net_benefit() {
             bidi
         } else {
@@ -198,8 +238,20 @@ impl<'m> CostModel<'m> {
         pattern: &Pattern,
         bidirectional: bool,
     ) -> GateDecision {
-        let comp_t = self.einsum_time(module, pattern.einsum);
-        let comm_t = self.collective_time(module, pattern.collective);
+        self.evaluate_variant_impl(module, pattern, bidirectional, &|id| {
+            instruction_cost(module, id, self.machine)
+        })
+    }
+
+    fn evaluate_variant_impl(
+        &self,
+        module: &Module,
+        pattern: &Pattern,
+        bidirectional: bool,
+        cost_of: &dyn Fn(InstrId) -> InstrCost,
+    ) -> GateDecision {
+        let comp_t = Self::einsum_time_of(cost_of(pattern.einsum));
+        let comm_t = Self::collective_time_of(cost_of(pattern.collective));
         let groups = match module.instr(pattern.collective).op() {
             Op::AllGather { groups, .. } | Op::ReduceScatter { groups, .. } => groups.clone(),
             _ => unreachable!("pattern collective is AG or RS"),
@@ -250,11 +302,19 @@ impl<'m> CostModel<'m> {
     ///
     /// When `gate` is `false` every candidate passes the benefit test (one
     /// pattern per einsum is still enforced) — used by ablation studies.
+    ///
+    /// When the module has candidate patterns, one [`CostTable`] is built
+    /// up front and shared by all evaluations.
     #[must_use]
     pub fn select(&self, module: &Module, patterns: &[Pattern], gate: bool) -> Vec<GateDecision> {
+        if patterns.is_empty() {
+            return Vec::new();
+        }
+        let table = CostTable::new(module, self.machine)
+            .expect("cost-gate selection requires a verifiable module");
         let mut by_einsum: Vec<(InstrId, Vec<GateDecision>)> = Vec::new();
         for p in patterns {
-            let d = self.evaluate(module, p);
+            let d = self.evaluate_with(&table, module, p);
             match by_einsum.iter_mut().find(|(e, _)| *e == p.einsum) {
                 Some((_, v)) => v.push(d),
                 None => by_einsum.push((p.einsum, vec![d])),

@@ -55,4 +55,4 @@ pub use pattern::{find_patterns, AgCase, Pattern, PatternKind};
 pub use pipeline::{Compiled, OverlapOptions, OverlapPipeline, SchedulerKind};
 pub use reassociate::{split_all_reduces, REASSOC_TAG};
 pub use report::CompileReport;
-pub use schedule::{schedule_bottom_up, schedule_top_down};
+pub use schedule::{schedule_bottom_up, schedule_bottom_up_with, schedule_top_down};

@@ -2,6 +2,7 @@
 
 use overlap_hlo::{eliminate_common_subexpressions, HloError, InstrId, Module};
 use overlap_mesh::Machine;
+use overlap_sim::CostTable;
 
 use crate::asyncify::asyncify;
 use crate::costgate::{CostModel, GateDecision};
@@ -9,7 +10,7 @@ use crate::decompose::{decompose_each, DecomposeOptions, DecomposeSummary};
 use crate::fusion::{fuse, FusionOptions};
 use crate::pattern::find_patterns;
 use crate::reassociate::split_all_reduces;
-use crate::schedule::{schedule_bottom_up, schedule_top_down};
+use crate::schedule::{schedule_bottom_up_with, schedule_top_down};
 
 /// Which §5.2 scheduler orders the final instruction sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,6 +72,11 @@ pub struct Compiled {
     pub summaries: Vec<DecomposeSummary>,
     /// The cost-gate decisions (including rejected patterns).
     pub decisions: Vec<GateDecision>,
+    /// Precomputed costs for `module` on the compiling machine; pass to
+    /// [`overlap_sim::simulate_order_with`] /
+    /// [`overlap_sim::simulate_order_repeated_with`] to simulate the
+    /// compiled program without re-deriving costs.
+    pub cost_table: CostTable,
 }
 
 /// The compiler pipeline implementing the paper end to end:
@@ -153,12 +159,19 @@ impl OverlapPipeline {
             None => asynced,
         };
         final_module.verify()?;
+        // One table serves the scheduler below and every later simulation
+        // of the compiled module. The pipeline's own passes only fuse
+        // fusible ops, so table construction cannot fail here.
+        let cost_table = CostTable::new(&final_module, machine)
+            .expect("pipeline output must have computable costs");
         let order = match self.options.scheduler {
-            SchedulerKind::BottomUp => schedule_bottom_up(&final_module, machine),
+            SchedulerKind::BottomUp => {
+                schedule_bottom_up_with(&cost_table, &final_module, machine)
+            }
             SchedulerKind::TopDown => schedule_top_down(&final_module, machine),
             SchedulerKind::Original => final_module.ids(),
         };
-        Ok(Compiled { module: final_module, order, summaries, decisions })
+        Ok(Compiled { module: final_module, order, summaries, decisions, cost_table })
     }
 }
 

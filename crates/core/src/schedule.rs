@@ -13,10 +13,10 @@ use std::collections::HashMap;
 
 use overlap_hlo::{InstrId, Module, Op};
 use overlap_mesh::Machine;
-use overlap_sim::{instruction_cost, InstrCost};
+use overlap_sim::{CostTable, InstrCost};
 
-fn latency(module: &Module, id: InstrId, machine: &Machine) -> f64 {
-    match instruction_cost(module, id, machine) {
+fn latency_of(cost: InstrCost) -> f64 {
+    match cost {
         InstrCost::Free => 0.0,
         InstrCost::Compute { seconds, .. }
         | InstrCost::Memory { seconds }
@@ -34,17 +34,17 @@ fn latency(module: &Module, id: InstrId, machine: &Machine) -> f64 {
 /// the group's cost. Without this the scheduler would count a fused
 /// `DynamicSlice`'s memory time as overlap opportunity that the executed
 /// program does not actually provide.
-fn effective_latencies(module: &Module, machine: &Machine) -> Vec<f64> {
+fn effective_latencies(table: &CostTable, module: &Module, machine: &Machine) -> Vec<f64> {
     let mut lat: Vec<f64> = module
         .ids()
         .into_iter()
-        .map(|id| latency(module, id, machine))
+        .map(|id| latency_of(table.cost(id)))
         .collect();
     for group in module.fusion_groups() {
         let total: f64 = group
             .members
             .iter()
-            .map(|&m| match instruction_cost(module, m, machine) {
+            .map(|&m| match table.cost(m) {
                 InstrCost::Compute { seconds, .. } => seconds,
                 _ => 0.0,
             })
@@ -57,13 +57,13 @@ fn effective_latencies(module: &Module, machine: &Machine) -> Vec<f64> {
     lat
 }
 
-fn done_transfer_latency(module: &Module, id: InstrId, machine: &Machine) -> f64 {
+fn done_transfer_latency(table: &CostTable, module: &Module, id: InstrId) -> f64 {
     let start = module.instr(id).operands()[0];
-    done_transfer_latency_of_start(module, start, machine)
+    done_transfer_latency_of_start(table, start)
 }
 
-fn done_transfer_latency_of_start(module: &Module, start: InstrId, machine: &Machine) -> f64 {
-    match instruction_cost(module, start, machine) {
+fn done_transfer_latency_of_start(table: &CostTable, start: InstrId) -> f64 {
+    match table.cost(start) {
         InstrCost::AsyncStart(t) => t.seconds,
         _ => 0.0,
     }
@@ -107,7 +107,30 @@ fn done_transfer_latency_of_start(module: &Module, start: InstrId, machine: &Mac
 /// Panics if the module fails verification.
 #[must_use]
 pub fn schedule_bottom_up(module: &Module, machine: &Machine) -> Vec<InstrId> {
-    module.verify().expect("schedule requires a verified module");
+    let table =
+        CostTable::new(module, machine).expect("schedule requires a verified module");
+    schedule_bottom_up_with(&table, module, machine)
+}
+
+/// [`schedule_bottom_up`] with a pre-built [`CostTable`] for the same
+/// `(module, machine)` pair, skipping re-verification and per-call cost
+/// re-derivation. The pipeline builds one table per compiled module and
+/// shares it between scheduling and simulation.
+///
+/// # Panics
+///
+/// Panics if the table does not cover the module.
+#[must_use]
+pub fn schedule_bottom_up_with(
+    table: &CostTable,
+    module: &Module,
+    machine: &Machine,
+) -> Vec<InstrId> {
+    assert_eq!(
+        table.len(),
+        module.len(),
+        "cost table built for a different module"
+    );
     let users = module.users();
     let n = module.len();
     let mut unscheduled_users: Vec<usize> = users.iter().map(Vec::len).collect();
@@ -120,7 +143,7 @@ pub fn schedule_bottom_up(module: &Module, machine: &Machine) -> Vec<InstrId> {
     let mut current_time = 0.0f64;
     let mut inflight_async = 0usize;
     let budget = machine.max_inflight_async();
-    let effective_lat = effective_latencies(module, machine);
+    let effective_lat = effective_latencies(table, module, machine);
 
     for id in module.ids() {
         if unscheduled_users[id.index()] == 0 {
@@ -200,7 +223,7 @@ pub fn schedule_bottom_up(module: &Module, machine: &Machine) -> Vec<InstrId> {
             // Inflate the transfer latency so discretization never places
             // the start a slot too late — issuing a transfer early is
             // free, issuing it late exposes it.
-            (0.0, 2.0 * done_transfer_latency(module, candidate, machine))
+            (0.0, 2.0 * done_transfer_latency(table, module, candidate))
         } else {
             let l = effective_lat[candidate.index()];
             (l, l)
@@ -226,7 +249,7 @@ pub fn schedule_bottom_up(module: &Module, machine: &Machine) -> Vec<InstrId> {
                     // immediately-ready start would land adjacent to its
                     // done in forward order (zero overlap).
                     let gate = current_time
-                        + 2.0 * done_transfer_latency_of_start(module, op, machine);
+                        + 2.0 * done_transfer_latency_of_start(table, op);
                     rt = rt.max(gate);
                 }
                 ready_time[op.index()] = rt;

@@ -86,6 +86,48 @@ pub fn decomposed_bidi_ring_time(machine: &Machine, steps: usize, shard_bytes: u
     steps as f64 * machine.hop_time(shard_bytes / 2)
 }
 
+/// Memoized [`Machine::einsum_time`] lookups.
+///
+/// The einsum time depends only on `(flops, m, n, k)` for a fixed
+/// machine, and the cost model evaluates the same handful of decomposed
+/// shapes for every candidate pattern of a layer — a perfect cache. One
+/// memo caches results for **one** machine; build a fresh memo per
+/// machine (the key does not include machine parameters).
+#[derive(Debug, Clone, Default)]
+pub struct EinsumTimeMemo {
+    cache: std::collections::HashMap<(u64, u64, u64, u64), f64>,
+}
+
+impl EinsumTimeMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        EinsumTimeMemo::default()
+    }
+
+    /// `machine.einsum_time(flops, m, n, k)`, computed once per distinct
+    /// key. Returns the exact cached bits on a hit — memoization cannot
+    /// perturb results.
+    pub fn time(&mut self, machine: &Machine, flops: u64, m: u64, n: u64, k: u64) -> f64 {
+        *self
+            .cache
+            .entry((flops, m, n, k))
+            .or_insert_with(|| machine.einsum_time(flops, m, n, k))
+    }
+
+    /// Number of distinct shapes cached so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the memo has no entries yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
 fn ring_collective_time(
     machine: &Machine,
     group_size: usize,
@@ -165,6 +207,20 @@ mod tests {
         assert!(
             all_gather_time(&with_latency, 8, 1 << 10) > all_gather_time(&without, 8, 1 << 10)
         );
+    }
+
+    #[test]
+    fn einsum_memo_returns_exact_machine_bits() {
+        let m = Machine::tpu_v4_like(4);
+        let mut memo = EinsumTimeMemo::new();
+        assert!(memo.is_empty());
+        let direct = m.einsum_time(1 << 30, 1024, 512, 1024);
+        assert_eq!(memo.time(&m, 1 << 30, 1024, 512, 1024), direct);
+        // A hit returns the cached value without recomputation.
+        assert_eq!(memo.time(&m, 1 << 30, 1024, 512, 1024), direct);
+        assert_eq!(memo.len(), 1);
+        memo.time(&m, 1 << 20, 64, 64, 256);
+        assert_eq!(memo.len(), 2);
     }
 
     #[test]

@@ -103,6 +103,30 @@ pub fn permute_transfer(pairs: &[(u32, u32)], bytes: usize, machine: &Machine) -
     TransferClass { direction, seconds, hops }
 }
 
+/// The `(flops, m, n, k)` key of an einsum with the given dimension
+/// numbers and operand shapes: batch and free extents fold into `m`/`n`,
+/// contracting extents into `k`. [`Machine::einsum_time`] depends only on
+/// this key, which makes it the memoization key for
+/// [`overlap_mesh::cost::EinsumTimeMemo`].
+#[must_use]
+pub fn einsum_cost_key(
+    dims: &overlap_hlo::DotDims,
+    lhs: &overlap_hlo::Shape,
+    rhs: &overlap_hlo::Shape,
+) -> (u64, u64, u64, u64) {
+    let flops = dims.flops(lhs, rhs);
+    let batch: u64 = dims.batch().iter().map(|&(l, _)| lhs.dim(l) as u64).product();
+    let m: u64 = dims
+        .lhs_free_dims(lhs.rank())
+        .iter()
+        .map(|&d| lhs.dim(d) as u64)
+        .product::<u64>()
+        * batch;
+    let n: u64 = dims.rhs_free_dims(rhs.rank()).iter().map(|&d| rhs.dim(d) as u64).product();
+    let k: u64 = dims.contracting().iter().map(|&(l, _)| lhs.dim(l) as u64).product();
+    (flops, m, n, k)
+}
+
 /// Time of an einsum with the given dimension numbers and operand
 /// shapes, including the machine's efficiency curve (batch and free
 /// extents fold into `m`/`n`, contracting extents into `k`) and the
@@ -115,16 +139,7 @@ pub fn einsum_time_for(
     rhs: &overlap_hlo::Shape,
     machine: &Machine,
 ) -> f64 {
-    let flops = dims.flops(lhs, rhs);
-    let batch: u64 = dims.batch().iter().map(|&(l, _)| lhs.dim(l) as u64).product();
-    let m: u64 = dims
-        .lhs_free_dims(lhs.rank())
-        .iter()
-        .map(|&d| lhs.dim(d) as u64)
-        .product::<u64>()
-        * batch;
-    let n: u64 = dims.rhs_free_dims(rhs.rank()).iter().map(|&d| rhs.dim(d) as u64).product();
-    let k: u64 = dims.contracting().iter().map(|&(l, _)| lhs.dim(l) as u64).product();
+    let (flops, m, n, k) = einsum_cost_key(dims, lhs, rhs);
     machine.einsum_time(flops, m, n, k)
 }
 

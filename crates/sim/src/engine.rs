@@ -1,12 +1,11 @@
 //! The discrete-event execution engine.
 
-use std::collections::HashMap;
-
 use overlap_hlo::{InstrId, Module};
 use overlap_mesh::Machine;
 
-use crate::cost::{instruction_cost, Direction, InstrCost};
+use crate::cost::{Direction, InstrCost};
 use crate::report::{Report, Span, SpanKind, Timeline};
+use crate::table::{CostTable, NO_GROUP};
 use crate::SimError;
 
 /// Simulates `module` in its arena (builder) order.
@@ -23,61 +22,15 @@ pub fn simulate(module: &Module, machine: &Machine) -> Result<Report, SimError> 
     simulate_order(module, machine, &module.ids())
 }
 
-/// Simulates `reps` back-to-back executions of `module` under `order`
-/// (e.g. the identical layers of a transformer): stream clocks and
-/// in-flight transfers carry across repetitions, so a prologue transfer
-/// of repetition `i+1` can hide under the tail compute of repetition `i`
-/// — overlap that multiplying a single-layer makespan by the layer count
-/// would miss.
-///
-/// # Errors
-///
-/// Same conditions as [`simulate_order`].
-pub fn simulate_order_repeated(
-    module: &Module,
-    machine: &Machine,
-    order: &[InstrId],
-    reps: usize,
-) -> Result<Report, SimError> {
-    let mut combined: Option<Report> = None;
-    let mut state = EngineState::default();
-    for _ in 0..reps {
-        let report = run_engine(module, machine, order, &mut state)?;
-        combined = Some(match combined {
-            None => report,
-            Some(prev) => merge_reports(prev, report),
-        });
-    }
-    combined.ok_or_else(|| SimError::InvalidSchedule("zero repetitions".into()))
-}
-
-fn merge_reports(a: Report, b: Report) -> Report {
-    let mut timeline = a.timeline().clone();
-    timeline.spans.extend(b.timeline().spans.iter().cloned());
-    Report::new(
-        a.makespan().max(b.makespan()),
-        a.compute_time() + b.compute_time(),
-        a.memory_time() + b.memory_time(),
-        a.sync_comm_time() + b.sync_comm_time(),
-        a.exposed_async_time() + b.exposed_async_time(),
-        a.hidden_async_time() + b.hidden_async_time(),
-        a.total_flops() + b.total_flops(),
-        timeline,
-    )
-}
-
-/// Stream clocks carried across repeated executions.
-#[derive(Debug, Clone, Copy, Default)]
-struct EngineState {
-    t_compute: f64,
-    dma_free: [f64; 2],
-}
-
 /// Simulates `module` executing instructions in the given linear order.
 ///
 /// The order must be a permutation of all instruction ids in which every
 /// operand precedes its users (the schedulers in `overlap-core` produce
 /// such orders). See the crate docs for the execution model.
+///
+/// Builds a fresh [`CostTable`] for the call; when simulating the same
+/// module repeatedly, build the table once and use
+/// [`simulate_order_with`].
 ///
 /// # Errors
 ///
@@ -89,7 +42,121 @@ pub fn simulate_order(
     machine: &Machine,
     order: &[InstrId],
 ) -> Result<Report, SimError> {
-    run_engine(module, machine, order, &mut EngineState::default())
+    let table = CostTable::new(module, machine)?;
+    simulate_order_with(&table, module, machine, order)
+}
+
+/// Simulates one execution of `module` under `order` using a
+/// pre-built [`CostTable`] (built for this same `(module, machine)`
+/// pair), skipping re-verification and cost re-derivation.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidSchedule`] if the order is not a complete
+/// topological order or the table does not cover the module.
+pub fn simulate_order_with(
+    table: &CostTable,
+    module: &Module,
+    machine: &Machine,
+    order: &[InstrId],
+) -> Result<Report, SimError> {
+    check_table(table, module)?;
+    validate_order(module, order)?;
+    let mut scratch = EngineScratch::for_len(module.len());
+    Ok(run_engine(module, machine, order, table, &mut scratch, &mut EngineState::default()))
+}
+
+/// Simulates `reps` back-to-back executions of `module` under `order`
+/// (e.g. the identical layers of a transformer): stream clocks and
+/// in-flight transfers carry across repetitions, so a prologue transfer
+/// of repetition `i+1` can hide under the tail compute of repetition `i`
+/// — overlap that multiplying a single-layer makespan by the layer count
+/// would miss.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_order`], plus `reps == 0`.
+pub fn simulate_order_repeated(
+    module: &Module,
+    machine: &Machine,
+    order: &[InstrId],
+    reps: usize,
+) -> Result<Report, SimError> {
+    let table = CostTable::new(module, machine)?;
+    simulate_order_repeated_with(&table, module, machine, order, reps)
+}
+
+/// [`simulate_order_repeated`] with a pre-built [`CostTable`]: the module
+/// is verified and the order validated once, and dense per-instruction
+/// engine state is reused across all `reps` executions.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidSchedule`] if the order is not a complete
+/// topological order, the table does not cover the module, or
+/// `reps == 0`.
+pub fn simulate_order_repeated_with(
+    table: &CostTable,
+    module: &Module,
+    machine: &Machine,
+    order: &[InstrId],
+    reps: usize,
+) -> Result<Report, SimError> {
+    check_table(table, module)?;
+    validate_order(module, order)?;
+    if reps == 0 {
+        return Err(SimError::InvalidSchedule("zero repetitions".into()));
+    }
+    let mut scratch = EngineScratch::for_len(module.len());
+    let mut state = EngineState::default();
+    let mut combined = run_engine(module, machine, order, table, &mut scratch, &mut state);
+    for _ in 1..reps {
+        let report = run_engine(module, machine, order, table, &mut scratch, &mut state);
+        combined.absorb(report);
+    }
+    Ok(combined)
+}
+
+fn check_table(table: &CostTable, module: &Module) -> Result<(), SimError> {
+    if table.len() == module.len() {
+        Ok(())
+    } else {
+        Err(SimError::InvalidSchedule(format!(
+            "cost table covers {} instructions but module has {}",
+            table.len(),
+            module.len()
+        )))
+    }
+}
+
+/// Stream clocks carried across repeated executions.
+#[derive(Debug, Clone, Copy, Default)]
+struct EngineState {
+    t_compute: f64,
+    dma_free: [f64; 2],
+}
+
+/// Dense per-instruction engine state, reusable across repetitions so
+/// repeated simulation allocates nothing per repetition.
+struct EngineScratch {
+    /// Time each instruction's result becomes available.
+    ready: Vec<f64>,
+    /// Wire-completion time of each `CollectivePermuteStart`, indexed by
+    /// the start's id (only read after the start executed, which the
+    /// topological order guarantees).
+    transfer_end: Vec<f64>,
+    /// Transfer duration of each start, same indexing.
+    transfer_dur: Vec<f64>,
+}
+
+impl EngineScratch {
+    fn for_len(n: usize) -> Self {
+        EngineScratch {
+            ready: vec![0.0; n],
+            transfer_end: vec![0.0; n],
+            transfer_dur: vec![0.0; n],
+        }
+    }
 }
 
 #[allow(clippy::too_many_lines)]
@@ -97,24 +164,14 @@ fn run_engine(
     module: &Module,
     machine: &Machine,
     order: &[InstrId],
+    table: &CostTable,
+    scratch: &mut EngineScratch,
     state: &mut EngineState,
-) -> Result<Report, SimError> {
-    module.verify()?;
-    validate_order(module, order)?;
-
-    let fusion_of = module.fusion_of();
-    let group_root: HashMap<InstrId, usize> = module
-        .fusion_groups()
-        .iter()
-        .enumerate()
-        .map(|(gi, g)| (g.root, gi))
-        .collect();
-
-    let mut ready = vec![state.t_compute; module.len()];
+) -> Report {
+    scratch.ready.fill(state.t_compute);
+    let ready = &mut scratch.ready;
     let mut t_compute = state.t_compute;
     let mut dma_free = state.dma_free;
-    let mut transfer_end: HashMap<InstrId, f64> = HashMap::new();
-    let mut transfer_dur: HashMap<InstrId, f64> = HashMap::new();
     let mut inflight = 0usize;
 
     let mut compute_time = 0.0;
@@ -128,10 +185,8 @@ fn run_engine(
     for &id in order {
         let ins = module.instr(id);
         // Non-root fusion members are accounted at their group root.
-        if let Some(fid) = fusion_of.get(&id) {
-            if module.fusion_groups()[fid.index()].root != id {
-                continue;
-            }
+        if table.group_of[id.index()] != NO_GROUP && table.root_group[id.index()] == NO_GROUP {
+            continue;
         }
 
         // Compute running while a DMA engine is actively moving data pays
@@ -147,52 +202,29 @@ fn run_engine(
             start + seconds + machine.dma_interference() * overlap
         };
 
-        if let Some(&gi) = group_root.get(&id) {
+        let gi = table.root_group[id.index()];
+        if gi != NO_GROUP {
             // Execute the whole fusion group as one kernel.
-            let group = &module.fusion_groups()[gi];
-            let mut seconds = machine.op_overhead();
-            let mut flops = 0u64;
-            let mut has_compute = false;
+            let group = &table.groups[gi as usize];
             let mut operands_ready = 0.0f64;
-            for &m in &group.members {
-                match instruction_cost(module, m, machine) {
-                    InstrCost::Compute { seconds: s, flops: fl } => {
-                        seconds += s;
-                        flops += fl;
-                        has_compute = true;
-                    }
-                    InstrCost::Free | InstrCost::Memory { .. } => {}
-                    other => {
-                        return Err(SimError::InvalidSchedule(format!(
-                            "fusion group {gi} contains non-fusible op {} ({other:?})",
-                            module.instr(m).name()
-                        )))
-                    }
-                }
-                for &op in module.instr(m).operands() {
-                    if fusion_of.get(&op).map(|f| f.index()) != Some(gi) {
-                        operands_ready = operands_ready.max(ready[op.index()]);
-                    }
-                }
-            }
-            if !has_compute {
-                seconds += machine.memory_time(module.shape_of(group.root).byte_size());
+            for &op in &group.external_operands {
+                operands_ready = operands_ready.max(ready[op.index()]);
             }
             let start = t_compute.max(operands_ready);
-            let end = penalized(start, seconds, &dma_free);
+            let end = penalized(start, group.seconds, &dma_free);
             t_compute = end;
             for &m in &group.members {
                 ready[m.index()] = end;
             }
-            if has_compute {
-                compute_time += seconds;
+            if group.has_compute {
+                compute_time += group.seconds;
             } else {
-                memory_time += seconds;
+                memory_time += group.seconds;
             }
-            total_flops += flops;
+            total_flops += group.flops;
             timeline.spans.push(Span {
                 name: format!("fusion.{}", ins.name()),
-                kind: if has_compute { SpanKind::Compute } else { SpanKind::Memory },
+                kind: if group.has_compute { SpanKind::Compute } else { SpanKind::Memory },
                 start,
                 end,
             });
@@ -205,7 +237,7 @@ fn run_engine(
             .map(|o| ready[o.index()])
             .fold(0.0f64, f64::max);
 
-        match instruction_cost(module, id, machine) {
+        match table.cost(id) {
             InstrCost::Free => {
                 ready[id.index()] = operands_ready;
             }
@@ -265,8 +297,8 @@ fn run_engine(
                 let begin = issue.max(dma_free[lane]);
                 let end = begin + transfer.seconds;
                 dma_free[lane] = end;
-                transfer_end.insert(id, end);
-                transfer_dur.insert(id, transfer.seconds);
+                scratch.transfer_end[id.index()] = end;
+                scratch.transfer_dur[id.index()] = transfer.seconds;
                 if inflight >= machine.max_inflight_async() {
                     // No synchronization flag available: the transfer
                     // degrades to blocking (footnote 11 of the paper says
@@ -288,11 +320,8 @@ fn run_engine(
             }
             InstrCost::AsyncDone => {
                 let start_id = ins.operands()[0];
-                let end = transfer_end
-                    .get(&start_id)
-                    .copied()
-                    .expect("done after start in topological order");
-                let dur = transfer_dur.get(&start_id).copied().unwrap_or(0.0);
+                let end = scratch.transfer_end[start_id.index()];
+                let dur = scratch.transfer_dur[start_id.index()];
                 inflight = inflight.saturating_sub(1);
                 let stall = (end - t_compute.max(operands_ready)).max(0.0);
                 if stall > 0.0 {
@@ -314,7 +343,7 @@ fn run_engine(
     state.t_compute = t_compute;
     state.dma_free = dma_free;
     let makespan = t_compute.max(dma_free[0]).max(dma_free[1]);
-    Ok(Report::new(
+    Report::new(
         makespan,
         compute_time,
         memory_time,
@@ -323,7 +352,7 @@ fn run_engine(
         hidden_async_time,
         total_flops,
         timeline,
-    ))
+    )
 }
 
 fn validate_order(module: &Module, order: &[InstrId]) -> Result<(), SimError> {
@@ -533,6 +562,43 @@ mod tests {
         );
         assert!(five.makespan() <= 5.0 * single.makespan() + 1e-12);
         assert_eq!(five.total_flops(), 5 * single.total_flops());
+    }
+
+    #[test]
+    fn table_reuse_matches_fresh_simulation() {
+        let n = 4;
+        let machine = Machine::tpu_v4_like(n);
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[512, 1024]), "x");
+        let w = b.parameter(f32s(&[256, 1024]), "w");
+        let wg = b.all_gather(w, 0, ReplicaGroups::full(n), "wg");
+        let y = b.einsum(x, wg, DotDims::new(vec![], vec![(1, 0)]).unwrap(), "y");
+        let s = b.collective_permute_start(x, vec![(0, 1), (1, 2), (2, 3), (3, 0)], "s");
+        let d = b.collective_permute_done(s, "d");
+        let m = b.build(vec![y, d]);
+        let order = m.ids();
+        let table = CostTable::new(&m, &machine).unwrap();
+        let fresh = simulate_order(&m, &machine, &order).unwrap();
+        let cached = simulate_order_with(&table, &m, &machine, &order).unwrap();
+        assert_eq!(fresh, cached);
+        let fresh5 = simulate_order_repeated(&m, &machine, &order, 5).unwrap();
+        let cached5 =
+            simulate_order_repeated_with(&table, &m, &machine, &order, 5).unwrap();
+        assert_eq!(fresh5, cached5);
+    }
+
+    #[test]
+    fn mismatched_table_is_rejected() {
+        let machine = Machine::tpu_v4_like(1);
+        let mut b = Builder::new("m", 1);
+        let x = b.parameter(f32s(&[4]), "x");
+        let c = b.copy(x, "c");
+        let m = b.build(vec![c]);
+        let mut b2 = Builder::new("m2", 1);
+        let x2 = b2.parameter(f32s(&[4]), "x2");
+        let m2 = b2.build(vec![x2]);
+        let table = CostTable::new(&m2, &machine).unwrap();
+        assert!(simulate_order_with(&table, &m, &machine, &[x, c]).is_err());
     }
 
     #[test]

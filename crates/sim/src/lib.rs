@@ -30,9 +30,17 @@ mod engine;
 mod error;
 mod memory;
 mod report;
+mod table;
 
-pub use cost::{einsum_time_for, instruction_cost, permute_transfer, Direction, InstrCost, TransferClass};
-pub use engine::{simulate, simulate_order, simulate_order_repeated};
+pub use cost::{
+    einsum_cost_key, einsum_time_for, instruction_cost, permute_transfer, Direction, InstrCost,
+    TransferClass,
+};
+pub use engine::{
+    simulate, simulate_order, simulate_order_repeated, simulate_order_repeated_with,
+    simulate_order_with,
+};
 pub use error::SimError;
 pub use memory::{memory_profile, MemoryProfile};
 pub use report::{Report, Span, SpanKind, Timeline};
+pub use table::CostTable;

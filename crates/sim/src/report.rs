@@ -202,6 +202,21 @@ impl Report {
         }
     }
 
+    /// Folds another report into this one (for repeated executions):
+    /// counters add, makespans take the max, and `other`'s spans move to
+    /// the end of this timeline without re-copying the accumulated
+    /// prefix.
+    pub(crate) fn absorb(&mut self, other: Report) {
+        self.makespan = self.makespan.max(other.makespan);
+        self.compute_time += other.compute_time;
+        self.memory_time += other.memory_time;
+        self.sync_comm_time += other.sync_comm_time;
+        self.exposed_async_time += other.exposed_async_time;
+        self.hidden_async_time += other.hidden_async_time;
+        self.total_flops += other.total_flops;
+        self.timeline.spans.extend(other.timeline.spans);
+    }
+
     /// End-to-end simulated time, seconds.
     #[must_use]
     pub fn makespan(&self) -> f64 {

@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI gate: build + tests (tier 1), lint at deny level, and keep the
+# criterion benches compiling so the harness can't rot. Run from the
+# repository root.
+#
+#   sh scripts/ci.sh
+#
+# Optional: PERFGATE=1 sh scripts/ci.sh additionally runs the perf gate
+# binary, which records results/BENCH_sim.json for trend tracking.
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo bench --no-run (compile gate)"
+cargo bench --no-run
+
+if [ "${PERFGATE:-0}" = "1" ]; then
+    echo "==> perf gate (results/BENCH_sim.json)"
+    cargo run --release -p overlap-bench --bin perfgate
+fi
+
+echo "CI gate passed."
