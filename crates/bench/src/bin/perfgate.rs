@@ -1,22 +1,57 @@
 //! Performance gate: times the simulator hot path with and without the
-//! precomputed cost table, and the Table-1 sweep serial vs. fanned
-//! across cores, then records the numbers as `results/BENCH_sim.json`
-//! so successive PRs can track the trajectory.
+//! precomputed cost table, the Table-1 sweep serial vs. fanned across
+//! cores, and end-to-end `OverlapPipeline::compile` throughput on the
+//! largest zoo model vs. an emulation of the pre-analysis pass sequence,
+//! then records the numbers as `results/BENCH_sim.json` so successive
+//! PRs can track the trajectory.
 //!
 //! ```sh
 //! cargo run --release -p overlap-bench --bin perfgate [REPS]
 //! ```
 //!
-//! Exit code is always 0 — the record is informational; regressions are
-//! judged by comparing the JSON across commits.
+//! Most numbers are informational (judged by comparing the JSON across
+//! commits), but the compile-throughput check is a hard gate: the
+//! largest-model compile must be no slower than the recorded baseline
+//! (`results/BENCH_compile_baseline.txt`) times a noise tolerance, or
+//! the process exits nonzero. The baseline file is created on first run;
+//! refresh it deliberately with `OVERLAP_COMPILE_BASELINE_UPDATE=1`.
 
 use std::time::Instant;
 
 use overlap_bench::{run_comparison, run_comparisons, sweep_threads, write_json};
-use overlap_core::{OverlapOptions, OverlapPipeline};
+use overlap_core::{
+    asyncify, decompose_each, find_patterns, fuse, schedule_bottom_up_with, CostModel,
+    DecomposeOptions, OverlapOptions, OverlapPipeline, PhaseTimings,
+};
+use overlap_hlo::{eliminate_common_subexpressions, InstrId, Module};
+use overlap_mesh::Machine;
 use overlap_models::{table1_models, Arch, ModelConfig, PartitionStrategy};
 use overlap_sim::{simulate_order, simulate_order_repeated_with, CostTable};
 use serde::Serialize;
+
+/// Wall-clock noise tolerance for the compile-throughput gate: fail only
+/// when the measured per-compile time exceeds `baseline * TOLERANCE`.
+const BASELINE_TOLERANCE: f64 = 1.5;
+
+const BASELINE_PATH: &str = "results/BENCH_compile_baseline.txt";
+
+#[derive(Serialize)]
+struct CompileThroughput {
+    /// The compiled model (the largest Table-1 configuration).
+    model: String,
+    reps: usize,
+    /// Total seconds for `reps` runs of `OverlapPipeline::run`.
+    pipeline_seconds: f64,
+    /// Total seconds for `reps` runs of the pre-analysis pass sequence
+    /// (every pass re-verifying and re-indexing the module).
+    legacy_seconds: f64,
+    speedup: f64,
+    /// Per-pass wall time accumulated across the pipeline runs.
+    phases: PhaseTimings,
+    /// Recorded per-compile baseline, if one existed before this run.
+    baseline_seconds: Option<f64>,
+    threads: usize,
+}
 
 #[derive(Serialize)]
 struct PerfRecord {
@@ -33,7 +68,119 @@ struct PerfRecord {
     /// The same sweep through the parallel driver.
     sweep_parallel_seconds: f64,
     sweep_speedup: f64,
+    compile_throughput: CompileThroughput,
     threads: usize,
+}
+
+/// The compilation sequence as it stood before the shared-analysis
+/// refactor: every pass verifies and re-indexes its input from scratch —
+/// a full input verify, a cost-table build (with its own verify) inside
+/// the serial cost gate, a full verify in `fuse`, a full verify of the
+/// final module, a second cost-table build (verifying again), and a
+/// scheduler that recomputes the users table and effective latencies.
+/// Pass bodies are the current ones; only the redundant recomputation
+/// differs, so the outputs must be bit-identical to the pipeline's.
+fn legacy_compile(
+    module: &Module,
+    machine: &Machine,
+    options: &OverlapOptions,
+) -> (Module, Vec<InstrId>) {
+    module.verify().expect("verified input");
+    let patterns = find_patterns(module);
+    let cost_model = CostModel::new(machine, options.decompose);
+    let decisions = cost_model.select(module, &patterns, !options.disable_cost_gate);
+    let selected: Vec<_> = decisions
+        .iter()
+        .map(|d| {
+            let opts =
+                DecomposeOptions { bidirectional: d.bidirectional, ..options.decompose };
+            (d.pattern, opts)
+        })
+        .collect();
+    let (decomposed, _summaries) = decompose_each(module, &selected);
+    let decomposed = eliminate_common_subexpressions(&decomposed);
+    let asynced = asyncify(&decomposed);
+    let final_module = match &options.fusion {
+        Some(fopts) => fuse(&asynced, fopts),
+        None => asynced,
+    };
+    final_module.verify().expect("verified output");
+    let table = CostTable::new(&final_module, machine).expect("cost table");
+    let order = schedule_bottom_up_with(&table, &final_module, machine);
+    (final_module, order)
+}
+
+/// Times `reps` end-to-end compiles of the largest zoo model through the
+/// shared-analysis pipeline and through [`legacy_compile`], asserting the
+/// schedules are bit-identical, and applies the baseline gate. Returns
+/// the record and whether the gate passed.
+fn compile_throughput(reps: usize) -> (CompileThroughput, bool) {
+    let models = table1_models();
+    let cfg = models
+        .iter()
+        .find(|m| m.name == "GPT_1T")
+        .expect("GPT_1T is the largest Table-1 configuration");
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+    let options = OverlapOptions::paper_default();
+    let pipeline = OverlapPipeline::new(options);
+
+    let mut phases = PhaseTimings::new();
+    let t = Instant::now();
+    let mut compiled = pipeline.run(&module, &machine).expect("pipeline");
+    phases.accumulate(&compiled.timings);
+    for _ in 1..reps {
+        compiled = pipeline.run(&module, &machine).expect("pipeline");
+        phases.accumulate(&compiled.timings);
+    }
+    let pipeline_seconds = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let (mut legacy_module, mut legacy_order) = legacy_compile(&module, &machine, &options);
+    for _ in 1..reps {
+        (legacy_module, legacy_order) = legacy_compile(&module, &machine, &options);
+    }
+    let legacy_seconds = t.elapsed().as_secs_f64();
+
+    assert_eq!(
+        legacy_module.len(),
+        compiled.module.len(),
+        "legacy emulation diverged from the pipeline on {}",
+        cfg.name
+    );
+    assert_eq!(
+        legacy_order, compiled.order,
+        "pipeline schedule must be bit-identical to the pre-analysis sequence"
+    );
+
+    let baseline_seconds = std::fs::read_to_string(BASELINE_PATH)
+        .ok()
+        .and_then(|s| s.trim().parse::<f64>().ok());
+    let per_compile = pipeline_seconds / reps as f64;
+    let update = std::env::var("OVERLAP_COMPILE_BASELINE_UPDATE").is_ok_and(|v| v == "1");
+    let ok = match baseline_seconds {
+        Some(base) if !update => per_compile <= base * BASELINE_TOLERANCE,
+        _ => {
+            if let Err(e) = std::fs::create_dir_all("results")
+                .and_then(|()| std::fs::write(BASELINE_PATH, format!("{per_compile:.6}\n")))
+            {
+                eprintln!("warning: cannot record compile baseline: {e}");
+            }
+            true
+        }
+    };
+
+    let record = CompileThroughput {
+        model: cfg.name.clone(),
+        reps,
+        pipeline_seconds,
+        legacy_seconds,
+        speedup: legacy_seconds / pipeline_seconds,
+        phases,
+        baseline_seconds,
+        threads: sweep_threads(),
+    };
+    (record, ok)
 }
 
 fn main() {
@@ -89,6 +236,13 @@ fn main() {
         );
     }
 
+    // End-to-end compile throughput on the largest zoo model (hard gate).
+    let compile_reps: usize = std::env::var("OVERLAP_COMPILE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let (compile, compile_ok) = compile_throughput(compile_reps);
+
     let record = PerfRecord {
         reps,
         sim_fresh_seconds,
@@ -97,6 +251,7 @@ fn main() {
         sweep_serial_seconds,
         sweep_parallel_seconds,
         sweep_speedup: sweep_serial_seconds / sweep_parallel_seconds,
+        compile_throughput: compile,
         threads: sweep_threads(),
     };
     println!(
@@ -110,5 +265,24 @@ fn main() {
         record.sweep_speedup,
         record.threads
     );
+    let ct = &record.compile_throughput;
+    println!(
+        "compile {} x{}: pipeline {:.3}s, legacy sequence {:.3}s ({:.2}x, gate on {} threads)",
+        ct.model, ct.reps, ct.pipeline_seconds, ct.legacy_seconds, ct.speedup, ct.threads
+    );
+    for p in ct.phases.phases() {
+        println!("  {:<18} {:.4}s", p.phase, p.seconds);
+    }
     write_json("BENCH_sim", &record);
+
+    if !compile_ok {
+        let per_compile = ct.pipeline_seconds / ct.reps as f64;
+        eprintln!(
+            "compile-throughput regression: {:.4}s per compile vs baseline {:.4}s (tolerance {BASELINE_TOLERANCE}x); \
+             refresh deliberately with OVERLAP_COMPILE_BASELINE_UPDATE=1",
+            per_compile,
+            ct.baseline_seconds.unwrap_or(f64::NAN),
+        );
+        std::process::exit(1);
+    }
 }

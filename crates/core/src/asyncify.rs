@@ -1,7 +1,7 @@
 //! Conversion of blocking collective permutes into asynchronous
 //! start/done pairs (§5.2).
 
-use overlap_hlo::{Builder, InstrId, Module, Op};
+use overlap_hlo::{Builder, InstrId, Module, ModuleAnalysis, Op};
 
 /// Splits every synchronous `CollectivePermute` into a
 /// `CollectivePermuteStart` immediately followed by its
@@ -18,6 +18,17 @@ use overlap_hlo::{Builder, InstrId, Module, Op};
 /// Panics if the module is malformed (operands after users).
 #[must_use]
 pub fn asyncify(module: &Module) -> Module {
+    asyncify_with(module).0
+}
+
+/// [`asyncify`] also returning the rewritten module's [`ModuleAnalysis`],
+/// maintained append-by-append by the builder.
+///
+/// # Panics
+///
+/// Panics if the module is malformed (operands after users).
+#[must_use]
+pub fn asyncify_with(module: &Module) -> (Module, ModuleAnalysis) {
     let mut b = Builder::new(module.name().to_string(), module.num_partitions());
     let mut map: Vec<Option<InstrId>> = vec![None; module.len()];
     for (id, ins) in module.iter() {
@@ -43,7 +54,7 @@ pub fn asyncify(module: &Module) -> Module {
         .iter()
         .map(|o| map[o.index()].expect("outputs mapped"))
         .collect();
-    b.build(outputs)
+    b.build_with_analysis(outputs)
 }
 
 #[cfg(test)]

@@ -312,12 +312,49 @@ impl<'m> CostModel<'m> {
         }
         let table = CostTable::new(module, self.machine)
             .expect("cost-gate selection requires a verifiable module");
+        let decisions: Vec<GateDecision> =
+            patterns.iter().map(|p| self.evaluate_with(&table, module, p)).collect();
+        Self::resolve(decisions, gate)
+    }
+
+    /// [`CostModel::select`] with a pre-built [`CostTable`], fanning the
+    /// per-candidate evaluations across cores on the deterministic
+    /// [`par_map`](overlap_sim::par_map) driver. Results land in input-
+    /// order slots and each worker evaluates with a fresh einsum-time
+    /// memo — memo hits are exact (a hit returns the identical bits), so
+    /// the decisions are bit-identical to the serial path. The per-einsum
+    /// resolution stays serial (it is a cheap reduction).
+    #[must_use]
+    pub fn select_with(
+        &self,
+        table: &CostTable,
+        module: &Module,
+        patterns: &[Pattern],
+        gate: bool,
+    ) -> Vec<GateDecision> {
+        if patterns.is_empty() {
+            return Vec::new();
+        }
+        // `self` cannot cross threads (the memo is a RefCell), so each
+        // evaluation builds its own model from the shared machine+options.
+        let machine = self.machine;
+        let options = self.options;
+        let decisions: Vec<GateDecision> = overlap_sim::par_map(patterns, |p| {
+            CostModel::new(machine, options).evaluate_with(table, module, p)
+        });
+        Self::resolve(decisions, gate)
+    }
+
+    /// Applies the §5.5 one-pattern-per-einsum rule and (optionally) the
+    /// benefit gate to a set of evaluated candidates. Decisions must be in
+    /// pattern order — grouping keys on first appearance of each einsum.
+    fn resolve(decisions: Vec<GateDecision>, gate: bool) -> Vec<GateDecision> {
         let mut by_einsum: Vec<(InstrId, Vec<GateDecision>)> = Vec::new();
-        for p in patterns {
-            let d = self.evaluate_with(&table, module, p);
-            match by_einsum.iter_mut().find(|(e, _)| *e == p.einsum) {
+        for d in decisions {
+            let einsum = d.pattern.einsum;
+            match by_einsum.iter_mut().find(|(e, _)| *e == einsum) {
                 Some((_, v)) => v.push(d),
-                None => by_einsum.push((p.einsum, vec![d])),
+                None => by_einsum.push((einsum, vec![d])),
             }
         }
         let mut selected = Vec::new();
@@ -431,6 +468,34 @@ mod tests {
         assert_eq!(pats.len(), 2);
         let sel = cm.select(&m, &pats, false);
         assert_eq!(sel.len(), 1, "one pattern per einsum");
+    }
+
+    #[test]
+    fn parallel_select_matches_serial_bitwise() {
+        let n = 2;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[512, 1024]), "x");
+        let w = b.parameter(f32s(&[512, 256]), "w");
+        let gx = b.all_gather(x, 0, ReplicaGroups::full(n), "gx");
+        let gw = b.all_gather(w, 0, ReplicaGroups::full(n), "gw");
+        let e = b.einsum(gx, gw, DotDims::matmul(), "e");
+        let x2 = b.parameter(f32s(&[4096, 2048]), "x2");
+        let w2 = b.parameter(f32s(&[2048, 1024]), "w2");
+        let g2 = b.all_gather(w2, 1, ReplicaGroups::full(n), "g2");
+        let e2 = b.einsum(x2, g2, DotDims::matmul(), "e2");
+        let m = b.build(vec![e, e2]);
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let table = CostTable::new(&m, &machine).expect("table");
+        let pats = find_patterns(&m);
+        assert!(pats.len() >= 2, "need several candidates");
+        for gate in [false, true] {
+            for opts in [uni(), DecomposeOptions::default()] {
+                let cm = CostModel::new(&machine, opts);
+                let serial = cm.select(&m, &pats, gate);
+                let par = cm.select_with(&table, &m, &pats, gate);
+                assert_eq!(serial, par, "parallel gate must be bit-identical");
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! (ReduceScatter) shift, doubling usable link bandwidth.
 
 use overlap_hlo::{
-    Builder, DType, InstrId, Module, Op, PadDim, ReplicaGroups, Shape,
+    Builder, DType, InstrId, Module, ModuleAnalysis, Op, PadDim, ReplicaGroups, Shape,
 };
 use overlap_mesh::shift_pairs;
 
@@ -132,7 +132,42 @@ pub fn decompose_each(
     module: &Module,
     selected: &[(Pattern, DecomposeOptions)],
 ) -> (Module, Vec<DecomposeSummary>) {
+    let (rewritten, summaries, _analysis) = decompose_impl(module, selected, false);
+    (rewritten, summaries)
+}
+
+/// [`decompose_each`] also returning the rewritten module's
+/// [`ModuleAnalysis`], maintained append-by-append while the builder
+/// emits the loops (no post-hoc whole-module recomputation).
+///
+/// The builder additionally value-numbers pure instructions as it
+/// appends (the loops emit the same rank table and scalar index
+/// constants per pattern), so the returned module is already in CSE
+/// normal form: running
+/// [`overlap_hlo::eliminate_common_subexpressions`] on it is an
+/// identity, and the result — names and arena order included — is
+/// bit-identical to [`decompose_each`] followed by that pass.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`decompose`].
+#[must_use]
+pub fn decompose_each_with(
+    module: &Module,
+    selected: &[(Pattern, DecomposeOptions)],
+) -> (Module, Vec<DecomposeSummary>, ModuleAnalysis) {
+    decompose_impl(module, selected, true)
+}
+
+fn decompose_impl(
+    module: &Module,
+    selected: &[(Pattern, DecomposeOptions)],
+    value_number: bool,
+) -> (Module, Vec<DecomposeSummary>, ModuleAnalysis) {
     let mut b = Builder::new(module.name().to_string(), module.num_partitions());
+    if value_number {
+        b.enable_value_numbering();
+    }
     let mut map: Vec<Option<InstrId>> = vec![None; module.len()];
     let mut summaries = Vec::new();
 
@@ -177,7 +212,8 @@ pub fn decompose_each(
         .iter()
         .map(|o| map[o.index()].expect("outputs mapped"))
         .collect();
-    (b.build(outputs), summaries)
+    let (rewritten, analysis) = b.build_with_analysis(outputs);
+    (rewritten, summaries, analysis)
 }
 
 /// Per-pattern loop emission context: group bookkeeping plus the scalar

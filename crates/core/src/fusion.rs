@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use overlap_hlo::{FusionGroup, InstrId, Module, Op};
+use overlap_hlo::{FusionGroup, InstrId, Module, ModuleAnalysis, Op};
 
 /// Options for the fusion pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,7 +77,30 @@ fn depends_on_done(module: &Module, id: InstrId) -> bool {
 #[must_use]
 pub fn fuse(module: &Module, options: &FusionOptions) -> Module {
     module.verify().expect("fusion requires a verified module");
-    let users = module.users();
+    fuse_impl(module, &module.users(), options)
+}
+
+/// [`fuse`] with the users table taken from a shared [`ModuleAnalysis`]
+/// and verification skipped (the caller vouches via the analysis
+/// watermark). The caller should
+/// [`refresh_fusion`](ModuleAnalysis::refresh_fusion) its analysis on the
+/// returned module.
+///
+/// # Panics
+///
+/// Panics if `analysis` does not cover and verify `module`.
+#[must_use]
+pub fn fuse_with(module: &Module, analysis: &ModuleAnalysis, options: &FusionOptions) -> Module {
+    assert_eq!(analysis.len(), module.len(), "analysis does not cover module");
+    assert_eq!(
+        analysis.verified_len(),
+        module.len(),
+        "fusion requires a verified module"
+    );
+    fuse_impl(module, analysis.users(), options)
+}
+
+fn fuse_impl(module: &Module, users: &[Vec<InstrId>], options: &FusionOptions) -> Module {
     let single_user = |id: InstrId| users[id.index()].len() == 1;
     let mut group_of: HashMap<InstrId, usize> = HashMap::new();
     let mut groups: Vec<FusionGroup> = Vec::new();
@@ -251,7 +274,12 @@ mod tests {
         let fused = fuse(&m, &FusionOptions { overlap_aware: true });
         fused.verify().unwrap();
         let fo = fused.fusion_of();
-        assert_eq!(fo[&add], fo[&e1], "add must fuse with the done-dependent einsum");
+        assert!(fo[add.index()].is_some());
+        assert_eq!(
+            fo[add.index()],
+            fo[e1.index()],
+            "add must fuse with the done-dependent einsum"
+        );
     }
 
     #[test]
@@ -260,9 +288,10 @@ mod tests {
         let fused = fuse(&m, &FusionOptions { overlap_aware: false });
         fused.verify().unwrap();
         let fo = fused.fusion_of();
-        assert_eq!(fo[&add], fo[&e0], "default fuses with the first producer");
+        assert!(fo[add.index()].is_some());
+        assert_eq!(fo[add.index()], fo[e0.index()], "default fuses with the first producer");
         // e1's seed group stayed a singleton and was dropped.
-        assert!(fo.get(&e1).is_none_or(|g| *g != fo[&add]));
+        assert!(fo[e1.index()].is_none() || fo[e1.index()] != fo[add.index()]);
     }
 
     #[test]
@@ -276,7 +305,8 @@ mod tests {
         let m = b.build(vec![e]);
         let fused = fuse(&m, &FusionOptions::default());
         let fo = fused.fusion_of();
-        assert_eq!(fo[&ds], fo[&e]);
+        assert!(fo[ds.index()].is_some());
+        assert_eq!(fo[ds.index()], fo[e.index()]);
     }
 
     #[test]
@@ -292,8 +322,8 @@ mod tests {
         let fo = fused.fusion_of();
         // The add cannot join the einsum's group, which therefore stays a
         // singleton and is dropped entirely.
-        assert!(!fo.contains_key(&add));
-        assert!(!fo.contains_key(&e));
+        assert!(fo[add.index()].is_none());
+        assert!(fo[e.index()].is_none());
         fused.verify().unwrap();
     }
 }

@@ -43,16 +43,23 @@ mod decompose;
 mod fusion;
 mod pattern;
 mod pipeline;
+mod profile;
 mod reassociate;
 mod report;
 mod schedule;
 
-pub use asyncify::asyncify;
+pub use asyncify::{asyncify, asyncify_with};
 pub use costgate::{CostModel, GateDecision};
-pub use decompose::{decompose, decompose_each, DecomposeOptions, DecomposeSummary};
-pub use fusion::{fuse, FusionOptions};
-pub use pattern::{find_patterns, AgCase, Pattern, PatternKind};
+pub use decompose::{
+    decompose, decompose_each, decompose_each_with, DecomposeOptions, DecomposeSummary,
+};
+pub use fusion::{fuse, fuse_with, FusionOptions};
+pub use pattern::{find_patterns, find_patterns_with, AgCase, Pattern, PatternKind};
 pub use pipeline::{Compiled, OverlapOptions, OverlapPipeline, SchedulerKind};
-pub use reassociate::{split_all_reduces, REASSOC_TAG};
+pub use profile::{PhaseTiming, PhaseTimings};
+pub use reassociate::{split_all_reduces, split_all_reduces_with, REASSOC_TAG};
 pub use report::CompileReport;
-pub use schedule::{schedule_bottom_up, schedule_bottom_up_with, schedule_top_down};
+pub use schedule::{
+    schedule_bottom_up, schedule_bottom_up_ctx, schedule_bottom_up_with, schedule_top_down,
+    schedule_top_down_ctx, ScheduleContext,
+};

@@ -1,6 +1,6 @@
 //! Identification of decomposable collective/einsum pairs.
 
-use overlap_hlo::{DotDims, InstrId, Module, Op};
+use overlap_hlo::{DotDims, InstrId, Module, ModuleAnalysis, Op};
 
 /// Which §5.1 AllGather case a pattern falls into, determined by the role
 /// of the gathered dimension in the einsum.
@@ -80,7 +80,22 @@ fn classify_ag_dim(dims: &DotDims, dim: usize, is_lhs: bool) -> AgCase {
 /// covered by §5.1's transformation).
 #[must_use]
 pub fn find_patterns(module: &Module) -> Vec<Pattern> {
-    let users = module.users();
+    find_patterns_in(module, &module.users())
+}
+
+/// [`find_patterns`] with the users table taken from a shared
+/// [`ModuleAnalysis`] instead of recomputed from scratch.
+///
+/// # Panics
+///
+/// Panics if `analysis` does not cover `module`.
+#[must_use]
+pub fn find_patterns_with(module: &Module, analysis: &ModuleAnalysis) -> Vec<Pattern> {
+    assert_eq!(analysis.len(), module.len(), "analysis does not cover module");
+    find_patterns_in(module, analysis.users())
+}
+
+fn find_patterns_in(module: &Module, users: &[Vec<InstrId>]) -> Vec<Pattern> {
     let mut patterns = Vec::new();
     for (id, ins) in module.iter() {
         let Op::Einsum(dims) = ins.op() else { continue };

@@ -1,16 +1,17 @@
 //! The end-to-end compilation pipeline.
 
-use overlap_hlo::{eliminate_common_subexpressions, HloError, InstrId, Module};
+use overlap_hlo::{HloError, InstrId, Module, ModuleAnalysis};
 use overlap_mesh::Machine;
 use overlap_sim::CostTable;
 
-use crate::asyncify::asyncify;
+use crate::asyncify::asyncify_with;
 use crate::costgate::{CostModel, GateDecision};
-use crate::decompose::{decompose_each, DecomposeOptions, DecomposeSummary};
-use crate::fusion::{fuse, FusionOptions};
-use crate::pattern::find_patterns;
-use crate::reassociate::split_all_reduces;
-use crate::schedule::{schedule_bottom_up_with, schedule_top_down};
+use crate::decompose::{decompose_each_with, DecomposeOptions, DecomposeSummary};
+use crate::fusion::{fuse_with, FusionOptions};
+use crate::pattern::find_patterns_with;
+use crate::profile::PhaseTimings;
+use crate::reassociate::split_all_reduces_with;
+use crate::schedule::{schedule_bottom_up_ctx, schedule_top_down_ctx, ScheduleContext};
 
 /// Which §5.2 scheduler orders the final instruction sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -77,6 +78,8 @@ pub struct Compiled {
     /// [`overlap_sim::simulate_order_repeated_with`] to simulate the
     /// compiled program without re-deriving costs.
     pub cost_table: CostTable,
+    /// Wall time spent in each pipeline pass (see [`PhaseTimings`]).
+    pub timings: PhaseTimings,
 }
 
 /// The compiler pipeline implementing the paper end to end:
@@ -124,20 +127,56 @@ impl OverlapPipeline {
 
     /// Runs all passes on `module` for `machine`.
     ///
+    /// Every pass shares one [`ModuleAnalysis`]: the builder-based
+    /// rewrites return the analysis of their output (maintained
+    /// append-by-append), the read-only passes borrow its users/fusion
+    /// tables, and the final check is the *incremental* verifier — only
+    /// the instructions past the analysis watermark get per-instruction
+    /// checks (set `OVERLAP_FULL_VERIFY=1` to cross-check against the
+    /// full verifier). Per-pass wall times land in [`Compiled::timings`].
+    ///
     /// # Errors
     ///
-    /// Returns [`HloError`] if the input module fails verification.
+    /// Returns [`HloError`] if the input or the compiled module fails
+    /// verification.
     pub fn run(&self, module: &Module, machine: &Machine) -> Result<Compiled, HloError> {
+        let mut timings = PhaseTimings::new();
+
+        let t0 = std::time::Instant::now();
         module.verify()?;
-        let module = if self.options.split_all_reduce {
-            &split_all_reduces(module)
+        timings.record("verify_input", t0.elapsed().as_secs_f64());
+
+        // The split pre-pass rebuilds the module (its builder hands back
+        // the analysis); otherwise analyze the verified input in place.
+        let split_module;
+        let analysis;
+        let module: &Module = if self.options.split_all_reduce {
+            let (m, a) = timings.time("split_all_reduces", || split_all_reduces_with(module));
+            split_module = m;
+            analysis = a;
+            &split_module
         } else {
+            analysis = timings.time("analyze", || {
+                let mut a = ModuleAnalysis::of(module);
+                a.mark_verified(module);
+                a
+            });
             module
         };
-        let patterns = find_patterns(module);
+
+        let patterns = timings.time("find_patterns", || find_patterns_with(module, &analysis));
         let cost_model = CostModel::new(machine, self.options.decompose);
-        let decisions =
-            cost_model.select(module, &patterns, !self.options.disable_cost_gate);
+        let decisions = timings.time("cost_gate", || {
+            if patterns.is_empty() {
+                return Vec::new();
+            }
+            // The gate's per-candidate evaluations fan across cores with
+            // input-order-deterministic results; the input module's cost
+            // table reuses the already-verified analysis.
+            let table = CostTable::with_analysis(module, &analysis, machine)
+                .expect("verified input must have computable costs");
+            cost_model.select_with(&table, module, &patterns, !self.options.disable_cost_gate)
+        });
         let selected: Vec<_> = decisions
             .iter()
             .map(|d| {
@@ -149,29 +188,45 @@ impl OverlapPipeline {
             })
             .collect();
 
-        let (decomposed, summaries) = decompose_each(module, &selected);
-        // The decomposition emits one rank table and a handful of scalar
-        // index constants per pattern; merge the duplicates.
-        let decomposed = eliminate_common_subexpressions(&decomposed);
-        let asynced = asyncify(&decomposed);
+        // `decompose_each_with` value-numbers as it builds, so the result
+        // is already in CSE normal form — no separate merge pass needed.
+        let (decomposed, summaries, _decompose_analysis) =
+            timings.time("decompose", || decompose_each_with(module, &selected));
+        // asyncify rebuilds the module, so its builder re-derives the
+        // analysis append-by-append.
+        let (asynced, mut analysis) = timings.time("asyncify", || asyncify_with(&decomposed));
         let final_module = match &self.options.fusion {
-            Some(fopts) => fuse(&asynced, fopts),
+            Some(fopts) => timings.time("fuse", || {
+                let fused = fuse_with(&asynced, &analysis, fopts);
+                analysis.refresh_fusion(&fused);
+                fused
+            }),
             None => asynced,
         };
-        final_module.verify()?;
+
+        let t0 = std::time::Instant::now();
+        final_module.verify_incremental(&mut analysis)?;
+        timings.record("verify_final", t0.elapsed().as_secs_f64());
+
         // One table serves the scheduler below and every later simulation
         // of the compiled module. The pipeline's own passes only fuse
         // fusible ops, so table construction cannot fail here.
-        let cost_table = CostTable::new(&final_module, machine)
-            .expect("pipeline output must have computable costs");
-        let order = match self.options.scheduler {
+        let cost_table = timings.time("cost_table", || {
+            CostTable::with_analysis(&final_module, &analysis, machine)
+                .expect("pipeline output must have computable costs")
+        });
+        let order = timings.time("schedule", || match self.options.scheduler {
             SchedulerKind::BottomUp => {
-                schedule_bottom_up_with(&cost_table, &final_module, machine)
+                let ctx = ScheduleContext::new(&cost_table, &analysis, &final_module, machine);
+                schedule_bottom_up_ctx(&ctx, &final_module, machine)
             }
-            SchedulerKind::TopDown => schedule_top_down(&final_module, machine),
-            SchedulerKind::Original => final_module.ids(),
-        };
-        Ok(Compiled { module: final_module, order, summaries, decisions, cost_table })
+            SchedulerKind::TopDown => {
+                let ctx = ScheduleContext::new(&cost_table, &analysis, &final_module, machine);
+                schedule_top_down_ctx(&ctx, &final_module, machine)
+            }
+            SchedulerKind::Original => final_module.arena_order(),
+        });
+        Ok(Compiled { module: final_module, order, summaries, decisions, cost_table, timings })
     }
 }
 

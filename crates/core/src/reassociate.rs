@@ -9,7 +9,7 @@
 //! configuration — its own strategy avoids AllReduces by construction —
 //! but uses only the identity the paper states in §2.1.
 
-use overlap_hlo::{Builder, InstrId, Module, Op};
+use overlap_hlo::{Builder, InstrId, Module, ModuleAnalysis, Op};
 
 /// Tag placed on instructions emitted by the split.
 pub const REASSOC_TAG: &str = "reassoc.ar_split";
@@ -27,6 +27,17 @@ pub const REASSOC_TAG: &str = "reassoc.ar_split";
 /// Panics if the module is malformed (operands after users).
 #[must_use]
 pub fn split_all_reduces(module: &Module) -> Module {
+    split_all_reduces_with(module).0
+}
+
+/// [`split_all_reduces`] also returning the rewritten module's
+/// [`ModuleAnalysis`], maintained append-by-append by the builder.
+///
+/// # Panics
+///
+/// Panics if the module is malformed (operands after users).
+#[must_use]
+pub fn split_all_reduces_with(module: &Module) -> (Module, ModuleAnalysis) {
     let mut b = Builder::new(module.name().to_string(), module.num_partitions());
     let mut map: Vec<Option<InstrId>> = vec![None; module.len()];
     for (id, ins) in module.iter() {
@@ -64,7 +75,7 @@ pub fn split_all_reduces(module: &Module) -> Module {
         .iter()
         .map(|o| map[o.index()].expect("outputs mapped"))
         .collect();
-    b.build(outputs)
+    b.build_with_analysis(outputs)
 }
 
 #[cfg(test)]

@@ -64,7 +64,7 @@ impl CompileReport {
         CompileReport {
             before: module_stats(input),
             after: module_stats(&compiled.module),
-            peak_bytes_before: memory_profile(input, &input.ids()).peak_bytes,
+            peak_bytes_before: memory_profile(input, &input.arena_order()).peak_bytes,
             peak_bytes_after: memory_profile(&compiled.module, &compiled.order).peak_bytes,
             decomposed: compiled.summaries.len(),
             evaluated: compiled.decisions.len(),

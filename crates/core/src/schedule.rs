@@ -11,7 +11,7 @@
 #[cfg(test)]
 use std::collections::HashMap;
 
-use overlap_hlo::{InstrId, Module, Op};
+use overlap_hlo::{InstrId, Module, ModuleAnalysis, Op};
 use overlap_mesh::Machine;
 use overlap_sim::{CostTable, InstrCost};
 
@@ -35,11 +35,9 @@ fn latency_of(cost: InstrCost) -> f64 {
 /// `DynamicSlice`'s memory time as overlap opportunity that the executed
 /// program does not actually provide.
 fn effective_latencies(table: &CostTable, module: &Module, machine: &Machine) -> Vec<f64> {
-    let mut lat: Vec<f64> = module
-        .ids()
-        .into_iter()
-        .map(|id| latency_of(table.cost(id)))
-        .collect();
+    // `Module::ids` is a plain counter now, so this builds the latency
+    // vector in one pass with no intermediate id allocation.
+    let mut lat: Vec<f64> = module.ids().map(|id| latency_of(table.cost(id))).collect();
     for group in module.fusion_groups() {
         let total: f64 = group
             .members
@@ -60,6 +58,68 @@ fn effective_latencies(table: &CostTable, module: &Module, machine: &Machine) ->
 fn done_transfer_latency(table: &CostTable, module: &Module, id: InstrId) -> f64 {
     let start = module.instr(id).operands()[0];
     done_transfer_latency_of_start(table, start)
+}
+
+/// Shared scheduling inputs: the cost table, the maintained users table,
+/// and the simulator-faithful per-instruction latencies — computed
+/// **once** and shared between both schedulers (and any number of
+/// scheduler invocations) instead of being recomputed per call.
+pub struct ScheduleContext<'a> {
+    table: &'a CostTable,
+    analysis: &'a ModuleAnalysis,
+    effective_lat: Vec<f64>,
+}
+
+impl<'a> ScheduleContext<'a> {
+    /// Builds the context for one `(module, machine)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` or `analysis` does not cover `module`.
+    #[must_use]
+    pub fn new(
+        table: &'a CostTable,
+        analysis: &'a ModuleAnalysis,
+        module: &Module,
+        machine: &Machine,
+    ) -> Self {
+        assert_eq!(table.len(), module.len(), "cost table built for a different module");
+        assert_eq!(analysis.len(), module.len(), "analysis does not cover module");
+        ScheduleContext {
+            table,
+            analysis,
+            effective_lat: effective_latencies(table, module, machine),
+        }
+    }
+
+    /// The per-instruction latencies the schedulers plan with (fusion
+    /// members zeroed, roots carrying their group's cost).
+    #[must_use]
+    pub fn effective_latencies(&self) -> &[f64] {
+        &self.effective_lat
+    }
+}
+
+/// [`schedule_bottom_up`] driven by a prebuilt [`ScheduleContext`]: no
+/// verification, no users rebuild, no latency recomputation.
+#[must_use]
+pub fn schedule_bottom_up_ctx(
+    ctx: &ScheduleContext<'_>,
+    module: &Module,
+    machine: &Machine,
+) -> Vec<InstrId> {
+    bottom_up_impl(ctx.table, module, machine, ctx.analysis.users(), &ctx.effective_lat)
+}
+
+/// [`schedule_top_down`] driven by a prebuilt [`ScheduleContext`]: no
+/// verification and no users rebuild.
+#[must_use]
+pub fn schedule_top_down_ctx(
+    ctx: &ScheduleContext<'_>,
+    module: &Module,
+    machine: &Machine,
+) -> Vec<InstrId> {
+    top_down_impl(module, machine, ctx.analysis.users())
 }
 
 fn done_transfer_latency_of_start(table: &CostTable, start: InstrId) -> f64 {
@@ -132,6 +192,17 @@ pub fn schedule_bottom_up_with(
         "cost table built for a different module"
     );
     let users = module.users();
+    let effective_lat = effective_latencies(table, module, machine);
+    bottom_up_impl(table, module, machine, &users, &effective_lat)
+}
+
+fn bottom_up_impl(
+    table: &CostTable,
+    module: &Module,
+    machine: &Machine,
+    users: &[Vec<InstrId>],
+    effective_lat: &[f64],
+) -> Vec<InstrId> {
     let n = module.len();
     let mut unscheduled_users: Vec<usize> = users.iter().map(Vec::len).collect();
     let mut finish = vec![0.0f64; n];
@@ -143,7 +214,6 @@ pub fn schedule_bottom_up_with(
     let mut current_time = 0.0f64;
     let mut inflight_async = 0usize;
     let budget = machine.max_inflight_async();
-    let effective_lat = effective_latencies(table, module, machine);
 
     for id in module.ids() {
         if unscheduled_users[id.index()] == 0 {
@@ -293,15 +363,16 @@ pub fn schedule_bottom_up_with(
 #[must_use]
 pub fn schedule_top_down(module: &Module, machine: &Machine) -> Vec<InstrId> {
     module.verify().expect("schedule requires a verified module");
-    let n = module.len();
     let users = module.users();
+    top_down_impl(module, machine, &users)
+}
+
+fn top_down_impl(module: &Module, machine: &Machine, users: &[Vec<InstrId>]) -> Vec<InstrId> {
+    let n = module.len();
     let mut remaining_deps: Vec<usize> =
-        module.ids().iter().map(|&id| module.instr(id).operands().len()).collect();
-    let mut ready: Vec<InstrId> = module
-        .ids()
-        .into_iter()
-        .filter(|id| remaining_deps[id.index()] == 0)
-        .collect();
+        module.iter().map(|(_, ins)| ins.operands().len()).collect();
+    let mut ready: Vec<InstrId> =
+        module.ids().filter(|id| remaining_deps[id.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     let mut inflight = 0usize;
     let budget = machine.max_inflight_async();

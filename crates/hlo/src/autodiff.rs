@@ -95,7 +95,7 @@ pub fn gradients(
     cotangent[output.index()] = Some(seed);
     let needed = reachable_to(module, output);
 
-    for id in module.ids().into_iter().rev() {
+    for id in module.ids().rev() {
         if !needed[id.index()] {
             continue;
         }

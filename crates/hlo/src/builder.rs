@@ -1,10 +1,10 @@
 //! Append-only graph builder.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::{
-    BinaryKind, DType, DotDims, InstrId, Instruction, Module, Op, PadDim, ReplicaGroups, Shape,
-    UnaryKind,
+    BinaryKind, DType, DotDims, InstrId, Instruction, Module, ModuleAnalysis, Op, PadDim,
+    ReplicaGroups, Shape, UnaryKind,
 };
 
 /// Builds a [`Module`] one instruction at a time.
@@ -32,8 +32,24 @@ use crate::{
 pub struct Builder {
     module: Module,
     names: HashSet<String>,
+    /// Next suffix to probe per collided base name (names are never
+    /// removed, so a suffix found occupied stays occupied and probing
+    /// never needs to restart from 1).
+    suffix_hint: HashMap<String, usize>,
     tag: Option<String>,
     next_param: usize,
+    /// Users table maintained append-by-append, handed out through
+    /// [`Builder::build_with_analysis`].
+    users: Vec<Vec<InstrId>>,
+    /// Epoch-stamped scratch for duplicate-destination checking in the
+    /// permute appends; avoids an alloc+sort per appended permute.
+    perm_seen: Vec<u64>,
+    perm_epoch: u64,
+    /// Append-time value numbering (see
+    /// [`Builder::enable_value_numbering`]): key of every appended pure
+    /// instruction, mapping structural duplicates to their first
+    /// occurrence.
+    value_numbering: Option<HashMap<Vec<u64>, InstrId>>,
 }
 
 impl Builder {
@@ -55,8 +71,26 @@ impl Builder {
                 fusion_groups: Vec::new(),
             },
             names: HashSet::new(),
+            suffix_hint: HashMap::new(),
             tag: None,
             next_param: 0,
+            users: Vec::new(),
+            perm_seen: Vec::new(),
+            perm_epoch: 0,
+            value_numbering: None,
+        }
+    }
+
+    /// Merges structurally identical pure instructions at append time,
+    /// exactly as a post-hoc [`crate::eliminate_common_subexpressions`]
+    /// pass would: a pure append whose `(op, shape, operands)` was seen
+    /// before returns the earlier id instead of growing the module. Name
+    /// suffixes are still consumed for merged appends, so the built
+    /// module is bit-identical — names included — to building without
+    /// value numbering and running the CSE pass afterwards.
+    pub fn enable_value_numbering(&mut self) {
+        if self.value_numbering.is_none() {
+            self.value_numbering = Some(HashMap::new());
         }
     }
 
@@ -94,10 +128,11 @@ impl Builder {
         if self.names.insert(base.to_string()) {
             return base.to_string();
         }
-        let mut i = 1usize;
+        let mut i = self.suffix_hint.get(base).copied().unwrap_or(1);
         loop {
             let candidate = format!("{base}.{i}");
             if self.names.insert(candidate.clone()) {
+                self.suffix_hint.insert(base.to_string(), i + 1);
                 return candidate;
             }
             i += 1;
@@ -111,8 +146,30 @@ impl Builder {
                 "operand {o} not yet built (use-after-def violation)"
             );
         }
+        let mut vn_key = None;
+        if self.value_numbering.is_some() {
+            let mut key: Vec<u64> = Vec::with_capacity(8 + operands.len());
+            if crate::transform::value_key_into(&op, &shape, &mut key) {
+                key.extend(operands.iter().map(|o| o.index() as u64));
+                let table = self.value_numbering.as_mut().expect("checked above");
+                if let Some(&existing) = table.get(&key) {
+                    // Consume the name this instruction would have taken so
+                    // suffix numbering matches the build-then-CSE pipeline.
+                    let _ = self.unique_name(name);
+                    return existing;
+                }
+                vn_key = Some(key);
+            }
+        }
         let name = self.unique_name(name);
         let id = InstrId(self.module.instrs.len() as u32);
+        // Maintain the users table as we go: same content and ordering as
+        // a post-hoc `Module::users()` pass, since appends are in arena
+        // order and operands are visited left to right.
+        self.users.push(Vec::new());
+        for &o in &operands {
+            self.users[o.index()].push(id);
+        }
         self.module.instrs.push(Instruction {
             name,
             shape,
@@ -120,6 +177,9 @@ impl Builder {
             operands,
             tag: self.tag.clone(),
         });
+        if let Some(key) = vn_key {
+            self.value_numbering.as_mut().expect("key only built when enabled").insert(key, id);
+        }
         id
     }
 
@@ -547,15 +607,17 @@ impl Builder {
         self.append(Op::AllToAll { split_dim, concat_dim, groups }, vec![x], out, name)
     }
 
-    fn check_pairs(&self, pairs: &[(u32, u32)], what: &str) {
+    fn check_pairs(&mut self, pairs: &[(u32, u32)], what: &str) {
         let n = self.module.num_partitions as u32;
-        let mut dsts: Vec<u32> = pairs.iter().map(|&(_, d)| d).collect();
-        dsts.sort_unstable();
-        let len_before = dsts.len();
-        dsts.dedup();
-        assert_eq!(dsts.len(), len_before, "{what}: duplicate destination");
+        if self.perm_seen.len() < n as usize {
+            self.perm_seen.resize(n as usize, 0);
+        }
+        self.perm_epoch += 1;
         for &(s, d) in pairs {
             assert!(s < n && d < n, "{what}: pair ({s},{d}) out of range for {n} partitions");
+            let slot = &mut self.perm_seen[d as usize];
+            assert_ne!(*slot, self.perm_epoch, "{what}: duplicate destination");
+            *slot = self.perm_epoch;
         }
     }
 
@@ -661,6 +723,28 @@ impl Builder {
         }
         self.module.outputs = outputs;
         self.module
+    }
+
+    /// Finalizes the module and returns it together with a
+    /// [`ModuleAnalysis`] whose users table was accumulated append-by-
+    /// append (no whole-module recomputation). The analysis' verified
+    /// watermark covers the whole module, because every append already
+    /// enforced the per-instruction invariants eagerly; the pipeline's
+    /// incremental verifier (see [`Module::verify_incremental`]) then only
+    /// re-checks the cheap global invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output id is out of range.
+    #[must_use]
+    pub fn build_with_analysis(mut self, outputs: Vec<InstrId>) -> (Module, ModuleAnalysis) {
+        for &o in &outputs {
+            assert!(o.index() < self.module.instrs.len(), "output {o} not built");
+        }
+        self.module.outputs = outputs;
+        let live = self.module.live_set();
+        let analysis = ModuleAnalysis::from_builder(self.users, live);
+        (self.module, analysis)
     }
 }
 

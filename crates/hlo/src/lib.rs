@@ -43,6 +43,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod analysis;
 mod autodiff;
 mod builder;
 mod dtype;
@@ -56,6 +57,7 @@ mod shape;
 mod transform;
 mod verify;
 
+pub use analysis::ModuleAnalysis;
 pub use autodiff::{gradients, GradModule};
 pub use builder::Builder;
 pub use dtype::DType;
@@ -66,5 +68,7 @@ pub use module::{FusionGroup, FusionId, Module};
 pub use ops::{BinaryKind, CollectiveOp, Op, PadDim, ReplicaGroups, UnaryKind};
 pub use shape::Shape;
 pub use transform::{
-    eliminate_common_subexpressions, eliminate_dead_code, module_stats, to_dot, ModuleStats,
+    eliminate_common_subexpressions, eliminate_common_subexpressions_with, eliminate_dead_code,
+    module_stats, to_dot, ModuleStats,
 };
+pub use verify::FULL_VERIFY_ENV;

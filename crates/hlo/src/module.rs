@@ -1,7 +1,5 @@
 //! Modules: flat-arena dataflow graphs.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::{HloError, InstrId, Instruction, Op, Shape};
@@ -103,10 +101,19 @@ impl Module {
         self.instrs.iter().enumerate().map(|(i, ins)| (InstrId(i as u32), ins))
     }
 
-    /// All instruction ids in topological (arena) order.
+    /// All instruction ids in topological (arena) order, without
+    /// allocating (the hot loops in the engine, cost table, memory
+    /// profiler and autodiff iterate ids every call).
+    pub fn ids(&self) -> impl DoubleEndedIterator<Item = InstrId> + ExactSizeIterator + use<> {
+        (0..self.instrs.len() as u32).map(InstrId)
+    }
+
+    /// The arena order as an owned schedule vector, for callers that need
+    /// a materialized `&[InstrId]` (e.g. simulating the original program
+    /// order). Prefer [`Module::ids`] for iteration.
     #[must_use]
-    pub fn ids(&self) -> Vec<InstrId> {
-        (0..self.instrs.len()).map(|i| InstrId(i as u32)).collect()
+    pub fn arena_order(&self) -> Vec<InstrId> {
+        self.ids().collect()
     }
 
     /// The entry-computation outputs.
@@ -121,13 +128,15 @@ impl Module {
         &self.fusion_groups
     }
 
-    /// Map from instruction id to containing fusion group, for members.
+    /// Dense map from instruction id to containing fusion group:
+    /// `fusion_of()[id.index()]` is `Some(group)` for members and `None`
+    /// elsewhere.
     #[must_use]
-    pub fn fusion_of(&self) -> HashMap<InstrId, FusionId> {
-        let mut map = HashMap::new();
+    pub fn fusion_of(&self) -> Vec<Option<FusionId>> {
+        let mut map = vec![None; self.instrs.len()];
         for (gi, g) in self.fusion_groups.iter().enumerate() {
             for &m in &g.members {
-                map.insert(m, FusionId(gi as u32));
+                map[m.index()] = Some(FusionId(gi as u32));
             }
         }
         map
@@ -274,7 +283,7 @@ mod tests {
             .with_fusion_groups(vec![FusionGroup { members: vec![y], root: y }])
             .unwrap();
         assert_eq!(ok.fusion_groups().len(), 1);
-        assert!(ok.fusion_of().contains_key(&y));
+        assert!(ok.fusion_of()[y.index()].is_some());
 
         let bad_root =
             m.clone().with_fusion_groups(vec![FusionGroup { members: vec![x], root: y }]);

@@ -37,7 +37,7 @@ impl fmt::Display for Module {
                 Op::Transpose { perm } => write!(f, ", perm={perm:?}")?,
                 _ => {}
             }
-            if let Some(g) = fusion_of.get(&id) {
+            if let Some(g) = fusion_of[id.index()] {
                 write!(f, ", fusion=f{}", g.index())?;
             }
             if let Some(tag) = ins.tag() {

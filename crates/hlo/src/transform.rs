@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use crate::{Builder, InstrId, Module, Op};
+use crate::{Builder, InstrId, Module, ModuleAnalysis, Op};
 
 /// Removes instructions not reachable from the module outputs.
 ///
@@ -67,31 +67,73 @@ pub fn eliminate_dead_code(module: &Module) -> Module {
     rebuilt.with_fusion_groups(groups).expect("dce preserves fusion validity")
 }
 
-/// Structural key for CSE: op debug form plus operand ids.
-fn cse_key(module: &Module, id: InstrId, map: &[Option<InstrId>]) -> Option<String> {
-    let ins = module.instr(id);
+/// Encodes the mergeable part of an instruction — op variant, payload
+/// and shape — as a token stream, returning `false` for ops that must
+/// never merge. Variable-length payloads are length-prefixed so distinct
+/// instructions can never encode to the same stream. Shared between the
+/// CSE pass and the builder's append-time value numbering.
+pub(crate) fn value_key_into(op: &Op, shape: &crate::Shape, key: &mut Vec<u64>) -> bool {
     // Only pure, deterministic ops may merge. Collectives and parameters
     // stay; Copy stays (it models a real buffer copy the schedulers see).
-    let pure = matches!(
-        ins.op(),
-        Op::Constant { .. }
-            | Op::ConstantTensor { .. }
-            | Op::Iota { .. }
-            | Op::PartitionId
-            | Op::Binary(_)
-            | Op::Unary(_)
-            | Op::Reshape
-            | Op::Transpose { .. }
-            | Op::Slice { .. }
-            | Op::Broadcast { .. }
-    );
-    if !pure {
+    match op {
+        Op::Constant { value } => {
+            key.push(0);
+            key.push(value.to_bits());
+        }
+        Op::ConstantTensor { values } => {
+            key.push(1);
+            key.push(values.len() as u64);
+            key.extend(values.iter().map(|v| v.to_bits()));
+        }
+        Op::Iota { dim } => {
+            key.push(2);
+            key.push(*dim as u64);
+        }
+        Op::PartitionId => key.push(3),
+        Op::Binary(k) => {
+            key.push(4);
+            key.push(*k as u64);
+        }
+        Op::Unary(k) => {
+            key.push(5);
+            key.push(*k as u64);
+        }
+        Op::Reshape => key.push(6),
+        Op::Transpose { perm } => {
+            key.push(7);
+            key.push(perm.len() as u64);
+            key.extend(perm.iter().map(|&d| d as u64));
+        }
+        Op::Slice { starts, limits } => {
+            key.push(8);
+            key.push(starts.len() as u64);
+            key.extend(starts.iter().map(|&d| d as u64));
+            key.extend(limits.iter().map(|&d| d as u64));
+        }
+        Op::Broadcast { operand_dims } => {
+            key.push(9);
+            key.push(operand_dims.len() as u64);
+            key.extend(operand_dims.iter().map(|&d| d as u64));
+        }
+        _ => return false,
+    }
+    key.push(shape.dtype() as u64);
+    key.push(shape.rank() as u64);
+    key.extend(shape.dims().iter().map(|&d| d as u64));
+    true
+}
+
+/// Structural key for CSE: the value token stream plus the (remapped)
+/// operand ids.
+fn cse_key(module: &Module, id: InstrId, map: &[Option<InstrId>]) -> Option<Vec<u64>> {
+    let ins = module.instr(id);
+    let mut key: Vec<u64> = Vec::with_capacity(8 + ins.operands().len());
+    if !value_key_into(ins.op(), ins.shape(), &mut key) {
         return None;
     }
-    let mut key = format!("{:?}|{}|", ins.op(), ins.shape());
     for o in ins.operands() {
         let mapped = map[o.index()].expect("operands precede users");
-        let _ = write!(key, "{},", mapped.index());
+        key.push(mapped.index() as u64);
     }
     Some(key)
 }
@@ -108,12 +150,37 @@ fn cse_key(module: &Module, id: InstrId, map: &[Option<InstrId>]) -> Option<Stri
 #[must_use]
 pub fn eliminate_common_subexpressions(module: &Module) -> Module {
     let in_fusion = module.fusion_of();
+    cse_impl(module, &in_fusion).0
+}
+
+/// Analysis-threaded variant of [`eliminate_common_subexpressions`]: uses
+/// the maintained fusion table instead of recomputing it and returns the
+/// rebuilt module together with its builder-maintained
+/// [`ModuleAnalysis`].
+///
+/// # Panics
+///
+/// Panics if `analysis` does not cover `module`, or the module is
+/// malformed.
+#[must_use]
+pub fn eliminate_common_subexpressions_with(
+    module: &Module,
+    analysis: &ModuleAnalysis,
+) -> (Module, ModuleAnalysis) {
+    assert_eq!(analysis.len(), module.len(), "analysis does not cover module");
+    cse_impl(module, analysis.fusion())
+}
+
+fn cse_impl(
+    module: &Module,
+    in_fusion: &[Option<crate::FusionId>],
+) -> (Module, ModuleAnalysis) {
     let mut b = Builder::new(module.name().to_string(), module.num_partitions());
     let mut map: Vec<Option<InstrId>> = vec![None; module.len()];
-    let mut seen: HashMap<String, InstrId> = HashMap::new();
+    let mut seen: HashMap<Vec<u64>, InstrId> = HashMap::new();
     let mut old_for_new: HashMap<InstrId, InstrId> = HashMap::new();
     for (id, ins) in module.iter() {
-        if !in_fusion.contains_key(&id) {
+        if in_fusion[id.index()].is_none() {
             if let Some(key) = cse_key(module, id, &map) {
                 if let Some(&existing) = seen.get(&key) {
                     map[id.index()] = Some(existing);
@@ -145,7 +212,7 @@ pub fn eliminate_common_subexpressions(module: &Module) -> Module {
         .iter()
         .map(|o| map[o.index()].expect("outputs mapped"))
         .collect();
-    let rebuilt = b.build(outputs);
+    let (rebuilt, mut analysis) = b.build_with_analysis(outputs);
     let groups: Vec<_> = module
         .fusion_groups()
         .iter()
@@ -154,7 +221,9 @@ pub fn eliminate_common_subexpressions(module: &Module) -> Module {
             root: map[g.root.index()].expect("mapped"),
         })
         .collect();
-    rebuilt.with_fusion_groups(groups).expect("cse preserves fusion validity")
+    let rebuilt = rebuilt.with_fusion_groups(groups).expect("cse preserves fusion validity");
+    analysis.refresh_fusion(&rebuilt);
+    (rebuilt, analysis)
 }
 
 /// Per-opcode instruction counts and aggregate statistics of a module.
@@ -205,7 +274,6 @@ pub fn module_stats(module: &Module) -> ModuleStats {
 #[must_use]
 pub fn to_dot(module: &Module) -> String {
     let live = module.live_set();
-    let fusion_of = module.fusion_of();
     let mut out = String::from("digraph module {\n  rankdir=TB;\n");
     // Emit fusion clusters first.
     for (gi, g) in module.fusion_groups().iter().enumerate() {
@@ -238,7 +306,6 @@ pub fn to_dot(module: &Module) -> String {
         for o in ins.operands() {
             let _ = writeln!(out, "  n{} -> n{};", o.index(), id.index());
         }
-        let _ = fusion_of; // clusters already emitted
     }
     out.push_str("}\n");
     out

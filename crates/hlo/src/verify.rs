@@ -1,6 +1,15 @@
 //! Structural and shape verification of modules.
 
-use crate::{HloError, InstrId, Module, Op, Shape};
+use crate::{FusionId, HloError, InstrId, Module, ModuleAnalysis, Op, Shape};
+
+/// Environment variable that, when set to a non-empty value other than
+/// `0`, makes [`Module::verify_incremental`] additionally run the full
+/// verifier and assert the two agree (the `--full-verify` debug path).
+pub const FULL_VERIFY_ENV: &str = "OVERLAP_FULL_VERIFY";
+
+fn full_verify_requested() -> bool {
+    std::env::var(FULL_VERIFY_ENV).is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 impl Module {
     /// Verifies every structural and shape invariant of the module.
@@ -57,8 +66,102 @@ impl Module {
                 return Err(HloError::Verification(format!("output {o} out of range")));
             }
         }
-        self.check_start_done_pairing()?;
-        self.check_fusion_groups()?;
+        self.check_start_done_pairing(&self.users())?;
+        self.check_fusion_groups(&self.users(), &self.fusion_of())?;
+        Ok(())
+    }
+
+    /// Incremental verification: per-instruction checks (operand
+    /// existence and ordering, shape inference) run only for instructions
+    /// at or above the analysis' verified watermark, while the cheap
+    /// global invariants (parameter-index density, output range,
+    /// start/done pairing, fusion-group well-formedness) are re-checked
+    /// every time using the analysis' maintained tables instead of fresh
+    /// whole-module index builds.
+    ///
+    /// With a fresh [`ModuleAnalysis::of`] (watermark zero) this accepts
+    /// exactly the modules [`Module::verify`] accepts; with an analysis
+    /// carried from [`Builder::build_with_analysis`](crate::Builder) the
+    /// per-instruction work was already done at append time and is
+    /// skipped. On success the watermark advances to cover the whole
+    /// module.
+    ///
+    /// Setting the [`FULL_VERIFY_ENV`] environment variable (the
+    /// `--full-verify` debug path) additionally runs the full verifier
+    /// and panics if the two disagree.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as an [`HloError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `analysis` does not cover this module, or — under
+    /// [`FULL_VERIFY_ENV`] — if the incremental and full verifiers
+    /// disagree.
+    pub fn verify_incremental(&self, analysis: &mut ModuleAnalysis) -> Result<(), HloError> {
+        assert_eq!(analysis.len(), self.len(), "analysis does not cover module");
+        let result = self.verify_incremental_impl(analysis);
+        if full_verify_requested() {
+            let full = self.verify();
+            assert_eq!(
+                result.is_ok(),
+                full.is_ok(),
+                "incremental verifier disagrees with full verifier: \
+                 incremental {result:?}, full {full:?}"
+            );
+        }
+        if result.is_ok() {
+            analysis.set_verified(self.len());
+        }
+        result
+    }
+
+    fn verify_incremental_impl(&self, analysis: &ModuleAnalysis) -> Result<(), HloError> {
+        for (id, ins) in self.iter().skip(analysis.verified_len()) {
+            for &o in ins.operands() {
+                if o.index() >= self.instrs.len() {
+                    return Err(HloError::DanglingOperand {
+                        instr: ins.name().to_string(),
+                        operand: o.index(),
+                    });
+                }
+                if o >= id {
+                    return Err(HloError::NotADag(format!(
+                        "{} uses {} which does not precede it",
+                        ins.name(),
+                        self.instr(o).name()
+                    )));
+                }
+            }
+            self.check_instr(id)?;
+        }
+        // Global invariants are cheap relative to shape inference and a
+        // pass rewrite can violate them without touching any single
+        // instruction, so they always run in full — against the
+        // maintained tables rather than fresh index builds.
+        let mut param_indices: Vec<usize> = self
+            .iter()
+            .filter_map(|(_, ins)| match ins.op() {
+                Op::Parameter { index } => Some(*index),
+                _ => None,
+            })
+            .collect();
+        param_indices.sort_unstable();
+        for (i, &p) in param_indices.iter().enumerate() {
+            if p != i {
+                return Err(HloError::Verification(format!(
+                    "parameter indices not dense: expected {i}, found {p}"
+                )));
+            }
+        }
+        for &o in &self.outputs {
+            if o.index() >= self.instrs.len() {
+                return Err(HloError::Verification(format!("output {o} out of range")));
+            }
+        }
+        self.check_start_done_pairing(analysis.users())?;
+        self.check_fusion_groups(analysis.users(), analysis.fusion())?;
         Ok(())
     }
 
@@ -332,8 +435,7 @@ impl Module {
         Ok(())
     }
 
-    fn check_start_done_pairing(&self) -> Result<(), HloError> {
-        let users = self.users();
+    fn check_start_done_pairing(&self, users: &[Vec<InstrId>]) -> Result<(), HloError> {
         for (id, ins) in self.iter() {
             if matches!(ins.op(), Op::CollectivePermuteStart { .. }) {
                 let dones = users[id.index()]
@@ -352,9 +454,11 @@ impl Module {
         Ok(())
     }
 
-    fn check_fusion_groups(&self) -> Result<(), HloError> {
-        let users = self.users();
-        let fusion_of = self.fusion_of();
+    fn check_fusion_groups(
+        &self,
+        users: &[Vec<InstrId>],
+        fusion_of: &[Option<FusionId>],
+    ) -> Result<(), HloError> {
         for (gi, g) in self.fusion_groups.iter().enumerate() {
             if !g.members.contains(&g.root) {
                 return Err(HloError::InvalidFusion(format!("group {gi} root not a member")));
@@ -366,7 +470,7 @@ impl Module {
                 if m != g.root {
                     // Non-root members must not escape the group.
                     for &u in &users[m.index()] {
-                        if fusion_of.get(&u) != Some(&crate::FusionId(gi as u32)) {
+                        if fusion_of[u.index()] != Some(FusionId(gi as u32)) {
                             return Err(HloError::InvalidFusion(format!(
                                 "group {gi}: non-root member {} used outside the group by {}",
                                 self.instr(m).name(),
@@ -524,6 +628,118 @@ mod tests {
             pairs.push((2, 1));
         }
         assert!(bad.verify().is_err());
+    }
+
+    /// A valid module exercising parameters, a gather/einsum pair, an
+    /// async permute pair and an elementwise join — one instance of every
+    /// structure the corruption catalogue below mutates.
+    fn equivalence_module() -> crate::Module {
+        let mut b = Builder::new("eq", 4);
+        let x = b.parameter(f32s(&[4, 8]), "x");
+        let w = b.parameter(f32s(&[2, 16]), "w");
+        let wg = b.all_gather(w, 0, crate::ReplicaGroups::full(4), "wg");
+        let y = b.einsum(x, wg, DotDims::new(vec![], vec![(1, 0)]).unwrap(), "y");
+        let s = b.collective_permute_start(y, vec![(0, 1), (1, 2), (2, 3), (3, 0)], "s");
+        let d = b.collective_permute_done(s, "d");
+        let z = b.add(d, y, "z");
+        b.build(vec![z])
+    }
+
+    /// Corruption catalogue for the full-vs-incremental equivalence
+    /// property: kind 0 is the identity, every other kind produces a
+    /// module the full verifier rejects.
+    fn corrupted(kind: usize) -> crate::Module {
+        let mut m = equivalence_module();
+        match kind {
+            0 => {}
+            // Wrong declared result shape.
+            1 => m.instrs[3].shape = f32s(&[4, 5]),
+            // Dangling operand id.
+            2 => m.instrs[3].operands[1] = crate::InstrId::from_index(99),
+            // Use-before-def.
+            3 => {
+                m.instrs[0].op = crate::Op::Copy;
+                m.instrs[0].operands = vec![crate::InstrId::from_index(3)];
+            }
+            // Duplicate parameter index.
+            4 => m.instrs[1].op = crate::Op::Parameter { index: 0 },
+            // Out-of-range output.
+            5 => m.outputs = vec![crate::InstrId::from_index(42)],
+            // Permute with a duplicate destination.
+            6 => {
+                if let crate::Op::CollectivePermuteStart { pairs } = &mut m.instrs[4].op {
+                    pairs.push((2, 3));
+                }
+            }
+            // Start without its done.
+            7 => {
+                m.instrs[5].op = crate::Op::Copy;
+            }
+            // Gather dim out of range.
+            _ => {
+                if let crate::Op::AllGather { dim, .. } = &mut m.instrs[2].op {
+                    *dim = 9;
+                }
+            }
+        }
+        m
+    }
+
+    const CORRUPTION_KINDS: usize = 9;
+
+    /// The incremental verifier (from an unverified analysis) accepts a
+    /// module if and only if the full verifier does.
+    #[test]
+    fn incremental_verify_matches_full_verify_on_catalogue() {
+        for kind in 0..CORRUPTION_KINDS {
+            let m = corrupted(kind);
+            let full = m.verify();
+            let mut analysis = crate::ModuleAnalysis::of(&m);
+            let inc = m.verify_incremental(&mut analysis);
+            assert_eq!(
+                full.is_ok(),
+                inc.is_ok(),
+                "kind {kind}: full {full:?} vs incremental {inc:?}"
+            );
+            assert_eq!(kind == 0, full.is_ok(), "catalogue kind {kind} sanity");
+            if inc.is_ok() {
+                // A passing incremental verify advances the watermark.
+                assert_eq!(analysis.verified_len(), m.len());
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Random corruption draws agree between the two verifiers (the
+        /// deterministic catalogue test above covers every kind; this
+        /// re-checks the property through proptest's shrinking driver).
+        #[test]
+        fn incremental_verify_matches_full_verify(kind in 0usize..9) {
+            let m = corrupted(kind);
+            let full = m.verify();
+            let mut analysis = crate::ModuleAnalysis::of(&m);
+            let inc = m.verify_incremental(&mut analysis);
+            proptest::prop_assert_eq!(full.is_ok(), inc.is_ok());
+        }
+    }
+
+    /// Past the watermark nothing is re-checked: per-instruction damage
+    /// below `verified_len` is invisible to the incremental verifier (the
+    /// `OVERLAP_FULL_VERIFY` cross-check exists to catch exactly this
+    /// class of pass bug in debugging sessions).
+    #[test]
+    fn incremental_verify_skips_verified_prefix() {
+        let good = equivalence_module();
+        let mut analysis = crate::ModuleAnalysis::of(&good);
+        good.verify_incremental(&mut analysis).unwrap();
+        assert_eq!(analysis.verified_len(), good.len());
+
+        let mut bad = good.clone();
+        bad.instrs[3].shape = f32s(&[4, 5]);
+        assert!(bad.verify().is_err());
+        assert!(bad.verify_incremental(&mut analysis).is_ok());
     }
 
     #[test]

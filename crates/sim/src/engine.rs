@@ -19,7 +19,7 @@ use crate::SimError;
 ///
 /// Returns [`SimError::InvalidModule`] if verification fails.
 pub fn simulate(module: &Module, machine: &Machine) -> Result<Report, SimError> {
-    simulate_order(module, machine, &module.ids())
+    simulate_order(module, machine, &module.arena_order())
 }
 
 /// Simulates `module` executing instructions in the given linear order.
@@ -576,7 +576,7 @@ mod tests {
         let s = b.collective_permute_start(x, vec![(0, 1), (1, 2), (2, 3), (3, 0)], "s");
         let d = b.collective_permute_done(s, "d");
         let m = b.build(vec![y, d]);
-        let order = m.ids();
+        let order = m.arena_order();
         let table = CostTable::new(&m, &machine).unwrap();
         let fresh = simulate_order(&m, &machine, &order).unwrap();
         let cached = simulate_order_with(&table, &m, &machine, &order).unwrap();

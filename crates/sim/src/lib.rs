@@ -29,6 +29,7 @@ mod cost;
 mod engine;
 mod error;
 mod memory;
+mod par;
 mod report;
 mod table;
 
@@ -42,5 +43,6 @@ pub use engine::{
 };
 pub use error::SimError;
 pub use memory::{memory_profile, MemoryProfile};
+pub use par::{par_map, sweep_threads};
 pub use report::{Report, Span, SpanKind, Timeline};
 pub use table::CostTable;

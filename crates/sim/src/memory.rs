@@ -39,7 +39,7 @@ pub struct MemoryProfile {
 /// let a = b.neg(x, "a");
 /// let c = b.neg(a, "c");
 /// let m = b.build(vec![c]);
-/// let profile = memory_profile(&m, &m.ids());
+/// let profile = memory_profile(&m, &m.arena_order());
 /// assert_eq!(profile.peak_bytes, 2048); // producer + consumer live
 /// ```
 ///
@@ -113,7 +113,7 @@ mod tests {
         let c = b.neg(a, "c");
         let d = b.neg(c, "d");
         let m = b.build(vec![d]);
-        let p = memory_profile(&m, &m.ids());
+        let p = memory_profile(&m, &m.arena_order());
         assert_eq!(p.peak_bytes, 2 * 1024);
         assert_eq!(p.final_bytes, 1024);
         let _ = (x, a, c, d);
@@ -127,7 +127,7 @@ mod tests {
         let c = b.neg(x, "c"); // x live until here
         let s = b.add(a, c, "s");
         let m = b.build(vec![s]);
-        let p = memory_profile(&m, &m.ids());
+        let p = memory_profile(&m, &m.arena_order());
         // Peak: x + a + c live together (3 KiB).
         assert_eq!(p.peak_bytes, 3 * 1024);
     }
@@ -140,7 +140,7 @@ mod tests {
         let zero = b.constant(Shape::scalar(DType::U32), 0.0, "z");
         let upd = b.dynamic_update_slice(big, small, &[zero], "upd");
         let m = b.build(vec![upd]);
-        let p = memory_profile(&m, &m.ids());
+        let p = memory_profile(&m, &m.arena_order());
         // Peak = parameters + the 4-byte index scalar; the DUS aliases
         // `big` and costs nothing.
         assert_eq!(p.peak_bytes, 4096 + 64 + 4);

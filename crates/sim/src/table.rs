@@ -11,7 +11,7 @@
 //!
 //! [`simulate_order_with`]: crate::simulate_order_with
 
-use overlap_hlo::{InstrId, Module};
+use overlap_hlo::{InstrId, Module, ModuleAnalysis};
 use overlap_mesh::Machine;
 
 use crate::cost::{instruction_cost, InstrCost};
@@ -68,10 +68,40 @@ impl CostTable {
     /// that cannot be fused (collectives, async transfers).
     pub fn new(module: &Module, machine: &Machine) -> Result<Self, SimError> {
         module.verify()?;
+        Self::build_tables(module, machine)
+    }
+
+    /// Builds the table for an already-verified module, skipping the
+    /// verification pass: the pipeline's incremental verifier has vouched
+    /// for `analysis`'s module, recorded in its watermark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidSchedule`] if a fusion group contains an
+    /// op that cannot be fused (collectives, async transfers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `analysis` does not cover `module` or its verified
+    /// watermark does not cover the whole module.
+    pub fn with_analysis(
+        module: &Module,
+        analysis: &ModuleAnalysis,
+        machine: &Machine,
+    ) -> Result<Self, SimError> {
+        assert_eq!(analysis.len(), module.len(), "analysis does not cover module");
+        assert_eq!(
+            analysis.verified_len(),
+            module.len(),
+            "module must be fully verified before cost-table construction"
+        );
+        Self::build_tables(module, machine)
+    }
+
+    fn build_tables(module: &Module, machine: &Machine) -> Result<Self, SimError> {
         let n = module.len();
         let costs: Vec<InstrCost> = module
             .ids()
-            .into_iter()
             .map(|id| instruction_cost(module, id, machine))
             .collect();
 

@@ -39,7 +39,7 @@ fn main() {
         println!("    {op:<26} {count}");
     }
 
-    let baseline_mem = memory_profile(&module, &module.ids());
+    let baseline_mem = memory_profile(&module, &module.arena_order());
     let sched_mem = memory_profile(&compiled.module, &compiled.order);
     println!(
         "\npeak live bytes: baseline {:.1} MB -> scheduled {:.1} MB",

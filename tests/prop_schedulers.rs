@@ -110,7 +110,7 @@ proptest! {
             // Work is conserved.
             prop_assert_eq!(r.total_flops(), baseline.total_flops());
             // §5.2: liveness must not explode (allow 2x the input order).
-            let base_mem = memory_profile(&module, &module.ids());
+            let base_mem = memory_profile(&module, &module.arena_order());
             let sched_mem = memory_profile(&module, &schedule);
             prop_assert!(
                 sched_mem.peak_bytes <= base_mem.peak_bytes * 2,
