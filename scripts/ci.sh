@@ -9,7 +9,8 @@
 # The perf gate binary records results/BENCH_sim.json for trend tracking
 # and hard-fails if compiling the largest Table-1 model (GPT_1T) got
 # slower than the recorded baseline (results/BENCH_compile_baseline.txt)
-# beyond the noise tolerance. The baseline file is created on the first
+# beyond the noise tolerance. Both files are per-machine wall-clock
+# artifacts and are gitignored. The baseline file is created on the first
 # run; after a deliberate compile-time trade-off, refresh it with
 # OVERLAP_COMPILE_BASELINE_UPDATE=1. Set PERFGATE=0 to skip the gate on
 # machines with wildly unstable clocks.
