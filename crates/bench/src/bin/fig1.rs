@@ -1,7 +1,7 @@
 //! Figure 1: training step-time breakdown (computation vs communication)
 //! of the Table-1 models under the baseline (no overlap).
 
-use overlap_bench::{bar, run_baselines, write_json};
+use overlap_bench::{artifact_cache, bar, report_cache, run_baselines, write_json};
 use overlap_models::table1_models;
 
 fn main() {
@@ -24,4 +24,7 @@ fn main() {
         );
     }
     write_json("fig1", &rows);
+    // Baseline-only driver: no compiles, so the shared cache reports
+    // nothing unless another knob (e.g. OVERLAP_CACHE_VERIFY) compiled.
+    report_cache(artifact_cache());
 }

@@ -13,8 +13,8 @@ use overlap_bench::write_json;
 use overlap_core::{fuse, schedule_bottom_up, FusionOptions};
 use overlap_hlo::{Builder, DType, DotDims, Module, Shape};
 use overlap_mesh::{DeviceMesh, Machine};
+use overlap_json::{Json, ToJson};
 use overlap_sim::simulate_order;
-use serde::Serialize;
 
 /// The Fig. 11 graph at a given matmul width.
 fn fig11_module(dim: usize) -> Module {
@@ -31,12 +31,21 @@ fn fig11_module(dim: usize) -> Module {
     b.build(vec![add])
 }
 
-#[derive(Serialize)]
 struct Row {
     dim: usize,
     default_fusion_ms: f64,
     overlap_aware_ms: f64,
     improvement: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("dim", self.dim as u64)
+            .with("default_fusion_ms", self.default_fusion_ms)
+            .with("overlap_aware_ms", self.overlap_aware_ms)
+            .with("improvement", self.improvement)
+    }
 }
 
 fn main() {

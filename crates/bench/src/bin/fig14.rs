@@ -4,16 +4,24 @@
 //! Series: per-step execution time normalized to the baseline, with the
 //! overlap pipeline running *without* and *with* loop unrolling.
 
-use overlap_bench::{run_baseline, run_overlapped, write_json};
+use overlap_bench::{artifact_cache, report_cache, run_baseline, run_overlapped_cached, write_json};
 use overlap_core::{DecomposeOptions, OverlapOptions};
+use overlap_json::{Json, ToJson};
 use overlap_models::table2_models;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     model: String,
     normalized_no_unroll: f64,
     normalized_unrolled: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("model", self.model.as_str())
+            .with("normalized_no_unroll", self.normalized_no_unroll)
+            .with("normalized_unrolled", self.normalized_unrolled)
+    }
 }
 
 fn main() {
@@ -23,15 +31,18 @@ fn main() {
     let mut rows = Vec::new();
     for cfg in table2_models() {
         let base = run_baseline(&cfg).step_time;
-        let no_unroll = run_overlapped(
+        let no_unroll = run_overlapped_cached(
             &cfg,
             OverlapOptions {
                 decompose: DecomposeOptions { unroll: false, ..Default::default() },
                 ..OverlapOptions::paper_default()
             },
+            artifact_cache(),
         )
         .step_time;
-        let unrolled = run_overlapped(&cfg, OverlapOptions::paper_default()).step_time;
+        let unrolled =
+            run_overlapped_cached(&cfg, OverlapOptions::paper_default(), artifact_cache())
+                .step_time;
         let row = Row {
             model: cfg.name.clone(),
             normalized_no_unroll: no_unroll / base,
@@ -48,4 +59,5 @@ fn main() {
         rows.push(row);
     }
     write_json("fig14", &rows);
+    report_cache(artifact_cache());
 }

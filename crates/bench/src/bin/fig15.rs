@@ -7,14 +7,22 @@
 
 use overlap_bench::{run_baseline, run_overlapped, write_json};
 use overlap_core::{DecomposeOptions, OverlapOptions};
+use overlap_json::{Json, ToJson};
 use overlap_models::table2_models;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     model: String,
     normalized_unidirectional: f64,
     normalized_bidirectional: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("model", self.model.as_str())
+            .with("normalized_unidirectional", self.normalized_unidirectional)
+            .with("normalized_bidirectional", self.normalized_bidirectional)
+    }
 }
 
 fn main() {

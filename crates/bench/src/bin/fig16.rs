@@ -6,15 +6,24 @@
 
 use overlap_bench::{run_overlapped, write_json};
 use overlap_core::{OverlapOptions, SchedulerKind};
+use overlap_json::{Json, ToJson};
 use overlap_models::table2_models;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     model: String,
     top_down: f64,
     bottom_up: f64,
     bottom_up_speedup: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("model", self.model.as_str())
+            .with("top_down", self.top_down)
+            .with("bottom_up", self.bottom_up)
+            .with("bottom_up_speedup", self.bottom_up_speedup)
+    }
 }
 
 fn main() {

@@ -17,14 +17,22 @@ use overlap_core::{
     DecomposeOptions, FusionOptions,
 };
 use overlap_models::{table1_models, table2_models};
+use overlap_json::{Json, ToJson};
 use overlap_sim::{simulate, simulate_order};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     einsum: String,
     predicted_saving_ms: f64,
     measured_saving_ms: f64,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("einsum", self.einsum.as_str())
+            .with("predicted_saving_ms", self.predicted_saving_ms)
+            .with("measured_saving_ms", self.measured_saving_ms)
+    }
 }
 
 fn main() {

@@ -8,8 +8,10 @@
 //! EXPERIMENTS.md for why a 2-device ring caps the achievable gain in
 //! this machine model.
 
+use overlap_bench::{artifact_cache, report_cache};
 use overlap_core::{OverlapOptions, OverlapPipeline};
 use overlap_hlo::{Builder, DType, DotDims, Module, ReplicaGroups, Shape};
+use overlap_json::Json;
 use overlap_mesh::{DeviceMesh, Machine};
 use overlap_sim::{simulate, simulate_order};
 
@@ -37,7 +39,7 @@ fn main() {
 
     let baseline = simulate(&module, &machine).expect("baseline");
     let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
-        .run(&module, &machine)
+        .compile_cached(&module, &machine, artifact_cache())
         .expect("pipeline");
     let overlapped =
         simulate_order(&compiled.module, &machine, &compiled.order).expect("simulate");
@@ -51,10 +53,10 @@ fn main() {
     );
     overlap_bench::write_json(
         "inference",
-        &serde_json::json!({
-            "baseline_ms": baseline.makespan() * 1e3,
-            "overlapped_ms": overlapped.makespan() * 1e3,
-            "improvement": baseline.makespan() / overlapped.makespan(),
-        }),
+        &Json::obj()
+            .with("baseline_ms", baseline.makespan() * 1e3)
+            .with("overlapped_ms", overlapped.makespan() * 1e3)
+            .with("improvement", baseline.makespan() / overlapped.makespan()),
     );
+    report_cache(artifact_cache());
 }

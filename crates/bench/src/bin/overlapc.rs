@@ -6,16 +6,25 @@
 //!
 //! # Compile it for an 8-chip ring and report:
 //! cargo run --release -p overlap-bench --bin overlapc -- compile module.json
+//!
+//! # Same, serving repeated compiles from a persistent artifact cache:
+//! cargo run --release -p overlap-bench --bin overlapc -- \
+//!     compile module.json --cache-dir .overlap-cache
 //! ```
 //!
 //! `compile` runs the full overlap pipeline on the module, prints the
 //! §5.5 gate decisions, the before/after instruction statistics, the
 //! simulated baseline vs. overlapped step times and an ASCII timeline,
 //! and writes `<input>.trace.json` (Chrome tracing) plus `<input>.dot`
-//! (GraphViz) next to the input.
+//! (GraphViz) next to the input. With `--cache-dir` (or the
+//! `OVERLAP_CACHE_DIR` environment variable) the compile goes through
+//! the on-disk artifact cache: a re-run of the same module on the same
+//! machine skips the pipeline and serves the bit-identical bundle.
 
-use overlap_core::{CompileReport, OverlapOptions, OverlapPipeline};
+use overlap_bench::report_cache;
+use overlap_core::{ArtifactCache, CompileReport, OverlapOptions, OverlapPipeline};
 use overlap_hlo::{to_dot, Builder, DType, DotDims, Module, ReplicaGroups, Shape};
+use overlap_json::ToJson;
 use overlap_mesh::Machine;
 use overlap_sim::{simulate, simulate_order};
 
@@ -33,8 +42,22 @@ fn demo_module() -> Module {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: overlapc demo <out.json> | overlapc compile <module.json>");
+    eprintln!(
+        "usage: overlapc demo <out.json> | overlapc compile <module.json> [--cache-dir DIR]"
+    );
     std::process::exit(2);
+}
+
+/// `--cache-dir DIR` wins over the environment; without either, the
+/// cache is process-local (in-memory) and a single compile never hits.
+fn cache_from_args(args: &[String]) -> ArtifactCache {
+    match args.iter().position(|a| a == "--cache-dir") {
+        Some(i) => match args.get(i + 1) {
+            Some(dir) => ArtifactCache::with_disk_dir(dir),
+            None => usage(),
+        },
+        None => ArtifactCache::from_env(),
+    }
 }
 
 fn main() {
@@ -43,14 +66,14 @@ fn main() {
         Some("demo") => {
             let path = args.get(2).map(String::as_str).unwrap_or("module.json");
             let m = demo_module();
-            std::fs::write(path, serde_json::to_string_pretty(&m).expect("serialize"))
-                .expect("write module");
+            std::fs::write(path, m.to_json().to_pretty()).expect("write module");
             println!("wrote {path} ({} instructions, {} partitions)", m.len(), m.num_partitions());
         }
         Some("compile") => {
             let Some(path) = args.get(2) else { usage() };
+            let cache = cache_from_args(&args);
             let text = std::fs::read_to_string(path).expect("read module");
-            let module: Module = serde_json::from_str(&text).expect("parse module");
+            let module = Module::from_json_str(&text).expect("parse module");
             // Deserialized modules are untrusted: verify before use.
             if let Err(e) = module.verify() {
                 eprintln!("module failed verification: {e}");
@@ -58,7 +81,7 @@ fn main() {
             }
             let machine = Machine::tpu_v4_like(module.num_partitions());
             let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
-                .run(&module, &machine)
+                .compile_cached(&module, &machine, &cache)
                 .expect("pipeline");
             println!("{}", CompileReport::new(&module, &compiled, &machine));
 
@@ -78,6 +101,7 @@ fn main() {
             let dot = format!("{path}.dot");
             std::fs::write(&dot, to_dot(&compiled.module)).expect("write dot");
             println!("\nwrote {trace} and {dot}");
+            report_cache(&cache);
         }
         _ => usage(),
     }

@@ -20,22 +20,25 @@ use std::time::Instant;
 
 use overlap_bench::{run_comparison, run_comparisons, sweep_threads, write_json};
 use overlap_core::{
-    asyncify, decompose_each, find_patterns, fuse, schedule_bottom_up_with, CostModel,
-    DecomposeOptions, OverlapOptions, OverlapPipeline, PhaseTimings,
+    asyncify, decompose_each, find_patterns, fuse, schedule_bottom_up_with, ArtifactCache,
+    CostModel, DecomposeOptions, OverlapOptions, OverlapPipeline, PhaseTimings,
 };
 use overlap_hlo::{eliminate_common_subexpressions, InstrId, Module};
+use overlap_json::{Json, ToJson};
 use overlap_mesh::Machine;
 use overlap_models::{table1_models, Arch, ModelConfig, PartitionStrategy};
 use overlap_sim::{simulate_order, simulate_order_repeated_with, CostTable};
-use serde::Serialize;
 
 /// Wall-clock noise tolerance for the compile-throughput gate: fail only
 /// when the measured per-compile time exceeds `baseline * TOLERANCE`.
 const BASELINE_TOLERANCE: f64 = 1.5;
 
+/// Hard floor for the artifact-cache gate: the warm Table-1 compile
+/// sweep must be at least this many times faster than the cold one.
+const CACHE_SPEEDUP_FLOOR: f64 = 3.0;
+
 const BASELINE_PATH: &str = "results/BENCH_compile_baseline.txt";
 
-#[derive(Serialize)]
 struct CompileThroughput {
     /// The compiled model (the largest Table-1 configuration).
     model: String,
@@ -53,7 +56,43 @@ struct CompileThroughput {
     threads: usize,
 }
 
-#[derive(Serialize)]
+impl ToJson for CompileThroughput {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("model", self.model.as_str())
+            .with("reps", self.reps as u64)
+            .with("pipeline_seconds", self.pipeline_seconds)
+            .with("legacy_seconds", self.legacy_seconds)
+            .with("speedup", self.speedup)
+            .with("phases", self.phases.to_json())
+            .with("baseline_seconds", self.baseline_seconds.to_json())
+            .with("threads", self.threads as u64)
+    }
+}
+
+struct CacheBench {
+    /// Seconds to compile every Table-1 configuration through a fresh
+    /// [`ArtifactCache`] (all misses).
+    cold_seconds: f64,
+    /// Seconds for the identical sweep again on the now-warm cache.
+    warm_seconds: f64,
+    speedup: f64,
+    /// Hit rate of the warm pass (1.0 when every compile was served).
+    hit_rate: f64,
+    lookups: u64,
+}
+
+impl ToJson for CacheBench {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("cold_seconds", self.cold_seconds)
+            .with("warm_seconds", self.warm_seconds)
+            .with("speedup", self.speedup)
+            .with("hit_rate", self.hit_rate)
+            .with("lookups", self.lookups)
+    }
+}
+
 struct PerfRecord {
     reps: usize,
     /// Repeated simulation rebuilding every instruction cost per run
@@ -69,7 +108,82 @@ struct PerfRecord {
     sweep_parallel_seconds: f64,
     sweep_speedup: f64,
     compile_throughput: CompileThroughput,
+    cache: CacheBench,
     threads: usize,
+}
+
+impl ToJson for PerfRecord {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("reps", self.reps as u64)
+            .with("sim_fresh_seconds", self.sim_fresh_seconds)
+            .with("sim_cached_seconds", self.sim_cached_seconds)
+            .with("sim_speedup", self.sim_speedup)
+            .with("sweep_serial_seconds", self.sweep_serial_seconds)
+            .with("sweep_parallel_seconds", self.sweep_parallel_seconds)
+            .with("sweep_speedup", self.sweep_speedup)
+            .with("compile_throughput", self.compile_throughput.to_json())
+            .with("cache", self.cache.to_json())
+            .with("threads", self.threads as u64)
+    }
+}
+
+/// Times the Table-1 compile sweep cold (fresh cache, every lookup a
+/// miss) and warm (identical sweep again), asserting every warm bundle
+/// is bit-identical to its cold counterpart. The warm sweep must beat
+/// the cold one by [`CACHE_SPEEDUP_FLOOR`] — a hard gate, since a cache
+/// that fails to hit (or hits slowly) is a silent perf regression.
+/// Returns the record and whether the gate passed.
+fn cache_bench() -> (CacheBench, bool) {
+    let models = table1_models();
+    let pipeline = OverlapPipeline::new(OverlapOptions::paper_default());
+    let cache = ArtifactCache::in_memory();
+    let inputs: Vec<_> =
+        models.iter().map(|cfg| (cfg.layer_module(), cfg.machine())).collect();
+
+    let t = Instant::now();
+    let cold: Vec<_> = inputs
+        .iter()
+        .map(|(module, machine)| {
+            pipeline.compile_cached(module, machine, &cache).expect("cold compile")
+        })
+        .collect();
+    let cold_seconds = t.elapsed().as_secs_f64();
+    let after_cold = cache.stats();
+    assert_eq!(after_cold.misses, models.len() as u64, "cold sweep must all miss");
+
+    let t = Instant::now();
+    let warm: Vec<_> = inputs
+        .iter()
+        .map(|(module, machine)| {
+            pipeline.compile_cached(module, machine, &cache).expect("warm compile")
+        })
+        .collect();
+    let warm_seconds = t.elapsed().as_secs_f64();
+    let stats = cache.stats();
+
+    for ((c, w), cfg) in cold.iter().zip(&warm).zip(&models) {
+        assert_eq!(
+            c.module.identity_fingerprint(),
+            w.module.identity_fingerprint(),
+            "warm compile of {} served a different module",
+            cfg.name
+        );
+        assert_eq!(c.order, w.order, "warm compile of {} served a different schedule", cfg.name);
+        assert_eq!(c.decisions, w.decisions, "warm decisions diverged on {}", cfg.name);
+    }
+
+    let warm_lookups = stats.lookups() - after_cold.lookups();
+    let warm_hits = stats.hits() - after_cold.hits();
+    let record = CacheBench {
+        cold_seconds,
+        warm_seconds,
+        speedup: cold_seconds / warm_seconds,
+        hit_rate: warm_hits as f64 / warm_lookups as f64,
+        lookups: stats.lookups(),
+    };
+    let ok = record.hit_rate == 1.0 && record.speedup >= CACHE_SPEEDUP_FLOOR;
+    (record, ok)
 }
 
 /// The compilation sequence as it stood before the shared-analysis
@@ -243,6 +357,9 @@ fn main() {
         .unwrap_or(5);
     let (compile, compile_ok) = compile_throughput(compile_reps);
 
+    // Artifact-cache warm-vs-cold on the Table-1 compile sweep (hard gate).
+    let (cache, cache_ok) = cache_bench();
+
     let record = PerfRecord {
         reps,
         sim_fresh_seconds,
@@ -252,6 +369,7 @@ fn main() {
         sweep_parallel_seconds,
         sweep_speedup: sweep_serial_seconds / sweep_parallel_seconds,
         compile_throughput: compile,
+        cache,
         threads: sweep_threads(),
     };
     println!(
@@ -273,6 +391,13 @@ fn main() {
     for p in ct.phases.phases() {
         println!("  {:<18} {:.4}s", p.phase, p.seconds);
     }
+    println!(
+        "table-1 compile sweep via artifact cache: cold {:.3}s, warm {:.3}s ({:.1}x, hit rate {:.2})",
+        record.cache.cold_seconds,
+        record.cache.warm_seconds,
+        record.cache.speedup,
+        record.cache.hit_rate
+    );
     write_json("BENCH_sim", &record);
 
     if !compile_ok {
@@ -282,6 +407,17 @@ fn main() {
              refresh deliberately with OVERLAP_COMPILE_BASELINE_UPDATE=1",
             per_compile,
             ct.baseline_seconds.unwrap_or(f64::NAN),
+        );
+        std::process::exit(1);
+    }
+    if !cache_ok {
+        eprintln!(
+            "artifact-cache regression: warm sweep {:.3}s vs cold {:.3}s ({:.1}x, hit rate {:.2}); \
+             the warm Table-1 sweep must be >= {CACHE_SPEEDUP_FLOOR}x faster with every lookup a hit",
+            record.cache.warm_seconds,
+            record.cache.cold_seconds,
+            record.cache.speedup,
+            record.cache.hit_rate,
         );
         std::process::exit(1);
     }

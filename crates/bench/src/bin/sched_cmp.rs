@@ -1,4 +1,5 @@
 //! Compare scheduler quality breakdowns.
+use overlap_bench::{artifact_cache, report_cache};
 use overlap_core::{OverlapOptions, OverlapPipeline, SchedulerKind};
 use overlap_models::{table1_models, table2_models};
 use overlap_sim::simulate_order;
@@ -12,7 +13,9 @@ fn main() {
         for sched in [SchedulerKind::BottomUp, SchedulerKind::TopDown] {
             let mut o = OverlapOptions::paper_default();
             o.scheduler = sched;
-            let c = OverlapPipeline::new(o).run(&module, &machine).unwrap();
+            let c = OverlapPipeline::new(o)
+                .compile_cached(&module, &machine, artifact_cache())
+                .unwrap();
             let r = simulate_order(&c.module, &machine, &c.order).unwrap();
             println!("{sched:?}: makespan {:.4e} comp {:.4e} mem {:.4e} sync {:.4e} exposed {:.4e} hidden {:.4e}",
                 r.makespan(), r.compute_time(), r.memory_time(), r.sync_comm_time(), r.exposed_async_time(), r.hidden_async_time());
@@ -25,4 +28,5 @@ fn main() {
         }
         break;
     }
+    report_cache(artifact_cache());
 }

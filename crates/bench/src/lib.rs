@@ -9,14 +9,16 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
-use overlap_core::{OverlapOptions, OverlapPipeline};
+use std::sync::OnceLock;
+
+use overlap_core::{ArtifactCache, OverlapOptions, OverlapPipeline};
+use overlap_json::{Json, ToJson};
 use overlap_mesh::Machine;
 use overlap_models::ModelConfig;
 use overlap_sim::{simulate, simulate_order_with, Report};
-use serde::Serialize;
 
 /// Simulated per-step statistics for one configuration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct StepStats {
     /// Model name.
     pub model: String,
@@ -46,8 +48,20 @@ impl StepStats {
     }
 }
 
+impl ToJson for StepStats {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("model", self.model.as_str())
+            .with("chips", self.chips as u64)
+            .with("step_time", self.step_time)
+            .with("compute_fraction", self.compute_fraction)
+            .with("comm_fraction", self.comm_fraction)
+            .with("flops_utilization", self.flops_utilization)
+    }
+}
+
 /// Baseline and overlapped step statistics for one model.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Comparison {
     /// Baseline (synchronous collectives, program order).
     pub baseline: StepStats,
@@ -61,6 +75,42 @@ impl Comparison {
     pub fn speedup(&self) -> f64 {
         self.baseline.step_time / self.overlapped.step_time
     }
+}
+
+impl ToJson for Comparison {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("baseline", self.baseline.to_json())
+            .with("overlapped", self.overlapped.to_json())
+    }
+}
+
+/// The process-wide artifact cache the sweep drivers share, configured
+/// from the environment ([`ArtifactCache::from_env`]): in-memory by
+/// default, plus the on-disk tier when `OVERLAP_CACHE_DIR` is set (the
+/// conventional directory is `.overlap-cache/`, which is gitignored),
+/// disabled entirely by `OVERLAP_CACHE=0`.
+pub fn artifact_cache() -> &'static ArtifactCache {
+    static CACHE: OnceLock<ArtifactCache> = OnceLock::new();
+    CACHE.get_or_init(ArtifactCache::from_env)
+}
+
+/// Prints the cache counters in the stable `key=value` form
+/// `scripts/ci.sh` greps (`misses=0` proves the warm run never
+/// recompiled). Silent when the cache saw no lookups, so drivers that
+/// compile nothing stay clean.
+pub fn report_cache(cache: &ArtifactCache) {
+    let stats = cache.stats();
+    if stats.lookups() == 0 {
+        return;
+    }
+    println!(
+        "cache: memory_hits={} disk_hits={} misses={} hit_rate={:.2}",
+        stats.memory_hits,
+        stats.disk_hits,
+        stats.misses,
+        stats.hit_rate()
+    );
 }
 
 /// Simulates one model's step without the overlap pipeline.
@@ -84,9 +134,28 @@ pub fn run_baseline(cfg: &ModelConfig) -> StepStats {
 /// Panics if compilation or simulation fails.
 #[must_use]
 pub fn run_overlapped(cfg: &ModelConfig, options: OverlapOptions) -> StepStats {
+    run_overlapped_cached(cfg, options, &overlap_core::ArtifactCache::disabled())
+}
+
+/// [`run_overlapped`] through an [`ArtifactCache`]: a repeated
+/// compilation of the same configuration — within a sweep, across
+/// drivers, or across process runs via `OVERLAP_CACHE_DIR` — is served
+/// from cache, bit-identical to the cold result.
+///
+/// # Panics
+///
+/// Panics if compilation or simulation fails.
+#[must_use]
+pub fn run_overlapped_cached(
+    cfg: &ModelConfig,
+    options: OverlapOptions,
+    cache: &ArtifactCache,
+) -> StepStats {
     let module = cfg.layer_module();
     let machine = cfg.machine();
-    let compiled = OverlapPipeline::new(options).run(&module, &machine).expect("pipeline");
+    let compiled = OverlapPipeline::new(options)
+        .compile_cached(&module, &machine, cache)
+        .expect("pipeline");
     // The pipeline already built the compiled module's cost table for its
     // scheduler; reuse it instead of re-deriving every instruction cost.
     let report =
@@ -98,9 +167,16 @@ pub fn run_overlapped(cfg: &ModelConfig, options: OverlapOptions) -> StepStats {
 /// Baseline-vs-overlapped comparison with the paper-default options.
 #[must_use]
 pub fn run_comparison(cfg: &ModelConfig) -> Comparison {
+    run_comparison_cached(cfg, &overlap_core::ArtifactCache::disabled())
+}
+
+/// [`run_comparison`] with the overlapped compile served through `cache`
+/// (the baseline simulation is pure measurement and never cached).
+#[must_use]
+pub fn run_comparison_cached(cfg: &ModelConfig, cache: &ArtifactCache) -> Comparison {
     Comparison {
         baseline: run_baseline(cfg),
-        overlapped: run_overlapped(cfg, OverlapOptions::paper_default()),
+        overlapped: run_overlapped_cached(cfg, OverlapOptions::paper_default(), cache),
     }
 }
 
@@ -123,6 +199,16 @@ pub fn run_comparisons(cfgs: &[ModelConfig]) -> Vec<Comparison> {
     par_map(cfgs, run_comparison)
 }
 
+/// [`run_comparisons`] through an [`ArtifactCache`]. Duplicate
+/// configurations compile once even when the parallel workers race (the
+/// cache is single-flight); every hit is bit-identical to the cold
+/// compile, so the fanned sweep stays byte-identical to the serial one
+/// at any `RAYON_NUM_THREADS`.
+#[must_use]
+pub fn run_comparisons_cached(cfgs: &[ModelConfig], cache: &ArtifactCache) -> Vec<Comparison> {
+    par_map(cfgs, |cfg| run_comparison_cached(cfg, cache))
+}
+
 /// Renders a unit-interval value as a fixed-width ASCII bar.
 #[must_use]
 pub fn bar(fraction: f64, width: usize) -> String {
@@ -137,20 +223,15 @@ pub fn bar(fraction: f64, width: usize) -> String {
 /// Writes a JSON record for EXPERIMENTS.md under `results/<name>.json`.
 ///
 /// Failures to write are reported on stderr but do not abort the run.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     let dir = std::path::Path::new("results");
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(body) => {
-            if let Err(e) = std::fs::write(&path, body) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    if let Err(e) = std::fs::write(&path, value.to_json().to_pretty()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
     }
 }
 
@@ -203,5 +284,59 @@ mod tests {
         assert!(c.baseline.step_time > 0.0);
         assert!(c.overlapped.step_time > 0.0);
         assert!(c.baseline.comm_fraction > 0.0);
+    }
+
+    fn smoke_cfg() -> overlap_models::ModelConfig {
+        overlap_models::ModelConfig {
+            name: "smoke".into(),
+            params: 1e9,
+            layers: 4,
+            model_dim: 256,
+            ff_dim: 1024,
+            batch: 16,
+            seq_len: 64,
+            chips: 8,
+            arch: overlap_models::Arch::Decoder,
+            strategy: overlap_models::PartitionStrategy::TwoD,
+        }
+    }
+
+    #[test]
+    fn cached_sweep_is_bit_identical_to_uncached() {
+        let cfg = smoke_cfg();
+        let cache = ArtifactCache::in_memory();
+        let cold = run_comparison(&cfg);
+        let warm1 = run_comparison_cached(&cfg, &cache);
+        let warm2 = run_comparison_cached(&cfg, &cache);
+        assert_eq!(cold.speedup().to_bits(), warm1.speedup().to_bits());
+        assert_eq!(
+            warm1.overlapped.step_time.to_bits(),
+            warm2.overlapped.step_time.to_bits()
+        );
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().memory_hits, 1);
+    }
+
+    #[test]
+    fn cached_par_sweep_single_flights_duplicates() {
+        // Eight copies of one configuration fanned across workers: the
+        // single-flight cache compiles exactly once and every row is
+        // byte-identical.
+        let cfgs: Vec<_> = (0..8).map(|_| smoke_cfg()).collect();
+        let cache = ArtifactCache::in_memory();
+        let rows = run_comparisons_cached(&cfgs, &cache);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().memory_hits, 7);
+        for r in &rows[1..] {
+            assert_eq!(r.speedup().to_bits(), rows[0].speedup().to_bits());
+        }
+    }
+
+    #[test]
+    fn step_stats_encode_as_objects() {
+        let rows = vec![run_baseline(&smoke_cfg())];
+        let j = rows.to_json();
+        assert!(j[0]["step_time"].as_f64().unwrap() > 0.0);
+        assert_eq!(j[0]["model"].as_str(), Some("smoke"));
     }
 }

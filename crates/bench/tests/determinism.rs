@@ -2,7 +2,12 @@
 //! records — down to every float bit and therefore every serialized
 //! byte — must match what the serial path produces.
 
-use overlap_bench::{par_map, run_baseline, run_baselines, run_comparison, run_comparisons};
+use overlap_bench::{
+    par_map, run_baseline, run_baselines, run_comparison, run_comparisons,
+    run_comparisons_cached,
+};
+use overlap_core::ArtifactCache;
+use overlap_json::ToJson;
 use overlap_models::{Arch, ModelConfig, PartitionStrategy};
 
 /// A small zoo that still exercises different meshes and shapes without
@@ -31,9 +36,7 @@ fn parallel_baselines_match_serial_bytes() {
     let cfgs = zoo();
     let serial: Vec<_> = cfgs.iter().map(run_baseline).collect();
     let parallel = run_baselines(&cfgs);
-    let serial_json = serde_json::to_string(&serial).expect("serialize");
-    let parallel_json = serde_json::to_string(&parallel).expect("serialize");
-    assert_eq!(serial_json, parallel_json);
+    assert_eq!(serial.to_json().to_string(), parallel.to_json().to_string());
 }
 
 #[test]
@@ -41,9 +44,7 @@ fn parallel_comparisons_match_serial_bytes() {
     let cfgs = zoo();
     let serial: Vec<_> = cfgs.iter().map(run_comparison).collect();
     let parallel = run_comparisons(&cfgs);
-    let serial_json = serde_json::to_string(&serial).expect("serialize");
-    let parallel_json = serde_json::to_string(&parallel).expect("serialize");
-    assert_eq!(serial_json, parallel_json);
+    assert_eq!(serial.to_json().to_string(), parallel.to_json().to_string());
     // Belt and braces: compare the floats at the bit level too, so the
     // test stays meaningful even if serialization ever rounds.
     for (s, p) in serial.iter().zip(&parallel) {
@@ -51,6 +52,22 @@ fn parallel_comparisons_match_serial_bytes() {
         assert_eq!(s.overlapped.step_time.to_bits(), p.overlapped.step_time.to_bits());
         assert_eq!(s.speedup().to_bits(), p.speedup().to_bits());
     }
+}
+
+#[test]
+fn cached_parallel_sweep_matches_uncached_bytes() {
+    // A warm cache must not change a single serialized byte of the sweep,
+    // whatever the worker count (the fanned workers share one
+    // single-flight cache).
+    let cfgs = zoo();
+    let uncached = run_comparisons(&cfgs);
+    let cache = ArtifactCache::in_memory();
+    let cold = run_comparisons_cached(&cfgs, &cache);
+    let warm = run_comparisons_cached(&cfgs, &cache);
+    assert_eq!(uncached.to_json().to_string(), cold.to_json().to_string());
+    assert_eq!(uncached.to_json().to_string(), warm.to_json().to_string());
+    assert_eq!(cache.stats().misses, cfgs.len() as u64);
+    assert_eq!(cache.stats().hits(), cfgs.len() as u64);
 }
 
 #[test]

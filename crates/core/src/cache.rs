@@ -1,0 +1,749 @@
+//! Content-addressed cache of compiled artifacts.
+//!
+//! Compiling the same (module, machine, options) triple twice is pure
+//! waste: the pipeline is deterministic, so the second run reproduces the
+//! first bit for bit. The sweep drivers hit this constantly — Table 1
+//! compiles each workload once per scheduler ablation, the sensitivity
+//! sweep re-compiles the unchanged module for every machine variant, and
+//! every re-run of a figure driver starts from scratch. [`ArtifactCache`]
+//! makes the recompilations free:
+//!
+//! * **Key.** `combine("overlap-artifact-v1", [module.fingerprint(),
+//!   machine.fingerprint(), options.fingerprint()])` — the structural
+//!   module fingerprint, so renaming instructions does not shift the key.
+//! * **Identity guard.** A hit is only served when the input's *identity*
+//!   fingerprint (names, tags, arena order) also matches the entry: the
+//!   compiled module embeds input names, and a cache must never change
+//!   observable output. Same structure + different names recompiles and
+//!   replaces the entry.
+//! * **In-memory tier.** A `Mutex`-ed map of `Arc` entries storing the
+//!   whole [`Compiled`] bundle; lookups are single-flight — concurrent
+//!   `par_map` workers asking for the same key block on a [`Condvar`]
+//!   while the first worker compiles, then all share the one result. A
+//!   leader that fails or panics wakes the waiters and the next one takes
+//!   over.
+//! * **Disk tier** (optional, `OVERLAP_CACHE_DIR`). Entries persist as
+//!   pretty JSON keyed by the fingerprint (`<key>.json`), written
+//!   atomically (temp file + rename). A loaded entry is *untrusted*:
+//!   stale keys, corrupt JSON, payload-hash mismatches and verification
+//!   failures all degrade to a miss, never an error. The
+//!   [`overlap_sim::CostTable`] is not persisted — it is rebuilt from the
+//!   decoded module, which is cheap and keeps machine-derived floats out
+//!   of the file.
+//!
+//! `OVERLAP_CACHE=0` disables caching entirely ([`ArtifactCache::from_env`]);
+//! `OVERLAP_CACHE_VERIFY=1` recompiles on every hit and asserts the
+//! served artifact is bit-identical — the belt-and-braces mode CI uses.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use overlap_hlo::{HloError, InstrId, Module, ModuleAnalysis};
+use overlap_json::{Fingerprint, FromJson, Json, StableHasher, ToJson};
+use overlap_mesh::Machine;
+use overlap_sim::CostTable;
+
+use crate::costgate::GateDecision;
+use crate::decompose::DecomposeSummary;
+use crate::pipeline::{Compiled, OverlapOptions, OverlapPipeline};
+use crate::profile::PhaseTimings;
+
+/// Version tag baked into keys and disk entries; bump on any change to
+/// the pipeline's semantics or the entry layout to invalidate old files.
+const VERSION: &str = "overlap-artifact-v1";
+
+/// The cache key for one compilation: structural module fingerprint +
+/// machine fingerprint + options fingerprint under the version tag.
+#[must_use]
+pub fn artifact_key(module: &Module, machine: &Machine, options: &OverlapOptions) -> Fingerprint {
+    Fingerprint::combine(
+        VERSION,
+        &[module.fingerprint(), machine.fingerprint(), options.fingerprint()],
+    )
+}
+
+/// Hit/miss counters for one [`ArtifactCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the in-memory tier (including waiters that
+    /// blocked on an in-flight compile and received its result).
+    pub memory_hits: u64,
+    /// Lookups served by loading and revalidating a disk entry.
+    pub disk_hits: u64,
+    /// Lookups that ran the full pipeline.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups served without compiling.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+
+    /// Total lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses
+    }
+
+    /// Fraction of lookups served from cache (0 when nothing was looked
+    /// up).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.lookups() as f64
+        }
+    }
+}
+
+struct MemEntry {
+    input_identity: Fingerprint,
+    compiled: Compiled,
+}
+
+enum Slot {
+    Ready(Arc<MemEntry>),
+    InFlight,
+}
+
+/// A two-tier, single-flight cache of [`Compiled`] bundles. See the
+/// module docs for the design; the cheap entry point is
+/// [`OverlapPipeline::compile_cached`].
+pub struct ArtifactCache {
+    slots: Mutex<HashMap<u128, Slot>>,
+    ready: Condvar,
+    disk_dir: Option<PathBuf>,
+    enabled: bool,
+    verify_hits: bool,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("enabled", &self.enabled)
+            .field("disk_dir", &self.disk_dir)
+            .field("verify_hits", &self.verify_hits)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl ArtifactCache {
+    fn with(enabled: bool, disk_dir: Option<PathBuf>) -> Self {
+        ArtifactCache {
+            slots: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+            disk_dir,
+            enabled,
+            verify_hits: false,
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A process-local cache: in-memory tier only.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self::with(true, None)
+    }
+
+    /// A cache that also persists entries under `dir` (created on first
+    /// store), surviving across process runs.
+    #[must_use]
+    pub fn with_disk_dir(dir: impl Into<PathBuf>) -> Self {
+        Self::with(true, Some(dir.into()))
+    }
+
+    /// A pass-through cache: every compile runs the pipeline.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::with(false, None)
+    }
+
+    /// Builds a cache from the environment: `OVERLAP_CACHE=0` disables
+    /// caching, a non-empty `OVERLAP_CACHE_DIR` adds the disk tier, and
+    /// `OVERLAP_CACHE_VERIFY=1` recompiles on every hit to assert the
+    /// served artifact is bit-identical to a cold compile.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let disabled = std::env::var("OVERLAP_CACHE").is_ok_and(|v| v == "0");
+        let dir = std::env::var("OVERLAP_CACHE_DIR").ok().filter(|d| !d.is_empty());
+        let mut cache = match (disabled, dir) {
+            (true, _) => Self::disabled(),
+            (false, Some(d)) => Self::with_disk_dir(d),
+            (false, None) => Self::in_memory(),
+        };
+        cache.verify_hits = std::env::var("OVERLAP_CACHE_VERIFY").is_ok_and(|v| v == "1");
+        cache
+    }
+
+    /// Forces every future hit to recompile and compare (bit-identical
+    /// schedules, summaries, decisions and module identity), panicking on
+    /// divergence. Expensive; for tests and CI.
+    pub fn set_verify_hits(&mut self, verify: bool) {
+        self.verify_hits = verify;
+    }
+
+    /// Whether lookups can hit at all (false only for
+    /// [`ArtifactCache::disabled`]).
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The disk-tier directory, if configured.
+    #[must_use]
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    /// Counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Empties the in-memory tier (disk entries stay). The benchmark
+    /// harness uses this to time a "cold except disk" pass.
+    pub fn clear_memory(&self) {
+        self.slots.lock().expect("cache lock").clear();
+        self.ready.notify_all();
+    }
+
+    /// Compiles `module` for `machine` with `pipeline`'s options, serving
+    /// from cache when possible. Exactly [`OverlapPipeline::run`]
+    /// observable behavior: a hit returns a bundle bit-identical to what
+    /// a cold compile would produce (guarded by the identity
+    /// fingerprint), except that [`Compiled::timings`] describe the run
+    /// that originally produced the artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HloError`] only for pipeline failures; cache-layer
+    /// problems (unreadable, corrupt or stale disk entries) silently
+    /// degrade to a miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hit diverges from a cold compile while
+    /// [`ArtifactCache::set_verify_hits`] is on, or if the cache lock is
+    /// poisoned by a panic on another thread.
+    pub fn compile(
+        &self,
+        pipeline: &OverlapPipeline,
+        module: &Module,
+        machine: &Machine,
+    ) -> Result<Compiled, HloError> {
+        if !self.enabled {
+            return pipeline.run(module, machine);
+        }
+        let key = artifact_key(module, machine, pipeline.options());
+        let identity = module.identity_fingerprint();
+
+        // Fast path + single-flight election under one lock.
+        {
+            let mut slots = self.slots.lock().expect("cache lock");
+            loop {
+                match slots.get(&key.as_u128()) {
+                    Some(Slot::Ready(e)) if e.input_identity == identity => {
+                        let out = e.compiled.clone();
+                        drop(slots);
+                        self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                        self.maybe_verify_hit(pipeline, module, machine, &out);
+                        return Ok(out);
+                    }
+                    // Identity mismatch (same structure, renamed input) or
+                    // empty slot: this thread becomes the leader.
+                    Some(Slot::Ready(_)) | None => {
+                        slots.insert(key.as_u128(), Slot::InFlight);
+                        break;
+                    }
+                    Some(Slot::InFlight) => {
+                        slots = self.ready.wait(slots).expect("cache lock");
+                    }
+                }
+            }
+        }
+
+        // Leader: on any exit without `install` (error or panic inside the
+        // pipeline), the guard clears the in-flight marker and wakes the
+        // waiters so one of them can take over.
+        let flight = Flight { cache: self, key: key.as_u128(), installed: false };
+
+        if let Some(compiled) = self.load_disk(key, identity, module, machine, pipeline.options())
+        {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            flight.install(MemEntry { input_identity: identity, compiled: compiled.clone() });
+            self.maybe_verify_hit(pipeline, module, machine, &compiled);
+            return Ok(compiled);
+        }
+
+        let compiled = pipeline.run(module, machine)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.store_disk(key, identity, module, machine, pipeline.options(), &compiled);
+        flight.install(MemEntry { input_identity: identity, compiled: compiled.clone() });
+        Ok(compiled)
+    }
+
+    fn maybe_verify_hit(
+        &self,
+        pipeline: &OverlapPipeline,
+        module: &Module,
+        machine: &Machine,
+        served: &Compiled,
+    ) {
+        if !self.verify_hits {
+            return;
+        }
+        let cold = pipeline.run(module, machine).expect("verify-hit recompile failed");
+        assert_eq!(
+            cold.module.identity_fingerprint(),
+            served.module.identity_fingerprint(),
+            "cache hit served a different module than a cold compile"
+        );
+        assert_eq!(cold.order, served.order, "cache hit served a different schedule");
+        assert_eq!(cold.summaries, served.summaries, "cache hit served different summaries");
+        assert_eq!(cold.decisions, served.decisions, "cache hit served different decisions");
+    }
+
+    fn entry_path(&self, key: Fingerprint) -> Option<PathBuf> {
+        self.disk_dir.as_ref().map(|d| d.join(format!("{key}.json")))
+    }
+
+    /// Loads, revalidates and rehydrates a disk entry. Any failure —
+    /// missing file, parse error, stale key material, payload-hash
+    /// mismatch, verification failure — returns `None` (a miss).
+    fn load_disk(
+        &self,
+        key: Fingerprint,
+        identity: Fingerprint,
+        module: &Module,
+        machine: &Machine,
+        options: &OverlapOptions,
+    ) -> Option<Compiled> {
+        let path = self.entry_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let v = Json::parse(&text).ok()?;
+
+        // Stale/corrupt metadata → miss. Every fingerprint recorded at
+        // store time must match what this lookup derived independently.
+        let hex = |k: &str| Fingerprint::from_hex(v[k].as_str()?);
+        if v["version"].as_str() != Some(VERSION)
+            || hex("key") != Some(key)
+            || hex("module_fingerprint") != Some(module.fingerprint())
+            || hex("machine_fingerprint") != Some(machine.fingerprint())
+            || hex("options_fingerprint") != Some(options.fingerprint())
+            || hex("input_identity") != Some(identity)
+        {
+            return None;
+        }
+
+        // The payload hash covers the canonical encoding of everything
+        // below; re-encoding the decoded payload and comparing detects
+        // any edit or bit rot that survived parsing.
+        let payload = v.get("payload")?;
+        if hex("payload_fingerprint") != Some(payload_fingerprint(payload)) {
+            return None;
+        }
+
+        let module = Module::from_json(payload.get("module")?).ok()?;
+        let order = Vec::<InstrId>::from_json(payload.get("order")?).ok()?;
+        let summaries = Vec::<DecomposeSummary>::from_json(payload.get("summaries")?).ok()?;
+        let decisions = Vec::<GateDecision>::from_json(payload.get("decisions")?).ok()?;
+        let timings = PhaseTimings::from_json(payload.get("timings")?).ok()?;
+
+        // Decoded modules are untrusted until verified; the cost table is
+        // rebuilt (deterministically) rather than persisted.
+        module.verify().ok()?;
+        let mut analysis = ModuleAnalysis::of(&module);
+        analysis.mark_verified(&module);
+        let cost_table = CostTable::with_analysis(&module, &analysis, machine).ok()?;
+        Some(Compiled { module, order, summaries, decisions, cost_table, timings })
+    }
+
+    /// Persists an entry atomically (temp file + rename). I/O failures
+    /// are swallowed: a cache that cannot write is slow, not broken.
+    fn store_disk(
+        &self,
+        key: Fingerprint,
+        identity: Fingerprint,
+        module: &Module,
+        machine: &Machine,
+        options: &OverlapOptions,
+        compiled: &Compiled,
+    ) {
+        let Some(path) = self.entry_path(key) else { return };
+        let Some(dir) = self.disk_dir.as_ref() else { return };
+
+        let payload = Json::obj()
+            .with("module", compiled.module.to_json())
+            .with("order", compiled.order.to_json())
+            .with("summaries", compiled.summaries.to_json())
+            .with("decisions", compiled.decisions.to_json())
+            .with("timings", compiled.timings.to_json());
+        let entry = Json::obj()
+            .with("version", VERSION)
+            .with("key", key.to_string())
+            .with("module_fingerprint", module.fingerprint().to_string())
+            .with("machine_fingerprint", machine.fingerprint().to_string())
+            .with("options_fingerprint", options.fingerprint().to_string())
+            .with("input_identity", identity.to_string())
+            .with("payload_fingerprint", payload_fingerprint(&payload).to_string())
+            .with("payload", payload);
+
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!(".{key}.{}.tmp", std::process::id()));
+        if std::fs::write(&tmp, entry.to_pretty()).is_ok()
+            && std::fs::rename(&tmp, &path).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// Hash of a payload's canonical (compact) encoding.
+fn payload_fingerprint(payload: &Json) -> Fingerprint {
+    let mut h = StableHasher::new("overlap-artifact-payload-v1");
+    h.write_str(&payload.to_string());
+    h.finish()
+}
+
+/// Clears the in-flight marker on failure; see [`ArtifactCache::compile`].
+struct Flight<'c> {
+    cache: &'c ArtifactCache,
+    key: u128,
+    installed: bool,
+}
+
+impl Flight<'_> {
+    fn install(mut self, entry: MemEntry) {
+        let mut slots = self.cache.slots.lock().expect("cache lock");
+        slots.insert(self.key, Slot::Ready(Arc::new(entry)));
+        drop(slots);
+        self.installed = true;
+        self.cache.ready.notify_all();
+    }
+}
+
+impl Drop for Flight<'_> {
+    fn drop(&mut self) {
+        if self.installed {
+            return;
+        }
+        let mut slots = self.cache.slots.lock().expect("cache lock");
+        if matches!(slots.get(&self.key), Some(Slot::InFlight)) {
+            slots.remove(&self.key);
+        }
+        drop(slots);
+        self.cache.ready.notify_all();
+    }
+}
+
+impl OverlapPipeline {
+    /// [`OverlapPipeline::run`] through `cache`: a repeated compilation of
+    /// the same (module, machine, options) triple — within a sweep or
+    /// across process runs via the disk tier — is served from cache,
+    /// bit-identical to the cold result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HloError`] if the input or the compiled module fails
+    /// verification (cache problems degrade to a miss, never an error).
+    pub fn compile_cached(
+        &self,
+        module: &Module,
+        machine: &Machine,
+        cache: &ArtifactCache,
+    ) -> Result<Compiled, HloError> {
+        cache.compile(self, module, machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use overlap_hlo::{Builder, DType, DotDims, ReplicaGroups, Shape};
+    use overlap_mesh::DeviceMesh;
+    use overlap_sim::simulate_order_with;
+
+    use super::*;
+
+    fn layer(n: usize, name: &str) -> Module {
+        let mut b = Builder::new(name, n);
+        let x = b.parameter(Shape::new(DType::F32, vec![16384, 2048]), "x");
+        let w = b.parameter(Shape::new(DType::F32, vec![2048, 16384 / n]), "w");
+        let wg = b.all_gather(w, 1, ReplicaGroups::full(n), "wg");
+        let y = b.einsum(x, wg, DotDims::matmul(), "y");
+        b.build(vec![y])
+    }
+
+    fn assert_bit_identical(a: &Compiled, b: &Compiled) {
+        assert_eq!(a.module.identity_fingerprint(), b.module.identity_fingerprint());
+        assert_eq!(a.order, b.order);
+        assert_eq!(a.summaries, b.summaries);
+        assert_eq!(a.decisions, b.decisions);
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock")
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!(
+            "overlap-cache-test-{tag}-{}-{nanos}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn memory_hit_is_bit_identical_to_cold() {
+        let n = 8;
+        let m = layer(n, "layer");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let pipeline = OverlapPipeline::new(OverlapOptions::paper_default());
+        let cold = pipeline.run(&m, &machine).unwrap();
+
+        let cache = ArtifactCache::in_memory();
+        let first = pipeline.compile_cached(&m, &machine, &cache).unwrap();
+        let second = pipeline.compile_cached(&m, &machine, &cache).unwrap();
+        assert_eq!(
+            cache.stats(),
+            CacheStats { memory_hits: 1, disk_hits: 0, misses: 1 }
+        );
+        assert_bit_identical(&cold, &first);
+        assert_bit_identical(&cold, &second);
+
+        // The rehydrated bundle simulates to the same bits.
+        let a = simulate_order_with(&cold.cost_table, &cold.module, &machine, &cold.order)
+            .unwrap();
+        let b = simulate_order_with(&second.cost_table, &second.module, &machine, &second.order)
+            .unwrap();
+        assert_eq!(a.makespan().to_bits(), b.makespan().to_bits());
+    }
+
+    #[test]
+    fn renamed_input_recompiles_despite_equal_structural_key() {
+        let n = 4;
+        let m1 = layer(n, "alpha");
+        let m2 = layer(n, "beta");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let pipeline = OverlapPipeline::new(OverlapOptions::paper_default());
+        assert_eq!(
+            artifact_key(&m1, &machine, pipeline.options()),
+            artifact_key(&m2, &machine, pipeline.options()),
+            "module names must not shift the structural key"
+        );
+
+        let cache = ArtifactCache::in_memory();
+        let c1 = pipeline.compile_cached(&m1, &machine, &cache).unwrap();
+        let c2 = pipeline.compile_cached(&m2, &machine, &cache).unwrap();
+        assert_eq!(cache.stats().misses, 2, "identity guard must force a recompile");
+        assert_eq!(c1.module.name(), "alpha");
+        assert_eq!(c2.module.name(), "beta");
+        assert_eq!(c1.order, c2.order);
+    }
+
+    #[test]
+    fn options_and_machine_changes_miss() {
+        let n = 4;
+        let m = layer(n, "layer");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let cache = ArtifactCache::in_memory();
+
+        let defaults = OverlapPipeline::new(OverlapOptions::paper_default());
+        defaults.compile_cached(&m, &machine, &cache).unwrap();
+        let no_gate = OverlapPipeline::new(OverlapOptions {
+            disable_cost_gate: true,
+            ..OverlapOptions::paper_default()
+        });
+        no_gate.compile_cached(&m, &machine, &cache).unwrap();
+        let other_machine = Machine::tpu_v4_like(n);
+        defaults.compile_cached(&m, &other_machine, &cache).unwrap();
+        assert_eq!(cache.stats(), CacheStats { memory_hits: 0, disk_hits: 0, misses: 3 });
+    }
+
+    #[test]
+    fn single_flight_compiles_once_across_threads() {
+        let n = 8;
+        let m = layer(n, "layer");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let pipeline = OverlapPipeline::new(OverlapOptions::paper_default());
+        let cache = ArtifactCache::in_memory();
+        let cold = pipeline.run(&m, &machine).unwrap();
+
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| pipeline.compile_cached(&m, &machine, &cache).unwrap())
+                })
+                .collect();
+            for h in handles {
+                assert_bit_identical(&cold, &h.join().unwrap());
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "single flight must compile exactly once");
+        assert_eq!(stats.memory_hits, 7);
+        assert!((stats.hit_rate() - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disk_tier_survives_process_boundaries_and_rejects_corruption() {
+        let n = 8;
+        let m = layer(n, "layer");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let pipeline = OverlapPipeline::new(OverlapOptions::paper_default());
+        let dir = temp_dir("disk");
+
+        // "Process 1": cold compile, entry persisted.
+        let cache1 = ArtifactCache::with_disk_dir(&dir);
+        let cold = pipeline.compile_cached(&m, &machine, &cache1).unwrap();
+        assert_eq!(cache1.stats().misses, 1);
+        let key = artifact_key(&m, &machine, pipeline.options());
+        let path = dir.join(format!("{key}.json"));
+        assert!(path.exists(), "entry file must exist at the fingerprint-keyed path");
+
+        // "Process 2": fresh cache, same dir — disk hit, bit-identical,
+        // and the rehydrated cost table simulates to the same bits.
+        let cache2 = ArtifactCache::with_disk_dir(&dir);
+        let warm = pipeline.compile_cached(&m, &machine, &cache2).unwrap();
+        assert_eq!(cache2.stats(), CacheStats { memory_hits: 0, disk_hits: 1, misses: 0 });
+        assert_bit_identical(&cold, &warm);
+        let a = simulate_order_with(&cold.cost_table, &cold.module, &machine, &cold.order)
+            .unwrap();
+        let b = simulate_order_with(&warm.cost_table, &warm.module, &machine, &warm.order)
+            .unwrap();
+        assert_eq!(a.makespan().to_bits(), b.makespan().to_bits());
+
+        // Tamper with the payload (drop one order element): the payload
+        // hash no longer matches → miss, then the entry is rewritten.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut v = Json::parse(&text).unwrap();
+        let order = v["payload"]["order"].as_array().unwrap().to_vec();
+        v["payload"]["order"] = Json::Arr(order[..order.len() - 1].to_vec());
+        std::fs::write(&path, v.to_string()).unwrap();
+        let cache3 = ArtifactCache::with_disk_dir(&dir);
+        let recompiled = pipeline.compile_cached(&m, &machine, &cache3).unwrap();
+        assert_eq!(cache3.stats(), CacheStats { memory_hits: 0, disk_hits: 0, misses: 1 });
+        assert_bit_identical(&cold, &recompiled);
+
+        // Unparseable file → miss, not an error.
+        std::fs::write(&path, "{ not json").unwrap();
+        let cache4 = ArtifactCache::with_disk_dir(&dir);
+        pipeline.compile_cached(&m, &machine, &cache4).unwrap();
+        assert_eq!(cache4.stats().misses, 1);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_entries_from_other_inputs_miss() {
+        let n = 4;
+        let m = layer(n, "layer");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let pipeline = OverlapPipeline::new(OverlapOptions::paper_default());
+        let dir = temp_dir("stale");
+
+        let cache = ArtifactCache::with_disk_dir(&dir);
+        pipeline.compile_cached(&m, &machine, &cache).unwrap();
+        let key = artifact_key(&m, &machine, pipeline.options());
+        let path = dir.join(format!("{key}.json"));
+
+        // Simulate a stale entry: same file name, but recorded for other
+        // options (as if the pipeline semantics changed under the key).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut v = Json::parse(&text).unwrap();
+        v["options_fingerprint"] = Json::from(Fingerprint::neutral().to_string());
+        std::fs::write(&path, v.to_string()).unwrap();
+
+        let fresh = ArtifactCache::with_disk_dir(&dir);
+        pipeline.compile_cached(&m, &machine, &fresh).unwrap();
+        assert_eq!(fresh.stats(), CacheStats { memory_hits: 0, disk_hits: 0, misses: 1 });
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_cache_passes_through() {
+        let n = 4;
+        let m = layer(n, "layer");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let pipeline = OverlapPipeline::new(OverlapOptions::paper_default());
+        let cache = ArtifactCache::disabled();
+        pipeline.compile_cached(&m, &machine, &cache).unwrap();
+        pipeline.compile_cached(&m, &machine, &cache).unwrap();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert!(!cache.is_enabled());
+    }
+
+    #[test]
+    fn verify_hits_accepts_honest_entries() {
+        let n = 4;
+        let m = layer(n, "layer");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let pipeline = OverlapPipeline::new(OverlapOptions::paper_default());
+        let mut cache = ArtifactCache::in_memory();
+        cache.set_verify_hits(true);
+        pipeline.compile_cached(&m, &machine, &cache).unwrap();
+        pipeline.compile_cached(&m, &machine, &cache).unwrap();
+        assert_eq!(cache.stats().memory_hits, 1);
+    }
+
+    #[test]
+    fn options_fingerprint_separates_every_knob() {
+        let base = OverlapOptions::paper_default();
+        let variants = [
+            OverlapOptions {
+                decompose: crate::DecomposeOptions { unroll: false, ..base.decompose },
+                ..base
+            },
+            OverlapOptions {
+                decompose: crate::DecomposeOptions { bidirectional: false, ..base.decompose },
+                ..base
+            },
+            OverlapOptions {
+                decompose: crate::DecomposeOptions { pad_max_concat: true, ..base.decompose },
+                ..base
+            },
+            OverlapOptions { fusion: None, ..base },
+            OverlapOptions {
+                fusion: Some(crate::FusionOptions { overlap_aware: false }),
+                ..base
+            },
+            OverlapOptions { scheduler: crate::SchedulerKind::TopDown, ..base },
+            OverlapOptions { scheduler: crate::SchedulerKind::Original, ..base },
+            OverlapOptions { disable_cost_gate: true, ..base },
+            OverlapOptions { split_all_reduce: true, ..base },
+        ];
+        let mut fps = vec![base.fingerprint()];
+        fps.extend(variants.iter().map(OverlapOptions::fingerprint));
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "variants {i} and {j} collide");
+            }
+        }
+        assert_eq!(base.fingerprint(), OverlapOptions::paper_default().fingerprint());
+    }
+}

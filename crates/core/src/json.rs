@@ -1,0 +1,265 @@
+//! JSON codecs for the pipeline's [`Compiled`] bundle.
+//!
+//! The artifact cache persists compiled bundles to disk through these
+//! impls (see [`crate::ArtifactCache`]); the layout mirrors what
+//! `#[derive(Serialize)]` would emit — externally tagged enums, fields in
+//! declaration order — so the files read naturally next to the other
+//! JSON the workspace writes.
+//!
+//! Decoding is defensive, not trusting: a decoded bundle comes from an
+//! arbitrary file, so the cache re-verifies the module and re-checks
+//! fingerprints before serving it (see `cache.rs`). Nothing here
+//! validates cross-references like instruction ids.
+
+use overlap_json::{FromJson, Json, ToJson};
+
+use crate::costgate::GateDecision;
+use crate::decompose::DecomposeSummary;
+use crate::pattern::{AgCase, Pattern, PatternKind};
+use crate::profile::{PhaseTiming, PhaseTimings};
+
+impl ToJson for AgCase {
+    fn to_json(&self) -> Json {
+        Json::from(match self {
+            AgCase::Free => "Free",
+            AgCase::Contracting => "Contracting",
+            AgCase::Batch => "Batch",
+        })
+    }
+}
+
+impl FromJson for AgCase {
+    fn from_json(v: &Json) -> Result<AgCase, String> {
+        match v.as_str() {
+            Some("Free") => Ok(AgCase::Free),
+            Some("Contracting") => Ok(AgCase::Contracting),
+            Some("Batch") => Ok(AgCase::Batch),
+            _ => Err(format!("expected AgCase, got {v}")),
+        }
+    }
+}
+
+impl ToJson for PatternKind {
+    fn to_json(&self) -> Json {
+        match self {
+            PatternKind::AllGatherEinsum { gathered_is_lhs, case } => Json::obj().with(
+                "AllGatherEinsum",
+                Json::obj()
+                    .with("gathered_is_lhs", *gathered_is_lhs)
+                    .with("case", case.to_json()),
+            ),
+            PatternKind::EinsumReduceScatter { sliced_is_lhs, sliced_dim } => Json::obj().with(
+                "EinsumReduceScatter",
+                Json::obj()
+                    .with("sliced_is_lhs", *sliced_is_lhs)
+                    .with("sliced_dim", *sliced_dim as u64),
+            ),
+        }
+    }
+}
+
+impl FromJson for PatternKind {
+    fn from_json(v: &Json) -> Result<PatternKind, String> {
+        if let Some(p) = v.get("AllGatherEinsum") {
+            return Ok(PatternKind::AllGatherEinsum {
+                gathered_is_lhs: p.decode_field("gathered_is_lhs")?,
+                case: p.decode_field("case")?,
+            });
+        }
+        if let Some(p) = v.get("EinsumReduceScatter") {
+            return Ok(PatternKind::EinsumReduceScatter {
+                sliced_is_lhs: p.decode_field("sliced_is_lhs")?,
+                sliced_dim: p.decode_field("sliced_dim")?,
+            });
+        }
+        Err(format!("expected PatternKind, got {v}"))
+    }
+}
+
+impl ToJson for Pattern {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("einsum", self.einsum.to_json())
+            .with("collective", self.collective.to_json())
+            .with("kind", self.kind.to_json())
+    }
+}
+
+impl FromJson for Pattern {
+    fn from_json(v: &Json) -> Result<Pattern, String> {
+        Ok(Pattern {
+            einsum: v.decode_field("einsum")?,
+            collective: v.decode_field("collective")?,
+            kind: v.decode_field("kind")?,
+        })
+    }
+}
+
+impl ToJson for GateDecision {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("pattern", self.pattern.to_json())
+            .with("comp_t", self.comp_t)
+            .with("comm_t", self.comm_t)
+            .with("comm_t_ring", self.comm_t_ring)
+            .with("extra_t", self.extra_t)
+            .with("comp_d", self.comp_d)
+            .with("beneficial", self.beneficial)
+            .with("bidirectional", self.bidirectional)
+    }
+}
+
+impl FromJson for GateDecision {
+    fn from_json(v: &Json) -> Result<GateDecision, String> {
+        Ok(GateDecision {
+            pattern: v.decode_field("pattern")?,
+            comp_t: v.decode_field("comp_t")?,
+            comm_t: v.decode_field("comm_t")?,
+            comm_t_ring: v.decode_field("comm_t_ring")?,
+            extra_t: v.decode_field("extra_t")?,
+            comp_d: v.decode_field("comp_d")?,
+            beneficial: v.decode_field("beneficial")?,
+            bidirectional: v.decode_field("bidirectional")?,
+        })
+    }
+}
+
+impl ToJson for DecomposeSummary {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("einsum", self.einsum.as_str())
+            .with("group_size", self.group_size as u64)
+            .with("partial_einsums", self.partial_einsums as u64)
+            .with("permutes", self.permutes as u64)
+            .with("bidirectional", self.bidirectional)
+            .with("unrolled", self.unrolled)
+    }
+}
+
+impl FromJson for DecomposeSummary {
+    fn from_json(v: &Json) -> Result<DecomposeSummary, String> {
+        Ok(DecomposeSummary {
+            einsum: v.decode_field("einsum")?,
+            group_size: v.decode_field("group_size")?,
+            partial_einsums: v.decode_field("partial_einsums")?,
+            permutes: v.decode_field("permutes")?,
+            bidirectional: v.decode_field("bidirectional")?,
+            unrolled: v.decode_field("unrolled")?,
+        })
+    }
+}
+
+impl ToJson for PhaseTiming {
+    fn to_json(&self) -> Json {
+        Json::obj().with("phase", self.phase.as_str()).with("seconds", self.seconds)
+    }
+}
+
+impl FromJson for PhaseTiming {
+    fn from_json(v: &Json) -> Result<PhaseTiming, String> {
+        Ok(PhaseTiming { phase: v.decode_field("phase")?, seconds: v.decode_field("seconds")? })
+    }
+}
+
+impl ToJson for PhaseTimings {
+    fn to_json(&self) -> Json {
+        Json::obj().with("phases", self.phases().to_json())
+    }
+}
+
+impl FromJson for PhaseTimings {
+    fn from_json(v: &Json) -> Result<PhaseTimings, String> {
+        let phases: Vec<PhaseTiming> = v.decode_field("phases")?;
+        let mut out = PhaseTimings::new();
+        for p in phases {
+            out.record(&p.phase, p.seconds);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use overlap_hlo::InstrId;
+
+    use super::*;
+
+    fn sample_decisions() -> Vec<GateDecision> {
+        vec![
+            GateDecision {
+                pattern: Pattern {
+                    einsum: InstrId::from_json(&Json::from(3u64)).unwrap(),
+                    collective: InstrId::from_json(&Json::from(2u64)).unwrap(),
+                    kind: PatternKind::AllGatherEinsum {
+                        gathered_is_lhs: false,
+                        case: AgCase::Contracting,
+                    },
+                },
+                comp_t: 1.25e-3,
+                comm_t: 7.5e-4,
+                comm_t_ring: 9.1e-4,
+                extra_t: 3.0e-5,
+                comp_d: 1.3e-3,
+                beneficial: true,
+                bidirectional: true,
+            },
+            GateDecision {
+                pattern: Pattern {
+                    einsum: InstrId::from_json(&Json::from(9u64)).unwrap(),
+                    collective: InstrId::from_json(&Json::from(11u64)).unwrap(),
+                    kind: PatternKind::EinsumReduceScatter {
+                        sliced_is_lhs: true,
+                        sliced_dim: 1,
+                    },
+                },
+                comp_t: 0.5,
+                comm_t: 0.25,
+                comm_t_ring: 0.5,
+                extra_t: 0.125,
+                comp_d: 0.5,
+                beneficial: false,
+                bidirectional: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn bundle_parts_roundtrip_losslessly() {
+        let decisions = sample_decisions();
+        let text = decisions.to_json().to_string();
+        let back = Vec::<GateDecision>::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, decisions);
+
+        let summaries = vec![DecomposeSummary {
+            einsum: "y".into(),
+            group_size: 8,
+            partial_einsums: 8,
+            permutes: 9,
+            bidirectional: true,
+            unrolled: true,
+        }];
+        let text = summaries.to_json().to_string();
+        let back = Vec::<DecomposeSummary>::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, summaries);
+
+        let mut timings = PhaseTimings::new();
+        timings.record("decompose", 0.125);
+        timings.record("schedule", 3.5e-2);
+        let text = timings.to_json().to_string();
+        let back = PhaseTimings::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, timings);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_layouts() {
+        assert!(AgCase::from_json(&Json::from("Diagonal")).is_err());
+        assert!(PatternKind::from_json(&Json::obj().with("Unknown", Json::obj())).is_err());
+        // A float smuggled into a count is a decode error, not truncation.
+        let v = Json::parse(
+            "{\"einsum\":\"y\",\"group_size\":1.5,\"partial_einsums\":1,\
+             \"permutes\":1,\"bidirectional\":true,\"unrolled\":false}",
+        )
+        .unwrap();
+        assert!(DecomposeSummary::from_json(&v).is_err());
+    }
+}

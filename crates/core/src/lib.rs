@@ -28,7 +28,12 @@
 //!   (`comp_t + comm_t >= max(comp_t, comm_t_ring) + extra_t`) and the
 //!   candidate-selection rule when an einsum has two collectives,
 //! * [`OverlapPipeline`] — ties everything together and produces a
-//!   [`Compiled`] module plus the linear instruction order to execute.
+//!   [`Compiled`] module plus the linear instruction order to execute,
+//! * [`ArtifactCache`] — a content-addressed, two-tier (memory + disk)
+//!   cache of [`Compiled`] bundles keyed by structural module, machine
+//!   and option fingerprints; repeated compilations within a sweep and
+//!   across process runs are served bit-identically without rerunning
+//!   the passes ([`OverlapPipeline::compile_cached`]).
 //!
 //! Every rewrite is semantically equivalent to the original module; the
 //! integration tests check this bit-for-bit (up to float reassociation)
@@ -38,9 +43,11 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod asyncify;
+mod cache;
 mod costgate;
 mod decompose;
 mod fusion;
+mod json;
 mod pattern;
 mod pipeline;
 mod profile;
@@ -49,6 +56,7 @@ mod report;
 mod schedule;
 
 pub use asyncify::{asyncify, asyncify_with};
+pub use cache::{artifact_key, ArtifactCache, CacheStats};
 pub use costgate::{CostModel, GateDecision};
 pub use decompose::{
     decompose, decompose_each, decompose_each_with, DecomposeOptions, DecomposeSummary,

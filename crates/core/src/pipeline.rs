@@ -60,6 +60,36 @@ impl OverlapOptions {
             split_all_reduce: false,
         }
     }
+
+    /// A stable fingerprint over every field that can change the
+    /// pipeline's output. One third of the [`crate::ArtifactCache`] key
+    /// (with [`overlap_hlo::Module::fingerprint`] and
+    /// [`overlap_mesh::Machine::fingerprint`]): two option sets with equal
+    /// fingerprints compile any module identically, so a new knob added
+    /// here **must** be hashed or stale cache entries will be served for
+    /// configurations that no longer produce them.
+    #[must_use]
+    pub fn fingerprint(&self) -> overlap_json::Fingerprint {
+        let mut h = overlap_json::StableHasher::new("overlap-options-v1");
+        h.write_bool(self.decompose.unroll);
+        h.write_bool(self.decompose.bidirectional);
+        h.write_bool(self.decompose.pad_max_concat);
+        match &self.fusion {
+            Some(f) => {
+                h.write_bool(true);
+                h.write_bool(f.overlap_aware);
+            }
+            None => h.write_bool(false),
+        }
+        h.write_str(match self.scheduler {
+            SchedulerKind::BottomUp => "bottom-up",
+            SchedulerKind::TopDown => "top-down",
+            SchedulerKind::Original => "original",
+        });
+        h.write_bool(self.disable_cost_gate);
+        h.write_bool(self.split_all_reduce);
+        h.finish()
+    }
 }
 
 /// Result of running the pipeline.

@@ -63,6 +63,17 @@ impl DotDims {
         Ok(dims)
     }
 
+    /// Unchecked construction for the wire layer (`crate::json`): a
+    /// decoded module is untrusted and shape inference in the verifier
+    /// rejects malformed dimension numbers, mirroring what a derived
+    /// `Deserialize` would permit.
+    pub(crate) fn from_raw(
+        batch: Vec<(usize, usize)>,
+        contracting: Vec<(usize, usize)>,
+    ) -> Self {
+        DotDims { batch, contracting }
+    }
+
     /// Plain 2-D matrix multiplication: `[M, K] x [K, N] -> [M, N]`.
     #[must_use]
     pub fn matmul() -> Self {

@@ -49,7 +49,9 @@ mod builder;
 mod dtype;
 mod einsum;
 mod error;
+mod fingerprint;
 mod instr;
+mod json;
 mod module;
 mod ops;
 mod print;

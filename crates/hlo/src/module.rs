@@ -298,20 +298,22 @@ mod tests {
 
     #[test]
     fn serde_round_trip_preserves_module() {
+        use overlap_json::ToJson as _;
         let (m, _, _, _) = small();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: crate::Module = serde_json::from_str(&json).unwrap();
+        let json = m.to_json().to_string();
+        let back = crate::Module::from_json_str(&json).unwrap();
         assert_eq!(back, m);
         back.verify().unwrap();
     }
 
     #[test]
     fn deserialized_garbage_fails_verification() {
+        use overlap_json::ToJson as _;
         let (m, _, _, y) = small();
-        let mut json = serde_json::to_string(&m).unwrap();
+        let mut json = m.to_json().to_string();
         // Corrupt an operand reference.
         json = json.replace("\"operands\":[0,1]", "\"operands\":[0,9]");
-        let back: crate::Module = serde_json::from_str(&json).unwrap();
+        let back = crate::Module::from_json_str(&json).unwrap();
         assert!(back.verify().is_err());
         let _ = y;
     }

@@ -138,6 +138,13 @@ impl ReplicaGroups {
         Ok(ReplicaGroups(groups))
     }
 
+    /// Unchecked construction for the wire layer (`crate::json`): a
+    /// decoded module is untrusted and `Module::verify` re-checks group
+    /// invariants, mirroring what a derived `Deserialize` would permit.
+    pub(crate) fn from_raw(groups: Vec<Vec<u32>>) -> Self {
+        ReplicaGroups(groups)
+    }
+
     /// Number of partitions per group.
     #[must_use]
     pub fn group_size(&self) -> usize {

@@ -1,0 +1,204 @@
+//! Stable 128-bit hashing for content-addressed cache keys.
+//!
+//! `std::hash` is explicitly *not* stable across processes (SipHash
+//! keys are randomized), so cache keys that must survive a process
+//! restart are built on FNV-1a/128: fully deterministic, dependency
+//! free, and wide enough that accidental collisions across a cache
+//! directory are not a practical concern (the cache additionally
+//! re-checks exact identity on every hit, so a collision costs a
+//! recompile, never a wrong artifact).
+
+use std::fmt;
+
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// A 128-bit stable content hash; the artifact cache's key type.
+/// Renders as 32 lowercase hex digits (the on-disk file stem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint(u128);
+
+impl Fingerprint {
+    /// The raw 128-bit value.
+    #[must_use]
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+
+    /// Parses the 32-hex-digit rendering back into a fingerprint.
+    #[must_use]
+    pub fn from_hex(s: &str) -> Option<Fingerprint> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+
+    /// Order-dependent combination of fingerprints under a domain tag
+    /// (e.g. module ⊕ machine ⊕ options → cache key).
+    #[must_use]
+    pub fn combine(tag: &str, parts: &[Fingerprint]) -> Fingerprint {
+        let mut h = StableHasher::new(tag);
+        for p in parts {
+            h.write_u128(p.0);
+        }
+        h.finish()
+    }
+
+    /// Order-*independent* fold: XOR, the identity-safe way to combine
+    /// hashes of items whose container order is not semantic. Callers
+    /// must ensure items are distinct-by-construction or tag them.
+    #[must_use]
+    pub fn fold_unordered(self, other: Fingerprint) -> Fingerprint {
+        Fingerprint(self.0 ^ other.0)
+    }
+
+    /// The neutral element of [`Fingerprint::fold_unordered`].
+    #[must_use]
+    pub fn neutral() -> Fingerprint {
+        Fingerprint(0)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a/128 hasher. Every write is framed (length- or
+/// width-disciplined) so adjacent fields cannot alias: `("ab", "c")`
+/// and `("a", "bc")` hash differently.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl StableHasher {
+    /// A hasher seeded with a domain tag, so hashes of different kinds
+    /// of objects never collide by construction.
+    #[must_use]
+    pub fn new(tag: &str) -> StableHasher {
+        let mut h = StableHasher { state: FNV_OFFSET };
+        h.write_str(tag);
+        h
+    }
+
+    /// Absorbs raw bytes (no framing; use the typed writers for fields).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Absorbs a bool as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Absorbs a `u32` as 4 little-endian bytes.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u128` as 16 little-endian bytes.
+    pub fn write_u128(&mut self, v: u128) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` widened to `u64` (stable across word sizes).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs an `f64` by exact bit pattern (`-0.0 ≠ 0.0`, NaNs by
+    /// payload — fingerprints must never equate distinct bit patterns).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Absorbs a previously computed fingerprint.
+    pub fn write_fingerprint(&mut self, fp: Fingerprint) {
+        self.write_u128(fp.as_u128());
+    }
+
+    /// The accumulated fingerprint.
+    #[must_use]
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_tag_separated() {
+        let mut a = StableHasher::new("t");
+        a.write_str("payload");
+        let mut b = StableHasher::new("t");
+        b.write_str("payload");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = StableHasher::new("other");
+        c.write_str("payload");
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn framing_prevents_field_aliasing() {
+        let mut a = StableHasher::new("t");
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new("t");
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a/128 of the empty input is the offset basis.
+        let h = StableHasher { state: FNV_OFFSET };
+        assert_eq!(h.finish().to_string(), "6c62272e07bb014262b821756295c58d");
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let mut h = StableHasher::new("x");
+        h.write_u64(42);
+        let fp = h.finish();
+        assert_eq!(Fingerprint::from_hex(&fp.to_string()), Some(fp));
+        assert_eq!(Fingerprint::from_hex("zz"), None);
+    }
+
+    #[test]
+    fn unordered_fold_commutes() {
+        let f = |s: &str| {
+            let mut h = StableHasher::new("item");
+            h.write_str(s);
+            h.finish()
+        };
+        let ab = f("a").fold_unordered(f("b"));
+        let ba = f("b").fold_unordered(f("a"));
+        assert_eq!(ab, ba);
+        assert_eq!(Fingerprint::neutral().fold_unordered(ab), ab);
+    }
+}

@@ -1,5 +1,7 @@
 //! Machine model: compute and interconnect parameters.
 
+use overlap_json::{Fingerprint, StableHasher};
+
 use crate::DeviceMesh;
 
 /// Matmul efficiency curve: the achievable fraction of peak FLOPS for a
@@ -249,6 +251,31 @@ impl Machine {
         self
     }
 
+    /// Stable content fingerprint over every cost-relevant parameter:
+    /// mesh shape, peak FLOPS, efficiency curve, link bandwidth, hop
+    /// latency, HBM bandwidth, op overhead, async budget and DMA
+    /// interference. Floats hash by exact bits, so two machines
+    /// fingerprint equal iff every simulated time they produce is
+    /// bit-identical — the property the artifact cache key needs.
+    #[must_use]
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = StableHasher::new("overlap-machine-v1");
+        h.write_usize(self.mesh.shape().len());
+        for &d in self.mesh.shape() {
+            h.write_usize(d);
+        }
+        h.write_f64(self.peak_flops);
+        h.write_f64(self.efficiency.base);
+        h.write_usize(self.efficiency.tile);
+        h.write_f64(self.link_bandwidth);
+        h.write_f64(self.hop_latency);
+        h.write_f64(self.hbm_bandwidth);
+        h.write_f64(self.op_overhead);
+        h.write_usize(self.max_inflight_async);
+        h.write_f64(self.dma_interference);
+        h.finish()
+    }
+
     /// Time to execute an einsum with the given total FLOPs and effective
     /// `m, n, k` extents on one chip.
     #[must_use]
@@ -338,5 +365,26 @@ mod tests {
     fn zero_flop_einsum_costs_overhead_only() {
         let m = Machine::tpu_v4_like(1);
         assert_eq!(m.einsum_time(0, 0, 0, 0), m.op_overhead());
+    }
+
+    #[test]
+    fn fingerprint_covers_every_parameter() {
+        let base = Machine::tpu_v4_like(8);
+        assert_eq!(base.fingerprint(), Machine::tpu_v4_like(8).fingerprint());
+        let variants = [
+            Machine::tpu_v4_like(16),
+            base.clone().with_peak_flops(276e12),
+            base.clone().with_efficiency(MatmulEfficiency::new(0.91, 128)),
+            base.clone().with_efficiency(MatmulEfficiency::new(0.9, 256)),
+            base.clone().with_link_bandwidth(91e9),
+            base.clone().with_hop_latency(2e-6),
+            base.clone().with_hbm_bandwidth(1.3e12),
+            base.clone().with_op_overhead(2e-6),
+            base.clone().with_max_inflight_async(8),
+            base.clone().with_dma_interference(0.29),
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(v.fingerprint(), base.fingerprint(), "variant {i}");
+        }
     }
 }

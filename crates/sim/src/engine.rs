@@ -75,7 +75,8 @@ pub fn simulate_order_with(
 ///
 /// # Errors
 ///
-/// Same conditions as [`simulate_order`], plus `reps == 0`.
+/// Same conditions as [`simulate_order`], plus
+/// [`SimError::ZeroRepetitions`] when `reps == 0`.
 pub fn simulate_order_repeated(
     module: &Module,
     machine: &Machine,
@@ -93,8 +94,8 @@ pub fn simulate_order_repeated(
 /// # Errors
 ///
 /// Returns [`SimError::InvalidSchedule`] if the order is not a complete
-/// topological order, the table does not cover the module, or
-/// `reps == 0`.
+/// topological order or the table does not cover the module, and
+/// [`SimError::ZeroRepetitions`] when `reps == 0`.
 pub fn simulate_order_repeated_with(
     table: &CostTable,
     module: &Module,
@@ -105,7 +106,7 @@ pub fn simulate_order_repeated_with(
     check_table(table, module)?;
     validate_order(module, order)?;
     if reps == 0 {
-        return Err(SimError::InvalidSchedule("zero repetitions".into()));
+        return Err(SimError::ZeroRepetitions);
     }
     let mut scratch = EngineScratch::for_len(module.len());
     let mut state = EngineState::default();
@@ -419,6 +420,30 @@ mod tests {
         assert!(r.compute_time() > 0.0);
         assert!(r.makespan() >= r.sync_comm_time() + r.compute_time() - 1e-12);
         assert!(r.comm_fraction() > 0.0);
+    }
+
+    #[test]
+    fn zero_repetitions_is_a_dedicated_error() {
+        let n = 2;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[64, 64]), "x");
+        let w = b.parameter(f32s(&[64, 64]), "w");
+        let y = b.einsum(x, w, DotDims::matmul(), "y");
+        let m = b.build(vec![y]);
+        let machine = machine(n);
+        let order = m.arena_order();
+        let table = CostTable::new(&m, &machine).unwrap();
+        // Matchable variant, not a stringly InvalidSchedule.
+        assert_eq!(
+            simulate_order_repeated_with(&table, &m, &machine, &order, 0),
+            Err(SimError::ZeroRepetitions)
+        );
+        assert_eq!(
+            simulate_order_repeated(&m, &machine, &order, 0),
+            Err(SimError::ZeroRepetitions)
+        );
+        // And one repetition still simulates.
+        assert!(simulate_order_repeated(&m, &machine, &order, 1).is_ok());
     }
 
     #[test]

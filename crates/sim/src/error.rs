@@ -14,6 +14,11 @@ pub enum SimError {
     /// The provided instruction order is not a complete topological order
     /// of the module.
     InvalidSchedule(String),
+    /// A repeated simulation was requested with zero repetitions. A
+    /// dedicated variant (not a stringly [`SimError::InvalidSchedule`])
+    /// so callers that drive the simulator programmatically — the
+    /// artifact cache and sweep layers — can match on it.
+    ZeroRepetitions,
 }
 
 impl fmt::Display for SimError {
@@ -21,6 +26,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidModule(e) => write!(f, "invalid module: {e}"),
             SimError::InvalidSchedule(m) => write!(f, "invalid schedule: {m}"),
+            SimError::ZeroRepetitions => {
+                write!(f, "repeated simulation requires at least one repetition")
+            }
         }
     }
 }
@@ -29,7 +37,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::InvalidModule(e) => Some(e),
-            SimError::InvalidSchedule(_) => None,
+            SimError::InvalidSchedule(_) | SimError::ZeroRepetitions => None,
         }
     }
 }
@@ -47,6 +55,7 @@ mod tests {
     #[test]
     fn display_nonempty() {
         assert!(!SimError::InvalidSchedule("x".into()).to_string().is_empty());
+        assert!(!SimError::ZeroRepetitions.to_string().is_empty());
         assert!(!SimError::from(HloError::Verification("v".into()))
             .to_string()
             .is_empty());

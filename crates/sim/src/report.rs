@@ -1,5 +1,6 @@
 //! Simulation reports and timeline rendering.
 
+use overlap_json::{Json, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// Which lane of the device a span occupied.
@@ -133,34 +134,65 @@ impl Timeline {
     /// timestamps; the three lanes map to thread ids 0 (compute),
     /// 1 (dma+) and 2 (dma-), stalls to thread 3.
     ///
-    /// # Panics
-    ///
-    /// Panics only if JSON serialization of plain floats/strings fails,
-    /// which cannot happen for finite span times.
     #[must_use]
     pub fn to_chrome_trace(&self) -> String {
-        let events: Vec<serde_json::Value> = self
+        let events: Vec<Json> = self
             .spans
             .iter()
             .map(|s| {
                 let tid = match s.kind {
-                    SpanKind::Compute | SpanKind::Memory | SpanKind::SyncCollective => 0,
+                    SpanKind::Compute | SpanKind::Memory | SpanKind::SyncCollective => 0u64,
                     SpanKind::DmaForward => 1,
                     SpanKind::DmaBackward => 2,
                     SpanKind::Stall => 3,
                 };
-                serde_json::json!({
-                    "name": s.name,
-                    "cat": format!("{:?}", s.kind),
-                    "ph": "X",
-                    "ts": s.start * 1e6,
-                    "dur": (s.end - s.start) * 1e6,
-                    "pid": 0,
-                    "tid": tid,
-                })
+                Json::obj()
+                    .with("name", Json::from(s.name.as_str()))
+                    .with("cat", Json::from(format!("{:?}", s.kind)))
+                    .with("ph", Json::from("X"))
+                    .with("ts", Json::from(s.start * 1e6))
+                    .with("dur", Json::from((s.end - s.start) * 1e6))
+                    .with("pid", Json::from(0u64))
+                    .with("tid", Json::from(tid))
             })
             .collect();
-        serde_json::to_string(&events).expect("span fields are always serializable")
+        Json::Arr(events).to_string()
+    }
+}
+
+impl ToJson for SpanKind {
+    fn to_json(&self) -> Json {
+        Json::from(format!("{self:?}"))
+    }
+}
+
+impl ToJson for Span {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("name", self.name.to_json())
+            .with("kind", self.kind.to_json())
+            .with("start", self.start.to_json())
+            .with("end", self.end.to_json())
+    }
+}
+
+impl ToJson for Timeline {
+    fn to_json(&self) -> Json {
+        Json::obj().with("spans", self.spans.to_json())
+    }
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("makespan", self.makespan.to_json())
+            .with("compute_time", self.compute_time.to_json())
+            .with("memory_time", self.memory_time.to_json())
+            .with("sync_comm_time", self.sync_comm_time.to_json())
+            .with("exposed_async_time", self.exposed_async_time.to_json())
+            .with("hidden_async_time", self.hidden_async_time.to_json())
+            .with("total_flops", self.total_flops.to_json())
+            .with("timeline", self.timeline.to_json())
     }
 }
 
@@ -359,12 +391,23 @@ mod tests {
             ],
         };
         let json = t.to_chrome_trace();
-        let parsed: Vec<serde_json::Value> = serde_json::from_str(&json).unwrap();
-        assert_eq!(parsed.len(), 3);
-        assert_eq!(parsed[0]["tid"], 0);
-        assert_eq!(parsed[1]["tid"], 1);
-        assert_eq!(parsed[2]["tid"], 3);
-        assert_eq!(parsed[0]["ph"], "X");
-        assert!((parsed[1]["dur"].as_f64().unwrap() - 2000.0).abs() < 1e-6);
+        let parsed = Json::parse(&json).unwrap();
+        let events = parsed.as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0]["tid"].as_u64(), Some(0));
+        assert_eq!(events[1]["tid"].as_u64(), Some(1));
+        assert_eq!(events[2]["tid"].as_u64(), Some(3));
+        assert_eq!(events[0]["ph"].as_str(), Some("X"));
+        assert!((events[1]["dur"].as_f64().unwrap() - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn report_json_carries_every_counter() {
+        let r = Report::new(10.0, 6.0, 1.0, 2.0, 1.0, 3.0, 1000, Timeline::default());
+        let v = r.to_json();
+        assert_eq!(v["makespan"].as_f64(), Some(10.0));
+        assert_eq!(v["total_flops"].as_u64(), Some(1000));
+        assert!(v["timeline"]["spans"].as_array().unwrap().is_empty());
+        assert!(v.to_string().contains("makespan"));
     }
 }

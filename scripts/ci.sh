@@ -29,8 +29,20 @@ echo "==> cargo bench --no-run (compile gate)"
 cargo bench --no-run
 
 if [ "${PERFGATE:-1}" = "1" ]; then
-    echo "==> perf + compile-throughput gate (results/BENCH_sim.json)"
+    echo "==> perf + compile-throughput + artifact-cache gate (results/BENCH_sim.json)"
     cargo run --release -p overlap-bench --bin perfgate
 fi
+
+echo "==> artifact-cache disk tier: second run of a driver must be all hits"
+cache_dir=".overlap-cache-ci.$$"
+rm -rf "$cache_dir"
+OVERLAP_CACHE_DIR="$cache_dir" cargo run --release -q -p overlap-bench --bin inference >/dev/null
+warm_out=$(OVERLAP_CACHE_DIR="$cache_dir" cargo run --release -q -p overlap-bench --bin inference)
+rm -rf "$cache_dir"
+echo "$warm_out" | grep "^cache:" || { echo "FAIL: warm run printed no cache stats"; exit 1; }
+case "$warm_out" in
+    *"misses=0"*) ;;
+    *) echo "FAIL: second run missed the on-disk artifact cache"; exit 1 ;;
+esac
 
 echo "CI gate passed."

@@ -6,6 +6,8 @@
 //! examples and downstream users can depend on a single package:
 //!
 //! * [`hlo`] — the dataflow IR,
+//! * [`json`] — the zero-dependency JSON wire layer and the stable
+//!   fingerprint hasher behind the artifact cache,
 //! * [`mesh`] — device meshes, interconnect model, collective cost math,
 //! * [`sharding`] — SPMD sharding specs and the einsum partitioner,
 //! * [`numerics`] — tensor literals and the multi-device interpreter,
@@ -41,6 +43,7 @@
 
 pub use overlap_core as core;
 pub use overlap_hlo as hlo;
+pub use overlap_json as json;
 pub use overlap_mesh as mesh;
 pub use overlap_models as models;
 pub use overlap_numerics as numerics;

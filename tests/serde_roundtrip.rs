@@ -1,8 +1,9 @@
 //! Serialization round-trips and untrusted-input hardening.
 //!
-//! `overlapc` (and any downstream embedding) exchanges modules as JSON;
-//! these tests pin down that (1) serialization is lossless for both raw
-//! and fully-compiled modules, (2) a round-tripped module behaves
+//! `overlapc` (and any downstream embedding) exchanges modules as JSON
+//! through the workspace's own wire layer (`overlap::json`); these tests
+//! pin down that (1) serialization is lossless for both raw and
+//! fully-compiled modules, (2) a round-tripped module behaves
 //! identically under the simulator and the SPMD interpreter, and
 //! (3) `Module::verify` rejects the corruption classes a hostile or
 //! buggy producer could introduce (dangling operands, forward
@@ -10,6 +11,7 @@
 
 use overlap::core::{OverlapOptions, OverlapPipeline};
 use overlap::hlo::{Builder, DType, DotDims, Module, ReplicaGroups, Shape};
+use overlap::json::{FromJson, Json, ToJson};
 use overlap::mesh::Machine;
 use overlap::numerics::{run_spmd, Literal};
 use overlap::sim::{simulate, simulate_order};
@@ -26,8 +28,8 @@ fn demo_module(n: usize) -> Module {
 #[test]
 fn module_json_roundtrip_is_lossless() {
     let m = demo_module(4);
-    let text = serde_json::to_string(&m).expect("serialize");
-    let back: Module = serde_json::from_str(&text).expect("deserialize");
+    let text = m.to_json().to_string();
+    let back = Module::from_json_str(&text).expect("deserialize");
     back.verify().expect("roundtripped module verifies");
     assert_eq!(m, back);
 }
@@ -45,8 +47,8 @@ fn compiled_module_roundtrip_preserves_simulation() {
     .run(&m, &machine)
     .expect("pipeline");
 
-    let text = serde_json::to_string(&compiled.module).expect("serialize");
-    let back: Module = serde_json::from_str(&text).expect("deserialize");
+    let text = compiled.module.to_json().to_string();
+    let back = Module::from_json_str(&text).expect("deserialize");
     back.verify().expect("compiled roundtrip verifies");
     assert_eq!(compiled.module, back);
 
@@ -58,8 +60,8 @@ fn compiled_module_roundtrip_preserves_simulation() {
 #[test]
 fn roundtrip_preserves_numerics() {
     let m = demo_module(4);
-    let text = serde_json::to_string(&m).expect("serialize");
-    let back: Module = serde_json::from_str(&text).expect("deserialize");
+    let text = m.to_json().to_string();
+    let back = Module::from_json_str(&text).expect("deserialize");
 
     let inputs: Vec<Vec<Literal>> = (0..4)
         .map(|d| {
@@ -84,13 +86,13 @@ fn roundtrip_preserves_numerics() {
 }
 
 /// Applies `tamper` to the module's JSON value and asserts the result
-/// either fails to deserialize or fails verification.
-fn assert_rejected(tamper: impl FnOnce(&mut serde_json::Value), what: &str) {
+/// either fails to decode or fails verification.
+fn assert_rejected(tamper: impl FnOnce(&mut Json), what: &str) {
     let m = demo_module(4);
-    let mut v = serde_json::to_value(&m).expect("to_value");
+    let mut v = m.to_json();
     tamper(&mut v);
-    match serde_json::from_value::<Module>(v) {
-        Err(_) => {} // rejected at the serde layer: fine
+    match Module::from_json(&v) {
+        Err(_) => {} // rejected at the decode layer: fine
         Ok(back) => {
             assert!(back.verify().is_err(), "verify must reject: {what}");
         }
@@ -100,7 +102,7 @@ fn assert_rejected(tamper: impl FnOnce(&mut serde_json::Value), what: &str) {
 #[test]
 fn verify_rejects_dangling_operand() {
     assert_rejected(
-        |v| v["instrs"][3]["operands"][0] = serde_json::json!(999),
+        |v| v["instrs"][3]["operands"][0] = Json::from(999u64),
         "operand id past the arena end",
     );
 }
@@ -110,7 +112,7 @@ fn verify_rejects_forward_reference() {
     // The einsum (index 3) referring to itself breaks the topological
     // arena-order invariant.
     assert_rejected(
-        |v| v["instrs"][3]["operands"][0] = serde_json::json!(3),
+        |v| v["instrs"][3]["operands"][0] = Json::from(3u64),
         "self/forward operand reference",
     );
 }
@@ -119,21 +121,21 @@ fn verify_rejects_forward_reference() {
 fn verify_rejects_shape_lie() {
     // Claim the AllGather produces half the gathered size.
     assert_rejected(
-        |v| v["instrs"][2]["shape"]["dims"][1] = serde_json::json!(64),
+        |v| v["instrs"][2]["shape"]["dims"][1] = Json::from(64u64),
         "all-gather output shape inconsistent with groups",
     );
 }
 
 #[test]
 fn verify_rejects_out_of_range_output() {
-    assert_rejected(|v| v["outputs"][0] = serde_json::json!(77), "output id out of range");
+    assert_rejected(|v| v["outputs"][0] = Json::from(77u64), "output id out of range");
 }
 
 #[test]
 fn verify_rejects_zero_partitions() {
     // A replica group mentioning partition 7 on a 2-partition module.
     assert_rejected(
-        |v| v["num_partitions"] = serde_json::json!(2),
+        |v| v["num_partitions"] = Json::from(2u64),
         "replica group member outside the partition count",
     );
 }
@@ -144,11 +146,11 @@ fn chrome_trace_is_valid_json() {
     let machine = Machine::tpu_v4_like(8);
     let report = simulate(&m, &machine).expect("sim");
     let trace = report.timeline().to_chrome_trace();
-    let parsed: serde_json::Value = serde_json::from_str(&trace).expect("trace parses");
-    let events = parsed.as_array().or_else(|| {
-        parsed.get("traceEvents").and_then(serde_json::Value::as_array)
-    });
-    let events = events.expect("trace events array");
+    let parsed = Json::parse(&trace).expect("trace parses");
+    let events = parsed
+        .as_array()
+        .or_else(|| parsed.get("traceEvents").and_then(Json::as_array))
+        .expect("trace events array");
     assert!(!events.is_empty());
     for e in events {
         assert!(e.get("name").is_some(), "every event carries a name");
@@ -161,6 +163,6 @@ fn report_serializes() {
     let m = demo_module(8);
     let machine = Machine::tpu_v4_like(8);
     let report = simulate(&m, &machine).expect("sim");
-    let text = serde_json::to_string(&report).expect("report serializes");
+    let text = report.to_json().to_string();
     assert!(text.contains("makespan"));
 }
