@@ -24,9 +24,9 @@
 use overlap_bench::report_cache;
 use overlap_core::{ArtifactCache, CompileReport, OverlapOptions, OverlapPipeline};
 use overlap_hlo::{to_dot, Builder, DType, DotDims, Module, ReplicaGroups, Shape};
-use overlap_json::ToJson;
-use overlap_mesh::Machine;
-use overlap_sim::{simulate, simulate_order};
+use overlap_json::{FromJson, Json, ToJson};
+use overlap_mesh::{FaultSpec, Machine};
+use overlap_sim::{simulate, simulate_faulted, simulate_order, simulate_order_faulted};
 
 fn demo_module() -> Module {
     let n = 8;
@@ -43,7 +43,8 @@ fn demo_module() -> Module {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: overlapc demo <out.json> | overlapc compile <module.json> [--cache-dir DIR]"
+        "usage: overlapc demo <out.json> | overlapc compile <module.json> \
+         [--cache-dir DIR] [--fault-spec FAULTS.json]"
     );
     std::process::exit(2);
 }
@@ -57,6 +58,29 @@ fn cache_from_args(args: &[String]) -> ArtifactCache {
             None => usage(),
         },
         None => ArtifactCache::from_env(),
+    }
+}
+
+/// `--fault-spec FAULTS.json` compiles and simulates for the degraded
+/// machine the file describes (see `FaultSpec`'s JSON layout). A parse
+/// failure is a user error, reported and fatal.
+fn fault_spec_from_args(args: &[String]) -> Option<FaultSpec> {
+    let i = args.iter().position(|a| a == "--fault-spec")?;
+    let Some(path) = args.get(i + 1) else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read fault spec {path}: {e}");
+        std::process::exit(1);
+    });
+    let parsed = match Json::parse(&text) {
+        Ok(v) => FaultSpec::from_json(&v),
+        Err(e) => Err(e.to_string()),
+    };
+    match parsed {
+        Ok(spec) => Some(spec),
+        Err(e) => {
+            eprintln!("invalid fault spec {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -80,14 +104,35 @@ fn main() {
                 std::process::exit(1);
             }
             let machine = Machine::tpu_v4_like(module.num_partitions());
-            let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
-                .compile_cached(&module, &machine, &cache)
-                .expect("pipeline");
+            let faults = fault_spec_from_args(&args);
+            if let Some(spec) = &faults {
+                if let Err(e) = spec.validate(machine.mesh()) {
+                    let chips = machine.mesh().num_devices();
+                    eprintln!("fault spec does not fit the {chips}-chip machine: {e}");
+                    std::process::exit(1);
+                }
+                println!("compiling for a degraded machine (fault seed {})\n", spec.seed);
+            }
+            let mut pipeline = OverlapPipeline::new(OverlapOptions::paper_default());
+            if let Some(spec) = &faults {
+                pipeline = pipeline.with_faults(spec.clone());
+            }
+            let compiled =
+                pipeline.compile_cached(&module, &machine, &cache).expect("pipeline");
             println!("{}", CompileReport::new(&module, &compiled, &machine));
 
-            let baseline = simulate(&module, &machine).expect("baseline");
-            let over = simulate_order(&compiled.module, &machine, &compiled.order)
-                .expect("simulate");
+            let (baseline, over) = match &faults {
+                Some(spec) => (
+                    simulate_faulted(&module, &machine, spec).expect("faulted baseline"),
+                    simulate_order_faulted(&compiled.module, &machine, &compiled.order, spec)
+                        .expect("faulted simulate"),
+                ),
+                None => (
+                    simulate(&module, &machine).expect("baseline"),
+                    simulate_order(&compiled.module, &machine, &compiled.order)
+                        .expect("simulate"),
+                ),
+            };
             println!(
                 "\nbaseline {:.3} ms -> overlapped {:.3} ms ({:.2}x)",
                 baseline.makespan() * 1e3,

@@ -25,9 +25,12 @@ use overlap_core::{
 };
 use overlap_hlo::{eliminate_common_subexpressions, InstrId, Module};
 use overlap_json::{Json, ToJson};
-use overlap_mesh::Machine;
+use overlap_mesh::{FaultSpec, Machine};
 use overlap_models::{table1_models, Arch, ModelConfig, PartitionStrategy};
-use overlap_sim::{simulate_order, simulate_order_repeated_with, CostTable};
+use overlap_sim::{
+    simulate_faulted, simulate_order, simulate_order_faulted_with, simulate_order_repeated_with,
+    CostTable,
+};
 
 /// Wall-clock noise tolerance for the compile-throughput gate: fail only
 /// when the measured per-compile time exceeds `baseline * TOLERANCE`.
@@ -93,6 +96,63 @@ impl ToJson for CacheBench {
     }
 }
 
+struct FaultSmoke {
+    /// Simulated makespan of the faulted compile's schedule under the
+    /// same seeded spec.
+    faulted_makespan: f64,
+    /// Fallbacks the faulted compile recorded.
+    fallbacks: u64,
+    /// Patterns that survived the fault-adjusted gate.
+    decomposed: u64,
+}
+
+impl ToJson for FaultSmoke {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("faulted_makespan", self.faulted_makespan)
+            .with("fallbacks", self.fallbacks)
+            .with("decomposed", self.decomposed)
+    }
+}
+
+/// Fault-injection smoke (hard gate): a `FaultSpec::default()` simulation
+/// must be bit-identical to the pristine one, and a seeded degraded-
+/// machine compile must be deterministic — two independent compiles
+/// under the same spec produce the same schedule and fallback set.
+fn fault_smoke(cfg: &ModelConfig) -> (FaultSmoke, bool) {
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+
+    let pristine = overlap_sim::simulate(&module, &machine).expect("pristine simulation");
+    let noop = simulate_faulted(&module, &machine, &FaultSpec::default())
+        .expect("noop faulted simulation");
+    let noop_identical = pristine == noop;
+
+    let spec = FaultSpec::seeded(7)
+        .with_straggler(0, 1.5)
+        .with_derated_link_fraction(machine.mesh(), 0.25, 0.8)
+        .with_jitter(1.25e-5);
+    let compile = || {
+        OverlapPipeline::new(OverlapOptions::paper_default())
+            .with_faults(spec.clone())
+            .run(&module, &machine)
+            .expect("faulted compile")
+    };
+    let a = compile();
+    let b = compile();
+    let deterministic = a.order == b.order && a.fallbacks == b.fallbacks;
+
+    let report =
+        simulate_order_faulted_with(&a.cost_table, &a.module, &machine, &a.order, &spec)
+            .expect("faulted simulation");
+    let record = FaultSmoke {
+        faulted_makespan: report.makespan(),
+        fallbacks: a.fallbacks.len() as u64,
+        decomposed: a.summaries.len() as u64,
+    };
+    (record, noop_identical && deterministic)
+}
+
 struct PerfRecord {
     reps: usize,
     /// Repeated simulation rebuilding every instruction cost per run
@@ -109,6 +169,7 @@ struct PerfRecord {
     sweep_speedup: f64,
     compile_throughput: CompileThroughput,
     cache: CacheBench,
+    fault_smoke: FaultSmoke,
     threads: usize,
 }
 
@@ -124,6 +185,7 @@ impl ToJson for PerfRecord {
             .with("sweep_speedup", self.sweep_speedup)
             .with("compile_throughput", self.compile_throughput.to_json())
             .with("cache", self.cache.to_json())
+            .with("fault_smoke", self.fault_smoke.to_json())
             .with("threads", self.threads as u64)
     }
 }
@@ -360,6 +422,9 @@ fn main() {
     // Artifact-cache warm-vs-cold on the Table-1 compile sweep (hard gate).
     let (cache, cache_ok) = cache_bench();
 
+    // Fault-injection smoke on the same mid-size layer (hard gate).
+    let (fault_smoke, fault_ok) = fault_smoke(&cfg);
+
     let record = PerfRecord {
         reps,
         sim_fresh_seconds,
@@ -370,6 +435,7 @@ fn main() {
         sweep_speedup: sweep_serial_seconds / sweep_parallel_seconds,
         compile_throughput: compile,
         cache,
+        fault_smoke,
         threads: sweep_threads(),
     };
     println!(
@@ -398,8 +464,21 @@ fn main() {
         record.cache.speedup,
         record.cache.hit_rate
     );
+    println!(
+        "fault smoke: faulted makespan {:.3}ms, decomposed={} fallbacks={}",
+        record.fault_smoke.faulted_makespan * 1e3,
+        record.fault_smoke.decomposed,
+        record.fault_smoke.fallbacks
+    );
     write_json("BENCH_sim", &record);
 
+    if !fault_ok {
+        eprintln!(
+            "fault-injection regression: a FaultSpec::default() simulation diverged from the \
+             pristine one, or two compiles under the same seeded spec disagreed"
+        );
+        std::process::exit(1);
+    }
     if !compile_ok {
         let per_compile = ct.pipeline_seconds / ct.reps as f64;
         eprintln!(

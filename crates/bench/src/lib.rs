@@ -13,9 +13,11 @@ use std::sync::OnceLock;
 
 use overlap_core::{ArtifactCache, OverlapOptions, OverlapPipeline};
 use overlap_json::{Json, ToJson};
-use overlap_mesh::Machine;
+use overlap_mesh::{FaultSpec, Machine};
 use overlap_models::ModelConfig;
-use overlap_sim::{simulate, simulate_order_with, Report};
+use overlap_sim::{
+    simulate, simulate_faulted, simulate_order_faulted_with, simulate_order_with, Report,
+};
 
 /// Simulated per-step statistics for one configuration.
 #[derive(Debug, Clone)]
@@ -177,6 +179,90 @@ pub fn run_comparison_cached(cfg: &ModelConfig, cache: &ArtifactCache) -> Compar
     Comparison {
         baseline: run_baseline(cfg),
         overlapped: run_overlapped_cached(cfg, OverlapOptions::paper_default(), cache),
+    }
+}
+
+/// Baseline-vs-overlapped step statistics on a degraded machine, plus
+/// how much of the compile survived the fault-adjusted gate.
+#[derive(Debug, Clone)]
+pub struct FaultedComparison {
+    /// Baseline (synchronous collectives, program order) under the spec.
+    pub baseline: StepStats,
+    /// With the overlap pipeline compiled *for* the degraded machine.
+    pub overlapped: StepStats,
+    /// Patterns actually decomposed on the degraded machine.
+    pub decomposed: usize,
+    /// Per-pattern and whole-module fallbacks the compile recorded.
+    pub fallbacks: usize,
+}
+
+impl FaultedComparison {
+    /// Baseline / overlapped step-time ratio under the fault spec.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.baseline.step_time / self.overlapped.step_time
+    }
+}
+
+impl ToJson for FaultedComparison {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("baseline", self.baseline.to_json())
+            .with("overlapped", self.overlapped.to_json())
+            .with("decomposed", self.decomposed as u64)
+            .with("fallbacks", self.fallbacks as u64)
+    }
+}
+
+/// Simulates one model's step without the overlap pipeline on the
+/// degraded machine described by `spec`.
+///
+/// # Panics
+///
+/// Panics if the module fails to build or the faulted simulation errors
+/// (the sweep specs in this crate are all routable and un-deadlocked).
+#[must_use]
+pub fn run_baseline_faulted(cfg: &ModelConfig, spec: &FaultSpec) -> StepStats {
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+    let report = simulate_faulted(&module, &machine, spec).expect("faulted baseline simulation");
+    StepStats::from_report(cfg, &machine, &report)
+}
+
+/// Baseline-vs-overlapped comparison on a degraded machine: the compile
+/// itself runs under `spec` (so the fault-adjusted §5.5 gate can fall
+/// back per pattern) and both sides simulate under the same spec.
+/// Artifacts key on the spec's fingerprint, so sweeps over many specs
+/// coexist in one `cache`.
+///
+/// # Panics
+///
+/// Panics if compilation or either simulation fails.
+#[must_use]
+pub fn run_comparison_faulted_cached(
+    cfg: &ModelConfig,
+    spec: &FaultSpec,
+    cache: &ArtifactCache,
+) -> FaultedComparison {
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+    let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
+        .with_faults(spec.clone())
+        .compile_cached(&module, &machine, cache)
+        .expect("faulted pipeline");
+    let report = simulate_order_faulted_with(
+        &compiled.cost_table,
+        &compiled.module,
+        &machine,
+        &compiled.order,
+        spec,
+    )
+    .expect("faulted simulation");
+    FaultedComparison {
+        baseline: run_baseline_faulted(cfg, spec),
+        overlapped: StepStats::from_report(cfg, &machine, &report),
+        decomposed: compiled.summaries.len(),
+        fallbacks: compiled.fallbacks.len(),
     }
 }
 

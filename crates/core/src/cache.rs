@@ -42,26 +42,49 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use overlap_hlo::{HloError, InstrId, Module, ModuleAnalysis};
 use overlap_json::{Fingerprint, FromJson, Json, StableHasher, ToJson};
-use overlap_mesh::Machine;
+use overlap_mesh::{FaultSpec, Machine};
 use overlap_sim::CostTable;
 
 use crate::costgate::GateDecision;
 use crate::decompose::DecomposeSummary;
-use crate::pipeline::{Compiled, OverlapOptions, OverlapPipeline};
+use crate::pipeline::{Compiled, FallbackRecord, OverlapOptions, OverlapPipeline};
 use crate::profile::PhaseTimings;
 
 /// Version tag baked into keys and disk entries; bump on any change to
 /// the pipeline's semantics or the entry layout to invalidate old files.
-const VERSION: &str = "overlap-artifact-v1";
+/// (v2: fault-aware compiles — the key grows the fault-spec fingerprint
+/// and the payload a `fallbacks` list.)
+const VERSION: &str = "overlap-artifact-v2";
 
-/// The cache key for one compilation: structural module fingerprint +
-/// machine fingerprint + options fingerprint under the version tag.
+/// The cache key for one fault-free compilation: structural module
+/// fingerprint + machine fingerprint + options fingerprint under the
+/// version tag. See [`artifact_key_faulted`] for degraded-machine
+/// compiles.
 #[must_use]
 pub fn artifact_key(module: &Module, machine: &Machine, options: &OverlapOptions) -> Fingerprint {
-    Fingerprint::combine(
-        VERSION,
-        &[module.fingerprint(), machine.fingerprint(), options.fingerprint()],
-    )
+    artifact_key_faulted(module, machine, options, None)
+}
+
+/// [`artifact_key`] for a compilation under a fault spec: the spec's
+/// fingerprint joins the key material, so artifacts compiled for
+/// different degraded machines never collide. `None` — and a spec that
+/// injects nothing ([`FaultSpec::is_noop`]) — reduce to the fault-free
+/// key, because the pipeline's output is bit-identical in those cases.
+#[must_use]
+pub fn artifact_key_faulted(
+    module: &Module,
+    machine: &Machine,
+    options: &OverlapOptions,
+    faults: Option<&FaultSpec>,
+) -> Fingerprint {
+    let base = [module.fingerprint(), machine.fingerprint(), options.fingerprint()];
+    match faults.filter(|s| !s.is_noop()) {
+        None => Fingerprint::combine(VERSION, &base),
+        Some(spec) => {
+            let [m, ma, o] = base;
+            Fingerprint::combine(VERSION, &[m, ma, o, spec.fingerprint()])
+        }
+    }
 }
 
 /// Hit/miss counters for one [`ArtifactCache`].
@@ -256,7 +279,8 @@ impl ArtifactCache {
         if !self.enabled {
             return pipeline.run(module, machine);
         }
-        let key = artifact_key(module, machine, pipeline.options());
+        let faults = pipeline.effective_faults();
+        let key = artifact_key_faulted(module, machine, pipeline.options(), faults);
         let identity = module.identity_fingerprint();
 
         // Fast path + single-flight election under one lock.
@@ -289,7 +313,8 @@ impl ArtifactCache {
         // waiters so one of them can take over.
         let flight = Flight { cache: self, key: key.as_u128(), installed: false };
 
-        if let Some(compiled) = self.load_disk(key, identity, module, machine, pipeline.options())
+        if let Some(compiled) =
+            self.load_disk(key, identity, module, machine, pipeline.options(), faults)
         {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
             flight.install(MemEntry { input_identity: identity, compiled: compiled.clone() });
@@ -299,7 +324,7 @@ impl ArtifactCache {
 
         let compiled = pipeline.run(module, machine)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.store_disk(key, identity, module, machine, pipeline.options(), &compiled);
+        self.store_disk(key, identity, module, machine, pipeline.options(), faults, &compiled);
         flight.install(MemEntry { input_identity: identity, compiled: compiled.clone() });
         Ok(compiled)
     }
@@ -323,15 +348,22 @@ impl ArtifactCache {
         assert_eq!(cold.order, served.order, "cache hit served a different schedule");
         assert_eq!(cold.summaries, served.summaries, "cache hit served different summaries");
         assert_eq!(cold.decisions, served.decisions, "cache hit served different decisions");
+        assert_eq!(cold.fallbacks, served.fallbacks, "cache hit served different fallbacks");
     }
 
     fn entry_path(&self, key: Fingerprint) -> Option<PathBuf> {
         self.disk_dir.as_ref().map(|d| d.join(format!("{key}.json")))
     }
 
-    /// Loads, revalidates and rehydrates a disk entry. Any failure —
-    /// missing file, parse error, stale key material, payload-hash
-    /// mismatch, verification failure — returns `None` (a miss).
+    /// Loads, revalidates and rehydrates a disk entry. Any failure
+    /// returns `None` (a miss), but the causes are distinguished: a
+    /// missing file is the ordinary cold-cache case and stays silent, an
+    /// unreadable file (I/O error other than not-found) and a corrupt
+    /// entry (unparseable JSON, payload-hash mismatch, undecodable or
+    /// unverifiable payload) each warn once on stderr so a sick disk or
+    /// bit rot is visible instead of masquerading as an eternal miss.
+    /// Stale-but-well-formed metadata (old version, other fingerprints)
+    /// is expected churn and stays silent too.
     fn load_disk(
         &self,
         key: Fingerprint,
@@ -339,19 +371,44 @@ impl ArtifactCache {
         module: &Module,
         machine: &Machine,
         options: &OverlapOptions,
+        faults: Option<&FaultSpec>,
     ) -> Option<Compiled> {
         let path = self.entry_path(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        let v = Json::parse(&text).ok()?;
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                eprintln!(
+                    "warning: overlap cache: cannot read {}: {e} (treating as miss)",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        let corrupt = |what: &str| {
+            eprintln!(
+                "warning: overlap cache: corrupt entry {} ({what}); recompiling",
+                path.display()
+            );
+        };
+        let Ok(v) = Json::parse(&text) else {
+            corrupt("unparseable JSON");
+            return None;
+        };
 
-        // Stale/corrupt metadata → miss. Every fingerprint recorded at
+        // Stale metadata → silent miss. Every fingerprint recorded at
         // store time must match what this lookup derived independently.
         let hex = |k: &str| Fingerprint::from_hex(v[k].as_str()?);
+        let fault_fp = match faults {
+            Some(spec) => spec.fingerprint().to_string(),
+            None => "none".to_string(),
+        };
         if v["version"].as_str() != Some(VERSION)
             || hex("key") != Some(key)
             || hex("module_fingerprint") != Some(module.fingerprint())
             || hex("machine_fingerprint") != Some(machine.fingerprint())
             || hex("options_fingerprint") != Some(options.fingerprint())
+            || v["fault_fingerprint"].as_str() != Some(fault_fp.as_str())
             || hex("input_identity") != Some(identity)
         {
             return None;
@@ -360,28 +417,56 @@ impl ArtifactCache {
         // The payload hash covers the canonical encoding of everything
         // below; re-encoding the decoded payload and comparing detects
         // any edit or bit rot that survived parsing.
-        let payload = v.get("payload")?;
+        let Some(payload) = v.get("payload") else {
+            corrupt("missing payload");
+            return None;
+        };
         if hex("payload_fingerprint") != Some(payload_fingerprint(payload)) {
+            corrupt("payload hash mismatch");
             return None;
         }
 
-        let module = Module::from_json(payload.get("module")?).ok()?;
-        let order = Vec::<InstrId>::from_json(payload.get("order")?).ok()?;
-        let summaries = Vec::<DecomposeSummary>::from_json(payload.get("summaries")?).ok()?;
-        let decisions = Vec::<GateDecision>::from_json(payload.get("decisions")?).ok()?;
-        let timings = PhaseTimings::from_json(payload.get("timings")?).ok()?;
+        let decoded = (|| -> Result<_, String> {
+            let module = Module::from_json(payload.get("module").ok_or("no module")?)?;
+            let order = Vec::<InstrId>::from_json(payload.get("order").ok_or("no order")?)?;
+            let summaries = Vec::<DecomposeSummary>::from_json(
+                payload.get("summaries").ok_or("no summaries")?,
+            )?;
+            let decisions = Vec::<GateDecision>::from_json(
+                payload.get("decisions").ok_or("no decisions")?,
+            )?;
+            let fallbacks = Vec::<FallbackRecord>::from_json(
+                payload.get("fallbacks").ok_or("no fallbacks")?,
+            )?;
+            let timings =
+                PhaseTimings::from_json(payload.get("timings").ok_or("no timings")?)?;
+            Ok((module, order, summaries, decisions, fallbacks, timings))
+        })();
+        let Ok((module, order, summaries, decisions, fallbacks, timings)) = decoded else {
+            corrupt("undecodable payload");
+            return None;
+        };
 
         // Decoded modules are untrusted until verified; the cost table is
         // rebuilt (deterministically) rather than persisted.
-        module.verify().ok()?;
+        if module.verify().is_err() {
+            corrupt("payload module fails verification");
+            return None;
+        }
         let mut analysis = ModuleAnalysis::of(&module);
         analysis.mark_verified(&module);
-        let cost_table = CostTable::with_analysis(&module, &analysis, machine).ok()?;
-        Some(Compiled { module, order, summaries, decisions, cost_table, timings })
+        let Ok(cost_table) = CostTable::with_analysis(&module, &analysis, machine) else {
+            corrupt("payload module has no computable costs");
+            return None;
+        };
+        Some(Compiled { module, order, summaries, decisions, fallbacks, cost_table, timings })
     }
 
     /// Persists an entry atomically (temp file + rename). I/O failures
     /// are swallowed: a cache that cannot write is slow, not broken.
+    // Every argument is a distinct ingredient of the entry's metadata
+    // block; bundling them would just move the list into a struct.
+    #[allow(clippy::too_many_arguments)]
     fn store_disk(
         &self,
         key: Fingerprint,
@@ -389,6 +474,7 @@ impl ArtifactCache {
         module: &Module,
         machine: &Machine,
         options: &OverlapOptions,
+        faults: Option<&FaultSpec>,
         compiled: &Compiled,
     ) {
         let Some(path) = self.entry_path(key) else { return };
@@ -399,13 +485,19 @@ impl ArtifactCache {
             .with("order", compiled.order.to_json())
             .with("summaries", compiled.summaries.to_json())
             .with("decisions", compiled.decisions.to_json())
+            .with("fallbacks", compiled.fallbacks.to_json())
             .with("timings", compiled.timings.to_json());
+        let fault_fp = match faults {
+            Some(spec) => spec.fingerprint().to_string(),
+            None => "none".to_string(),
+        };
         let entry = Json::obj()
             .with("version", VERSION)
             .with("key", key.to_string())
             .with("module_fingerprint", module.fingerprint().to_string())
             .with("machine_fingerprint", machine.fingerprint().to_string())
             .with("options_fingerprint", options.fingerprint().to_string())
+            .with("fault_fingerprint", fault_fp)
             .with("input_identity", identity.to_string())
             .with("payload_fingerprint", payload_fingerprint(&payload).to_string())
             .with("payload", payload);
@@ -709,6 +801,69 @@ mod tests {
         pipeline.compile_cached(&m, &machine, &cache).unwrap();
         pipeline.compile_cached(&m, &machine, &cache).unwrap();
         assert_eq!(cache.stats().memory_hits, 1);
+    }
+
+    #[test]
+    fn fault_specs_key_and_cache_separately() {
+        let n = 8;
+        let m = layer(n, "layer");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let cache = ArtifactCache::in_memory();
+        let plain = OverlapPipeline::new(OverlapOptions::paper_default());
+        let spec = overlap_mesh::FaultSpec::seeded(7).with_straggler(0, 4.0);
+        let faulted = plain.clone().with_faults(spec.clone());
+
+        plain.compile_cached(&m, &machine, &cache).unwrap();
+        faulted.compile_cached(&m, &machine, &cache).unwrap();
+        assert_eq!(cache.stats().misses, 2, "fault spec must take its own slot");
+
+        // A no-op spec compiles bit-identically, so it shares the
+        // fault-free artifact (memory hit, not a third miss).
+        let noop = plain.clone().with_faults(overlap_mesh::FaultSpec::seeded(9));
+        noop.compile_cached(&m, &machine, &cache).unwrap();
+        assert_eq!(cache.stats().memory_hits, 1);
+        assert_eq!(cache.stats().misses, 2);
+
+        let base = artifact_key(&m, &machine, plain.options());
+        assert_eq!(
+            artifact_key_faulted(
+                &m,
+                &machine,
+                plain.options(),
+                Some(&overlap_mesh::FaultSpec::default())
+            ),
+            base,
+            "no-op specs reduce to the fault-free key"
+        );
+        assert_ne!(
+            artifact_key_faulted(&m, &machine, plain.options(), Some(&spec)),
+            base
+        );
+    }
+
+    #[test]
+    fn faulted_disk_entries_roundtrip_with_fallbacks() {
+        let n = 8;
+        let m = layer(n, "layer");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let dir = temp_dir("faults");
+        // Heavy jitter forces a per-pattern fallback; the record must
+        // survive the disk roundtrip.
+        let spec = overlap_mesh::FaultSpec::seeded(3).with_jitter(10e-3);
+        let pipeline =
+            OverlapPipeline::new(OverlapOptions::paper_default()).with_faults(spec);
+
+        let cache1 = ArtifactCache::with_disk_dir(&dir);
+        let cold = pipeline.compile_cached(&m, &machine, &cache1).unwrap();
+        assert_eq!(cold.fallbacks.len(), 1);
+
+        let cache2 = ArtifactCache::with_disk_dir(&dir);
+        let warm = pipeline.compile_cached(&m, &machine, &cache2).unwrap();
+        assert_eq!(cache2.stats(), CacheStats { memory_hits: 0, disk_hits: 1, misses: 0 });
+        assert_bit_identical(&cold, &warm);
+        assert_eq!(cold.fallbacks, warm.fallbacks);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

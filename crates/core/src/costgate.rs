@@ -19,8 +19,8 @@
 use std::cell::RefCell;
 
 use overlap_hlo::{InstrId, Module, Op};
-use overlap_mesh::{cost as ccost, Machine};
-use overlap_sim::{einsum_cost_key, instruction_cost, CostTable, InstrCost};
+use overlap_mesh::{cost as ccost, FaultSpec, Machine};
+use overlap_sim::{einsum_cost_key, instruction_cost, CostTable, FaultModel, InstrCost, SimError};
 
 use crate::decompose::DecomposeOptions;
 use crate::pattern::{Pattern, PatternKind};
@@ -55,6 +55,95 @@ impl GateDecision {
     #[must_use]
     pub fn net_benefit(&self) -> f64 {
         (self.comp_t + self.comm_t) - (self.comp_d.max(self.comm_t_ring) + self.extra_t)
+    }
+}
+
+/// Fault-aware adjustment of [`GateDecision`]s: re-runs the §5.5
+/// inequality with every term stretched the way the degraded machine
+/// would stretch it, so the pipeline can fall back per pattern when
+/// decomposition stops paying off under faults.
+///
+/// The adjustment reuses the simulator's [`FaultModel`] factors — the
+/// worst straggler slowdown gates all compute (bulk-synchronous SPMD),
+/// the worst surviving link derate (plus the detour penalty when a link
+/// is down) stretches every collective and ring permute — and charges
+/// each decomposed permute step the *expected* jitter and DMA-stall
+/// extra, which only the decomposed form pays (the synchronous
+/// collective issues no per-step DMA transfers).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultGateAdjust {
+    compute_factor: f64,
+    collective_factor: f64,
+    per_step_extra: f64,
+}
+
+impl FaultGateAdjust {
+    /// Derives the adjustment factors for `spec` on `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFaultSpec`] when the spec does not fit
+    /// the machine's mesh and [`SimError::LinkDown`] when a device is
+    /// fully cut off (every outgoing link down).
+    pub fn new(machine: &Machine, spec: &FaultSpec) -> Result<Self, SimError> {
+        let model = FaultModel::new(machine, spec)?;
+        // Extra seconds charged per decomposed permute step: the full
+        // jitter amplitude plus the first-order stall expectation
+        // (probability × backoff unit). The full amplitude — not the
+        // `jitter/2` mean of one uniform draw — because a bidirectional
+        // step completes at the *max* of its two lanes' draws, and the
+        // gate must stay conservative: a decomposition it lets through
+        // that then regresses is the failure mode fallback exists for.
+        let per_step_extra =
+            spec.jitter_seconds + spec.stall_probability * spec.stall_seconds;
+        Ok(FaultGateAdjust {
+            compute_factor: model.compute_factor(),
+            collective_factor: model.collective_factor(),
+            per_step_extra,
+        })
+    }
+
+    /// Re-evaluates one pristine decision under the fault model. The
+    /// returned decision carries the stretched terms and a re-derived
+    /// `beneficial` flag; the pattern and transfer direction are kept.
+    #[must_use]
+    pub fn adjust(&self, module: &Module, d: &GateDecision) -> GateDecision {
+        let steps = ring_steps(module, d);
+        let comp_t = d.comp_t * self.compute_factor;
+        let comm_t = d.comm_t * self.collective_factor;
+        let comm_t_ring =
+            d.comm_t_ring * self.collective_factor + steps as f64 * self.per_step_extra;
+        let extra_t = d.extra_t * self.collective_factor;
+        let comp_d = d.comp_d * self.compute_factor;
+        let beneficial = comp_t + comm_t >= comp_d.max(comm_t_ring) + extra_t;
+        GateDecision {
+            pattern: d.pattern,
+            comp_t,
+            comm_t,
+            comm_t_ring,
+            extra_t,
+            comp_d,
+            beneficial,
+            bidirectional: d.bidirectional,
+        }
+    }
+}
+
+/// Number of `CollectivePermute` steps the decomposed form of `d` issues
+/// (the §5.1 loop length, halved ±1 for the bidirectional variant).
+fn ring_steps(module: &Module, d: &GateDecision) -> usize {
+    let g = match module.instr(d.pattern.collective).op() {
+        Op::AllGather { groups, .. } | Op::ReduceScatter { groups, .. } => groups.group_size(),
+        _ => 1,
+    };
+    let is_rs = matches!(d.pattern.kind, PatternKind::EinsumReduceScatter { .. });
+    if d.bidirectional {
+        // g/2 loop steps plus the prologue/epilogue shard shift.
+        g / 2 + 1
+    } else if is_rs {
+        g
+    } else {
+        g.saturating_sub(1)
     }
 }
 

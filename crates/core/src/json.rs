@@ -16,6 +16,7 @@ use overlap_json::{FromJson, Json, ToJson};
 use crate::costgate::GateDecision;
 use crate::decompose::DecomposeSummary;
 use crate::pattern::{AgCase, Pattern, PatternKind};
+use crate::pipeline::FallbackRecord;
 use crate::profile::{PhaseTiming, PhaseTimings};
 
 impl ToJson for AgCase {
@@ -145,6 +146,23 @@ impl FromJson for DecomposeSummary {
             permutes: v.decode_field("permutes")?,
             bidirectional: v.decode_field("bidirectional")?,
             unrolled: v.decode_field("unrolled")?,
+        })
+    }
+}
+
+impl ToJson for FallbackRecord {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("einsum", self.einsum.as_str())
+            .with("reason", self.reason.as_str())
+    }
+}
+
+impl FromJson for FallbackRecord {
+    fn from_json(v: &Json) -> Result<FallbackRecord, String> {
+        Ok(FallbackRecord {
+            einsum: v.decode_field("einsum")?,
+            reason: v.decode_field("reason")?,
         })
     }
 }

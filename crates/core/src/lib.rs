@@ -33,7 +33,17 @@
 //!   cache of [`Compiled`] bundles keyed by structural module, machine
 //!   and option fingerprints; repeated compilations within a sweep and
 //!   across process runs are served bit-identically without rerunning
-//!   the passes ([`OverlapPipeline::compile_cached`]).
+//!   the passes ([`OverlapPipeline::compile_cached`]); compilations for
+//!   degraded machines additionally key on the fault-spec fingerprint,
+//! * **graceful degradation** under a
+//!   [`FaultSpec`](overlap_mesh::FaultSpec)
+//!   ([`OverlapPipeline::with_faults`]): the gate is re-evaluated with
+//!   fault-stretched terms ([`FaultGateAdjust`]) so patterns whose
+//!   decomposed form regresses on the degraded machine fall back to the
+//!   original collective, and a post-compile faulted smoke simulation
+//!   abandons the whole transformed module when it cannot execute at all
+//!   (unroutable links, watchdog); every fallback is recorded in
+//!   [`Compiled::fallbacks`].
 //!
 //! Every rewrite is semantically equivalent to the original module; the
 //! integration tests check this bit-for-bit (up to float reassociation)
@@ -56,14 +66,14 @@ mod report;
 mod schedule;
 
 pub use asyncify::{asyncify, asyncify_with};
-pub use cache::{artifact_key, ArtifactCache, CacheStats};
-pub use costgate::{CostModel, GateDecision};
+pub use cache::{artifact_key, artifact_key_faulted, ArtifactCache, CacheStats};
+pub use costgate::{CostModel, FaultGateAdjust, GateDecision};
 pub use decompose::{
     decompose, decompose_each, decompose_each_with, DecomposeOptions, DecomposeSummary,
 };
 pub use fusion::{fuse, fuse_with, FusionOptions};
 pub use pattern::{find_patterns, find_patterns_with, AgCase, Pattern, PatternKind};
-pub use pipeline::{Compiled, OverlapOptions, OverlapPipeline, SchedulerKind};
+pub use pipeline::{Compiled, FallbackRecord, OverlapOptions, OverlapPipeline, SchedulerKind};
 pub use profile::{PhaseTiming, PhaseTimings};
 pub use reassociate::{split_all_reduces, split_all_reduces_with, REASSOC_TAG};
 pub use report::CompileReport;

@@ -1,11 +1,11 @@
 //! The end-to-end compilation pipeline.
 
 use overlap_hlo::{HloError, InstrId, Module, ModuleAnalysis};
-use overlap_mesh::Machine;
+use overlap_mesh::{FaultSpec, Machine};
 use overlap_sim::CostTable;
 
 use crate::asyncify::asyncify_with;
-use crate::costgate::{CostModel, GateDecision};
+use crate::costgate::{CostModel, FaultGateAdjust, GateDecision};
 use crate::decompose::{decompose_each_with, DecomposeOptions, DecomposeSummary};
 use crate::fusion::{fuse_with, FusionOptions};
 use crate::pattern::find_patterns_with;
@@ -92,6 +92,25 @@ impl OverlapOptions {
     }
 }
 
+/// One pattern (or the whole module) the pipeline kept in its original
+/// synchronous form because the configured [`FaultSpec`] made the
+/// decomposed form regress (or fail outright).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FallbackRecord {
+    /// Name of the einsum whose pattern fell back, or `"<module>"` when
+    /// the whole compiled module was abandoned for the original program.
+    pub einsum: String,
+    /// Human-readable cause (regressed fault-adjusted gate, or the typed
+    /// simulation error that aborted the degraded-machine smoke run).
+    pub reason: String,
+}
+
+impl FallbackRecord {
+    /// The marker used in [`FallbackRecord::einsum`] for whole-module
+    /// fallbacks.
+    pub const WHOLE_MODULE: &'static str = "<module>";
+}
+
 /// Result of running the pipeline.
 #[derive(Debug, Clone)]
 pub struct Compiled {
@@ -101,8 +120,14 @@ pub struct Compiled {
     pub order: Vec<InstrId>,
     /// Per-pattern decomposition summaries.
     pub summaries: Vec<DecomposeSummary>,
-    /// The cost-gate decisions (including rejected patterns).
+    /// The cost-gate decisions (including rejected patterns). When the
+    /// pipeline carries a [`FaultSpec`], the recorded terms are the
+    /// fault-adjusted ones the final per-pattern verdicts used.
     pub decisions: Vec<GateDecision>,
+    /// Patterns (or the whole module) that gracefully fell back to their
+    /// original synchronous form under the configured [`FaultSpec`];
+    /// empty on fault-free compiles.
+    pub fallbacks: Vec<FallbackRecord>,
     /// Precomputed costs for `module` on the compiling machine; pass to
     /// [`overlap_sim::simulate_order_with`] /
     /// [`overlap_sim::simulate_order_repeated_with`] to simulate the
@@ -140,19 +165,50 @@ pub struct Compiled {
 #[derive(Debug, Clone, Default)]
 pub struct OverlapPipeline {
     options: OverlapOptions,
+    faults: Option<FaultSpec>,
 }
 
 impl OverlapPipeline {
     /// Creates a pipeline with the given options.
     #[must_use]
     pub fn new(options: OverlapOptions) -> Self {
-        OverlapPipeline { options }
+        OverlapPipeline { options, faults: None }
     }
 
     /// The configured options.
     #[must_use]
     pub fn options(&self) -> &OverlapOptions {
         &self.options
+    }
+
+    /// Compiles for a degraded machine: the §5.5 gate is re-evaluated
+    /// under `spec` (patterns whose decomposed form regresses past the
+    /// original collective fall back per pattern) and the compiled
+    /// schedule is smoke-simulated with faults injected — if that
+    /// simulation errors out, the whole module falls back to the
+    /// original program. Fallbacks are recorded in
+    /// [`Compiled::fallbacks`] and the extra phases in
+    /// [`Compiled::timings`].
+    ///
+    /// A [`FaultSpec::default()`]-equivalent (no-op) spec leaves the
+    /// pipeline bit-identical to a fault-free compile.
+    #[must_use]
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// The configured fault spec, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultSpec> {
+        self.faults.as_ref()
+    }
+
+    /// The fault spec, filtered to `None` when it would not perturb
+    /// anything — the cache keys on this, so a no-op spec shares
+    /// artifacts with fault-free compiles.
+    pub(crate) fn effective_faults(&self) -> Option<&FaultSpec> {
+        self.faults.as_ref().filter(|s| !s.is_noop())
     }
 
     /// Runs all passes on `module` for `machine`.
@@ -207,8 +263,44 @@ impl OverlapPipeline {
                 .expect("verified input must have computable costs");
             cost_model.select_with(&table, module, &patterns, !self.options.disable_cost_gate)
         });
+
+        // Fault-aware re-gate: with a (non-noop) spec and the gate on,
+        // every selected pattern is re-judged with its terms stretched by
+        // the degraded machine; regressions fall back to the original op.
+        // The ablation mode (gate disabled) decomposes unconditionally,
+        // faults or not, so it skips this.
+        let mut fallbacks: Vec<FallbackRecord> = Vec::new();
+        let decisions = match self.effective_faults() {
+            Some(spec) if !self.options.disable_cost_gate && !decisions.is_empty() => {
+                let adjust = FaultGateAdjust::new(machine, spec).map_err(|e| {
+                    HloError::Verification(format!("fault spec does not fit machine: {e}"))
+                })?;
+                timings.time("fault_gate", || {
+                    decisions
+                        .into_iter()
+                        .map(|d| {
+                            let fd = adjust.adjust(module, &d);
+                            if !fd.beneficial {
+                                fallbacks.push(FallbackRecord {
+                                    einsum: module.instr(d.pattern.einsum).name().to_string(),
+                                    reason: format!(
+                                        "fault-adjusted gate regressed \
+                                         (net benefit {:.3e}s)",
+                                        fd.net_benefit()
+                                    ),
+                                });
+                            }
+                            fd
+                        })
+                        .collect::<Vec<_>>()
+                })
+            }
+            _ => decisions,
+        };
+        let gate_on = !self.options.disable_cost_gate;
         let selected: Vec<_> = decisions
             .iter()
+            .filter(|d| !gate_on || d.beneficial)
             .map(|d| {
                 let opts = DecomposeOptions {
                     bidirectional: d.bidirectional,
@@ -256,7 +348,46 @@ impl OverlapPipeline {
             }
             SchedulerKind::Original => final_module.arena_order(),
         });
-        Ok(Compiled { module: final_module, order, summaries, decisions, cost_table, timings })
+        let mut compiled = Compiled {
+            module: final_module,
+            order,
+            summaries,
+            decisions,
+            fallbacks,
+            cost_table,
+            timings,
+        };
+
+        // Degraded-machine smoke run: the compiled schedule must actually
+        // execute under the fault spec (links may be unroutable, the
+        // watchdog may fire). If it cannot, gracefully abandon the
+        // transformed program for the original module, which by
+        // construction needs no decomposed permute routing.
+        if let Some(spec) = self.effective_faults() {
+            let t0 = std::time::Instant::now();
+            let smoke = overlap_sim::simulate_order_faulted_with(
+                &compiled.cost_table,
+                &compiled.module,
+                machine,
+                &compiled.order,
+                spec,
+            );
+            compiled.timings.record("fault_smoke", t0.elapsed().as_secs_f64());
+            if let Err(e) = smoke {
+                let t0 = std::time::Instant::now();
+                compiled.fallbacks.push(FallbackRecord {
+                    einsum: FallbackRecord::WHOLE_MODULE.to_string(),
+                    reason: format!("faulted simulation failed: {e}"),
+                });
+                compiled.module = module.clone();
+                compiled.order = compiled.module.arena_order();
+                compiled.summaries = Vec::new();
+                compiled.cost_table = CostTable::new(&compiled.module, machine)
+                    .expect("verified input must have computable costs");
+                compiled.timings.record("fault_fallback", t0.elapsed().as_secs_f64());
+            }
+        }
+        Ok(compiled)
     }
 }
 
@@ -363,5 +494,97 @@ mod tests {
         }
         assert!(makespans[0] <= makespans[2] + 1e-12, "bottom-up beats original order");
         assert!(makespans[1] <= makespans[2] + 1e-12, "top-down beats original order");
+    }
+
+    #[test]
+    fn noop_fault_spec_is_bit_identical_to_fault_free() {
+        let n = 8;
+        let m = layer(n);
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let plain =
+            OverlapPipeline::new(OverlapOptions::paper_default()).run(&m, &machine).unwrap();
+        let faulted = OverlapPipeline::new(OverlapOptions::paper_default())
+            .with_faults(overlap_mesh::FaultSpec::seeded(42))
+            .run(&m, &machine)
+            .unwrap();
+        assert_eq!(plain.order, faulted.order);
+        assert_eq!(plain.decisions, faulted.decisions);
+        assert_eq!(plain.summaries, faulted.summaries);
+        assert!(faulted.fallbacks.is_empty());
+        assert_eq!(
+            plain.module.identity_fingerprint(),
+            faulted.module.identity_fingerprint()
+        );
+    }
+
+    #[test]
+    fn heavy_jitter_falls_back_per_pattern() {
+        let n = 8;
+        let m = layer(n);
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        // 10 ms of per-hop jitter dwarfs any overlap win: the
+        // fault-adjusted gate must keep the original collective.
+        let spec = overlap_mesh::FaultSpec::seeded(3).with_jitter(10e-3);
+        let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
+            .with_faults(spec)
+            .run(&m, &machine)
+            .unwrap();
+        assert!(compiled.summaries.is_empty(), "no pattern should decompose");
+        assert_eq!(compiled.fallbacks.len(), 1);
+        assert_ne!(compiled.fallbacks[0].einsum, FallbackRecord::WHOLE_MODULE);
+        assert!(compiled.fallbacks[0].reason.contains("gate regressed"));
+        assert_eq!(
+            compiled.module.count_live(|i| matches!(i.op(), Op::AllGather { .. })),
+            1,
+            "the original collective survives the fallback"
+        );
+        // The fallback also shows up in the compile report.
+        let report = crate::CompileReport::new(&m, &compiled, &machine);
+        assert_eq!(report.fallback_lines.len(), 1);
+        assert!(report.to_string().contains("fallback"));
+    }
+
+    #[test]
+    fn failing_faulted_simulation_falls_back_to_whole_module() {
+        let n = 8;
+        let m = layer(n);
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        // Stalls that always fire with a tiny backoff: the gate's
+        // first-order expectation is negligible so patterns decompose,
+        // but every DMA transfer exhausts its retry budget and the smoke
+        // simulation dies with LinkDown — whole-module fallback.
+        let spec = overlap_mesh::FaultSpec::seeded(5).with_dma_stalls(1.0, 1e-9, 2);
+        let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
+            .with_faults(spec.clone())
+            .run(&m, &machine)
+            .unwrap();
+        let last = compiled.fallbacks.last().expect("a fallback is recorded");
+        assert_eq!(last.einsum, FallbackRecord::WHOLE_MODULE);
+        assert!(last.reason.contains("link down"), "reason: {}", last.reason);
+        assert!(compiled.summaries.is_empty());
+        assert_eq!(compiled.order, m.arena_order());
+        // The fallback program simulates fine on the pristine machine and
+        // (being permute-free) even under the same stall-heavy spec.
+        simulate_order(&compiled.module, &machine, &compiled.order).unwrap();
+        overlap_sim::simulate_order_faulted(&compiled.module, &machine, &compiled.order, &spec)
+            .unwrap();
+        assert!(compiled.timings.seconds_of("fault_smoke") > 0.0);
+    }
+
+    #[test]
+    fn straggler_slows_but_keeps_decomposition() {
+        // A mild straggler stretches compute and communication alike;
+        // decomposition remains beneficial and no fallback is recorded.
+        let n = 8;
+        let m = layer(n);
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let spec = overlap_mesh::FaultSpec::seeded(11).with_straggler(2, 1.3);
+        let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
+            .with_faults(spec)
+            .run(&m, &machine)
+            .unwrap();
+        assert_eq!(compiled.summaries.len(), 1);
+        assert!(compiled.fallbacks.is_empty());
+        assert!(compiled.timings.seconds_of("fault_gate") >= 0.0);
     }
 }

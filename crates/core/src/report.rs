@@ -31,6 +31,9 @@ pub struct CompileReport {
     pub evaluated: usize,
     /// Lines describing each gate decision.
     pub decision_lines: Vec<String>,
+    /// Lines describing each fault-induced fallback (empty on fault-free
+    /// compiles).
+    pub fallback_lines: Vec<String>,
 }
 
 impl CompileReport {
@@ -61,6 +64,11 @@ impl CompileReport {
                 )
             })
             .collect();
+        let fallback_lines = compiled
+            .fallbacks
+            .iter()
+            .map(|fb| format!("fallback {:<24} {}", fb.einsum, fb.reason))
+            .collect();
         CompileReport {
             before: module_stats(input),
             after: module_stats(&compiled.module),
@@ -69,6 +77,7 @@ impl CompileReport {
             decomposed: compiled.summaries.len(),
             evaluated: compiled.decisions.len(),
             decision_lines,
+            fallback_lines,
         }
     }
 }
@@ -95,6 +104,9 @@ impl fmt::Display for CompileReport {
         }
         writeln!(f, "op mix: {}", ops.trim_end())?;
         for line in &self.decision_lines {
+            writeln!(f, "  {line}")?;
+        }
+        for line in &self.fallback_lines {
             writeln!(f, "  {line}")?;
         }
         Ok(())

@@ -12,14 +12,19 @@
 //!   hop latency, and the in-flight asynchronous-collective budget
 //!   (the "synchronization flags" of §5.2),
 //! * [`cost`] — closed-form time estimates for the collectives, used both
-//!   by the §5.5 enablement cost model and by the discrete-event simulator.
+//!   by the §5.5 enablement cost model and by the discrete-event simulator,
+//! * [`FaultSpec`] — a seeded, fingerprint-hashable description of
+//!   degraded hardware (slow/dead links, straggler chips, DMA jitter and
+//!   stalls) interpreted by the simulator and the cost gate.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod cost;
+pub mod fault;
 mod machine;
 mod mesh;
 
+pub use fault::{FaultSpec, LinkDerate, LinkId, Straggler};
 pub use machine::{Machine, MatmulEfficiency};
 pub use mesh::{shift_pairs, Axis, DeviceMesh};

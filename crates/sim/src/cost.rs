@@ -220,6 +220,7 @@ pub fn instruction_cost(module: &Module, id: InstrId, machine: &Machine) -> Inst
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use overlap_hlo::{Builder, DType, DotDims, ReplicaGroups, Shape};
     use overlap_mesh::DeviceMesh;

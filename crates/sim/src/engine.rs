@@ -1,10 +1,11 @@
 //! The discrete-event execution engine.
 
 use overlap_hlo::{InstrId, Module};
-use overlap_mesh::Machine;
+use overlap_mesh::{FaultSpec, Machine};
 
 use crate::cost::{Direction, InstrCost};
-use crate::report::{Report, Span, SpanKind, Timeline};
+use crate::faults::FaultModel;
+use crate::report::{FaultAttribution, Report, Span, SpanKind, Timeline};
 use crate::table::{CostTable, NO_GROUP};
 use crate::SimError;
 
@@ -63,7 +64,136 @@ pub fn simulate_order_with(
     check_table(table, module)?;
     validate_order(module, order)?;
     let mut scratch = EngineScratch::for_len(module.len());
-    Ok(run_engine(module, machine, order, table, &mut scratch, &mut EngineState::default()))
+    run_engine(module, machine, order, table, &mut scratch, &mut EngineState::default(), None, 0)
+}
+
+/// Simulates `module` in arena order on a degraded machine described by
+/// `spec` — the fault-injection counterpart of [`simulate`].
+///
+/// Same seed ⇒ bit-identical report: all randomness (jitter, stalls) is
+/// a pure function of the seed and the event identity. With
+/// [`FaultSpec::default()`] the result is bit-identical to [`simulate`].
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`], plus [`SimError::InvalidFaultSpec`]
+/// for a spec that does not fit the machine, [`SimError::LinkDown`] for
+/// unroutable transfers, and [`SimError::Timeout`] /
+/// [`SimError::Deadlock`] from the watchdog.
+pub fn simulate_faulted(
+    module: &Module,
+    machine: &Machine,
+    spec: &FaultSpec,
+) -> Result<Report, SimError> {
+    simulate_order_faulted(module, machine, &module.arena_order(), spec)
+}
+
+/// Simulates `module` under `order` on a degraded machine described by
+/// `spec` — the fault-injection counterpart of [`simulate_order`].
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_order`] plus the fault-path errors
+/// listed on [`simulate_faulted`].
+pub fn simulate_order_faulted(
+    module: &Module,
+    machine: &Machine,
+    order: &[InstrId],
+    spec: &FaultSpec,
+) -> Result<Report, SimError> {
+    let table = CostTable::new(module, machine)?;
+    simulate_order_faulted_with(&table, module, machine, order, spec)
+}
+
+/// [`simulate_order_faulted`] with a pre-built [`CostTable`]. The table
+/// holds *pristine* costs; the fault model perturbs them at execution
+/// time, so one table serves every fault spec.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_order_with`] plus the fault-path errors
+/// listed on [`simulate_faulted`].
+pub fn simulate_order_faulted_with(
+    table: &CostTable,
+    module: &Module,
+    machine: &Machine,
+    order: &[InstrId],
+    spec: &FaultSpec,
+) -> Result<Report, SimError> {
+    check_table(table, module)?;
+    validate_order(module, order)?;
+    let model = FaultModel::new(machine, spec)?;
+    let mut scratch = EngineScratch::for_len(module.len());
+    run_engine(
+        module,
+        machine,
+        order,
+        table,
+        &mut scratch,
+        &mut EngineState::default(),
+        Some(&model),
+        0,
+    )
+}
+
+/// [`simulate_order_repeated`] on a degraded machine: `reps`
+/// back-to-back executions under `spec`, stream clocks carrying across
+/// repetitions. Each repetition draws its own jitter/stall values (the
+/// repetition index is part of every event identity).
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_order_repeated`] plus the fault-path
+/// errors listed on [`simulate_faulted`].
+pub fn simulate_order_repeated_faulted(
+    module: &Module,
+    machine: &Machine,
+    order: &[InstrId],
+    reps: usize,
+    spec: &FaultSpec,
+) -> Result<Report, SimError> {
+    let table = CostTable::new(module, machine)?;
+    simulate_order_repeated_faulted_with(&table, module, machine, order, reps, spec)
+}
+
+/// [`simulate_order_repeated_faulted`] with a pre-built [`CostTable`].
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_order_repeated_with`] plus the
+/// fault-path errors listed on [`simulate_faulted`].
+pub fn simulate_order_repeated_faulted_with(
+    table: &CostTable,
+    module: &Module,
+    machine: &Machine,
+    order: &[InstrId],
+    reps: usize,
+    spec: &FaultSpec,
+) -> Result<Report, SimError> {
+    check_table(table, module)?;
+    validate_order(module, order)?;
+    if reps == 0 {
+        return Err(SimError::ZeroRepetitions);
+    }
+    let model = FaultModel::new(machine, spec)?;
+    let mut scratch = EngineScratch::for_len(module.len());
+    let mut state = EngineState::default();
+    let mut combined =
+        run_engine(module, machine, order, table, &mut scratch, &mut state, Some(&model), 0)?;
+    for rep in 1..reps {
+        let report = run_engine(
+            module,
+            machine,
+            order,
+            table,
+            &mut scratch,
+            &mut state,
+            Some(&model),
+            rep,
+        )?;
+        combined.absorb(report);
+    }
+    Ok(combined)
 }
 
 /// Simulates `reps` back-to-back executions of `module` under `order`
@@ -110,9 +240,11 @@ pub fn simulate_order_repeated_with(
     }
     let mut scratch = EngineScratch::for_len(module.len());
     let mut state = EngineState::default();
-    let mut combined = run_engine(module, machine, order, table, &mut scratch, &mut state);
-    for _ in 1..reps {
-        let report = run_engine(module, machine, order, table, &mut scratch, &mut state);
+    let mut combined =
+        run_engine(module, machine, order, table, &mut scratch, &mut state, None, 0)?;
+    for rep in 1..reps {
+        let report =
+            run_engine(module, machine, order, table, &mut scratch, &mut state, None, rep)?;
         combined.absorb(report);
     }
     Ok(combined)
@@ -160,7 +292,7 @@ impl EngineScratch {
     }
 }
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn run_engine(
     module: &Module,
     machine: &Machine,
@@ -168,12 +300,20 @@ fn run_engine(
     table: &CostTable,
     scratch: &mut EngineScratch,
     state: &mut EngineState,
-) -> Report {
+    faults: Option<&FaultModel>,
+    rep: usize,
+) -> Result<Report, SimError> {
     scratch.ready.fill(state.t_compute);
     let ready = &mut scratch.ready;
     let mut t_compute = state.t_compute;
     let mut dma_free = state.dma_free;
     let mut inflight = 0usize;
+
+    // Watchdog state (fault path only): the clock at entry detects a
+    // repetition that charges work without advancing simulated time.
+    let entry_clock = state.t_compute.max(state.dma_free[0]).max(state.dma_free[1]);
+    let time_limit = faults.and_then(FaultModel::time_limit);
+    let mut attribution = FaultAttribution::default();
 
     let mut compute_time = 0.0;
     let mut memory_time = 0.0;
@@ -184,6 +324,13 @@ fn run_engine(
     let mut timeline = Timeline::default();
 
     for &id in order {
+        // Watchdog: simulated time past the configured limit aborts the
+        // run instead of grinding through the rest of the schedule.
+        if let Some(limit) = time_limit {
+            if t_compute.max(dma_free[0]).max(dma_free[1]) > limit {
+                return Err(SimError::Timeout);
+            }
+        }
         let ins = module.instr(id);
         // Non-root fusion members are accounted at their group root.
         if table.group_of[id.index()] != NO_GROUP && table.root_group[id.index()] == NO_GROUP {
@@ -211,16 +358,24 @@ fn run_engine(
             for &op in &group.external_operands {
                 operands_ready = operands_ready.max(ready[op.index()]);
             }
+            let seconds = match faults {
+                Some(f) => {
+                    let s = f.compute_seconds(group.seconds);
+                    attribution.straggler_seconds += s - group.seconds;
+                    s
+                }
+                None => group.seconds,
+            };
             let start = t_compute.max(operands_ready);
-            let end = penalized(start, group.seconds, &dma_free);
+            let end = penalized(start, seconds, &dma_free);
             t_compute = end;
             for &m in &group.members {
                 ready[m.index()] = end;
             }
             if group.has_compute {
-                compute_time += group.seconds;
+                compute_time += seconds;
             } else {
-                memory_time += group.seconds;
+                memory_time += seconds;
             }
             total_flops += group.flops;
             timeline.spans.push(Span {
@@ -243,6 +398,14 @@ fn run_engine(
                 ready[id.index()] = operands_ready;
             }
             InstrCost::Compute { seconds, flops } => {
+                let seconds = match faults {
+                    Some(f) => {
+                        let s = f.compute_seconds(seconds);
+                        attribution.straggler_seconds += s - seconds;
+                        s
+                    }
+                    None => seconds,
+                };
                 let start = t_compute.max(operands_ready);
                 let end = penalized(start, seconds, &dma_free);
                 t_compute = end;
@@ -257,6 +420,14 @@ fn run_engine(
                 });
             }
             InstrCost::Memory { seconds } => {
+                let seconds = match faults {
+                    Some(f) => {
+                        let s = f.compute_seconds(seconds);
+                        attribution.straggler_seconds += s - seconds;
+                        s
+                    }
+                    None => seconds,
+                };
                 let start = t_compute.max(operands_ready);
                 let end = penalized(start, seconds, &dma_free);
                 t_compute = end;
@@ -276,6 +447,14 @@ fn run_engine(
                 // sharing between the two is modeled as free, which is
                 // mildly optimistic; the schedulers place blocking
                 // collectives in link-idle gaps anyway).
+                let seconds = match faults {
+                    Some(f) => {
+                        let s = f.collective_seconds(seconds);
+                        attribution.link_seconds += s - seconds;
+                        s
+                    }
+                    None => seconds,
+                };
                 let start = t_compute.max(operands_ready);
                 let end = start + seconds;
                 t_compute = end;
@@ -294,12 +473,28 @@ fn run_engine(
                     Direction::Forward => 0,
                     Direction::Backward => 1,
                 };
+                // Under faults the transfer is re-routed at execution
+                // time: derated/dead links stretch (or detour) the wire
+                // time and DMA stalls delay the issue with bounded
+                // retry/backoff. With no active fault category the
+                // pristine table value comes back untouched.
+                let (wire_seconds, stall_extra) = match faults {
+                    Some(f) => {
+                        let o = f.transfer(module, id, transfer.seconds, rep)?;
+                        attribution.link_seconds += o.link_extra;
+                        attribution.stall_seconds += o.stall_extra;
+                        attribution.stall_retries += o.retries;
+                        (o.seconds, o.stall_extra)
+                    }
+                    None => (transfer.seconds, 0.0),
+                };
                 let issue = t_compute.max(operands_ready);
                 let begin = issue.max(dma_free[lane]);
-                let end = begin + transfer.seconds;
+                let wire_begin = begin + stall_extra;
+                let end = wire_begin + wire_seconds;
                 dma_free[lane] = end;
                 scratch.transfer_end[id.index()] = end;
-                scratch.transfer_dur[id.index()] = transfer.seconds;
+                scratch.transfer_dur[id.index()] = stall_extra + wire_seconds;
                 if inflight >= machine.max_inflight_async() {
                     // No synchronization flag available: the transfer
                     // degrades to blocking (footnote 11 of the paper says
@@ -309,18 +504,33 @@ fn run_engine(
                     inflight += 1;
                 }
                 ready[id.index()] = issue;
+                if stall_extra > 0.0 {
+                    // The retry/backoff window occupies the lane before
+                    // the wire moves — an extra event in the timeline.
+                    timeline.spans.push(Span {
+                        name: format!("{}.dma_stall", ins.name()),
+                        kind: SpanKind::Stall,
+                        start: begin,
+                        end: wire_begin,
+                    });
+                }
                 timeline.spans.push(Span {
                     name: ins.name().to_string(),
                     kind: match transfer.direction {
                         Direction::Forward => SpanKind::DmaForward,
                         Direction::Backward => SpanKind::DmaBackward,
                     },
-                    start: begin,
+                    start: wire_begin,
                     end,
                 });
             }
             InstrCost::AsyncDone => {
-                let start_id = ins.operands()[0];
+                let start_id = ins.operands().first().copied().ok_or_else(|| {
+                    SimError::InvalidSchedule(format!(
+                        "done op {} has no start operand to wait on",
+                        ins.name()
+                    ))
+                })?;
                 let end = scratch.transfer_end[start_id.index()];
                 let dur = scratch.transfer_dur[start_id.index()];
                 inflight = inflight.saturating_sub(1);
@@ -341,10 +551,28 @@ fn run_engine(
         }
     }
 
+    let makespan = t_compute.max(dma_free[0]).max(dma_free[1]);
+    if faults.is_some() {
+        // No-progress deadlock detector: a repetition that charged work
+        // but did not advance (or drove non-finite) any stream clock can
+        // never finish — corrupt costs, not a slow schedule.
+        let charged = compute_time
+            + memory_time
+            + sync_comm_time
+            + exposed_async_time
+            + hidden_async_time;
+        if !makespan.is_finite() || (charged != 0.0 && makespan <= entry_clock) {
+            return Err(SimError::Deadlock);
+        }
+        if let Some(limit) = time_limit {
+            if makespan > limit {
+                return Err(SimError::Timeout);
+            }
+        }
+    }
     state.t_compute = t_compute;
     state.dma_free = dma_free;
-    let makespan = t_compute.max(dma_free[0]).max(dma_free[1]);
-    Report::new(
+    let mut report = Report::new(
         makespan,
         compute_time,
         memory_time,
@@ -353,7 +581,9 @@ fn run_engine(
         hidden_async_time,
         total_flops,
         timeline,
-    )
+    );
+    report.set_fault_attribution(attribution);
+    Ok(report)
 }
 
 fn validate_order(module: &Module, order: &[InstrId]) -> Result<(), SimError> {
@@ -392,6 +622,7 @@ fn validate_order(module: &Module, order: &[InstrId]) -> Result<(), SimError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use overlap_hlo::{Builder, DType, DotDims, FusionGroup, ReplicaGroups, Shape};
 
@@ -670,5 +901,121 @@ mod tests {
         let busy = r.compute_time() + r.memory_time();
         assert!(r.makespan() + 1e-15 >= busy);
         assert!(r.makespan() <= busy + r.comm_time() + r.hidden_async_time() + 1e-12);
+    }
+
+    #[test]
+    fn default_fault_spec_is_bit_identical_to_pristine() {
+        let n = 4;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[256, 1024]), "x");
+        let w = b.parameter(f32s(&[256, 1024]), "w");
+        let wg = b.all_gather(w, 0, ReplicaGroups::full(n), "wg");
+        let s = b.collective_permute_start(x, vec![(0, 1), (1, 2), (2, 3), (3, 0)], "s");
+        let y = b.einsum(x, wg, DotDims::new(vec![], vec![(1, 0)]).unwrap(), "y");
+        let d = b.collective_permute_done(s, "d");
+        let z = b.add(d, y, "z");
+        let m = b.build(vec![z]);
+        let machine = machine(n);
+        let order = m.arena_order();
+        let pristine = simulate_order(&m, &machine, &order).unwrap();
+        let faulted =
+            simulate_order_faulted(&m, &machine, &order, &FaultSpec::default()).unwrap();
+        // Bit-identical, including the timeline and zero attribution.
+        assert_eq!(pristine, faulted);
+        assert!(faulted.fault_attribution().is_zero());
+        let rp = simulate_order_repeated(&m, &machine, &order, 3).unwrap();
+        let rf =
+            simulate_order_repeated_faulted(&m, &machine, &order, 3, &FaultSpec::default())
+                .unwrap();
+        assert_eq!(rp, rf);
+    }
+
+    #[test]
+    fn straggler_charges_fault_attribution() {
+        let n = 2;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[512, 512]), "x");
+        let w = b.parameter(f32s(&[512, 512]), "w");
+        let y = b.einsum(x, w, DotDims::matmul(), "y");
+        let m = b.build(vec![y]);
+        let machine = machine(n);
+        let order = m.arena_order();
+        let pristine = simulate_order(&m, &machine, &order).unwrap();
+        let spec = FaultSpec::seeded(7).with_straggler(0, 2.0);
+        let slow = simulate_order_faulted(&m, &machine, &order, &spec).unwrap();
+        assert!(slow.compute_time() > pristine.compute_time());
+        let att = slow.fault_attribution();
+        let lost = slow.compute_time() - pristine.compute_time();
+        assert!((att.straggler_seconds - lost).abs() < 1e-15);
+        assert_eq!(att.stall_retries, 0);
+    }
+
+    #[test]
+    fn watchdog_timeout_is_typed() {
+        let n = 2;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[1024, 1024]), "x");
+        let w = b.parameter(f32s(&[1024, 1024]), "w");
+        let y = b.einsum(x, w, DotDims::matmul(), "y");
+        let m = b.build(vec![y]);
+        let machine = machine(n);
+        let order = m.arena_order();
+        // A limit below the einsum's runtime trips the watchdog ...
+        let tight = FaultSpec::seeded(1).with_time_limit(1e-12);
+        assert_eq!(
+            simulate_order_faulted(&m, &machine, &order, &tight),
+            Err(SimError::Timeout)
+        );
+        // ... a generous one does not perturb the run at all.
+        let loose = FaultSpec::seeded(1).with_time_limit(3600.0);
+        let r = simulate_order_faulted(&m, &machine, &order, &loose).unwrap();
+        assert_eq!(r, simulate_order(&m, &machine, &order).unwrap());
+    }
+
+    #[test]
+    fn watchdog_detects_deadlocked_tables() {
+        let n = 2;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[64]), "x");
+        let c = b.copy(x, "c");
+        let m = b.build(vec![c]);
+        let machine = machine(n);
+        let order = m.arena_order();
+        let model = FaultModel::new(&machine, &FaultSpec::seeded(1)).unwrap();
+        // Negative cost: time is charged but the clock never advances.
+        let table = CostTable::from_raw_costs(vec![
+            InstrCost::Free,
+            InstrCost::Compute { seconds: -1.0, flops: 0 },
+        ]);
+        let mut scratch = EngineScratch::for_len(m.len());
+        let got = run_engine(
+            &m,
+            &machine,
+            &order,
+            &table,
+            &mut scratch,
+            &mut EngineState::default(),
+            Some(&model),
+            0,
+        );
+        assert_eq!(got, Err(SimError::Deadlock));
+        // Non-finite cost: the clock goes NaN, which also reads as a
+        // schedule that can never finish.
+        let table = CostTable::from_raw_costs(vec![
+            InstrCost::Free,
+            InstrCost::Compute { seconds: f64::NAN, flops: 0 },
+        ]);
+        let mut scratch = EngineScratch::for_len(m.len());
+        let got = run_engine(
+            &m,
+            &machine,
+            &order,
+            &table,
+            &mut scratch,
+            &mut EngineState::default(),
+            Some(&model),
+            0,
+        );
+        assert_eq!(got, Err(SimError::Deadlock));
     }
 }

@@ -19,6 +19,25 @@ pub enum SimError {
     /// so callers that drive the simulator programmatically — the
     /// artifact cache and sweep layers — can match on it.
     ZeroRepetitions,
+    /// A fault spec references devices/axes outside the mesh or carries
+    /// out-of-range parameters (see `FaultSpec::validate`).
+    InvalidFaultSpec(String),
+    /// The watchdog detected a repetition that charged work without
+    /// advancing simulated time (or drove the clock non-finite): the
+    /// schedule can never finish.
+    Deadlock,
+    /// Simulated time exceeded the watchdog limit configured in the
+    /// fault spec (`time_limit_seconds`).
+    Timeout,
+    /// A transfer could not be routed: the link leaving `device` along
+    /// `axis` is down and so is its detour, or a DMA transfer exhausted
+    /// its stall retry budget on that link.
+    LinkDown {
+        /// Source device of the unroutable hop.
+        device: u32,
+        /// Mesh axis of the unroutable hop.
+        axis: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -29,6 +48,14 @@ impl fmt::Display for SimError {
             SimError::ZeroRepetitions => {
                 write!(f, "repeated simulation requires at least one repetition")
             }
+            SimError::InvalidFaultSpec(m) => write!(f, "invalid fault spec: {m}"),
+            SimError::Deadlock => {
+                write!(f, "deadlock: simulated time stopped advancing with work remaining")
+            }
+            SimError::Timeout => write!(f, "simulated time exceeded the watchdog limit"),
+            SimError::LinkDown { device, axis } => {
+                write!(f, "link down: device {device} axis {axis} is unroutable")
+            }
         }
     }
 }
@@ -37,7 +64,12 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::InvalidModule(e) => Some(e),
-            SimError::InvalidSchedule(_) | SimError::ZeroRepetitions => None,
+            SimError::InvalidSchedule(_)
+            | SimError::ZeroRepetitions
+            | SimError::InvalidFaultSpec(_)
+            | SimError::Deadlock
+            | SimError::Timeout
+            | SimError::LinkDown { .. } => None,
         }
     }
 }
@@ -49,6 +81,7 @@ impl From<HloError> for SimError {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -59,5 +92,12 @@ mod tests {
         assert!(!SimError::from(HloError::Verification("v".into()))
             .to_string()
             .is_empty());
+        assert!(!SimError::InvalidFaultSpec("bad".into()).to_string().is_empty());
+        assert!(!SimError::Deadlock.to_string().is_empty());
+        assert!(!SimError::Timeout.to_string().is_empty());
+        let down = SimError::LinkDown { device: 3, axis: 1 };
+        assert!(down.to_string().contains('3'));
+        // The watchdog variants are matchable values, not panics.
+        assert_eq!(down, SimError::LinkDown { device: 3, axis: 1 });
     }
 }

@@ -1,0 +1,570 @@
+//! Fault interpretation for the discrete-event engine.
+//!
+//! A [`FaultModel`] compiles a [`FaultSpec`] against a [`Machine`] into
+//! dense per-link state the engine consults on every instruction. The
+//! model is *passive*: it perturbs durations (and occasionally reports a
+//! transfer as unroutable) but never mutates the spec or the machine, so
+//! one model can serve any number of simulations.
+//!
+//! Determinism discipline: every random quantity (per-hop jitter, DMA
+//! stall draws) is a pure function of `(seed, domain, instruction,
+//! repetition, hop)` via the counter-based xorshift mix in
+//! [`overlap_mesh::fault`]. There is no RNG stream to advance, so draws
+//! do not depend on evaluation order, thread count, or whether a cost
+//! table came from the artifact cache.
+//!
+//! Each perturbation checks its own activation and returns the pristine
+//! value untouched when inactive, so a [`FaultSpec::default()`] model is
+//! bit-identical to the fault-free engine — not merely close.
+
+use overlap_hlo::{InstrId, Module, Op};
+use overlap_mesh::fault::{mix64, unit_f64};
+use overlap_mesh::{DeviceMesh, FaultSpec, LinkId, Machine};
+
+use crate::SimError;
+
+/// Domain tags separating the random streams of the different fault
+/// kinds (jitter draws must not correlate with stall draws).
+const DOMAIN_JITTER: u64 = 0x4A49_5454; // "JITT"
+const DOMAIN_STALL: u64 = 0x5354_414C; // "STAL"
+
+/// Outcome of routing one asynchronous transfer under faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct TransferOutcome {
+    /// Wire time under faults (derates, detours, jitter), seconds.
+    pub(crate) seconds: f64,
+    /// Extra wire time versus the pristine transfer (attributed to
+    /// links; includes jitter), seconds.
+    pub(crate) link_extra: f64,
+    /// Backoff time spent in stall retries before the wire moves,
+    /// seconds.
+    pub(crate) stall_extra: f64,
+    /// Number of stall retries taken.
+    pub(crate) retries: u64,
+}
+
+/// A [`FaultSpec`] compiled against one [`Machine`] for fast per-event
+/// queries by the engine.
+#[derive(Debug, Clone)]
+pub struct FaultModel {
+    seed: u64,
+    mesh: DeviceMesh,
+    link_bandwidth: f64,
+    hop_latency: f64,
+    /// Per directed link: fraction of nominal bandwidth delivered
+    /// (`1.0` nominal), indexed `(device * rank + axis) * 2 + dir`.
+    link_derate: Vec<f64>,
+    /// Per directed link: true when the link is down.
+    link_down: Vec<bool>,
+    /// Worst-chip multiplicative compute/memory slowdown (`1.0` when no
+    /// stragglers). The SPMD step is gated by the slowest chip.
+    max_straggler: f64,
+    /// Slowdown factor for ring collectives: worst alive link derate,
+    /// doubled when any link is down (the bidirectional ring falls back
+    /// to its surviving direction).
+    collective_factor: f64,
+    /// True when any link is derated or down (activates path routing).
+    has_link_faults: bool,
+    jitter_seconds: f64,
+    stall_probability: f64,
+    stall_seconds: f64,
+    stall_max_retries: u32,
+    time_limit: Option<f64>,
+}
+
+impl FaultModel {
+    /// Compiles `spec` against `machine`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFaultSpec`] when the spec references
+    /// devices or axes outside the mesh or carries out-of-range
+    /// parameters, and [`SimError::LinkDown`] when some device has every
+    /// outgoing link down (the SPMD program cannot run at all).
+    pub fn new(machine: &Machine, spec: &FaultSpec) -> Result<Self, SimError> {
+        let mesh = machine.mesh();
+        spec.validate(mesh).map_err(SimError::InvalidFaultSpec)?;
+        let rank = mesh.rank();
+        let devices = mesh.num_devices();
+        let n_links = devices * rank * 2;
+        let mut link_derate = vec![1.0f64; n_links];
+        let mut link_down = vec![false; n_links];
+        let slot = |l: &LinkId| (l.device as usize * rank + l.axis) * 2 + usize::from(!l.forward);
+        for d in &spec.link_derates {
+            let s = slot(&d.link);
+            link_derate[s] = link_derate[s].min(d.derate);
+        }
+        for l in &spec.down_links {
+            link_down[slot(l)] = true;
+        }
+        // A device with every outgoing link down is unreachable: fail
+        // fast instead of simulating a program that could never run.
+        let wired_axes: Vec<usize> = (0..rank).filter(|&a| mesh.shape()[a] > 1).collect();
+        if !wired_axes.is_empty() {
+            for device in 0..devices {
+                let base = device * rank * 2;
+                let all_down = wired_axes
+                    .iter()
+                    .all(|&a| link_down[base + a * 2] && link_down[base + a * 2 + 1]);
+                if all_down {
+                    return Err(SimError::LinkDown { device: device as u32, axis: wired_axes[0] });
+                }
+            }
+        }
+        let max_straggler = spec
+            .stragglers
+            .iter()
+            .map(|s| s.slowdown)
+            .fold(1.0f64, f64::max);
+        let worst_alive = link_derate
+            .iter()
+            .zip(&link_down)
+            .filter(|&(_, &down)| !down)
+            .map(|(&d, _)| 1.0 / d)
+            .fold(1.0f64, f64::max);
+        let any_down = link_down.iter().any(|&d| d);
+        let collective_factor = if any_down { 2.0 * worst_alive } else { worst_alive };
+        Ok(FaultModel {
+            seed: spec.seed,
+            mesh: mesh.clone(),
+            link_bandwidth: machine.link_bandwidth(),
+            hop_latency: machine.hop_latency(),
+            link_derate,
+            link_down,
+            max_straggler,
+            collective_factor,
+            has_link_faults: spec.link_derates.iter().any(|d| d.derate < 1.0) || any_down,
+            jitter_seconds: spec.jitter_seconds,
+            stall_probability: spec.stall_probability,
+            stall_seconds: spec.stall_seconds,
+            stall_max_retries: spec.stall_max_retries,
+            time_limit: (spec.time_limit_seconds > 0.0).then_some(spec.time_limit_seconds),
+        })
+    }
+
+    /// Watchdog limit on simulated time, if configured.
+    #[must_use]
+    pub fn time_limit(&self) -> Option<f64> {
+        self.time_limit
+    }
+
+    /// Worst-chip multiplicative slowdown gating compute and memory
+    /// spans (`1.0` when no stragglers).
+    #[must_use]
+    pub fn compute_factor(&self) -> f64 {
+        self.max_straggler
+    }
+
+    /// Slowdown factor applied to blocking ring collectives.
+    #[must_use]
+    pub fn collective_factor(&self) -> f64 {
+        if self.has_link_faults {
+            self.collective_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Duration of a compute/memory span on the degraded machine.
+    /// Returns `seconds` untouched when no straggler is configured.
+    #[must_use]
+    pub fn compute_seconds(&self, seconds: f64) -> f64 {
+        if self.max_straggler == 1.0 {
+            seconds
+        } else {
+            seconds * self.max_straggler
+        }
+    }
+
+    /// Duration of a blocking collective on the degraded machine.
+    /// Returns `seconds` untouched when no link fault is configured.
+    #[must_use]
+    pub fn collective_seconds(&self, seconds: f64) -> f64 {
+        if self.has_link_faults {
+            seconds * self.collective_factor
+        } else {
+            seconds
+        }
+    }
+
+    fn link_slot(&self, device: u32, axis: usize, forward: bool) -> usize {
+        (device as usize * self.mesh.rank() + axis) * 2 + usize::from(!forward)
+    }
+
+    /// A uniform draw in `[0, 1)` keyed purely by event identity.
+    fn draw(&self, domain: u64, a: u64, b: u64, c: u64) -> f64 {
+        let mut x = self.seed ^ domain;
+        x = mix64(x ^ a);
+        x = mix64(x ^ b);
+        x = mix64(x ^ c);
+        unit_f64(x)
+    }
+
+    /// Routes one asynchronous `CollectivePermuteStart` transfer under
+    /// faults. `pristine_seconds` is the fault-free wire time from the
+    /// cost table; when no link fault and no jitter is active it is
+    /// returned untouched so the noop spec stays bit-identical.
+    ///
+    /// The permute is bulk-synchronous across devices: the slowest
+    /// pair's path gates the step, so the wire time is the max over all
+    /// pairs. Down links reroute the long way around their ring (torus
+    /// detour) at a hop-count penalty; a detour that is itself blocked
+    /// makes the transfer unroutable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::LinkDown`] for an unroutable pair or when the
+    /// DMA stall retry budget is exhausted.
+    pub(crate) fn transfer(
+        &self,
+        module: &Module,
+        id: InstrId,
+        pristine_seconds: f64,
+        rep: usize,
+    ) -> Result<TransferOutcome, SimError> {
+        let ins = module.instr(id);
+        let mut out = TransferOutcome { seconds: pristine_seconds, ..TransferOutcome::default() };
+        let pairs: &[(u32, u32)] = match ins.op() {
+            Op::CollectivePermuteStart { pairs } | Op::CollectivePermute { pairs } => pairs,
+            // Defensive: the engine only calls this for permutes.
+            _ => &[],
+        };
+        if (self.has_link_faults || self.jitter_seconds > 0.0) && !pairs.is_empty() {
+            let bytes = ins.shape().byte_size();
+            let mut worst = 0.0f64;
+            for (pi, &(src, dst)) in pairs.iter().enumerate() {
+                let t =
+                    self.pair_seconds(src, dst, bytes, id.index() as u64, rep as u64, pi as u64)?;
+                worst = worst.max(t);
+            }
+            out.seconds = worst;
+            out.link_extra = (worst - pristine_seconds).max(0.0);
+        }
+        let (device, axis) = pairs
+            .first()
+            .map(|&(src, dst)| (src, self.first_diff_axis(src, dst)))
+            .unwrap_or((0, 0));
+        self.sample_stalls(&mut out, id, rep, device, axis)?;
+        Ok(out)
+    }
+
+    /// Wire time of one `(src, dst)` pair under faults: walk the torus
+    /// path axis by axis (shorter way around each ring, exactly as the
+    /// pristine classifier chooses), detour down links the long way
+    /// around their ring, take the worst derate along the path for the
+    /// serialization term, and add seeded per-hop jitter.
+    fn pair_seconds(
+        &self,
+        src: u32,
+        dst: u32,
+        bytes: usize,
+        instr: u64,
+        rep: u64,
+        pair: u64,
+    ) -> Result<f64, SimError> {
+        let path = self.walk_path(src, dst)?;
+        let mut jitter = 0.0;
+        if self.jitter_seconds > 0.0 {
+            for hop in 0..path.hops.max(1) {
+                jitter += self.jitter_seconds
+                    * self.draw(DOMAIN_JITTER, instr, rep, (pair << 16) | hop as u64);
+            }
+        }
+        if path.hops == 0 {
+            // Same-device "transfer": the pristine model charges one hop
+            // latency; keep that and only add jitter.
+            return Ok(self.hop_latency + jitter);
+        }
+        Ok(bytes as f64 / (self.link_bandwidth * path.min_derate)
+            + path.hops as f64 * self.hop_latency
+            + jitter)
+    }
+
+    /// Walks the torus path from `src` to `dst`, accumulating hop count
+    /// and the worst bandwidth derate crossed. Down links force a detour
+    /// the other way around the affected ring.
+    fn walk_path(&self, src: u32, dst: u32) -> Result<PathInfo, SimError> {
+        let a = self.mesh.coords(src);
+        let b = self.mesh.coords(dst);
+        let mut cur = a.clone();
+        let mut info = PathInfo { hops: 0, min_derate: 1.0 };
+        for axis in 0..self.mesh.rank() {
+            if a[axis] == b[axis] {
+                continue;
+            }
+            let size = self.mesh.shape()[axis];
+            let fwd = (b[axis] + size - a[axis]) % size;
+            let bwd = (a[axis] + size - b[axis]) % size;
+            // Same short-way tie-break as `permute_transfer`.
+            let (steps, forward) = if fwd <= bwd { (fwd, true) } else { (bwd, false) };
+            if self.axis_leg(&mut cur, axis, steps, forward, &mut info).is_err() {
+                // The short way hits a down link: detour the long way
+                // around this ring. Restart the leg from the original
+                // coordinate (walks are per-axis, so `cur[axis]` is
+                // still `a[axis]` when the leg failed part-way only in
+                // the accounting sense — reset it explicitly).
+                let mut detour = PathInfo { hops: 0, min_derate: 1.0 };
+                cur[axis] = a[axis];
+                let long_steps = size - steps;
+                self.axis_leg(&mut cur, axis, long_steps, !forward, &mut detour)
+                    .map_err(|(device, axis)| SimError::LinkDown { device, axis })?;
+                info.hops += detour.hops;
+                info.min_derate = info.min_derate.min(detour.min_derate);
+            }
+        }
+        Ok(info)
+    }
+
+    /// Advances `cur` by `steps` hops along `axis`, folding link state
+    /// into `info`. On a down link, `cur[axis]` is left wherever the
+    /// walk stopped and the offending link is returned.
+    fn axis_leg(
+        &self,
+        cur: &mut [usize],
+        axis: usize,
+        steps: usize,
+        forward: bool,
+        info: &mut PathInfo,
+    ) -> Result<(), (u32, usize)> {
+        let size = self.mesh.shape()[axis];
+        let entry_hops = info.hops;
+        let entry_derate = info.min_derate;
+        let entry_coord = cur[axis];
+        for _ in 0..steps {
+            let device = self.mesh.device_at(cur);
+            let s = self.link_slot(device, axis, forward);
+            if self.link_down[s] {
+                info.hops = entry_hops;
+                info.min_derate = entry_derate;
+                cur[axis] = entry_coord;
+                return Err((device, axis));
+            }
+            info.hops += 1;
+            info.min_derate = info.min_derate.min(self.link_derate[s]);
+            cur[axis] = if forward { (cur[axis] + 1) % size } else { (cur[axis] + size - 1) % size };
+        }
+        Ok(())
+    }
+
+    fn first_diff_axis(&self, src: u32, dst: u32) -> usize {
+        let a = self.mesh.coords(src);
+        let b = self.mesh.coords(dst);
+        a.iter().zip(&b).position(|(x, y)| x != y).unwrap_or(0)
+    }
+
+    /// Samples the bounded stall/retry loop for one transfer. Each
+    /// attempt stalls with `stall_probability`; retry `k` backs off for
+    /// `k * stall_seconds`. Exhausting the retry budget reports the
+    /// transfer's link as down.
+    fn sample_stalls(
+        &self,
+        out: &mut TransferOutcome,
+        id: InstrId,
+        rep: usize,
+        device: u32,
+        axis: usize,
+    ) -> Result<(), SimError> {
+        if self.stall_probability <= 0.0 {
+            return Ok(());
+        }
+        let mut attempt = 0u32;
+        loop {
+            let u = self.draw(DOMAIN_STALL, id.index() as u64, rep as u64, u64::from(attempt));
+            if u >= self.stall_probability {
+                return Ok(());
+            }
+            attempt += 1;
+            if attempt > self.stall_max_retries {
+                return Err(SimError::LinkDown { device, axis });
+            }
+            out.stall_extra += f64::from(attempt) * self.stall_seconds;
+            out.retries += 1;
+        }
+    }
+}
+
+struct PathInfo {
+    hops: usize,
+    min_derate: f64,
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use overlap_hlo::{Builder, DType, Module, Shape};
+
+    use super::*;
+
+    fn f32s(dims: &[usize]) -> Shape {
+        Shape::new(DType::F32, dims.to_vec())
+    }
+
+    fn ring_machine(n: usize) -> Machine {
+        Machine::with_mesh(DeviceMesh::ring(n))
+    }
+
+    /// One forward-shift permute start on an `n`-ring, returning the
+    /// module, the start id and the pristine wire time.
+    fn shift_module(n: usize, elems: usize) -> (Module, InstrId, f64) {
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[elems]), "x");
+        let pairs: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let s = b.collective_permute_start(x, pairs, "s");
+        let d = b.collective_permute_done(s, "d");
+        let m = b.build(vec![d]);
+        let machine = ring_machine(n);
+        let t = crate::permute_transfer(
+            match m.instr(s).op() {
+                Op::CollectivePermuteStart { pairs } => pairs,
+                _ => unreachable!(),
+            },
+            m.instr(s).shape().byte_size(),
+            &machine,
+        );
+        (m, s, t.seconds)
+    }
+
+    #[test]
+    fn noop_spec_leaves_everything_untouched() {
+        let machine = ring_machine(4);
+        let fm = FaultModel::new(&machine, &FaultSpec::default()).unwrap();
+        assert_eq!(fm.compute_seconds(1.25), 1.25);
+        assert_eq!(fm.collective_seconds(0.75), 0.75);
+        assert_eq!(fm.compute_factor(), 1.0);
+        assert_eq!(fm.collective_factor(), 1.0);
+        assert_eq!(fm.time_limit(), None);
+        let (m, s, pristine) = shift_module(4, 1 << 16);
+        let out = fm.transfer(&m, s, pristine, 0).unwrap();
+        assert_eq!(out.seconds, pristine);
+        assert_eq!(out.stall_extra, 0.0);
+        assert_eq!(out.retries, 0);
+    }
+
+    #[test]
+    fn straggler_gates_compute() {
+        let machine = ring_machine(4);
+        let spec = FaultSpec::default().with_straggler(2, 1.5).with_straggler(3, 1.2);
+        let fm = FaultModel::new(&machine, &spec).unwrap();
+        assert_eq!(fm.compute_seconds(2.0), 3.0);
+        // Collectives are unaffected by stragglers alone.
+        assert_eq!(fm.collective_seconds(2.0), 2.0);
+    }
+
+    #[test]
+    fn derated_link_stretches_only_paths_crossing_it() {
+        let machine = ring_machine(8);
+        let spec = FaultSpec::default()
+            .with_link_derate(LinkId { device: 3, axis: 0, forward: true }, 0.5);
+        let fm = FaultModel::new(&machine, &spec).unwrap();
+        let (m, s, pristine) = shift_module(8, 1 << 18);
+        let out = fm.transfer(&m, s, pristine, 0).unwrap();
+        // The slowest pair (3 -> 4) pays double serialization time.
+        let bytes = m.instr(s).shape().byte_size() as f64;
+        let expect = bytes / (machine.link_bandwidth() * 0.5) + machine.hop_latency();
+        assert!((out.seconds - expect).abs() < 1e-15);
+        assert!(out.link_extra > 0.0);
+    }
+
+    #[test]
+    fn down_link_detours_the_long_way() {
+        let n = 8;
+        let machine = ring_machine(n);
+        let spec =
+            FaultSpec::default().with_down_link(LinkId { device: 3, axis: 0, forward: true });
+        let fm = FaultModel::new(&machine, &spec).unwrap();
+        let (m, s, pristine) = shift_module(n, 1 << 18);
+        let out = fm.transfer(&m, s, pristine, 0).unwrap();
+        // Pair (3 -> 4) reroutes backward around the ring: 7 hops.
+        let bytes = m.instr(s).shape().byte_size() as f64;
+        let expect = bytes / machine.link_bandwidth() + 7.0 * machine.hop_latency();
+        assert!((out.seconds - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn blocked_detour_is_link_down() {
+        let n = 4;
+        let machine = ring_machine(n);
+        // Forward link 1 -> 2 down; the backward detour passes 1 -> 0
+        // but dies on 0 -> 3. No device is fully cut, yet pair (1 -> 2)
+        // is unroutable.
+        let spec = FaultSpec::default()
+            .with_down_link(LinkId { device: 1, axis: 0, forward: true })
+            .with_down_link(LinkId { device: 0, axis: 0, forward: false });
+        let fm = FaultModel::new(&machine, &spec).unwrap();
+        let (m, s, pristine) = shift_module(n, 1 << 10);
+        assert_eq!(
+            fm.transfer(&m, s, pristine, 0),
+            Err(SimError::LinkDown { device: 0, axis: 0 })
+        );
+    }
+
+    #[test]
+    fn fully_cut_device_rejected_at_model_build() {
+        let machine = ring_machine(4);
+        let spec = FaultSpec::default()
+            .with_down_link(LinkId { device: 2, axis: 0, forward: true })
+            .with_down_link(LinkId { device: 2, axis: 0, forward: false });
+        assert_eq!(
+            FaultModel::new(&machine, &spec).unwrap_err(),
+            SimError::LinkDown { device: 2, axis: 0 }
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let machine = ring_machine(8);
+        let amp = 5e-6;
+        let spec = FaultSpec::seeded(9).with_jitter(amp);
+        let fm = FaultModel::new(&machine, &spec).unwrap();
+        let (m, s, pristine) = shift_module(8, 1 << 16);
+        let a = fm.transfer(&m, s, pristine, 0).unwrap();
+        let b = fm.transfer(&m, s, pristine, 0).unwrap();
+        assert_eq!(a, b, "same event identity draws the same jitter");
+        assert!(a.seconds >= pristine);
+        assert!(a.seconds < pristine + amp, "one hop draws less than the amplitude");
+        let c = fm.transfer(&m, s, pristine, 1).unwrap();
+        assert_ne!(a.seconds, c.seconds, "different repetition draws differently");
+        let other_seed = FaultModel::new(&machine, &FaultSpec::seeded(10).with_jitter(amp)).unwrap();
+        assert_ne!(
+            other_seed.transfer(&m, s, pristine, 0).unwrap().seconds,
+            a.seconds,
+            "different seed draws differently"
+        );
+    }
+
+    #[test]
+    fn stalls_retry_with_backoff_and_bound() {
+        let machine = ring_machine(4);
+        let (m, s, pristine) = shift_module(4, 1 << 10);
+        // Certain stall: every attempt fails, so the budget exhausts.
+        let certain = FaultSpec::seeded(1).with_dma_stalls(1.0, 1e-6, 3);
+        let fm = FaultModel::new(&machine, &certain).unwrap();
+        assert!(matches!(
+            fm.transfer(&m, s, pristine, 0),
+            Err(SimError::LinkDown { .. })
+        ));
+        // Moderate stall probability: some repetition stalls, retries
+        // are counted and backoff accumulates.
+        let sometimes = FaultSpec::seeded(1).with_dma_stalls(0.5, 1e-6, 10);
+        let fm = FaultModel::new(&machine, &sometimes).unwrap();
+        let mut total_retries = 0;
+        for rep in 0..32 {
+            let out = fm.transfer(&m, s, pristine, rep).unwrap();
+            if out.retries > 0 {
+                assert!(out.stall_extra > 0.0);
+            }
+            total_retries += out.retries;
+        }
+        assert!(total_retries > 0, "a 50% stall rate must stall somewhere in 32 reps");
+    }
+
+    #[test]
+    fn invalid_spec_is_typed() {
+        let machine = ring_machine(4);
+        let spec = FaultSpec::default().with_straggler(99, 2.0);
+        assert!(matches!(
+            FaultModel::new(&machine, &spec),
+            Err(SimError::InvalidFaultSpec(_))
+        ));
+    }
+}

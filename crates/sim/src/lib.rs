@@ -24,10 +24,15 @@
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+// The engine is driven with user-supplied modules and fault specs:
+// recoverable conditions must surface as typed `SimError`s, not panics.
+// Test modules opt back in locally.
+#![deny(clippy::unwrap_used)]
 
 mod cost;
 mod engine;
 mod error;
+mod faults;
 mod memory;
 mod par;
 mod report;
@@ -38,11 +43,13 @@ pub use cost::{
     TransferClass,
 };
 pub use engine::{
-    simulate, simulate_order, simulate_order_repeated, simulate_order_repeated_with,
-    simulate_order_with,
+    simulate, simulate_faulted, simulate_order, simulate_order_faulted,
+    simulate_order_faulted_with, simulate_order_repeated, simulate_order_repeated_faulted,
+    simulate_order_repeated_faulted_with, simulate_order_repeated_with, simulate_order_with,
 };
 pub use error::SimError;
+pub use faults::FaultModel;
 pub use memory::{memory_profile, MemoryProfile};
 pub use par::{par_map, sweep_threads};
-pub use report::{Report, Span, SpanKind, Timeline};
+pub use report::{FaultAttribution, Report, Span, SpanKind, Timeline};
 pub use table::CostTable;

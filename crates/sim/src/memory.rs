@@ -95,6 +95,7 @@ pub fn memory_profile(module: &Module, order: &[InstrId]) -> MemoryProfile {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use overlap_hlo::{Builder, DType, Shape};
 

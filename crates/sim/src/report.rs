@@ -184,7 +184,7 @@ impl ToJson for Timeline {
 
 impl ToJson for Report {
     fn to_json(&self) -> Json {
-        Json::obj()
+        let v = Json::obj()
             .with("makespan", self.makespan.to_json())
             .with("compute_time", self.compute_time.to_json())
             .with("memory_time", self.memory_time.to_json())
@@ -192,7 +192,54 @@ impl ToJson for Report {
             .with("exposed_async_time", self.exposed_async_time.to_json())
             .with("hidden_async_time", self.hidden_async_time.to_json())
             .with("total_flops", self.total_flops.to_json())
-            .with("timeline", self.timeline.to_json())
+            .with("timeline", self.timeline.to_json());
+        // Emitted only when a fault actually charged time, so fault-free
+        // reports (and every pre-existing figure artifact) keep their
+        // exact byte layout.
+        if self.fault.is_zero() {
+            v
+        } else {
+            v.with("fault", self.fault.to_json())
+        }
+    }
+}
+
+/// Where a degraded run lost time relative to the pristine machine,
+/// accumulated by the engine's fault path (all zero on fault-free runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultAttribution {
+    /// Extra compute/memory time charged by straggler chips, seconds.
+    pub straggler_seconds: f64,
+    /// Extra wire time from derated links, detours around down links and
+    /// per-hop jitter (sync collectives included), seconds.
+    pub link_seconds: f64,
+    /// Time spent backing off in DMA stall retries, seconds.
+    pub stall_seconds: f64,
+    /// Number of DMA stall retries taken.
+    pub stall_retries: u64,
+}
+
+impl FaultAttribution {
+    /// True when no fault charged any time (the fault-free case).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == FaultAttribution::default()
+    }
+
+    /// Total time lost to faults, seconds.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.straggler_seconds + self.link_seconds + self.stall_seconds
+    }
+}
+
+impl ToJson for FaultAttribution {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("straggler_seconds", self.straggler_seconds.to_json())
+            .with("link_seconds", self.link_seconds.to_json())
+            .with("stall_seconds", self.stall_seconds.to_json())
+            .with("stall_retries", self.stall_retries.to_json())
     }
 }
 
@@ -208,6 +255,10 @@ pub struct Report {
     hidden_async_time: f64,
     total_flops: u64,
     timeline: Timeline,
+    /// Fault attribution; stays at its (all-zero) default on fault-free
+    /// runs so serialized fault-free reports are unchanged.
+    #[serde(default, skip_serializing_if = "FaultAttribution::is_zero")]
+    fault: FaultAttribution,
 }
 
 impl Report {
@@ -231,7 +282,14 @@ impl Report {
             hidden_async_time,
             total_flops,
             timeline,
+            fault: FaultAttribution::default(),
         }
+    }
+
+    /// Installs the fault attribution accumulated by the engine's fault
+    /// path (fault-free runs leave the all-zero default in place).
+    pub(crate) fn set_fault_attribution(&mut self, fault: FaultAttribution) {
+        self.fault = fault;
     }
 
     /// Folds another report into this one (for repeated executions):
@@ -247,6 +305,10 @@ impl Report {
         self.hidden_async_time += other.hidden_async_time;
         self.total_flops += other.total_flops;
         self.timeline.spans.extend(other.timeline.spans);
+        self.fault.straggler_seconds += other.fault.straggler_seconds;
+        self.fault.link_seconds += other.fault.link_seconds;
+        self.fault.stall_seconds += other.fault.stall_seconds;
+        self.fault.stall_retries += other.fault.stall_retries;
     }
 
     /// End-to-end simulated time, seconds.
@@ -326,9 +388,17 @@ impl Report {
     pub fn timeline(&self) -> &Timeline {
         &self.timeline
     }
+
+    /// Time lost to injected faults, by cause (all zero on fault-free
+    /// runs).
+    #[must_use]
+    pub fn fault_attribution(&self) -> &FaultAttribution {
+        &self.fault
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -399,6 +469,30 @@ mod tests {
         assert_eq!(events[2]["tid"].as_u64(), Some(3));
         assert_eq!(events[0]["ph"].as_str(), Some("X"));
         assert!((events[1]["dur"].as_f64().unwrap() - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fault_attribution_serializes_only_when_nonzero() {
+        let mut r = Report::new(10.0, 6.0, 1.0, 2.0, 1.0, 3.0, 1000, Timeline::default());
+        assert!(r.fault_attribution().is_zero());
+        assert!(!r.to_json().to_string().contains("fault"));
+        let attr = FaultAttribution {
+            straggler_seconds: 1.0,
+            link_seconds: 0.5,
+            stall_seconds: 0.25,
+            stall_retries: 3,
+        };
+        r.set_fault_attribution(attr);
+        assert!((r.fault_attribution().total_seconds() - 1.75).abs() < 1e-12);
+        let v = r.to_json();
+        assert_eq!(v["fault"]["straggler_seconds"].as_f64(), Some(1.0));
+        assert_eq!(v["fault"]["stall_retries"].as_u64(), Some(3));
+        // absorb() adds attribution across repetitions.
+        let mut other = Report::new(1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, Timeline::default());
+        other.set_fault_attribution(attr);
+        r.absorb(other);
+        assert_eq!(r.fault_attribution().stall_retries, 6);
+        assert!((r.fault_attribution().link_seconds - 1.0).abs() < 1e-12);
     }
 
     #[test]

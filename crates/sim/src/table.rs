@@ -77,24 +77,31 @@ impl CostTable {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InvalidSchedule`] if a fusion group contains an
-    /// op that cannot be fused (collectives, async transfers).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `analysis` does not cover `module` or its verified
-    /// watermark does not cover the whole module.
+    /// Returns [`SimError::InvalidSchedule`] if a fusion group contains
+    /// an op that cannot be fused (collectives, async transfers), if
+    /// `analysis` does not cover `module`, or if the analysis's verified
+    /// watermark does not cover the whole module (a typed error, not a
+    /// panic: a stale analysis is caller state, not engine corruption).
     pub fn with_analysis(
         module: &Module,
         analysis: &ModuleAnalysis,
         machine: &Machine,
     ) -> Result<Self, SimError> {
-        assert_eq!(analysis.len(), module.len(), "analysis does not cover module");
-        assert_eq!(
-            analysis.verified_len(),
-            module.len(),
-            "module must be fully verified before cost-table construction"
-        );
+        if analysis.len() != module.len() {
+            return Err(SimError::InvalidSchedule(format!(
+                "analysis covers {} instructions but module has {}",
+                analysis.len(),
+                module.len()
+            )));
+        }
+        if analysis.verified_len() != module.len() {
+            return Err(SimError::InvalidSchedule(format!(
+                "module verified through {} of {} instructions; cost-table \
+                 construction needs full verification",
+                analysis.verified_len(),
+                module.len()
+            )));
+        }
         Self::build_tables(module, machine)
     }
 
@@ -108,7 +115,9 @@ impl CostTable {
         let mut group_of = vec![NO_GROUP; n];
         let mut root_group = vec![NO_GROUP; n];
         for (gi, g) in module.fusion_groups().iter().enumerate() {
-            let gi = u32::try_from(gi).expect("fusion group count fits in u32");
+            let gi = u32::try_from(gi).map_err(|_| {
+                SimError::InvalidSchedule(format!("fusion group index {gi} exceeds u32"))
+            })?;
             for &m in &g.members {
                 group_of[m.index()] = gi;
             }
@@ -178,9 +187,24 @@ impl CostTable {
     pub fn cost(&self, id: InstrId) -> InstrCost {
         self.costs[id.index()]
     }
+
+    /// Test-only constructor injecting raw costs with no fusion groups,
+    /// so the engine's watchdog paths can be exercised against corrupt
+    /// tables that no legitimate build would produce.
+    #[cfg(test)]
+    pub(crate) fn from_raw_costs(costs: Vec<InstrCost>) -> Self {
+        let n = costs.len();
+        CostTable {
+            costs,
+            group_of: vec![NO_GROUP; n],
+            root_group: vec![NO_GROUP; n],
+            groups: Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use overlap_hlo::{Builder, DType, DotDims, FusionGroup, ReplicaGroups, Shape};
 

@@ -45,4 +45,21 @@ case "$warm_out" in
     *) echo "FAIL: second run missed the on-disk artifact cache"; exit 1 ;;
 esac
 
+echo "==> fault-injection smoke sweep: seeded faults, no panic, deterministic"
+smoke_one=$(OVERLAP_FAULT_SMOKE=1 OVERLAP_FAULT_SEED=7 OVERLAP_CACHE=0 \
+    cargo run --release -q -p overlap-bench --bin fig_faults)
+cp results/fig_faults_smoke.json results/fig_faults_smoke.json.first
+smoke_two=$(OVERLAP_FAULT_SMOKE=1 OVERLAP_FAULT_SEED=7 OVERLAP_CACHE=0 \
+    cargo run --release -q -p overlap-bench --bin fig_faults)
+[ "$smoke_one" = "$smoke_two" ] || {
+    echo "FAIL: fault sweep stdout differs between identically-seeded runs"; exit 1;
+}
+cmp -s results/fig_faults_smoke.json results/fig_faults_smoke.json.first || {
+    echo "FAIL: fault sweep JSON differs between identically-seeded runs"; exit 1;
+}
+rm -f results/fig_faults_smoke.json.first
+echo "$smoke_one" | grep -q "fallbacks=" || {
+    echo "FAIL: fault sweep reported no fallback counts"; exit 1;
+}
+
 echo "CI gate passed."
