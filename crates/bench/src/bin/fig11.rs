@@ -9,7 +9,7 @@
 //! heuristic, which fuses the `Add` with the done-dependent einsum so the
 //! independent one runs concurrently with the transfer.
 
-use overlap_bench::write_json;
+use overlap_bench::{or_exit, write_json};
 use overlap_core::{fuse, schedule_bottom_up, FusionOptions};
 use overlap_hlo::{Builder, DType, DotDims, Module, Shape};
 use overlap_mesh::{DeviceMesh, Machine};
@@ -59,7 +59,8 @@ fn main() {
         let time_with = |aware: bool| {
             let fused = fuse(&module, &FusionOptions { overlap_aware: aware });
             let order = schedule_bottom_up(&fused, &machine);
-            simulate_order(&fused, &machine, &order).expect("simulate").makespan()
+            or_exit(simulate_order(&fused, &machine, &order), "simulate the fused graph")
+                .makespan()
         };
         let bad = time_with(false);
         let good = time_with(true);

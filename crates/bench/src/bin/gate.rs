@@ -8,16 +8,12 @@
 //! ```
 
 use overlap_core::{find_patterns, CostModel, DecomposeOptions};
-use overlap_models::{table1_models, table2_models};
+use overlap_models::{find_model, model_names};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "GPT_1T".into());
-    let Some(cfg) = table1_models()
-        .into_iter()
-        .chain(table2_models())
-        .find(|m| m.name == which)
-    else {
-        eprintln!("unknown model {which}; use a Table 1/Table 2 name like GPT_1T");
+    let Some(cfg) = find_model(&which) else {
+        eprintln!("unknown model {which}; known names: {}", model_names().join(", "));
         std::process::exit(1);
     };
     let module = cfg.layer_module();

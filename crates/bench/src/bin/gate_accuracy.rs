@@ -16,7 +16,7 @@ use overlap_core::{
     asyncify, decompose_each, find_patterns, fuse, schedule_bottom_up, CostModel,
     DecomposeOptions, FusionOptions,
 };
-use overlap_models::{table1_models, table2_models};
+use overlap_models::{find_model, model_names};
 use overlap_json::{Json, ToJson};
 use overlap_sim::{simulate, simulate_order};
 
@@ -37,17 +37,19 @@ impl ToJson for Row {
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "GPT_256B".into());
-    let Some(cfg) = table1_models()
-        .into_iter()
-        .chain(table2_models())
-        .find(|m| m.name == which)
-    else {
-        eprintln!("unknown model {which}; use a Table 1/Table 2 name");
+    let Some(cfg) = find_model(&which) else {
+        eprintln!("unknown model {which}; known names: {}", model_names().join(", "));
         std::process::exit(1);
     };
     let module = cfg.layer_module();
     let machine = cfg.machine();
-    let baseline = simulate(&module, &machine).expect("baseline").makespan();
+    let baseline = match simulate(&module, &machine) {
+        Ok(r) => r.makespan(),
+        Err(e) => {
+            eprintln!("cannot simulate the baseline of {}: {e}", cfg.name);
+            std::process::exit(1);
+        }
+    };
 
     let options = DecomposeOptions::default();
     let cost_model = CostModel::new(&machine, options);
@@ -67,8 +69,13 @@ fn main() {
         let (out, _) = decompose_each(&module, &[(d.pattern, opts)]);
         let fused = fuse(&asyncify(&out), &FusionOptions::default());
         let order = schedule_bottom_up(&fused, &machine);
-        let measured =
-            baseline - simulate_order(&fused, &machine, &order).expect("sim").makespan();
+        let measured = match simulate_order(&fused, &machine, &order) {
+            Ok(r) => baseline - r.makespan(),
+            Err(e) => {
+                eprintln!("cannot simulate the single-pattern rewrite: {e}");
+                std::process::exit(1);
+            }
+        };
         let row = Row {
             einsum: module.instr(d.pattern.einsum).name().to_string(),
             predicted_saving_ms: d.net_benefit() * 1e3,

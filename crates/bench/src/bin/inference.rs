@@ -8,7 +8,7 @@
 //! EXPERIMENTS.md for why a 2-device ring caps the achievable gain in
 //! this machine model.
 
-use overlap_bench::{artifact_cache, report_cache};
+use overlap_bench::{artifact_cache, or_exit, report_cache};
 use overlap_core::{OverlapOptions, OverlapPipeline};
 use overlap_hlo::{Builder, DType, DotDims, Module, ReplicaGroups, Shape};
 use overlap_json::Json;
@@ -37,12 +37,16 @@ fn main() {
     let machine = Machine::with_mesh(DeviceMesh::ring(n));
     let module = recommendation_tower(n, 1376, 8192, 8);
 
-    let baseline = simulate(&module, &machine).expect("baseline");
-    let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
-        .compile_cached(&module, &machine, artifact_cache())
-        .expect("pipeline");
-    let overlapped =
-        simulate_order(&compiled.module, &machine, &compiled.order).expect("simulate");
+    let baseline = or_exit(simulate(&module, &machine), "simulate the baseline");
+    let compiled = or_exit(
+        OverlapPipeline::new(OverlapOptions::paper_default())
+            .compile_cached(&module, &machine, artifact_cache()),
+        "compile the inference tower",
+    );
+    let overlapped = or_exit(
+        simulate_order(&compiled.module, &machine, &compiled.order),
+        "simulate the overlapped schedule",
+    );
 
     println!("layers decomposed:  {:>7} of 8", compiled.summaries.len());
     println!("baseline latency:   {:>10.3} ms", baseline.makespan() * 1e3);

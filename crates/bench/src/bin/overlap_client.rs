@@ -1,0 +1,334 @@
+//! `overlap-client` — CLI client and load generator for `overlapd`.
+//!
+//! ```sh
+//! overlap-client 127.0.0.1:7979 ping
+//! overlap-client 127.0.0.1:7979 compile GPT_32B
+//! overlap-client 127.0.0.1:7979 stats
+//! overlap-client 127.0.0.1:7979 loadgen --clients 8 --models GPT_32B,GPT_64B --repeat 2
+//! overlap-client 127.0.0.1:7979 shutdown
+//! ```
+//!
+//! `loadgen` is the service's correctness harness, not just a load
+//! source: it first computes every expected response locally (the same
+//! `overlap_serve::exec::execute` path over direct `OverlapPipeline` +
+//! simulator calls), then drives N concurrent connections and asserts
+//! each server `result` object is *byte-identical* to the local
+//! expectation. Backpressure sheds (`overloaded`) are retried and
+//! counted, never fatal. `--expect-dedup` additionally asserts the
+//! server compiled each distinct artifact at most once (single-flight
+//! dedup through the shared cache). Exit code 0 means every response
+//! matched.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use overlap_core::ArtifactCache;
+use overlap_json::{FromJson, Json, ToJson};
+use overlap_mesh::FaultSpec;
+use overlap_models::{model_names, table1_models};
+use overlap_serve::exec::{execute, Deadline};
+use overlap_serve::metrics::Histogram;
+use overlap_serve::{Client, ClientError, CompileRequest, CompileResponse, MachineSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: overlap-client <addr> ping|stats|shutdown\n\
+         \x20      overlap-client <addr> compile MODEL [--machine tpu_v4:N|gpu_cluster:N] \
+         [--fault-spec F.json] [--deadline-ms N]\n\
+         \x20      overlap-client <addr> loadgen [--clients N] [--models A,B,C] \
+         [--repeat R] [--expect-dedup] [--no-verify]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("overlap-client: {msg}");
+    std::process::exit(1);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(v) => Some(v.clone()),
+        None => usage(),
+    }
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let v = flag_value(args, flag)?;
+    match v.parse() {
+        Ok(t) => Some(t),
+        Err(_) => fail(format!("cannot parse {flag} value {v:?}")),
+    }
+}
+
+fn machine_from_args(args: &[String]) -> MachineSpec {
+    let Some(spec) = flag_value(args, "--machine") else {
+        return MachineSpec::ModelDefault;
+    };
+    if spec == "model-default" {
+        return MachineSpec::ModelDefault;
+    }
+    let Some((kind, chips)) = spec.split_once(':') else {
+        fail(format!("--machine expects model-default or kind:chips, got {spec:?}"));
+    };
+    let Ok(chips) = chips.parse::<usize>() else {
+        fail(format!("cannot parse chip count in --machine {spec:?}"));
+    };
+    match kind {
+        "tpu_v4" => MachineSpec::TpuV4 { chips },
+        "gpu_cluster" => MachineSpec::GpuCluster { chips },
+        other => fail(format!("unknown machine kind {other:?}")),
+    }
+}
+
+fn fault_spec_from_args(args: &[String]) -> Option<FaultSpec> {
+    let path = flag_value(args, "--fault-spec")?;
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(format!("cannot read fault spec {path}: {e}")));
+    let parsed = match Json::parse(&text) {
+        Ok(v) => FaultSpec::from_json(&v),
+        Err(e) => Err(e.to_string()),
+    };
+    match parsed {
+        Ok(spec) => Some(spec),
+        Err(e) => fail(format!("invalid fault spec {path}: {e}")),
+    }
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| fail(format!("cannot connect to {addr}: {e}")))
+}
+
+fn cmd_compile(addr: &str, args: &[String]) {
+    let Some(model) = args.first().filter(|a| !a.starts_with("--")) else { usage() };
+    let req = CompileRequest {
+        model: overlap_serve::ModelRef::Named(model.clone()),
+        machine: machine_from_args(args),
+        options: overlap_core::OverlapOptions::paper_default(),
+        fault_spec: fault_spec_from_args(args),
+        deadline_ms: parsed_flag(args, "--deadline-ms"),
+    };
+    let resp = connect(addr).compile(req).unwrap_or_else(|e| fail(e));
+    let r = &resp.result;
+    println!(
+        "{}: baseline {:.3} ms -> overlapped {:.3} ms ({:.2}x), {} decisions, {} fallbacks",
+        r.model,
+        r.baseline.makespan * 1e3,
+        r.overlapped.makespan * 1e3,
+        r.speedup,
+        r.decisions.len(),
+        r.fallbacks.len(),
+    );
+    println!(
+        "served from {} (queue {:.1} ms, service {:.1} ms); artifact key {}",
+        resp.served.source, resp.served.queue_ms, resp.served.service_ms, r.artifact_key
+    );
+}
+
+/// Per-thread loadgen tallies, merged under one mutex at the end.
+#[derive(Default)]
+struct Tally {
+    requests: u64,
+    matched: u64,
+    mismatches: Vec<String>,
+    sheds: u64,
+    sources: [u64; 3], // memory, disk, compiled
+}
+
+fn source_slot(source: &str) -> usize {
+    match source {
+        "memory" => 0,
+        "disk" => 1,
+        _ => 2,
+    }
+}
+
+/// One request with shed/broken-connection retries. `client` is reused
+/// across calls while the connection stays healthy.
+fn compile_with_retry(
+    addr: &str,
+    client: &mut Option<Client>,
+    req: &CompileRequest,
+    sheds: &mut u64,
+) -> Result<CompileResponse, String> {
+    for _ in 0..1000 {
+        let c = match client {
+            Some(c) => c,
+            None => match Client::connect(addr) {
+                Ok(c) => client.insert(c),
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+            },
+        };
+        match c.compile(req.clone()) {
+            Ok(resp) => return Ok(resp),
+            Err(ClientError::Server(e)) if e.kind.is_backpressure() => {
+                *sheds += 1;
+                *client = None; // the server closes shed connections
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            // A shed can close the socket before our request is even
+            // read; that surfaces as a wire error. Reconnect.
+            Err(ClientError::Wire(_)) => {
+                *sheds += 1;
+                *client = None;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Err("retry budget exhausted (1000 attempts)".to_string())
+}
+
+fn cmd_loadgen(addr: &str, args: &[String]) {
+    let clients: usize = parsed_flag(args, "--clients").unwrap_or(8);
+    let repeat: usize = parsed_flag(args, "--repeat").unwrap_or(2);
+    let verify = !args.iter().any(|a| a == "--no-verify");
+    let expect_dedup = args.iter().any(|a| a == "--expect-dedup");
+    let models: Vec<String> = match flag_value(args, "--models") {
+        Some(list) => list.split(',').map(str::to_string).collect(),
+        None => table1_models().into_iter().map(|m| m.name).collect(),
+    };
+    if clients == 0 || repeat == 0 || models.is_empty() {
+        fail("loadgen needs at least one client, one repeat and one model");
+    }
+
+    // Expected responses, computed locally through the very pipeline
+    // and simulator calls the server wraps. This is the byte-identity
+    // oracle (and it warms nothing on the server side).
+    let expected: Vec<(CompileRequest, String)> = models
+        .iter()
+        .map(|name| {
+            let req = CompileRequest::named(name.clone());
+            let local = ArtifactCache::in_memory();
+            let (result, _) = execute(&req, &local, Deadline::none()).unwrap_or_else(|e| {
+                fail(format!(
+                    "cannot compute the local expectation for {name}: {e} \
+                     (known models: {})",
+                    model_names().join(", ")
+                ))
+            });
+            (req, result.to_json().to_string())
+        })
+        .collect();
+
+    let latency = Histogram::new();
+    let total = Mutex::new(Tally::default());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..clients {
+            let expected = &expected;
+            let latency = &latency;
+            let total = &total;
+            scope.spawn(move || {
+                let mut tally = Tally::default();
+                let mut client = None;
+                for round in 0..repeat {
+                    for step in 0..expected.len() {
+                        // Staggered model order decorrelates the
+                        // clients so single-flight actually races.
+                        let (req, want) = &expected[(tid + round + step) % expected.len()];
+                        let started = Instant::now();
+                        match compile_with_retry(addr, &mut client, req, &mut tally.sheds) {
+                            Ok(resp) => {
+                                latency.record(started.elapsed().as_secs_f64() * 1e3);
+                                tally.requests += 1;
+                                tally.sources[source_slot(&resp.served.source)] += 1;
+                                let got = resp.result.to_json().to_string();
+                                if !verify || got == *want {
+                                    tally.matched += 1;
+                                } else {
+                                    tally.mismatches.push(format!(
+                                        "client {tid} round {round}: {} diverged \
+                                         ({} vs {} bytes)",
+                                        resp.result.model,
+                                        got.len(),
+                                        want.len()
+                                    ));
+                                }
+                            }
+                            Err(e) => tally
+                                .mismatches
+                                .push(format!("client {tid} round {round}: {e}")),
+                        }
+                    }
+                }
+                let mut total = total.lock().expect("tally lock");
+                total.requests += tally.requests;
+                total.matched += tally.matched;
+                total.sheds += tally.sheds;
+                for (t, s) in total.sources.iter_mut().zip(tally.sources) {
+                    *t += s;
+                }
+                total.mismatches.extend(tally.mismatches);
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let tally = total.into_inner().expect("tally lock");
+    let quantiles = latency.summary();
+    println!(
+        "loadgen: {} clients x {} rounds x {} models over {addr} in {elapsed:.2} s",
+        clients,
+        repeat,
+        models.len()
+    );
+    println!(
+        "  {} responses, {} byte-identical, {} failures, {} sheds (retried)",
+        tally.requests,
+        tally.matched,
+        tally.mismatches.len(),
+        tally.sheds
+    );
+    println!(
+        "  served: memory={} disk={} compiled={}",
+        tally.sources[0], tally.sources[1], tally.sources[2]
+    );
+    println!(
+        "  client latency: p50 {:.2} ms p90 {:.2} ms p99 {:.2} ms max {:.2} ms",
+        quantiles.p50_ms, quantiles.p90_ms, quantiles.p99_ms, quantiles.max_ms
+    );
+    for m in tally.mismatches.iter().take(8) {
+        eprintln!("  MISMATCH {m}");
+    }
+    if expect_dedup && tally.sources[2] as usize > models.len() {
+        fail(format!(
+            "dedup violated: {} pipeline compiles for {} distinct artifacts",
+            tally.sources[2],
+            models.len()
+        ));
+    }
+    if !tally.mismatches.is_empty() {
+        fail(format!("{} responses diverged or failed", tally.mismatches.len()));
+    }
+    let want = (clients * repeat * models.len()) as u64;
+    if verify && tally.matched != want {
+        fail(format!("expected {want} byte-identical responses, got {}", tally.matched));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(addr), Some(cmd)) = (args.first(), args.get(1)) else { usage() };
+    let rest = &args[2..];
+    match cmd.as_str() {
+        "ping" => {
+            connect(addr).ping().unwrap_or_else(|e| fail(e));
+            println!("pong");
+        }
+        "stats" => {
+            let stats = connect(addr).stats().unwrap_or_else(|e| fail(e));
+            println!("{}", stats.to_json().to_pretty());
+        }
+        "shutdown" => {
+            connect(addr).shutdown().unwrap_or_else(|e| fail(e));
+            println!("server draining");
+        }
+        "compile" => cmd_compile(addr, rest),
+        "loadgen" => cmd_loadgen(addr, rest),
+        _ => usage(),
+    }
+}

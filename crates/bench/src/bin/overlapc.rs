@@ -16,10 +16,13 @@
 //! §5.5 gate decisions, the before/after instruction statistics, the
 //! simulated baseline vs. overlapped step times and an ASCII timeline,
 //! and writes `<input>.trace.json` (Chrome tracing) plus `<input>.dot`
-//! (GraphViz) next to the input. With `--cache-dir` (or the
-//! `OVERLAP_CACHE_DIR` environment variable) the compile goes through
-//! the on-disk artifact cache: a re-run of the same module on the same
-//! machine skips the pipeline and serves the bit-identical bundle.
+//! (GraphViz) next to the input. `--chrome-trace PATH` redirects the
+//! tracing JSON to an explicit path for inspection in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`. With `--cache-dir`
+//! (or the `OVERLAP_CACHE_DIR` environment variable) the compile goes
+//! through the on-disk artifact cache: a re-run of the same module on
+//! the same machine skips the pipeline and serves the bit-identical
+//! bundle.
 
 use overlap_bench::report_cache;
 use overlap_core::{ArtifactCache, CompileReport, OverlapOptions, OverlapPipeline};
@@ -44,9 +47,17 @@ fn demo_module() -> Module {
 fn usage() -> ! {
     eprintln!(
         "usage: overlapc demo <out.json> | overlapc compile <module.json> \
-         [--cache-dir DIR] [--fault-spec FAULTS.json]"
+         [--cache-dir DIR] [--fault-spec FAULTS.json] [--chrome-trace PATH]"
     );
     std::process::exit(2);
+}
+
+/// Exits with a user-facing error message (bench bins never panic on
+/// bad inputs or I/O; see the workspace's `deny(clippy::unwrap_used)`
+/// direction).
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
 }
 
 /// `--cache-dir DIR` wins over the environment; without either, the
@@ -67,20 +78,27 @@ fn cache_from_args(args: &[String]) -> ArtifactCache {
 fn fault_spec_from_args(args: &[String]) -> Option<FaultSpec> {
     let i = args.iter().position(|a| a == "--fault-spec")?;
     let Some(path) = args.get(i + 1) else { usage() };
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read fault spec {path}: {e}");
-        std::process::exit(1);
-    });
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read fault spec {path}: {e}")));
     let parsed = match Json::parse(&text) {
         Ok(v) => FaultSpec::from_json(&v),
         Err(e) => Err(e.to_string()),
     };
     match parsed {
         Ok(spec) => Some(spec),
-        Err(e) => {
-            eprintln!("invalid fault spec {path}: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => fail(format!("invalid fault spec {path}: {e}")),
+    }
+}
+
+/// `--chrome-trace PATH` overrides where the Chrome-tracing JSON of the
+/// overlapped schedule lands (default: `<input>.trace.json` next to the
+/// input), so a schedule can be dropped straight into Perfetto /
+/// `chrome://tracing` without touching the module's directory.
+fn chrome_trace_from_args(args: &[String]) -> Option<String> {
+    let i = args.iter().position(|a| a == "--chrome-trace")?;
+    match args.get(i + 1) {
+        Some(path) => Some(path.clone()),
+        None => usage(),
     }
 }
 
@@ -90,26 +108,28 @@ fn main() {
         Some("demo") => {
             let path = args.get(2).map(String::as_str).unwrap_or("module.json");
             let m = demo_module();
-            std::fs::write(path, m.to_json().to_pretty()).expect("write module");
+            if let Err(e) = std::fs::write(path, m.to_json().to_pretty()) {
+                fail(format!("cannot write {path}: {e}"));
+            }
             println!("wrote {path} ({} instructions, {} partitions)", m.len(), m.num_partitions());
         }
         Some("compile") => {
             let Some(path) = args.get(2) else { usage() };
             let cache = cache_from_args(&args);
-            let text = std::fs::read_to_string(path).expect("read module");
-            let module = Module::from_json_str(&text).expect("parse module");
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("cannot read module {path}: {e}")));
+            let module = Module::from_json_str(&text)
+                .unwrap_or_else(|e| fail(format!("cannot parse module {path}: {e}")));
             // Deserialized modules are untrusted: verify before use.
             if let Err(e) = module.verify() {
-                eprintln!("module failed verification: {e}");
-                std::process::exit(1);
+                fail(format!("module failed verification: {e}"));
             }
             let machine = Machine::tpu_v4_like(module.num_partitions());
             let faults = fault_spec_from_args(&args);
             if let Some(spec) = &faults {
                 if let Err(e) = spec.validate(machine.mesh()) {
                     let chips = machine.mesh().num_devices();
-                    eprintln!("fault spec does not fit the {chips}-chip machine: {e}");
-                    std::process::exit(1);
+                    fail(format!("fault spec does not fit the {chips}-chip machine: {e}"));
                 }
                 println!("compiling for a degraded machine (fault seed {})\n", spec.seed);
             }
@@ -117,20 +137,33 @@ fn main() {
             if let Some(spec) = &faults {
                 pipeline = pipeline.with_faults(spec.clone());
             }
-            let compiled =
-                pipeline.compile_cached(&module, &machine, &cache).expect("pipeline");
+            let compiled = pipeline
+                .compile_cached(&module, &machine, &cache)
+                .unwrap_or_else(|e| fail(format!("cannot compile {path}: {e}")));
             println!("{}", CompileReport::new(&module, &compiled, &machine));
 
+            let sim = |r: Result<overlap_sim::Report, overlap_sim::SimError>, what: &str| {
+                r.unwrap_or_else(|e| fail(format!("cannot simulate the {what}: {e}")))
+            };
             let (baseline, over) = match &faults {
                 Some(spec) => (
-                    simulate_faulted(&module, &machine, spec).expect("faulted baseline"),
-                    simulate_order_faulted(&compiled.module, &machine, &compiled.order, spec)
-                        .expect("faulted simulate"),
+                    sim(simulate_faulted(&module, &machine, spec), "faulted baseline"),
+                    sim(
+                        simulate_order_faulted(
+                            &compiled.module,
+                            &machine,
+                            &compiled.order,
+                            spec,
+                        ),
+                        "faulted overlapped schedule",
+                    ),
                 ),
                 None => (
-                    simulate(&module, &machine).expect("baseline"),
-                    simulate_order(&compiled.module, &machine, &compiled.order)
-                        .expect("simulate"),
+                    sim(simulate(&module, &machine), "baseline"),
+                    sim(
+                        simulate_order(&compiled.module, &machine, &compiled.order),
+                        "overlapped schedule",
+                    ),
                 ),
             };
             println!(
@@ -141,10 +174,15 @@ fn main() {
             );
             println!("{}", over.timeline().render(76));
 
-            let trace = format!("{path}.trace.json");
-            std::fs::write(&trace, over.timeline().to_chrome_trace()).expect("write trace");
+            let trace =
+                chrome_trace_from_args(&args).unwrap_or_else(|| format!("{path}.trace.json"));
+            if let Err(e) = std::fs::write(&trace, over.timeline().to_chrome_trace()) {
+                fail(format!("cannot write trace {trace}: {e}"));
+            }
             let dot = format!("{path}.dot");
-            std::fs::write(&dot, to_dot(&compiled.module)).expect("write dot");
+            if let Err(e) = std::fs::write(&dot, to_dot(&compiled.module)) {
+                fail(format!("cannot write dot {dot}: {e}"));
+            }
             println!("\nwrote {trace} and {dot}");
             report_cache(&cache);
         }

@@ -1,0 +1,132 @@
+//! `overlapd` — the compile-and-simulate service daemon.
+//!
+//! ```sh
+//! # Serve on an ephemeral port, announce it through a port file:
+//! cargo run --release -p overlap-bench --bin overlapd -- \
+//!     --port-file /tmp/overlapd.port --cache-dir .overlap-cache
+//!
+//! # Fixed address, 4 workers, shed beyond 16 queued connections:
+//! cargo run --release -p overlap-bench --bin overlapd -- \
+//!     --addr 127.0.0.1:7979 --workers 4 --queue-depth 16
+//! ```
+//!
+//! The daemon serves the overlap-serve/1 protocol (see
+//! `overlap-serve`'s docs and DESIGN.md §Service layer) until drained:
+//! by SIGTERM/SIGINT, or by a client `shutdown` request. A drain stops
+//! admission, finishes every request already accepted, and exits 0 —
+//! disk-cache writes are atomic throughout, so no torn entries. The
+//! artifact cache honors the usual knobs (`--cache-dir` /
+//! `OVERLAP_CACHE_DIR`, `OVERLAP_CACHE=0`, `OVERLAP_CACHE_VERIFY=1`).
+
+use std::sync::OnceLock;
+
+use overlap_core::ArtifactCache;
+use overlap_serve::{ServeConfig, Server, ShutdownHandle};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: overlapd [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+         [--port-file PATH] [--cache-dir DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("overlapd: {msg}");
+    std::process::exit(1);
+}
+
+/// Value of `--flag V`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(v) => Some(v.clone()),
+        None => usage(),
+    }
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let v = flag_value(args, flag)?;
+    match v.parse() {
+        Ok(t) => Some(t),
+        Err(_) => fail(format!("cannot parse {flag} value {v:?}")),
+    }
+}
+
+/// The drain handle SIGTERM/SIGINT forward to. A `OnceLock` because a
+/// C signal handler cannot capture state; both `get` and the atomic
+/// store inside `request` are async-signal-safe.
+static DRAIN: OnceLock<ShutdownHandle> = OnceLock::new();
+
+extern "C" fn on_signal(_sig: i32) {
+    if let Some(h) = DRAIN.get() {
+        h.request();
+    }
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Raw libc `signal` keeps this dependency-free; the handler only
+    // flips an atomic, and the acceptor polls it every 25 ms.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler: extern "C" fn(i32) = on_signal;
+    unsafe {
+        signal(SIGTERM, handler as usize);
+        signal(SIGINT, handler as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let mut config = ServeConfig::default();
+    if let Some(addr) = flag_value(&args, "--addr") {
+        config.addr = addr;
+    }
+    if let Some(workers) = parsed_flag(&args, "--workers") {
+        config.workers = workers;
+    }
+    if let Some(depth) = parsed_flag(&args, "--queue-depth") {
+        config.queue_depth = depth;
+    }
+    let cache = match flag_value(&args, "--cache-dir") {
+        Some(dir) => ArtifactCache::with_disk_dir(dir),
+        None => ArtifactCache::from_env(),
+    };
+
+    let server = match Server::bind(&config, cache) {
+        Ok(s) => s,
+        Err(e) => fail(format!("cannot bind {}: {e}", config.addr)),
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => fail(format!("cannot read bound address: {e}")),
+    };
+    DRAIN.set(server.shutdown_handle()).ok();
+    install_signal_handlers();
+
+    // The port file is how scripts find an ephemeral port; written
+    // after bind, so a reader never races a half-started server.
+    if let Some(path) = flag_value(&args, "--port-file") {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", addr.port())) {
+            fail(format!("cannot write port file {path}: {e}"));
+        }
+    }
+    eprintln!(
+        "overlapd: serving on {addr} ({} workers, queue depth {})",
+        config.workers, config.queue_depth
+    );
+    match server.run() {
+        Ok(()) => eprintln!("overlapd: drained cleanly"),
+        Err(e) => fail(format!("listener failed: {e}")),
+    }
+}

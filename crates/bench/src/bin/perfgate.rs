@@ -27,6 +27,7 @@ use overlap_hlo::{eliminate_common_subexpressions, InstrId, Module};
 use overlap_json::{Json, ToJson};
 use overlap_mesh::{FaultSpec, Machine};
 use overlap_models::{table1_models, Arch, ModelConfig, PartitionStrategy};
+use overlap_serve::{Client, CompileRequest, Histogram, ServeConfig, Server};
 use overlap_sim::{
     simulate_faulted, simulate_order, simulate_order_faulted_with, simulate_order_repeated_with,
     CostTable,
@@ -153,6 +154,138 @@ fn fault_smoke(cfg: &ModelConfig) -> (FaultSmoke, bool) {
     (record, noop_identical && deterministic)
 }
 
+/// Concurrent connections the serve bench drives against the in-process
+/// daemon (the acceptance floor for the service layer).
+const SERVE_CLIENTS: usize = 32;
+
+struct ServeBench {
+    clients: usize,
+    /// Frames the server decoded into requests (cold + warm + stats).
+    requests: u64,
+    /// Seconds for the cold pass: one client compiling every Table-1
+    /// model once, all pipeline runs.
+    cold_seconds: f64,
+    /// Seconds for the warm fan-out: [`SERVE_CLIENTS`] connections each
+    /// re-requesting every model, all served from the cache.
+    warm_seconds: f64,
+    /// Client-observed latency quantiles of the warm pass only.
+    warm_p50_ms: f64,
+    warm_p99_ms: f64,
+    warm_max_ms: f64,
+    /// Cache hit rate across the whole run; with six models and
+    /// 32×6 warm requests this lands at 192/198.
+    hit_rate: f64,
+    shed: u64,
+    errors: u64,
+}
+
+impl ToJson for ServeBench {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("clients", self.clients as u64)
+            .with("requests", self.requests)
+            .with("cold_seconds", self.cold_seconds)
+            .with("warm_seconds", self.warm_seconds)
+            .with("warm_p50_ms", self.warm_p50_ms)
+            .with("warm_p99_ms", self.warm_p99_ms)
+            .with("warm_max_ms", self.warm_max_ms)
+            .with("hit_rate", self.hit_rate)
+            .with("shed", self.shed)
+            .with("errors", self.errors)
+    }
+}
+
+/// Serve-layer bench (hard gate): an in-process [`Server`] driven by
+/// [`SERVE_CLIENTS`] concurrent connections over the Table-1 models,
+/// cold then warm. Every warm response must be byte-identical to the
+/// cold one for its model, the pipeline must have run exactly once per
+/// model (single-flight dedup), and nothing may shed or error. The warm
+/// p50/p99 are informational, tracked across commits via the JSON.
+fn serve_bench() -> (ServeBench, bool) {
+    let models = table1_models();
+    let names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+    // One worker per client: a worker owns a connection until it
+    // closes, so fewer workers would fold admission-queue waits into
+    // the warm quantiles and measure starvation, not service.
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: SERVE_CLIENTS,
+        queue_depth: 2 * SERVE_CLIENTS,
+    };
+    let server = Server::bind(&config, ArtifactCache::in_memory()).expect("bind serve bench");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    // Cold pass: one client walks every model once. The responses
+    // double as the byte-identity oracle for the warm fan-out.
+    let t = Instant::now();
+    let mut client = Client::connect(&addr).expect("connect to serve bench");
+    let cold: Vec<String> = names
+        .iter()
+        .map(|n| {
+            let resp = client.compile(CompileRequest::named(*n)).expect("cold compile");
+            resp.result.to_json().to_string()
+        })
+        .collect();
+    let cold_seconds = t.elapsed().as_secs_f64();
+
+    let latency = Histogram::new();
+    let mismatches = std::sync::atomic::AtomicU64::new(0);
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..SERVE_CLIENTS {
+            let (addr, names, cold) = (&addr, &names, &cold);
+            let (latency, mismatches) = (&latency, &mismatches);
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect warm client");
+                for step in 0..names.len() {
+                    let pick = (tid + step) % names.len();
+                    let t = Instant::now();
+                    let resp = client
+                        .compile(CompileRequest::named(names[pick]))
+                        .expect("warm compile");
+                    latency.record(t.elapsed().as_secs_f64() * 1e3);
+                    if resp.result.to_json().to_string() != cold[pick] {
+                        mismatches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let warm_seconds = t.elapsed().as_secs_f64();
+
+    let stats = client.stats().expect("serve stats");
+    client.shutdown().expect("serve shutdown");
+    handle.join().expect("serve thread").expect("serve run");
+
+    let warm = latency.summary();
+    let record = ServeBench {
+        clients: SERVE_CLIENTS,
+        requests: stats.requests,
+        cold_seconds,
+        warm_seconds,
+        warm_p50_ms: warm.p50_ms,
+        warm_p99_ms: warm.p99_ms,
+        warm_max_ms: warm.max_ms,
+        hit_rate: stats.cache_hit_rate,
+        shed: stats.shed,
+        errors: stats.errors,
+    };
+    let mismatches = mismatches.into_inner();
+    let ok = mismatches == 0
+        && stats.cache_misses == names.len() as u64
+        && stats.shed == 0
+        && stats.errors == 0
+        && warm.count == (SERVE_CLIENTS * names.len()) as u64;
+    if !ok {
+        eprintln!(
+            "serve bench: mismatches={mismatches} misses={} shed={} errors={} warm={}",
+            stats.cache_misses, stats.shed, stats.errors, warm.count
+        );
+    }
+    (record, ok)
+}
+
 struct PerfRecord {
     reps: usize,
     /// Repeated simulation rebuilding every instruction cost per run
@@ -170,6 +303,7 @@ struct PerfRecord {
     compile_throughput: CompileThroughput,
     cache: CacheBench,
     fault_smoke: FaultSmoke,
+    serve: ServeBench,
     threads: usize,
 }
 
@@ -186,6 +320,7 @@ impl ToJson for PerfRecord {
             .with("compile_throughput", self.compile_throughput.to_json())
             .with("cache", self.cache.to_json())
             .with("fault_smoke", self.fault_smoke.to_json())
+            .with("serve", self.serve.to_json())
             .with("threads", self.threads as u64)
     }
 }
@@ -425,6 +560,10 @@ fn main() {
     // Fault-injection smoke on the same mid-size layer (hard gate).
     let (fault_smoke, fault_ok) = fault_smoke(&cfg);
 
+    // Service layer: concurrent clients against an in-process daemon
+    // (hard gate on byte-identity, dedup, and zero sheds/errors).
+    let (serve, serve_ok) = serve_bench();
+
     let record = PerfRecord {
         reps,
         sim_fresh_seconds,
@@ -436,6 +575,7 @@ fn main() {
         compile_throughput: compile,
         cache,
         fault_smoke,
+        serve,
         threads: sweep_threads(),
     };
     println!(
@@ -470,6 +610,15 @@ fn main() {
         record.fault_smoke.decomposed,
         record.fault_smoke.fallbacks
     );
+    println!(
+        "serve: {} clients, cold {:.3}s, warm {:.3}s (p50 {:.2}ms, p99 {:.2}ms, hit rate {:.2})",
+        record.serve.clients,
+        record.serve.cold_seconds,
+        record.serve.warm_seconds,
+        record.serve.warm_p50_ms,
+        record.serve.warm_p99_ms,
+        record.serve.hit_rate
+    );
     write_json("BENCH_sim", &record);
 
     if !fault_ok {
@@ -497,6 +646,13 @@ fn main() {
             record.cache.cold_seconds,
             record.cache.speedup,
             record.cache.hit_rate,
+        );
+        std::process::exit(1);
+    }
+    if !serve_ok {
+        eprintln!(
+            "serve regression: a warm response diverged from its cold compile, the pipeline \
+             ran more than once per model, or requests shed/errored under {SERVE_CLIENTS} clients"
         );
         std::process::exit(1);
     }

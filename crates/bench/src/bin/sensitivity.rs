@@ -9,11 +9,11 @@
 //! communication share, how many patterns the §5.5 gate still accepts,
 //! and the resulting speedup.
 
-use overlap_bench::{artifact_cache, par_map, report_cache, write_json};
+use overlap_bench::{artifact_cache, or_exit, par_map, report_cache, write_json};
 use overlap_core::{OverlapOptions, OverlapPipeline};
 use overlap_json::{Json, ToJson};
 use overlap_mesh::Machine;
-use overlap_models::table2_models;
+use overlap_models::find_model;
 use overlap_sim::{simulate, simulate_order_with};
 
 struct Row {
@@ -34,7 +34,10 @@ impl ToJson for Row {
 }
 
 fn main() {
-    let cfg = table2_models().into_iter().find(|m| m.name == "GPT_256B").expect("table 2");
+    let cfg = or_exit(
+        find_model("GPT_256B").ok_or("GPT_256B missing from the model zoo"),
+        "find the sensitivity workload",
+    );
     let module = cfg.layer_module();
     println!("Section 7.2: interconnect sensitivity ({} layer, {} chips)\n", cfg.name, cfg.chips);
     println!(
@@ -44,15 +47,18 @@ fn main() {
     let sweep = [180.0, 90.0, 45.0, 22.5, 11.25, 5.6];
     let rows = par_map(&sweep, |&gbps| {
         let machine = cfg.machine().with_link_bandwidth(gbps * 1e9);
-        let baseline = simulate(&module, &machine).expect("baseline");
+        let baseline = or_exit(simulate(&module, &machine), "simulate the baseline");
         // Each bandwidth point is a distinct machine fingerprint (a cold
         // compile), but re-runs of the sweep hit the disk tier.
-        let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
-            .compile_cached(&module, &machine, artifact_cache())
-            .expect("pipeline");
-        let over =
-            simulate_order_with(&compiled.cost_table, &compiled.module, &machine, &compiled.order)
-                .expect("simulate");
+        let compiled = or_exit(
+            OverlapPipeline::new(OverlapOptions::paper_default())
+                .compile_cached(&module, &machine, artifact_cache()),
+            "compile the sweep point",
+        );
+        let over = or_exit(
+            simulate_order_with(&compiled.cost_table, &compiled.module, &machine, &compiled.order),
+            "simulate the overlapped schedule",
+        );
         Row {
             bandwidth_gbps: gbps,
             baseline_comm_fraction: baseline.comm_fraction(),
@@ -77,12 +83,16 @@ fn main() {
 
     // §7.2 also claims the idea carries to NVLink-class GPU clusters.
     let gpu = Machine::gpu_cluster_like(cfg.chips);
-    let baseline = simulate(&module, &gpu).expect("gpu baseline");
-    let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
-        .compile_cached(&module, &gpu, artifact_cache())
-        .expect("gpu pipeline");
-    let over = simulate_order_with(&compiled.cost_table, &compiled.module, &gpu, &compiled.order)
-        .expect("gpu sim");
+    let baseline = or_exit(simulate(&module, &gpu), "simulate the GPU baseline");
+    let compiled = or_exit(
+        OverlapPipeline::new(OverlapOptions::paper_default())
+            .compile_cached(&module, &gpu, artifact_cache()),
+        "compile for the GPU cluster",
+    );
+    let over = or_exit(
+        simulate_order_with(&compiled.cost_table, &compiled.module, &gpu, &compiled.order),
+        "simulate the GPU overlapped schedule",
+    );
     println!(
         "\nGPU-cluster preset ({} chips): baseline comm {:.1}%, speedup {:.2}x",
         cfg.chips,

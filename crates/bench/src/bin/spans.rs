@@ -6,7 +6,7 @@
 //! ```
 
 use overlap_core::{OverlapOptions, OverlapPipeline};
-use overlap_models::{table1_models, table2_models};
+use overlap_models::{find_model, model_names};
 use overlap_sim::simulate_order;
 
 fn main() {
@@ -15,20 +15,28 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(60);
-    let Some(cfg) = table1_models()
-        .into_iter()
-        .chain(table2_models())
-        .find(|m| m.name == which)
-    else {
-        eprintln!("unknown model {which}; use a Table 1/Table 2 name like GPT_32B");
+    let Some(cfg) = find_model(&which) else {
+        eprintln!("unknown model {which}; known names: {}", model_names().join(", "));
         std::process::exit(1);
     };
     let module = cfg.layer_module();
     let machine = cfg.machine();
-    let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
+    let compiled = match OverlapPipeline::new(OverlapOptions::paper_default())
         .run(&module, &machine)
-        .expect("pipeline");
-    let r = simulate_order(&compiled.module, &machine, &compiled.order).expect("simulate");
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot compile {}: {e}", cfg.name);
+            std::process::exit(1);
+        }
+    };
+    let r = match simulate_order(&compiled.module, &machine, &compiled.order) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot simulate {}: {e}", cfg.name);
+            std::process::exit(1);
+        }
+    };
     println!("{} — first {count} spans of {}:", cfg.name, r.timeline().spans.len());
     for s in r.timeline().spans.iter().take(count) {
         println!(

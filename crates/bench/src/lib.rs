@@ -115,6 +115,16 @@ pub fn report_cache(cache: &ArtifactCache) {
     );
 }
 
+/// Unwraps a result or exits(1) with `cannot <what>: <error>` on
+/// stderr. The figure/table binaries report bad inputs and simulator
+/// failures as user-facing errors instead of panicking.
+pub fn or_exit<T, E: std::fmt::Display>(result: Result<T, E>, what: &str) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("cannot {what}: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// Simulates one model's step without the overlap pipeline.
 ///
 /// # Panics

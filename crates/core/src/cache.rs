@@ -99,6 +99,32 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+/// Where one [`ArtifactCache::compile_traced`] call's artifact came
+/// from. The service layer reports this per request so clients can see
+/// dedup working; the aggregate counters live in [`CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the in-memory tier — including waiting out another
+    /// thread's in-flight compile of the same key (single-flight).
+    MemoryHit,
+    /// Loaded and revalidated from the disk tier.
+    DiskHit,
+    /// Ran the full pipeline (a disabled cache always lands here).
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Stable wire/log name: `"memory"`, `"disk"` or `"compiled"`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::MemoryHit => "memory",
+            CacheOutcome::DiskHit => "disk",
+            CacheOutcome::Miss => "compiled",
+        }
+    }
+}
+
 impl CacheStats {
     /// Total lookups served without compiling.
     #[must_use]
@@ -276,8 +302,27 @@ impl ArtifactCache {
         module: &Module,
         machine: &Machine,
     ) -> Result<Compiled, HloError> {
+        self.compile_traced(pipeline, module, machine).map(|(compiled, _)| compiled)
+    }
+
+    /// [`ArtifactCache::compile`] that also reports where the artifact
+    /// came from — the per-call view of the aggregate [`CacheStats`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ArtifactCache::compile`].
+    ///
+    /// # Panics
+    ///
+    /// Exactly as [`ArtifactCache::compile`].
+    pub fn compile_traced(
+        &self,
+        pipeline: &OverlapPipeline,
+        module: &Module,
+        machine: &Machine,
+    ) -> Result<(Compiled, CacheOutcome), HloError> {
         if !self.enabled {
-            return pipeline.run(module, machine);
+            return pipeline.run(module, machine).map(|c| (c, CacheOutcome::Miss));
         }
         let faults = pipeline.effective_faults();
         let key = artifact_key_faulted(module, machine, pipeline.options(), faults);
@@ -289,11 +334,15 @@ impl ArtifactCache {
             loop {
                 match slots.get(&key.as_u128()) {
                     Some(Slot::Ready(e)) if e.input_identity == identity => {
-                        let out = e.compiled.clone();
+                        // Take the Arc, not the payload: cloning a large
+                        // `Compiled` under the lock would serialize every
+                        // concurrent hit.
+                        let entry = Arc::clone(e);
                         drop(slots);
                         self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                        let out = entry.compiled.clone();
                         self.maybe_verify_hit(pipeline, module, machine, &out);
-                        return Ok(out);
+                        return Ok((out, CacheOutcome::MemoryHit));
                     }
                     // Identity mismatch (same structure, renamed input) or
                     // empty slot: this thread becomes the leader.
@@ -319,14 +368,14 @@ impl ArtifactCache {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
             flight.install(MemEntry { input_identity: identity, compiled: compiled.clone() });
             self.maybe_verify_hit(pipeline, module, machine, &compiled);
-            return Ok(compiled);
+            return Ok((compiled, CacheOutcome::DiskHit));
         }
 
         let compiled = pipeline.run(module, machine)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.store_disk(key, identity, module, machine, pipeline.options(), faults, &compiled);
         flight.install(MemEntry { input_identity: identity, compiled: compiled.clone() });
-        Ok(compiled)
+        Ok((compiled, CacheOutcome::Miss))
     }
 
     fn maybe_verify_hit(

@@ -14,9 +14,10 @@
 use overlap_json::{FromJson, Json, ToJson};
 
 use crate::costgate::GateDecision;
-use crate::decompose::DecomposeSummary;
+use crate::decompose::{DecomposeOptions, DecomposeSummary};
+use crate::fusion::FusionOptions;
 use crate::pattern::{AgCase, Pattern, PatternKind};
-use crate::pipeline::FallbackRecord;
+use crate::pipeline::{FallbackRecord, OverlapOptions, SchedulerKind};
 use crate::profile::{PhaseTiming, PhaseTimings};
 
 impl ToJson for AgCase {
@@ -167,6 +168,81 @@ impl FromJson for FallbackRecord {
     }
 }
 
+impl ToJson for DecomposeOptions {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("unroll", self.unroll)
+            .with("bidirectional", self.bidirectional)
+            .with("pad_max_concat", self.pad_max_concat)
+    }
+}
+
+impl FromJson for DecomposeOptions {
+    fn from_json(v: &Json) -> Result<DecomposeOptions, String> {
+        Ok(DecomposeOptions {
+            unroll: v.decode_field("unroll")?,
+            bidirectional: v.decode_field("bidirectional")?,
+            pad_max_concat: v.decode_field("pad_max_concat")?,
+        })
+    }
+}
+
+impl ToJson for FusionOptions {
+    fn to_json(&self) -> Json {
+        Json::obj().with("overlap_aware", self.overlap_aware)
+    }
+}
+
+impl FromJson for FusionOptions {
+    fn from_json(v: &Json) -> Result<FusionOptions, String> {
+        Ok(FusionOptions { overlap_aware: v.decode_field("overlap_aware")? })
+    }
+}
+
+impl ToJson for SchedulerKind {
+    fn to_json(&self) -> Json {
+        Json::from(match self {
+            SchedulerKind::BottomUp => "BottomUp",
+            SchedulerKind::TopDown => "TopDown",
+            SchedulerKind::Original => "Original",
+        })
+    }
+}
+
+impl FromJson for SchedulerKind {
+    fn from_json(v: &Json) -> Result<SchedulerKind, String> {
+        match v.as_str() {
+            Some("BottomUp") => Ok(SchedulerKind::BottomUp),
+            Some("TopDown") => Ok(SchedulerKind::TopDown),
+            Some("Original") => Ok(SchedulerKind::Original),
+            _ => Err(format!("expected SchedulerKind, got {v}")),
+        }
+    }
+}
+
+impl ToJson for OverlapOptions {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("decompose", self.decompose.to_json())
+            .with("fusion", self.fusion.to_json())
+            .with("scheduler", self.scheduler.to_json())
+            .with("disable_cost_gate", self.disable_cost_gate)
+            .with("split_all_reduce", self.split_all_reduce)
+    }
+}
+
+impl FromJson for OverlapOptions {
+    fn from_json(v: &Json) -> Result<OverlapOptions, String> {
+        Ok(OverlapOptions {
+            decompose: v.decode_field("decompose")?,
+            fusion: v.decode_field("fusion")?,
+            scheduler: v.decode_field("scheduler")?,
+            disable_cost_gate: v.decode_field("disable_cost_gate")?,
+            split_all_reduce: v.decode_field("split_all_reduce")?,
+        })
+    }
+}
+
 impl ToJson for PhaseTiming {
     fn to_json(&self) -> Json {
         Json::obj().with("phase", self.phase.as_str()).with("seconds", self.seconds)
@@ -266,6 +342,40 @@ mod tests {
         let text = timings.to_json().to_string();
         let back = PhaseTimings::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, timings);
+    }
+
+    #[test]
+    fn overlap_options_roundtrip_and_fingerprint_agree() {
+        use crate::pipeline::OverlapOptions;
+        let base = OverlapOptions::paper_default();
+        let variants = [
+            base,
+            OverlapOptions { fusion: None, ..base },
+            OverlapOptions {
+                scheduler: crate::SchedulerKind::TopDown,
+                disable_cost_gate: true,
+                ..base
+            },
+            OverlapOptions {
+                decompose: crate::DecomposeOptions {
+                    unroll: false,
+                    bidirectional: false,
+                    pad_max_concat: true,
+                },
+                scheduler: crate::SchedulerKind::Original,
+                split_all_reduce: true,
+                ..base
+            },
+        ];
+        for o in variants {
+            let text = o.to_json().to_string();
+            let back = OverlapOptions::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, o);
+            assert_eq!(back.fingerprint(), o.fingerprint());
+        }
+        assert!(OverlapOptions::from_json(&Json::obj()).is_err());
+        let bad = base.to_json().with("scheduler", "Sideways");
+        assert!(OverlapOptions::from_json(&bad).is_err());
     }
 
     #[test]

@@ -66,7 +66,7 @@ mod report;
 mod schedule;
 
 pub use asyncify::{asyncify, asyncify_with};
-pub use cache::{artifact_key, artifact_key_faulted, ArtifactCache, CacheStats};
+pub use cache::{artifact_key, artifact_key_faulted, ArtifactCache, CacheOutcome, CacheStats};
 pub use costgate::{CostModel, FaultGateAdjust, GateDecision};
 pub use decompose::{
     decompose, decompose_each, decompose_each_with, DecomposeOptions, DecomposeSummary,

@@ -37,4 +37,4 @@ mod zoo;
 pub use config::{Arch, ModelConfig, PartitionStrategy};
 pub use layer::build_layer_module;
 pub use layer_attention::build_attention_layer;
-pub use zoo::{gpt_scaled, table1_models, table2_models};
+pub use zoo::{find_model, gpt_scaled, model_names, table1_models, table2_models};

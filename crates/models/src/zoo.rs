@@ -63,6 +63,29 @@ pub fn gpt_scaled() -> Vec<ModelConfig> {
     table2_models()
 }
 
+/// Looks up a published configuration by name across Tables 1 and 2
+/// (e.g. `"GPT_1T"`, `"GPT_32B"`, `"BigSSL_10B"`). Table 1 wins for the
+/// one name both tables share (`GPT_1T`); the two rows describe the same
+/// machine and layer shape.
+#[must_use]
+pub fn find_model(name: &str) -> Option<ModelConfig> {
+    table1_models().into_iter().chain(table2_models()).find(|m| m.name == name)
+}
+
+/// Every published model name, in table order (Table 1 then Table 2,
+/// duplicates removed) — the vocabulary [`find_model`] accepts, for
+/// CLI/daemon error messages.
+#[must_use]
+pub fn model_names() -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for m in table1_models().into_iter().chain(table2_models()) {
+        if !names.contains(&m.name) {
+            names.push(m.name);
+        }
+    }
+    names
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

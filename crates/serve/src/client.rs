@@ -1,0 +1,143 @@
+//! A blocking client for the overlap-serve protocol.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use overlap_json::{FromJson, ToJson};
+
+use crate::protocol::{
+    read_frame, write_frame, CompileRequest, CompileResponse, ErrorResponse, FrameReader,
+    Request, Response, StatsResponse, WireError,
+};
+
+/// What a request can fail with, client-side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Wire(WireError),
+    /// The response frame decoded to something other than a response.
+    BadResponse(String),
+    /// The server answered with a typed error.
+    Server(ErrorResponse),
+    /// The server answered, but with a response of the wrong shape for
+    /// the request (e.g. `pong` to a compile).
+    Unexpected(&'static str, Response),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::BadResponse(m) => write!(f, "undecodable response: {m}"),
+            ClientError::Server(e) => {
+                write!(f, "server error [{}]: {}", e.kind.as_str(), e.message)
+            }
+            ClientError::Unexpected(want, got) => {
+                write!(f, "expected a {want} response, got {got:?}")
+            }
+        }
+    }
+}
+
+/// One connection to an overlap-serve daemon. Requests are pipelined
+/// strictly: send one frame, read one frame.
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl Client {
+    /// Connects (blocking, no timeout: the admission queue decides how
+    /// long connecting takes to pay off).
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream, reader: FrameReader::new() })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// A send failure does not abort immediately: a shed server writes
+    /// its `overloaded` frame and closes before reading, which can
+    /// surface here as a broken pipe on write — the typed error is
+    /// still sitting in the socket, so the read is attempted anyway.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClientError::Wire`] on transport problems or
+    /// [`ClientError::BadResponse`] if the frame is not a response.
+    /// Typed server errors are returned as `Ok(Response::Error(..))`,
+    /// not as `Err` — shape-specific helpers below lift them.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let sent = write_frame(&mut self.stream, &req.to_json());
+        match read_frame(&mut self.stream, &mut self.reader) {
+            Ok(v) => Response::from_json(&v).map_err(ClientError::BadResponse),
+            Err(e) => {
+                // Neither a response nor a send: report the send error
+                // context if the read just saw the close it caused.
+                if let (Err(io), WireError::Closed) = (&sent, &e) {
+                    return Err(ClientError::Wire(WireError::Malformed(format!(
+                        "connection closed after send failure: {io}"
+                    ))));
+                }
+                Err(ClientError::Wire(e))
+            }
+        }
+    }
+
+    /// Compiles; lifts typed server errors into `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Server`] for typed failures (including
+    /// `overloaded` sheds) and wire errors as [`ClientError::Wire`].
+    pub fn compile(&mut self, req: CompileRequest) -> Result<CompileResponse, ClientError> {
+        match self.request(&Request::Compile(Box::new(req)))? {
+            Response::Compiled(c) => Ok(*c),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected("compiled", other)),
+        }
+    }
+
+    /// Fetches server stats.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::compile`].
+    pub fn stats(&mut self) -> Result<StatsResponse, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(*s),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected("stats", other)),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::compile`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected("pong", other)),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::compile`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected("shutting-down", other)),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! overlap-serve: the compile-and-simulate service layer.
+//!
+//! Everything below the bins: the versioned wire protocol
+//! ([`protocol`]), the shared request-execution path ([`exec`] — the
+//! same function the daemon and the byte-identity checkers call), the
+//! bounded-admission server ([`server`]), a blocking client
+//! ([`client`]) and lock-free latency metrics ([`metrics`]).
+//!
+//! The service contract, in one sentence: a compile request's `result`
+//! object is a pure function of (model, machine, options, fault spec)
+//! — byte-identical to a direct `OverlapPipeline::compile_cached` +
+//! `simulate` run — while provenance and timing ride separately in
+//! `served`, and overload, drain and malformed input all answer with
+//! typed errors instead of dropped connections.
+
+pub mod client;
+pub mod exec;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use exec::{execute, Deadline, ExecError};
+pub use metrics::{Histogram, ServerMetrics};
+pub use protocol::{
+    read_frame, write_frame, CompileRequest, CompileResponse, CompileResult, ErrorKind,
+    ErrorResponse, FrameEvent, FrameReader, LatencySummary, MachineSpec, ModelRef, Request,
+    Response, ServedInfo, SimSummary, StatsResponse, WireError, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+pub use server::{ServeConfig, Server, ShutdownHandle};

@@ -1,0 +1,874 @@
+//! The overlap-serve wire protocol: versioned frames of overlap-json.
+//!
+//! Every message — request or response — travels as one *frame*:
+//!
+//! ```text
+//! overlap-serve/1 <payload-len>\n
+//! <payload-len bytes of compact JSON>
+//! ```
+//!
+//! The header line carries the protocol version and the exact payload
+//! length, so a reader can reject a peer speaking a different version
+//! before parsing anything, detect truncated payloads (short reads) and
+//! bound memory before allocating. Payloads are compact (not pretty)
+//! JSON; the deterministic part of a compile response re-encodes to the
+//! same bytes on every honest server and client, which is what the
+//! loadgen byte-identity check compares.
+//!
+//! Requests are tagged by a `"request"` member (`compile`, `stats`,
+//! `ping`, `shutdown`), responses by `"response"` (`compiled`, `stats`,
+//! `pong`, `shutting-down`, `error`). Unknown tags and undecodable
+//! bodies produce typed [`ErrorKind`] responses, never a dropped
+//! connection.
+
+use std::io::{Read, Write};
+
+use overlap_core::{DecomposeSummary, FallbackRecord, GateDecision, OverlapOptions};
+use overlap_hlo::Module;
+use overlap_json::{FromJson, Json, ToJson};
+use overlap_mesh::FaultSpec;
+use overlap_sim::Report;
+
+/// Version token every frame header must lead with. Bump on any wire
+/// layout change; old peers then fail fast with
+/// [`ErrorKind::UnknownVersion`] instead of misparsing.
+pub const PROTOCOL_VERSION: &str = "overlap-serve/1";
+
+/// Upper bound on one frame's payload. Large enough for an inline
+/// module of tens of thousands of instructions, small enough that a
+/// corrupt length header cannot OOM the server.
+pub const MAX_FRAME_BYTES: usize = 32 << 20;
+
+/// Longest legal header line (`overlap-serve/1 <len>\n`); anything
+/// longer without a newline is garbage, not a slow peer.
+const MAX_HEADER_BYTES: usize = 64;
+
+/// What went wrong at the framing layer, before any request semantics.
+#[derive(Debug)]
+pub enum WireError {
+    /// Transport failure (other than a clean close between frames).
+    Io(std::io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The header named a protocol version this build does not speak.
+    UnknownVersion(String),
+    /// Unparseable header, truncated payload or invalid payload JSON.
+    Malformed(String),
+    /// The header announced a payload beyond [`MAX_FRAME_BYTES`].
+    FrameTooLarge(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::UnknownVersion(v) => {
+                write!(f, "unknown protocol version {v:?} (this build speaks {PROTOCOL_VERSION})")
+            }
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            WireError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
+            }
+        }
+    }
+}
+
+impl WireError {
+    /// The typed error a server should answer with, if the connection
+    /// is still coherent enough to answer on (`None` for transport
+    /// failures, where writing would be futile).
+    #[must_use]
+    pub fn to_error_kind(&self) -> Option<ErrorKind> {
+        match self {
+            WireError::Io(_) | WireError::Closed => None,
+            WireError::UnknownVersion(_) => Some(ErrorKind::UnknownVersion),
+            WireError::Malformed(_) => Some(ErrorKind::Malformed),
+            WireError::FrameTooLarge(_) => Some(ErrorKind::FrameTooLarge),
+        }
+    }
+}
+
+/// Writes one frame (header + compact payload) and flushes.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; the caller decides whether the
+/// connection is worth keeping.
+pub fn write_frame(w: &mut impl Write, payload: &Json) -> std::io::Result<()> {
+    let body = payload.to_string();
+    // Header and payload go out as one write: two small segments on a
+    // real socket trip Nagle + delayed-ACK stalls (tens of ms a frame).
+    let mut frame = Vec::with_capacity(body.len() + MAX_HEADER_BYTES);
+    frame.extend_from_slice(format!("{PROTOCOL_VERSION} {}\n", body.len()).as_bytes());
+    frame.extend_from_slice(body.as_bytes());
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// One step of frame extraction: what [`FrameReader::poll`] observed.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete, parseable frame.
+    Frame(Json),
+    /// The read timed out with no complete frame buffered; the caller
+    /// may check shutdown flags and poll again.
+    Idle,
+    /// Clean end of stream between frames.
+    Closed,
+    /// A framing violation; see [`WireError`].
+    Error(WireError),
+}
+
+/// Incremental frame reader that survives short reads and read
+/// timeouts: bytes accumulate across [`FrameReader::poll`] calls until
+/// a full header + payload is buffered. This is what lets the server
+/// park on an idle keep-alive connection with a read timeout and still
+/// notice a drain request between polls, without ever losing a
+/// half-received frame.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with no buffered bytes.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads from `r` until a full frame is buffered, the stream ends,
+    /// or the read times out (`WouldBlock`/`TimedOut` → [`FrameEvent::Idle`]).
+    pub fn poll(&mut self, r: &mut impl Read) -> FrameEvent {
+        loop {
+            match self.try_extract() {
+                Ok(Some(frame)) => return FrameEvent::Frame(frame),
+                Ok(None) => {}
+                Err(e) => return FrameEvent::Error(e),
+            }
+            let mut chunk = [0u8; 8192];
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        FrameEvent::Closed
+                    } else {
+                        FrameEvent::Error(WireError::Malformed(format!(
+                            "stream ended inside a frame ({} bytes buffered)",
+                            self.buf.len()
+                        )))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return FrameEvent::Idle;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return FrameEvent::Error(WireError::Io(e)),
+            }
+        }
+    }
+
+    /// Attempts to cut one frame off the front of the buffer.
+    fn try_extract(&mut self) -> Result<Option<Json>, WireError> {
+        let Some(nl) = self.buf.iter().position(|&b| b == b'\n') else {
+            if self.buf.len() > MAX_HEADER_BYTES {
+                return Err(WireError::Malformed(format!(
+                    "no newline within the first {MAX_HEADER_BYTES} bytes"
+                )));
+            }
+            return Ok(None);
+        };
+        let header = std::str::from_utf8(&self.buf[..nl])
+            .map_err(|_| WireError::Malformed("non-UTF-8 header".into()))?;
+        let (version, len) = header
+            .split_once(' ')
+            .ok_or_else(|| WireError::Malformed(format!("header {header:?} lacks a length")))?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::UnknownVersion(version.to_string()));
+        }
+        let len: usize = len
+            .trim()
+            .parse()
+            .map_err(|_| WireError::Malformed(format!("unparseable payload length {len:?}")))?;
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::FrameTooLarge(len));
+        }
+        if self.buf.len() < nl + 1 + len {
+            return Ok(None); // payload not fully buffered yet
+        }
+        let payload = std::str::from_utf8(&self.buf[nl + 1..nl + 1 + len])
+            .map_err(|_| WireError::Malformed("non-UTF-8 payload".into()))?;
+        let parsed =
+            Json::parse(payload).map_err(|e| WireError::Malformed(format!("payload: {e}")))?;
+        self.buf.drain(..nl + 1 + len);
+        Ok(Some(parsed))
+    }
+}
+
+/// Blocking convenience: polls until something other than
+/// [`FrameEvent::Idle`] happens (a stream without a read timeout never
+/// yields `Idle`, so this is what clients use).
+pub fn read_frame(r: &mut impl Read, reader: &mut FrameReader) -> Result<Json, WireError> {
+    loop {
+        match reader.poll(r) {
+            FrameEvent::Frame(v) => return Ok(v),
+            FrameEvent::Idle => {}
+            FrameEvent::Closed => return Err(WireError::Closed),
+            FrameEvent::Error(e) => return Err(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// What to compile: a model from the zoo by name, or a module shipped
+/// inline in the request (the `overlapc` use case over the wire).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelRef {
+    /// A name resolved against `overlap_models::find_model`.
+    Named(String),
+    /// A full serialized module (verified server-side before use).
+    Inline(Box<Module>),
+}
+
+impl ToJson for ModelRef {
+    fn to_json(&self) -> Json {
+        match self {
+            ModelRef::Named(name) => Json::from(name.as_str()),
+            ModelRef::Inline(module) => Json::obj().with("module", module.to_json()),
+        }
+    }
+}
+
+impl FromJson for ModelRef {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        if let Some(name) = v.as_str() {
+            return Ok(ModelRef::Named(name.to_string()));
+        }
+        match v.get("module") {
+            Some(m) => Ok(ModelRef::Inline(Box::new(Module::from_json(m)?))),
+            None => Err("model must be a name or {\"module\": ...}".into()),
+        }
+    }
+}
+
+/// Which machine to compile for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineSpec {
+    /// The model's own Table-1/Table-2 machine (for a named model), or
+    /// a TPUv4-like machine sized to the module's partition count (for
+    /// an inline module).
+    ModelDefault,
+    /// `Machine::tpu_v4_like(chips)`.
+    TpuV4 { chips: usize },
+    /// `Machine::gpu_cluster_like(chips)`.
+    GpuCluster { chips: usize },
+}
+
+impl ToJson for MachineSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            MachineSpec::ModelDefault => Json::from("model-default"),
+            MachineSpec::TpuV4 { chips } => {
+                Json::obj().with("kind", "tpu_v4").with("chips", *chips)
+            }
+            MachineSpec::GpuCluster { chips } => {
+                Json::obj().with("kind", "gpu_cluster").with("chips", *chips)
+            }
+        }
+    }
+}
+
+impl FromJson for MachineSpec {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        if let Some(s) = v.as_str() {
+            return match s {
+                "model-default" => Ok(MachineSpec::ModelDefault),
+                other => Err(format!("unknown machine {other:?} (expected \"model-default\")")),
+            };
+        }
+        let chips = v.decode_field::<usize>("chips")?;
+        match v.decode_field::<String>("kind")?.as_str() {
+            "tpu_v4" => Ok(MachineSpec::TpuV4 { chips }),
+            "gpu_cluster" => Ok(MachineSpec::GpuCluster { chips }),
+            other => Err(format!("unknown machine kind {other:?}")),
+        }
+    }
+}
+
+/// One compile-and-simulate job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileRequest {
+    /// What to compile.
+    pub model: ModelRef,
+    /// The target machine (defaults to [`MachineSpec::ModelDefault`]).
+    pub machine: MachineSpec,
+    /// Pipeline options (defaults to `OverlapOptions::paper_default()`).
+    pub options: OverlapOptions,
+    /// Optional degraded-machine spec; joins the artifact key.
+    pub fault_spec: Option<FaultSpec>,
+    /// Wall-clock budget measured from request receipt; exceeded →
+    /// [`ErrorKind::DeadlineExceeded`]. The simulated-time watchdog
+    /// (`FaultSpec::with_time_limit`) reports through the same error
+    /// kind when it trips.
+    pub deadline_ms: Option<u64>,
+}
+
+impl CompileRequest {
+    /// A paper-defaults request for a named zoo model.
+    #[must_use]
+    pub fn named(name: impl Into<String>) -> Self {
+        CompileRequest {
+            model: ModelRef::Named(name.into()),
+            machine: MachineSpec::ModelDefault,
+            options: OverlapOptions::paper_default(),
+            fault_spec: None,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Every request the server understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Compile + simulate; answered by [`Response::Compiled`].
+    Compile(Box<CompileRequest>),
+    /// Server counters and latency quantiles; [`Response::Stats`].
+    Stats,
+    /// Liveness probe; [`Response::Pong`].
+    Ping,
+    /// Ask the server to drain and exit; [`Response::ShuttingDown`].
+    Shutdown,
+}
+
+impl ToJson for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Request::Compile(c) => {
+                let mut v = Json::obj()
+                    .with("request", "compile")
+                    .with("model", c.model.to_json())
+                    .with("machine", c.machine.to_json())
+                    .with("options", c.options.to_json());
+                if let Some(spec) = &c.fault_spec {
+                    v.set("fault_spec", spec.to_json());
+                }
+                if let Some(ms) = c.deadline_ms {
+                    v.set("deadline_ms", ms.to_json());
+                }
+                v
+            }
+            Request::Stats => Json::obj().with("request", "stats"),
+            Request::Ping => Json::obj().with("request", "ping"),
+            Request::Shutdown => Json::obj().with("request", "shutdown"),
+        }
+    }
+}
+
+impl FromJson for Request {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.decode_field::<String>("request")?.as_str() {
+            "compile" => {
+                let machine = match v.get("machine") {
+                    Some(m) => MachineSpec::from_json(m)?,
+                    None => MachineSpec::ModelDefault,
+                };
+                let options = match v.get("options") {
+                    Some(o) => OverlapOptions::from_json(o)?,
+                    None => OverlapOptions::paper_default(),
+                };
+                let fault_spec = match v.get("fault_spec") {
+                    Some(s) if !s.is_null() => Some(FaultSpec::from_json(s)?),
+                    _ => None,
+                };
+                let deadline_ms = match v.get("deadline_ms") {
+                    Some(d) if !d.is_null() => Some(u64::from_json(d)?),
+                    _ => None,
+                };
+                Ok(Request::Compile(Box::new(CompileRequest {
+                    model: v.decode_field("model")?,
+                    machine,
+                    options,
+                    fault_spec,
+                    deadline_ms,
+                })))
+            }
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Typed failure categories; the stable wire names are kebab-case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Frame header named a version this build does not speak.
+    UnknownVersion,
+    /// Unparseable frame or payload (including short reads).
+    Malformed,
+    /// Announced payload length exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge,
+    /// Named model not in the zoo.
+    UnknownModel,
+    /// Inline module failed verification.
+    InvalidModule,
+    /// Fault spec does not fit the target machine.
+    InvalidFaultSpec,
+    /// Well-formed JSON that is not a valid request.
+    InvalidRequest,
+    /// Admission queue full; retry later (backpressure shed).
+    Overloaded,
+    /// The request's wall-clock budget ran out, or the simulated-time
+    /// watchdog tripped.
+    DeadlineExceeded,
+    /// Server is draining and takes no new work.
+    ShuttingDown,
+    /// Pipeline or simulator failure the client cannot fix.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The stable wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::UnknownVersion => "unknown-version",
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::FrameTooLarge => "frame-too-large",
+            ErrorKind::UnknownModel => "unknown-model",
+            ErrorKind::InvalidModule => "invalid-module",
+            ErrorKind::InvalidFaultSpec => "invalid-fault-spec",
+            ErrorKind::InvalidRequest => "invalid-request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline-exceeded",
+            ErrorKind::ShuttingDown => "shutting-down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Whether retrying the identical request later can succeed
+    /// (admission shed and drain are transient; everything else is the
+    /// request's or the server's fault).
+    #[must_use]
+    pub fn is_backpressure(self) -> bool {
+        matches!(self, ErrorKind::Overloaded | ErrorKind::ShuttingDown)
+    }
+}
+
+impl FromJson for ErrorKind {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let s = v.as_str().ok_or("error kind must be a string")?;
+        [
+            ErrorKind::UnknownVersion,
+            ErrorKind::Malformed,
+            ErrorKind::FrameTooLarge,
+            ErrorKind::UnknownModel,
+            ErrorKind::InvalidModule,
+            ErrorKind::InvalidFaultSpec,
+            ErrorKind::InvalidRequest,
+            ErrorKind::Overloaded,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::ShuttingDown,
+            ErrorKind::Internal,
+        ]
+        .into_iter()
+        .find(|k| k.as_str() == s)
+        .ok_or_else(|| format!("unknown error kind {s:?}"))
+    }
+}
+
+impl ToJson for ErrorKind {
+    fn to_json(&self) -> Json {
+        Json::from(self.as_str())
+    }
+}
+
+/// A typed failure with a human-readable elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorResponse {
+    /// The category; stable across message rewording.
+    pub kind: ErrorKind,
+    /// Details for humans and logs; not meant for matching.
+    pub message: String,
+}
+
+impl ToJson for ErrorResponse {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("response", "error")
+            .with("kind", self.kind.to_json())
+            .with("message", self.message.as_str())
+    }
+}
+
+impl FromJson for ErrorResponse {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(ErrorResponse {
+            kind: v.decode_field("kind")?,
+            message: v.decode_field("message")?,
+        })
+    }
+}
+
+/// The scalar summary of one simulation, mirroring `Report`'s getters.
+/// Carries everything the dashboards plot without shipping the whole
+/// span timeline over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSummary {
+    /// End-to-end simulated step time (seconds).
+    pub makespan: f64,
+    /// Busy time attributed to compute spans.
+    pub compute_time: f64,
+    /// Busy time attributed to memory-bound spans.
+    pub memory_time: f64,
+    /// Synchronous (blocking) collective time.
+    pub sync_comm_time: f64,
+    /// Async collective time the schedule failed to hide.
+    pub exposed_async_time: f64,
+    /// Async collective time hidden under compute.
+    pub hidden_async_time: f64,
+    /// Fraction of the makespan spent in exposed communication.
+    pub comm_fraction: f64,
+    /// Total floating-point work simulated.
+    pub total_flops: u64,
+}
+
+impl SimSummary {
+    /// Projects a full report down to the wire summary.
+    #[must_use]
+    pub fn of(r: &Report) -> Self {
+        SimSummary {
+            makespan: r.makespan(),
+            compute_time: r.compute_time(),
+            memory_time: r.memory_time(),
+            sync_comm_time: r.sync_comm_time(),
+            exposed_async_time: r.exposed_async_time(),
+            hidden_async_time: r.hidden_async_time(),
+            comm_fraction: r.comm_fraction(),
+            total_flops: r.total_flops(),
+        }
+    }
+}
+
+impl ToJson for SimSummary {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("makespan", self.makespan)
+            .with("compute_time", self.compute_time)
+            .with("memory_time", self.memory_time)
+            .with("sync_comm_time", self.sync_comm_time)
+            .with("exposed_async_time", self.exposed_async_time)
+            .with("hidden_async_time", self.hidden_async_time)
+            .with("comm_fraction", self.comm_fraction)
+            .with("total_flops", self.total_flops)
+    }
+}
+
+impl FromJson for SimSummary {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(SimSummary {
+            makespan: v.decode_field("makespan")?,
+            compute_time: v.decode_field("compute_time")?,
+            memory_time: v.decode_field("memory_time")?,
+            sync_comm_time: v.decode_field("sync_comm_time")?,
+            exposed_async_time: v.decode_field("exposed_async_time")?,
+            hidden_async_time: v.decode_field("hidden_async_time")?,
+            comm_fraction: v.decode_field("comm_fraction")?,
+            total_flops: v.decode_field("total_flops")?,
+        })
+    }
+}
+
+/// The *deterministic* half of a compile response: everything here is
+/// a pure function of (module, machine, options, fault spec), so an
+/// honest server's `result` object re-encodes byte-identically to what
+/// a client computes with direct `OverlapPipeline` calls. Cache
+/// provenance and timing live in [`ServedInfo`] instead, precisely
+/// because they vary run to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileResult {
+    /// Model name (or the inline module's own name).
+    pub model: String,
+    /// Partition count the module was built for.
+    pub num_partitions: usize,
+    /// Content-addressed artifact key (hex fingerprint).
+    pub artifact_key: String,
+    /// Structural module fingerprint.
+    pub module_fingerprint: String,
+    /// Machine fingerprint.
+    pub machine_fingerprint: String,
+    /// Options fingerprint.
+    pub options_fingerprint: String,
+    /// Input identity fingerprint (names included).
+    pub input_identity: String,
+    /// Identity fingerprint of the compiled module.
+    pub compiled_identity: String,
+    /// Length of the compiled schedule.
+    pub order_len: usize,
+    /// §5.5 gate decisions, one per candidate pattern.
+    pub decisions: Vec<GateDecision>,
+    /// Decomposition summaries for patterns actually rewritten.
+    pub summaries: Vec<DecomposeSummary>,
+    /// Degraded-machine fallback records (empty when fault-free).
+    pub fallbacks: Vec<FallbackRecord>,
+    /// Baseline (undecomposed) simulation.
+    pub baseline: SimSummary,
+    /// Overlapped-schedule simulation.
+    pub overlapped: SimSummary,
+    /// `baseline.makespan / overlapped.makespan`.
+    pub speedup: f64,
+}
+
+impl ToJson for CompileResult {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("model", self.model.as_str())
+            .with("num_partitions", self.num_partitions)
+            .with("artifact_key", self.artifact_key.as_str())
+            .with("module_fingerprint", self.module_fingerprint.as_str())
+            .with("machine_fingerprint", self.machine_fingerprint.as_str())
+            .with("options_fingerprint", self.options_fingerprint.as_str())
+            .with("input_identity", self.input_identity.as_str())
+            .with("compiled_identity", self.compiled_identity.as_str())
+            .with("order_len", self.order_len)
+            .with("decisions", self.decisions.to_json())
+            .with("summaries", self.summaries.to_json())
+            .with("fallbacks", self.fallbacks.to_json())
+            .with("baseline", self.baseline.to_json())
+            .with("overlapped", self.overlapped.to_json())
+            .with("speedup", self.speedup)
+    }
+}
+
+impl FromJson for CompileResult {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(CompileResult {
+            model: v.decode_field("model")?,
+            num_partitions: v.decode_field("num_partitions")?,
+            artifact_key: v.decode_field("artifact_key")?,
+            module_fingerprint: v.decode_field("module_fingerprint")?,
+            machine_fingerprint: v.decode_field("machine_fingerprint")?,
+            options_fingerprint: v.decode_field("options_fingerprint")?,
+            input_identity: v.decode_field("input_identity")?,
+            compiled_identity: v.decode_field("compiled_identity")?,
+            order_len: v.decode_field("order_len")?,
+            decisions: v.decode_field("decisions")?,
+            summaries: v.decode_field("summaries")?,
+            fallbacks: v.decode_field("fallbacks")?,
+            baseline: v.decode_field("baseline")?,
+            overlapped: v.decode_field("overlapped")?,
+            speedup: v.decode_field("speedup")?,
+        })
+    }
+}
+
+/// The *advisory* half of a compile response: where the artifact came
+/// from and how long the server took. Deliberately outside
+/// [`CompileResult`] so the byte-identity contract ignores it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedInfo {
+    /// `"memory"`, `"disk"` or `"compiled"` (`CacheOutcome::as_str`).
+    pub source: String,
+    /// Time the connection waited in the admission queue before its
+    /// first request was picked up (0 for follow-up requests).
+    pub queue_ms: f64,
+    /// Time spent executing the request.
+    pub service_ms: f64,
+}
+
+impl ToJson for ServedInfo {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("source", self.source.as_str())
+            .with("queue_ms", self.queue_ms)
+            .with("service_ms", self.service_ms)
+    }
+}
+
+impl FromJson for ServedInfo {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(ServedInfo {
+            source: v.decode_field("source")?,
+            queue_ms: v.decode_field("queue_ms")?,
+            service_ms: v.decode_field("service_ms")?,
+        })
+    }
+}
+
+/// Latency quantiles from the server's log-bucketed histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median, in milliseconds (bucket upper bound).
+    pub p50_ms: f64,
+    /// 90th percentile.
+    pub p90_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Largest single sample.
+    pub max_ms: f64,
+}
+
+impl ToJson for LatencySummary {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("count", self.count)
+            .with("p50_ms", self.p50_ms)
+            .with("p90_ms", self.p90_ms)
+            .with("p99_ms", self.p99_ms)
+            .with("max_ms", self.max_ms)
+    }
+}
+
+impl FromJson for LatencySummary {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(LatencySummary {
+            count: v.decode_field("count")?,
+            p50_ms: v.decode_field("p50_ms")?,
+            p90_ms: v.decode_field("p90_ms")?,
+            p99_ms: v.decode_field("p99_ms")?,
+            max_ms: v.decode_field("max_ms")?,
+        })
+    }
+}
+
+/// Server-wide counters answered to a [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsResponse {
+    /// Wall-clock since the server started.
+    pub uptime_ms: f64,
+    /// Frames decoded into requests.
+    pub requests: u64,
+    /// Requests answered with a success response.
+    pub ok: u64,
+    /// Requests answered with a typed error.
+    pub errors: u64,
+    /// Connections shed at admission (queue full).
+    pub shed: u64,
+    /// Connections waiting in the admission queue right now.
+    pub queue_depth: usize,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// `requests / uptime`, in requests per second.
+    pub qps: f64,
+    /// Artifact-cache lookups served from the in-memory tier.
+    pub cache_memory_hits: u64,
+    /// Artifact-cache lookups served from the disk tier.
+    pub cache_disk_hits: u64,
+    /// Artifact-cache lookups that ran the pipeline.
+    pub cache_misses: u64,
+    /// `hits / lookups` (0 when nothing was looked up).
+    pub cache_hit_rate: f64,
+    /// Queue+service latency distribution of answered requests.
+    pub latency: LatencySummary,
+}
+
+impl ToJson for StatsResponse {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("response", "stats")
+            .with("uptime_ms", self.uptime_ms)
+            .with("requests", self.requests)
+            .with("ok", self.ok)
+            .with("errors", self.errors)
+            .with("shed", self.shed)
+            .with("queue_depth", self.queue_depth)
+            .with("workers", self.workers)
+            .with("qps", self.qps)
+            .with("cache_memory_hits", self.cache_memory_hits)
+            .with("cache_disk_hits", self.cache_disk_hits)
+            .with("cache_misses", self.cache_misses)
+            .with("cache_hit_rate", self.cache_hit_rate)
+            .with("latency", self.latency.to_json())
+    }
+}
+
+impl FromJson for StatsResponse {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(StatsResponse {
+            uptime_ms: v.decode_field("uptime_ms")?,
+            requests: v.decode_field("requests")?,
+            ok: v.decode_field("ok")?,
+            errors: v.decode_field("errors")?,
+            shed: v.decode_field("shed")?,
+            queue_depth: v.decode_field("queue_depth")?,
+            workers: v.decode_field("workers")?,
+            qps: v.decode_field("qps")?,
+            cache_memory_hits: v.decode_field("cache_memory_hits")?,
+            cache_disk_hits: v.decode_field("cache_disk_hits")?,
+            cache_misses: v.decode_field("cache_misses")?,
+            cache_hit_rate: v.decode_field("cache_hit_rate")?,
+            latency: v.decode_field("latency")?,
+        })
+    }
+}
+
+/// A successful compile: the deterministic result plus how it was served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileResponse {
+    /// Byte-identical across servers and direct pipeline calls.
+    pub result: CompileResult,
+    /// Cache provenance and timing; varies run to run.
+    pub served: ServedInfo,
+}
+
+/// Every response the server sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Compile`].
+    Compiled(Box<CompileResponse>),
+    /// Answer to [`Request::Stats`].
+    Stats(Box<StatsResponse>),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Acknowledges [`Request::Shutdown`]; the server then drains.
+    ShuttingDown,
+    /// Any failure, typed.
+    Error(ErrorResponse),
+}
+
+impl ToJson for Response {
+    fn to_json(&self) -> Json {
+        match self {
+            Response::Compiled(c) => Json::obj()
+                .with("response", "compiled")
+                .with("result", c.result.to_json())
+                .with("served", c.served.to_json()),
+            Response::Stats(s) => s.to_json(),
+            Response::Pong => Json::obj().with("response", "pong"),
+            Response::ShuttingDown => Json::obj().with("response", "shutting-down"),
+            Response::Error(e) => e.to_json(),
+        }
+    }
+}
+
+impl FromJson for Response {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        match v.decode_field::<String>("response")?.as_str() {
+            "compiled" => Ok(Response::Compiled(Box::new(CompileResponse {
+                result: v.decode_field("result")?,
+                served: v.decode_field("served")?,
+            }))),
+            "stats" => Ok(Response::Stats(Box::new(StatsResponse::from_json(v)?))),
+            "pong" => Ok(Response::Pong),
+            "shutting-down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error(ErrorResponse::from_json(v)?)),
+            other => Err(format!("unknown response {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! The daemon: admission, worker pool, drain.
+//!
+//! One acceptor thread owns the listener; a fixed pool of worker
+//! threads owns connections. Between them sits a *bounded* admission
+//! queue: when it is full the acceptor does not buffer, block or drop
+//! silently — it answers the connection with a typed
+//! [`ErrorKind::Overloaded`] frame and closes it (load shedding with
+//! an explicit receipt, so clients can back off instead of timing
+//! out). Everything runs on `std::thread::scope`; no runtime, no new
+//! dependencies.
+//!
+//! Draining ([`ShutdownHandle::request`], a client `shutdown` request,
+//! or SIGTERM forwarded by `overlapd`) stops admission, lets workers
+//! finish every request already admitted, then joins. Disk-cache
+//! writes stay atomic throughout (temp file + rename inside
+//! `ArtifactCache`), so a drain can never leave a torn entry — only
+//! `.tmp` droppings from a *kill -9*, which CI checks for.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use overlap_core::ArtifactCache;
+use overlap_json::{FromJson, ToJson};
+
+use crate::exec::{execute, Deadline};
+use crate::metrics::ServerMetrics;
+use crate::protocol::{
+    write_frame, CompileResponse, ErrorKind, ErrorResponse, FrameEvent, FrameReader, Request,
+    Response, ServedInfo, StatsResponse,
+};
+
+/// How often parked threads re-check the drain flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Tuning for one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Admitted-but-unserved connections to hold before shedding.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+        ServeConfig { addr: "127.0.0.1:0".to_string(), workers, queue_depth: 2 * workers }
+    }
+}
+
+/// Requests a drain from outside the server's threads (signal
+/// handlers, tests, an embedding process).
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Flips the drain flag; idempotent, async-signal-safe (one atomic
+    /// store).
+    pub fn request(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    #[must_use]
+    pub fn is_requested(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A connection waiting for a worker, stamped at admission so queue
+/// time is measurable.
+struct Admitted {
+    stream: TcpStream,
+    at: Instant,
+}
+
+/// State shared by the acceptor and every worker.
+struct Shared {
+    queue: Mutex<VecDeque<Admitted>>,
+    ready: Condvar,
+    draining: Arc<AtomicBool>,
+    metrics: ServerMetrics,
+    cache: ArtifactCache,
+    workers: usize,
+    queue_depth: usize,
+}
+
+impl Shared {
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound-but-not-yet-running service instance.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and prepares shared state. `cache` is the
+    /// process-wide artifact cache every request compiles through —
+    /// its single-flight machinery is what dedups identical in-flight
+    /// requests down to one pipeline run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind failure.
+    pub fn bind(config: &ServeConfig, cache: ArtifactCache) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+                draining: Arc::new(AtomicBool::new(false)),
+                metrics: ServerMetrics::new(),
+                cache,
+                workers: config.workers.max(1),
+                queue_depth: config.queue_depth.max(1),
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket introspection failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can request a drain from any thread.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shared.draining))
+    }
+
+    /// Serves until drained: accepts, sheds, dispatches; returns once
+    /// every admitted connection has been answered and all workers
+    /// have exited.
+    ///
+    /// # Errors
+    ///
+    /// Returns only fatal listener errors; per-connection I/O failures
+    /// are contained to their connection.
+    pub fn run(self) -> std::io::Result<()> {
+        let shared = &self.shared;
+        self.listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| {
+            for _ in 0..shared.workers {
+                scope.spawn(|| worker_loop(shared));
+            }
+            loop {
+                if shared.is_draining() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => admit(shared, stream),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        // A fatal listener error drains the server
+                        // rather than leaving it half-alive.
+                        eprintln!("overlapd: listener error: {e}; draining");
+                        shared.draining.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+            // Drain: workers finish the queue, then observe the flag
+            // and exit; wake any that are parked.
+            shared.ready.notify_all();
+        });
+        Ok(())
+    }
+}
+
+/// Admission: enqueue within the configured bound, shed beyond it.
+fn admit(shared: &Shared, stream: TcpStream) {
+    let mut queue = shared.queue.lock().expect("admission queue lock");
+    if queue.len() >= shared.queue_depth {
+        drop(queue);
+        shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        shed(stream);
+        return;
+    }
+    queue.push_back(Admitted { stream, at: Instant::now() });
+    drop(queue);
+    shared.ready.notify_one();
+}
+
+/// Answers a shed connection with a typed `overloaded` error. Best
+/// effort: the client may already be gone.
+fn shed(mut stream: TcpStream) {
+    let resp = Response::Error(ErrorResponse {
+        kind: ErrorKind::Overloaded,
+        message: "admission queue full; retry later".to_string(),
+    });
+    let _ = write_frame(&mut stream, &resp.to_json());
+    let _ = stream.flush();
+}
+
+/// One worker: pop a connection, serve it to completion, repeat;
+/// exit when draining and the queue is empty.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let admitted = {
+            let mut queue = shared.queue.lock().expect("admission queue lock");
+            loop {
+                if let Some(c) = queue.pop_front() {
+                    break Some(c);
+                }
+                if shared.is_draining() {
+                    break None;
+                }
+                let (q, _timeout) = shared
+                    .ready
+                    .wait_timeout(queue, POLL_INTERVAL)
+                    .expect("admission queue lock");
+                queue = q;
+            }
+        };
+        match admitted {
+            Some(conn) => serve_connection(shared, conn),
+            None => return,
+        }
+    }
+}
+
+/// Serves every request on one connection. Read timeouts keep the
+/// worker responsive to drain; the incremental [`FrameReader`] makes
+/// them safe (a timeout mid-frame loses nothing).
+fn serve_connection(shared: &Shared, conn: Admitted) {
+    let Admitted { mut stream, at } = conn;
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    stream.set_nodelay(true).ok();
+    let mut reader = FrameReader::new();
+    let mut queue_ms = at.elapsed().as_secs_f64() * 1e3;
+    loop {
+        match reader.poll(&mut stream) {
+            FrameEvent::Frame(payload) => {
+                let started = Instant::now();
+                let (resp, shutdown) = handle(shared, &payload);
+                let service_ms = started.elapsed().as_secs_f64() * 1e3;
+                let resp = finalize(resp, queue_ms, service_ms);
+                record(shared, &resp, queue_ms + service_ms);
+                let ok = write_frame(&mut stream, &resp.to_json()).is_ok();
+                if shutdown {
+                    shared.draining.store(true, Ordering::SeqCst);
+                    shared.ready.notify_all();
+                }
+                // Only the first request on a connection pays its
+                // admission wait.
+                queue_ms = 0.0;
+                if !ok || shutdown || shared.is_draining() {
+                    return;
+                }
+            }
+            FrameEvent::Idle => {
+                if shared.is_draining() {
+                    return; // idle keep-alive connection; nothing in flight
+                }
+            }
+            FrameEvent::Closed => return,
+            FrameEvent::Error(e) => {
+                if let Some(kind) = e.to_error_kind() {
+                    let resp = Response::Error(ErrorResponse {
+                        kind,
+                        message: e.to_string(),
+                    });
+                    record(shared, &resp, queue_ms);
+                    let _ = write_frame(&mut stream, &resp.to_json());
+                }
+                // After a framing violation the stream offset is
+                // unknowable; close rather than misparse.
+                return;
+            }
+        }
+    }
+}
+
+/// Stamps the served-info of a compile response with this request's
+/// timing (exec fills in the cache source; timing is only known here).
+fn finalize(resp: Response, queue_ms: f64, service_ms: f64) -> Response {
+    match resp {
+        Response::Compiled(mut c) => {
+            c.served.queue_ms = queue_ms;
+            c.served.service_ms = service_ms;
+            Response::Compiled(c)
+        }
+        other => other,
+    }
+}
+
+fn record(shared: &Shared, resp: &Response, total_ms: f64) {
+    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+    match resp {
+        Response::Error(_) => shared.metrics.errors.fetch_add(1, Ordering::Relaxed),
+        _ => shared.metrics.ok.fetch_add(1, Ordering::Relaxed),
+    };
+    shared.metrics.latency.record(total_ms);
+}
+
+/// Decodes and executes one request payload. Returns the response and
+/// whether the server should drain afterwards.
+fn handle(shared: &Shared, payload: &overlap_json::Json) -> (Response, bool) {
+    let request = match Request::from_json(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            return (
+                Response::Error(ErrorResponse {
+                    kind: ErrorKind::InvalidRequest,
+                    message: e,
+                }),
+                false,
+            );
+        }
+    };
+    match request {
+        Request::Ping => (Response::Pong, false),
+        Request::Stats => (Response::Stats(Box::new(stats(shared))), false),
+        Request::Shutdown => (Response::ShuttingDown, true),
+        Request::Compile(req) => {
+            if shared.is_draining() {
+                return (
+                    Response::Error(ErrorResponse {
+                        kind: ErrorKind::ShuttingDown,
+                        message: "server is draining".to_string(),
+                    }),
+                    false,
+                );
+            }
+            let deadline = Deadline::from_request(req.deadline_ms);
+            match execute(&req, &shared.cache, deadline) {
+                Ok((result, outcome)) => (
+                    Response::Compiled(Box::new(CompileResponse {
+                        result,
+                        served: ServedInfo {
+                            source: outcome.as_str().to_string(),
+                            queue_ms: 0.0, // stamped in `finalize`
+                            service_ms: 0.0,
+                        },
+                    })),
+                    false,
+                ),
+                Err(e) => (
+                    Response::Error(ErrorResponse { kind: e.kind, message: e.message }),
+                    false,
+                ),
+            }
+        }
+    }
+}
+
+fn stats(shared: &Shared) -> StatsResponse {
+    let cache = shared.cache.stats();
+    let m = &shared.metrics;
+    StatsResponse {
+        uptime_ms: m.uptime_ms(),
+        requests: m.requests.load(Ordering::Relaxed),
+        ok: m.ok.load(Ordering::Relaxed),
+        errors: m.errors.load(Ordering::Relaxed),
+        shed: m.shed.load(Ordering::Relaxed),
+        queue_depth: shared.queue.lock().expect("admission queue lock").len(),
+        workers: shared.workers,
+        qps: m.qps(),
+        cache_memory_hits: cache.memory_hits,
+        cache_disk_hits: cache.disk_hits,
+        cache_misses: cache.misses,
+        cache_hit_rate: cache.hit_rate(),
+        latency: m.latency.summary(),
+    }
+}

@@ -1,8 +1,11 @@
 #!/bin/sh
 # CI gate: build + tests (tier 1), lint at deny level (including the
 # clippy::perf group, denied workspace-wide via [workspace.lints]), keep
-# the criterion benches compiling so the harness can't rot, and the
-# compile-throughput regression gate. Run from the repository root.
+# the criterion benches compiling so the harness can't rot, the
+# compile-throughput regression gate, and a serve smoke: a real
+# `overlapd` on an ephemeral port, concurrent loadgen clients verifying
+# byte-identity against direct pipeline runs, then a SIGTERM drain that
+# must leave no torn disk-cache entries. Run from the repository root.
 #
 #   sh scripts/ci.sh
 #
@@ -44,6 +47,41 @@ case "$warm_out" in
     *"misses=0"*) ;;
     *) echo "FAIL: second run missed the on-disk artifact cache"; exit 1 ;;
 esac
+
+echo "==> serve smoke: overlapd + loadgen, byte-identical, dedup, clean drain"
+port_file=".overlapd-ci-port.$$"
+serve_cache=".overlap-serve-ci.$$"
+serve_log=".overlapd-ci-log.$$"
+rm -rf "$port_file" "$serve_cache" "$serve_log"
+cargo run --release -q -p overlap-bench --bin overlapd -- \
+    --addr 127.0.0.1:0 --workers 8 --queue-depth 32 \
+    --port-file "$port_file" --cache-dir "$serve_cache" 2>"$serve_log" &
+overlapd_pid=$!
+tries=0
+while [ ! -s "$port_file" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -le 300 ] || { echo "FAIL: overlapd never wrote its port file"; cat "$serve_log"; exit 1; }
+    kill -0 "$overlapd_pid" 2>/dev/null || { echo "FAIL: overlapd died during startup"; cat "$serve_log"; exit 1; }
+    sleep 0.1
+done
+addr="127.0.0.1:$(cat "$port_file")"
+# Every client walks every model twice — the first round compiles
+# (disk+memory cold), the second must be all cache hits; every response
+# must be byte-identical to a direct pipeline run, and the pipeline must
+# run at most once per model (single-flight dedup).
+cargo run --release -q -p overlap-bench --bin overlap-client -- "$addr" \
+    loadgen --clients 8 --models GPT_32B,GPT_64B,GPT_128B --repeat 2 --expect-dedup || {
+    echo "FAIL: serve loadgen"; kill "$overlapd_pid" 2>/dev/null; cat "$serve_log"; exit 1;
+}
+kill -TERM "$overlapd_pid"
+wait "$overlapd_pid" || { echo "FAIL: overlapd exited nonzero after SIGTERM"; cat "$serve_log"; exit 1; }
+grep -q "drained cleanly" "$serve_log" || {
+    echo "FAIL: overlapd did not report a clean drain"; cat "$serve_log"; exit 1;
+}
+if ls "$serve_cache"/*.tmp >/dev/null 2>&1; then
+    echo "FAIL: torn artifact-cache entries left behind by the drain"; exit 1
+fi
+rm -rf "$port_file" "$serve_cache" "$serve_log"
 
 echo "==> fault-injection smoke sweep: seeded faults, no panic, deterministic"
 smoke_one=$(OVERLAP_FAULT_SMOKE=1 OVERLAP_FAULT_SEED=7 OVERLAP_CACHE=0 \

@@ -1,0 +1,445 @@
+//! The service layer's contract, end to end.
+//!
+//! Three layers of coverage:
+//!
+//! 1. **Codecs** — every request/response variant round-trips through
+//!    its JSON encoding.
+//! 2. **Framing** — malformed headers, truncated payloads (short
+//!    reads), unknown protocol versions and oversized frames each
+//!    produce the matching typed [`WireError`], never a panic or a
+//!    misparse.
+//! 3. **End to end** — a real `Server` on an ephemeral localhost port,
+//!    driven by concurrent clients: responses must be byte-identical
+//!    to direct `OverlapPipeline` + simulator calls, identical
+//!    in-flight requests must collapse to one pipeline run
+//!    (fingerprint-level dedup), and a shutdown request must drain
+//!    gracefully.
+
+use overlap_core::{ArtifactCache, OverlapOptions, OverlapPipeline};
+use overlap_hlo::{Builder, DType, DotDims, Module, ReplicaGroups, Shape};
+use overlap_json::{FromJson, Json, ToJson};
+use overlap_mesh::{FaultSpec, Machine};
+use overlap_serve::exec::{execute, Deadline};
+use overlap_serve::{
+    read_frame, write_frame, Client, ClientError, CompileRequest, ErrorKind, ErrorResponse,
+    FrameReader, LatencySummary, MachineSpec, ModelRef, Request, Response, ServeConfig, Server,
+    ServedInfo, StatsResponse, WireError, PROTOCOL_VERSION,
+};
+use overlap_sim::simulate_order;
+
+/// A small 4-way layer that exercises decomposition without the cost
+/// of a Table-1 workload. The row count varies with `name`: the
+/// artifact key fingerprints structure, not names, so two same-shaped
+/// modules would share a cache slot (and recompile on every identity
+/// mismatch) instead of deduping independently.
+fn tiny_module(name: &str) -> Module {
+    let n = 4;
+    let rows = 2048 + 512 * (name.bytes().map(usize::from).sum::<usize>() % 4);
+    let mut b = Builder::new(name, n);
+    let x = b.parameter(Shape::new(DType::BF16, vec![rows, 1024]), "x");
+    let w = b.parameter(Shape::new(DType::BF16, vec![1024, 4096 / n]), "w");
+    let wg = b.all_gather(w, 1, ReplicaGroups::full(n), "wg");
+    let y = b.einsum(x, wg, DotDims::matmul(), "y");
+    b.build(vec![y])
+}
+
+fn inline_request(name: &str) -> CompileRequest {
+    CompileRequest {
+        model: ModelRef::Inline(Box::new(tiny_module(name))),
+        machine: MachineSpec::ModelDefault,
+        options: OverlapOptions::paper_default(),
+        fault_spec: None,
+        deadline_ms: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Codecs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_request_variant_roundtrips() {
+    let requests = [
+        Request::Ping,
+        Request::Stats,
+        Request::Shutdown,
+        Request::Compile(Box::new(CompileRequest::named("GPT_32B"))),
+        Request::Compile(Box::new(CompileRequest {
+            model: ModelRef::Inline(Box::new(tiny_module("wire"))),
+            machine: MachineSpec::TpuV4 { chips: 4 },
+            options: OverlapOptions { disable_cost_gate: true, ..OverlapOptions::paper_default() },
+            fault_spec: Some(FaultSpec::seeded(7).with_straggler(0, 2.0)),
+            deadline_ms: Some(1500),
+        })),
+        Request::Compile(Box::new(CompileRequest {
+            model: ModelRef::Named("GPT_64B".into()),
+            machine: MachineSpec::GpuCluster { chips: 16 },
+            options: OverlapOptions::paper_default(),
+            fault_spec: None,
+            deadline_ms: None,
+        })),
+    ];
+    for req in requests {
+        let wire = req.to_json().to_string();
+        let back = Request::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(req, back, "request did not survive the wire: {wire}");
+    }
+}
+
+#[test]
+fn every_response_variant_roundtrips() {
+    // A real compile response (exercises the nested result codec).
+    let (result, _) =
+        execute(&inline_request("codec"), &ArtifactCache::in_memory(), Deadline::none())
+            .unwrap();
+    let responses = [
+        Response::Pong,
+        Response::ShuttingDown,
+        Response::Error(ErrorResponse {
+            kind: ErrorKind::Overloaded,
+            message: "busy".into(),
+        }),
+        Response::Stats(Box::new(StatsResponse {
+            uptime_ms: 12.5,
+            requests: 9,
+            ok: 7,
+            errors: 2,
+            shed: 1,
+            queue_depth: 3,
+            workers: 4,
+            qps: 0.5,
+            cache_memory_hits: 5,
+            cache_disk_hits: 1,
+            cache_misses: 3,
+            cache_hit_rate: 0.6667,
+            latency: LatencySummary { count: 9, p50_ms: 1.0, p90_ms: 2.0, p99_ms: 3.0, max_ms: 4.0 },
+        })),
+        Response::Compiled(Box::new(overlap_serve::CompileResponse {
+            result,
+            served: ServedInfo { source: "compiled".into(), queue_ms: 0.1, service_ms: 5.0 },
+        })),
+    ];
+    for resp in responses {
+        let wire = resp.to_json().to_string();
+        let back = Response::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(resp, back, "response did not survive the wire: {wire}");
+    }
+}
+
+#[test]
+fn every_error_kind_has_a_stable_wire_name() {
+    for kind in [
+        ErrorKind::UnknownVersion,
+        ErrorKind::Malformed,
+        ErrorKind::FrameTooLarge,
+        ErrorKind::UnknownModel,
+        ErrorKind::InvalidModule,
+        ErrorKind::InvalidFaultSpec,
+        ErrorKind::InvalidRequest,
+        ErrorKind::Overloaded,
+        ErrorKind::DeadlineExceeded,
+        ErrorKind::ShuttingDown,
+        ErrorKind::Internal,
+    ] {
+        let back = ErrorKind::from_json(&kind.to_json()).unwrap();
+        assert_eq!(kind, back);
+    }
+    assert!(ErrorKind::from_json(&Json::from("made-up")).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// 2. Framing
+// ---------------------------------------------------------------------------
+
+fn read_all(bytes: &[u8]) -> Result<Json, WireError> {
+    let mut cursor = std::io::Cursor::new(bytes.to_vec());
+    read_frame(&mut cursor, &mut FrameReader::new())
+}
+
+#[test]
+fn frames_roundtrip_even_byte_by_byte() {
+    let payload = Request::Ping.to_json();
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &payload).unwrap();
+    assert_eq!(read_all(&buf).unwrap(), payload);
+
+    // A reader fed one byte at a time must produce the same frame —
+    // this is the short-read resilience the incremental reader exists
+    // for.
+    struct OneByte(std::io::Cursor<Vec<u8>>);
+    impl std::io::Read for OneByte {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            let take = 1.min(out.len());
+            std::io::Read::read(&mut self.0, &mut out[..take])
+        }
+    }
+    let mut dribble = OneByte(std::io::Cursor::new(buf));
+    assert_eq!(read_frame(&mut dribble, &mut FrameReader::new()).unwrap(), payload);
+}
+
+#[test]
+fn truncated_payload_is_a_typed_malformed_error() {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &Request::Stats.to_json()).unwrap();
+    let cut = buf.len() - 4;
+    match read_all(&buf[..cut]) {
+        Err(WireError::Malformed(m)) => assert!(m.contains("ended inside"), "{m}"),
+        other => panic!("expected Malformed for a short read, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_version_is_rejected_before_the_payload() {
+    let buf = b"overlap-serve/999 4\n{}  ".to_vec();
+    match read_all(&buf) {
+        Err(WireError::UnknownVersion(v)) => assert_eq!(v, "overlap-serve/999"),
+        other => panic!("expected UnknownVersion, got {other:?}"),
+    }
+    assert_eq!(
+        WireError::UnknownVersion(String::new()).to_error_kind(),
+        Some(ErrorKind::UnknownVersion)
+    );
+}
+
+#[test]
+fn garbage_headers_and_oversized_frames_are_typed() {
+    // The first header token is the version, so free-form garbage reads
+    // as a version we do not speak; a one-token header is malformed.
+    assert!(matches!(read_all(b"not a header at all\n"), Err(WireError::UnknownVersion(v)) if v == "not"));
+    assert!(matches!(read_all(b"noheader\n"), Err(WireError::Malformed(_))));
+    assert!(matches!(
+        read_all(format!("{PROTOCOL_VERSION} not-a-number\n").as_bytes()),
+        Err(WireError::Malformed(_))
+    ));
+    // A header that never terminates.
+    assert!(matches!(read_all(&[b'x'; 200]), Err(WireError::Malformed(_))));
+    // An announced length beyond the cap, rejected before allocation.
+    match read_all(format!("{PROTOCOL_VERSION} 99999999999\n").as_bytes()) {
+        Err(WireError::FrameTooLarge(n)) => assert_eq!(n, 99_999_999_999usize),
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+    // Unparseable payload JSON.
+    assert!(matches!(
+        read_all(format!("{PROTOCOL_VERSION} 3\n{{,}}").as_bytes()),
+        Err(WireError::Malformed(_))
+    ));
+    // Clean EOF between frames is Closed, not an error.
+    assert!(matches!(read_all(b""), Err(WireError::Closed)));
+}
+
+#[test]
+fn two_frames_on_one_stream_both_decode() {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &Request::Ping.to_json()).unwrap();
+    write_frame(&mut buf, &Request::Stats.to_json()).unwrap();
+    let mut cursor = std::io::Cursor::new(buf);
+    let mut reader = FrameReader::new();
+    assert_eq!(read_frame(&mut cursor, &mut reader).unwrap(), Request::Ping.to_json());
+    assert_eq!(read_frame(&mut cursor, &mut reader).unwrap(), Request::Stats.to_json());
+    assert!(matches!(read_frame(&mut cursor, &mut reader), Err(WireError::Closed)));
+}
+
+// ---------------------------------------------------------------------------
+// 3. End to end
+// ---------------------------------------------------------------------------
+
+/// Spawns a server on an ephemeral port; returns its address and the
+/// thread serving it.
+fn spawn_server(
+    config: ServeConfig,
+) -> (String, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(&config, ArtifactCache::in_memory()).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_deduped_responses() {
+    let (addr, server) = spawn_server(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        queue_depth: 16,
+    });
+
+    // The oracle: direct pipeline + simulator calls, no server.
+    let names = ["serve_a", "serve_b"];
+    let expected: Vec<String> = names
+        .iter()
+        .map(|n| {
+            let (result, _) =
+                execute(&inline_request(n), &ArtifactCache::in_memory(), Deadline::none())
+                    .unwrap();
+            // Cross-check the oracle itself against a hand-rolled
+            // compile, so the shared exec path cannot drift silently.
+            let module = tiny_module(n);
+            let machine = Machine::tpu_v4_like(4);
+            let pipeline = OverlapPipeline::new(OverlapOptions::paper_default());
+            let compiled =
+                pipeline.compile_cached(&module, &machine, &ArtifactCache::in_memory()).unwrap();
+            let over =
+                simulate_order(&compiled.module, &machine, &compiled.order).unwrap();
+            assert_eq!(result.order_len, compiled.order.len());
+            assert_eq!(result.overlapped.makespan.to_bits(), over.makespan().to_bits());
+            result.to_json().to_string()
+        })
+        .collect();
+
+    // 8 concurrent clients, each compiling both modules twice.
+    let sources = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for tid in 0..8 {
+            let addr = &addr;
+            let expected = &expected;
+            let sources = &sources;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..2 {
+                    for (i, name) in names.iter().enumerate() {
+                        let pick = (tid + round + i) % names.len();
+                        let resp = client.compile(inline_request(names[pick])).unwrap();
+                        assert_eq!(
+                            resp.result.to_json().to_string(),
+                            expected[pick],
+                            "server response for {name} diverged from the direct pipeline"
+                        );
+                        sources.lock().unwrap().push(resp.served.source.clone());
+                    }
+                }
+            });
+        }
+    });
+
+    // Fingerprint-level dedup: 32 compile requests over 2 distinct
+    // artifacts must run the pipeline exactly twice; the single-flight
+    // cache serves everything else from memory.
+    let sources = sources.into_inner().unwrap();
+    assert_eq!(sources.len(), 32);
+    let compiled = sources.iter().filter(|s| *s == "compiled").count();
+    let memory = sources.iter().filter(|s| *s == "memory").count();
+    assert_eq!(compiled, names.len(), "each artifact must compile exactly once");
+    assert_eq!(memory, 32 - names.len());
+
+    let mut client = Client::connect(&addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_misses, names.len() as u64);
+    assert_eq!(stats.cache_memory_hits, 30);
+    assert!(stats.latency.count >= 32);
+    assert_eq!(stats.errors, 0);
+
+    // Graceful drain: shutdown is acknowledged, the server thread
+    // joins, and late clients are refused.
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn typed_errors_for_bad_requests_and_draining() {
+    let (addr, server) = spawn_server(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_depth: 4,
+    });
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Unknown model.
+    let err = client.compile(CompileRequest::named("NOT_A_MODEL")).unwrap_err();
+    match err {
+        ClientError::Server(e) => {
+            assert_eq!(e.kind, ErrorKind::UnknownModel);
+            assert!(e.message.contains("GPT_32B"), "should list known names: {}", e.message);
+        }
+        other => panic!("expected a typed server error, got {other}"),
+    }
+
+    // Fault spec that does not fit the machine.
+    let mut req = inline_request("faulted");
+    req.fault_spec = Some(FaultSpec::seeded(1).with_straggler(99, 3.0));
+    match client.compile(req).unwrap_err() {
+        ClientError::Server(e) => assert_eq!(e.kind, ErrorKind::InvalidFaultSpec),
+        other => panic!("expected invalid-fault-spec, got {other}"),
+    }
+
+    // Machine/module mismatch.
+    let mut req = inline_request("mismatch");
+    req.machine = MachineSpec::TpuV4 { chips: 8 }; // module is 4-way
+    match client.compile(req).unwrap_err() {
+        ClientError::Server(e) => assert_eq!(e.kind, ErrorKind::InvalidRequest),
+        other => panic!("expected invalid-request, got {other}"),
+    }
+
+    // An already-expired deadline.
+    let mut req = inline_request("late");
+    req.deadline_ms = Some(0);
+    match client.compile(req).unwrap_err() {
+        ClientError::Server(e) => assert_eq!(e.kind, ErrorKind::DeadlineExceeded),
+        other => panic!("expected deadline-exceeded, got {other}"),
+    }
+
+    // Well-formed JSON that is not a request.
+    match client.request(&Request::Ping) {
+        Ok(Response::Pong) => {}
+        other => panic!("ping failed: {other:?}"),
+    }
+
+    // Compiles during a drain are refused with a typed error.
+    client.shutdown().unwrap();
+    let mut late = Client::connect(&addr);
+    if let Ok(late) = late.as_mut() {
+        match late.compile(inline_request("too_late")) {
+            Err(ClientError::Server(e)) => assert!(e.kind.is_backpressure()),
+            // The listener may already be gone; a wire error is an
+            // acceptable refusal too.
+            Err(ClientError::Wire(_)) => {}
+            Ok(_) => panic!("a draining server accepted new work"),
+            Err(other) => panic!("unexpected failure shape: {other}"),
+        }
+    }
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn malformed_frames_get_typed_responses_over_the_wire() {
+    use std::io::Write as _;
+
+    let (addr, server) = spawn_server(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_depth: 4,
+    });
+
+    // Unknown version: the server answers with a typed error frame.
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    raw.write_all(b"overlap-serve/0 2\n{}").unwrap();
+    let v = read_frame(&mut raw, &mut FrameReader::new()).unwrap();
+    match Response::from_json(&v).unwrap() {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::UnknownVersion),
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    // Close before the next connect: a rebound `raw` would stay open
+    // until end of scope, pinning the test's single worker.
+    drop(raw);
+
+    // Valid frame, invalid request shape.
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    write_frame(&mut raw, &Json::obj().with("request", "frobnicate")).unwrap();
+    let v = read_frame(&mut raw, &mut FrameReader::new()).unwrap();
+    match Response::from_json(&v).unwrap() {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::InvalidRequest),
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    drop(raw);
+
+    // Oversized announced length.
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    raw.write_all(format!("{PROTOCOL_VERSION} 99999999999\n").as_bytes()).unwrap();
+    let v = read_frame(&mut raw, &mut FrameReader::new()).unwrap();
+    match Response::from_json(&v).unwrap() {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::FrameTooLarge),
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+}
