@@ -16,7 +16,11 @@
 //! expectation. Backpressure sheds (`overloaded`) are retried and
 //! counted, never fatal. `--expect-dedup` additionally asserts the
 //! server compiled each distinct artifact at most once (single-flight
-//! dedup through the shared cache). Exit code 0 means every response
+//! dedup through the shared cache). `--pipeline N` keeps up to N
+//! requests in flight per connection (the server answers in request
+//! order); `--phases` subscribes to the server's event bus for the
+//! run and reports where time went per request — admission queue,
+//! compile, response serialization. Exit code 0 means every response
 //! matched.
 
 use std::sync::Mutex;
@@ -28,7 +32,10 @@ use overlap_mesh::FaultSpec;
 use overlap_models::{model_names, table1_models};
 use overlap_serve::exec::{execute, Deadline};
 use overlap_serve::metrics::Histogram;
-use overlap_serve::{Client, ClientError, CompileRequest, CompileResponse, MachineSpec};
+use overlap_serve::{
+    Client, ClientError, CompileRequest, CompileResponse, MachineSpec, Request, Response,
+    ServeEvent,
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -36,7 +43,7 @@ fn usage() -> ! {
          \x20      overlap-client <addr> compile MODEL [--machine tpu_v4:N|gpu_cluster:N] \
          [--fault-spec F.json] [--deadline-ms N]\n\
          \x20      overlap-client <addr> loadgen [--clients N] [--models A,B,C] \
-         [--repeat R] [--expect-dedup] [--no-verify]"
+         [--repeat R] [--pipeline N] [--phases] [--expect-dedup] [--no-verify]"
     );
     std::process::exit(2);
 }
@@ -133,13 +140,14 @@ struct Tally {
     matched: u64,
     mismatches: Vec<String>,
     sheds: u64,
-    sources: [u64; 3], // memory, disk, compiled
+    sources: [u64; 4], // memory, disk, compiled, coalesced
 }
 
 fn source_slot(source: &str) -> usize {
     match source {
         "memory" => 0,
         "disk" => 1,
+        "coalesced" => 3,
         _ => 2,
     }
 }
@@ -183,17 +191,115 @@ fn compile_with_retry(
     Err("retry budget exhausted (1000 attempts)".to_string())
 }
 
+/// Sends every request in `chunk` before reading any response — wire
+/// pipelining against the server's in-order response guarantee.
+/// Returns each response with its latency (send of the whole chunk to
+/// that response's arrival). Any failure poisons the connection; the
+/// caller falls back to the one-at-a-time retry path.
+fn pipeline_chunk(
+    addr: &str,
+    client: &mut Option<Client>,
+    chunk: &[&CompileRequest],
+) -> Result<Vec<(CompileResponse, f64)>, String> {
+    let c = match client {
+        Some(c) => c,
+        None => client.insert(Client::connect(addr).map_err(|e| e.to_string())?),
+    };
+    let started = Instant::now();
+    for req in chunk {
+        c.send(&Request::Compile(Box::new((*req).clone()))).map_err(|e| e.to_string())?;
+    }
+    let mut out = Vec::with_capacity(chunk.len());
+    for _ in chunk {
+        match c.recv().map_err(|e| e.to_string())? {
+            Response::Compiled(resp) => {
+                out.push((*resp, started.elapsed().as_secs_f64() * 1e3));
+            }
+            Response::Error(e) => {
+                return Err(format!("server error [{}]: {}", e.kind.as_str(), e.message));
+            }
+            other => return Err(format!("expected a compiled response, got {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Server-side phase timings, filled from a live event-bus
+/// subscription while the load runs.
+struct PhaseReport {
+    queue: Histogram,
+    compile: Histogram,
+    serialize: Histogram,
+}
+
+impl PhaseReport {
+    fn new() -> Self {
+        PhaseReport {
+            queue: Histogram::new(),
+            compile: Histogram::new(),
+            serialize: Histogram::new(),
+        }
+    }
+
+    fn print(&self) {
+        let print_one = |label: &str, h: &Histogram| {
+            let s = h.summary();
+            println!(
+                "    {label:<9} p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms  max {:.2} ms",
+                s.p50_ms, s.p90_ms, s.p99_ms, s.max_ms
+            );
+        };
+        println!(
+            "  phases (server-side, {} compile requests observed):",
+            self.compile.count()
+        );
+        print_one("queue", &self.queue);
+        print_one("compile", &self.compile);
+        print_one("serialize", &self.serialize);
+    }
+}
+
+/// Subscribes to the daemon's event stream and aggregates `done`
+/// timings for compile requests until a `done` for a ping arrives —
+/// the main thread sends that ping as an end-of-run marker.
+fn watch_phases(addr: &str) -> std::thread::JoinHandle<PhaseReport> {
+    let stream = connect(addr)
+        .subscribe()
+        .unwrap_or_else(|e| fail(format!("cannot subscribe to the event bus: {e}")));
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        let report = PhaseReport::new();
+        while let Ok(Some(rec)) = stream.next_event() {
+            if let ServeEvent::Done { kind, queue_ms, compile_ms, serialize_ms, .. } =
+                rec.event
+            {
+                if kind == "ping" {
+                    break;
+                }
+                if kind == "compile" {
+                    report.queue.record(queue_ms);
+                    report.compile.record(compile_ms);
+                    report.serialize.record(serialize_ms);
+                }
+            }
+        }
+        report
+    })
+}
+
 fn cmd_loadgen(addr: &str, args: &[String]) {
     let clients: usize = parsed_flag(args, "--clients").unwrap_or(8);
     let repeat: usize = parsed_flag(args, "--repeat").unwrap_or(2);
+    let pipeline: usize = parsed_flag(args, "--pipeline").unwrap_or(1);
     let verify = !args.iter().any(|a| a == "--no-verify");
     let expect_dedup = args.iter().any(|a| a == "--expect-dedup");
+    let phases = args.iter().any(|a| a == "--phases");
     let models: Vec<String> = match flag_value(args, "--models") {
         Some(list) => list.split(',').map(str::to_string).collect(),
         None => table1_models().into_iter().map(|m| m.name).collect(),
     };
-    if clients == 0 || repeat == 0 || models.is_empty() {
-        fail("loadgen needs at least one client, one repeat and one model");
+    if clients == 0 || repeat == 0 || models.is_empty() || pipeline == 0 {
+        fail("loadgen needs at least one client, one repeat, one model and --pipeline >= 1");
     }
 
     // Expected responses, computed locally through the very pipeline
@@ -215,6 +321,7 @@ fn cmd_loadgen(addr: &str, args: &[String]) {
         })
         .collect();
 
+    let watcher = phases.then(|| watch_phases(addr));
     let latency = Histogram::new();
     let total = Mutex::new(Tally::default());
     let t0 = Instant::now();
@@ -226,11 +333,47 @@ fn cmd_loadgen(addr: &str, args: &[String]) {
             scope.spawn(move || {
                 let mut tally = Tally::default();
                 let mut client = None;
-                for round in 0..repeat {
-                    for step in 0..expected.len() {
-                        // Staggered model order decorrelates the
-                        // clients so single-flight actually races.
-                        let (req, want) = &expected[(tid + round + step) % expected.len()];
+                // Staggered model order decorrelates the clients so
+                // single-flight and batching actually race.
+                let plan: Vec<usize> = (0..repeat)
+                    .flat_map(|round| {
+                        (0..expected.len())
+                            .map(move |step| (tid + round + step) % expected.len())
+                    })
+                    .collect();
+                for window in plan.chunks(pipeline) {
+                    // The pipelined fast path; falls back below on any
+                    // transport or typed failure in the window. The
+                    // server answers in request order, so response j
+                    // pairs with window[j].
+                    if pipeline > 1 {
+                        let reqs: Vec<&CompileRequest> =
+                            window.iter().map(|&i| &expected[i].0).collect();
+                        if let Ok(resps) = pipeline_chunk(addr, &mut client, &reqs) {
+                            for (&i, (resp, ms)) in window.iter().zip(&resps) {
+                                let want = &expected[i].1;
+                                latency.record(*ms);
+                                tally.requests += 1;
+                                tally.sources[source_slot(&resp.served.source)] += 1;
+                                let got = resp.result.to_json().to_string();
+                                if !verify || got == *want {
+                                    tally.matched += 1;
+                                } else {
+                                    tally.mismatches.push(format!(
+                                        "client {tid}: pipelined {} diverged \
+                                         ({} vs {} bytes)",
+                                        resp.result.model,
+                                        got.len(),
+                                        want.len()
+                                    ));
+                                }
+                            }
+                            continue;
+                        }
+                        client = None;
+                    }
+                    for &i in window {
+                        let (req, want) = &expected[i];
                         let started = Instant::now();
                         match compile_with_retry(addr, &mut client, req, &mut tally.sheds) {
                             Ok(resp) => {
@@ -242,17 +385,16 @@ fn cmd_loadgen(addr: &str, args: &[String]) {
                                     tally.matched += 1;
                                 } else {
                                     tally.mismatches.push(format!(
-                                        "client {tid} round {round}: {} diverged \
-                                         ({} vs {} bytes)",
+                                        "client {tid}: {} diverged ({} vs {} bytes)",
                                         resp.result.model,
                                         got.len(),
                                         want.len()
                                     ));
                                 }
                             }
-                            Err(e) => tally
-                                .mismatches
-                                .push(format!("client {tid} round {round}: {e}")),
+                            Err(e) => {
+                                tally.mismatches.push(format!("client {tid}: {e}"));
+                            }
                         }
                     }
                 }
@@ -271,7 +413,8 @@ fn cmd_loadgen(addr: &str, args: &[String]) {
     let tally = total.into_inner().expect("tally lock");
     let quantiles = latency.summary();
     println!(
-        "loadgen: {} clients x {} rounds x {} models over {addr} in {elapsed:.2} s",
+        "loadgen: {} clients x {} rounds x {} models (pipeline {pipeline}) \
+         over {addr} in {elapsed:.2} s",
         clients,
         repeat,
         models.len()
@@ -284,13 +427,21 @@ fn cmd_loadgen(addr: &str, args: &[String]) {
         tally.sheds
     );
     println!(
-        "  served: memory={} disk={} compiled={}",
-        tally.sources[0], tally.sources[1], tally.sources[2]
+        "  served: memory={} disk={} compiled={} coalesced={}",
+        tally.sources[0], tally.sources[1], tally.sources[2], tally.sources[3]
     );
     println!(
         "  client latency: p50 {:.2} ms p90 {:.2} ms p99 {:.2} ms max {:.2} ms",
         quantiles.p50_ms, quantiles.p90_ms, quantiles.p99_ms, quantiles.max_ms
     );
+    if let Some(watcher) = watcher {
+        // End-of-run marker: the watcher stops at this ping's `done`.
+        connect(addr).ping().unwrap_or_else(|e| fail(e));
+        match watcher.join() {
+            Ok(report) => report.print(),
+            Err(_) => eprintln!("  (phase watcher panicked; no phase report)"),
+        }
+    }
     for m in tally.mismatches.iter().take(8) {
         eprintln!("  MISMATCH {m}");
     }

@@ -17,16 +17,24 @@
 //! disk-cache writes are atomic throughout, so no torn entries. The
 //! artifact cache honors the usual knobs (`--cache-dir` /
 //! `OVERLAP_CACHE_DIR`, `OVERLAP_CACHE=0`, `OVERLAP_CACHE_VERIFY=1`).
+//!
+//! Observability flags hang extra observers on the server's event bus:
+//! `--record FILE` appends every event as one JSON line (the
+//! deterministic record/replay stream; see DESIGN.md §Event schema),
+//! and `--chrome-trace FILE` writes a `chrome://tracing`-compatible
+//! span file on drain.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use overlap_core::ArtifactCache;
-use overlap_serve::{ServeConfig, Server, ShutdownHandle};
+use overlap_serve::{
+    ChromeTraceObserver, EventObserver, RecordObserver, ServeConfig, Server, ShutdownHandle,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: overlapd [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-         [--port-file PATH] [--cache-dir DIR]"
+         [--port-file PATH] [--cache-dir DIR] [--record FILE] [--chrome-trace FILE]"
     );
     std::process::exit(2);
 }
@@ -103,7 +111,18 @@ fn main() {
         None => ArtifactCache::from_env(),
     };
 
-    let server = match Server::bind(&config, cache) {
+    let mut observers: Vec<Arc<dyn EventObserver>> = Vec::new();
+    if let Some(path) = flag_value(&args, "--record") {
+        match RecordObserver::to_file(&path) {
+            Ok(obs) => observers.push(Arc::new(obs)),
+            Err(e) => fail(format!("cannot open record file {path}: {e}")),
+        }
+    }
+    if let Some(path) = flag_value(&args, "--chrome-trace") {
+        observers.push(Arc::new(ChromeTraceObserver::new(path)));
+    }
+
+    let server = match Server::bind_with_observers(&config, cache, observers) {
         Ok(s) => s,
         Err(e) => fail(format!("cannot bind {}: {e}", config.addr)),
     };

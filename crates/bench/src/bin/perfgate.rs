@@ -27,7 +27,7 @@ use overlap_hlo::{eliminate_common_subexpressions, InstrId, Module};
 use overlap_json::{Json, ToJson};
 use overlap_mesh::{FaultSpec, Machine};
 use overlap_models::{table1_models, Arch, ModelConfig, PartitionStrategy};
-use overlap_serve::{Client, CompileRequest, Histogram, ServeConfig, Server};
+use overlap_serve::{Client, CompileRequest, Histogram, Request, Response, ServeConfig, Server};
 use overlap_sim::{
     simulate_faulted, simulate_order, simulate_order_faulted_with, simulate_order_repeated_with,
     CostTable,
@@ -157,24 +157,46 @@ fn fault_smoke(cfg: &ModelConfig) -> (FaultSmoke, bool) {
 /// Concurrent connections the serve bench drives against the in-process
 /// daemon (the acceptance floor for the service layer).
 const SERVE_CLIENTS: usize = 32;
+/// Warm fan-out rounds: 32 clients × 6 models × 2 rounds = 384
+/// byte-identity checks per run.
+const WARM_ROUNDS: usize = 2;
+/// Hard ceiling on the warm p99, in milliseconds. The PR-5
+/// thread-per-connection pool recorded ≈3300 ms on this fan-out (pure
+/// admission queueing: 32 connections, 8 workers); the readiness event
+/// loop must hold at least a 10x improvement.
+const WARM_P99_CEILING_MS: f64 = 330.0;
 
 struct ServeBench {
     clients: usize,
-    /// Frames the server decoded into requests (cold + warm + stats).
+    /// Frames the server decoded into requests (all phases + stats).
     requests: u64,
     /// Seconds for the cold pass: one client compiling every Table-1
     /// model once, all pipeline runs.
     cold_seconds: f64,
     /// Seconds for the warm fan-out: [`SERVE_CLIENTS`] connections each
-    /// re-requesting every model, all served from the cache.
+    /// re-requesting every model [`WARM_ROUNDS`] times, one request in
+    /// flight per connection, all served from the cache.
     warm_seconds: f64,
+    /// Seconds for the pipelined burst: every client ships its whole
+    /// model list in one write burst and then drains the responses.
+    pipelined_seconds: f64,
     /// Client-observed latency quantiles of the warm pass only.
     warm_p50_ms: f64,
     warm_p99_ms: f64,
     warm_max_ms: f64,
-    /// Cache hit rate across the whole run; with six models and
-    /// 32×6 warm requests this lands at 192/198.
+    /// Cache hit rate across the whole run.
     hit_rate: f64,
+    /// Compile jobs dispatched to the worker pool (event-bus counter;
+    /// must be non-zero — the cold pass alone dispatches one per model).
+    batched: u64,
+    /// Requests admitted while their connection already had one in
+    /// flight (non-zero iff the burst phase actually pipelined).
+    pipelined: u64,
+    /// Requests that joined an in-flight identical compile instead of
+    /// dispatching their own job. Informational: coalescing needs two
+    /// identical requests to race, which a warm cache makes rare here;
+    /// the serve integration tests pin it deterministically.
+    coalesced: u64,
     shed: u64,
     errors: u64,
 }
@@ -186,38 +208,47 @@ impl ToJson for ServeBench {
             .with("requests", self.requests)
             .with("cold_seconds", self.cold_seconds)
             .with("warm_seconds", self.warm_seconds)
+            .with("pipelined_seconds", self.pipelined_seconds)
             .with("warm_p50_ms", self.warm_p50_ms)
             .with("warm_p99_ms", self.warm_p99_ms)
             .with("warm_max_ms", self.warm_max_ms)
             .with("hit_rate", self.hit_rate)
+            .with("batched", self.batched)
+            .with("pipelined", self.pipelined)
+            .with("coalesced", self.coalesced)
             .with("shed", self.shed)
             .with("errors", self.errors)
     }
 }
 
 /// Serve-layer bench (hard gate): an in-process [`Server`] driven by
-/// [`SERVE_CLIENTS`] concurrent connections over the Table-1 models,
-/// cold then warm. Every warm response must be byte-identical to the
-/// cold one for its model, the pipeline must have run exactly once per
-/// model (single-flight dedup), and nothing may shed or error. The warm
-/// p50/p99 are informational, tracked across commits via the JSON.
+/// [`SERVE_CLIENTS`] concurrent connections over the Table-1 models in
+/// three phases — cold (oracle), warm fan-out (one request in flight
+/// per connection), pipelined burst (whole model list in flight at
+/// once). Every response must be byte-identical to the cold one for
+/// its model (384 warm + 192 burst checks), the pipeline must have run
+/// exactly once per model (dedup through single-flight and batching),
+/// nothing may shed or error, the event loop must have actually
+/// pipelined and dispatched batches, and the warm p99 must stay under
+/// [`WARM_P99_CEILING_MS`].
 fn serve_bench() -> (ServeBench, bool) {
     let models = table1_models();
     let names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
-    // One worker per client: a worker owns a connection until it
-    // closes, so fewer workers would fold admission-queue waits into
-    // the warm quantiles and measure starvation, not service.
+    // Workers default from the core count (connections no longer pin
+    // workers — the event loop multiplexes, the pool only compiles).
+    // The queue only ever holds distinct fingerprints, so even the
+    // full burst cannot legitimately shed at 4×clients.
     let config = ServeConfig {
         addr: "127.0.0.1:0".into(),
-        workers: SERVE_CLIENTS,
-        queue_depth: 2 * SERVE_CLIENTS,
+        queue_depth: 4 * SERVE_CLIENTS,
+        ..ServeConfig::default()
     };
     let server = Server::bind(&config, ArtifactCache::in_memory()).expect("bind serve bench");
     let addr = server.local_addr().expect("bound address").to_string();
     let handle = std::thread::spawn(move || server.run());
 
     // Cold pass: one client walks every model once. The responses
-    // double as the byte-identity oracle for the warm fan-out.
+    // double as the byte-identity oracle for both fan-out phases.
     let t = Instant::now();
     let mut client = Client::connect(&addr).expect("connect to serve bench");
     let cold: Vec<String> = names
@@ -238,7 +269,7 @@ fn serve_bench() -> (ServeBench, bool) {
             let (latency, mismatches) = (&latency, &mismatches);
             s.spawn(move || {
                 let mut client = Client::connect(addr).expect("connect warm client");
-                for step in 0..names.len() {
+                for step in 0..WARM_ROUNDS * names.len() {
                     let pick = (tid + step) % names.len();
                     let t = Instant::now();
                     let resp = client
@@ -254,6 +285,39 @@ fn serve_bench() -> (ServeBench, bool) {
     });
     let warm_seconds = t.elapsed().as_secs_f64();
 
+    // Pipelined burst: each client writes its whole (staggered) model
+    // list before reading anything; the server must answer in request
+    // order, byte-identically, with many requests in flight at once.
+    let t = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..SERVE_CLIENTS {
+            let (addr, names, cold) = (&addr, &names, &cold);
+            let mismatches = &mismatches;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect burst client");
+                for step in 0..names.len() {
+                    let pick = (tid + step) % names.len();
+                    client
+                        .send(&Request::Compile(Box::new(CompileRequest::named(names[pick]))))
+                        .expect("pipelined send");
+                }
+                for step in 0..names.len() {
+                    let pick = (tid + step) % names.len();
+                    match client.recv().expect("pipelined recv") {
+                        Response::Compiled(resp) => {
+                            if resp.result.to_json().to_string() != cold[pick] {
+                                mismatches
+                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                        other => panic!("expected a compiled response, got {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let pipelined_seconds = t.elapsed().as_secs_f64();
+
     let stats = client.stats().expect("serve stats");
     client.shutdown().expect("serve shutdown");
     handle.join().expect("serve thread").expect("serve run");
@@ -264,10 +328,14 @@ fn serve_bench() -> (ServeBench, bool) {
         requests: stats.requests,
         cold_seconds,
         warm_seconds,
+        pipelined_seconds,
         warm_p50_ms: warm.p50_ms,
         warm_p99_ms: warm.p99_ms,
         warm_max_ms: warm.max_ms,
         hit_rate: stats.cache_hit_rate,
+        batched: stats.batches,
+        pipelined: stats.pipelined,
+        coalesced: stats.coalesced,
         shed: stats.shed,
         errors: stats.errors,
     };
@@ -276,11 +344,21 @@ fn serve_bench() -> (ServeBench, bool) {
         && stats.cache_misses == names.len() as u64
         && stats.shed == 0
         && stats.errors == 0
-        && warm.count == (SERVE_CLIENTS * names.len()) as u64;
+        && warm.count == (SERVE_CLIENTS * names.len() * WARM_ROUNDS) as u64
+        && stats.batches > 0
+        && stats.pipelined > 0
+        && warm.p99_ms <= WARM_P99_CEILING_MS;
     if !ok {
         eprintln!(
-            "serve bench: mismatches={mismatches} misses={} shed={} errors={} warm={}",
-            stats.cache_misses, stats.shed, stats.errors, warm.count
+            "serve bench: mismatches={mismatches} misses={} shed={} errors={} warm={} \
+             batched={} pipelined={} p99={:.2}ms (ceiling {WARM_P99_CEILING_MS}ms)",
+            stats.cache_misses,
+            stats.shed,
+            stats.errors,
+            warm.count,
+            stats.batches,
+            stats.pipelined,
+            warm.p99_ms
         );
     }
     (record, ok)
@@ -611,13 +689,18 @@ fn main() {
         record.fault_smoke.fallbacks
     );
     println!(
-        "serve: {} clients, cold {:.3}s, warm {:.3}s (p50 {:.2}ms, p99 {:.2}ms, hit rate {:.2})",
+        "serve: {} clients, cold {:.3}s, warm {:.3}s, pipelined {:.3}s (p50 {:.2}ms, p99 {:.2}ms, \
+         hit rate {:.2}, batched {}, pipelined {}, coalesced {})",
         record.serve.clients,
         record.serve.cold_seconds,
         record.serve.warm_seconds,
+        record.serve.pipelined_seconds,
         record.serve.warm_p50_ms,
         record.serve.warm_p99_ms,
-        record.serve.hit_rate
+        record.serve.hit_rate,
+        record.serve.batched,
+        record.serve.pipelined,
+        record.serve.coalesced
     );
     write_json("BENCH_sim", &record);
 

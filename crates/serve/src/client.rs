@@ -4,6 +4,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use overlap_json::{FromJson, ToJson};
 
+use crate::events::EventRecord;
 use crate::protocol::{
     read_frame, write_frame, CompileRequest, CompileResponse, ErrorResponse, FrameReader,
     Request, Response, StatsResponse, WireError,
@@ -38,8 +39,12 @@ impl std::fmt::Display for ClientError {
     }
 }
 
-/// One connection to an overlap-serve daemon. Requests are pipelined
-/// strictly: send one frame, read one frame.
+/// One connection to an overlap-serve daemon.
+///
+/// [`Client::request`] is the strict send-one-read-one path. For wire
+/// pipelining, pair [`Client::send`] with [`Client::recv`]: the server
+/// answers in request order, so N sends followed by N recvs match up
+/// positionally.
 pub struct Client {
     stream: TcpStream,
     reader: FrameReader,
@@ -138,6 +143,76 @@ impl Client {
             Response::ShuttingDown => Ok(()),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::Unexpected("shutting-down", other)),
+        }
+    }
+
+    /// Sends one request frame without reading anything — the first
+    /// half of a pipelined exchange.
+    ///
+    /// # Errors
+    ///
+    /// Returns the transport failure as [`ClientError::Wire`].
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &req.to_json())
+            .map_err(|e| ClientError::Wire(WireError::Io(e)))
+    }
+
+    /// Reads the next response frame — the second half of a pipelined
+    /// exchange. Responses arrive in the order their requests were
+    /// sent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClientError::Wire`] on transport problems or
+    /// [`ClientError::BadResponse`] if the frame is not a response.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        match read_frame(&mut self.stream, &mut self.reader) {
+            Ok(v) => Response::from_json(&v).map_err(ClientError::BadResponse),
+            Err(e) => Err(ClientError::Wire(e)),
+        }
+    }
+
+    /// Turns this connection into a live event stream: sends
+    /// `subscribe`, checks the acknowledgement, and returns an
+    /// iterator-style reader of [`EventRecord`]s.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::compile`].
+    pub fn subscribe(mut self) -> Result<EventStream, ClientError> {
+        match self.request(&Request::Subscribe)? {
+            Response::Subscribed => {
+                Ok(EventStream { stream: self.stream, reader: self.reader })
+            }
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected("subscribed", other)),
+        }
+    }
+}
+
+/// A subscribed connection: yields server events until the server
+/// drains or the connection drops.
+pub struct EventStream {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl EventStream {
+    /// Blocks for the next event. `Ok(None)` on a clean end of stream
+    /// (the server drained).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport problems as [`ClientError::Wire`] and
+    /// non-event frames as [`ClientError::Unexpected`].
+    pub fn next_event(&mut self) -> Result<Option<EventRecord>, ClientError> {
+        match read_frame(&mut self.stream, &mut self.reader) {
+            Ok(v) => match Response::from_json(&v).map_err(ClientError::BadResponse)? {
+                Response::Event(record) => Ok(Some(*record)),
+                other => Err(ClientError::Unexpected("event", other)),
+            },
+            Err(WireError::Closed) => Ok(None),
+            Err(e) => Err(ClientError::Wire(e)),
         }
     }
 }

@@ -15,6 +15,7 @@ use std::time::Instant;
 
 use overlap_core::{artifact_key_faulted, ArtifactCache, CacheOutcome, OverlapPipeline};
 use overlap_hlo::Module;
+use overlap_json::{Fingerprint, StableHasher, ToJson};
 use overlap_mesh::Machine;
 use overlap_models::{find_model, model_names};
 use overlap_sim::{
@@ -24,6 +25,28 @@ use overlap_sim::{
 use crate::protocol::{
     CompileRequest, CompileResult, ErrorKind, MachineSpec, ModelRef, SimSummary,
 };
+
+/// The coalescing key for fingerprint batching: two compile requests
+/// with equal keys provably produce byte-identical [`CompileResult`]s,
+/// so the server may answer both from one execution.
+///
+/// Hashes the request's canonical wire encoding of (model, machine,
+/// options, fault spec) — `deadline_ms` is deliberately excluded from
+/// the JSON by construction here, but batchers must still dispatch
+/// deadline-carrying requests solo: a deadline is a per-request
+/// wall-clock promise that cannot be shared across batch members.
+#[must_use]
+pub fn batch_key(req: &CompileRequest) -> Fingerprint {
+    let mut h = StableHasher::new("serve-batch/1");
+    h.write_str(&req.model.to_json().to_string());
+    h.write_str(&req.machine.to_json().to_string());
+    h.write_str(&req.options.to_json().to_string());
+    match &req.fault_spec {
+        Some(spec) => h.write_str(&spec.to_json().to_string()),
+        None => h.write_str(""),
+    }
+    h.finish()
+}
 
 /// A typed execution failure; maps 1:1 onto a wire error response.
 #[derive(Debug, Clone, PartialEq, Eq)]

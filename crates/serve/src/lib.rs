@@ -3,8 +3,11 @@
 //! Everything below the bins: the versioned wire protocol
 //! ([`protocol`]), the shared request-execution path ([`exec`] — the
 //! same function the daemon and the byte-identity checkers call), the
-//! bounded-admission server ([`server`]), a blocking client
-//! ([`client`]) and lock-free latency metrics ([`metrics`]).
+//! zero-dependency readiness reactor ([`reactor`]), the event-loop
+//! server with request pipelining and fingerprint batching
+//! ([`server`]), the typed event bus its progress publishes on
+//! ([`events`]), a blocking client ([`client`]) and lock-free latency
+//! metrics ([`metrics`] — fed from the bus like any other observer).
 //!
 //! The service contract, in one sentence: a compile request's `result`
 //! object is a pure function of (model, machine, options, fault spec)
@@ -14,18 +17,25 @@
 //! typed errors instead of dropped connections.
 
 pub mod client;
+pub mod events;
 pub mod exec;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
-pub use client::{Client, ClientError};
-pub use exec::{execute, Deadline, ExecError};
+pub use client::{Client, ClientError, EventStream};
+pub use events::{
+    parse_records, ChromeTraceObserver, CollectObserver, DecisionSummary, EventBus,
+    EventObserver, EventRecord, MetricsObserver, RecordObserver, ServeEvent, SubscriptionHub,
+};
+pub use exec::{batch_key, execute, Deadline, ExecError};
 pub use metrics::{Histogram, ServerMetrics};
 pub use protocol::{
-    read_frame, write_frame, CompileRequest, CompileResponse, CompileResult, ErrorKind,
-    ErrorResponse, FrameEvent, FrameReader, LatencySummary, MachineSpec, ModelRef, Request,
-    Response, ServedInfo, SimSummary, StatsResponse, WireError, MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    event_frame_payload, read_frame, write_frame, CompileRequest, CompileResponse,
+    CompileResult, ErrorKind, ErrorResponse, FrameEvent, FrameReader, LatencySummary,
+    MachineSpec, ModelRef, Request, Response, ServedInfo, SimSummary, StatsResponse, WireError,
+    MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
+pub use reactor::{Event, Interest, Pollable, Poller, Token, Waker};
 pub use server::{ServeConfig, Server, ShutdownHandle};

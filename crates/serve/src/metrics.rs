@@ -115,8 +115,16 @@ pub struct ServerMetrics {
     pub ok: AtomicU64,
     /// Requests answered with a typed error.
     pub errors: AtomicU64,
-    /// Connections shed at admission (queue full).
+    /// Requests or connections shed under backpressure.
     pub shed: AtomicU64,
+    /// Compile requests that joined an in-flight batch instead of
+    /// dispatching their own job.
+    pub coalesced: AtomicU64,
+    /// Compile jobs dispatched to the pool.
+    pub batches: AtomicU64,
+    /// Requests that arrived while their connection already had a
+    /// request in flight.
+    pub pipelined: AtomicU64,
     /// Queue+service latency of every answered request.
     pub latency: Histogram,
 }
@@ -137,6 +145,9 @@ impl ServerMetrics {
             ok: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            pipelined: AtomicU64::new(0),
             latency: Histogram::new(),
         }
     }
@@ -182,7 +193,7 @@ mod tests {
         h.record(1000.0); // one 1 s outlier
         assert_eq!(h.count(), 100);
         let p50 = h.quantile(0.50);
-        assert!(p50 >= 1.0 && p50 <= 1.3, "p50 {p50} should be ~1 ms");
+        assert!((1.0..=1.3).contains(&p50), "p50 {p50} should be ~1 ms");
         // p99 covers rank 99, still inside the 1 ms mass.
         assert!(h.quantile(0.99) < 2.0);
         // The max and the top quantile see the outlier.

@@ -29,6 +29,8 @@ use overlap_json::{FromJson, Json, ToJson};
 use overlap_mesh::FaultSpec;
 use overlap_sim::Report;
 
+use crate::events::EventRecord;
+
 /// Version token every frame header must lead with. Bump on any wire
 /// layout change; old peers then fail fast with
 /// [`ErrorKind::UnknownVersion`] instead of misparsing.
@@ -347,6 +349,10 @@ pub enum Request {
     Ping,
     /// Ask the server to drain and exit; [`Response::ShuttingDown`].
     Shutdown,
+    /// Turn this connection into a live event stream: answered by
+    /// [`Response::Subscribed`], then [`Response::Event`] frames flow
+    /// until the connection closes or the server drains.
+    Subscribe,
 }
 
 impl ToJson for Request {
@@ -369,6 +375,7 @@ impl ToJson for Request {
             Request::Stats => Json::obj().with("request", "stats"),
             Request::Ping => Json::obj().with("request", "ping"),
             Request::Shutdown => Json::obj().with("request", "shutdown"),
+            Request::Subscribe => Json::obj().with("request", "subscribe"),
         }
     }
 }
@@ -404,6 +411,7 @@ impl FromJson for Request {
             "stats" => Ok(Request::Stats),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
+            "subscribe" => Ok(Request::Subscribe),
             other => Err(format!("unknown request {other:?}")),
         }
     }
@@ -681,10 +689,12 @@ impl FromJson for CompileResult {
 /// [`CompileResult`] so the byte-identity contract ignores it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServedInfo {
-    /// `"memory"`, `"disk"` or `"compiled"` (`CacheOutcome::as_str`).
+    /// `"memory"`, `"disk"` or `"compiled"` (`CacheOutcome::as_str`),
+    /// or `"coalesced"` for a request that joined another request's
+    /// in-flight batch and shared its artifact.
     pub source: String,
-    /// Time the connection waited in the admission queue before its
-    /// first request was picked up (0 for follow-up requests).
+    /// Time the request waited between frame decode and dispatch
+    /// (admission plus compile-pool queueing).
     pub queue_ms: f64,
     /// Time spent executing the request.
     pub service_ms: f64,
@@ -758,11 +768,20 @@ pub struct StatsResponse {
     pub ok: u64,
     /// Requests answered with a typed error.
     pub errors: u64,
-    /// Connections shed at admission (queue full).
+    /// Requests or connections shed under backpressure.
     pub shed: u64,
-    /// Connections waiting in the admission queue right now.
+    /// Compile requests that joined an in-flight batch instead of
+    /// dispatching their own job.
+    pub coalesced: u64,
+    /// Compile jobs dispatched to the pool (each may answer several
+    /// coalesced requests).
+    pub batches: u64,
+    /// Requests that arrived while the same connection already had a
+    /// request in flight (wire pipelining observed).
+    pub pipelined: u64,
+    /// Compile jobs waiting for a pool worker right now.
     pub queue_depth: usize,
-    /// Worker threads serving connections.
+    /// Compile-pool worker threads.
     pub workers: usize,
     /// `requests / uptime`, in requests per second.
     pub qps: f64,
@@ -787,6 +806,9 @@ impl ToJson for StatsResponse {
             .with("ok", self.ok)
             .with("errors", self.errors)
             .with("shed", self.shed)
+            .with("coalesced", self.coalesced)
+            .with("batches", self.batches)
+            .with("pipelined", self.pipelined)
             .with("queue_depth", self.queue_depth)
             .with("workers", self.workers)
             .with("qps", self.qps)
@@ -806,6 +828,9 @@ impl FromJson for StatsResponse {
             ok: v.decode_field("ok")?,
             errors: v.decode_field("errors")?,
             shed: v.decode_field("shed")?,
+            coalesced: v.decode_field("coalesced")?,
+            batches: v.decode_field("batches")?,
+            pipelined: v.decode_field("pipelined")?,
             queue_depth: v.decode_field("queue_depth")?,
             workers: v.decode_field("workers")?,
             qps: v.decode_field("qps")?,
@@ -838,8 +863,21 @@ pub enum Response {
     Pong,
     /// Acknowledges [`Request::Shutdown`]; the server then drains.
     ShuttingDown,
+    /// Acknowledges [`Request::Subscribe`]; [`Response::Event`] frames
+    /// follow on the same connection.
+    Subscribed,
+    /// One live event-bus record, streamed to a subscriber.
+    Event(Box<EventRecord>),
     /// Any failure, typed.
     Error(ErrorResponse),
+}
+
+/// The payload of one streamed [`Response::Event`] frame. Factored out
+/// so the subscription hub can encode a record once per event instead
+/// of once per subscriber per event.
+#[must_use]
+pub fn event_frame_payload(record: &EventRecord) -> Json {
+    Json::obj().with("response", "event").with("record", record.to_json())
 }
 
 impl ToJson for Response {
@@ -852,6 +890,8 @@ impl ToJson for Response {
             Response::Stats(s) => s.to_json(),
             Response::Pong => Json::obj().with("response", "pong"),
             Response::ShuttingDown => Json::obj().with("response", "shutting-down"),
+            Response::Subscribed => Json::obj().with("response", "subscribed"),
+            Response::Event(r) => event_frame_payload(r),
             Response::Error(e) => e.to_json(),
         }
     }
@@ -867,6 +907,8 @@ impl FromJson for Response {
             "stats" => Ok(Response::Stats(Box::new(StatsResponse::from_json(v)?))),
             "pong" => Ok(Response::Pong),
             "shutting-down" => Ok(Response::ShuttingDown),
+            "subscribed" => Ok(Response::Subscribed),
+            "event" => Ok(Response::Event(Box::new(v.decode_field("record")?))),
             "error" => Ok(Response::Error(ErrorResponse::from_json(v)?)),
             other => Err(format!("unknown response {other:?}")),
         }

@@ -1,56 +1,98 @@
-//! The daemon: admission, worker pool, drain.
+//! The daemon: a readiness-driven event loop over nonblocking sockets.
 //!
-//! One acceptor thread owns the listener; a fixed pool of worker
-//! threads owns connections. Between them sits a *bounded* admission
-//! queue: when it is full the acceptor does not buffer, block or drop
-//! silently — it answers the connection with a typed
-//! [`ErrorKind::Overloaded`] frame and closes it (load shedding with
-//! an explicit receipt, so clients can back off instead of timing
-//! out). Everything runs on `std::thread::scope`; no runtime, no new
-//! dependencies.
+//! One thread — the caller of [`Server::run`] — owns every socket: the
+//! listener, a [`Waker`] the compile pool rings on completion, and one
+//! nonblocking [`Conn`] state machine per live connection. The loop
+//! never blocks on anything but [`Poller::poll`]; reads drain through
+//! the incremental [`FrameReader`] until `WouldBlock`, writes drain
+//! through a buffered [`OutBuf`] that survives torn (partial) writes
+//! mid-frame. Requests *pipeline*: a connection may have any number of
+//! frames in flight, each gets an ordered response slot, and responses
+//! go out strictly in request order no matter which completes first —
+//! that is the `overlap-serve/1` contract.
+//!
+//! Compiles never run on the loop thread. Each is a job on a small CPU
+//! pool, delivered back through a completion list plus a waker ring.
+//! In front of the pool sits *fingerprint batching*: a compile request
+//! whose [`batch_key`] matches a job still in flight joins that job as
+//! a follower instead of dispatching its own (its `served.source` says
+//! `"coalesced"`); only the representative request executes, and the
+//! single-flight `ArtifactCache` underneath still dedups across
+//! *different* batches. Requests carrying a `deadline_ms` always
+//! dispatch solo — a deadline is a per-request promise that must not
+//! silently extend to batch-mates.
+//!
+//! Backpressure is per *request* now, not per connection: when the
+//! pool's dispatch queue is at `queue_depth`, a compile is answered
+//! with a typed [`ErrorKind::Overloaded`] frame on its own slot and
+//! the connection lives on.
+//!
+//! Everything the server does is published on the [`EventBus`]
+//! (accept, admit, batch-coalesce, compile-start/finish,
+//! cache-outcome, shed, drain, done) — metrics are just one observer,
+//! and `subscribe` turns any connection into a live event stream.
 //!
 //! Draining ([`ShutdownHandle::request`], a client `shutdown` request,
-//! or SIGTERM forwarded by `overlapd`) stops admission, lets workers
-//! finish every request already admitted, then joins. Disk-cache
-//! writes stay atomic throughout (temp file + rename inside
-//! `ArtifactCache`), so a drain can never leave a torn entry — only
-//! `.tmp` droppings from a *kill -9*, which CI checks for.
+//! SIGTERM forwarded by `overlapd`, or a fatal listener error) stops
+//! accepting, answers new compiles with [`ErrorKind::ShuttingDown`],
+//! lets every in-flight job finish and flush, then joins the pool.
+//! Disk-cache writes stay atomic throughout (temp file + rename inside
+//! `ArtifactCache`), so a drain can never leave a torn entry.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use overlap_core::ArtifactCache;
-use overlap_json::{FromJson, ToJson};
+use overlap_core::{ArtifactCache, CacheOutcome};
+use overlap_json::{FromJson, Json, ToJson};
 
-use crate::exec::{execute, Deadline};
+use crate::events::{
+    EventBus, EventObserver, MetricsObserver, ServeEvent, SubscriptionHub,
+};
+use crate::exec::{batch_key, execute, Deadline, ExecError};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    write_frame, CompileResponse, ErrorKind, ErrorResponse, FrameEvent, FrameReader, Request,
-    Response, ServedInfo, StatsResponse,
+    write_frame, CompileRequest, CompileResponse, ErrorKind, ErrorResponse, FrameEvent,
+    FrameReader, ModelRef, Request, Response, ServedInfo, StatsResponse, PROTOCOL_VERSION,
 };
+use crate::reactor::{Interest, Poller, Token, Waker};
 
-/// How often parked threads re-check the drain flag.
+/// The loop's poll timeout: the upper bound on how stale the drain
+/// flag or a subscriber's event queue can get while nothing else is
+/// happening. Completions don't wait on it — the pool rings the waker.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Reads a `usize` tuning knob from the environment; unset, empty or
+/// unparseable values fall back.
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
 
 /// Tuning for one [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads (each serves one connection at a time).
+    /// Compile-pool worker threads (the event loop itself is one more
+    /// thread and never blocks on a compile).
     pub workers: usize,
-    /// Admitted-but-unserved connections to hold before shedding.
+    /// Compile jobs the dispatch queue holds before shedding requests.
     pub queue_depth: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        let workers = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
-        ServeConfig { addr: "127.0.0.1:0".to_string(), workers, queue_depth: 2 * workers }
+        // The pool does the CPU work, so it gets the machine: one
+        // worker per core, overridable with OVERLAP_SERVE_WORKERS.
+        // (The old default capped at 8, which starved large hosts.)
+        let workers = env_usize("OVERLAP_SERVE_WORKERS")
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
+            .max(1);
+        let queue_depth = env_usize("OVERLAP_SERVE_QUEUE").unwrap_or(4 * workers).max(1);
+        ServeConfig { addr: "127.0.0.1:0".to_string(), workers, queue_depth }
     }
 }
 
@@ -73,20 +115,37 @@ impl ShutdownHandle {
     }
 }
 
-/// A connection waiting for a worker, stamped at admission so queue
-/// time is measurable.
-struct Admitted {
-    stream: TcpStream,
-    at: Instant,
+/// One compile job handed to the pool. Members (who gets the answer)
+/// stay loop-side; the pool only needs what to execute.
+struct Job {
+    id: u64,
+    /// Hex batch fingerprint, for events.
+    batch: String,
+    req: Box<CompileRequest>,
+    /// Anchored at request receipt, so pool queueing counts against it.
+    deadline: Deadline,
 }
 
-/// State shared by the acceptor and every worker.
+/// What the pool sends back.
+struct Completion {
+    job_id: u64,
+    result: Result<(crate::protocol::CompileResult, CacheOutcome), ExecError>,
+    compile_ms: f64,
+}
+
+/// State shared between the event loop and the pool workers.
 struct Shared {
-    queue: Mutex<VecDeque<Admitted>>,
-    ready: Condvar,
     draining: Arc<AtomicBool>,
-    metrics: ServerMetrics,
+    metrics: Arc<ServerMetrics>,
     cache: ArtifactCache,
+    bus: EventBus,
+    hub: Arc<SubscriptionHub>,
+    jobs: Mutex<VecDeque<Job>>,
+    jobs_ready: Condvar,
+    /// Set by the loop once no more jobs will ever be pushed.
+    pool_stop: AtomicBool,
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
     workers: usize,
     queue_depth: usize,
 }
@@ -94,6 +153,10 @@ struct Shared {
 impl Shared {
     fn is_draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
+    }
+
+    fn queued_jobs(&self) -> usize {
+        self.jobs.lock().expect("job queue lock").len()
     }
 }
 
@@ -103,25 +166,78 @@ pub struct Server {
     shared: Arc<Shared>,
 }
 
+/// The model label for events, without resolving anything.
+fn model_label(req: &CompileRequest) -> String {
+    match &req.model {
+        ModelRef::Named(name) => name.clone(),
+        ModelRef::Inline(module) => module.name().to_string(),
+    }
+}
+
+/// Encodes one frame (header + compact payload) into bytes.
+fn encode_frame(payload: &Json) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    // Vec<u8> never fails to write.
+    write_frame(&mut bytes, payload).expect("encoding a frame into memory");
+    bytes
+}
+
+/// Frames an already-encoded payload string (the subscription hub
+/// encodes each event once, not once per subscriber).
+fn frame_payload_str(payload: &str) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(payload.len() + 32);
+    bytes.extend_from_slice(format!("{PROTOCOL_VERSION} {}\n", payload.len()).as_bytes());
+    bytes.extend_from_slice(payload.as_bytes());
+    bytes
+}
+
 impl Server {
     /// Binds the listener and prepares shared state. `cache` is the
-    /// process-wide artifact cache every request compiles through —
-    /// its single-flight machinery is what dedups identical in-flight
-    /// requests down to one pipeline run.
+    /// process-wide artifact cache every job compiles through — its
+    /// single-flight machinery dedups identical compiles *across*
+    /// batches, while fingerprint batching dedups *within* the
+    /// server's own in-flight window.
     ///
     /// # Errors
     ///
-    /// Returns the bind failure.
+    /// Returns the bind (or waker construction) failure.
     pub fn bind(config: &ServeConfig, cache: ArtifactCache) -> std::io::Result<Server> {
+        Self::bind_with_observers(config, cache, Vec::new())
+    }
+
+    /// [`Server::bind`], plus extra event-bus observers (recorders,
+    /// chrome traces, test collectors). Metrics and the subscription
+    /// hub are always attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind (or waker construction) failure.
+    pub fn bind_with_observers(
+        config: &ServeConfig,
+        cache: ArtifactCache,
+        extra: Vec<Arc<dyn EventObserver>>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let metrics = Arc::new(ServerMetrics::new());
+        let hub = Arc::new(SubscriptionHub::new());
+        let mut observers: Vec<Arc<dyn EventObserver>> = vec![
+            Arc::new(MetricsObserver(Arc::clone(&metrics))),
+            Arc::clone(&hub) as Arc<dyn EventObserver>,
+        ];
+        observers.extend(extra);
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
-                queue: Mutex::new(VecDeque::new()),
-                ready: Condvar::new(),
                 draining: Arc::new(AtomicBool::new(false)),
-                metrics: ServerMetrics::new(),
+                metrics,
                 cache,
+                bus: EventBus::new(observers),
+                hub,
+                jobs: Mutex::new(VecDeque::new()),
+                jobs_ready: Condvar::new(),
+                pool_stop: AtomicBool::new(false),
+                completions: Mutex::new(Vec::new()),
+                waker: Waker::new()?,
                 workers: config.workers.max(1),
                 queue_depth: config.queue_depth.max(1),
             }),
@@ -143,242 +259,818 @@ impl Server {
         ShutdownHandle(Arc::clone(&self.shared.draining))
     }
 
-    /// Serves until drained: accepts, sheds, dispatches; returns once
-    /// every admitted connection has been answered and all workers
-    /// have exited.
+    /// Serves until drained: returns once every admitted request has
+    /// been answered, every response flushed, and the pool joined.
     ///
     /// # Errors
     ///
-    /// Returns only fatal listener errors; per-connection I/O failures
+    /// Returns only fatal setup errors; per-connection I/O failures
     /// are contained to their connection.
     pub fn run(self) -> std::io::Result<()> {
-        let shared = &self.shared;
         self.listener.set_nonblocking(true)?;
+        let shared = &*self.shared;
         std::thread::scope(|scope| {
             for _ in 0..shared.workers {
-                scope.spawn(|| worker_loop(shared));
+                scope.spawn(|| pool_worker(shared));
             }
-            loop {
-                if shared.is_draining() {
-                    break;
-                }
-                match self.listener.accept() {
-                    Ok((stream, _)) => admit(shared, stream),
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(POLL_INTERVAL);
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(e) => {
-                        // A fatal listener error drains the server
-                        // rather than leaving it half-alive.
-                        eprintln!("overlapd: listener error: {e}; draining");
-                        shared.draining.store(true, Ordering::SeqCst);
-                    }
-                }
-            }
-            // Drain: workers finish the queue, then observe the flag
-            // and exit; wake any that are parked.
-            shared.ready.notify_all();
+            EventLoop::new(shared, &self.listener).run();
+            // No more jobs will arrive; let idle workers exit.
+            shared.pool_stop.store(true, Ordering::SeqCst);
+            shared.jobs_ready.notify_all();
         });
         Ok(())
     }
 }
 
-/// Admission: enqueue within the configured bound, shed beyond it.
-fn admit(shared: &Shared, stream: TcpStream) {
-    let mut queue = shared.queue.lock().expect("admission queue lock");
-    if queue.len() >= shared.queue_depth {
-        drop(queue);
-        shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
-        shed(stream);
-        return;
-    }
-    queue.push_back(Admitted { stream, at: Instant::now() });
-    drop(queue);
-    shared.ready.notify_one();
-}
-
-/// Answers a shed connection with a typed `overloaded` error. Best
-/// effort: the client may already be gone.
-fn shed(mut stream: TcpStream) {
-    let resp = Response::Error(ErrorResponse {
-        kind: ErrorKind::Overloaded,
-        message: "admission queue full; retry later".to_string(),
-    });
-    let _ = write_frame(&mut stream, &resp.to_json());
-    let _ = stream.flush();
-}
-
-/// One worker: pop a connection, serve it to completion, repeat;
-/// exit when draining and the queue is empty.
-fn worker_loop(shared: &Shared) {
+/// One pool worker: pop a job, execute it, report back, ring the loop.
+fn pool_worker(shared: &Shared) {
     loop {
-        let admitted = {
-            let mut queue = shared.queue.lock().expect("admission queue lock");
+        let job = {
+            let mut queue = shared.jobs.lock().expect("job queue lock");
             loop {
-                if let Some(c) = queue.pop_front() {
-                    break Some(c);
+                if let Some(j) = queue.pop_front() {
+                    break Some(j);
                 }
-                if shared.is_draining() {
+                if shared.pool_stop.load(Ordering::SeqCst) {
                     break None;
                 }
-                let (q, _timeout) = shared
-                    .ready
-                    .wait_timeout(queue, POLL_INTERVAL)
-                    .expect("admission queue lock");
-                queue = q;
+                queue = shared.jobs_ready.wait(queue).expect("job queue lock");
             }
         };
-        match admitted {
-            Some(conn) => serve_connection(shared, conn),
-            None => return,
-        }
+        let Some(job) = job else { return };
+        let model = model_label(&job.req);
+        shared
+            .bus
+            .emit(ServeEvent::CompileStart { batch: job.batch.clone(), model: model.clone() });
+        let started = Instant::now();
+        let result = execute(&job.req, &shared.cache, job.deadline);
+        let compile_ms = started.elapsed().as_secs_f64() * 1e3;
+        let outcome = match &result {
+            Ok((_, o)) => o.as_str().to_string(),
+            Err(_) => "error".to_string(),
+        };
+        shared.bus.emit(ServeEvent::CompileFinish {
+            batch: job.batch,
+            model,
+            compile_ms,
+            outcome,
+        });
+        shared
+            .completions
+            .lock()
+            .expect("completion list lock")
+            .push(Completion { job_id: job.id, result, compile_ms });
+        shared.waker.wake();
     }
 }
 
-/// Serves every request on one connection. Read timeouts keep the
-/// worker responsive to drain; the incremental [`FrameReader`] makes
-/// them safe (a timeout mid-frame loses nothing).
-fn serve_connection(shared: &Shared, conn: Admitted) {
-    let Admitted { mut stream, at } = conn;
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
-        return;
+// ---------------------------------------------------------------------------
+// The event loop
+// ---------------------------------------------------------------------------
+
+/// A buffered nonblocking writer: frames append at the back, a cursor
+/// tracks how far the kernel has accepted. A torn write mid-frame
+/// simply leaves the cursor inside the frame; the next writable event
+/// resumes exactly there.
+#[derive(Default)]
+struct OutBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl OutBuf {
+    fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
     }
-    stream.set_nodelay(true).ok();
-    let mut reader = FrameReader::new();
-    let mut queue_ms = at.elapsed().as_secs_f64() * 1e3;
-    loop {
-        match reader.poll(&mut stream) {
-            FrameEvent::Frame(payload) => {
-                let started = Instant::now();
-                let (resp, shutdown) = handle(shared, &payload);
-                let service_ms = started.elapsed().as_secs_f64() * 1e3;
-                let resp = finalize(resp, queue_ms, service_ms);
-                record(shared, &resp, queue_ms + service_ms);
-                let ok = write_frame(&mut stream, &resp.to_json()).is_ok();
-                if shutdown {
-                    shared.draining.store(true, Ordering::SeqCst);
-                    shared.ready.notify_all();
+
+    fn push(&mut self, bytes: &[u8]) {
+        // Reclaim the consumed prefix before growing, so a long-lived
+        // chatty connection doesn't accrete its whole history.
+        if self.pos > 0 && (self.is_empty() || self.pos >= 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes as much as the socket accepts. `Ok(true)` when fully
+    /// flushed, `Ok(false)` on `WouldBlock` with bytes remaining.
+    fn flush_to(&mut self, w: &mut impl Write) -> std::io::Result<bool> {
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ));
                 }
-                // Only the first request on a connection pays its
-                // admission wait.
-                queue_ms = 0.0;
-                if !ok || shutdown || shared.is_draining() {
-                    return;
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
+/// One ordered response slot. Responses leave in request order: the
+/// front slot must be `Ready` before anything behind it ships.
+enum Slot {
+    /// Waiting on a pool completion.
+    Pending { req_id: u64 },
+    /// Encoded and ready to ship.
+    Ready { frame: Vec<u8> },
+}
+
+/// Per-connection state machine.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    reader: FrameReader,
+    out: OutBuf,
+    /// In-order response slots for every admitted request.
+    slots: VecDeque<Slot>,
+    /// Peer closed its write half; serve out the pipeline, then drop.
+    read_closed: bool,
+    /// Close as soon as `out` drains (framing violation or drain).
+    closing: bool,
+    /// Receives streamed event frames.
+    subscriber: bool,
+}
+
+impl Conn {
+    fn has_pending(&self) -> bool {
+        self.slots.iter().any(|s| matches!(s, Slot::Pending { .. }))
+    }
+
+    /// The interest this connection currently needs.
+    fn interest(&self) -> Interest {
+        Interest { readable: !self.read_closed && !self.closing, writable: !self.out.is_empty() }
+    }
+}
+
+/// A request waiting on a job: which slot of which connection.
+struct Member {
+    token: Token,
+    req_id: u64,
+    kind: &'static str,
+    admitted: Instant,
+    /// Followers joined an in-flight batch; their provenance says so.
+    leader: bool,
+}
+
+const LISTENER: Token = Token(0);
+const WAKER: Token = Token(1);
+
+struct EventLoop<'a> {
+    shared: &'a Shared,
+    listener: &'a TcpListener,
+    poller: Poller,
+    conns: HashMap<Token, Conn>,
+    /// Loop-side job bookkeeping: who to answer when `job_id` lands.
+    members: HashMap<u64, Vec<Member>>,
+    /// Coalescing window: batch fingerprint → in-flight job id.
+    batch_index: HashMap<u128, u64>,
+    next_token: usize,
+    next_conn_id: u64,
+    next_req_id: u64,
+    next_job_id: u64,
+    /// The drain event fired (only once).
+    drain_emitted: bool,
+    accepting: bool,
+}
+
+impl<'a> EventLoop<'a> {
+    fn new(shared: &'a Shared, listener: &'a TcpListener) -> EventLoop<'a> {
+        let mut poller = Poller::new();
+        poller.register(listener, LISTENER, Interest::READ);
+        poller.register(shared.waker.reader(), WAKER, Interest::READ);
+        EventLoop {
+            shared,
+            listener,
+            poller,
+            conns: HashMap::new(),
+            members: HashMap::new(),
+            batch_index: HashMap::new(),
+            next_token: 2,
+            next_conn_id: 0,
+            next_req_id: 0,
+            next_job_id: 0,
+            drain_emitted: false,
+            accepting: true,
+        }
+    }
+
+    fn run(&mut self) {
+        loop {
+            let ready: Vec<crate::reactor::Event> =
+                self.poller.poll(POLL_INTERVAL).to_vec();
+            for ev in ready {
+                match ev.token {
+                    LISTENER => self.accept_ready(),
+                    WAKER => self.shared.waker.drain(),
+                    token => self.conn_ready(token, ev.readable, ev.writable, ev.hangup),
                 }
             }
-            FrameEvent::Idle => {
-                if shared.is_draining() {
-                    return; // idle keep-alive connection; nothing in flight
-                }
-            }
-            FrameEvent::Closed => return,
-            FrameEvent::Error(e) => {
-                if let Some(kind) = e.to_error_kind() {
-                    let resp = Response::Error(ErrorResponse {
-                        kind,
-                        message: e.to_string(),
-                    });
-                    record(shared, &resp, queue_ms);
-                    let _ = write_frame(&mut stream, &resp.to_json());
-                }
-                // After a framing violation the stream offset is
-                // unknowable; close rather than misparse.
+            self.deliver_completions();
+            self.on_drain_edge();
+            self.stream_to_subscribers();
+            if self.drained() {
                 return;
             }
         }
     }
-}
 
-/// Stamps the served-info of a compile response with this request's
-/// timing (exec fills in the cache source; timing is only known here).
-fn finalize(resp: Response, queue_ms: f64, service_ms: f64) -> Response {
-    match resp {
-        Response::Compiled(mut c) => {
-            c.served.queue_ms = queue_ms;
-            c.served.service_ms = service_ms;
-            Response::Compiled(c)
+    /// Notices the drain flag flipping (from a signal handler, a
+    /// shutdown request, or a listener error): emits the drain event,
+    /// stops accepting.
+    fn on_drain_edge(&mut self) {
+        if !self.shared.is_draining() {
+            return;
         }
-        other => other,
+        if !self.drain_emitted {
+            // A shutdown *request* emits its own drain with a precise
+            // reason before setting the flag; reaching here means the
+            // flag flipped externally.
+            self.emit_drain("signal");
+        }
+        if self.accepting {
+            self.accepting = false;
+            self.poller.deregister(LISTENER);
+        }
     }
-}
 
-fn record(shared: &Shared, resp: &Response, total_ms: f64) {
-    shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
-    match resp {
-        Response::Error(_) => shared.metrics.errors.fetch_add(1, Ordering::Relaxed),
-        _ => shared.metrics.ok.fetch_add(1, Ordering::Relaxed),
-    };
-    shared.metrics.latency.record(total_ms);
-}
+    fn emit_drain(&mut self, reason: &str) {
+        if !self.drain_emitted {
+            self.drain_emitted = true;
+            self.shared.bus.emit(ServeEvent::Drain { reason: reason.to_string() });
+        }
+    }
 
-/// Decodes and executes one request payload. Returns the response and
-/// whether the server should drain afterwards.
-fn handle(shared: &Shared, payload: &overlap_json::Json) -> (Response, bool) {
-    let request = match Request::from_json(payload) {
-        Ok(r) => r,
-        Err(e) => {
-            return (
-                Response::Error(ErrorResponse {
+    /// Drained means: flag set, no job will ever complete again, and
+    /// every answer a peer can still receive has been handed to the
+    /// kernel. Subscriber backlogs don't hold the process hostage.
+    fn drained(&mut self) -> bool {
+        if !self.shared.is_draining() || !self.members.is_empty() {
+            return false;
+        }
+        if self.shared.queued_jobs() > 0 || !self.shared.completions.lock().expect("completion list lock").is_empty() {
+            return false;
+        }
+        if self.conns.values().any(|c| !c.subscriber && (!c.out.is_empty() || c.has_pending())) {
+            return false;
+        }
+        // Best-effort final flush for subscribers, then close everyone.
+        let tokens: Vec<Token> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(conn) = self.conns.get_mut(&token) {
+                let _ = conn.out.flush_to(&mut conn.stream);
+            }
+            self.drop_conn(token);
+        }
+        true
+    }
+
+    // -- accept ------------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        if !self.accepting {
+            return;
+        }
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.accept_one(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // A fatal listener error drains the server rather
+                    // than leaving it half-alive.
+                    eprintln!("overlapd: listener error: {e}; draining");
+                    self.emit_drain("listener-error");
+                    self.shared.draining.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn accept_one(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        stream.set_nodelay(true).ok();
+        self.next_conn_id += 1;
+        let id = self.next_conn_id;
+        let token = Token(self.next_token);
+        self.next_token += 1;
+        self.poller.register(&stream, token, Interest::READ);
+        self.conns.insert(
+            token,
+            Conn {
+                id,
+                stream,
+                reader: FrameReader::new(),
+                out: OutBuf::default(),
+                slots: VecDeque::new(),
+                read_closed: false,
+                closing: false,
+                subscriber: false,
+            },
+        );
+        self.shared.bus.emit(ServeEvent::Accept { conn: id });
+    }
+
+    // -- per-connection readiness ------------------------------------------
+
+    fn conn_ready(&mut self, token: Token, readable: bool, writable: bool, hangup: bool) {
+        if !self.conns.contains_key(&token) {
+            return;
+        }
+        if readable {
+            self.read_ready(token);
+        }
+        if writable {
+            self.write_ready(token);
+        }
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        // A hangup with nothing left to read means the peer is gone for
+        // good; pending work for it is undeliverable.
+        if hangup && !readable {
+            self.drop_conn(token);
+            return;
+        }
+        let done = conn.out.is_empty();
+        if (conn.closing && done)
+            || (conn.read_closed && done && conn.slots.is_empty() && !conn.subscriber)
+        {
+            self.drop_conn(token);
+            return;
+        }
+        let interest = conn.interest();
+        self.poller.set_interest(token, interest);
+    }
+
+    /// Drains every buffered frame off the socket (level-triggered:
+    /// stop only at `WouldBlock`, never leave bytes behind).
+    fn read_ready(&mut self, token: Token) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else { return };
+            if conn.closing {
+                return;
+            }
+            match conn.reader.poll(&mut conn.stream) {
+                FrameEvent::Frame(payload) => self.admit_frame(token, &payload),
+                FrameEvent::Idle => return,
+                FrameEvent::Closed => {
+                    let Some(conn) = self.conns.get_mut(&token) else { return };
+                    conn.read_closed = true;
+                    return;
+                }
+                FrameEvent::Error(e) => {
+                    // After a framing violation the stream offset is
+                    // unknowable; answer if possible, then close once
+                    // the pipeline ahead of the answer flushes.
+                    if let Some(kind) = e.to_error_kind() {
+                        let resp =
+                            Response::Error(ErrorResponse { kind, message: e.to_string() });
+                        self.next_req_id += 1;
+                        let req_id = self.next_req_id;
+                        self.fill_inline(token, req_id, "error", &resp, false);
+                    }
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.closing = true;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn write_ready(&mut self, token: Token) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        if conn.out.flush_to(&mut conn.stream).is_err() {
+            self.drop_conn(token);
+        }
+    }
+
+    fn drop_conn(&mut self, token: Token) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.deregister(token);
+            if conn.subscriber {
+                self.shared.hub.unsubscribe(conn.id);
+            }
+            self.shared.bus.emit(ServeEvent::Close { conn: conn.id });
+        }
+    }
+
+    // -- admission ----------------------------------------------------------
+
+    /// One decoded frame becomes one ordered response slot.
+    fn admit_frame(&mut self, token: Token, payload: &Json) {
+        self.next_req_id += 1;
+        let req_id = self.next_req_id;
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let conn_id = conn.id;
+        let pipelined = !conn.slots.is_empty();
+        let admitted = Instant::now();
+        let request = Request::from_json(payload);
+        let kind = match &request {
+            Ok(Request::Compile(_)) => "compile",
+            Ok(Request::Stats) => "stats",
+            Ok(Request::Ping) => "ping",
+            Ok(Request::Shutdown) => "shutdown",
+            Ok(Request::Subscribe) => "subscribe",
+            Err(_) => "invalid",
+        };
+        self.shared.bus.emit(ServeEvent::Admit {
+            conn: conn_id,
+            req: req_id,
+            kind: kind.to_string(),
+            pipelined,
+        });
+        match request {
+            Ok(Request::Compile(req)) => {
+                self.admit_compile(token, req_id, admitted, req);
+            }
+            Ok(Request::Ping) => self.fill_inline(token, req_id, kind, &Response::Pong, true),
+            Ok(Request::Stats) => {
+                let resp = Response::Stats(Box::new(self.stats()));
+                self.fill_inline(token, req_id, kind, &resp, true);
+            }
+            Ok(Request::Shutdown) => {
+                self.emit_drain("shutdown-request");
+                self.shared.draining.store(true, Ordering::SeqCst);
+                self.fill_inline(token, req_id, kind, &Response::ShuttingDown, true);
+            }
+            Ok(Request::Subscribe) => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.subscriber = true;
+                    self.shared.hub.subscribe(conn_id);
+                }
+                self.fill_inline(token, req_id, kind, &Response::Subscribed, true);
+            }
+            Err(e) => {
+                let resp = Response::Error(ErrorResponse {
                     kind: ErrorKind::InvalidRequest,
                     message: e,
-                }),
-                false,
-            );
-        }
-    };
-    match request {
-        Request::Ping => (Response::Pong, false),
-        Request::Stats => (Response::Stats(Box::new(stats(shared))), false),
-        Request::Shutdown => (Response::ShuttingDown, true),
-        Request::Compile(req) => {
-            if shared.is_draining() {
-                return (
-                    Response::Error(ErrorResponse {
-                        kind: ErrorKind::ShuttingDown,
-                        message: "server is draining".to_string(),
-                    }),
-                    false,
-                );
+                });
+                self.fill_inline(token, req_id, kind, &resp, false);
             }
-            let deadline = Deadline::from_request(req.deadline_ms);
-            match execute(&req, &shared.cache, deadline) {
-                Ok((result, outcome)) => (
+        }
+    }
+
+    /// Inline requests (everything but compile) answer on the spot —
+    /// but still through a slot, so pipelined ordering holds.
+    fn fill_inline(
+        &mut self,
+        token: Token,
+        req_id: u64,
+        kind: &'static str,
+        resp: &Response,
+        ok: bool,
+    ) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        let conn_id = conn.id;
+        let started = Instant::now();
+        let frame = encode_frame(&resp.to_json());
+        let serialize_ms = started.elapsed().as_secs_f64() * 1e3;
+        conn.slots.push_back(Slot::Ready { frame });
+        self.shared.bus.emit(ServeEvent::Done {
+            conn: conn_id,
+            req: req_id,
+            kind: kind.to_string(),
+            ok,
+            queue_ms: 0.0,
+            compile_ms: 0.0,
+            serialize_ms,
+        });
+        self.ship(token);
+    }
+
+    fn admit_compile(
+        &mut self,
+        token: Token,
+        req_id: u64,
+        admitted: Instant,
+        req: Box<CompileRequest>,
+    ) {
+        if self.shared.is_draining() {
+            let resp = Response::Error(ErrorResponse {
+                kind: ErrorKind::ShuttingDown,
+                message: "server is draining".to_string(),
+            });
+            self.fill_inline(token, req_id, "compile", &resp, false);
+            return;
+        }
+        // Batching first: joining an in-flight job costs nothing, so
+        // it is exempt from queue-depth shedding.
+        let solo = req.deadline_ms.is_some();
+        let key = if solo { None } else { Some(batch_key(&req)) };
+        if let Some(key) = key {
+            if let Some(&job_id) = self.batch_index.get(&key.as_u128()) {
+                if let Some(members) = self.members.get_mut(&job_id) {
+                    let conn_id = self.conns.get(&token).map_or(0, |c| c.id);
+                    members.push(Member {
+                        token,
+                        req_id,
+                        kind: "compile",
+                        admitted,
+                        leader: false,
+                    });
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        conn.slots.push_back(Slot::Pending { req_id });
+                    }
+                    self.shared.bus.emit(ServeEvent::BatchCoalesce {
+                        conn: conn_id,
+                        req: req_id,
+                        batch: key.to_string(),
+                    });
+                    return;
+                }
+                // Stale index entry (job already delivered): fall
+                // through and dispatch fresh.
+                self.batch_index.remove(&key.as_u128());
+            }
+        }
+        if self.shared.queued_jobs() >= self.shared.queue_depth {
+            let conn_id = self.conns.get(&token).map_or(0, |c| c.id);
+            self.shared
+                .bus
+                .emit(ServeEvent::Shed { conn: conn_id, scope: "request".to_string() });
+            let resp = Response::Error(ErrorResponse {
+                kind: ErrorKind::Overloaded,
+                message: "compile queue full; retry later".to_string(),
+            });
+            self.fill_inline(token, req_id, "compile", &resp, false);
+            return;
+        }
+        self.next_job_id += 1;
+        let job_id = self.next_job_id;
+        let deadline = Deadline::from_request(req.deadline_ms);
+        let batch = key.map_or_else(|| format!("solo-{job_id}"), |k| k.to_string());
+        if let Some(k) = key {
+            self.batch_index.insert(k.as_u128(), job_id);
+        }
+        self.members.insert(
+            job_id,
+            vec![Member { token, req_id, kind: "compile", admitted, leader: true }],
+        );
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.slots.push_back(Slot::Pending { req_id });
+        }
+        {
+            let mut queue = self.shared.jobs.lock().expect("job queue lock");
+            queue.push_back(Job { id: job_id, batch, req, deadline });
+        }
+        self.shared.jobs_ready.notify_one();
+    }
+
+    // -- completion delivery -------------------------------------------------
+
+    fn deliver_completions(&mut self) {
+        let completions: Vec<Completion> =
+            std::mem::take(&mut *self.shared.completions.lock().expect("completion list lock"));
+        for completion in completions {
+            let Some(members) = self.members.remove(&completion.job_id) else { continue };
+            // Retire the coalescing window for this job, if it was the
+            // one indexed.
+            self.batch_index.retain(|_, &mut id| id != completion.job_id);
+            for member in members {
+                self.answer_member(&member, &completion);
+            }
+        }
+    }
+
+    /// Builds one member's response from a job completion and fills
+    /// its slot.
+    fn answer_member(&mut self, member: &Member, completion: &Completion) {
+        let Some(conn) = self.conns.get_mut(&member.token) else { return };
+        let conn_id = conn.id;
+        let total_ms = member.admitted.elapsed().as_secs_f64() * 1e3;
+        let queue_ms = (total_ms - completion.compile_ms).max(0.0);
+        let (resp, ok, source) = match &completion.result {
+            Ok((result, outcome)) => {
+                let source = if member.leader {
+                    outcome.as_str().to_string()
+                } else {
+                    "coalesced".to_string()
+                };
+                (
                     Response::Compiled(Box::new(CompileResponse {
-                        result,
+                        result: result.clone(),
                         served: ServedInfo {
-                            source: outcome.as_str().to_string(),
-                            queue_ms: 0.0, // stamped in `finalize`
-                            service_ms: 0.0,
+                            source: source.clone(),
+                            queue_ms,
+                            service_ms: completion.compile_ms,
                         },
                     })),
-                    false,
-                ),
-                Err(e) => (
-                    Response::Error(ErrorResponse { kind: e.kind, message: e.message }),
-                    false,
-                ),
+                    true,
+                    Some(source),
+                )
             }
+            Err(e) => (
+                Response::Error(ErrorResponse { kind: e.kind, message: e.message.clone() }),
+                false,
+                None,
+            ),
+        };
+        let started = Instant::now();
+        let frame = encode_frame(&resp.to_json());
+        let serialize_ms = started.elapsed().as_secs_f64() * 1e3;
+        // Fill the matching slot (it is Pending; order within the
+        // conn's pipeline is preserved because slots never reorder).
+        for slot in &mut conn.slots {
+            if matches!(slot, Slot::Pending { req_id } if *req_id == member.req_id) {
+                *slot = Slot::Ready { frame };
+                break;
+            }
+        }
+        if let Some(source) = source {
+            self.shared.bus.emit(ServeEvent::CacheOutcome {
+                conn: conn_id,
+                req: member.req_id,
+                source,
+            });
+        }
+        self.shared.bus.emit(ServeEvent::Done {
+            conn: conn_id,
+            req: member.req_id,
+            kind: member.kind.to_string(),
+            ok,
+            queue_ms,
+            compile_ms: completion.compile_ms,
+            serialize_ms,
+        });
+        self.ship(member.token);
+    }
+
+    /// Moves every leading `Ready` slot into the out buffer (request
+    /// order!), flushes what the socket accepts, updates interest.
+    fn ship(&mut self, token: Token) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        while let Some(Slot::Ready { .. }) = conn.slots.front() {
+            let Some(Slot::Ready { frame }) = conn.slots.pop_front() else { unreachable!() };
+            conn.out.push(&frame);
+        }
+        if conn.out.flush_to(&mut conn.stream).is_err() {
+            self.drop_conn(token);
+            return;
+        }
+        let Some(conn) = self.conns.get(&token) else { return };
+        let finished = conn.out.is_empty() && !conn.has_pending();
+        if finished && (conn.closing || (conn.read_closed && conn.slots.is_empty() && !conn.subscriber)) {
+            self.drop_conn(token);
+            return;
+        }
+        let interest = conn.interest();
+        self.poller.set_interest(token, interest);
+    }
+
+    /// Forwards queued event frames to subscriber connections.
+    fn stream_to_subscribers(&mut self) {
+        if !self.shared.hub.is_active() {
+            return;
+        }
+        let by_id: HashMap<u64, Token> =
+            self.conns.iter().map(|(&t, c)| (c.id, t)).collect();
+        for (conn_id, frames) in self.shared.hub.take_pending() {
+            let Some(&token) = by_id.get(&conn_id) else {
+                self.shared.hub.unsubscribe(conn_id);
+                continue;
+            };
+            let Some(conn) = self.conns.get_mut(&token) else { continue };
+            for payload in frames {
+                conn.out.push(&frame_payload_str(&payload));
+            }
+            if conn.out.flush_to(&mut conn.stream).is_err() {
+                self.drop_conn(token);
+                continue;
+            }
+            if let Some(conn) = self.conns.get(&token) {
+                let interest = conn.interest();
+                self.poller.set_interest(token, interest);
+            }
+        }
+    }
+
+    // -- stats ---------------------------------------------------------------
+
+    fn stats(&self) -> StatsResponse {
+        let shared = self.shared;
+        let cache = shared.cache.stats();
+        let m = &shared.metrics;
+        StatsResponse {
+            uptime_ms: m.uptime_ms(),
+            requests: m.requests.load(Ordering::Relaxed),
+            ok: m.ok.load(Ordering::Relaxed),
+            errors: m.errors.load(Ordering::Relaxed),
+            shed: m.shed.load(Ordering::Relaxed),
+            coalesced: m.coalesced.load(Ordering::Relaxed),
+            batches: m.batches.load(Ordering::Relaxed),
+            pipelined: m.pipelined.load(Ordering::Relaxed),
+            queue_depth: shared.queued_jobs(),
+            workers: shared.workers,
+            qps: m.qps(),
+            cache_memory_hits: cache.memory_hits,
+            cache_disk_hits: cache.disk_hits,
+            cache_misses: cache.misses,
+            cache_hit_rate: cache.hit_rate(),
+            latency: m.latency.summary(),
         }
     }
 }
 
-fn stats(shared: &Shared) -> StatsResponse {
-    let cache = shared.cache.stats();
-    let m = &shared.metrics;
-    StatsResponse {
-        uptime_ms: m.uptime_ms(),
-        requests: m.requests.load(Ordering::Relaxed),
-        ok: m.ok.load(Ordering::Relaxed),
-        errors: m.errors.load(Ordering::Relaxed),
-        shed: m.shed.load(Ordering::Relaxed),
-        queue_depth: shared.queue.lock().expect("admission queue lock").len(),
-        workers: shared.workers,
-        qps: m.qps(),
-        cache_memory_hits: cache.memory_hits,
-        cache_disk_hits: cache.disk_hits,
-        cache_misses: cache.misses,
-        cache_hit_rate: cache.hit_rate(),
-        latency: m.latency.summary(),
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pathological nonblocking socket: accepts at most `cap` bytes
+    /// per call, only while `budget` lasts, `WouldBlock` otherwise.
+    struct ShortWriter {
+        accepted: Vec<u8>,
+        cap: usize,
+        budget: usize,
+    }
+
+    impl ShortWriter {
+        fn new(cap: usize) -> ShortWriter {
+            ShortWriter { accepted: Vec::new(), cap, budget: 0 }
+        }
+    }
+
+    impl Write for ShortWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.cap).min(self.budget);
+            if n == 0 {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.budget -= n;
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn outbuf_resumes_mid_frame_after_torn_writes() {
+        let mut out = OutBuf::default();
+        let frame_a = frame_payload_str("{\"response\":\"pong\"}");
+        let frame_b = frame_payload_str("{\"response\":\"subscribed\"}");
+        out.push(&frame_a);
+        out.push(&frame_b);
+        let total = frame_a.len() + frame_b.len();
+        let mut w = ShortWriter::new(3);
+        // Dribble the budget out three bytes at a time: every flush
+        // tears mid-frame, and the cursor must resume exactly where
+        // the kernel stopped accepting.
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            assert!(rounds < 1000, "flush never completed");
+            w.budget += 3;
+            match out.flush_to(&mut w) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(e) => panic!("flush failed: {e}"),
+            }
+        }
+        let mut expect = frame_a.clone();
+        expect.extend_from_slice(&frame_b);
+        assert_eq!(w.accepted.len(), total);
+        assert_eq!(w.accepted, expect, "bytes must arrive exactly once, in order");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn outbuf_push_after_partial_flush_keeps_order() {
+        let mut out = OutBuf::default();
+        out.push(b"aaaa");
+        let mut w = ShortWriter::new(64);
+        w.budget = 2; // the socket accepts 2 of 4 bytes, then stalls
+        assert!(!out.flush_to(&mut w).unwrap());
+        out.push(b"bbbb"); // a new frame lands while the old is torn
+        w.budget = 64;
+        assert!(out.flush_to(&mut w).unwrap());
+        assert_eq!(&w.accepted, b"aaaabbbb");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_config_reads_env_knobs() {
+        std::env::set_var("OVERLAP_SERVE_WORKERS", "3");
+        std::env::set_var("OVERLAP_SERVE_QUEUE", "17");
+        let cfg = ServeConfig::default();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.queue_depth, 17);
+        std::env::remove_var("OVERLAP_SERVE_WORKERS");
+        std::env::remove_var("OVERLAP_SERVE_QUEUE");
+        let cfg = ServeConfig::default();
+        assert!(cfg.workers >= 1, "cores-derived default must be positive");
+        assert_eq!(cfg.queue_depth, 4 * cfg.workers);
     }
 }

@@ -34,6 +34,14 @@ cargo bench --no-run
 if [ "${PERFGATE:-1}" = "1" ]; then
     echo "==> perf + compile-throughput + artifact-cache gate (results/BENCH_sim.json)"
     cargo run --release -p overlap-bench --bin perfgate
+    # The serve section must show the event loop actually batched
+    # compiles and saw pipelined requests — zero means the new paths
+    # silently stopped firing even if latencies still pass.
+    for counter in batched pipelined; do
+        grep -Eq "\"$counter\": *[1-9]" results/BENCH_sim.json || {
+            echo "FAIL: serve bench recorded $counter=0 in results/BENCH_sim.json"; exit 1;
+        }
+    done
 fi
 
 echo "==> artifact-cache disk tier: second run of a driver must be all hits"
@@ -72,6 +80,13 @@ addr="127.0.0.1:$(cat "$port_file")"
 cargo run --release -q -p overlap-bench --bin overlap-client -- "$addr" \
     loadgen --clients 8 --models GPT_32B,GPT_64B,GPT_128B --repeat 2 --expect-dedup || {
     echo "FAIL: serve loadgen"; kill "$overlapd_pid" 2>/dev/null; cat "$serve_log"; exit 1;
+}
+# Pipelined run against the warm daemon: each connection keeps 4
+# requests in flight; responses must still arrive in request order and
+# stay byte-identical (the client checks both).
+cargo run --release -q -p overlap-bench --bin overlap-client -- "$addr" \
+    loadgen --clients 8 --models GPT_32B,GPT_64B,GPT_128B --repeat 2 --pipeline 4 || {
+    echo "FAIL: pipelined serve loadgen"; kill "$overlapd_pid" 2>/dev/null; cat "$serve_log"; exit 1;
 }
 kill -TERM "$overlapd_pid"
 wait "$overlapd_pid" || { echo "FAIL: overlapd exited nonzero after SIGTERM"; cat "$serve_log"; exit 1; }

@@ -63,6 +63,7 @@ fn every_request_variant_roundtrips() {
         Request::Ping,
         Request::Stats,
         Request::Shutdown,
+        Request::Subscribe,
         Request::Compile(Box::new(CompileRequest::named("GPT_32B"))),
         Request::Compile(Box::new(CompileRequest {
             model: ModelRef::Inline(Box::new(tiny_module("wire"))),
@@ -95,6 +96,12 @@ fn every_response_variant_roundtrips() {
     let responses = [
         Response::Pong,
         Response::ShuttingDown,
+        Response::Subscribed,
+        Response::Event(Box::new(overlap_serve::EventRecord {
+            seq: 7,
+            t_ms: 1.25,
+            event: overlap_serve::ServeEvent::Shed { conn: 3, scope: "request".into() },
+        })),
         Response::Error(ErrorResponse {
             kind: ErrorKind::Overloaded,
             message: "busy".into(),
@@ -105,6 +112,9 @@ fn every_response_variant_roundtrips() {
             ok: 7,
             errors: 2,
             shed: 1,
+            coalesced: 2,
+            batches: 6,
+            pipelined: 4,
             queue_depth: 3,
             workers: 4,
             qps: 0.5,
@@ -311,19 +321,24 @@ fn concurrent_clients_get_byte_identical_deduped_responses() {
     });
 
     // Fingerprint-level dedup: 32 compile requests over 2 distinct
-    // artifacts must run the pipeline exactly twice; the single-flight
-    // cache serves everything else from memory.
+    // artifacts must run the pipeline exactly twice. Everything else
+    // is served either from the single-flight cache ("memory") or by
+    // joining an in-flight batch for the same fingerprint
+    // ("coalesced") — both are dedup, split by which layer caught it.
     let sources = sources.into_inner().unwrap();
     assert_eq!(sources.len(), 32);
     let compiled = sources.iter().filter(|s| *s == "compiled").count();
-    let memory = sources.iter().filter(|s| *s == "memory").count();
+    let deduped =
+        sources.iter().filter(|s| *s == "memory" || *s == "coalesced").count();
     assert_eq!(compiled, names.len(), "each artifact must compile exactly once");
-    assert_eq!(memory, 32 - names.len());
+    assert_eq!(deduped, 32 - names.len());
 
     let mut client = Client::connect(&addr).unwrap();
     let stats = client.stats().unwrap();
     assert_eq!(stats.cache_misses, names.len() as u64);
-    assert_eq!(stats.cache_memory_hits, 30);
+    // Batch joins never reach the cache, so the two counters split the
+    // same 30 deduped requests between them.
+    assert_eq!(stats.cache_memory_hits + stats.coalesced, 30);
     assert!(stats.latency.count >= 32);
     assert_eq!(stats.errors, 0);
 
