@@ -94,10 +94,10 @@ fn fusion_ablation(c: &mut Criterion) {
     let module = cfg.layer_module();
     let machine = cfg.machine();
     // Compile without a fusion pass; apply each heuristic to the result.
-    let compiled = OverlapPipeline::new(OverlapOptions {
-        fusion: None,
-        ..OverlapOptions::paper_default()
-    })
+    let compiled = OverlapPipeline::new(OverlapOptions::with_strategy(
+        overlap_core::StrategySpec::paper_default()
+            .with_fusion(overlap_core::FusionAggressiveness::Off),
+    ))
     .run(&module, &machine)
     .expect("pipeline");
     for (name, aware) in [("overlap_aware", true), ("default", false)] {

@@ -5,7 +5,7 @@
 //! overlap pipeline running *without* and *with* loop unrolling.
 
 use overlap_bench::{artifact_cache, report_cache, run_baseline, run_overlapped_cached, write_json};
-use overlap_core::{DecomposeOptions, OverlapOptions};
+use overlap_core::{OverlapOptions, StrategySpec};
 use overlap_json::{Json, ToJson};
 use overlap_models::table2_models;
 
@@ -33,10 +33,7 @@ fn main() {
         let base = run_baseline(&cfg).step_time;
         let no_unroll = run_overlapped_cached(
             &cfg,
-            OverlapOptions {
-                decompose: DecomposeOptions { unroll: false, ..Default::default() },
-                ..OverlapOptions::paper_default()
-            },
+            OverlapOptions::with_strategy(StrategySpec::paper_default().with_unroll(false)),
             artifact_cache(),
         )
         .step_time;

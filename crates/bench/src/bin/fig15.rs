@@ -6,7 +6,7 @@
 //! unidirectional transfer); larger models benefit more.
 
 use overlap_bench::{run_baseline, run_overlapped, write_json};
-use overlap_core::{DecomposeOptions, OverlapOptions};
+use overlap_core::{OverlapOptions, RingDirection, StrategySpec};
 use overlap_json::{Json, ToJson};
 use overlap_models::table2_models;
 
@@ -34,10 +34,9 @@ fn main() {
         let base = run_baseline(&cfg).step_time;
         let uni = run_overlapped(
             &cfg,
-            OverlapOptions {
-                decompose: DecomposeOptions { bidirectional: false, ..Default::default() },
-                ..OverlapOptions::paper_default()
-            },
+            OverlapOptions::with_strategy(
+                StrategySpec::paper_default().with_ring(RingDirection::Unidirectional),
+            ),
         )
         .step_time;
         let bidi = run_overlapped(&cfg, OverlapOptions::paper_default()).step_time;

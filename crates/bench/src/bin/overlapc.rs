@@ -22,10 +22,12 @@
 //! (or the `OVERLAP_CACHE_DIR` environment variable) the compile goes
 //! through the on-disk artifact cache: a re-run of the same module on
 //! the same machine skips the pipeline and serves the bit-identical
-//! bundle.
+//! bundle. `--strategy STRATEGY.json` swaps the paper-default
+//! decomposition strategy for one from a file — e.g. a
+//! `winner_strategy` object copied out of `results/fig_autotune.json`.
 
 use overlap_bench::report_cache;
-use overlap_core::{ArtifactCache, CompileReport, OverlapOptions, OverlapPipeline};
+use overlap_core::{ArtifactCache, CompileReport, OverlapOptions, OverlapPipeline, StrategySpec};
 use overlap_hlo::{to_dot, Builder, DType, DotDims, Module, ReplicaGroups, Shape};
 use overlap_json::{FromJson, Json, ToJson};
 use overlap_mesh::{FaultSpec, Machine};
@@ -47,7 +49,8 @@ fn demo_module() -> Module {
 fn usage() -> ! {
     eprintln!(
         "usage: overlapc demo <out.json> | overlapc compile <module.json> \
-         [--cache-dir DIR] [--fault-spec FAULTS.json] [--chrome-trace PATH]"
+         [--cache-dir DIR] [--fault-spec FAULTS.json] [--strategy STRATEGY.json] \
+         [--chrome-trace PATH]"
     );
     std::process::exit(2);
 }
@@ -88,6 +91,31 @@ fn fault_spec_from_args(args: &[String]) -> Option<FaultSpec> {
         Ok(spec) => Some(spec),
         Err(e) => fail(format!("invalid fault spec {path}: {e}")),
     }
+}
+
+/// `--strategy STRATEGY.json` compiles with an explicit [`StrategySpec`]
+/// instead of the paper default (see the JSON layout the autotuner's
+/// leaderboard records under `winner_strategy`). The spec is validated
+/// — a chunked window on a bidirectional ring is rejected here rather
+/// than silently falling back — and echoed in the banner so the report
+/// is self-describing.
+fn strategy_from_args(args: &[String]) -> Option<StrategySpec> {
+    let i = args.iter().position(|a| a == "--strategy")?;
+    let Some(path) = args.get(i + 1) else { usage() };
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("cannot read strategy {path}: {e}")));
+    let parsed = match Json::parse(&text) {
+        Ok(v) => StrategySpec::from_json(&v),
+        Err(e) => Err(e.to_string()),
+    };
+    let spec = match parsed {
+        Ok(spec) => spec,
+        Err(e) => fail(format!("invalid strategy {path}: {e}")),
+    };
+    if let Err(e) = spec.validate() {
+        fail(format!("infeasible strategy {path}: {e}"));
+    }
+    Some(spec)
 }
 
 /// `--chrome-trace PATH` overrides where the Chrome-tracing JSON of the
@@ -133,7 +161,14 @@ fn main() {
                 }
                 println!("compiling for a degraded machine (fault seed {})\n", spec.seed);
             }
-            let mut pipeline = OverlapPipeline::new(OverlapOptions::paper_default());
+            let options = match strategy_from_args(&args) {
+                Some(spec) => {
+                    println!("compiling with strategy {}\n", spec.describe());
+                    OverlapOptions::with_strategy(spec)
+                }
+                None => OverlapOptions::paper_default(),
+            };
+            let mut pipeline = OverlapPipeline::new(options);
             if let Some(spec) = &faults {
                 pipeline = pipeline.with_faults(spec.clone());
             }

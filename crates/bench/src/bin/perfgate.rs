@@ -18,7 +18,10 @@
 
 use std::time::Instant;
 
-use overlap_bench::{run_comparison, run_comparisons, sweep_threads, write_json};
+use overlap_bench::{
+    par_map, run_comparison, run_comparisons, run_overlapped_cached, strategy_grid,
+    sweep_threads, write_json,
+};
 use overlap_core::{
     asyncify, decompose_each, find_patterns, fuse, schedule_bottom_up_with, ArtifactCache,
     CostModel, DecomposeOptions, OverlapOptions, OverlapPipeline, PhaseTimings,
@@ -152,6 +155,62 @@ fn fault_smoke(cfg: &ModelConfig) -> (FaultSmoke, bool) {
         decomposed: a.summaries.len() as u64,
     };
     (record, noop_identical && deterministic)
+}
+
+/// Hard wall-clock budget for the autotune search bench, in seconds:
+/// scoring the full pruned strategy grid on the mid-size perfgate layer
+/// through a fresh artifact cache must finish inside this. The search is
+/// embarrassingly parallel and every candidate compiles a one-layer
+/// module, so blowing the budget means either the grid grew without new
+/// pruning rules or a compile/simulate hot path regressed. Measured
+/// ≈1–2 s on 8 cores; the budget leaves generous headroom for slow CI.
+const AUTOTUNE_BUDGET_SECONDS: f64 = 30.0;
+
+struct AutotuneBench {
+    /// Grid survivors actually scored.
+    candidates: usize,
+    /// Statically pruned combinations (infeasible or behavior-identical).
+    pruned: usize,
+    /// Wall-clock seconds for scoring the whole grid (compiles through a
+    /// fresh in-memory artifact cache, simulator as oracle).
+    search_seconds: f64,
+    /// Best candidate's step time over the paper default's (>= 1.0 by
+    /// construction: the paper default is in the grid).
+    winner_speedup: f64,
+}
+
+impl ToJson for AutotuneBench {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("candidates", self.candidates as u64)
+            .with("pruned", self.pruned as u64)
+            .with("search_seconds", self.search_seconds)
+            .with("winner_speedup", self.winner_speedup)
+    }
+}
+
+/// Autotune search bench (hard gate): scores the full pruned strategy
+/// grid on the mid-size perfgate layer and applies two checks — the
+/// search must finish inside [`AUTOTUNE_BUDGET_SECONDS`], and the best
+/// candidate must be at least as fast as the paper default (the grid
+/// contains the paper default, so a slower winner means the search or
+/// the sort is broken). Returns the record and whether the gate passed.
+fn autotune_bench(cfg: &ModelConfig) -> (AutotuneBench, bool) {
+    let (options, pruned, _total) = strategy_grid();
+    let cache = ArtifactCache::in_memory();
+    let t = Instant::now();
+    let paper = run_overlapped_cached(cfg, OverlapOptions::paper_default(), &cache).step_time;
+    let times = par_map(&options, |&o| run_overlapped_cached(cfg, o, &cache).step_time);
+    let search_seconds = t.elapsed().as_secs_f64();
+    let best = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let record = AutotuneBench {
+        candidates: options.len(),
+        pruned,
+        search_seconds,
+        winner_speedup: paper / best,
+    };
+    let ok = search_seconds <= AUTOTUNE_BUDGET_SECONDS && best <= paper;
+    (record, ok)
 }
 
 /// Concurrent connections the serve bench drives against the in-process
@@ -381,6 +440,7 @@ struct PerfRecord {
     compile_throughput: CompileThroughput,
     cache: CacheBench,
     fault_smoke: FaultSmoke,
+    autotune: AutotuneBench,
     serve: ServeBench,
     threads: usize,
 }
@@ -398,6 +458,7 @@ impl ToJson for PerfRecord {
             .with("compile_throughput", self.compile_throughput.to_json())
             .with("cache", self.cache.to_json())
             .with("fault_smoke", self.fault_smoke.to_json())
+            .with("autotune", self.autotune.to_json())
             .with("serve", self.serve.to_json())
             .with("threads", self.threads as u64)
     }
@@ -476,21 +537,23 @@ fn legacy_compile(
 ) -> (Module, Vec<InstrId>) {
     module.verify().expect("verified input");
     let patterns = find_patterns(module);
-    let cost_model = CostModel::new(machine, options.decompose);
+    let cost_model = CostModel::with_strategy(machine, &options.strategy);
     let decisions = cost_model.select(module, &patterns, !options.disable_cost_gate);
     let selected: Vec<_> = decisions
         .iter()
         .map(|d| {
-            let opts =
-                DecomposeOptions { bidirectional: d.bidirectional, ..options.decompose };
+            let opts = DecomposeOptions {
+                bidirectional: d.bidirectional,
+                ..options.decompose_for(&d.pattern.kind)
+            };
             (d.pattern, opts)
         })
         .collect();
     let (decomposed, _summaries) = decompose_each(module, &selected);
     let decomposed = eliminate_common_subexpressions(&decomposed);
     let asynced = asyncify(&decomposed);
-    let final_module = match &options.fusion {
-        Some(fopts) => fuse(&asynced, fopts),
+    let final_module = match options.fusion_options() {
+        Some(fopts) => fuse(&asynced, &fopts),
         None => asynced,
     };
     final_module.verify().expect("verified output");
@@ -638,6 +701,10 @@ fn main() {
     // Fault-injection smoke on the same mid-size layer (hard gate).
     let (fault_smoke, fault_ok) = fault_smoke(&cfg);
 
+    // Autotune grid search on the same mid-size layer (hard gate on the
+    // wall-clock budget and on the winner beating the paper default).
+    let (autotune, autotune_ok) = autotune_bench(&cfg);
+
     // Service layer: concurrent clients against an in-process daemon
     // (hard gate on byte-identity, dedup, and zero sheds/errors).
     let (serve, serve_ok) = serve_bench();
@@ -653,6 +720,7 @@ fn main() {
         compile_throughput: compile,
         cache,
         fault_smoke,
+        autotune,
         serve,
         threads: sweep_threads(),
     };
@@ -687,6 +755,13 @@ fn main() {
         record.fault_smoke.faulted_makespan * 1e3,
         record.fault_smoke.decomposed,
         record.fault_smoke.fallbacks
+    );
+    println!(
+        "autotune: {} candidates ({} pruned) searched in {:.3}s, winner {:.3}x vs paper default",
+        record.autotune.candidates,
+        record.autotune.pruned,
+        record.autotune.search_seconds,
+        record.autotune.winner_speedup
     );
     println!(
         "serve: {} clients, cold {:.3}s, warm {:.3}s, pipelined {:.3}s (p50 {:.2}ms, p99 {:.2}ms, \
@@ -729,6 +804,16 @@ fn main() {
             record.cache.cold_seconds,
             record.cache.speedup,
             record.cache.hit_rate,
+        );
+        std::process::exit(1);
+    }
+    if !autotune_ok {
+        eprintln!(
+            "autotune regression: {} candidates searched in {:.3}s (budget {AUTOTUNE_BUDGET_SECONDS}s), \
+             winner {:.3}x vs paper default (must be >= 1.0x — the grid contains the paper default)",
+            record.autotune.candidates,
+            record.autotune.search_seconds,
+            record.autotune.winner_speedup,
         );
         std::process::exit(1);
     }

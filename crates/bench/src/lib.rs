@@ -11,7 +11,10 @@
 
 use std::sync::OnceLock;
 
-use overlap_core::{ArtifactCache, OverlapOptions, OverlapPipeline};
+use overlap_core::{
+    ArtifactCache, FusionAggressiveness, OverlapOptions, OverlapPipeline, RingDirection,
+    SchedulerKind, StrategySpec,
+};
 use overlap_json::{Json, ToJson};
 use overlap_mesh::{FaultSpec, Machine};
 use overlap_models::ModelConfig;
@@ -239,6 +242,93 @@ pub fn run_baseline_faulted(cfg: &ModelConfig, spec: &FaultSpec) -> StepStats {
     StepStats::from_report(cfg, &machine, &report)
 }
 
+/// [`run_overlapped_cached`] on a degraded machine: the compile runs
+/// under `spec` (fault-adjusted gate, per-pattern fallbacks) and the
+/// simulation replays the same spec. Used by the autotuner to score
+/// candidate strategies on faulted configurations.
+///
+/// # Panics
+///
+/// Panics if compilation or simulation fails.
+#[must_use]
+pub fn run_overlapped_faulted_cached(
+    cfg: &ModelConfig,
+    options: OverlapOptions,
+    spec: &FaultSpec,
+    cache: &ArtifactCache,
+) -> StepStats {
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+    let compiled = OverlapPipeline::new(options)
+        .with_faults(spec.clone())
+        .compile_cached(&module, &machine, cache)
+        .expect("faulted pipeline");
+    let report = simulate_order_faulted_with(
+        &compiled.cost_table,
+        &compiled.module,
+        &machine,
+        &compiled.order,
+        spec,
+    )
+    .expect("faulted simulation");
+    StepStats::from_report(cfg, &machine, &report)
+}
+
+/// Chunk widths the autotuner grid tries for the unidirectional
+/// AllGather loop.
+pub const GRID_CHUNKS: [usize; 3] = [1, 2, 4];
+
+/// Enumerates the autotuner's full strategy grid — ring direction ×
+/// unrolling × chunk width × pad-max-concat × fusion aggressiveness ×
+/// scheduler — and statically prunes combinations the emission rules
+/// reject ([`StrategySpec::validate`]) or that cannot differ from a kept
+/// candidate (the shard-at-a-time unidirectional loop emits no joins, so
+/// its pad-vs-concat knob is inert). Returns
+/// `(survivors, pruned_count, total)`. The enumeration order is fixed,
+/// so every consumer scores candidates in the same deterministic order.
+#[must_use]
+pub fn strategy_grid() -> (Vec<OverlapOptions>, usize, usize) {
+    let mut kept = Vec::new();
+    let mut pruned = 0usize;
+    let mut total = 0usize;
+    for ring in [RingDirection::Bidirectional, RingDirection::Unidirectional] {
+        for unroll in [true, false] {
+            for &chunk in &GRID_CHUNKS {
+                for pad in [false, true] {
+                    for fusion in [
+                        FusionAggressiveness::Off,
+                        FusionAggressiveness::Conservative,
+                        FusionAggressiveness::OverlapAware,
+                    ] {
+                        for sched in [SchedulerKind::BottomUp, SchedulerKind::TopDown] {
+                            total += 1;
+                            let spec = StrategySpec::paper_default()
+                                .with_ring(ring)
+                                .with_unroll(unroll)
+                                .with_pad_max_concat(pad)
+                                .with_chunk(chunk)
+                                .with_fusion(fusion);
+                            if spec.validate().is_err() {
+                                pruned += 1;
+                                continue;
+                            }
+                            if ring == RingDirection::Unidirectional && chunk == 1 && pad {
+                                pruned += 1;
+                                continue;
+                            }
+                            kept.push(OverlapOptions {
+                                scheduler: sched,
+                                ..OverlapOptions::with_strategy(spec)
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (kept, pruned, total)
+}
+
 /// Baseline-vs-overlapped comparison on a degraded machine: the compile
 /// itself runs under `spec` (so the fault-adjusted §5.5 gate can fall
 /// back per pattern) and both sides simulate under the same spec.
@@ -360,6 +450,44 @@ mod tests {
     #[test]
     fn sweep_threads_is_positive() {
         assert!(sweep_threads() >= 1);
+    }
+
+    #[test]
+    fn autotuned_beats_paper_default_on_short_ring_mesh() {
+        // The 16-chip 4x4 mesh from the autotuner sweep
+        // (results/fig_autotune.json, config "Smoke_16"): the tuned
+        // chunked unidirectional strategy must out-simulate the paper
+        // default here, and must leave the Table-1 machines untouched.
+        let cfg = overlap_models::ModelConfig {
+            name: "Smoke_16".into(),
+            params: 1e9,
+            layers: 4,
+            model_dim: 2048,
+            ff_dim: 8192,
+            batch: 256,
+            seq_len: 64,
+            chips: 16,
+            arch: overlap_models::Arch::Decoder,
+            strategy: overlap_models::PartitionStrategy::TwoD,
+        };
+        let tuned_options = OverlapOptions::autotuned(&cfg.name, &cfg.machine());
+        assert_ne!(tuned_options, OverlapOptions::paper_default());
+        let tuned = run_overlapped(&cfg, tuned_options);
+        let paper = run_overlapped(&cfg, OverlapOptions::paper_default());
+        assert!(
+            tuned.step_time < paper.step_time,
+            "tuned {} >= paper {}",
+            tuned.step_time,
+            paper.step_time
+        );
+        for m in overlap_models::table1_models() {
+            assert_eq!(
+                OverlapOptions::autotuned(&m.name, &m.machine()),
+                OverlapOptions::paper_default(),
+                "{} should keep the paper default",
+                m.name
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! every re-run of a figure driver starts from scratch. [`ArtifactCache`]
 //! makes the recompilations free:
 //!
-//! * **Key.** `combine("overlap-artifact-v1", [module.fingerprint(),
+//! * **Key.** `combine("overlap-artifact-v3", [module.fingerprint(),
 //!   machine.fingerprint(), options.fingerprint()])` — the structural
 //!   module fingerprint, so renaming instructions does not shift the key.
 //! * **Identity guard.** A hit is only served when the input's *identity*
@@ -53,8 +53,10 @@ use crate::profile::PhaseTimings;
 /// Version tag baked into keys and disk entries; bump on any change to
 /// the pipeline's semantics or the entry layout to invalidate old files.
 /// (v2: fault-aware compiles — the key grows the fault-spec fingerprint
-/// and the payload a `fallbacks` list.)
-const VERSION: &str = "overlap-artifact-v2";
+/// and the payload a `fallbacks` list. v3: options carry a per-pattern
+/// [`StrategySpec`](crate::StrategySpec) and decompose summaries record
+/// chunk widths and fallback reasons.)
+const VERSION: &str = "overlap-artifact-v3";
 
 /// The cache key for one fault-free compilation: structural module
 /// fingerprint + machine fingerprint + options fingerprint under the
@@ -917,25 +919,44 @@ mod tests {
 
     #[test]
     fn options_fingerprint_separates_every_knob() {
+        use crate::strategy::{
+            FusionAggressiveness, PartitionHint, PatternStrategy, RingDirection, StrategySpec,
+        };
         let base = OverlapOptions::paper_default();
+        let spec = StrategySpec::paper_default();
         let variants = [
-            OverlapOptions {
-                decompose: crate::DecomposeOptions { unroll: false, ..base.decompose },
-                ..base
-            },
-            OverlapOptions {
-                decompose: crate::DecomposeOptions { bidirectional: false, ..base.decompose },
-                ..base
-            },
-            OverlapOptions {
-                decompose: crate::DecomposeOptions { pad_max_concat: true, ..base.decompose },
-                ..base
-            },
-            OverlapOptions { fusion: None, ..base },
-            OverlapOptions {
-                fusion: Some(crate::FusionOptions { overlap_aware: false }),
-                ..base
-            },
+            OverlapOptions::with_strategy(spec.with_unroll(false)),
+            OverlapOptions::with_strategy(spec.with_ring(RingDirection::Unidirectional)),
+            OverlapOptions::with_strategy(spec.with_pad_max_concat(true)),
+            OverlapOptions::with_strategy(
+                spec.with_ring(RingDirection::Unidirectional).with_chunk(2),
+            ),
+            OverlapOptions::with_strategy(
+                spec.with_ring(RingDirection::Unidirectional).with_chunk(4),
+            ),
+            // Per-pattern asymmetry: the same knob flipped on only one of
+            // the two pattern kinds must hash differently from both the
+            // base and the both-patterns flip.
+            OverlapOptions::with_strategy(StrategySpec {
+                all_gather: PatternStrategy { unroll: false, ..spec.all_gather },
+                ..spec
+            }),
+            OverlapOptions::with_strategy(StrategySpec {
+                reduce_scatter: PatternStrategy { unroll: false, ..spec.reduce_scatter },
+                ..spec
+            }),
+            OverlapOptions::with_strategy(spec.with_fusion(FusionAggressiveness::Off)),
+            OverlapOptions::with_strategy(
+                spec.with_fusion(FusionAggressiveness::Conservative),
+            ),
+            OverlapOptions::with_strategy(StrategySpec {
+                partitioning: PartitionHint::OneD,
+                ..spec
+            }),
+            OverlapOptions::with_strategy(StrategySpec {
+                partitioning: PartitionHint::TwoD,
+                ..spec
+            }),
             OverlapOptions { scheduler: crate::SchedulerKind::TopDown, ..base },
             OverlapOptions { scheduler: crate::SchedulerKind::Original, ..base },
             OverlapOptions { disable_cost_gate: true, ..base },
@@ -949,5 +970,38 @@ mod tests {
             }
         }
         assert_eq!(base.fingerprint(), OverlapOptions::paper_default().fingerprint());
+    }
+
+    #[test]
+    fn default_and_tuned_artifacts_never_collide_in_cache() {
+        // E2E: compile the same module/machine under paper_default and a
+        // tuned strategy through one shared cache; both cold compiles must
+        // miss (distinct keys), and re-requesting each must hit its own
+        // entry bit-identically.
+        use crate::strategy::{RingDirection, StrategySpec};
+        let n = 8;
+        let m = layer(n, "layer");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let tuned = OverlapOptions::with_strategy(
+            StrategySpec::paper_default()
+                .with_ring(RingDirection::Unidirectional)
+                .with_chunk(2),
+        );
+        let default = OverlapOptions::paper_default();
+        assert_ne!(
+            artifact_key(&m, &machine, &default),
+            artifact_key(&m, &machine, &tuned)
+        );
+
+        let cache = ArtifactCache::in_memory();
+        let a = OverlapPipeline::new(default).compile_cached(&m, &machine, &cache).unwrap();
+        let b = OverlapPipeline::new(tuned).compile_cached(&m, &machine, &cache).unwrap();
+        assert_eq!(cache.stats(), CacheStats { memory_hits: 0, disk_hits: 0, misses: 2 });
+
+        let a2 = OverlapPipeline::new(default).compile_cached(&m, &machine, &cache).unwrap();
+        let b2 = OverlapPipeline::new(tuned).compile_cached(&m, &machine, &cache).unwrap();
+        assert_eq!(cache.stats(), CacheStats { memory_hits: 2, disk_hits: 0, misses: 2 });
+        assert_bit_identical(&a, &a2);
+        assert_bit_identical(&b, &b2);
     }
 }

@@ -156,17 +156,48 @@ fn ring_steps(module: &Module, d: &GateDecision) -> usize {
 #[derive(Debug, Clone)]
 pub struct CostModel<'m> {
     machine: &'m Machine,
-    options: DecomposeOptions,
+    /// Options for `AllGather → Einsum` patterns.
+    ag_options: DecomposeOptions,
+    /// Options for `Einsum → ReduceScatter` patterns.
+    rs_options: DecomposeOptions,
     memo: RefCell<ccost::EinsumTimeMemo>,
 }
 
 impl<'m> CostModel<'m> {
     /// Creates a cost model for the given machine and decomposition
     /// options (bidirectional transfer halves `comm_t_ring` but adds a
-    /// prologue/epilogue permute to `extra_t`).
+    /// prologue/epilogue permute to `extra_t`). Both pattern kinds use
+    /// the same options; [`CostModel::with_strategy`] prices them
+    /// separately.
     #[must_use]
     pub fn new(machine: &'m Machine, options: DecomposeOptions) -> Self {
-        CostModel { machine, options, memo: RefCell::new(ccost::EinsumTimeMemo::new()) }
+        CostModel {
+            machine,
+            ag_options: options,
+            rs_options: options,
+            memo: RefCell::new(ccost::EinsumTimeMemo::new()),
+        }
+    }
+
+    /// A cost model pricing each pattern kind under its own
+    /// [`StrategySpec`](crate::StrategySpec) knobs — exactly what the
+    /// decompose pass will emit, chunk widths included.
+    #[must_use]
+    pub fn with_strategy(machine: &'m Machine, strategy: &crate::StrategySpec) -> Self {
+        CostModel {
+            machine,
+            ag_options: strategy.all_gather.decompose_options(),
+            rs_options: strategy.reduce_scatter.decompose_options(),
+            memo: RefCell::new(ccost::EinsumTimeMemo::new()),
+        }
+    }
+
+    /// The option set governing `pattern`'s kind.
+    fn options_for(&self, pattern: &Pattern) -> DecomposeOptions {
+        match pattern.kind {
+            PatternKind::AllGatherEinsum { .. } => self.ag_options,
+            PatternKind::EinsumReduceScatter { .. } => self.rs_options,
+        }
     }
 
     fn partial_einsum_time(
@@ -198,7 +229,13 @@ impl<'m> CostModel<'m> {
     /// per-partial extents and the per-kernel launch overhead. This is
     /// what makes the gate reject decompositions whose partials are too
     /// small to run efficiently (the regime the paper's narrow models hit).
-    fn decomposed_comp_time(&self, module: &Module, pattern: &Pattern, bidi: bool) -> f64 {
+    fn decomposed_comp_time(
+        &self,
+        module: &Module,
+        pattern: &Pattern,
+        bidi: bool,
+        chunk: usize,
+    ) -> f64 {
         let einsum = module.instr(pattern.einsum);
         let Op::Einsum(dims) = einsum.op() else { unreachable!("pattern einsum") };
         let lhs = module.shape_of(einsum.operands()[0]).clone();
@@ -210,9 +247,13 @@ impl<'m> CostModel<'m> {
                     unreachable!("pattern collective")
                 };
                 let g = groups.group_size();
-                // Bidirectional non-contracting partials are double-width.
+                // Bidirectional non-contracting partials are double-width;
+                // chunked unidirectional loops batch `chunk` shards into
+                // one wide partial per super-step.
                 let (count, width) = if bidi && case != crate::AgCase::Contracting {
                     (g / 2, 2)
+                } else if !bidi && chunk > 1 {
+                    (g / chunk, chunk)
                 } else {
                     (g, 1)
                 };
@@ -308,7 +349,7 @@ impl<'m> CostModel<'m> {
         cost_of: &dyn Fn(InstrId) -> InstrCost,
     ) -> GateDecision {
         let uni = self.evaluate_variant_impl(module, pattern, false, cost_of);
-        if !self.options.bidirectional {
+        if !self.options_for(pattern).bidirectional {
             return uni;
         }
         let bidi = self.evaluate_variant_impl(module, pattern, true, cost_of);
@@ -351,6 +392,13 @@ impl<'m> CostModel<'m> {
         let loop_steps = if is_rs { g } else { g - 1 };
 
         let bidi = bidirectional && g % 2 == 0;
+        // Price exactly the loop the decompose pass will emit: the chunk
+        // width shares its feasibility rule with the emission.
+        let chunk = if is_rs {
+            1
+        } else {
+            crate::decompose::effective_ag_chunk(&self.options_for(pattern), bidi, g).0
+        };
         let (comm_t_ring, extra_t) = if bidi {
             let steps = g / 2;
             let ring = ccost::decomposed_bidi_ring_time(self.machine, steps, shard);
@@ -366,7 +414,7 @@ impl<'m> CostModel<'m> {
         // the portion of that compute which actually overlaps wire time
         // additionally pays the DMA interference slowdown. Compare against
         // that, not the original `comp_t`.
-        let comp_d_raw = self.decomposed_comp_time(module, pattern, bidi);
+        let comp_d_raw = self.decomposed_comp_time(module, pattern, bidi, chunk);
         let comp_d = comp_d_raw
             + self.machine.dma_interference() * comp_d_raw.min(comm_t_ring);
 
@@ -427,9 +475,15 @@ impl<'m> CostModel<'m> {
         // `self` cannot cross threads (the memo is a RefCell), so each
         // evaluation builds its own model from the shared machine+options.
         let machine = self.machine;
-        let options = self.options;
+        let (ag_options, rs_options) = (self.ag_options, self.rs_options);
         let decisions: Vec<GateDecision> = overlap_sim::par_map(patterns, |p| {
-            CostModel::new(machine, options).evaluate_with(table, module, p)
+            CostModel {
+                machine,
+                ag_options,
+                rs_options,
+                memo: RefCell::new(ccost::EinsumTimeMemo::new()),
+            }
+            .evaluate_with(table, module, p)
         });
         Self::resolve(decisions, gate)
     }

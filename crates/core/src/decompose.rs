@@ -43,12 +43,45 @@ pub struct DecomposeOptions {
     /// Rewrite the bidirectional operand concatenation as
     /// `Max(PadLow, PadHigh)` (§5.4.3's fusion-friendly form).
     pub pad_max_concat: bool,
+    /// Number of consecutive circulated shards joined into one wide
+    /// partial einsum per loop super-step (`1` = the paper's
+    /// shard-at-a-time loop). Applies only to the unidirectional
+    /// AllGather loop; the width must divide the group size and leave at
+    /// least two super-steps. Infeasible widths fall back to `1` with
+    /// the reason recorded in [`DecomposeSummary::chunk_fallback`].
+    pub chunk: usize,
 }
 
 impl Default for DecomposeOptions {
     fn default() -> Self {
-        DecomposeOptions { unroll: true, bidirectional: true, pad_max_concat: false }
+        DecomposeOptions { unroll: true, bidirectional: true, pad_max_concat: false, chunk: 1 }
     }
+}
+
+/// The chunk width the unidirectional AllGather loop will actually use
+/// for options `o` on a group of `g`, with the fallback reason when the
+/// requested width is dropped. Shared by the decompose emission and the
+/// cost model so the §5.5 gate prices exactly what will be emitted (and
+/// the autotuner can prune instead of wasting simulator calls).
+pub(crate) fn effective_ag_chunk(
+    options: &DecomposeOptions,
+    bidi: bool,
+    g: usize,
+) -> (usize, Option<String>) {
+    let c = options.chunk.max(1);
+    if c == 1 {
+        return (1, None);
+    }
+    if bidi {
+        return (1, Some("bidirectional ring already joins two shards per step; chunk ignored".into()));
+    }
+    if c >= g {
+        return (1, Some(format!("chunk {c} leaves no loop to overlap (group size {g})")));
+    }
+    if !g.is_multiple_of(c) {
+        return (1, Some(format!("chunk {c} does not divide the group size {g}")));
+    }
+    (c, None)
 }
 
 /// What the decomposition did to one pattern.
@@ -66,6 +99,15 @@ pub struct DecomposeSummary {
     pub bidirectional: bool,
     /// Whether the unrolled (two-chain / copy-free) form was used.
     pub unrolled: bool,
+    /// Chunk width the loop actually used (`1` = shard-at-a-time).
+    pub chunk: usize,
+    /// Why requested unrolling was dropped (`None` when honored) — e.g.
+    /// the two-chain ReduceScatter form needs an even group.
+    pub unroll_fallback: Option<String>,
+    /// Why a requested bidirectional ring fell back to unidirectional.
+    pub bidirectional_fallback: Option<String>,
+    /// Why a requested chunk width fell back to 1.
+    pub chunk_fallback: Option<String>,
 }
 
 /// Tag placed on every instruction the decomposition emits.
@@ -316,6 +358,44 @@ fn emit_join(
     b.max(pa, pc, name)
 }
 
+/// [`emit_join`] generalized to `parts.len()` shards (the chunked
+/// unidirectional loop joins `chunk` consecutive shards per super-step).
+/// The pad-max form pads each part to the joined width at its slot and
+/// folds with `Max` — semantically identical to the concatenation for
+/// the `-inf` pad value.
+fn emit_join_many(
+    b: &mut Builder,
+    parts: &[InstrId],
+    dim: usize,
+    pad_max: bool,
+    name: &str,
+) -> InstrId {
+    if parts.len() == 2 {
+        return emit_join(b, parts[0], parts[1], dim, pad_max, name);
+    }
+    if !pad_max {
+        return b.concatenate(parts, dim, name);
+    }
+    let total: usize = parts.iter().map(|&p| b.shape_of(p).dim(dim)).sum();
+    let dtype = b.shape_of(parts[0]).dtype();
+    let ninf = b.constant(Shape::scalar(dtype), f64::NEG_INFINITY, "lce.ninf");
+    let mut acc: Option<InstrId> = None;
+    let mut before = 0usize;
+    for &p in parts {
+        let sp = b.shape_of(p).clone();
+        let w = sp.dim(dim);
+        let mut cfg = vec![PadDim::none(); sp.rank()];
+        cfg[dim] = PadDim::new(before, total - before - w);
+        let padded = b.pad(p, ninf, cfg, &format!("{name}.pad"));
+        acc = Some(match acc {
+            None => padded,
+            Some(a) => b.max(a, padded, name),
+        });
+        before += w;
+    }
+    acc.expect("emit_join_many needs at least one part")
+}
+
 #[derive(Debug, Clone, Copy)]
 struct AgGeometry {
     /// Gathered-operand dimension being circulated.
@@ -412,6 +492,9 @@ fn emit_ag_einsum(
     let ctx = LoopCtx::new(b, &groups, module.num_partitions());
     let g = ctx.g;
     let bidi = options.bidirectional && g.is_multiple_of(2) && g >= 2;
+    let bidirectional_fallback = (options.bidirectional && !bidi)
+        .then(|| format!("bidirectional ring needs an even group (group size {g})"));
+    let (chunk, chunk_fallback) = effective_ag_chunk(options, bidi, g);
     let mut permutes = 0usize;
     let mut partials = 0usize;
 
@@ -495,7 +578,7 @@ fn emit_ag_einsum(
     // to match, start from zeros of the einsum's (local) output shape —
     // identical to `out_shape` in all cases.
 
-    if !bidi {
+    if !bidi && chunk == 1 {
         let mut looped = looped0;
         for i in 0..g {
             let partial = emit_partial(b, looped, i as i64);
@@ -504,6 +587,71 @@ fn emit_ag_einsum(
                 looped = cp(b, looped, -1, &mut permutes);
             }
             result = combine(b, &ctx, result, partial, i as i64);
+        }
+    } else if !bidi {
+        // Chunked unidirectional loop: shards still circulate one hop at
+        // a time (permute count unchanged at g-1), but every `chunk`
+        // arrivals are joined into one wide partial einsum — g/chunk
+        // partials of `chunk` shards each, trading per-kernel launch
+        // overhead for coarser overlap granularity.
+        let mut looped = looped0;
+        let mut window: Vec<InstrId> = Vec::with_capacity(chunk);
+        for i in 0..g {
+            window.push(looped);
+            if i + 1 < g {
+                looped = cp(b, looped, -1, &mut permutes);
+            }
+            if window.len() < chunk {
+                continue;
+            }
+            // Delta of the window's first shard.
+            let d0 = (i + 1 - chunk) as i64;
+            let joined = emit_join_many(
+                b,
+                &window,
+                geom.gather_dim,
+                options.pad_max_concat,
+                &format!("{name}.join"),
+            );
+            let other_used = match geom.other_dim {
+                None => other,
+                Some(od) => {
+                    let slices: Vec<InstrId> =
+                        (0..chunk).map(|k| slice_other(b, d0 + k as i64)).collect();
+                    b.concatenate(&slices, od, &format!("{name}.join_other"))
+                }
+            };
+            b.set_tag(Some(LCE_EINSUM_TAG));
+            let wide = if gathered_is_lhs {
+                b.einsum(joined, other_used, dims.clone(), &format!("{name}.partialw"))
+            } else {
+                b.einsum(other_used, joined, dims.clone(), &format!("{name}.partialw"))
+            };
+            b.set_tag(Some(LCE_TAG));
+            partials += 1;
+            match geom.out_dim {
+                // Contracting case: the wide einsum already sums over all
+                // `chunk` shards; one Add folds it in.
+                None => result = combine(b, &ctx, result, wide, d0),
+                Some(out_dim) => {
+                    // The window's shards are contiguous in the wide
+                    // partial but generally not in the (mod-g) output
+                    // layout — at the ring wrap they land at both ends —
+                    // so slice the wide partial back into single-shard
+                    // pieces and update each at its own offset.
+                    let pw = b.shape_of(wide).clone();
+                    let piece = pw.dim(out_dim) / chunk;
+                    for k in 0..chunk {
+                        let mut starts = vec![0usize; pw.rank()];
+                        let mut limits = pw.dims().to_vec();
+                        starts[out_dim] = k * piece;
+                        limits[out_dim] = (k + 1) * piece;
+                        let pk = b.slice(wide, starts, limits, &format!("{name}.piece"));
+                        result = combine(b, &ctx, result, pk, d0 + k as i64);
+                    }
+                }
+            }
+            window.clear();
         }
     } else {
         // Bidirectional (§5.4.2): prologue shifts a copy of the local
@@ -585,6 +733,10 @@ fn emit_ag_einsum(
         permutes,
         bidirectional: bidi,
         unrolled: options.unroll,
+        chunk,
+        unroll_fallback: None,
+        bidirectional_fallback,
+        chunk_fallback,
     };
     (result, summary)
 }
@@ -616,6 +768,17 @@ fn emit_einsum_rs(
     let g = ctx.g;
     let bidi = options.bidirectional && g.is_multiple_of(2);
     let two_chain = options.unroll && g.is_multiple_of(2) && !bidi;
+    let bidirectional_fallback = (options.bidirectional && !bidi)
+        .then(|| format!("bidirectional ring needs an even group (group size {g})"));
+    // Unrolling still drops the loop-carried copies for odd groups, but
+    // the two-chain accumulation form (Fig. 8) needs an even group —
+    // record the partial fallback so the autotuner can prune.
+    let unroll_fallback = (options.unroll && !g.is_multiple_of(2))
+        .then(|| format!("two-chain unrolling needs an even group (group size {g})"));
+    let chunk_fallback = (options.chunk > 1).then(|| {
+        "reduce-scatter chains cannot chunk (each partial feeds a traveling accumulator)"
+            .to_string()
+    });
     let mut permutes = 0usize;
     let mut partials = 0usize;
 
@@ -728,6 +891,10 @@ fn emit_einsum_rs(
         permutes,
         bidirectional: bidi,
         unrolled: options.unroll,
+        chunk: 1,
+        unroll_fallback,
+        bidirectional_fallback,
+        chunk_fallback,
     };
     (result, summary)
 }
@@ -842,6 +1009,111 @@ mod tests {
         assert!(!s.bidirectional, "odd group must fall back to unidirectional");
         assert_eq!(s.partial_einsums, 3);
         assert_eq!(s.permutes, 2);
+        assert!(
+            s.bidirectional_fallback.as_deref().is_some_and(|r| r.contains("even group")),
+            "fallback reason must be recorded: {:?}",
+            s.bidirectional_fallback
+        );
+    }
+
+    #[test]
+    fn odd_group_rs_records_unroll_fallback() {
+        // rs_module's fixed 32-wide output only divides even groups;
+        // build a 33-wide variant for the odd-group draw.
+        let mut b = Builder::new("rs3", 3);
+        let x = b.parameter(f32s(&[8, 16]), "x");
+        let w = b.parameter(f32s(&[16, 33]), "w");
+        let e = b.einsum(x, w, DotDims::matmul(), "e");
+        let rs = b.reduce_scatter(e, 1, ReplicaGroups::full(3), "rs");
+        let m = b.build(vec![rs]);
+        let pats = find_patterns(&m);
+        let opts =
+            DecomposeOptions { bidirectional: false, unroll: true, ..Default::default() };
+        let (out, summaries) = decompose(&m, &opts, &pats);
+        out.verify().unwrap();
+        let s = &summaries[0];
+        assert!(s.unrolled, "copies are still dropped");
+        assert!(
+            s.unroll_fallback.as_deref().is_some_and(|r| r.contains("two-chain")),
+            "odd-group RS must record why the two-chain form was dropped: {:?}",
+            s.unroll_fallback
+        );
+        // Even groups unroll cleanly: no reason recorded.
+        let m4 = rs_module(4);
+        let pats4 = find_patterns(&m4);
+        let (_, summaries4) = decompose(&m4, &opts, &pats4);
+        assert_eq!(summaries4[0].unroll_fallback, None);
+    }
+
+    #[test]
+    fn ag_chunked_structure() {
+        let m = ag_module(4);
+        let pats = find_patterns(&m);
+        let opts = DecomposeOptions { bidirectional: false, chunk: 2, ..Default::default() };
+        let (out, summaries) = decompose(&m, &opts, &pats);
+        out.verify().unwrap();
+        let s = &summaries[0];
+        assert_eq!(s.chunk, 2);
+        assert_eq!(s.chunk_fallback, None);
+        // g/chunk wide partials, permute count unchanged at g-1.
+        assert_eq!(s.partial_einsums, 2);
+        assert_eq!(s.permutes, 3);
+        assert_eq!(out.count_live(|i| matches!(i.op(), Op::AllGather { .. })), 0);
+        assert_eq!(out.shape_of(out.outputs()[0]), m.shape_of(m.outputs()[0]));
+    }
+
+    #[test]
+    fn ag_chunked_pad_max_variant_verifies() {
+        let m = ag_module(8);
+        let pats = find_patterns(&m);
+        let opts = DecomposeOptions {
+            bidirectional: false,
+            chunk: 4,
+            pad_max_concat: true,
+            ..Default::default()
+        };
+        let (out, summaries) = decompose(&m, &opts, &pats);
+        out.verify().unwrap();
+        assert_eq!(summaries[0].partial_einsums, 2);
+        assert!(out.count_live(|i| matches!(i.op(), Op::Pad { .. })) > 0);
+        assert_eq!(out.count_live(|i| matches!(i.op(), Op::Concatenate { .. })), 0);
+    }
+
+    #[test]
+    fn infeasible_chunk_falls_back_with_reason() {
+        let m = ag_module(4);
+        let pats = find_patterns(&m);
+        // 3 does not divide 4.
+        let opts = DecomposeOptions { bidirectional: false, chunk: 3, ..Default::default() };
+        let (out, summaries) = decompose(&m, &opts, &pats);
+        out.verify().unwrap();
+        let s = &summaries[0];
+        assert_eq!(s.chunk, 1);
+        assert!(s.chunk_fallback.as_deref().is_some_and(|r| r.contains("divide")));
+        assert_eq!(s.partial_einsums, 4, "fallback must emit the plain loop");
+
+        // chunk == g leaves nothing to overlap.
+        let opts = DecomposeOptions { bidirectional: false, chunk: 4, ..Default::default() };
+        let (_, summaries) = decompose(&m, &opts, &pats);
+        assert!(summaries[0].chunk_fallback.as_deref().is_some_and(|r| r.contains("no loop")));
+
+        // The bidirectional loop ignores chunking.
+        let opts = DecomposeOptions { bidirectional: true, chunk: 2, ..Default::default() };
+        let (_, summaries) = decompose(&m, &opts, &pats);
+        assert!(summaries[0].chunk_fallback.as_deref().is_some_and(|r| r.contains("bidirectional")));
+        assert_eq!(summaries[0].chunk, 1);
+    }
+
+    #[test]
+    fn rs_chunk_request_records_reason() {
+        let m = rs_module(4);
+        let pats = find_patterns(&m);
+        let opts = DecomposeOptions { bidirectional: false, chunk: 2, ..Default::default() };
+        let (out, summaries) = decompose(&m, &opts, &pats);
+        out.verify().unwrap();
+        let s = &summaries[0];
+        assert_eq!(s.chunk, 1);
+        assert!(s.chunk_fallback.as_deref().is_some_and(|r| r.contains("reduce-scatter")));
     }
 
     #[test]

@@ -19,6 +19,9 @@ use crate::fusion::FusionOptions;
 use crate::pattern::{AgCase, Pattern, PatternKind};
 use crate::pipeline::{FallbackRecord, OverlapOptions, SchedulerKind};
 use crate::profile::{PhaseTiming, PhaseTimings};
+use crate::strategy::{
+    FusionAggressiveness, PartitionHint, PatternStrategy, RingDirection, StrategySpec,
+};
 
 impl ToJson for AgCase {
     fn to_json(&self) -> Json {
@@ -135,11 +138,25 @@ impl ToJson for DecomposeSummary {
             .with("permutes", self.permutes as u64)
             .with("bidirectional", self.bidirectional)
             .with("unrolled", self.unrolled)
+            .with("chunk", self.chunk as u64)
+            .with("unroll_fallback", self.unroll_fallback.to_json())
+            .with("bidirectional_fallback", self.bidirectional_fallback.to_json())
+            .with("chunk_fallback", self.chunk_fallback.to_json())
     }
 }
 
 impl FromJson for DecomposeSummary {
     fn from_json(v: &Json) -> Result<DecomposeSummary, String> {
+        // The chunk/fallback fields decode leniently (absent => the
+        // pre-strategy defaults): the cache's VERSION bump already
+        // invalidates old disk entries, but hand-written summaries in
+        // tests and tools stay valid.
+        let opt_reason = |field: &str| -> Result<Option<String>, String> {
+            match v.get(field) {
+                None => Ok(None),
+                Some(j) => Option::<String>::from_json(j),
+            }
+        };
         Ok(DecomposeSummary {
             einsum: v.decode_field("einsum")?,
             group_size: v.decode_field("group_size")?,
@@ -147,6 +164,13 @@ impl FromJson for DecomposeSummary {
             permutes: v.decode_field("permutes")?,
             bidirectional: v.decode_field("bidirectional")?,
             unrolled: v.decode_field("unrolled")?,
+            chunk: match v.get("chunk") {
+                None => 1,
+                Some(j) => usize::from_json(j)?,
+            },
+            unroll_fallback: opt_reason("unroll_fallback")?,
+            bidirectional_fallback: opt_reason("bidirectional_fallback")?,
+            chunk_fallback: opt_reason("chunk_fallback")?,
         })
     }
 }
@@ -174,6 +198,7 @@ impl ToJson for DecomposeOptions {
             .with("unroll", self.unroll)
             .with("bidirectional", self.bidirectional)
             .with("pad_max_concat", self.pad_max_concat)
+            .with("chunk", self.chunk as u64)
     }
 }
 
@@ -183,6 +208,10 @@ impl FromJson for DecomposeOptions {
             unroll: v.decode_field("unroll")?,
             bidirectional: v.decode_field("bidirectional")?,
             pad_max_concat: v.decode_field("pad_max_concat")?,
+            chunk: match v.get("chunk") {
+                None => 1,
+                Some(j) => usize::from_json(j)?,
+            },
         })
     }
 }
@@ -196,6 +225,109 @@ impl ToJson for FusionOptions {
 impl FromJson for FusionOptions {
     fn from_json(v: &Json) -> Result<FusionOptions, String> {
         Ok(FusionOptions { overlap_aware: v.decode_field("overlap_aware")? })
+    }
+}
+
+impl ToJson for RingDirection {
+    fn to_json(&self) -> Json {
+        Json::from(match self {
+            RingDirection::Unidirectional => "Unidirectional",
+            RingDirection::Bidirectional => "Bidirectional",
+        })
+    }
+}
+
+impl FromJson for RingDirection {
+    fn from_json(v: &Json) -> Result<RingDirection, String> {
+        match v.as_str() {
+            Some("Unidirectional") => Ok(RingDirection::Unidirectional),
+            Some("Bidirectional") => Ok(RingDirection::Bidirectional),
+            _ => Err(format!("expected RingDirection, got {v}")),
+        }
+    }
+}
+
+impl ToJson for FusionAggressiveness {
+    fn to_json(&self) -> Json {
+        Json::from(match self {
+            FusionAggressiveness::Off => "Off",
+            FusionAggressiveness::Conservative => "Conservative",
+            FusionAggressiveness::OverlapAware => "OverlapAware",
+        })
+    }
+}
+
+impl FromJson for FusionAggressiveness {
+    fn from_json(v: &Json) -> Result<FusionAggressiveness, String> {
+        match v.as_str() {
+            Some("Off") => Ok(FusionAggressiveness::Off),
+            Some("Conservative") => Ok(FusionAggressiveness::Conservative),
+            Some("OverlapAware") => Ok(FusionAggressiveness::OverlapAware),
+            _ => Err(format!("expected FusionAggressiveness, got {v}")),
+        }
+    }
+}
+
+impl ToJson for PartitionHint {
+    fn to_json(&self) -> Json {
+        Json::from(match self {
+            PartitionHint::Auto => "Auto",
+            PartitionHint::OneD => "OneD",
+            PartitionHint::TwoD => "TwoD",
+        })
+    }
+}
+
+impl FromJson for PartitionHint {
+    fn from_json(v: &Json) -> Result<PartitionHint, String> {
+        match v.as_str() {
+            Some("Auto") => Ok(PartitionHint::Auto),
+            Some("OneD") => Ok(PartitionHint::OneD),
+            Some("TwoD") => Ok(PartitionHint::TwoD),
+            _ => Err(format!("expected PartitionHint, got {v}")),
+        }
+    }
+}
+
+impl ToJson for PatternStrategy {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("chunk", self.chunk as u64)
+            .with("unroll", self.unroll)
+            .with("ring", self.ring.to_json())
+            .with("pad_max_concat", self.pad_max_concat)
+    }
+}
+
+impl FromJson for PatternStrategy {
+    fn from_json(v: &Json) -> Result<PatternStrategy, String> {
+        Ok(PatternStrategy {
+            chunk: v.decode_field("chunk")?,
+            unroll: v.decode_field("unroll")?,
+            ring: v.decode_field("ring")?,
+            pad_max_concat: v.decode_field("pad_max_concat")?,
+        })
+    }
+}
+
+impl ToJson for StrategySpec {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("all_gather", self.all_gather.to_json())
+            .with("reduce_scatter", self.reduce_scatter.to_json())
+            .with("fusion", self.fusion.to_json())
+            .with("partitioning", self.partitioning.to_json())
+    }
+}
+
+impl FromJson for StrategySpec {
+    fn from_json(v: &Json) -> Result<StrategySpec, String> {
+        Ok(StrategySpec {
+            all_gather: v.decode_field("all_gather")?,
+            reduce_scatter: v.decode_field("reduce_scatter")?,
+            fusion: v.decode_field("fusion")?,
+            partitioning: v.decode_field("partitioning")?,
+        })
     }
 }
 
@@ -223,8 +355,7 @@ impl FromJson for SchedulerKind {
 impl ToJson for OverlapOptions {
     fn to_json(&self) -> Json {
         Json::obj()
-            .with("decompose", self.decompose.to_json())
-            .with("fusion", self.fusion.to_json())
+            .with("strategy", self.strategy.to_json())
             .with("scheduler", self.scheduler.to_json())
             .with("disable_cost_gate", self.disable_cost_gate)
             .with("split_all_reduce", self.split_all_reduce)
@@ -234,8 +365,7 @@ impl ToJson for OverlapOptions {
 impl FromJson for OverlapOptions {
     fn from_json(v: &Json) -> Result<OverlapOptions, String> {
         Ok(OverlapOptions {
-            decompose: v.decode_field("decompose")?,
-            fusion: v.decode_field("fusion")?,
+            strategy: v.decode_field("strategy")?,
             scheduler: v.decode_field("scheduler")?,
             disable_cost_gate: v.decode_field("disable_cost_gate")?,
             split_all_reduce: v.decode_field("split_all_reduce")?,
@@ -331,6 +461,10 @@ mod tests {
             permutes: 9,
             bidirectional: true,
             unrolled: true,
+            chunk: 2,
+            unroll_fallback: None,
+            bidirectional_fallback: Some("even group required".into()),
+            chunk_fallback: None,
         }];
         let text = summaries.to_json().to_string();
         let back = Vec::<DecomposeSummary>::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -350,18 +484,18 @@ mod tests {
         let base = OverlapOptions::paper_default();
         let variants = [
             base,
-            OverlapOptions { fusion: None, ..base },
+            OverlapOptions::default(),
             OverlapOptions {
                 scheduler: crate::SchedulerKind::TopDown,
                 disable_cost_gate: true,
                 ..base
             },
             OverlapOptions {
-                decompose: crate::DecomposeOptions {
-                    unroll: false,
-                    bidirectional: false,
-                    pad_max_concat: true,
-                },
+                strategy: StrategySpec::paper_default()
+                    .with_ring(RingDirection::Unidirectional)
+                    .with_unroll(false)
+                    .with_pad_max_concat(true)
+                    .with_chunk(4),
                 scheduler: crate::SchedulerKind::Original,
                 split_all_reduce: true,
                 ..base
@@ -376,6 +510,36 @@ mod tests {
         assert!(OverlapOptions::from_json(&Json::obj()).is_err());
         let bad = base.to_json().with("scheduler", "Sideways");
         assert!(OverlapOptions::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn strategy_spec_fingerprint_survives_json_roundtrip() {
+        // Satellite: a StrategySpec's fingerprint must be stable across a
+        // JSON round-trip (the autotuner memoizes verdicts by it), and
+        // every distinct spec must decode back to an equal value.
+        let specs = [
+            StrategySpec::default(),
+            StrategySpec::paper_default(),
+            StrategySpec::paper_default()
+                .with_ring(RingDirection::Unidirectional)
+                .with_chunk(4),
+            StrategySpec::paper_default()
+                .with_fusion(FusionAggressiveness::Conservative)
+                .with_pad_max_concat(true),
+            StrategySpec {
+                partitioning: PartitionHint::OneD,
+                ..StrategySpec::paper_default()
+            },
+        ];
+        for s in specs {
+            let text = s.to_json().to_string();
+            let back = StrategySpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, s);
+            assert_eq!(back.fingerprint(), s.fingerprint());
+        }
+        assert!(StrategySpec::from_json(&Json::obj()).is_err());
+        let bad = StrategySpec::default().to_json().with("partitioning", "Diagonal");
+        assert!(StrategySpec::from_json(&bad).is_err());
     }
 
     #[test]

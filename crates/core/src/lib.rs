@@ -64,6 +64,7 @@ mod profile;
 mod reassociate;
 mod report;
 mod schedule;
+mod strategy;
 
 pub use asyncify::{asyncify, asyncify_with};
 pub use cache::{artifact_key, artifact_key_faulted, ArtifactCache, CacheOutcome, CacheStats};
@@ -80,4 +81,7 @@ pub use report::CompileReport;
 pub use schedule::{
     schedule_bottom_up, schedule_bottom_up_ctx, schedule_bottom_up_with, schedule_top_down,
     schedule_top_down_ctx, ScheduleContext,
+};
+pub use strategy::{
+    FusionAggressiveness, PartitionHint, PatternStrategy, RingDirection, StrategySpec,
 };

@@ -11,6 +11,7 @@ use crate::fusion::{fuse_with, FusionOptions};
 use crate::pattern::find_patterns_with;
 use crate::profile::PhaseTimings;
 use crate::reassociate::split_all_reduces_with;
+use crate::strategy::StrategySpec;
 use crate::schedule::{schedule_bottom_up_ctx, schedule_top_down_ctx, ScheduleContext};
 
 /// Which §5.2 scheduler orders the final instruction sequence.
@@ -29,11 +30,10 @@ pub enum SchedulerKind {
 /// Options for the full pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct OverlapOptions {
-    /// Decomposition options (§5.1/§5.4): unrolling, bidirectional
-    /// transfer, pad-max concat rewrite.
-    pub decompose: DecomposeOptions,
-    /// Fusion options (§5.4.3); `None` disables the fusion pass.
-    pub fusion: Option<FusionOptions>,
+    /// The decomposition strategy (§5.1/§5.4 knobs, per pattern kind,
+    /// plus fusion aggressiveness and the partitioning hint). This is
+    /// the searchable configuration the autotuner enumerates.
+    pub strategy: StrategySpec,
     /// Scheduler choice (§5.2).
     pub scheduler: SchedulerKind,
     /// Whether the §5.5 cost gate filters patterns (`false` decomposes
@@ -53,12 +53,58 @@ impl OverlapOptions {
     #[must_use]
     pub fn paper_default() -> Self {
         OverlapOptions {
-            decompose: DecomposeOptions::default(),
-            fusion: Some(FusionOptions::default()),
+            strategy: StrategySpec::paper_default(),
             scheduler: SchedulerKind::BottomUp,
             disable_cost_gate: false,
             split_all_reduce: false,
         }
+    }
+
+    /// [`OverlapOptions::paper_default`] with a different strategy.
+    #[must_use]
+    pub fn with_strategy(strategy: StrategySpec) -> Self {
+        OverlapOptions { strategy, ..Self::paper_default() }
+    }
+
+    /// The best strategy found by the offline autotuner
+    /// (`overlap-autotune`, leaderboards in `results/fig_autotune.json`)
+    /// for this model/machine pair.
+    ///
+    /// On short-ring meshes (every axis at most 4 devices) the sweep
+    /// found a chunked unidirectional AllGather window beating the
+    /// paper default: with so few ring steps the bidirectional
+    /// prologue/epilogue overhead outweighs its halved circulation, and
+    /// the two-shard window keeps per-step compute above the transfer
+    /// time. Everywhere the Table-1 machines run — long rings on large
+    /// meshes — the paper default remains the winner, so that is what
+    /// every other shape gets. The `model` name is accepted so future
+    /// sweeps can special-case per-model winners without an API change.
+    #[must_use]
+    pub fn autotuned(model: &str, machine: &Machine) -> Self {
+        let _ = model;
+        let short_rings = machine.mesh().shape().iter().all(|&d| d <= 4);
+        if short_rings {
+            return Self::with_strategy(
+                StrategySpec::paper_default()
+                    .with_ring(crate::RingDirection::Unidirectional)
+                    .with_chunk(2),
+            );
+        }
+        Self::paper_default()
+    }
+
+    /// The decompose options the pipeline will hand the rewrite for one
+    /// pattern kind (the cost gate may still flip `bidirectional` per
+    /// pattern).
+    #[must_use]
+    pub fn decompose_for(&self, kind: &crate::PatternKind) -> DecomposeOptions {
+        self.strategy.options_for(kind)
+    }
+
+    /// The fusion pass configuration (`None` skips the pass).
+    #[must_use]
+    pub fn fusion_options(&self) -> Option<FusionOptions> {
+        self.strategy.fusion_options()
     }
 
     /// A stable fingerprint over every field that can change the
@@ -66,21 +112,13 @@ impl OverlapOptions {
     /// (with [`overlap_hlo::Module::fingerprint`] and
     /// [`overlap_mesh::Machine::fingerprint`]): two option sets with equal
     /// fingerprints compile any module identically, so a new knob added
-    /// here **must** be hashed or stale cache entries will be served for
-    /// configurations that no longer produce them.
+    /// here — or to [`StrategySpec`] — **must** be hashed or stale cache
+    /// entries will be served for configurations that no longer produce
+    /// them.
     #[must_use]
     pub fn fingerprint(&self) -> overlap_json::Fingerprint {
-        let mut h = overlap_json::StableHasher::new("overlap-options-v1");
-        h.write_bool(self.decompose.unroll);
-        h.write_bool(self.decompose.bidirectional);
-        h.write_bool(self.decompose.pad_max_concat);
-        match &self.fusion {
-            Some(f) => {
-                h.write_bool(true);
-                h.write_bool(f.overlap_aware);
-            }
-            None => h.write_bool(false),
-        }
+        let mut h = overlap_json::StableHasher::new("overlap-options-v2");
+        h.write_fingerprint(self.strategy.fingerprint());
         h.write_str(match self.scheduler {
             SchedulerKind::BottomUp => "bottom-up",
             SchedulerKind::TopDown => "top-down",
@@ -251,7 +289,7 @@ impl OverlapPipeline {
         };
 
         let patterns = timings.time("find_patterns", || find_patterns_with(module, &analysis));
-        let cost_model = CostModel::new(machine, self.options.decompose);
+        let cost_model = CostModel::with_strategy(machine, &self.options.strategy);
         let decisions = timings.time("cost_gate", || {
             if patterns.is_empty() {
                 return Vec::new();
@@ -302,9 +340,24 @@ impl OverlapPipeline {
             .iter()
             .filter(|d| !gate_on || d.beneficial)
             .map(|d| {
+                let requested = self.options.decompose_for(&d.pattern.kind);
+                // Honor the gate's uni-vs-bidi verdict where both rings are
+                // feasible; for odd groups the gate could never price the
+                // bidirectional variant, so pass the requested direction
+                // through and let the decompose pass record why it fell
+                // back (the rewrite is identical either way).
+                let g = match module.instr(d.pattern.collective).op() {
+                    overlap_hlo::Op::AllGather { groups, .. }
+                    | overlap_hlo::Op::ReduceScatter { groups, .. } => groups.group_size(),
+                    _ => 1,
+                };
                 let opts = DecomposeOptions {
-                    bidirectional: d.bidirectional,
-                    ..self.options.decompose
+                    bidirectional: if g.is_multiple_of(2) {
+                        d.bidirectional
+                    } else {
+                        requested.bidirectional
+                    },
+                    ..requested
                 };
                 (d.pattern, opts)
             })
@@ -317,9 +370,9 @@ impl OverlapPipeline {
         // asyncify rebuilds the module, so its builder re-derives the
         // analysis append-by-append.
         let (asynced, mut analysis) = timings.time("asyncify", || asyncify_with(&decomposed));
-        let final_module = match &self.options.fusion {
+        let final_module = match self.options.fusion_options() {
             Some(fopts) => timings.time("fuse", || {
-                let fused = fuse_with(&asynced, &analysis, fopts);
+                let fused = fuse_with(&asynced, &analysis, &fopts);
                 analysis.refresh_fusion(&fused);
                 fused
             }),
@@ -443,10 +496,9 @@ mod tests {
         let y = b.einsum(x, wg, DotDims::matmul(), "y");
         let m = b.build(vec![y]);
         let machine = Machine::with_mesh(DeviceMesh::ring(n));
-        let compiled = OverlapPipeline::new(OverlapOptions {
-            decompose: crate::DecomposeOptions { bidirectional: false, ..Default::default() },
-            ..OverlapOptions::paper_default()
-        })
+        let compiled = OverlapPipeline::new(OverlapOptions::with_strategy(
+            StrategySpec::paper_default().with_ring(crate::RingDirection::Unidirectional),
+        ))
         .run(&m, &machine)
         .unwrap();
         assert!(compiled.summaries.is_empty());

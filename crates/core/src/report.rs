@@ -34,6 +34,10 @@ pub struct CompileReport {
     /// Lines describing each fault-induced fallback (empty on fault-free
     /// compiles).
     pub fallback_lines: Vec<String>,
+    /// Lines recording strategy knobs the decomposition could not honor
+    /// (e.g. unrolling dropped for an odd group, a chunk width that does
+    /// not divide the group); empty when every requested knob applied.
+    pub strategy_notes: Vec<String>,
 }
 
 impl CompileReport {
@@ -69,6 +73,18 @@ impl CompileReport {
             .iter()
             .map(|fb| format!("fallback {:<24} {}", fb.einsum, fb.reason))
             .collect();
+        let mut strategy_notes = Vec::new();
+        for s in &compiled.summaries {
+            for (knob, reason) in [
+                ("unroll", &s.unroll_fallback),
+                ("bidirectional", &s.bidirectional_fallback),
+                ("chunk", &s.chunk_fallback),
+            ] {
+                if let Some(reason) = reason {
+                    strategy_notes.push(format!("note {:<24} {knob}: {reason}", s.einsum));
+                }
+            }
+        }
         CompileReport {
             before: module_stats(input),
             after: module_stats(&compiled.module),
@@ -78,6 +94,7 @@ impl CompileReport {
             evaluated: compiled.decisions.len(),
             decision_lines,
             fallback_lines,
+            strategy_notes,
         }
     }
 }
@@ -107,6 +124,9 @@ impl fmt::Display for CompileReport {
             writeln!(f, "  {line}")?;
         }
         for line in &self.fallback_lines {
+            writeln!(f, "  {line}")?;
+        }
+        for line in &self.strategy_notes {
             writeln!(f, "  {line}")?;
         }
         Ok(())
@@ -144,5 +164,30 @@ mod tests {
         assert!(text.contains("patterns decomposed: 1 of 1"));
         assert!(text.contains("overlap"));
         assert!(text.contains("peak live memory"));
+    }
+
+    #[test]
+    fn report_surfaces_strategy_fallback_notes() {
+        // An odd replica group cannot run the bidirectional ring; the
+        // recorded reason must surface as a banner note.
+        let n = 3;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(Shape::new(DType::BF16, vec![4096, 2049]), "x");
+        let w = b.parameter(Shape::new(DType::BF16, vec![2049, 683]), "w");
+        let wg = b.all_gather(w, 1, ReplicaGroups::full(n), "wg");
+        let y = b.einsum(x, wg, DotDims::matmul(), "y");
+        let m = b.build(vec![y]);
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let compiled = OverlapPipeline::new(OverlapOptions {
+            disable_cost_gate: true,
+            ..OverlapOptions::paper_default()
+        })
+        .run(&m, &machine)
+        .unwrap();
+        let report = CompileReport::new(&m, &compiled, &machine);
+        assert!(!report.strategy_notes.is_empty());
+        let text = report.to_string();
+        assert!(text.contains("note"));
+        assert!(text.contains("bidirectional"));
     }
 }

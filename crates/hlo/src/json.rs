@@ -163,7 +163,15 @@ impl ToJson for Op {
                 variant("Parameter", Json::obj().with("index", index.to_json()))
             }
             Op::Constant { value } => {
-                variant("Constant", Json::obj().with("value", value.to_json()))
+                // JSON has no ±inf/NaN tokens (the writer would emit
+                // `null`), and the §5.4.3 pad-max-concat join pads with
+                // -inf — round-trip non-finite values as strings.
+                let v = if value.is_finite() {
+                    value.to_json()
+                } else {
+                    Json::from(format!("{value}"))
+                };
+                variant("Constant", Json::obj().with("value", v))
             }
             Op::ConstantTensor { values } => {
                 variant("ConstantTensor", Json::obj().with("values", values.to_json()))
@@ -246,7 +254,16 @@ impl FromJson for Op {
         };
         let op = match tag.as_str() {
             "Parameter" => Op::Parameter { index: payload.decode_field("index")? },
-            "Constant" => Op::Constant { value: payload.decode_field("value")? },
+            "Constant" => {
+                let v = payload.get("value").ok_or("Constant missing value")?;
+                let value = match v.as_str() {
+                    Some(s) => s
+                        .parse::<f64>()
+                        .map_err(|e| format!("field \"value\": bad non-finite literal: {e}"))?,
+                    None => f64::from_json(v).map_err(|e| format!("field \"value\": {e}"))?,
+                };
+                Op::Constant { value }
+            }
             "ConstantTensor" => {
                 Op::ConstantTensor { values: payload.decode_field("values")? }
             }
@@ -417,6 +434,20 @@ mod tests {
         // And through the pretty printer too (the on-disk cache layout).
         let back2 = Module::from_json_str(&m.to_json().to_pretty()).expect("parses");
         assert_eq!(back2, m);
+    }
+
+    #[test]
+    fn non_finite_constants_roundtrip() {
+        // The §5.4.3 pad-max-concat join pads with -inf; a plain number
+        // token would serialize as `null` and the module would decode
+        // corrupt out of the artifact cache.
+        let mut b = Builder::new("ninf", 1);
+        let c = b.constant(Shape::scalar(DType::BF16), f64::NEG_INFINITY, "ninf");
+        let m = b.build(vec![c]);
+        let text = m.to_json().to_string();
+        assert!(text.contains("\"value\":\"-inf\""), "{text}");
+        let back = Module::from_json_str(&text).expect("parses");
+        assert_eq!(back, m);
     }
 
     #[test]

@@ -336,6 +336,21 @@ impl CompileRequest {
             deadline_ms: None,
         }
     }
+
+    /// Like [`CompileRequest::named`], but with the strategy the offline
+    /// autotuner picked for this model's paper machine
+    /// ([`OverlapOptions::autotuned`]). Unknown names keep the paper
+    /// defaults — the server rejects them later with the usual
+    /// model-not-found error, same as [`CompileRequest::named`].
+    #[must_use]
+    pub fn tuned(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let options = match overlap_models::find_model(&name) {
+            Some(cfg) => OverlapOptions::autotuned(&name, &cfg.machine()),
+            None => OverlapOptions::paper_default(),
+        };
+        CompileRequest { options, ..CompileRequest::named(name) }
+    }
 }
 
 /// Every request the server understands.
@@ -912,5 +927,34 @@ impl FromJson for Response {
             "error" => Ok(Response::Error(ErrorResponse::from_json(v)?)),
             other => Err(format!("unknown response {other:?}")),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_requests_resolve_the_autotuned_options() {
+        // Every Table-1 machine is a long ring, where the autotuner kept
+        // the paper default — so tuned() and named() must agree there,
+        // and both must survive the wire round-trip.
+        for name in overlap_models::model_names() {
+            let name = name.as_str();
+            let tuned = CompileRequest::tuned(name);
+            assert_eq!(tuned, CompileRequest::named(name));
+            let cfg = overlap_models::find_model(name).expect("zoo model");
+            assert_eq!(
+                tuned.options,
+                OverlapOptions::autotuned(name, &cfg.machine()),
+                "{name}"
+            );
+            let wire = Request::Compile(Box::new(tuned.clone()));
+            let back = Request::from_json(&wire.to_json()).expect("roundtrip");
+            assert_eq!(back, wire);
+        }
+        // Unknown names keep paper defaults; the server rejects them
+        // later with its usual model-not-found error.
+        assert_eq!(CompileRequest::tuned("no-such-model"), CompileRequest::named("no-such-model"));
     }
 }

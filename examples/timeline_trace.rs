@@ -16,14 +16,11 @@ fn show(title: &str, module: &Module, machine: &Machine) {
     let baseline = simulate(module, machine).expect("baseline");
     println!("original   ({:.3} ms):", baseline.makespan() * 1e3);
     println!("{}", baseline.timeline().render(72));
-    let compiled = OverlapPipeline::new(OverlapOptions {
-        // Figs. 4/5 show the plain unidirectional loop.
-        decompose: overlap::core::DecomposeOptions {
-            bidirectional: false,
-            ..Default::default()
-        },
-        ..OverlapOptions::paper_default()
-    })
+    // Figs. 4/5 show the plain unidirectional loop.
+    let compiled = OverlapPipeline::new(OverlapOptions::with_strategy(
+        overlap::core::StrategySpec::paper_default()
+            .with_ring(overlap::core::RingDirection::Unidirectional),
+    ))
     .run(module, machine)
     .expect("pipeline");
     let overlapped =

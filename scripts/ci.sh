@@ -5,7 +5,9 @@
 # compile-throughput regression gate, and a serve smoke: a real
 # `overlapd` on an ephemeral port, concurrent loadgen clients verifying
 # byte-identity against direct pipeline runs, then a SIGTERM drain that
-# must leave no torn disk-cache entries. Run from the repository root.
+# must leave no torn disk-cache entries, plus seeded fault-injection and
+# strategy-autotune smokes whose outputs must be deterministic. Run from
+# the repository root.
 #
 #   sh scripts/ci.sh
 #
@@ -114,5 +116,32 @@ rm -f results/fig_faults_smoke.json.first
 echo "$smoke_one" | grep -q "fallbacks=" || {
     echo "FAIL: fault sweep reported no fallback counts"; exit 1;
 }
+
+echo "==> autotune smoke: seeded strategy search, deterministic leaderboard, warm cache"
+tune_cache=".overlap-autotune-ci.$$"
+rm -rf "$tune_cache"
+tune_one=$(OVERLAP_AUTOTUNE_SMOKE=1 OVERLAP_FAULT_SEED=7 OVERLAP_CACHE_DIR="$tune_cache" \
+    cargo run --release -q -p overlap-bench --bin overlap-autotune)
+cp results/fig_autotune_smoke.json results/fig_autotune_smoke.json.first
+tune_two=$(OVERLAP_AUTOTUNE_SMOKE=1 OVERLAP_FAULT_SEED=7 OVERLAP_CACHE_DIR="$tune_cache" \
+    cargo run --release -q -p overlap-bench --bin overlap-autotune)
+rm -rf "$tune_cache"
+# The leaderboard JSON must be byte-identical across identically-seeded
+# runs (stdout is not compared — the cache counters legitimately differ
+# between the cold and the warm pass).
+cmp -s results/fig_autotune_smoke.json results/fig_autotune_smoke.json.first || {
+    echo "FAIL: autotune leaderboard differs between identically-seeded runs"; exit 1;
+}
+rm -f results/fig_autotune_smoke.json.first
+echo "$tune_one" | grep -q "pruned statically" || {
+    echo "FAIL: autotune reported no static pruning"; exit 1;
+}
+# The second run replays the identical grid against the same disk cache,
+# so every compile must be served (the search is cache-oracle-driven).
+echo "$tune_two" | grep "^cache:" || { echo "FAIL: warm autotune printed no cache stats"; exit 1; }
+case "$tune_two" in
+    *"misses=0"*) ;;
+    *) echo "FAIL: warm autotune run missed the on-disk artifact cache"; exit 1 ;;
+esac
 
 echo "CI gate passed."

@@ -66,7 +66,12 @@ fn all_option_combos() -> Vec<DecomposeOptions> {
     for unroll in [false, true] {
         for bidirectional in [false, true] {
             for pad_max_concat in [false, true] {
-                v.push(DecomposeOptions { unroll, bidirectional, pad_max_concat });
+                // Chunked windows only engage on the unidirectional
+                // all-gather path; infeasible widths fall back to 1, so
+                // every combination stays numerically checkable.
+                for chunk in [1, 2] {
+                    v.push(DecomposeOptions { unroll, bidirectional, pad_max_concat, chunk });
+                }
             }
         }
     }

@@ -135,10 +135,10 @@ fn overlap_aware_fusion_not_slower() {
     let cfg = small_config(8, Arch::Decoder, PartitionStrategy::TwoD);
     let module = cfg.layer_module();
     let machine = cfg.machine();
-    let compiled = OverlapPipeline::new(OverlapOptions {
-        fusion: None,
-        ..OverlapOptions::paper_default()
-    })
+    let compiled = OverlapPipeline::new(OverlapOptions::with_strategy(
+        overlap::core::StrategySpec::paper_default()
+            .with_fusion(overlap::core::FusionAggressiveness::Off),
+    ))
     .run(&module, &machine)
     .expect("pipeline");
     let mut makespans = Vec::new();

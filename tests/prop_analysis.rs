@@ -41,12 +41,15 @@ fn check_pipeline_analyses(module: &Module, machine: &Machine, options: &Overlap
     analysis.mark_verified(module);
     let patterns = find_patterns_with(module, &analysis);
     let table = CostTable::with_analysis(module, &analysis, machine).expect("cost table");
-    let cost_model = CostModel::new(machine, options.decompose);
+    let cost_model = CostModel::with_strategy(machine, &options.strategy);
     let decisions = cost_model.select_with(&table, module, &patterns, true);
     let selected: Vec<_> = decisions
         .iter()
         .map(|d| {
-            let opts = DecomposeOptions { bidirectional: d.bidirectional, ..options.decompose };
+            let opts = DecomposeOptions {
+                bidirectional: d.bidirectional,
+                ..options.decompose_for(&d.pattern.kind)
+            };
             (d.pattern, opts)
         })
         .collect();
@@ -72,9 +75,9 @@ fn check_pipeline_analyses(module: &Module, machine: &Machine, options: &Overlap
     let (asynced, mut analysis) = asyncify_with(&decomposed);
     assert_analysis_fresh(&asynced, &analysis, "asyncify");
 
-    let final_module = match &options.fusion {
+    let final_module = match options.fusion_options() {
         Some(fopts) => {
-            let fused = fuse_with(&asynced, &analysis, fopts);
+            let fused = fuse_with(&asynced, &analysis, &fopts);
             analysis.refresh_fusion(&fused);
             assert_analysis_fresh(&fused, &analysis, "fuse");
             fused
@@ -124,10 +127,14 @@ fn check_fig3_draw(
     };
     let module = fig3_forward(&mesh, cfg).expect("builds");
     let machine = Machine::with_mesh(mesh);
-    let options = OverlapOptions {
-        decompose: DecomposeOptions { bidirectional, ..DecomposeOptions::default() },
-        ..OverlapOptions::paper_default()
+    let ring = if bidirectional {
+        overlap::core::RingDirection::Bidirectional
+    } else {
+        overlap::core::RingDirection::Unidirectional
     };
+    let options = OverlapOptions::with_strategy(
+        overlap::core::StrategySpec::paper_default().with_ring(ring),
+    );
     check_pipeline_analyses(&module, &machine, &options);
 }
 

@@ -55,11 +55,14 @@ fn check(module: &Module, opts: &DecomposeOptions, seed: u64) -> Result<(), Test
 }
 
 fn options() -> impl Strategy<Value = DecomposeOptions> {
-    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-        |(unroll, bidirectional, pad_max_concat)| DecomposeOptions {
+    // Chunk widths beyond the feasible range exercise the fall-back rule
+    // (the decompose pass silently reverts to chunk 1 and records why).
+    (any::<bool>(), any::<bool>(), any::<bool>(), 1usize..=4).prop_map(
+        |(unroll, bidirectional, pad_max_concat, chunk)| DecomposeOptions {
             unroll,
             bidirectional,
             pad_max_concat,
+            chunk,
         },
     )
 }
