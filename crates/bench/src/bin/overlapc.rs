@@ -118,6 +118,25 @@ fn strategy_from_args(args: &[String]) -> Option<StrategySpec> {
     Some(spec)
 }
 
+/// The pre-compile banner: every note about how this compile deviates
+/// from the fault-free paper-default path (a `--fault-spec` degraded
+/// machine, a `--strategy` override) lands in ONE sorted section.
+/// Historically each flag printed its own line at the point where it
+/// was parsed, so the banner's shape depended on which knobs were set
+/// and in what order the driver happened to check them; collecting the
+/// notes here keeps the output deterministic and diffable.
+fn banner_lines(faults: Option<&FaultSpec>, strategy: Option<&StrategySpec>) -> Vec<String> {
+    let mut lines = Vec::new();
+    if let Some(spec) = faults {
+        lines.push(format!("compiling for a degraded machine (fault seed {})", spec.seed));
+    }
+    if let Some(spec) = strategy {
+        lines.push(format!("compiling with strategy {}", spec.describe()));
+    }
+    lines.sort();
+    lines
+}
+
 /// `--chrome-trace PATH` overrides where the Chrome-tracing JSON of the
 /// overlapped schedule lands (default: `<input>.trace.json` next to the
 /// input), so a schedule can be dropped straight into Perfetto /
@@ -159,13 +178,17 @@ fn main() {
                     let chips = machine.mesh().num_devices();
                     fail(format!("fault spec does not fit the {chips}-chip machine: {e}"));
                 }
-                println!("compiling for a degraded machine (fault seed {})\n", spec.seed);
             }
-            let options = match strategy_from_args(&args) {
-                Some(spec) => {
-                    println!("compiling with strategy {}\n", spec.describe());
-                    OverlapOptions::with_strategy(spec)
+            let strategy = strategy_from_args(&args);
+            let banner = banner_lines(faults.as_ref(), strategy.as_ref());
+            if !banner.is_empty() {
+                for line in &banner {
+                    println!("{line}");
                 }
+                println!();
+            }
+            let options = match strategy {
+                Some(spec) => OverlapOptions::with_strategy(spec),
                 None => OverlapOptions::paper_default(),
             };
             let mut pipeline = OverlapPipeline::new(options);
@@ -222,5 +245,35 @@ fn main() {
             report_cache(&cache);
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banner_merges_fault_and_strategy_notes_into_one_sorted_section() {
+        assert!(banner_lines(None, None).is_empty());
+
+        let faults = FaultSpec::seeded(7).with_jitter(5e-5);
+        let strategy = StrategySpec::paper_default();
+
+        let only_faults = banner_lines(Some(&faults), None);
+        assert_eq!(only_faults, vec!["compiling for a degraded machine (fault seed 7)"]);
+
+        let only_strategy = banner_lines(None, Some(&strategy));
+        assert_eq!(only_strategy.len(), 1);
+        assert!(only_strategy[0].starts_with("compiling with strategy "));
+
+        // Both flags: one combined section, sorted, with each flag's
+        // note rendered exactly as it renders alone.
+        let both = banner_lines(Some(&faults), Some(&strategy));
+        assert_eq!(both.len(), 2);
+        let mut sorted = both.clone();
+        sorted.sort();
+        assert_eq!(both, sorted, "banner must be deterministically ordered");
+        assert!(both.contains(&only_faults[0]));
+        assert!(both.contains(&only_strategy[0]));
     }
 }

@@ -213,6 +213,99 @@ fn autotune_bench(cfg: &ModelConfig) -> (AutotuneBench, bool) {
     (record, ok)
 }
 
+/// Hard wall-clock budget for the tail bench, in seconds: two windowed
+/// compiles of the 4-layer stacked module plus the distributional draws
+/// must finish inside this. Measured ≈5 s on 8 cores; the budget leaves
+/// generous headroom for slow CI.
+const TAIL_BUDGET_SECONDS: f64 = 90.0;
+
+/// Layers stacked into the tail bench's scheduling scope and the number
+/// of fault draws per window (mirrors `fig_tail`'s smoke-scale shape,
+/// but on a Table-1 model where the windows actually differentiate).
+const TAIL_DEPTH: usize = 4;
+const TAIL_DRAWS: usize = 17;
+
+struct TailBench {
+    /// The Table-1 model the bench schedules.
+    model: String,
+    draws: usize,
+    /// Exact p99 makespan of the window=1 (strict per-stage barriers)
+    /// schedule under the seeded network-straggler spec.
+    p99_window1: f64,
+    /// Same for the cross-layer window=2 schedule.
+    p99_window2: f64,
+    /// Wall-clock seconds for the whole bench (compiles + draws).
+    bench_seconds: f64,
+}
+
+impl ToJson for TailBench {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("model", self.model.as_str())
+            .with("draws", self.draws as u64)
+            .with("p99_window1", self.p99_window1)
+            .with("p99_window2", self.p99_window2)
+            .with("bench_seconds", self.bench_seconds)
+    }
+}
+
+/// Cross-layer scheduling-window tail bench (hard gate): compiles the
+/// 4-layer stacked Meena_500B module at window widths 1 and 2 under a
+/// seeded network-straggler [`FaultSpec`] (a quarter of the links at
+/// half bandwidth, per-hop jitter, DMA-issue stalls — `fig_tail`'s
+/// harshest severity), runs [`TAIL_DRAWS`] fault draws through each
+/// schedule, and applies two checks: the whole bench must finish inside
+/// [`TAIL_BUDGET_SECONDS`], and the window=2 schedule's exact p99 must
+/// never lose to window=1's — widening the scheduling scope may only
+/// recover tail latency, not add it. Returns the record and whether the
+/// gate passed.
+fn tail_bench() -> (TailBench, bool) {
+    let cfg = table1_models()
+        .into_iter()
+        .find(|m| m.name == "Meena_500B")
+        .expect("Meena_500B is in Table 1");
+    let module = cfg.window_module(TAIL_DEPTH);
+    let machine = cfg.machine();
+    let spec = FaultSpec::seeded(7)
+        .with_derated_link_fraction(machine.mesh(), 0.25, 0.5)
+        .with_jitter(1e-5)
+        .with_dma_stalls(0.02, 2e-4, 3);
+
+    let t = Instant::now();
+    let p99_of = |window: usize| {
+        let options = OverlapOptions::with_strategy(
+            overlap_core::StrategySpec::paper_default().with_window_layers(window),
+        );
+        let compiled = OverlapPipeline::new(options)
+            .with_faults(spec.clone())
+            .run(&module, &machine)
+            .expect("windowed compile");
+        let samples = overlap_sim::simulate_order_tail_with(
+            &compiled.cost_table,
+            &compiled.module,
+            &machine,
+            &compiled.order,
+            &spec,
+            TAIL_DRAWS,
+        )
+        .expect("tail draws");
+        overlap_sim::TailSummary::from_samples(&samples).p99
+    };
+    let p99_window1 = p99_of(1);
+    let p99_window2 = p99_of(2);
+    let bench_seconds = t.elapsed().as_secs_f64();
+
+    let record = TailBench {
+        model: cfg.name,
+        draws: TAIL_DRAWS,
+        p99_window1,
+        p99_window2,
+        bench_seconds,
+    };
+    let ok = bench_seconds <= TAIL_BUDGET_SECONDS && p99_window2 <= p99_window1;
+    (record, ok)
+}
+
 /// Concurrent connections the serve bench drives against the in-process
 /// daemon (the acceptance floor for the service layer).
 const SERVE_CLIENTS: usize = 32;
@@ -441,6 +534,7 @@ struct PerfRecord {
     cache: CacheBench,
     fault_smoke: FaultSmoke,
     autotune: AutotuneBench,
+    tail: TailBench,
     serve: ServeBench,
     threads: usize,
 }
@@ -459,6 +553,7 @@ impl ToJson for PerfRecord {
             .with("cache", self.cache.to_json())
             .with("fault_smoke", self.fault_smoke.to_json())
             .with("autotune", self.autotune.to_json())
+            .with("tail", self.tail.to_json())
             .with("serve", self.serve.to_json())
             .with("threads", self.threads as u64)
     }
@@ -705,6 +800,11 @@ fn main() {
     // wall-clock budget and on the winner beating the paper default).
     let (autotune, autotune_ok) = autotune_bench(&cfg);
 
+    // Cross-layer scheduling windows under a network straggler (hard
+    // gate on the wall-clock budget and on window=2 never losing to
+    // window=1 on p99).
+    let (tail, tail_ok) = tail_bench();
+
     // Service layer: concurrent clients against an in-process daemon
     // (hard gate on byte-identity, dedup, and zero sheds/errors).
     let (serve, serve_ok) = serve_bench();
@@ -721,6 +821,7 @@ fn main() {
         cache,
         fault_smoke,
         autotune,
+        tail,
         serve,
         threads: sweep_threads(),
     };
@@ -762,6 +863,14 @@ fn main() {
         record.autotune.pruned,
         record.autotune.search_seconds,
         record.autotune.winner_speedup
+    );
+    println!(
+        "tail: {} x{} draws, p99 window=1 {:.3}ms vs window=2 {:.3}ms in {:.3}s",
+        record.tail.model,
+        record.tail.draws,
+        record.tail.p99_window1 * 1e3,
+        record.tail.p99_window2 * 1e3,
+        record.tail.bench_seconds
     );
     println!(
         "serve: {} clients, cold {:.3}s, warm {:.3}s, pipelined {:.3}s (p50 {:.2}ms, p99 {:.2}ms, \
@@ -814,6 +923,17 @@ fn main() {
             record.autotune.candidates,
             record.autotune.search_seconds,
             record.autotune.winner_speedup,
+        );
+        std::process::exit(1);
+    }
+    if !tail_ok {
+        eprintln!(
+            "tail regression: window=2 p99 {:.3}ms vs window=1 p99 {:.3}ms in {:.3}s \
+             (budget {TAIL_BUDGET_SECONDS}s); a wider scheduling window may only recover \
+             tail latency, never add it",
+            record.tail.p99_window2 * 1e3,
+            record.tail.p99_window1 * 1e3,
+            record.tail.bench_seconds,
         );
         std::process::exit(1);
     }

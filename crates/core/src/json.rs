@@ -312,11 +312,18 @@ impl FromJson for PatternStrategy {
 
 impl ToJson for StrategySpec {
     fn to_json(&self) -> Json {
-        Json::obj()
+        let j = Json::obj()
             .with("all_gather", self.all_gather.to_json())
             .with("reduce_scatter", self.reduce_scatter.to_json())
             .with("fusion", self.fusion.to_json())
-            .with("partitioning", self.partitioning.to_json())
+            .with("partitioning", self.partitioning.to_json());
+        // Emitted only when widened so `window_layers = 1` strategy files
+        // and cached bundles stay byte-identical to pre-window ones.
+        if self.window_layers > 1 {
+            j.with("window_layers", self.window_layers as u64)
+        } else {
+            j
+        }
     }
 }
 
@@ -327,6 +334,10 @@ impl FromJson for StrategySpec {
             reduce_scatter: v.decode_field("reduce_scatter")?,
             fusion: v.decode_field("fusion")?,
             partitioning: v.decode_field("partitioning")?,
+            window_layers: match v.get("window_layers") {
+                None => 1,
+                Some(j) => usize::from_json(j)?,
+            },
         })
     }
 }
@@ -530,6 +541,7 @@ mod tests {
                 partitioning: PartitionHint::OneD,
                 ..StrategySpec::paper_default()
             },
+            StrategySpec::paper_default().with_window_layers(4),
         ];
         for s in specs {
             let text = s.to_json().to_string();
@@ -540,6 +552,11 @@ mod tests {
         assert!(StrategySpec::from_json(&Json::obj()).is_err());
         let bad = StrategySpec::default().to_json().with("partitioning", "Diagonal");
         assert!(StrategySpec::from_json(&bad).is_err());
+        // `window_layers = 1` is omitted from the encoding (pre-window
+        // files must stay byte-identical) and decodes back to 1.
+        let one = StrategySpec::paper_default().to_json();
+        assert!(one.get("window_layers").is_none());
+        assert_eq!(StrategySpec::from_json(&one).unwrap().window_layers, 1);
     }
 
     #[test]

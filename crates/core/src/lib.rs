@@ -80,7 +80,7 @@ pub use reassociate::{split_all_reduces, split_all_reduces_with, REASSOC_TAG};
 pub use report::CompileReport;
 pub use schedule::{
     schedule_bottom_up, schedule_bottom_up_ctx, schedule_bottom_up_with, schedule_top_down,
-    schedule_top_down_ctx, ScheduleContext,
+    schedule_top_down_ctx, ScheduleContext, ScheduleWindow,
 };
 pub use strategy::{
     FusionAggressiveness, PartitionHint, PatternStrategy, RingDirection, StrategySpec,

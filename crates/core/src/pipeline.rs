@@ -1,6 +1,6 @@
 //! The end-to-end compilation pipeline.
 
-use overlap_hlo::{HloError, InstrId, Module, ModuleAnalysis};
+use overlap_hlo::{HloError, InstrId, LayerTags, Module, ModuleAnalysis};
 use overlap_mesh::{FaultSpec, Machine};
 use overlap_sim::CostTable;
 
@@ -12,7 +12,9 @@ use crate::pattern::find_patterns_with;
 use crate::profile::PhaseTimings;
 use crate::reassociate::split_all_reduces_with;
 use crate::strategy::StrategySpec;
-use crate::schedule::{schedule_bottom_up_ctx, schedule_top_down_ctx, ScheduleContext};
+use crate::schedule::{
+    schedule_bottom_up_ctx, schedule_top_down_ctx, ScheduleContext, ScheduleWindow,
+};
 
 /// Which §5.2 scheduler orders the final instruction sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -390,16 +392,32 @@ impl OverlapPipeline {
             CostTable::with_analysis(&final_module, &analysis, machine)
                 .expect("pipeline output must have computable costs")
         });
-        let order = timings.time("schedule", || match self.options.scheduler {
-            SchedulerKind::BottomUp => {
-                let ctx = ScheduleContext::new(&cost_table, &analysis, &final_module, machine);
-                schedule_bottom_up_ctx(&ctx, &final_module, machine)
+        let order = timings.time("schedule", || {
+            // Cross-layer window: `L<k>.` stage tags (stacked multi-layer
+            // modules only — untagged modules get `None` and schedule
+            // exactly as before) bound how far either scheduler may
+            // interleave stages.
+            let window = || {
+                ScheduleWindow::new(
+                    &LayerTags::of(&final_module),
+                    self.options.strategy.window_layers,
+                )
+            };
+            match self.options.scheduler {
+                SchedulerKind::BottomUp => {
+                    let ctx =
+                        ScheduleContext::new(&cost_table, &analysis, &final_module, machine)
+                            .with_window(window());
+                    schedule_bottom_up_ctx(&ctx, &final_module, machine)
+                }
+                SchedulerKind::TopDown => {
+                    let ctx =
+                        ScheduleContext::new(&cost_table, &analysis, &final_module, machine)
+                            .with_window(window());
+                    schedule_top_down_ctx(&ctx, &final_module, machine)
+                }
+                SchedulerKind::Original => final_module.arena_order(),
             }
-            SchedulerKind::TopDown => {
-                let ctx = ScheduleContext::new(&cost_table, &analysis, &final_module, machine);
-                schedule_top_down_ctx(&ctx, &final_module, machine)
-            }
-            SchedulerKind::Original => final_module.arena_order(),
         });
         let mut compiled = Compiled {
             module: final_module,

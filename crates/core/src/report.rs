@@ -97,6 +97,19 @@ impl CompileReport {
             strategy_notes,
         }
     }
+
+    /// The combined notes section: fault-induced fallback lines and
+    /// strategy knobs the decomposition could not honor, merged and
+    /// sorted into one deterministic block — the renderer (and the
+    /// `overlapc` banner) must not depend on which pass recorded a note
+    /// first.
+    #[must_use]
+    pub fn notes(&self) -> Vec<String> {
+        let mut notes: Vec<String> =
+            self.fallback_lines.iter().chain(&self.strategy_notes).cloned().collect();
+        notes.sort();
+        notes
+    }
 }
 
 impl fmt::Display for CompileReport {
@@ -123,10 +136,7 @@ impl fmt::Display for CompileReport {
         for line in &self.decision_lines {
             writeln!(f, "  {line}")?;
         }
-        for line in &self.fallback_lines {
-            writeln!(f, "  {line}")?;
-        }
-        for line in &self.strategy_notes {
+        for line in self.notes() {
             writeln!(f, "  {line}")?;
         }
         Ok(())
@@ -189,5 +199,52 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("note"));
         assert!(text.contains("bidirectional"));
+    }
+
+    #[test]
+    fn notes_merge_fallbacks_and_strategy_notes_deterministically() {
+        // Fault fallbacks and strategy notes must render as ONE sorted
+        // block, interleaved by content — not two independent sections whose
+        // order depends on which pass recorded what.
+        let n = 3;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(Shape::new(DType::BF16, vec![4096, 2049]), "x");
+        let w = b.parameter(Shape::new(DType::BF16, vec![2049, 683]), "w");
+        let wg = b.all_gather(w, 1, ReplicaGroups::full(n), "wg");
+        let y = b.einsum(x, wg, DotDims::matmul(), "y");
+        let m = b.build(vec![y]);
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let compiled = OverlapPipeline::new(OverlapOptions {
+            disable_cost_gate: true,
+            ..OverlapOptions::paper_default()
+        })
+        .run(&m, &machine)
+        .unwrap();
+        let mut report = CompileReport::new(&m, &compiled, &machine);
+        // Inject fallback lines that lexically bracket the real strategy
+        // note ("note ...") so the merged block must interleave the two
+        // sources rather than concatenate them.
+        report.fallback_lines =
+            vec!["z-fallback late gate regressed".into(), "a-fallback early gate regressed".into()];
+        assert!(!report.strategy_notes.is_empty(), "odd group must record a note");
+
+        let notes = report.notes();
+        assert_eq!(notes.len(), report.fallback_lines.len() + report.strategy_notes.len());
+        let mut sorted = notes.clone();
+        sorted.sort();
+        assert_eq!(notes, sorted, "notes block must be deterministically ordered");
+        // The strategy note sorts between the two fallback lines: the
+        // sections really are combined, not concatenated.
+        assert!(notes[0].starts_with("a-fallback"));
+        assert!(notes[notes.len() - 1].starts_with("z-fallback"));
+        assert!(notes[1..notes.len() - 1].iter().any(|l| l.contains("bidirectional")));
+        // And the rendering emits exactly that block, in that order.
+        let text = report.to_string();
+        let mut last = 0;
+        for line in &notes {
+            let at = text.find(line.as_str()).unwrap_or_else(|| panic!("missing {line}"));
+            assert!(at >= last, "{line} rendered out of order");
+            last = at;
+        }
     }
 }

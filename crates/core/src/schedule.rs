@@ -11,7 +11,7 @@
 #[cfg(test)]
 use std::collections::HashMap;
 
-use overlap_hlo::{InstrId, Module, ModuleAnalysis, Op};
+use overlap_hlo::{InstrId, LayerTags, Module, ModuleAnalysis, Op};
 use overlap_mesh::Machine;
 use overlap_sim::{CostTable, InstrCost};
 
@@ -60,6 +60,109 @@ fn done_transfer_latency(table: &CostTable, module: &Module, id: InstrId) -> f64
     done_transfer_latency_of_start(table, start)
 }
 
+/// Cross-layer scheduling window: bounds how many consecutive layer
+/// stages of a layer-tagged module (see [`LayerTags`]) the schedulers
+/// may interleave. With a window of `w`, the top-down pass may issue an
+/// instruction of stage `l` only while every stage `<= l - w` is fully
+/// scheduled (so collectives of stage `k+1` can overlap compute of
+/// stage `k` when `w >= 2`, and `w = 1` keeps strict per-stage
+/// barriers); the bottom-up pass applies the mirrored rule from the
+/// other end. Monotone tags guarantee the constraint can never
+/// deadlock: the dependence-minimal unscheduled instruction of the
+/// frontier stage is always both ready and admissible.
+#[derive(Debug, Clone)]
+pub struct ScheduleWindow {
+    layer_of: Vec<u32>,
+    num_layers: u32,
+    window: u32,
+}
+
+impl ScheduleWindow {
+    /// Builds the constraint for a layer-tagged module. Returns `None`
+    /// when it cannot constrain anything — untagged or single-stage
+    /// modules (every committed single-layer figure), or a window at
+    /// least as wide as the module — so those schedules stay
+    /// byte-identical to the unwindowed scheduler by construction.
+    #[must_use]
+    pub fn new(tags: &LayerTags, window_layers: usize) -> Option<Self> {
+        let num_layers = tags.num_layers();
+        let window = window_layers.max(1).min(u32::MAX as usize) as u32;
+        if num_layers <= 1 || window >= num_layers {
+            return None;
+        }
+        Some(ScheduleWindow { layer_of: tags.tags().to_vec(), num_layers, window })
+    }
+
+    /// The bounded lookahead, in layer stages.
+    #[must_use]
+    pub fn window_layers(&self) -> usize {
+        self.window as usize
+    }
+}
+
+/// Per-run frontier state for one windowed scheduling pass.
+struct WindowCursor<'a> {
+    spec: &'a ScheduleWindow,
+    /// Unscheduled instructions per stage.
+    remaining: Vec<usize>,
+    /// Lowest (forward) or highest (reverse) incomplete stage.
+    frontier: u32,
+    forward: bool,
+}
+
+impl<'a> WindowCursor<'a> {
+    fn new(spec: &'a ScheduleWindow, forward: bool) -> Self {
+        let mut remaining = vec![0usize; spec.num_layers as usize];
+        for &l in &spec.layer_of {
+            remaining[l as usize] += 1;
+        }
+        let frontier = if forward { 0 } else { spec.num_layers - 1 };
+        WindowCursor { spec, remaining, frontier, forward }
+    }
+
+    /// Whether stage membership allows scheduling `id` now.
+    fn admits(&self, id: InstrId) -> bool {
+        let l = self.spec.layer_of[id.index()];
+        if self.forward {
+            l < self.frontier + self.spec.window
+        } else {
+            l + self.spec.window > self.frontier
+        }
+    }
+
+    /// Selection-key component that keeps the frontier stage preferred
+    /// among admissible candidates of the same class: cross-boundary
+    /// work is a *filler* for gaps the frontier stage cannot cover
+    /// (e.g. compute of stage `k` hiding a pending transfer of stage
+    /// `k+1`), never the default — unconstrained stage-hopping was
+    /// measured to perturb the greedy order for no overlap gain.
+    /// Returns the distance from the frontier (0 = frontier stage).
+    fn distance(&self, id: InstrId) -> u32 {
+        let l = self.spec.layer_of[id.index()];
+        if self.forward {
+            l.saturating_sub(self.frontier)
+        } else {
+            self.frontier.saturating_sub(l)
+        }
+    }
+
+    fn on_scheduled(&mut self, id: InstrId) {
+        let l = self.spec.layer_of[id.index()] as usize;
+        self.remaining[l] -= 1;
+        if self.forward {
+            while (self.frontier as usize) < self.remaining.len() - 1
+                && self.remaining[self.frontier as usize] == 0
+            {
+                self.frontier += 1;
+            }
+        } else {
+            while self.frontier > 0 && self.remaining[self.frontier as usize] == 0 {
+                self.frontier -= 1;
+            }
+        }
+    }
+}
+
 /// Shared scheduling inputs: the cost table, the maintained users table,
 /// and the simulator-faithful per-instruction latencies — computed
 /// **once** and shared between both schedulers (and any number of
@@ -68,6 +171,7 @@ pub struct ScheduleContext<'a> {
     table: &'a CostTable,
     analysis: &'a ModuleAnalysis,
     effective_lat: Vec<f64>,
+    window: Option<ScheduleWindow>,
 }
 
 impl<'a> ScheduleContext<'a> {
@@ -89,7 +193,16 @@ impl<'a> ScheduleContext<'a> {
             table,
             analysis,
             effective_lat: effective_latencies(table, module, machine),
+            window: None,
         }
+    }
+
+    /// Attaches a cross-layer window constraint (`None` leaves both
+    /// schedulers byte-identical to the unwindowed pass).
+    #[must_use]
+    pub fn with_window(mut self, window: Option<ScheduleWindow>) -> Self {
+        self.window = window;
+        self
     }
 
     /// The per-instruction latencies the schedulers plan with (fusion
@@ -108,7 +221,14 @@ pub fn schedule_bottom_up_ctx(
     module: &Module,
     machine: &Machine,
 ) -> Vec<InstrId> {
-    bottom_up_impl(ctx.table, module, machine, ctx.analysis.users(), &ctx.effective_lat)
+    bottom_up_impl(
+        ctx.table,
+        module,
+        machine,
+        ctx.analysis.users(),
+        &ctx.effective_lat,
+        ctx.window.as_ref(),
+    )
 }
 
 /// [`schedule_top_down`] driven by a prebuilt [`ScheduleContext`]: no
@@ -119,7 +239,7 @@ pub fn schedule_top_down_ctx(
     module: &Module,
     machine: &Machine,
 ) -> Vec<InstrId> {
-    top_down_impl(module, machine, ctx.analysis.users())
+    top_down_impl(module, machine, ctx.analysis.users(), ctx.window.as_ref())
 }
 
 fn done_transfer_latency_of_start(table: &CostTable, start: InstrId) -> f64 {
@@ -193,7 +313,7 @@ pub fn schedule_bottom_up_with(
     );
     let users = module.users();
     let effective_lat = effective_latencies(table, module, machine);
-    bottom_up_impl(table, module, machine, &users, &effective_lat)
+    bottom_up_impl(table, module, machine, &users, &effective_lat, None)
 }
 
 fn bottom_up_impl(
@@ -202,6 +322,7 @@ fn bottom_up_impl(
     machine: &Machine,
     users: &[Vec<InstrId>],
     effective_lat: &[f64],
+    window: Option<&ScheduleWindow>,
 ) -> Vec<InstrId> {
     let n = module.len();
     let mut unscheduled_users: Vec<usize> = users.iter().map(Vec::len).collect();
@@ -226,7 +347,22 @@ fn bottom_up_impl(
     let is_start =
         |id: InstrId| matches!(module.instr(id).op(), Op::CollectivePermuteStart { .. });
 
+    // The reverse pass consumes the module top-down by *layer*: the
+    // frontier starts at the last layer and an instruction of layer `l`
+    // is admissible while `l + window > frontier`.
+    let mut cursor = window.map(|w| WindowCursor::new(w, false));
+
     while !in_ready.is_empty() || !in_pending.is_empty() {
+        let admits = |id: InstrId| match &cursor {
+            Some(c) => c.admits(id),
+            None => true,
+        };
+        // 0 when no window is active, so the added key component is
+        // inert and the unwindowed order stays byte-identical.
+        let near = |id: InstrId| match &cursor {
+            Some(c) => -(c.distance(id) as i64),
+            None => 0,
+        };
         // SelectNodeFromReadyQ: prefer dones (budget permitting; they land
         // as late as possible in forward order), then starts (a start only
         // becomes ready after the pending queue has delayed it by its
@@ -234,7 +370,8 @@ fn bottom_up_impl(
         // that is what pushes it early in forward order), then the
         // original order (footnote 10).
         let pick_from = |queue: &[InstrId], by_ready_time: bool| {
-            let allowed = |id: InstrId| !(is_done(id) && inflight_async >= budget);
+            let allowed =
+                |id: InstrId| admits(id) && !(is_done(id) && inflight_async >= budget);
             let class = |id: InstrId| {
                 if is_done(id) {
                     2u8
@@ -253,16 +390,22 @@ fn bottom_up_impl(
                 }
             };
             queue.iter().copied().filter(|&id| allowed(id)).max_by(|&a, &b| {
-                (class(a), key(a))
-                    .partial_cmp(&(class(b), key(b)))
+                (near(a), class(a), key(a))
+                    .partial_cmp(&(near(b), class(b), key(b)))
                     .expect("ordering keys are finite")
             })
         };
 
         let candidate = pick_from(&in_ready, false)
             .or_else(|| pick_from(&in_pending, true))
-            // Only over-budget dones remain anywhere: take one to
-            // guarantee progress (footnote 11's rare degradation).
+            // Only over-budget dones remain inside the window: take one
+            // to guarantee progress (footnote 11's rare degradation),
+            // still preferring window-admissible work.
+            .or_else(|| in_ready.iter().rev().copied().find(|&id| admits(id)))
+            .or_else(|| in_pending.iter().rev().copied().find(|&id| admits(id)))
+            // Nothing admissible at all (defensive; monotone tags make
+            // this unreachable — the frontier layer always has a ready
+            // instruction): ignore the window rather than deadlock.
             .or_else(|| in_ready.last().copied())
             .or_else(|| in_pending.last().copied())
             .expect("a queue is non-empty");
@@ -272,6 +415,9 @@ fn bottom_up_impl(
         debug_assert!(!scheduled[candidate.index()]);
         scheduled[candidate.index()] = true;
         reverse_seq.push(candidate);
+        if let Some(c) = cursor.as_mut() {
+            c.on_scheduled(candidate);
+        }
         if is_done(candidate) {
             inflight_async += 1;
         } else if is_start(candidate) {
@@ -364,10 +510,15 @@ fn bottom_up_impl(
 pub fn schedule_top_down(module: &Module, machine: &Machine) -> Vec<InstrId> {
     module.verify().expect("schedule requires a verified module");
     let users = module.users();
-    top_down_impl(module, machine, &users)
+    top_down_impl(module, machine, &users, None)
 }
 
-fn top_down_impl(module: &Module, machine: &Machine, users: &[Vec<InstrId>]) -> Vec<InstrId> {
+fn top_down_impl(
+    module: &Module,
+    machine: &Machine,
+    users: &[Vec<InstrId>],
+    window: Option<&ScheduleWindow>,
+) -> Vec<InstrId> {
     let n = module.len();
     let mut remaining_deps: Vec<usize> =
         module.iter().map(|(_, ins)| ins.operands().len()).collect();
@@ -397,14 +548,38 @@ fn top_down_impl(module: &Module, machine: &Machine, users: &[Vec<InstrId>]) -> 
         }
     };
 
+    // The forward pass consumes the module bottom-up by *layer*: the
+    // frontier starts at layer 0 and an instruction of layer `l` is
+    // admissible while `l < frontier + window`.
+    let mut cursor = window.map(|w| WindowCursor::new(w, true));
+
     while !ready.is_empty() {
-        // Lowest class first; ties by original position (input order).
+        // Lowest class first; ties prefer the frontier stage (the
+        // window's cross-boundary freedom is a filler, not a default),
+        // then original position (input order).
+        let admits = |id: InstrId| match &cursor {
+            Some(c) => c.admits(id),
+            None => true,
+        };
+        let near = |id: InstrId| match &cursor {
+            Some(c) => c.distance(id),
+            None => 0,
+        };
         let best = ready
             .iter()
             .copied()
-            .min_by_key(|&id| (class(id, inflight), id.index()))
+            .filter(|&id| admits(id))
+            .min_by_key(|&id| (near(id), class(id, inflight), id.index()))
+            // Defensive (unreachable with monotone tags): ignore the
+            // window rather than deadlock.
+            .or_else(|| {
+                ready.iter().copied().min_by_key(|&id| (class(id, inflight), id.index()))
+            })
             .expect("ready non-empty");
         ready.retain(|&x| x != best);
+        if let Some(c) = cursor.as_mut() {
+            c.on_scheduled(best);
+        }
         match module.instr(best).op() {
             Op::CollectivePermuteStart { .. } => inflight += 1,
             Op::CollectivePermuteDone => inflight = inflight.saturating_sub(1),
@@ -518,5 +693,106 @@ mod tests {
         let machine = Machine::tpu_v4_like(1);
         let order = schedule_bottom_up(&m, &machine);
         assert_eq!(order, vec![x, c, c2]);
+    }
+
+    /// `stages` chained einsum stages, each tagged `L<k>.`; every stage
+    /// also carries an async permute of the *previous* stage's output so
+    /// windows > 1 have something to hoist across the stage boundary.
+    fn stacked_tagged(stages: usize) -> Module {
+        let mut b = Builder::new("m", 2);
+        let mut x = b.parameter(f32s(&[256, 256]), "L0.x");
+        let mut outs = Vec::new();
+        for k in 0..stages {
+            let w = b.parameter(f32s(&[256, 256]), &format!("L{k}.w"));
+            x = b.einsum(x, w, DotDims::matmul(), &format!("L{k}.h"));
+            let s = b.collective_permute_start(
+                x,
+                vec![(0, 1), (1, 0)],
+                &format!("L{k}.p"),
+            );
+            let d = b.collective_permute_done(s, &format!("L{k}.pd"));
+            outs.push(b.reshape(d, vec![256 * 256], &format!("L{k}.out")));
+        }
+        b.build(vec![outs.pop().unwrap()])
+    }
+
+    #[test]
+    fn window_is_inert_on_untagged_modules() {
+        let (m, _, _, _) = overlap_opportunity();
+        let tags = LayerTags::of(&m);
+        assert!(ScheduleWindow::new(&tags, 1).is_none());
+        assert!(ScheduleWindow::new(&tags, 4).is_none());
+        // A window at least as wide as the stage count constrains nothing.
+        let stacked = stacked_tagged(3);
+        let tags = LayerTags::of(&stacked);
+        assert!(ScheduleWindow::new(&tags, 3).is_none());
+        assert!(ScheduleWindow::new(&tags, 2).is_some());
+    }
+
+    #[test]
+    fn none_window_context_matches_plain_schedulers() {
+        let m = stacked_tagged(3);
+        let machine = Machine::tpu_v4_like(2);
+        let table = CostTable::new(&m, &machine).unwrap();
+        let analysis = ModuleAnalysis::of(&m);
+        let ctx = ScheduleContext::new(&table, &analysis, &m, &machine).with_window(None);
+        assert_eq!(
+            schedule_bottom_up_ctx(&ctx, &m, &machine),
+            schedule_bottom_up_with(&table, &m, &machine)
+        );
+        assert_eq!(schedule_top_down_ctx(&ctx, &m, &machine), schedule_top_down(&m, &machine));
+    }
+
+    #[test]
+    fn window_one_enforces_stage_barriers() {
+        let m = stacked_tagged(3);
+        let machine = Machine::tpu_v4_like(2);
+        let table = CostTable::new(&m, &machine).unwrap();
+        let analysis = ModuleAnalysis::of(&m);
+        let tags = LayerTags::of(&m);
+        let ctx = ScheduleContext::new(&table, &analysis, &m, &machine)
+            .with_window(ScheduleWindow::new(&tags, 1));
+        for order in
+            [schedule_bottom_up_ctx(&ctx, &m, &machine), schedule_top_down_ctx(&ctx, &m, &machine)]
+        {
+            assert_eq!(order.len(), m.len());
+            simulate_order(&m, &machine, &order).unwrap();
+            // Strict barriers: stage tags are non-decreasing along the order.
+            let stage_seq: Vec<u32> = order.iter().map(|&id| tags.layer_of(id)).collect();
+            let mut sorted = stage_seq.clone();
+            sorted.sort_unstable();
+            assert_eq!(stage_seq, sorted, "window=1 must not interleave stages");
+        }
+    }
+
+    #[test]
+    fn windowed_orders_are_valid_and_bounded() {
+        let m = stacked_tagged(4);
+        let machine = Machine::tpu_v4_like(2);
+        let table = CostTable::new(&m, &machine).unwrap();
+        let analysis = ModuleAnalysis::of(&m);
+        let tags = LayerTags::of(&m);
+        for w in [2usize, 3] {
+            let ctx = ScheduleContext::new(&table, &analysis, &m, &machine)
+                .with_window(ScheduleWindow::new(&tags, w));
+            for order in [
+                schedule_bottom_up_ctx(&ctx, &m, &machine),
+                schedule_top_down_ctx(&ctx, &m, &machine),
+            ] {
+                assert_eq!(order.len(), m.len());
+                simulate_order(&m, &machine, &order).unwrap();
+                // Any two instructions more than `w` stages apart must
+                // respect stage order (the window bounds interleaving).
+                for (i, &a) in order.iter().enumerate() {
+                    for &b in &order[i + 1..] {
+                        let (la, lb) = (tags.layer_of(a), tags.layer_of(b));
+                        assert!(
+                            lb + (w as u32) > la,
+                            "stage {lb} scheduled after stage {la} with window {w}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -146,6 +146,17 @@ pub struct StrategySpec {
     pub fusion: FusionAggressiveness,
     /// 1D-vs-2D partitioning hint for the model-building layer.
     pub partitioning: PartitionHint,
+    /// Cross-layer scheduling window, in layers. The schedulers may
+    /// interleave instructions of up to this many consecutive layers of
+    /// a layer-tagged module (`L<k>.`-prefixed names, as built by
+    /// `overlap-models`' stacked window modules): collectives issued in
+    /// layer `k+1` can overlap compute of layer `k`, and vice versa in
+    /// the bottom-up pass. `1` keeps strict per-layer barriers and is
+    /// the default; on modules without layer tags (every single-layer
+    /// figure module) the knob is inert. Only values `> 1` are hashed
+    /// into the fingerprint, so `window_layers = 1` artifacts stay
+    /// byte-identical to pre-window ones.
+    pub window_layers: usize,
 }
 
 impl Default for StrategySpec {
@@ -167,6 +178,7 @@ impl StrategySpec {
             reduce_scatter: PatternStrategy::default(),
             fusion: FusionAggressiveness::OverlapAware,
             partitioning: PartitionHint::Auto,
+            window_layers: 1,
         }
     }
 
@@ -226,6 +238,16 @@ impl StrategySpec {
                     .to_string(),
             );
         }
+        if self.window_layers == 0 {
+            return Err("window_layers must be at least 1".to_string());
+        }
+        if self.window_layers > 8 {
+            return Err(format!(
+                "window_layers {} is unreasonably large (max 8): the stacked window \
+                 modules keep at most a handful of layers in flight",
+                self.window_layers
+            ));
+        }
         Ok(())
     }
 
@@ -249,6 +271,13 @@ impl StrategySpec {
             PartitionHint::OneD => "1d",
             PartitionHint::TwoD => "2d",
         });
+        // Hashed only when widened: `window_layers = 1` strategies must
+        // keep the exact pre-window fingerprints so every historical
+        // artifact-cache key and committed figure stays byte-identical.
+        if self.window_layers > 1 {
+            h.write_str("window");
+            h.write_usize(self.window_layers);
+        }
         h.finish()
     }
 
@@ -265,8 +294,13 @@ impl StrategySpec {
             PartitionHint::OneD => " part=1d".to_string(),
             PartitionHint::TwoD => " part=2d".to_string(),
         };
+        let window = if self.window_layers > 1 {
+            format!(" window={}", self.window_layers)
+        } else {
+            String::new()
+        };
         format!(
-            "ag[{}] rs[{}] fusion={fusion}{part}",
+            "ag[{}] rs[{}] fusion={fusion}{part}{window}",
             self.all_gather.describe(),
             self.reduce_scatter.describe(),
         )
@@ -311,6 +345,13 @@ impl StrategySpec {
     #[must_use]
     pub fn with_fusion(mut self, fusion: FusionAggressiveness) -> Self {
         self.fusion = fusion;
+        self
+    }
+
+    /// Sets the cross-layer scheduling window (in layers).
+    #[must_use]
+    pub fn with_window_layers(mut self, window_layers: usize) -> Self {
+        self.window_layers = window_layers;
         self
     }
 }
@@ -358,6 +399,28 @@ mod tests {
         let mut rs_chunked = StrategySpec::paper_default();
         rs_chunked.reduce_scatter.chunk = 2;
         assert!(rs_chunked.validate().is_err());
+        assert!(StrategySpec::paper_default().with_window_layers(0).validate().is_err());
+        assert!(StrategySpec::paper_default().with_window_layers(9).validate().is_err());
+        assert!(StrategySpec::paper_default().with_window_layers(4).validate().is_ok());
+    }
+
+    #[test]
+    fn window_one_is_fingerprint_and_describe_neutral() {
+        // `window_layers = 1` must be indistinguishable from the
+        // pre-window strategy everywhere a key or banner is derived, so
+        // historical artifacts and committed figures stay byte-identical.
+        let base = StrategySpec::paper_default();
+        let explicit = base.with_window_layers(1);
+        assert_eq!(explicit.fingerprint(), base.fingerprint());
+        assert_eq!(explicit.describe(), base.describe());
+        let windowed = base.with_window_layers(2);
+        assert_ne!(windowed.fingerprint(), base.fingerprint());
+        assert_ne!(
+            windowed.fingerprint(),
+            base.with_window_layers(4).fingerprint(),
+            "distinct windows must not collide"
+        );
+        assert!(windowed.describe().contains("window=2"), "{}", windowed.describe());
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod error;
 mod fingerprint;
 mod instr;
 mod json;
+mod layers;
 mod module;
 mod ops;
 mod print;
@@ -66,6 +67,7 @@ pub use dtype::DType;
 pub use einsum::DotDims;
 pub use error::HloError;
 pub use instr::{InstrId, Instruction};
+pub use layers::LayerTags;
 pub use module::{FusionGroup, FusionId, Module};
 pub use ops::{BinaryKind, CollectiveOp, Op, PadDim, ReplicaGroups, UnaryKind};
 pub use shape::Shape;

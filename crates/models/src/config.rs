@@ -3,7 +3,7 @@
 use overlap_hlo::Module;
 use overlap_mesh::{DeviceMesh, Machine};
 
-use crate::layer::build_layer_module;
+use crate::layer::{build_layer_module, build_window_module};
 
 /// Architecture family of an evaluated model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +110,20 @@ impl ModelConfig {
     #[must_use]
     pub fn layer_module(&self) -> Module {
         build_layer_module(self)
+    }
+
+    /// Builds the `depth`-layer stacked step module whose instructions
+    /// carry `L<k>.` scheduling-stage prefixes (forward layer *i* →
+    /// stage *i*, backward layer *i* → stage `2·depth−1−i`), the input
+    /// the cross-layer windowed scheduler (`StrategySpec::window_layers`)
+    /// operates on. `depth <= 1` is exactly [`ModelConfig::layer_module`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hyperparameters do not divide by the mesh.
+    #[must_use]
+    pub fn window_module(&self, depth: usize) -> Module {
+        build_window_module(self, depth)
     }
 }
 

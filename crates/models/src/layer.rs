@@ -69,59 +69,135 @@ fn dw_dims() -> DotDims {
     DotDims::new(vec![], vec![(0, 0)]).expect("static dims")
 }
 
+/// The four projection weights of one layer (parameter ids).
+struct Weights {
+    w_qkv: InstrId,
+    w_o: InstrId,
+    w_in: InstrId,
+    w_out: InstrId,
+}
+
+/// Forward activations one backward chain needs (all post-routing where
+/// the architecture routes).
+struct FwdActs {
+    qkv: InstrId,
+    attn: InstrId,
+    h_pre: InstrId,
+    h: InstrId,
+    out: InstrId,
+}
+
+/// The 2-D sharding assignment of Fig. 3: activations `[tokens/y,
+/// feature/x]`; weights alternate `[y, x]` (gather-gather einsums) and
+/// `[x, y]` (gather + reduce-scatter einsums).
+struct Shard2d {
+    act: TensorSharding,
+    w_yx: TensorSharding,
+    w_xy: TensorSharding,
+}
+
+impl Shard2d {
+    fn new() -> Self {
+        let (x_ax, y_ax) = (Axis(0), Axis(1));
+        Shard2d {
+            act: TensorSharding::new(vec![Some(y_ax), Some(x_ax)]),
+            w_yx: TensorSharding::new(vec![Some(y_ax), Some(x_ax)]),
+            w_xy: TensorSharding::new(vec![Some(x_ax), Some(y_ax)]),
+        }
+    }
+}
+
+/// Forward chain of the 2-D layer, every instruction name prefixed with
+/// `p` (the single-layer module passes `""`; the stacked window module
+/// passes the `L<k>.` stage tag the cross-layer scheduler keys on).
+fn fwd_chain_2d(
+    cfg: &ModelConfig,
+    cx: &mut Ctx<'_>,
+    s: &Shard2d,
+    p: &str,
+    x0: InstrId,
+    w: &Weights,
+) -> FwdActs {
+    let t = cfg.tokens_per_replica();
+    let mm = DotDims::matmul();
+    let qkv = cx.einsum(x0, &s.act, w.w_qkv, &s.w_yx, mm.clone(), &s.act, &format!("{p}fwd_qkv"));
+    let attn =
+        cx.einsum(qkv, &s.act, w.w_o, &s.w_xy, mm.clone(), &s.act, &format!("{p}fwd_attn_out"));
+    let attn = maybe_moe_route(cfg, cx, attn, t, &format!("{p}fwd_route_in"));
+    let h_pre =
+        cx.einsum(attn, &s.act, w.w_in, &s.w_yx, mm.clone(), &s.act, &format!("{p}fwd_mlp_in"));
+    let h = cx.b.relu(h_pre, &format!("{p}fwd_mlp_act"));
+    let out = cx.einsum(h, &s.act, w.w_out, &s.w_xy, mm, &s.act, &format!("{p}fwd_mlp_out"));
+    let out = maybe_moe_route(cfg, cx, out, t, &format!("{p}fwd_route_out"));
+    FwdActs { qkv, attn, h_pre, h, out }
+}
+
+/// Backward chain of the 2-D layer (activation-gradient chain + weight
+/// gradients). Returns `(dx0, [dw_qkv, dw_o, dw_in, dw_out])`.
+// One positional arg over clippy's limit; the callers (single-layer and
+// stacked builders) read naturally with the full signature.
+#[allow(clippy::too_many_arguments)]
+fn bwd_chain_2d(
+    cfg: &ModelConfig,
+    cx: &mut Ctx<'_>,
+    s: &Shard2d,
+    p: &str,
+    x0: InstrId,
+    w: &Weights,
+    fwd: &FwdActs,
+    d_out: InstrId,
+) -> (InstrId, [InstrId; 4]) {
+    let t = cfg.tokens_per_replica();
+    let d_out = maybe_moe_route(cfg, cx, d_out, t, &format!("{p}bwd_route_out"));
+    let dh =
+        cx.einsum(d_out, &s.act, w.w_out, &s.w_xy, dx_dims(), &s.act, &format!("{p}bwd_mlp_out_dx"));
+    let dh = maybe_t5_residue(cfg, cx, dh, &format!("{p}bwd_t5_residue_wide"));
+    let dw_out =
+        cx.einsum(fwd.h, &s.act, d_out, &s.act, dw_dims(), &s.w_xy, &format!("{p}bwd_mlp_out_dw"));
+    // Backward through the activation: dh_pre = dh ∘ step(h_pre).
+    let mask = cx.b.step(fwd.h_pre, &format!("{p}bwd_mlp_act_mask"));
+    let dh = cx.b.mul(dh, mask, &format!("{p}bwd_mlp_act"));
+    let d_attn =
+        cx.einsum(dh, &s.act, w.w_in, &s.w_yx, dx_dims(), &s.act, &format!("{p}bwd_mlp_in_dx"));
+    let dw_in =
+        cx.einsum(fwd.attn, &s.act, dh, &s.act, dw_dims(), &s.w_yx, &format!("{p}bwd_mlp_in_dw"));
+    let d_attn = maybe_moe_route(cfg, cx, d_attn, t, &format!("{p}bwd_route_in"));
+    let d_attn = maybe_t5_residue(cfg, cx, d_attn, &format!("{p}bwd_t5_residue"));
+    let d_qkv =
+        cx.einsum(d_attn, &s.act, w.w_o, &s.w_xy, dx_dims(), &s.act, &format!("{p}bwd_attn_out_dx"));
+    let dw_o = cx
+        .einsum(fwd.qkv, &s.act, d_attn, &s.act, dw_dims(), &s.w_xy, &format!("{p}bwd_attn_out_dw"));
+    let dx0 =
+        cx.einsum(d_qkv, &s.act, w.w_qkv, &s.w_yx, dx_dims(), &s.act, &format!("{p}bwd_qkv_dx"));
+    let dw_qkv =
+        cx.einsum(x0, &s.act, d_qkv, &s.act, dw_dims(), &s.w_yx, &format!("{p}bwd_qkv_dw"));
+    (dx0, [dw_qkv, dw_o, dw_in, dw_out])
+}
+
 fn build_2d(cfg: &ModelConfig, mesh: &DeviceMesh) -> Module {
-    let (x_ax, y_ax) = (Axis(0), Axis(1));
     let t = cfg.tokens_per_replica();
     let d = cfg.model_dim;
     let d3 = 3 * d;
     let f = cfg.ff_dim;
-
-    // Shardings: activations [tokens/y, feature/x]; weights alternate
-    // [y, x] (gather-gather einsums) and [x, y] (gather + reduce-scatter
-    // einsums), as in Fig. 3.
-    let act = TensorSharding::new(vec![Some(y_ax), Some(x_ax)]);
-    let w_yx = TensorSharding::new(vec![Some(y_ax), Some(x_ax)]);
-    let w_xy = TensorSharding::new(vec![Some(x_ax), Some(y_ax)]);
+    let s = Shard2d::new();
 
     let mut cx = Ctx { b: Builder::new(format!("{}_layer", cfg.name), mesh.num_devices()), mesh };
 
     // Parameters: layer input, output gradient, and the four weights.
-    let x0 = cx.param(&[t, d], &act, "x0");
-    let d_out = cx.param(&[t, d], &act, "d_out");
-    let w_qkv = cx.param(&[d, d3], &w_yx, "w_qkv");
-    let w_o = cx.param(&[d3, d], &w_xy, "w_o");
-    let w_in = cx.param(&[d, f], &w_yx, "w_in");
-    let w_out = cx.param(&[f, d], &w_xy, "w_out");
+    let x0 = cx.param(&[t, d], &s.act, "x0");
+    let d_out = cx.param(&[t, d], &s.act, "d_out");
+    let w = Weights {
+        w_qkv: cx.param(&[d, d3], &s.w_yx, "w_qkv"),
+        w_o: cx.param(&[d3, d], &s.w_xy, "w_o"),
+        w_in: cx.param(&[d, f], &s.w_yx, "w_in"),
+        w_out: cx.param(&[f, d], &s.w_xy, "w_out"),
+    };
 
-    let mm = DotDims::matmul();
+    let fwd = fwd_chain_2d(cfg, &mut cx, &s, "", x0, &w);
+    let (dx0, [dw_qkv, dw_o, dw_in, dw_out]) =
+        bwd_chain_2d(cfg, &mut cx, &s, "", x0, &w, &fwd, d_out);
 
-    // ---- Forward ----
-    let qkv = cx.einsum(x0, &act, w_qkv, &w_yx, mm.clone(), &act, "fwd_qkv");
-    let attn = cx.einsum(qkv, &act, w_o, &w_xy, mm.clone(), &act, "fwd_attn_out");
-    let attn = maybe_moe_route(cfg, &mut cx, attn, t, "fwd_route_in");
-    let h_pre = cx.einsum(attn, &act, w_in, &w_yx, mm.clone(), &act, "fwd_mlp_in");
-    let h = cx.b.relu(h_pre, "fwd_mlp_act");
-    let out = cx.einsum(h, &act, w_out, &w_xy, mm, &act, "fwd_mlp_out");
-    let out = maybe_moe_route(cfg, &mut cx, out, t, "fwd_route_out");
-
-    // ---- Backward (activation-gradient chain + weight gradients) ----
-    let d_out = maybe_moe_route(cfg, &mut cx, d_out, t, "bwd_route_out");
-    let dh = cx.einsum(d_out, &act, w_out, &w_xy, dx_dims(), &act, "bwd_mlp_out_dx");
-    let dh = maybe_t5_residue(cfg, &mut cx, dh, "bwd_t5_residue_wide");
-    let dw_out = cx.einsum(h, &act, d_out, &act, dw_dims(), &w_xy, "bwd_mlp_out_dw");
-    // Backward through the activation: dh_pre = dh ∘ step(h_pre).
-    let mask = cx.b.step(h_pre, "bwd_mlp_act_mask");
-    let dh = cx.b.mul(dh, mask, "bwd_mlp_act");
-    let d_attn = cx.einsum(dh, &act, w_in, &w_yx, dx_dims(), &act, "bwd_mlp_in_dx");
-    let dw_in = cx.einsum(attn, &act, dh, &act, dw_dims(), &w_yx, "bwd_mlp_in_dw");
-    let d_attn = maybe_moe_route(cfg, &mut cx, d_attn, t, "bwd_route_in");
-    let d_attn = maybe_t5_residue(cfg, &mut cx, d_attn, "bwd_t5_residue");
-    let d_qkv = cx.einsum(d_attn, &act, w_o, &w_xy, dx_dims(), &act, "bwd_attn_out_dx");
-    let dw_o = cx.einsum(qkv, &act, d_attn, &act, dw_dims(), &w_xy, "bwd_attn_out_dw");
-    let dx0 = cx.einsum(d_qkv, &act, w_qkv, &w_yx, dx_dims(), &act, "bwd_qkv_dx");
-    let dw_qkv = cx.einsum(x0, &act, d_qkv, &act, dw_dims(), &w_yx, "bwd_qkv_dw");
-
-    cx.b.build(vec![out, dx0, dw_qkv, dw_o, dw_in, dw_out])
+    cx.b.build(vec![fwd.out, dx0, dw_qkv, dw_o, dw_in, dw_out])
 }
 
 /// MoE expert routing: a shape-preserving `AllToAll` over all partitions
@@ -150,47 +226,214 @@ fn maybe_t5_residue(cfg: &ModelConfig, cx: &mut Ctx<'_>, x: InstrId, name: &str)
     cx.b.all_to_all(x, 0, 0, groups, name)
 }
 
+/// The 1-D sharding assignment of Fig. 2: activations keep their batch
+/// shard; weights are stored row-sharded and gathered before each einsum.
+struct Shard1d {
+    act: TensorSharding,
+    w_row: TensorSharding,
+}
+
+impl Shard1d {
+    fn new() -> Self {
+        let ax = Axis(0);
+        Shard1d {
+            act: TensorSharding::new(vec![Some(ax), None]),
+            w_row: TensorSharding::new(vec![Some(ax), None]),
+        }
+    }
+}
+
+/// Forward chain of the 1-D layer (see [`fwd_chain_2d`] for the prefix
+/// convention).
+fn fwd_chain_1d(cx: &mut Ctx<'_>, s: &Shard1d, p: &str, x0: InstrId, w: &Weights) -> FwdActs {
+    let mm = DotDims::matmul();
+    let qkv = cx.einsum(x0, &s.act, w.w_qkv, &s.w_row, mm.clone(), &s.act, &format!("{p}fwd_qkv"));
+    let attn =
+        cx.einsum(qkv, &s.act, w.w_o, &s.w_row, mm.clone(), &s.act, &format!("{p}fwd_attn_out"));
+    let h_pre =
+        cx.einsum(attn, &s.act, w.w_in, &s.w_row, mm.clone(), &s.act, &format!("{p}fwd_mlp_in"));
+    let h = cx.b.relu(h_pre, &format!("{p}fwd_mlp_act"));
+    let out = cx.einsum(h, &s.act, w.w_out, &s.w_row, mm, &s.act, &format!("{p}fwd_mlp_out"));
+    FwdActs { qkv, attn, h_pre, h, out }
+}
+
+/// Backward chain of the 1-D layer: dX einsums re-gather weights; dW
+/// einsums contract the batch-sharded token dimension -> ReduceScatter
+/// onto the row shard. Returns `(dx0, [dw_qkv, dw_o, dw_in, dw_out])`.
+fn bwd_chain_1d(
+    cx: &mut Ctx<'_>,
+    s: &Shard1d,
+    p: &str,
+    x0: InstrId,
+    w: &Weights,
+    fwd: &FwdActs,
+    d_out: InstrId,
+) -> (InstrId, [InstrId; 4]) {
+    let dh = cx.einsum(
+        d_out,
+        &s.act,
+        w.w_out,
+        &s.w_row.clone(),
+        dx_dims(),
+        &s.act,
+        &format!("{p}bwd_mlp_out_dx"),
+    );
+    let dw_out =
+        cx.einsum(fwd.h, &s.act, d_out, &s.act, dw_dims(), &s.w_row, &format!("{p}bwd_mlp_out_dw"));
+    let mask = cx.b.step(fwd.h_pre, &format!("{p}bwd_mlp_act_mask"));
+    let dh = cx.b.mul(dh, mask, &format!("{p}bwd_mlp_act"));
+    let d_attn =
+        cx.einsum(dh, &s.act, w.w_in, &s.w_row, dx_dims(), &s.act, &format!("{p}bwd_mlp_in_dx"));
+    let dw_in =
+        cx.einsum(fwd.attn, &s.act, dh, &s.act, dw_dims(), &s.w_row, &format!("{p}bwd_mlp_in_dw"));
+    let d_qkv =
+        cx.einsum(d_attn, &s.act, w.w_o, &s.w_row, dx_dims(), &s.act, &format!("{p}bwd_attn_out_dx"));
+    let dw_o = cx
+        .einsum(fwd.qkv, &s.act, d_attn, &s.act, dw_dims(), &s.w_row, &format!("{p}bwd_attn_out_dw"));
+    let dx0 =
+        cx.einsum(d_qkv, &s.act, w.w_qkv, &s.w_row, dx_dims(), &s.act, &format!("{p}bwd_qkv_dx"));
+    let dw_qkv =
+        cx.einsum(x0, &s.act, d_qkv, &s.act, dw_dims(), &s.w_row, &format!("{p}bwd_qkv_dw"));
+    (dx0, [dw_qkv, dw_o, dw_in, dw_out])
+}
+
 fn build_1d(cfg: &ModelConfig, mesh: &DeviceMesh) -> Module {
-    let ax = Axis(0);
     let t = cfg.tokens_per_replica();
     let d = cfg.model_dim;
     let d3 = 3 * d;
     let f = cfg.ff_dim;
-
-    // Fig. 2: activations keep their batch shard; weights are stored
-    // row-sharded and gathered before each einsum.
-    let act = TensorSharding::new(vec![Some(ax), None]);
-    let w_row = TensorSharding::new(vec![Some(ax), None]);
+    let s = Shard1d::new();
 
     let mut cx = Ctx { b: Builder::new(format!("{}_layer", cfg.name), mesh.num_devices()), mesh };
-    let x0 = cx.param(&[t, d], &act, "x0");
-    let d_out = cx.param(&[t, d], &act, "d_out");
-    let w_qkv = cx.param(&[d, d3], &w_row, "w_qkv");
-    let w_o = cx.param(&[d3, d], &w_row, "w_o");
-    let w_in = cx.param(&[d, f], &w_row, "w_in");
-    let w_out = cx.param(&[f, d], &w_row, "w_out");
+    let x0 = cx.param(&[t, d], &s.act, "x0");
+    let d_out = cx.param(&[t, d], &s.act, "d_out");
+    let w = Weights {
+        w_qkv: cx.param(&[d, d3], &s.w_row, "w_qkv"),
+        w_o: cx.param(&[d3, d], &s.w_row, "w_o"),
+        w_in: cx.param(&[d, f], &s.w_row, "w_in"),
+        w_out: cx.param(&[f, d], &s.w_row, "w_out"),
+    };
 
-    let mm = DotDims::matmul();
-    let qkv = cx.einsum(x0, &act, w_qkv, &w_row, mm.clone(), &act, "fwd_qkv");
-    let attn = cx.einsum(qkv, &act, w_o, &w_row, mm.clone(), &act, "fwd_attn_out");
-    let h_pre = cx.einsum(attn, &act, w_in, &w_row, mm.clone(), &act, "fwd_mlp_in");
-    let h = cx.b.relu(h_pre, "fwd_mlp_act");
-    let out = cx.einsum(h, &act, w_out, &w_row, mm, &act, "fwd_mlp_out");
+    let fwd = fwd_chain_1d(&mut cx, &s, "", x0, &w);
+    let (dx0, [dw_qkv, dw_o, dw_in, dw_out]) =
+        bwd_chain_1d(&mut cx, &s, "", x0, &w, &fwd, d_out);
 
-    // Backward: dX einsums re-gather weights; dW einsums contract the
-    // batch-sharded token dimension -> ReduceScatter onto the row shard.
-    let dh = cx.einsum(d_out, &act, w_out, &w_row.clone(), dx_dims(), &act, "bwd_mlp_out_dx");
-    let dw_out = cx.einsum(h, &act, d_out, &act, dw_dims(), &w_row, "bwd_mlp_out_dw");
-    let mask = cx.b.step(h_pre, "bwd_mlp_act_mask");
-    let dh = cx.b.mul(dh, mask, "bwd_mlp_act");
-    let d_attn = cx.einsum(dh, &act, w_in, &w_row, dx_dims(), &act, "bwd_mlp_in_dx");
-    let dw_in = cx.einsum(attn, &act, dh, &act, dw_dims(), &w_row, "bwd_mlp_in_dw");
-    let d_qkv = cx.einsum(d_attn, &act, w_o, &w_row, dx_dims(), &act, "bwd_attn_out_dx");
-    let dw_o = cx.einsum(qkv, &act, d_attn, &act, dw_dims(), &w_row, "bwd_attn_out_dw");
-    let dx0 = cx.einsum(d_qkv, &act, w_qkv, &w_row, dx_dims(), &act, "bwd_qkv_dx");
-    let dw_qkv = cx.einsum(x0, &act, d_qkv, &act, dw_dims(), &w_row, "bwd_qkv_dw");
+    cx.b.build(vec![fwd.out, dx0, dw_qkv, dw_o, dw_in, dw_out])
+}
 
-    cx.b.build(vec![out, dx0, dw_qkv, dw_o, dw_in, dw_out])
+/// Builds the `depth`-layer training-step window module for `cfg`:
+/// `depth` stacked copies of the layer (forward chained bottom-up, then
+/// the full backward chain top-down), with every instruction of forward
+/// layer *i* name-prefixed `L<i>.` and of backward layer *i* prefixed
+/// `L<2·depth−1−i>.` — `2·depth` *scheduling stages* in execution order.
+/// The backward stage numbering keeps the tags monotone along dataflow
+/// (the dx chain flows from stage `depth` down through layer 0's
+/// backward at stage `2·depth−1`), which is what lets the cross-layer
+/// windowed schedulers in `overlap-core` bound their lookahead without
+/// deadlock. `depth <= 1` returns the plain (untagged) single-layer
+/// module unchanged.
+///
+/// # Panics
+///
+/// Panics if the hyperparameters do not divide the mesh.
+#[must_use]
+pub fn build_window_module(cfg: &ModelConfig, depth: usize) -> Module {
+    if depth <= 1 {
+        return build_layer_module(cfg);
+    }
+    let mesh = cfg.mesh();
+    match cfg.strategy {
+        PartitionStrategy::TwoD => build_2d_stacked(cfg, &mesh, depth),
+        PartitionStrategy::OneD => build_1d_stacked(cfg, &mesh, depth),
+    }
+}
+
+fn build_2d_stacked(cfg: &ModelConfig, mesh: &DeviceMesh, depth: usize) -> Module {
+    let t = cfg.tokens_per_replica();
+    let d = cfg.model_dim;
+    let d3 = 3 * d;
+    let f = cfg.ff_dim;
+    let s = Shard2d::new();
+
+    let mut cx = Ctx {
+        b: Builder::new(format!("{}_window{}", cfg.name, depth), mesh.num_devices()),
+        mesh,
+    };
+
+    // Forward stages L0..L<depth-1>, each consuming the previous output.
+    let mut x = cx.param(&[t, d], &s.act, "L0.x0");
+    let mut layers: Vec<(InstrId, Weights, FwdActs)> = Vec::with_capacity(depth);
+    for i in 0..depth {
+        let p = format!("L{i}.");
+        let w = Weights {
+            w_qkv: cx.param(&[d, d3], &s.w_yx, &format!("{p}w_qkv")),
+            w_o: cx.param(&[d3, d], &s.w_xy, &format!("{p}w_o")),
+            w_in: cx.param(&[d, f], &s.w_yx, &format!("{p}w_in")),
+            w_out: cx.param(&[f, d], &s.w_xy, &format!("{p}w_out")),
+        };
+        let fwd = fwd_chain_2d(cfg, &mut cx, &s, &p, x, &w);
+        let next = fwd.out;
+        layers.push((x, w, fwd));
+        x = next;
+    }
+
+    // Backward stages L<depth>..L<2·depth-1>, top layer first.
+    let mut grad = cx.param(&[t, d], &s.act, &format!("L{depth}.d_out"));
+    let mut outputs = vec![x];
+    let mut dws: Vec<InstrId> = Vec::with_capacity(4 * depth);
+    for i in (0..depth).rev() {
+        let p = format!("L{}.", 2 * depth - 1 - i);
+        let (x_in, w, fwd) = &layers[i];
+        let (dx, dw4) = bwd_chain_2d(cfg, &mut cx, &s, &p, *x_in, w, fwd, grad);
+        grad = dx;
+        dws.extend(dw4);
+    }
+    outputs.push(grad);
+    outputs.extend(dws);
+    cx.b.build(outputs)
+}
+
+fn build_1d_stacked(cfg: &ModelConfig, mesh: &DeviceMesh, depth: usize) -> Module {
+    let t = cfg.tokens_per_replica();
+    let d = cfg.model_dim;
+    let d3 = 3 * d;
+    let f = cfg.ff_dim;
+    let s = Shard1d::new();
+
+    let mut cx = Ctx {
+        b: Builder::new(format!("{}_window{}", cfg.name, depth), mesh.num_devices()),
+        mesh,
+    };
+
+    let mut x = cx.param(&[t, d], &s.act, "L0.x0");
+    let mut layers: Vec<(InstrId, Weights, FwdActs)> = Vec::with_capacity(depth);
+    for i in 0..depth {
+        let p = format!("L{i}.");
+        let w = Weights {
+            w_qkv: cx.param(&[d, d3], &s.w_row, &format!("{p}w_qkv")),
+            w_o: cx.param(&[d3, d], &s.w_row, &format!("{p}w_o")),
+            w_in: cx.param(&[d, f], &s.w_row, &format!("{p}w_in")),
+            w_out: cx.param(&[f, d], &s.w_row, &format!("{p}w_out")),
+        };
+        let fwd = fwd_chain_1d(&mut cx, &s, &p, x, &w);
+        let next = fwd.out;
+        layers.push((x, w, fwd));
+        x = next;
+    }
+
+    let mut grad = cx.param(&[t, d], &s.act, &format!("L{depth}.d_out"));
+    let mut outputs = vec![x];
+    let mut dws: Vec<InstrId> = Vec::with_capacity(4 * depth);
+    for i in (0..depth).rev() {
+        let p = format!("L{}.", 2 * depth - 1 - i);
+        let (x_in, w, fwd) = &layers[i];
+        let (dx, dw4) = bwd_chain_1d(&mut cx, &s, &p, *x_in, w, fwd, grad);
+        grad = dx;
+        dws.extend(dw4);
+    }
+    outputs.push(grad);
+    outputs.extend(dws);
+    cx.b.build(outputs)
 }
 
 #[cfg(test)]
@@ -276,5 +519,77 @@ mod tests {
                 cfg.name
             );
         }
+    }
+
+    #[test]
+    fn window_depth_one_is_the_plain_layer_module() {
+        for cfg in [tiny_2d(), tiny_1d()] {
+            assert_eq!(
+                cfg.window_module(1).fingerprint(),
+                cfg.layer_module().fingerprint(),
+                "{}",
+                cfg.name
+            );
+            assert_eq!(
+                cfg.window_module(0).fingerprint(),
+                cfg.layer_module().fingerprint(),
+                "{}",
+                cfg.name
+            );
+        }
+    }
+
+    fn tiny_1d() -> ModelConfig {
+        ModelConfig {
+            name: "tiny1d".into(),
+            params: 1e9,
+            layers: 2,
+            model_dim: 16,
+            ff_dim: 32,
+            batch: 128,
+            seq_len: 4,
+            chips: 128,
+            arch: Arch::Speech,
+            strategy: PartitionStrategy::OneD,
+        }
+    }
+
+    #[test]
+    fn stacked_window_modules_verify_with_monotone_stage_tags() {
+        use overlap_hlo::LayerTags;
+        for (cfg, depth) in [(tiny_2d(), 3usize), (tiny_1d(), 2)] {
+            let m = cfg.window_module(depth);
+            m.verify().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            assert_eq!(
+                m.count_live(|i| matches!(i.op(), Op::Einsum(_))),
+                12 * depth,
+                "{}",
+                cfg.name
+            );
+            let tags = LayerTags::of(&m);
+            assert_eq!(tags.num_layers() as usize, 2 * depth, "{}", cfg.name);
+            for (id, ins) in m.iter() {
+                for &op in ins.operands() {
+                    assert!(
+                        tags.layer_of(op) <= tags.layer_of(id),
+                        "{}: non-monotone edge {} -> {}",
+                        cfg.name,
+                        m.instr(op).name(),
+                        ins.name()
+                    );
+                }
+            }
+            // The backward chain has something to hoist across stages.
+            assert!(tags.cross_layer_slack(&m) > 0, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn stacked_moe_routes_every_layer() {
+        let mut cfg = tiny_2d();
+        cfg.arch = Arch::MoE { experts: 4 };
+        let m = cfg.window_module(2);
+        m.verify().unwrap();
+        assert_eq!(m.count_live(|i| matches!(i.op(), Op::AllToAll { .. })), 8);
     }
 }

@@ -35,6 +35,6 @@ mod layer_attention;
 mod zoo;
 
 pub use config::{Arch, ModelConfig, PartitionStrategy};
-pub use layer::build_layer_module;
+pub use layer::{build_layer_module, build_window_module};
 pub use layer_attention::build_attention_layer;
 pub use zoo::{find_model, gpt_scaled, model_names, table1_models, table2_models};

@@ -1,107 +1,27 @@
-//! Lock-free service metrics: counters plus a log-bucketed latency
-//! histogram.
+//! Lock-free service metrics: counters plus the shared log-bucketed
+//! latency histogram.
 //!
-//! The histogram trades exactness for constant memory and wait-free
-//! recording: buckets grow geometrically from 10 µs by 25 % per step,
-//! so a reported quantile overstates the true one by at most that
-//! bucket width. Good enough to watch a p99 move; no allocation, no
-//! lock, no sample buffer that grows with load.
+//! The histogram itself lives in `overlap-sim` ([`Histogram`] is a
+//! re-export) so the daemon's latency percentiles and the
+//! distributional simulator's tail percentiles share one quantile rank
+//! rule and can never drift; this module adds only the server-side
+//! counters around it.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::time::Instant;
+
+pub use overlap_sim::{Histogram, HistogramSummary};
 
 use crate::protocol::LatencySummary;
 
-/// Bucket count; the last bucket absorbs everything beyond the range.
-const BUCKETS: usize = 96;
-/// Upper bound of bucket 0, in microseconds.
-const BASE_MICROS: f64 = 10.0;
-/// Geometric growth per bucket (96 buckets reach ≈ 5.9 hours).
-const GROWTH: f64 = 1.25;
-
-/// A fixed-size geometric histogram of latencies in milliseconds.
-pub struct Histogram {
-    counts: [AtomicU64; BUCKETS],
-    total: AtomicU64,
-    /// Largest sample seen, as `f64::to_bits` (monotone for positive
-    /// floats, so compare-and-swap on the bit pattern is a float max).
-    max_bits: AtomicU64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    #[must_use]
-    pub fn new() -> Self {
-        Histogram {
-            counts: std::array::from_fn(|_| AtomicU64::new(0)),
-            total: AtomicU64::new(0),
-            max_bits: AtomicU64::new(0),
-        }
-    }
-
-    /// Records one sample (milliseconds; negatives clamp to zero).
-    pub fn record(&self, ms: f64) {
-        let ms = ms.max(0.0);
-        self.counts[Self::bucket_of(ms * 1e3)].fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
-        self.max_bits.fetch_max(ms.to_bits(), Ordering::Relaxed);
-    }
-
-    fn bucket_of(micros: f64) -> usize {
-        if micros <= BASE_MICROS {
-            return 0;
-        }
-        let idx = (micros / BASE_MICROS).log(GROWTH).ceil();
-        if idx >= BUCKETS as f64 { BUCKETS - 1 } else { idx as usize }
-    }
-
-    /// Upper bound of bucket `i`, in milliseconds.
-    fn upper_ms(i: usize) -> f64 {
-        BASE_MICROS * GROWTH.powi(i as i32) / 1e3
-    }
-
-    /// Samples recorded so far.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.total.load(Ordering::Relaxed)
-    }
-
-    /// The `q`-quantile (0 ≤ q ≤ 1) as the matching bucket's upper
-    /// bound, 0 when empty. Overstates by at most one bucket width.
-    #[must_use]
-    pub fn quantile(&self, q: f64) -> f64 {
-        let total = self.count();
-        if total == 0 {
-            return 0.0;
-        }
-        // ceil(q * total) with a floor of 1: the rank of the sample
-        // that q of the distribution sits at or below.
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, c) in self.counts.iter().enumerate() {
-            seen += c.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Self::upper_ms(i);
-            }
-        }
-        Self::upper_ms(BUCKETS - 1)
-    }
-
-    /// The summary the stats response carries.
-    #[must_use]
-    pub fn summary(&self) -> LatencySummary {
+impl From<HistogramSummary> for LatencySummary {
+    fn from(s: HistogramSummary) -> Self {
         LatencySummary {
-            count: self.count(),
-            p50_ms: self.quantile(0.50),
-            p90_ms: self.quantile(0.90),
-            p99_ms: self.quantile(0.99),
-            max_ms: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+            count: s.count,
+            p50_ms: s.p50_ms,
+            p90_ms: s.p90_ms,
+            p99_ms: s.p99_ms,
+            max_ms: s.max_ms,
         }
     }
 }
@@ -165,7 +85,7 @@ impl ServerMetrics {
         if secs <= 0.0 {
             0.0
         } else {
-            self.requests.load(Ordering::Relaxed) as f64 / secs
+            self.requests.load(std::sync::atomic::Ordering::Relaxed) as f64 / secs
         }
     }
 }
@@ -175,39 +95,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn empty_histogram_is_all_zero() {
-        let h = Histogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile(0.5), 0.0);
-        let s = h.summary();
-        assert_eq!(s.count, 0);
-        assert_eq!(s.max_ms, 0.0);
-    }
-
-    #[test]
-    fn quantiles_bracket_samples() {
+    fn histogram_summary_converts_to_wire_summary() {
         let h = Histogram::new();
         for _ in 0..99 {
-            h.record(1.0); // 1 ms
+            h.record(1.0);
         }
-        h.record(1000.0); // one 1 s outlier
-        assert_eq!(h.count(), 100);
-        let p50 = h.quantile(0.50);
-        assert!((1.0..=1.3).contains(&p50), "p50 {p50} should be ~1 ms");
-        // p99 covers rank 99, still inside the 1 ms mass.
-        assert!(h.quantile(0.99) < 2.0);
-        // The max and the top quantile see the outlier.
-        assert!(h.quantile(1.0) >= 1000.0);
-        assert_eq!(h.summary().max_ms, 1000.0);
-    }
-
-    #[test]
-    fn tiny_and_huge_samples_clamp_to_end_buckets() {
-        let h = Histogram::new();
-        h.record(0.0001); // under bucket 0's bound
-        h.record(1e12); // far past the last bucket
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile(0.5) <= 0.011);
-        assert!(h.quantile(1.0) > 1e3);
+        h.record(1000.0);
+        let s: LatencySummary = h.summary().into();
+        assert_eq!(s.count, 100);
+        assert!((1.0..=1.3).contains(&s.p50_ms), "p50 {}", s.p50_ms);
+        assert!(s.p99_ms < 2.0);
+        assert_eq!(s.max_ms, 1000.0);
     }
 }

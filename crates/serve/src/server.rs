@@ -978,7 +978,7 @@ impl<'a> EventLoop<'a> {
             cache_disk_hits: cache.disk_hits,
             cache_misses: cache.misses,
             cache_hit_rate: cache.hit_rate(),
-            latency: m.latency.summary(),
+            latency: m.latency.summary().into(),
         }
     }
 }

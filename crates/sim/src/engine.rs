@@ -250,6 +250,77 @@ pub fn simulate_order_repeated_with(
     Ok(combined)
 }
 
+/// Draws `draws` *independent* seeded executions of `module` under
+/// `order` on the degraded machine described by `spec` and returns the
+/// per-draw makespans in draw order — the distributional entry point
+/// behind the tail-latency report (`fig_tail`, the perfgate `tail`
+/// section).
+///
+/// Unlike [`simulate_order_repeated_faulted`], stream clocks do **not**
+/// carry across draws: every draw starts from a fresh engine state, so
+/// the result is `draws` samples of the *same* step's makespan under
+/// different fault realizations, not one long run. Draw `i` uses `i` as
+/// the repetition index of every fault-event identity, so the sample
+/// set is a pure function of `(spec, module, order)` — independent of
+/// evaluation order and thread count, and each draw's jitter values are
+/// distinct. Summarize with
+/// [`TailSummary::from_samples`](crate::TailSummary::from_samples).
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_order_faulted`], plus
+/// [`SimError::ZeroRepetitions`] when `draws == 0`. A failing draw
+/// (watchdog, unroutable link) fails the whole call — tail percentiles
+/// over a censored sample set would be lies.
+pub fn simulate_order_tail(
+    module: &Module,
+    machine: &Machine,
+    order: &[InstrId],
+    spec: &FaultSpec,
+    draws: usize,
+) -> Result<Vec<f64>, SimError> {
+    let table = CostTable::new(module, machine)?;
+    simulate_order_tail_with(&table, module, machine, order, spec, draws)
+}
+
+/// [`simulate_order_tail`] with a pre-built [`CostTable`].
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_order_tail`].
+pub fn simulate_order_tail_with(
+    table: &CostTable,
+    module: &Module,
+    machine: &Machine,
+    order: &[InstrId],
+    spec: &FaultSpec,
+    draws: usize,
+) -> Result<Vec<f64>, SimError> {
+    check_table(table, module)?;
+    validate_order(module, order)?;
+    if draws == 0 {
+        return Err(SimError::ZeroRepetitions);
+    }
+    let model = FaultModel::new(machine, spec)?;
+    let mut scratch = EngineScratch::for_len(module.len());
+    let mut makespans = Vec::with_capacity(draws);
+    for draw in 0..draws {
+        // Fresh state per draw: each sample is an independent execution.
+        let report = run_engine(
+            module,
+            machine,
+            order,
+            table,
+            &mut scratch,
+            &mut EngineState::default(),
+            Some(&model),
+            draw,
+        )?;
+        makespans.push(report.makespan());
+    }
+    Ok(makespans)
+}
+
 fn check_table(table: &CostTable, module: &Module) -> Result<(), SimError> {
     if table.len() == module.len() {
         Ok(())
@@ -948,6 +1019,46 @@ mod tests {
         let lost = slow.compute_time() - pristine.compute_time();
         assert!((att.straggler_seconds - lost).abs() < 1e-15);
         assert_eq!(att.stall_retries, 0);
+    }
+
+    #[test]
+    fn tail_draws_are_independent_and_deterministic() {
+        let n = 2;
+        let mut b = Builder::new("m", n);
+        let x = b.parameter(f32s(&[512, 512]), "x");
+        let w = b.parameter(f32s(&[512, 512]), "w");
+        let y = b.einsum(x, w, DotDims::matmul(), "y");
+        let s = b.collective_permute_start(x, vec![(0, 1), (1, 0)], "s");
+        let d = b.collective_permute_done(s, "d");
+        let m = b.build(vec![y, d]);
+        let machine = machine(n);
+        let order = m.arena_order();
+        let spec = FaultSpec::seeded(7).with_jitter(1e-4);
+
+        assert_eq!(
+            simulate_order_tail(&m, &machine, &order, &spec, 0),
+            Err(SimError::ZeroRepetitions)
+        );
+        let draws = simulate_order_tail(&m, &machine, &order, &spec, 16).unwrap();
+        assert_eq!(draws.len(), 16);
+        // Deterministic: the whole sample set replays bit-identically,
+        // and draw i does not depend on how many draws follow it.
+        assert_eq!(draws, simulate_order_tail(&m, &machine, &order, &spec, 16).unwrap());
+        assert_eq!(
+            draws[..4],
+            simulate_order_tail(&m, &machine, &order, &spec, 4).unwrap()[..]
+        );
+        // Independent fresh state per draw: draw 0 is exactly the
+        // single-shot faulted run, not a continuation.
+        let single = simulate_order_faulted(&m, &machine, &order, &spec).unwrap();
+        assert_eq!(draws[0], single.makespan());
+        // Per-hop jitter re-draws per repetition index: the samples
+        // actually spread.
+        assert!(draws.iter().any(|&d| d != draws[0]), "jitter draws must differ");
+        let t = crate::TailSummary::from_samples(&draws);
+        assert_eq!(t.draws, 16);
+        assert!(t.p50 <= t.p90 && t.p90 <= t.p99 && t.p99 <= t.max);
+        assert!(t.min > 0.0);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Shared latency/makespan percentile machinery.
+//!
+//! Two consumers, one rank rule: the serve daemon's lock-free
+//! log-bucketed [`Histogram`] (constant memory, wait-free recording,
+//! quantiles overstated by at most one bucket width) and the
+//! distributional simulator's exact [`TailSummary`] (sorted samples —
+//! the tail gates need strict percentile comparisons a 25 %-wide bucket
+//! would wash out). Both resolve a quantile to the same
+//! [`quantile_rank`], so a p99 reported by the server and a p99 reported
+//! by `fig_tail` can never disagree about *which* sample they mean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count; the last bucket absorbs everything beyond the range.
+const BUCKETS: usize = 96;
+/// Upper bound of bucket 0, in microseconds.
+const BASE_MICROS: f64 = 10.0;
+/// Geometric growth per bucket (96 buckets reach ≈ 5.9 hours).
+const GROWTH: f64 = 1.25;
+
+/// The 1-based rank of the sample that the `q`-quantile (0 ≤ q ≤ 1) of
+/// `total` samples sits at or below: `ceil(q · total)` with a floor of
+/// 1. Zero when `total` is zero.
+#[must_use]
+pub fn quantile_rank(q: f64, total: u64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    ((q * total as f64).ceil() as u64).clamp(1, total)
+}
+
+/// The percentile summary a [`Histogram`] reports. Field names mirror
+/// the serve protocol's wire summary so the daemon can copy it across
+/// field by field.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median, milliseconds (bucket upper bound).
+    pub p50_ms: f64,
+    /// 90th percentile, milliseconds.
+    pub p90_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// Largest sample seen, milliseconds (exact).
+    pub max_ms: f64,
+}
+
+/// A fixed-size geometric histogram of latencies in milliseconds.
+///
+/// Trades exactness for constant memory and wait-free recording:
+/// buckets grow geometrically from 10 µs by 25 % per step, so a
+/// reported quantile overstates the true one by at most that bucket
+/// width. Good enough to watch a p99 move; no allocation, no lock, no
+/// sample buffer that grows with load.
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+    /// Largest sample seen, as `f64::to_bits` (monotone for positive
+    /// floats, so compare-and-swap on the bit pattern is a float max).
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            max_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (milliseconds; negatives clamp to zero).
+    pub fn record(&self, ms: f64) {
+        let ms = ms.max(0.0);
+        self.counts[Self::bucket_of(ms * 1e3)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.max_bits.fetch_max(ms.to_bits(), Ordering::Relaxed);
+    }
+
+    fn bucket_of(micros: f64) -> usize {
+        if micros <= BASE_MICROS {
+            return 0;
+        }
+        let idx = (micros / BASE_MICROS).log(GROWTH).ceil();
+        if idx >= BUCKETS as f64 { BUCKETS - 1 } else { idx as usize }
+    }
+
+    /// Upper bound of bucket `i`, in milliseconds.
+    fn upper_ms(i: usize) -> f64 {
+        BASE_MICROS * GROWTH.powi(i as i32) / 1e3
+    }
+
+    /// Samples recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) as the matching bucket's upper
+    /// bound, 0 when empty. Overstates by at most one bucket width.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = quantile_rank(q, total);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::upper_ms(i);
+            }
+        }
+        Self::upper_ms(BUCKETS - 1)
+    }
+
+    /// The p50/p90/p99/max summary.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            p50_ms: self.quantile(0.50),
+            p90_ms: self.quantile(0.90),
+            p99_ms: self.quantile(0.99),
+            max_ms: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Exact percentile summary of a set of simulated makespan draws
+/// (seconds). Unlike [`Histogram`] this sorts the full sample set, so
+/// it is only for offline use (figure sweeps, gates) where the strict
+/// comparisons — "window 2's p99 must beat window 1's" — need exact
+/// sample values, not bucket upper bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TailSummary {
+    /// Number of draws summarized.
+    pub draws: usize,
+    /// Median draw.
+    pub p50: f64,
+    /// 90th-percentile draw.
+    pub p90: f64,
+    /// 99th-percentile draw.
+    pub p99: f64,
+    /// Mean over all draws.
+    pub mean: f64,
+    /// Fastest draw.
+    pub min: f64,
+    /// Slowest draw.
+    pub max: f64,
+}
+
+impl TailSummary {
+    /// Summarizes `samples` (not required to be sorted; empty input
+    /// yields the all-zero summary). Percentiles are exact order
+    /// statistics at [`quantile_rank`].
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return TailSummary::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        let n = sorted.len();
+        let at = |q: f64| sorted[(quantile_rank(q, n as u64) as usize) - 1];
+        TailSummary {
+            draws: n,
+            p50: at(0.50),
+            p90: at(0.90),
+            p99: at(0.99),
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            min: sorted[0],
+            max: sorted[n - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max_ms, 0.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_samples() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1.0); // 1 ms
+        }
+        h.record(1000.0); // one 1 s outlier
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50);
+        assert!((1.0..=1.3).contains(&p50), "p50 {p50} should be ~1 ms");
+        // p99 covers rank 99, still inside the 1 ms mass.
+        assert!(h.quantile(0.99) < 2.0);
+        // The max and the top quantile see the outlier.
+        assert!(h.quantile(1.0) >= 1000.0);
+        assert_eq!(h.summary().max_ms, 1000.0);
+    }
+
+    #[test]
+    fn tiny_and_huge_samples_clamp_to_end_buckets() {
+        let h = Histogram::new();
+        h.record(0.0001); // under bucket 0's bound
+        h.record(1e12); // far past the last bucket
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.5) <= 0.011);
+        assert!(h.quantile(1.0) > 1e3);
+    }
+
+    #[test]
+    fn rank_rule_is_shared() {
+        assert_eq!(quantile_rank(0.5, 0), 0);
+        assert_eq!(quantile_rank(0.0, 10), 1);
+        assert_eq!(quantile_rank(0.5, 10), 5);
+        assert_eq!(quantile_rank(0.99, 100), 99);
+        assert_eq!(quantile_rank(0.99, 33), 33);
+        assert_eq!(quantile_rank(1.0, 7), 7);
+    }
+
+    #[test]
+    fn tail_summary_is_exact_order_statistics() {
+        let samples: Vec<f64> = (1..=100).rev().map(|i| i as f64).collect();
+        let t = TailSummary::from_samples(&samples);
+        assert_eq!(t.draws, 100);
+        assert_eq!(t.p50, 50.0);
+        assert_eq!(t.p90, 90.0);
+        assert_eq!(t.p99, 99.0);
+        assert_eq!(t.min, 1.0);
+        assert_eq!(t.max, 100.0);
+        assert!((t.mean - 50.5).abs() < 1e-12);
+        assert_eq!(TailSummary::from_samples(&[]), TailSummary::default());
+    }
+
+    #[test]
+    fn histogram_and_tail_agree_on_the_rank() {
+        // 33 identical 1 ms samples + no outliers: both report the same
+        // sample for every quantile (the histogram up to bucket width).
+        let h = Histogram::new();
+        let v = vec![1.0; 33];
+        for &ms in &v {
+            h.record(ms);
+        }
+        let t = TailSummary::from_samples(&v);
+        assert_eq!(t.p99, 1.0);
+        assert!(h.quantile(0.99) >= 1.0 && h.quantile(0.99) <= 1.3);
+    }
+}

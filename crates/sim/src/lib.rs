@@ -33,6 +33,7 @@ mod cost;
 mod engine;
 mod error;
 mod faults;
+mod hist;
 mod memory;
 mod par;
 mod report;
@@ -45,10 +46,12 @@ pub use cost::{
 pub use engine::{
     simulate, simulate_faulted, simulate_order, simulate_order_faulted,
     simulate_order_faulted_with, simulate_order_repeated, simulate_order_repeated_faulted,
-    simulate_order_repeated_faulted_with, simulate_order_repeated_with, simulate_order_with,
+    simulate_order_repeated_faulted_with, simulate_order_repeated_with, simulate_order_tail,
+    simulate_order_tail_with, simulate_order_with,
 };
 pub use error::SimError;
 pub use faults::FaultModel;
+pub use hist::{quantile_rank, Histogram, HistogramSummary, TailSummary};
 pub use memory::{memory_profile, MemoryProfile};
 pub use par::{par_map, sweep_threads};
 pub use report::{FaultAttribution, Report, Span, SpanKind, Timeline};

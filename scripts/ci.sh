@@ -5,9 +5,9 @@
 # compile-throughput regression gate, and a serve smoke: a real
 # `overlapd` on an ephemeral port, concurrent loadgen clients verifying
 # byte-identity against direct pipeline runs, then a SIGTERM drain that
-# must leave no torn disk-cache entries, plus seeded fault-injection and
-# strategy-autotune smokes whose outputs must be deterministic. Run from
-# the repository root.
+# must leave no torn disk-cache entries, plus seeded fault-injection,
+# tail-latency and strategy-autotune smokes whose outputs must be
+# deterministic. Run from the repository root.
 #
 #   sh scripts/ci.sh
 #
@@ -115,6 +115,23 @@ cmp -s results/fig_faults_smoke.json results/fig_faults_smoke.json.first || {
 rm -f results/fig_faults_smoke.json.first
 echo "$smoke_one" | grep -q "fallbacks=" || {
     echo "FAIL: fault sweep reported no fallback counts"; exit 1;
+}
+
+echo "==> tail smoke sweep: seeded windows-vs-straggler draws, deterministic"
+tail_one=$(OVERLAP_TAIL_SMOKE=1 OVERLAP_FAULT_SEED=7 OVERLAP_CACHE=0 \
+    cargo run --release -q -p overlap-bench --bin fig_tail)
+cp results/fig_tail_smoke.json results/fig_tail_smoke.json.first
+tail_two=$(OVERLAP_TAIL_SMOKE=1 OVERLAP_FAULT_SEED=7 OVERLAP_CACHE=0 \
+    cargo run --release -q -p overlap-bench --bin fig_tail)
+[ "$tail_one" = "$tail_two" ] || {
+    echo "FAIL: tail sweep stdout differs between identically-seeded runs"; exit 1;
+}
+cmp -s results/fig_tail_smoke.json results/fig_tail_smoke.json.first || {
+    echo "FAIL: tail sweep JSON differs between identically-seeded runs"; exit 1;
+}
+rm -f results/fig_tail_smoke.json.first
+echo "$tail_one" | grep -q "p99" || {
+    echo "FAIL: tail sweep reported no p99 percentiles"; exit 1;
 }
 
 echo "==> autotune smoke: seeded strategy search, deterministic leaderboard, warm cache"

@@ -272,6 +272,72 @@ fn attention_layer_decomposes_equivalently() {
     check_all_variants(&m);
 }
 
+/// A Table-1-shaped configuration scaled down until `run_spmd` can
+/// execute the full stacked forward/backward module in a test.
+fn tiny_stacked_config() -> overlap::models::ModelConfig {
+    overlap::models::ModelConfig {
+        name: "win_eq".into(),
+        params: 0.0,
+        layers: 2,
+        model_dim: 8,
+        ff_dim: 16,
+        batch: 4,
+        seq_len: 4,
+        chips: 4,
+        arch: overlap::models::Arch::Decoder,
+        strategy: overlap::models::PartitionStrategy::TwoD,
+    }
+}
+
+#[test]
+fn windowed_pipeline_compile_stays_equivalent() {
+    // The cross-layer scheduling window reorders instructions and widens
+    // what the decomposition may overlap, but the compiled module must
+    // stay a pure refinement: same per-device outputs as the original
+    // stacked forward/backward module at every window width.
+    use overlap::core::{OverlapOptions, OverlapPipeline, StrategySpec};
+    let cfg = tiny_stacked_config();
+    let module = cfg.window_module(2);
+    let machine = cfg.machine();
+    for window in [1usize, 2] {
+        let options = OverlapOptions::with_strategy(
+            StrategySpec::paper_default().with_window_layers(window),
+        );
+        let compiled =
+            OverlapPipeline::new(options).run(&module, &machine).expect("windowed compile");
+        assert_equivalent(&module, &compiled.module, 1e-9);
+    }
+}
+
+#[test]
+fn window_one_is_byte_identical_on_single_scope_modules() {
+    // Every committed figure compiles single-scope (untagged) modules;
+    // `window_layers` must leave those artifacts byte-identical, both at
+    // the default width of 1 and at any wider setting.
+    use overlap::core::{OverlapOptions, OverlapPipeline, StrategySpec};
+    let cfg = tiny_stacked_config();
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+    let compile = |window: usize| {
+        let options = OverlapOptions::with_strategy(
+            StrategySpec::paper_default().with_window_layers(window),
+        );
+        OverlapPipeline::new(options).run(&module, &machine).expect("compile")
+    };
+    let default = OverlapPipeline::new(OverlapOptions::paper_default())
+        .run(&module, &machine)
+        .expect("default compile");
+    for window in [1usize, 4] {
+        let windowed = compile(window);
+        assert_eq!(default.order, windowed.order, "window {window} must be inert");
+        assert_eq!(
+            default.module.identity_fingerprint(),
+            windowed.module.identity_fingerprint(),
+            "window {window} changed the compiled module"
+        );
+    }
+}
+
 #[test]
 fn chained_patterns_decompose_together() {
     // Two dependent AG-einsum layers (Fig. 2 style): both decomposed.

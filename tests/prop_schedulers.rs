@@ -6,10 +6,13 @@
 // The offline proptest stub expands `proptest!` to nothing, leaving the
 // helpers and imports below unused; with the real crate nothing is dead.
 #![allow(dead_code, unused_imports)]
-use overlap::core::{schedule_bottom_up, schedule_top_down};
-use overlap::hlo::{Builder, DType, DotDims, InstrId, Module, Shape};
+use overlap::core::{
+    schedule_bottom_up, schedule_bottom_up_ctx, schedule_top_down, schedule_top_down_ctx,
+    ScheduleContext, ScheduleWindow,
+};
+use overlap::hlo::{Builder, DType, DotDims, InstrId, LayerTags, Module, ModuleAnalysis, Shape};
 use overlap::mesh::{DeviceMesh, Machine};
-use overlap::sim::{memory_profile, simulate, simulate_order};
+use overlap::sim::{memory_profile, simulate, simulate_order, CostTable};
 use proptest::prelude::*;
 
 fn f32s(dims: &[usize]) -> Shape {
@@ -70,6 +73,109 @@ fn random_module(n_partitions: usize, ops: Vec<u8>, seed: u64) -> Module {
     // Root everything so nothing is dead.
     let outputs = values.split_off(values.len().saturating_sub(4));
     b.build(outputs)
+}
+
+/// Like [`random_module`], but instruction names carry `L{k}.` stage
+/// prefixes so [`LayerTags`] recognizes `depth` monotone layer stages —
+/// the shape the cross-layer scheduling window constrains.
+fn layered_random_module(n_partitions: usize, depth: usize, ops: Vec<u8>, seed: u64) -> Module {
+    let mut b = Builder::new("layered", n_partitions);
+    let dim = 64usize;
+    let mut values: Vec<InstrId> = (0..3)
+        .map(|i| b.parameter(f32s(&[dim, dim]), &format!("p{i}")))
+        .collect();
+    let per_layer = ops.len().div_ceil(depth).max(1);
+    let mut pending_starts: Vec<InstrId> = Vec::new();
+    let pick = |values: &[InstrId], salt: u64| {
+        values[((seed ^ salt).wrapping_mul(2654435761) % values.len() as u64) as usize]
+    };
+    for (i, &op) in ops.iter().enumerate() {
+        let layer = (i / per_layer).min(depth - 1);
+        let salt = i as u64 + 1;
+        match op % 5 {
+            0 => {
+                let a = pick(&values, salt);
+                let c = pick(&values, salt * 3);
+                values.push(b.add(a, c, &format!("L{layer}.add{i}")));
+            }
+            1 => {
+                let a = pick(&values, salt);
+                values.push(b.neg(a, &format!("L{layer}.neg{i}")));
+            }
+            2 => {
+                let a = pick(&values, salt);
+                let c = pick(&values, salt * 7);
+                values.push(b.einsum(a, c, DotDims::matmul(), &format!("L{layer}.mm{i}")));
+            }
+            3 if n_partitions >= 2 => {
+                let a = pick(&values, salt);
+                let pairs: Vec<(u32, u32)> = (0..n_partitions as u32)
+                    .map(|p| (p, (p + 1) % n_partitions as u32))
+                    .collect();
+                let s = b.collective_permute_start(a, pairs, &format!("L{layer}.s{i}"));
+                pending_starts.push(s);
+            }
+            _ => {
+                if let Some(s) = pending_starts.pop() {
+                    values.push(b.collective_permute_done(s, &format!("L{layer}.d{i}")));
+                } else {
+                    let a = pick(&values, salt);
+                    values.push(b.copy(a, &format!("L{layer}.cp{i}")));
+                }
+            }
+        }
+    }
+    // Retire dangling starts in the last stage (a done may sit in a
+    // later stage than its start; tags stay monotone).
+    for (i, s) in pending_starts.into_iter().enumerate() {
+        values.push(b.collective_permute_done(s, &format!("L{}.tail_done{i}", depth - 1)));
+    }
+    let outputs = values.split_off(values.len().saturating_sub(4));
+    b.build(outputs)
+}
+
+/// Replays [`WindowCursor`]'s forward admission rule over `order`: at
+/// every position the instruction's stage must sit inside the window
+/// measured from the lowest incomplete stage.
+fn assert_forward_window_bounded(tags: &LayerTags, order: &[InstrId], window: usize) {
+    let mut remaining = vec![0usize; tags.num_layers() as usize];
+    for &id in order {
+        remaining[tags.layer_of(id) as usize] += 1;
+    }
+    let mut frontier = 0usize;
+    for &id in order {
+        let l = tags.layer_of(id) as usize;
+        assert!(
+            l < frontier + window,
+            "stage {l} scheduled while the frontier is {frontier} (window {window})"
+        );
+        remaining[l] -= 1;
+        while frontier < remaining.len() - 1 && remaining[frontier] == 0 {
+            frontier += 1;
+        }
+    }
+}
+
+/// The mirrored reverse rule for the bottom-up scheduler (which builds
+/// the order back-to-front): walking the order in reverse, stages may
+/// run ahead of the highest incomplete stage by at most the window.
+fn assert_reverse_window_bounded(tags: &LayerTags, order: &[InstrId], window: usize) {
+    let mut remaining = vec![0usize; tags.num_layers() as usize];
+    for &id in order {
+        remaining[tags.layer_of(id) as usize] += 1;
+    }
+    let mut frontier = remaining.len() - 1;
+    for &id in order.iter().rev() {
+        let l = tags.layer_of(id) as usize;
+        assert!(
+            l + window > frontier,
+            "stage {l} scheduled while the reverse frontier is {frontier} (window {window})"
+        );
+        remaining[l] -= 1;
+        while frontier > 0 && remaining[frontier] == 0 {
+            frontier -= 1;
+        }
+    }
 }
 
 proptest! {
@@ -159,5 +265,75 @@ proptest! {
             max_seen <= budget + 1,
             "saw {max_seen} in flight with budget {budget}"
         );
+    }
+
+    /// Cross-layer windows are inert on untagged modules: any module
+    /// without `L{k}.` stage prefixes (every committed single-scope
+    /// figure) schedules byte-identically no matter what
+    /// `window_layers` says.
+    #[test]
+    fn windows_are_inert_on_untagged_modules(
+        ops in prop::collection::vec(0u8..5, 4..40),
+        seed in 0u64..1_000_000,
+        window in 1usize..5,
+    ) {
+        let n = 4;
+        let module = random_module(n, ops, seed);
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let tags = LayerTags::of(&module);
+        prop_assert!(ScheduleWindow::new(&tags, window).is_none());
+        let table = CostTable::new(&module, &machine).expect("cost table");
+        let analysis = ModuleAnalysis::of(&module);
+        let ctx = ScheduleContext::new(&table, &analysis, &module, &machine)
+            .with_window(ScheduleWindow::new(&tags, window));
+        prop_assert_eq!(
+            schedule_bottom_up_ctx(&ctx, &module, &machine),
+            schedule_bottom_up(&module, &machine)
+        );
+        prop_assert_eq!(
+            schedule_top_down_ctx(&ctx, &module, &machine),
+            schedule_top_down(&module, &machine)
+        );
+    }
+
+    /// Windowed schedules on layer-tagged random DAGs are complete
+    /// topological orders that respect the window's admission rule
+    /// (forward rule for the top-down pass, mirrored reverse rule for
+    /// the bottom-up pass), and a window at least as wide as the module
+    /// collapses to the unwindowed pass byte-identically.
+    #[test]
+    fn windowed_schedules_are_valid_and_window_bounded(
+        ops in prop::collection::vec(0u8..5, 8..40),
+        seed in 0u64..1_000_000,
+        depth in 2usize..5,
+        window in 1usize..6,
+    ) {
+        let n = 4;
+        let module = layered_random_module(n, depth, ops, seed);
+        module.verify().expect("layered module verifies");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let tags = LayerTags::of(&module);
+        let table = CostTable::new(&module, &machine).expect("cost table");
+        let analysis = ModuleAnalysis::of(&module);
+        let baseline = simulate(&module, &machine).expect("baseline simulates");
+        let ctx = ScheduleContext::new(&table, &analysis, &module, &machine)
+            .with_window(ScheduleWindow::new(&tags, window));
+        let bu = schedule_bottom_up_ctx(&ctx, &module, &machine);
+        let td = schedule_top_down_ctx(&ctx, &module, &machine);
+        for order in [&bu, &td] {
+            prop_assert_eq!(order.len(), module.len());
+            // simulate_order validates completeness + topology.
+            let r = simulate_order(&module, &machine, order).expect("valid order");
+            prop_assert_eq!(r.total_flops(), baseline.total_flops());
+        }
+        if (tags.num_layers() as usize) > window {
+            assert_reverse_window_bounded(&tags, &bu, window);
+            assert_forward_window_bounded(&tags, &td, window);
+        } else {
+            // Too-wide windows are inert by construction.
+            prop_assert!(ScheduleWindow::new(&tags, window).is_none());
+            prop_assert_eq!(bu, schedule_bottom_up(&module, &machine));
+            prop_assert_eq!(td, schedule_top_down(&module, &machine));
+        }
     }
 }
