@@ -6,6 +6,12 @@
 //! overlap-client 127.0.0.1:7979 stats
 //! overlap-client 127.0.0.1:7979 loadgen --clients 8 --models GPT_32B,GPT_64B --repeat 2
 //! overlap-client 127.0.0.1:7979 shutdown
+//!
+//! # A comma-separated address list is a *fleet*: requests are
+//! # consistent-hash routed to each artifact's owner, with automatic
+//! # failover down the ring when a node dies mid-run.
+//! overlap-client 127.0.0.1:7001,127.0.0.1:7002 loadgen --clients 8
+//! overlap-client 127.0.0.1:7001,127.0.0.1:7002 fleet-stats
 //! ```
 //!
 //! `loadgen` is the service's correctness harness, not just a load
@@ -33,17 +39,19 @@ use overlap_models::{model_names, table1_models};
 use overlap_serve::exec::{execute, Deadline};
 use overlap_serve::metrics::Histogram;
 use overlap_serve::{
-    Client, ClientError, CompileRequest, CompileResponse, MachineSpec, Request, Response,
-    ServeEvent,
+    node_id, Client, ClientError, CompileRequest, CompileResponse, MachineSpec, Request,
+    Response, Router, RouterSession, ServeEvent,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: overlap-client <addr> ping|stats|shutdown\n\
-         \x20      overlap-client <addr> compile MODEL [--machine tpu_v4:N|gpu_cluster:N] \
-         [--fault-spec F.json] [--deadline-ms N]\n\
-         \x20      overlap-client <addr> loadgen [--clients N] [--models A,B,C] \
-         [--repeat R] [--pipeline N] [--phases] [--expect-dedup] [--no-verify]"
+        "usage: overlap-client <addr[,addr...]> ping|stats|fleet-stats|shutdown\n\
+         \x20      overlap-client <addr[,addr...]> compile MODEL \
+         [--machine tpu_v4:N|gpu_cluster:N] [--fault-spec F.json] [--deadline-ms N]\n\
+         \x20      overlap-client <addr[,addr...]> loadgen [--clients N] [--models A,B,C] \
+         [--repeat R] [--pipeline N] [--phases] [--expect-dedup] [--no-verify] \
+         [--fleet-summary FILE]\n\
+         a comma-separated address list routes by consistent hashing with failover"
     );
     std::process::exit(2);
 }
@@ -103,8 +111,18 @@ fn fault_spec_from_args(args: &[String]) -> Option<FaultSpec> {
     }
 }
 
+/// Splits a possibly comma-separated address list; more than one
+/// address means fleet routing.
+fn split_addrs(addr: &str) -> Vec<String> {
+    addr.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+}
+
 fn connect(addr: &str) -> Client {
-    Client::connect(addr).unwrap_or_else(|e| fail(format!("cannot connect to {addr}: {e}")))
+    // A freshly spawned daemon may still be binding: retry refused
+    // connects under a short bounded backoff instead of failing the
+    // first race.
+    Client::connect_retry(addr, Duration::from_secs(2))
+        .unwrap_or_else(|e| fail(format!("cannot connect to {addr}: {e}")))
 }
 
 fn cmd_compile(addr: &str, args: &[String]) {
@@ -116,7 +134,14 @@ fn cmd_compile(addr: &str, args: &[String]) {
         fault_spec: fault_spec_from_args(args),
         deadline_ms: parsed_flag(args, "--deadline-ms"),
     };
-    let resp = connect(addr).compile(req).unwrap_or_else(|e| fail(e));
+    let addrs = split_addrs(addr);
+    let (resp, routed) = if addrs.len() > 1 {
+        let mut session = Router::new(addrs).session();
+        let (resp, node) = session.compile(&req).unwrap_or_else(|e| fail(e));
+        (resp, Some(node_id(node)))
+    } else {
+        (connect(addr).compile(req).unwrap_or_else(|e| fail(e)), None)
+    };
     let r = &resp.result;
     println!(
         "{}: baseline {:.3} ms -> overlapped {:.3} ms ({:.2}x), {} decisions, {} fallbacks",
@@ -127,10 +152,16 @@ fn cmd_compile(addr: &str, args: &[String]) {
         r.decisions.len(),
         r.fallbacks.len(),
     );
-    println!(
-        "served from {} (queue {:.1} ms, service {:.1} ms); artifact key {}",
-        resp.served.source, resp.served.queue_ms, resp.served.service_ms, r.artifact_key
-    );
+    match routed {
+        Some(node) => println!(
+            "served by {node} from {} (queue {:.1} ms, service {:.1} ms); artifact key {}",
+            resp.served.source, resp.served.queue_ms, resp.served.service_ms, r.artifact_key
+        ),
+        None => println!(
+            "served from {} (queue {:.1} ms, service {:.1} ms); artifact key {}",
+            resp.served.source, resp.served.queue_ms, resp.served.service_ms, r.artifact_key
+        ),
+    }
 }
 
 /// Per-thread loadgen tallies, merged under one mutex at the end.
@@ -140,15 +171,22 @@ struct Tally {
     matched: u64,
     mismatches: Vec<String>,
     sheds: u64,
-    sources: [u64; 4], // memory, disk, compiled, coalesced
+    sources: [u64; 5], // memory, disk, peer, compiled, coalesced
+    /// Fleet mode: responses served by each node index.
+    by_node: Vec<u64>,
 }
 
+/// Provenance slot. `compiled-disk-io` / `compiled-disk-corrupt` are
+/// compiles whose disk probe failed for distinguished reasons — still
+/// compiles; `peer` is a cache entry fetched from the artifact's ring
+/// owner.
 fn source_slot(source: &str) -> usize {
     match source {
         "memory" => 0,
         "disk" => 1,
-        "coalesced" => 3,
-        _ => 2,
+        "peer" => 2,
+        "coalesced" => 4,
+        _ => 3,
     }
 }
 
@@ -183,6 +221,33 @@ fn compile_with_retry(
             Err(ClientError::Wire(_)) => {
                 *sheds += 1;
                 *client = None;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    Err("retry budget exhausted (1000 attempts)".to_string())
+}
+
+/// Fleet-mode counterpart of [`compile_with_retry`]. The session owns
+/// per-node failover down the ring; this loop owns the "keep asking
+/// until the fleet answers" budget — a shed, a drain or a node dying
+/// mid-request all come back here and go around again, so a kill
+/// mid-run costs retries, never failed responses.
+fn fleet_compile_with_retry(
+    session: &mut RouterSession,
+    req: &CompileRequest,
+    sheds: &mut u64,
+) -> Result<(CompileResponse, usize), String> {
+    for _ in 0..1000 {
+        match session.compile(req) {
+            Ok(served) => return Ok(served),
+            Err(ClientError::Server(e)) if e.kind.is_backpressure() => {
+                *sheds += 1;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(ClientError::Wire(_)) => {
+                *sheds += 1;
                 std::thread::sleep(Duration::from_millis(20));
             }
             Err(e) => return Err(e.to_string()),
@@ -294,12 +359,21 @@ fn cmd_loadgen(addr: &str, args: &[String]) {
     let verify = !args.iter().any(|a| a == "--no-verify");
     let expect_dedup = args.iter().any(|a| a == "--expect-dedup");
     let phases = args.iter().any(|a| a == "--phases");
+    let summary_path = flag_value(args, "--fleet-summary");
     let models: Vec<String> = match flag_value(args, "--models") {
         Some(list) => list.split(',').map(str::to_string).collect(),
         None => table1_models().into_iter().map(|m| m.name).collect(),
     };
     if clients == 0 || repeat == 0 || models.is_empty() || pipeline == 0 {
         fail("loadgen needs at least one client, one repeat, one model and --pipeline >= 1");
+    }
+    let addrs = split_addrs(addr);
+    let router = (addrs.len() > 1).then(|| Router::new(addrs.clone()));
+    if router.is_some() && phases {
+        fail("--phases subscribes to one daemon's event bus; not supported with a fleet list");
+    }
+    if router.is_some() && pipeline > 1 {
+        fail("--pipeline routes per request; not supported with a fleet list");
     }
 
     // Expected responses, computed locally through the very pipeline
@@ -330,9 +404,11 @@ fn cmd_loadgen(addr: &str, args: &[String]) {
             let expected = &expected;
             let latency = &latency;
             let total = &total;
+            let router = &router;
             scope.spawn(move || {
                 let mut tally = Tally::default();
                 let mut client = None;
+                let mut session = router.as_ref().map(Router::session);
                 // Staggered model order decorrelates the clients so
                 // single-flight and batching actually race.
                 let plan: Vec<usize> = (0..repeat)
@@ -375,11 +451,27 @@ fn cmd_loadgen(addr: &str, args: &[String]) {
                     for &i in window {
                         let (req, want) = &expected[i];
                         let started = Instant::now();
-                        match compile_with_retry(addr, &mut client, req, &mut tally.sheds) {
-                            Ok(resp) => {
+                        let outcome = match &mut session {
+                            Some(session) => {
+                                fleet_compile_with_retry(session, req, &mut tally.sheds)
+                                    .map(|(resp, node)| (resp, Some(node)))
+                            }
+                            None => {
+                                compile_with_retry(addr, &mut client, req, &mut tally.sheds)
+                                    .map(|resp| (resp, None))
+                            }
+                        };
+                        match outcome {
+                            Ok((resp, node)) => {
                                 latency.record(started.elapsed().as_secs_f64() * 1e3);
                                 tally.requests += 1;
                                 tally.sources[source_slot(&resp.served.source)] += 1;
+                                if let Some(node) = node {
+                                    if tally.by_node.len() <= node {
+                                        tally.by_node.resize(node + 1, 0);
+                                    }
+                                    tally.by_node[node] += 1;
+                                }
                                 let got = resp.result.to_json().to_string();
                                 if !verify || got == *want {
                                     tally.matched += 1;
@@ -405,6 +497,12 @@ fn cmd_loadgen(addr: &str, args: &[String]) {
                 for (t, s) in total.sources.iter_mut().zip(tally.sources) {
                     *t += s;
                 }
+                if total.by_node.len() < tally.by_node.len() {
+                    total.by_node.resize(tally.by_node.len(), 0);
+                }
+                for (t, s) in total.by_node.iter_mut().zip(&tally.by_node) {
+                    *t += s;
+                }
                 total.mismatches.extend(tally.mismatches);
             });
         }
@@ -427,9 +525,17 @@ fn cmd_loadgen(addr: &str, args: &[String]) {
         tally.sheds
     );
     println!(
-        "  served: memory={} disk={} compiled={} coalesced={}",
-        tally.sources[0], tally.sources[1], tally.sources[2], tally.sources[3]
+        "  served: memory={} disk={} peer={} compiled={} coalesced={}",
+        tally.sources[0], tally.sources[1], tally.sources[2], tally.sources[3], tally.sources[4]
     );
+    if let Some(router) = &router {
+        let per_node: Vec<String> = (0..router.nodes())
+            .map(|i| {
+                format!("{}={}", node_id(i), tally.by_node.get(i).copied().unwrap_or(0))
+            })
+            .collect();
+        println!("  routed: {}", per_node.join(" "));
+    }
     println!(
         "  client latency: p50 {:.2} ms p90 {:.2} ms p99 {:.2} ms max {:.2} ms",
         quantiles.p50_ms, quantiles.p90_ms, quantiles.p99_ms, quantiles.max_ms
@@ -445,10 +551,10 @@ fn cmd_loadgen(addr: &str, args: &[String]) {
     for m in tally.mismatches.iter().take(8) {
         eprintln!("  MISMATCH {m}");
     }
-    if expect_dedup && tally.sources[2] as usize > models.len() {
+    if expect_dedup && tally.sources[3] as usize > models.len() {
         fail(format!(
             "dedup violated: {} pipeline compiles for {} distinct artifacts",
-            tally.sources[2],
+            tally.sources[3],
             models.len()
         ));
     }
@@ -459,6 +565,67 @@ fn cmd_loadgen(addr: &str, args: &[String]) {
     if verify && tally.matched != want {
         fail(format!("expected {want} byte-identical responses, got {}", tally.matched));
     }
+    if let Some(path) = summary_path {
+        write_fleet_summary(&path, router.as_ref(), &expected, &models, &tally, addr);
+    }
+}
+
+/// Writes the deterministic fleet summary: the routing table plus the
+/// per-node cache provenance. Every field is a pure function of the
+/// request set and the fleet size — wall-clock quantities (uptime,
+/// qps, latencies) are deliberately excluded — so two identical runs
+/// against fresh fleets produce byte-identical files.
+fn write_fleet_summary(
+    path: &str,
+    router: Option<&Router>,
+    expected: &[(CompileRequest, String)],
+    models: &[String],
+    tally: &Tally,
+    addr: &str,
+) {
+    let fleet_size = router.map_or(1, Router::nodes);
+    let mut routing = Json::obj();
+    for (model, (req, _)) in models.iter().zip(expected) {
+        let owner = router.map_or(0, |r| r.owner_of(req));
+        routing = routing.with(model.as_str(), node_id(owner));
+    }
+    // Per-node provenance from the cluster aggregate: cold-start
+    // deterministic (each owner misses exactly once per owned
+    // artifact; nobody else compiles it).
+    let stats = match router {
+        Some(r) => r.session().fleet_stats(),
+        None => connect(addr).fleet_stats(),
+    };
+    let nodes: Vec<Json> = match &stats {
+        Ok(f) => f
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                Json::obj()
+                    .with("node", n.node.clone())
+                    .with("alive", n.alive)
+                    .with("served", tally.by_node.get(i).copied().unwrap_or(0))
+                    .with("misses", n.cache_misses)
+                    .with("peer_hits", n.cache_peer_hits)
+            })
+            .collect(),
+        Err(e) => fail(format!("cannot aggregate fleet stats for the summary: {e}")),
+    };
+    let summary = Json::obj()
+        .with("fleet", fleet_size as u64)
+        .with(
+            "models",
+            Json::Arr(models.iter().map(|m| Json::from(m.as_str())).collect()),
+        )
+        .with("routing", routing)
+        .with("responses", tally.requests)
+        .with("matched", tally.matched)
+        .with("nodes", Json::Arr(nodes));
+    if let Err(e) = std::fs::write(path, format!("{}\n", summary.to_pretty())) {
+        fail(format!("cannot write fleet summary {path}: {e}"));
+    }
+    println!("  fleet summary written to {path}");
 }
 
 fn main() {
@@ -467,16 +634,36 @@ fn main() {
     let rest = &args[2..];
     match cmd.as_str() {
         "ping" => {
-            connect(addr).ping().unwrap_or_else(|e| fail(e));
-            println!("pong");
+            for a in split_addrs(addr) {
+                connect(&a).ping().unwrap_or_else(|e| fail(e));
+                println!("pong from {a}");
+            }
         }
         "stats" => {
-            let stats = connect(addr).stats().unwrap_or_else(|e| fail(e));
+            for a in split_addrs(addr) {
+                let stats = connect(&a).stats().unwrap_or_else(|e| fail(e));
+                println!("{}", stats.to_json().to_pretty());
+            }
+        }
+        "fleet-stats" => {
+            // Any alive member can aggregate; the router skips dead
+            // ones.
+            let mut session = Router::new(split_addrs(addr)).session();
+            let stats = session.fleet_stats().unwrap_or_else(|e| fail(e));
             println!("{}", stats.to_json().to_pretty());
         }
         "shutdown" => {
-            connect(addr).shutdown().unwrap_or_else(|e| fail(e));
-            println!("server draining");
+            // Best-effort across the list: a member that is already
+            // gone should not block draining the survivors.
+            for a in split_addrs(addr) {
+                match Client::connect_retry(a.as_str(), Duration::from_secs(2))
+                    .map_err(|e| e.to_string())
+                    .and_then(|mut c| c.shutdown().map_err(|e| e.to_string()))
+                {
+                    Ok(()) => println!("{a} draining"),
+                    Err(e) => eprintln!("overlap-client: {a} not drained: {e}"),
+                }
+            }
         }
         "compile" => cmd_compile(addr, rest),
         "loadgen" => cmd_loadgen(addr, rest),

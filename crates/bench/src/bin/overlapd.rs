@@ -28,13 +28,15 @@ use std::sync::{Arc, OnceLock};
 
 use overlap_core::ArtifactCache;
 use overlap_serve::{
-    ChromeTraceObserver, EventObserver, RecordObserver, ServeConfig, Server, ShutdownHandle,
+    ChromeTraceObserver, EventObserver, FleetConfig, FleetState, RecordObserver, ServeConfig,
+    Server, ShutdownHandle,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: overlapd [--addr HOST:PORT] [--workers N] [--queue-depth N] \
-         [--port-file PATH] [--cache-dir DIR] [--record FILE] [--chrome-trace FILE]"
+         [--port-file PATH] [--cache-dir DIR] [--record FILE] [--chrome-trace FILE] \
+         [--fleet-node I --fleet-peers HOST:PORT,HOST:PORT,...]"
     );
     std::process::exit(2);
 }
@@ -130,6 +132,26 @@ fn main() {
         Ok(a) => a,
         Err(e) => fail(format!("cannot read bound address: {e}")),
     };
+
+    // Fleet membership: `--fleet-node I --fleet-peers a,b,c` joins
+    // this daemon as node I of the listed fleet (the list includes
+    // this daemon's own address; every member must pass the identical
+    // list, in the identical order, or the rings disagree).
+    let fleet_node: Option<usize> = parsed_flag(&args, "--fleet-node");
+    let fleet_peers = flag_value(&args, "--fleet-peers");
+    match (fleet_node, fleet_peers) {
+        (Some(idx), Some(peers)) => {
+            let addrs: Vec<String> =
+                peers.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+            if idx >= addrs.len() {
+                fail(format!("--fleet-node {idx} out of range for {} peers", addrs.len()));
+            }
+            eprintln!("overlapd: fleet node {idx} of {}", addrs.len());
+            server.configure_fleet(FleetState::new(FleetConfig::new(idx, addrs)));
+        }
+        (None, None) => {}
+        _ => fail("--fleet-node and --fleet-peers must be given together"),
+    }
     DRAIN.set(server.shutdown_handle()).ok();
     install_signal_handlers();
 

@@ -23,14 +23,20 @@ use overlap_bench::{
     sweep_threads, write_json,
 };
 use overlap_core::{
-    asyncify, decompose_each, find_patterns, fuse, schedule_bottom_up_with, ArtifactCache,
-    CostModel, DecomposeOptions, OverlapOptions, OverlapPipeline, PhaseTimings,
+    artifact_key, asyncify, decompose_each, find_patterns, fuse, schedule_bottom_up_with,
+    ArtifactCache, CostModel, DecomposeOptions, OverlapOptions, OverlapPipeline, PhaseTimings,
 };
-use overlap_hlo::{eliminate_common_subexpressions, InstrId, Module};
+use overlap_hlo::{
+    eliminate_common_subexpressions, Builder, DType, DotDims, InstrId, Module, ReplicaGroups,
+    Shape,
+};
 use overlap_json::{Json, ToJson};
 use overlap_mesh::{FaultSpec, Machine};
 use overlap_models::{table1_models, Arch, ModelConfig, PartitionStrategy};
-use overlap_serve::{Client, CompileRequest, Histogram, Request, Response, ServeConfig, Server};
+use overlap_serve::{
+    Client, CompileRequest, FleetHarness, HashRing, Histogram, MachineSpec, ModelRef, Request,
+    Response, ServeConfig, Server, DEFAULT_VNODES,
+};
 use overlap_sim::{
     simulate_faulted, simulate_order, simulate_order_faulted_with, simulate_order_repeated_with,
     CostTable,
@@ -516,6 +522,189 @@ fn serve_bench() -> (ServeBench, bool) {
     (record, ok)
 }
 
+/// Nodes in the in-process fleet bench (the ci.sh smoke runs the same
+/// topology as separate daemons).
+const FLEET_NODES: usize = 4;
+/// Structurally distinct inline artifacts pushed through the
+/// guaranteed owner→peer fetch path.
+const PEER_ARTIFACTS: usize = 8;
+/// Hard ceiling on the warm peer-fetch p99, in milliseconds. A peer
+/// hit is one connect, one `fetch` frame and one revalidation of a
+/// tiny module — far under a recompile; the ceiling catches a peer
+/// tier that silently recompiles or spins in retries.
+const PEER_P99_CEILING_MS: f64 = 250.0;
+
+struct FleetBench {
+    nodes: usize,
+    /// Table-1 models driven through the router (cold + warm).
+    routed_models: usize,
+    cold_seconds: f64,
+    warm_seconds: f64,
+    /// Inline artifacts driven through the peer-fetch path.
+    peer_artifacts: usize,
+    peer_seconds: f64,
+    /// Client-observed latency quantiles of the peer-fetch compiles.
+    peer_p50_ms: f64,
+    peer_p99_ms: f64,
+    peer_max_ms: f64,
+    /// Summed local compiles across the cluster (must equal the
+    /// distinct artifact count: each compiles on exactly one node).
+    cluster_misses: u64,
+    /// Summed peer-tier hits (must equal [`PEER_ARTIFACTS`]).
+    cluster_peer_hits: u64,
+    alive: usize,
+}
+
+impl ToJson for FleetBench {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("nodes", self.nodes as u64)
+            .with("routed_models", self.routed_models as u64)
+            .with("cold_seconds", self.cold_seconds)
+            .with("warm_seconds", self.warm_seconds)
+            .with("peer_artifacts", self.peer_artifacts as u64)
+            .with("peer_seconds", self.peer_seconds)
+            .with("peer_p50_ms", self.peer_p50_ms)
+            .with("peer_p99_ms", self.peer_p99_ms)
+            .with("peer_max_ms", self.peer_max_ms)
+            .with("cluster_misses", self.cluster_misses)
+            .with("cluster_peer_hits", self.cluster_peer_hits)
+            .with("alive", self.alive as u64)
+    }
+}
+
+/// A tiny 4-way all-gather + matmul layer, structurally distinct per
+/// index (the artifact key fingerprints structure, so each index is
+/// its own single-owner cache entry).
+fn peer_module(i: usize) -> Module {
+    let n = 4;
+    let rows = 1024 + 64 * i;
+    let mut b = Builder::new(&format!("fleet_peer_{i}"), n);
+    let x = b.parameter(Shape::new(DType::BF16, vec![rows, 1024]), "x");
+    let w = b.parameter(Shape::new(DType::BF16, vec![1024, 4096 / n]), "w");
+    let wg = b.all_gather(w, 1, ReplicaGroups::full(n), "wg");
+    let y = b.einsum(x, wg, DotDims::matmul(), "y");
+    b.build(vec![y])
+}
+
+/// Fleet bench (hard gate): [`FLEET_NODES`] in-process daemons on one
+/// consistent-hash ring. Three phases — cold Table-1 through the
+/// router (each model compiles on its ring owner, once cluster-wide),
+/// warm repeat (all memory hits, byte-identical), then a peer-fetch
+/// phase that pins artifact placement client-side so every fetch is a
+/// guaranteed owner hit: compile at the artifact-ring owner, then at
+/// the next node in ring order, whose fetch plan starts with that
+/// owner. Gates: sharding and provenance as described, byte-identity
+/// everywhere, exactly one local compile per distinct artifact, one
+/// peer hit per inline artifact, every node alive, and the peer-fetch
+/// p99 under [`PEER_P99_CEILING_MS`].
+fn fleet_bench() -> (FleetBench, bool) {
+    let models = table1_models();
+    let names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        queue_depth: 64,
+        ..ServeConfig::default()
+    };
+    let fleet =
+        FleetHarness::launch(FLEET_NODES, &config, &|_| ArtifactCache::in_memory(), |cfg| cfg)
+            .expect("launch fleet bench");
+    let router = fleet.router();
+    let mut session = router.session();
+    let mut ok = true;
+
+    // Cold pass: every Table-1 model through the router, each landing
+    // on its ring owner and compiling there.
+    let t = Instant::now();
+    let cold: Vec<String> = names
+        .iter()
+        .map(|n| {
+            let req = CompileRequest::named(*n);
+            let (resp, served_by) = session.compile(&req).expect("cold fleet compile");
+            ok &= served_by == router.owner_of(&req);
+            ok &= resp.served.source.starts_with("compiled");
+            resp.result.to_json().to_string()
+        })
+        .collect();
+    let cold_seconds = t.elapsed().as_secs_f64();
+
+    // Warm pass: the same set again — memory hits, byte-identical.
+    let t = Instant::now();
+    for (n, want) in names.iter().zip(&cold) {
+        let (resp, _) = session.compile(&CompileRequest::named(*n)).expect("warm fleet compile");
+        ok &= resp.served.source == "memory";
+        ok &= &resp.result.to_json().to_string() == want;
+    }
+    let warm_seconds = t.elapsed().as_secs_f64();
+
+    // Peer phase. The fetch ring is a pure function of (nodes, vnodes),
+    // so the bench can compute placement exactly as the daemons do.
+    let ring = HashRing::new(FLEET_NODES, DEFAULT_VNODES);
+    let machine = Machine::tpu_v4_like(4);
+    let addrs = fleet.addrs();
+    let latency = Histogram::new();
+    let t = Instant::now();
+    for i in 0..PEER_ARTIFACTS {
+        let module = peer_module(i);
+        let req = CompileRequest {
+            model: ModelRef::Inline(Box::new(module.clone())),
+            machine: MachineSpec::TpuV4 { chips: 4 },
+            options: OverlapOptions::paper_default(),
+            fault_spec: None,
+            deadline_ms: None,
+        };
+        let order = ring.route(artifact_key(&module, &machine, &req.options));
+        let (owner, target) = (order[0], order[1]);
+
+        let mut at_owner = Client::connect(&addrs[owner]).expect("connect artifact owner");
+        let first = at_owner.compile(req.clone()).expect("owner compile");
+        ok &= first.served.source.starts_with("compiled");
+
+        let mut at_peer = Client::connect(&addrs[target]).expect("connect peer node");
+        let t1 = Instant::now();
+        let fetched = at_peer.compile(req).expect("peer compile");
+        latency.record(t1.elapsed().as_secs_f64() * 1e3);
+        ok &= fetched.served.source == "peer";
+        ok &= fetched.result.to_json().to_string() == first.result.to_json().to_string();
+    }
+    let peer_seconds = t.elapsed().as_secs_f64();
+
+    let agg = session.fleet_stats().expect("fleet stats");
+    let cluster_misses: u64 = agg.nodes.iter().map(|n| n.cache_misses).sum();
+    let cluster_peer_hits: u64 = agg.nodes.iter().map(|n| n.cache_peer_hits).sum();
+    ok &= agg.alive == FLEET_NODES;
+    ok &= cluster_misses == (names.len() + PEER_ARTIFACTS) as u64;
+    ok &= cluster_peer_hits == PEER_ARTIFACTS as u64;
+    fleet.shutdown_all();
+
+    let peer = latency.summary();
+    ok &= peer.p99_ms <= PEER_P99_CEILING_MS;
+    let record = FleetBench {
+        nodes: FLEET_NODES,
+        routed_models: names.len(),
+        cold_seconds,
+        warm_seconds,
+        peer_artifacts: PEER_ARTIFACTS,
+        peer_seconds,
+        peer_p50_ms: peer.p50_ms,
+        peer_p99_ms: peer.p99_ms,
+        peer_max_ms: peer.max_ms,
+        cluster_misses,
+        cluster_peer_hits,
+        alive: agg.alive,
+    };
+    if !ok {
+        eprintln!(
+            "fleet bench: misses={cluster_misses} (want {}) peer_hits={cluster_peer_hits} \
+             (want {PEER_ARTIFACTS}) alive={} p99={:.2}ms (ceiling {PEER_P99_CEILING_MS}ms)",
+            names.len() + PEER_ARTIFACTS,
+            agg.alive,
+            peer.p99_ms
+        );
+    }
+    (record, ok)
+}
+
 struct PerfRecord {
     reps: usize,
     /// Repeated simulation rebuilding every instruction cost per run
@@ -536,6 +725,7 @@ struct PerfRecord {
     autotune: AutotuneBench,
     tail: TailBench,
     serve: ServeBench,
+    fleet: FleetBench,
     threads: usize,
 }
 
@@ -555,6 +745,7 @@ impl ToJson for PerfRecord {
             .with("autotune", self.autotune.to_json())
             .with("tail", self.tail.to_json())
             .with("serve", self.serve.to_json())
+            .with("fleet", self.fleet.to_json())
             .with("threads", self.threads as u64)
     }
 }
@@ -809,6 +1000,10 @@ fn main() {
     // (hard gate on byte-identity, dedup, and zero sheds/errors).
     let (serve, serve_ok) = serve_bench();
 
+    // Fleet layer: a 4-node consistent-hash ring in one process (hard
+    // gate on sharded dedup, peer-fetch provenance and latency).
+    let (fleet, fleet_ok) = fleet_bench();
+
     let record = PerfRecord {
         reps,
         sim_fresh_seconds,
@@ -823,6 +1018,7 @@ fn main() {
         autotune,
         tail,
         serve,
+        fleet,
         threads: sweep_threads(),
     };
     println!(
@@ -886,6 +1082,19 @@ fn main() {
         record.serve.pipelined,
         record.serve.coalesced
     );
+    println!(
+        "fleet: {} nodes, cold {:.3}s, warm {:.3}s, {} peer fetches in {:.3}s \
+         (p50 {:.2}ms, p99 {:.2}ms), {} compiles cluster-wide, {} peer hits",
+        record.fleet.nodes,
+        record.fleet.cold_seconds,
+        record.fleet.warm_seconds,
+        record.fleet.peer_artifacts,
+        record.fleet.peer_seconds,
+        record.fleet.peer_p50_ms,
+        record.fleet.peer_p99_ms,
+        record.fleet.cluster_misses,
+        record.fleet.cluster_peer_hits
+    );
     write_json("BENCH_sim", &record);
 
     if !fault_ok {
@@ -941,6 +1150,14 @@ fn main() {
         eprintln!(
             "serve regression: a warm response diverged from its cold compile, the pipeline \
              ran more than once per model, or requests shed/errored under {SERVE_CLIENTS} clients"
+        );
+        std::process::exit(1);
+    }
+    if !fleet_ok {
+        eprintln!(
+            "fleet regression: an artifact compiled off its ring owner (or more than once \
+             cluster-wide), a peer fetch recompiled or diverged, a node went dead, or the \
+             warm peer-fetch p99 broke {PEER_P99_CEILING_MS}ms"
         );
         std::process::exit(1);
     }

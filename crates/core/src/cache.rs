@@ -97,6 +97,10 @@ pub struct CacheStats {
     pub memory_hits: u64,
     /// Lookups served by loading and revalidating a disk entry.
     pub disk_hits: u64,
+    /// Lookups served by fetching and revalidating a peer's entry
+    /// (fleet cache peering; see
+    /// [`ArtifactCache::compile_traced_with_fetch`]).
+    pub peer_hits: u64,
     /// Lookups that ran the full pipeline.
     pub misses: u64,
 }
@@ -111,19 +115,43 @@ pub enum CacheOutcome {
     MemoryHit,
     /// Loaded and revalidated from the disk tier.
     DiskHit,
+    /// Fetched from a fleet peer and revalidated (payload hash +
+    /// verify-on-load, exactly like a disk entry).
+    PeerHit,
     /// Ran the full pipeline (a disabled cache always lands here).
     Miss,
+    /// Ran the full pipeline because the disk entry existed but could
+    /// not be *read* (I/O error). Transient by nature — peering layers
+    /// may retry this case.
+    MissDiskIo,
+    /// Ran the full pipeline because the disk entry was *corrupt*
+    /// (unparseable, payload-hash mismatch, unverifiable payload).
+    /// Permanent for that entry — peering layers must not retry it.
+    MissDiskCorrupt,
 }
 
 impl CacheOutcome {
-    /// Stable wire/log name: `"memory"`, `"disk"` or `"compiled"`.
+    /// Stable wire/log name: `"memory"`, `"disk"`, `"peer"`,
+    /// `"compiled"`, `"compiled-disk-io"` or `"compiled-disk-corrupt"`.
     #[must_use]
     pub fn as_str(self) -> &'static str {
         match self {
             CacheOutcome::MemoryHit => "memory",
             CacheOutcome::DiskHit => "disk",
+            CacheOutcome::PeerHit => "peer",
             CacheOutcome::Miss => "compiled",
+            CacheOutcome::MissDiskIo => "compiled-disk-io",
+            CacheOutcome::MissDiskCorrupt => "compiled-disk-corrupt",
         }
+    }
+
+    /// True when the pipeline actually ran (any `Miss*` variant).
+    #[must_use]
+    pub fn compiled(self) -> bool {
+        matches!(
+            self,
+            CacheOutcome::Miss | CacheOutcome::MissDiskIo | CacheOutcome::MissDiskCorrupt
+        )
     }
 }
 
@@ -131,7 +159,7 @@ impl CacheStats {
     /// Total lookups served without compiling.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.memory_hits + self.disk_hits
+        self.memory_hits + self.disk_hits + self.peer_hits
     }
 
     /// Total lookups.
@@ -152,8 +180,42 @@ impl CacheStats {
     }
 }
 
-struct MemEntry {
+/// Everything an entry records about the compile that produced it,
+/// besides the payload: the lookup key plus the independent fingerprints
+/// a loader revalidates. Kept alongside the in-memory payload so the
+/// memory tier can export a full wire entry without a disk tier.
+#[derive(Clone)]
+struct EntryMeta {
+    key: Fingerprint,
+    module_fp: Fingerprint,
+    machine_fp: Fingerprint,
+    options_fp: Fingerprint,
+    fault_fp: String,
     input_identity: Fingerprint,
+}
+
+impl EntryMeta {
+    fn of(
+        key: Fingerprint,
+        identity: Fingerprint,
+        module: &Module,
+        machine: &Machine,
+        options: &OverlapOptions,
+        faults: Option<&FaultSpec>,
+    ) -> EntryMeta {
+        EntryMeta {
+            key,
+            module_fp: module.fingerprint(),
+            machine_fp: machine.fingerprint(),
+            options_fp: options.fingerprint(),
+            fault_fp: fault_fp_string(faults),
+            input_identity: identity,
+        }
+    }
+}
+
+struct MemEntry {
+    meta: EntryMeta,
     compiled: Compiled,
 }
 
@@ -173,6 +235,7 @@ pub struct ArtifactCache {
     verify_hits: bool,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
+    peer_hits: AtomicU64,
     misses: AtomicU64,
 }
 
@@ -203,6 +266,7 @@ impl ArtifactCache {
             verify_hits: false,
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
+            peer_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
@@ -269,6 +333,7 @@ impl ArtifactCache {
         CacheStats {
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            peer_hits: self.peer_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
@@ -323,6 +388,35 @@ impl ArtifactCache {
         module: &Module,
         machine: &Machine,
     ) -> Result<(Compiled, CacheOutcome), HloError> {
+        self.compile_traced_with_fetch(pipeline, module, machine, &mut || None)
+    }
+
+    /// [`ArtifactCache::compile_traced`] with a peer-fetch hook: when
+    /// both local tiers miss, `fetch` is asked for candidate wire
+    /// entries (the versioned JSON produced by [`ArtifactCache::
+    /// export_entry`] on another node) until it returns `None` or one
+    /// candidate survives the full disk-tier revalidation (fingerprint
+    /// metadata, payload hash, verify-on-load, cost-table rebuild). A
+    /// candidate that fails validation is rejected with a warning and
+    /// the hook is asked for the *next* one — a corrupt peer entry is
+    /// never retried, only skipped. Accepted entries install into the
+    /// memory tier, persist to the disk tier (re-sharing), count as
+    /// [`CacheStats::peer_hits`] and report [`CacheOutcome::PeerHit`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ArtifactCache::compile`].
+    ///
+    /// # Panics
+    ///
+    /// Exactly as [`ArtifactCache::compile`].
+    pub fn compile_traced_with_fetch(
+        &self,
+        pipeline: &OverlapPipeline,
+        module: &Module,
+        machine: &Machine,
+        fetch: &mut dyn FnMut() -> Option<Json>,
+    ) -> Result<(Compiled, CacheOutcome), HloError> {
         if !self.enabled {
             return pipeline.run(module, machine).map(|c| (c, CacheOutcome::Miss));
         }
@@ -335,7 +429,7 @@ impl ArtifactCache {
             let mut slots = self.slots.lock().expect("cache lock");
             loop {
                 match slots.get(&key.as_u128()) {
-                    Some(Slot::Ready(e)) if e.input_identity == identity => {
+                    Some(Slot::Ready(e)) if e.meta.input_identity == identity => {
                         // Take the Arc, not the payload: cloning a large
                         // `Compiled` under the lock would serialize every
                         // concurrent hit.
@@ -363,21 +457,54 @@ impl ArtifactCache {
         // pipeline), the guard clears the in-flight marker and wakes the
         // waiters so one of them can take over.
         let flight = Flight { cache: self, key: key.as_u128(), installed: false };
+        let meta = EntryMeta::of(key, identity, module, machine, pipeline.options(), faults);
 
-        if let Some(compiled) =
-            self.load_disk(key, identity, module, machine, pipeline.options(), faults)
-        {
+        let disk = self.load_disk(&meta, machine);
+        if let DiskLoad::Hit(compiled) = disk {
+            let compiled = *compiled;
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
-            flight.install(MemEntry { input_identity: identity, compiled: compiled.clone() });
+            flight.install(MemEntry { meta, compiled: compiled.clone() });
             self.maybe_verify_hit(pipeline, module, machine, &compiled);
             return Ok((compiled, CacheOutcome::DiskHit));
         }
 
+        // Peer tier: every candidate entry is as untrusted as a disk
+        // file and goes through the identical revalidation.
+        while let Some(candidate) = fetch() {
+            match decode_entry(&candidate, &meta, machine) {
+                EntryDecode::Hit(compiled) => {
+                    let compiled = *compiled;
+                    self.peer_hits.fetch_add(1, Ordering::Relaxed);
+                    self.store_disk(&meta, &compiled);
+                    flight.install(MemEntry { meta, compiled: compiled.clone() });
+                    self.maybe_verify_hit(pipeline, module, machine, &compiled);
+                    return Ok((compiled, CacheOutcome::PeerHit));
+                }
+                EntryDecode::Stale => {
+                    eprintln!(
+                        "warning: overlap cache: peer entry for {key} is stale; trying next peer"
+                    );
+                }
+                EntryDecode::Corrupt(what) => {
+                    eprintln!(
+                        "warning: overlap cache: peer entry for {key} is corrupt ({what}); \
+                         trying next peer"
+                    );
+                }
+            }
+        }
+
         let compiled = pipeline.run(module, machine)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.store_disk(key, identity, module, machine, pipeline.options(), faults, &compiled);
-        flight.install(MemEntry { input_identity: identity, compiled: compiled.clone() });
-        Ok((compiled, CacheOutcome::Miss))
+        self.store_disk(&meta, &compiled);
+        flight.install(MemEntry { meta, compiled: compiled.clone() });
+        let outcome = match disk {
+            DiskLoad::Hit(_) => unreachable!("disk hits return above"),
+            DiskLoad::Absent => CacheOutcome::Miss,
+            DiskLoad::Io => CacheOutcome::MissDiskIo,
+            DiskLoad::Corrupt => CacheOutcome::MissDiskCorrupt,
+        };
+        Ok((compiled, outcome))
     }
 
     fn maybe_verify_hit(
@@ -406,163 +533,222 @@ impl ArtifactCache {
         self.disk_dir.as_ref().map(|d| d.join(format!("{key}.json")))
     }
 
-    /// Loads, revalidates and rehydrates a disk entry. Any failure
-    /// returns `None` (a miss), but the causes are distinguished: a
-    /// missing file is the ordinary cold-cache case and stays silent, an
-    /// unreadable file (I/O error other than not-found) and a corrupt
-    /// entry (unparseable JSON, payload-hash mismatch, undecodable or
-    /// unverifiable payload) each warn once on stderr so a sick disk or
-    /// bit rot is visible instead of masquerading as an eternal miss.
-    /// Stale-but-well-formed metadata (old version, other fingerprints)
-    /// is expected churn and stays silent too.
-    fn load_disk(
-        &self,
-        key: Fingerprint,
-        identity: Fingerprint,
-        module: &Module,
-        machine: &Machine,
-        options: &OverlapOptions,
-        faults: Option<&FaultSpec>,
-    ) -> Option<Compiled> {
+    /// Exports the full versioned wire entry for `key` — the same JSON
+    /// layout the disk tier persists — so a fleet peer can transfer it
+    /// and revalidate it independently. Served from the memory tier
+    /// (re-encoded from the live [`Compiled`]) or, failing that, read
+    /// back from the disk tier. `None` when this cache holds no entry
+    /// for `key`; the *importer* performs all validation, so a corrupt
+    /// local disk file is shipped as-is and rejected on the other end.
+    #[must_use]
+    pub fn export_entry(&self, key: Fingerprint) -> Option<Json> {
+        let mem = {
+            let slots = self.slots.lock().expect("cache lock");
+            match slots.get(&key.as_u128()) {
+                Some(Slot::Ready(e)) => Some(Arc::clone(e)),
+                _ => None,
+            }
+        };
+        if let Some(e) = mem {
+            return Some(encode_entry(&e.meta, &e.compiled));
+        }
         let path = self.entry_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let v = Json::parse(&text).ok()?;
+        // Cheap sanity only — don't serve a file that is for another key
+        // outright; deeper validation is the importer's job.
+        (v["key"].as_str() == Some(key.to_string().as_str())).then_some(v)
+    }
+
+    /// Loads, revalidates and rehydrates a disk entry. Any failure is a
+    /// miss, but the causes are distinguished (and surface in
+    /// [`CacheOutcome`]): a missing file is the ordinary cold-cache case
+    /// and stays silent, an unreadable file (I/O error other than
+    /// not-found) and a corrupt entry (unparseable JSON, payload-hash
+    /// mismatch, undecodable or unverifiable payload) each warn once on
+    /// stderr so a sick disk or bit rot is visible instead of
+    /// masquerading as an eternal miss. Stale-but-well-formed metadata
+    /// (old version, other fingerprints) is expected churn and stays
+    /// silent too.
+    fn load_disk(&self, meta: &EntryMeta, machine: &Machine) -> DiskLoad {
+        let Some(path) = self.entry_path(meta.key) else { return DiskLoad::Absent };
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return DiskLoad::Absent,
             Err(e) => {
                 eprintln!(
                     "warning: overlap cache: cannot read {}: {e} (treating as miss)",
                     path.display()
                 );
-                return None;
+                return DiskLoad::Io;
             }
         };
-        let corrupt = |what: &str| {
+        let Ok(v) = Json::parse(&text) else {
             eprintln!(
-                "warning: overlap cache: corrupt entry {} ({what}); recompiling",
+                "warning: overlap cache: corrupt entry {} (unparseable JSON); recompiling",
                 path.display()
             );
+            return DiskLoad::Corrupt;
         };
-        let Ok(v) = Json::parse(&text) else {
-            corrupt("unparseable JSON");
-            return None;
-        };
-
-        // Stale metadata → silent miss. Every fingerprint recorded at
-        // store time must match what this lookup derived independently.
-        let hex = |k: &str| Fingerprint::from_hex(v[k].as_str()?);
-        let fault_fp = match faults {
-            Some(spec) => spec.fingerprint().to_string(),
-            None => "none".to_string(),
-        };
-        if v["version"].as_str() != Some(VERSION)
-            || hex("key") != Some(key)
-            || hex("module_fingerprint") != Some(module.fingerprint())
-            || hex("machine_fingerprint") != Some(machine.fingerprint())
-            || hex("options_fingerprint") != Some(options.fingerprint())
-            || v["fault_fingerprint"].as_str() != Some(fault_fp.as_str())
-            || hex("input_identity") != Some(identity)
-        {
-            return None;
+        match decode_entry(&v, meta, machine) {
+            EntryDecode::Hit(compiled) => DiskLoad::Hit(compiled),
+            EntryDecode::Stale => DiskLoad::Absent,
+            EntryDecode::Corrupt(what) => {
+                eprintln!(
+                    "warning: overlap cache: corrupt entry {} ({what}); recompiling",
+                    path.display()
+                );
+                DiskLoad::Corrupt
+            }
         }
-
-        // The payload hash covers the canonical encoding of everything
-        // below; re-encoding the decoded payload and comparing detects
-        // any edit or bit rot that survived parsing.
-        let Some(payload) = v.get("payload") else {
-            corrupt("missing payload");
-            return None;
-        };
-        if hex("payload_fingerprint") != Some(payload_fingerprint(payload)) {
-            corrupt("payload hash mismatch");
-            return None;
-        }
-
-        let decoded = (|| -> Result<_, String> {
-            let module = Module::from_json(payload.get("module").ok_or("no module")?)?;
-            let order = Vec::<InstrId>::from_json(payload.get("order").ok_or("no order")?)?;
-            let summaries = Vec::<DecomposeSummary>::from_json(
-                payload.get("summaries").ok_or("no summaries")?,
-            )?;
-            let decisions = Vec::<GateDecision>::from_json(
-                payload.get("decisions").ok_or("no decisions")?,
-            )?;
-            let fallbacks = Vec::<FallbackRecord>::from_json(
-                payload.get("fallbacks").ok_or("no fallbacks")?,
-            )?;
-            let timings =
-                PhaseTimings::from_json(payload.get("timings").ok_or("no timings")?)?;
-            Ok((module, order, summaries, decisions, fallbacks, timings))
-        })();
-        let Ok((module, order, summaries, decisions, fallbacks, timings)) = decoded else {
-            corrupt("undecodable payload");
-            return None;
-        };
-
-        // Decoded modules are untrusted until verified; the cost table is
-        // rebuilt (deterministically) rather than persisted.
-        if module.verify().is_err() {
-            corrupt("payload module fails verification");
-            return None;
-        }
-        let mut analysis = ModuleAnalysis::of(&module);
-        analysis.mark_verified(&module);
-        let Ok(cost_table) = CostTable::with_analysis(&module, &analysis, machine) else {
-            corrupt("payload module has no computable costs");
-            return None;
-        };
-        Some(Compiled { module, order, summaries, decisions, fallbacks, cost_table, timings })
     }
 
     /// Persists an entry atomically (temp file + rename). I/O failures
     /// are swallowed: a cache that cannot write is slow, not broken.
-    // Every argument is a distinct ingredient of the entry's metadata
-    // block; bundling them would just move the list into a struct.
-    #[allow(clippy::too_many_arguments)]
-    fn store_disk(
-        &self,
-        key: Fingerprint,
-        identity: Fingerprint,
-        module: &Module,
-        machine: &Machine,
-        options: &OverlapOptions,
-        faults: Option<&FaultSpec>,
-        compiled: &Compiled,
-    ) {
-        let Some(path) = self.entry_path(key) else { return };
+    fn store_disk(&self, meta: &EntryMeta, compiled: &Compiled) {
+        let Some(path) = self.entry_path(meta.key) else { return };
         let Some(dir) = self.disk_dir.as_ref() else { return };
-
-        let payload = Json::obj()
-            .with("module", compiled.module.to_json())
-            .with("order", compiled.order.to_json())
-            .with("summaries", compiled.summaries.to_json())
-            .with("decisions", compiled.decisions.to_json())
-            .with("fallbacks", compiled.fallbacks.to_json())
-            .with("timings", compiled.timings.to_json());
-        let fault_fp = match faults {
-            Some(spec) => spec.fingerprint().to_string(),
-            None => "none".to_string(),
-        };
-        let entry = Json::obj()
-            .with("version", VERSION)
-            .with("key", key.to_string())
-            .with("module_fingerprint", module.fingerprint().to_string())
-            .with("machine_fingerprint", machine.fingerprint().to_string())
-            .with("options_fingerprint", options.fingerprint().to_string())
-            .with("fault_fingerprint", fault_fp)
-            .with("input_identity", identity.to_string())
-            .with("payload_fingerprint", payload_fingerprint(&payload).to_string())
-            .with("payload", payload);
-
+        let entry = encode_entry(meta, compiled);
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
-        let tmp = dir.join(format!(".{key}.{}.tmp", std::process::id()));
+        let tmp = dir.join(format!(".{}.{}.tmp", meta.key, std::process::id()));
         if std::fs::write(&tmp, entry.to_pretty()).is_ok()
             && std::fs::rename(&tmp, &path).is_err()
         {
             let _ = std::fs::remove_file(&tmp);
         }
     }
+}
+
+/// How one disk-tier lookup resolved; the miss cases carry *why* so
+/// [`CacheOutcome`] can report provenance a peering layer acts on
+/// (retry I/O, never retry corruption).
+enum DiskLoad {
+    /// Revalidated entry, ready to serve.
+    Hit(Box<Compiled>),
+    /// No entry (missing file, no disk tier, or stale metadata).
+    Absent,
+    /// Entry exists but could not be read.
+    Io,
+    /// Entry exists but failed validation.
+    Corrupt,
+}
+
+/// How one untrusted wire/disk entry decoded against the expected
+/// metadata.
+enum EntryDecode {
+    /// Fully revalidated and rehydrated.
+    Hit(Box<Compiled>),
+    /// Well-formed but recorded for different inputs (or an older
+    /// version) — expected churn, not damage.
+    Stale,
+    /// Structurally damaged: missing or hash-mismatched payload,
+    /// undecodable fields, or a payload that fails verification.
+    Corrupt(&'static str),
+}
+
+/// The stable string form of a fault-spec fingerprint in entry
+/// metadata; `"none"` for fault-free compiles.
+fn fault_fp_string(faults: Option<&FaultSpec>) -> String {
+    match faults.filter(|s| !s.is_noop()) {
+        Some(spec) => spec.fingerprint().to_string(),
+        None => "none".to_string(),
+    }
+}
+
+/// Encodes the canonical wire/disk entry: metadata block + payload +
+/// payload hash. [`decode_entry`] is its exact inverse (plus
+/// validation).
+fn encode_entry(meta: &EntryMeta, compiled: &Compiled) -> Json {
+    let payload = Json::obj()
+        .with("module", compiled.module.to_json())
+        .with("order", compiled.order.to_json())
+        .with("summaries", compiled.summaries.to_json())
+        .with("decisions", compiled.decisions.to_json())
+        .with("fallbacks", compiled.fallbacks.to_json())
+        .with("timings", compiled.timings.to_json());
+    Json::obj()
+        .with("version", VERSION)
+        .with("key", meta.key.to_string())
+        .with("module_fingerprint", meta.module_fp.to_string())
+        .with("machine_fingerprint", meta.machine_fp.to_string())
+        .with("options_fingerprint", meta.options_fp.to_string())
+        .with("fault_fingerprint", meta.fault_fp.clone())
+        .with("input_identity", meta.input_identity.to_string())
+        .with("payload_fingerprint", payload_fingerprint(&payload).to_string())
+        .with("payload", payload)
+}
+
+/// Validates and rehydrates one untrusted entry (disk file or peer
+/// transfer) against the metadata this lookup derived independently.
+/// The shared core of the disk tier and the fleet's cache peering: an
+/// entry is served only if every recorded fingerprint matches, the
+/// payload hash survives a re-encode, the decoded module verifies, and
+/// its cost table rebuilds.
+fn decode_entry(v: &Json, meta: &EntryMeta, machine: &Machine) -> EntryDecode {
+    // Stale metadata → silent miss. Every fingerprint recorded at
+    // store time must match what this lookup derived independently.
+    let hex = |k: &str| Fingerprint::from_hex(v[k].as_str()?);
+    if v["version"].as_str() != Some(VERSION)
+        || hex("key") != Some(meta.key)
+        || hex("module_fingerprint") != Some(meta.module_fp)
+        || hex("machine_fingerprint") != Some(meta.machine_fp)
+        || hex("options_fingerprint") != Some(meta.options_fp)
+        || v["fault_fingerprint"].as_str() != Some(meta.fault_fp.as_str())
+        || hex("input_identity") != Some(meta.input_identity)
+    {
+        return EntryDecode::Stale;
+    }
+
+    // The payload hash covers the canonical encoding of everything
+    // below; re-encoding the decoded payload and comparing detects
+    // any edit or bit rot that survived parsing.
+    let Some(payload) = v.get("payload") else {
+        return EntryDecode::Corrupt("missing payload");
+    };
+    if hex("payload_fingerprint") != Some(payload_fingerprint(payload)) {
+        return EntryDecode::Corrupt("payload hash mismatch");
+    }
+
+    let decoded = (|| -> Result<_, String> {
+        let module = Module::from_json(payload.get("module").ok_or("no module")?)?;
+        let order = Vec::<InstrId>::from_json(payload.get("order").ok_or("no order")?)?;
+        let summaries = Vec::<DecomposeSummary>::from_json(
+            payload.get("summaries").ok_or("no summaries")?,
+        )?;
+        let decisions = Vec::<GateDecision>::from_json(
+            payload.get("decisions").ok_or("no decisions")?,
+        )?;
+        let fallbacks = Vec::<FallbackRecord>::from_json(
+            payload.get("fallbacks").ok_or("no fallbacks")?,
+        )?;
+        let timings = PhaseTimings::from_json(payload.get("timings").ok_or("no timings")?)?;
+        Ok((module, order, summaries, decisions, fallbacks, timings))
+    })();
+    let Ok((module, order, summaries, decisions, fallbacks, timings)) = decoded else {
+        return EntryDecode::Corrupt("undecodable payload");
+    };
+
+    // Decoded modules are untrusted until verified; the cost table is
+    // rebuilt (deterministically) rather than persisted.
+    if module.verify().is_err() {
+        return EntryDecode::Corrupt("payload module fails verification");
+    }
+    let mut analysis = ModuleAnalysis::of(&module);
+    analysis.mark_verified(&module);
+    let Ok(cost_table) = CostTable::with_analysis(&module, &analysis, machine) else {
+        return EntryDecode::Corrupt("payload module has no computable costs");
+    };
+    EntryDecode::Hit(Box::new(Compiled {
+        module,
+        order,
+        summaries,
+        decisions,
+        fallbacks,
+        cost_table,
+        timings,
+    }))
 }
 
 /// Hash of a payload's canonical (compact) encoding.
@@ -673,7 +859,7 @@ mod tests {
         let second = pipeline.compile_cached(&m, &machine, &cache).unwrap();
         assert_eq!(
             cache.stats(),
-            CacheStats { memory_hits: 1, disk_hits: 0, misses: 1 }
+            CacheStats { memory_hits: 1, disk_hits: 0, peer_hits: 0, misses: 1 }
         );
         assert_bit_identical(&cold, &first);
         assert_bit_identical(&cold, &second);
@@ -724,7 +910,7 @@ mod tests {
         no_gate.compile_cached(&m, &machine, &cache).unwrap();
         let other_machine = Machine::tpu_v4_like(n);
         defaults.compile_cached(&m, &other_machine, &cache).unwrap();
-        assert_eq!(cache.stats(), CacheStats { memory_hits: 0, disk_hits: 0, misses: 3 });
+        assert_eq!(cache.stats(), CacheStats { memory_hits: 0, disk_hits: 0, peer_hits: 0, misses: 3 });
     }
 
     #[test]
@@ -772,7 +958,7 @@ mod tests {
         // and the rehydrated cost table simulates to the same bits.
         let cache2 = ArtifactCache::with_disk_dir(&dir);
         let warm = pipeline.compile_cached(&m, &machine, &cache2).unwrap();
-        assert_eq!(cache2.stats(), CacheStats { memory_hits: 0, disk_hits: 1, misses: 0 });
+        assert_eq!(cache2.stats(), CacheStats { memory_hits: 0, disk_hits: 1, peer_hits: 0, misses: 0 });
         assert_bit_identical(&cold, &warm);
         let a = simulate_order_with(&cold.cost_table, &cold.module, &machine, &cold.order)
             .unwrap();
@@ -789,7 +975,7 @@ mod tests {
         std::fs::write(&path, v.to_string()).unwrap();
         let cache3 = ArtifactCache::with_disk_dir(&dir);
         let recompiled = pipeline.compile_cached(&m, &machine, &cache3).unwrap();
-        assert_eq!(cache3.stats(), CacheStats { memory_hits: 0, disk_hits: 0, misses: 1 });
+        assert_eq!(cache3.stats(), CacheStats { memory_hits: 0, disk_hits: 0, peer_hits: 0, misses: 1 });
         assert_bit_identical(&cold, &recompiled);
 
         // Unparseable file → miss, not an error.
@@ -823,7 +1009,7 @@ mod tests {
 
         let fresh = ArtifactCache::with_disk_dir(&dir);
         pipeline.compile_cached(&m, &machine, &fresh).unwrap();
-        assert_eq!(fresh.stats(), CacheStats { memory_hits: 0, disk_hits: 0, misses: 1 });
+        assert_eq!(fresh.stats(), CacheStats { memory_hits: 0, disk_hits: 0, peer_hits: 0, misses: 1 });
 
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -910,9 +1096,139 @@ mod tests {
 
         let cache2 = ArtifactCache::with_disk_dir(&dir);
         let warm = pipeline.compile_cached(&m, &machine, &cache2).unwrap();
-        assert_eq!(cache2.stats(), CacheStats { memory_hits: 0, disk_hits: 1, misses: 0 });
+        assert_eq!(cache2.stats(), CacheStats { memory_hits: 0, disk_hits: 1, peer_hits: 0, misses: 0 });
         assert_bit_identical(&cold, &warm);
         assert_eq!(cold.fallbacks, warm.fallbacks);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exported_entries_import_as_peer_hits_bit_identically() {
+        let n = 8;
+        let m = layer(n, "layer");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let pipeline = OverlapPipeline::new(OverlapOptions::paper_default());
+
+        // "Owner node": memory tier only — export must work without disk.
+        let owner = ArtifactCache::in_memory();
+        let cold = pipeline.compile_cached(&m, &machine, &owner).unwrap();
+        let key = artifact_key(&m, &machine, pipeline.options());
+        let entry = owner.export_entry(key).expect("memory tier must export");
+        assert!(owner.export_entry(Fingerprint::neutral()).is_none());
+
+        // "Non-owner node": miss, fetch the owner's entry, revalidate,
+        // serve as a peer hit; a second lookup is a plain memory hit.
+        let fetcher = ArtifactCache::in_memory();
+        let mut feed = vec![entry.clone()];
+        let (fetched, outcome) = fetcher
+            .compile_traced_with_fetch(&pipeline, &m, &machine, &mut || feed.pop())
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::PeerHit);
+        assert_eq!(outcome.as_str(), "peer");
+        assert!(!outcome.compiled());
+        assert_bit_identical(&cold, &fetched);
+        assert_eq!(
+            fetcher.stats(),
+            CacheStats { memory_hits: 0, disk_hits: 0, peer_hits: 1, misses: 0 }
+        );
+        let (_, warm) = fetcher.compile_traced(&pipeline, &m, &machine).unwrap();
+        assert_eq!(warm, CacheOutcome::MemoryHit);
+
+        // A disk-tier node exports the entry it persisted (memory tier
+        // cleared, so this is the file read-back path), and the export
+        // revalidates end to end on yet another node. Payload hashes are
+        // not compared across exports: timings record each producing
+        // run's wall clock, so two cold compiles encode different bytes.
+        let dir = temp_dir("export");
+        let disky = ArtifactCache::with_disk_dir(&dir);
+        pipeline.compile_cached(&m, &machine, &disky).unwrap();
+        disky.clear_memory();
+        let from_disk = disky.export_entry(key).expect("disk tier must export");
+        assert_eq!(from_disk["key"], entry["key"]);
+        let mut feed = vec![from_disk];
+        let another = ArtifactCache::in_memory();
+        let (_, outcome) = another
+            .compile_traced_with_fetch(&pipeline, &m, &machine, &mut || feed.pop())
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::PeerHit);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_peer_entries_are_skipped_never_served() {
+        let n = 8;
+        let m = layer(n, "layer");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let pipeline = OverlapPipeline::new(OverlapOptions::paper_default());
+        let owner = ArtifactCache::in_memory();
+        let cold = pipeline.compile_cached(&m, &machine, &owner).unwrap();
+        let key = artifact_key(&m, &machine, pipeline.options());
+        let good = owner.export_entry(key).unwrap();
+
+        // Candidate 1: payload tampered (hash mismatch). Candidate 2:
+        // stale (foreign options fingerprint). Candidate 3: good. The
+        // fetch hook is drained in order; only the good one serves.
+        let mut tampered = good.clone();
+        let order = tampered["payload"]["order"].as_array().unwrap().to_vec();
+        tampered["payload"]["order"] = Json::Arr(order[..order.len() - 1].to_vec());
+        let mut stale = good.clone();
+        stale["options_fingerprint"] = Json::from(Fingerprint::neutral().to_string());
+
+        let fetcher = ArtifactCache::in_memory();
+        let mut feed = vec![good, stale, tampered]; // popped back to front
+        let calls = std::cell::Cell::new(0u32);
+        let (served, outcome) = fetcher
+            .compile_traced_with_fetch(&pipeline, &m, &machine, &mut || {
+                calls.set(calls.get() + 1);
+                feed.pop()
+            })
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::PeerHit);
+        assert_eq!(calls.get(), 3, "both bad candidates must be skipped");
+        assert_bit_identical(&cold, &served);
+
+        // All candidates bad → local compile, counted as a plain miss.
+        let mut rotten = vec![fetcher.export_entry(key).unwrap()];
+        rotten[0]["payload_fingerprint"] = Json::from(Fingerprint::neutral().to_string());
+        let lonely = ArtifactCache::in_memory();
+        let (_, outcome) = lonely
+            .compile_traced_with_fetch(&pipeline, &m, &machine, &mut || rotten.pop())
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(lonely.stats().peer_hits, 0);
+        assert_eq!(lonely.stats().misses, 1);
+    }
+
+    #[test]
+    fn disk_miss_reasons_surface_in_the_outcome() {
+        let n = 4;
+        let m = layer(n, "layer");
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let pipeline = OverlapPipeline::new(OverlapOptions::paper_default());
+        let dir = temp_dir("reasons");
+
+        let seeded = ArtifactCache::with_disk_dir(&dir);
+        let (_, cold) = seeded.compile_traced(&pipeline, &m, &machine).unwrap();
+        assert_eq!(cold, CacheOutcome::Miss);
+        let key = artifact_key(&m, &machine, pipeline.options());
+        let path = dir.join(format!("{key}.json"));
+
+        // Corrupt file → the miss says so.
+        std::fs::write(&path, "{ not json").unwrap();
+        let fresh = ArtifactCache::with_disk_dir(&dir);
+        let (_, outcome) = fresh.compile_traced(&pipeline, &m, &machine).unwrap();
+        assert_eq!(outcome, CacheOutcome::MissDiskCorrupt);
+        assert_eq!(outcome.as_str(), "compiled-disk-corrupt");
+        assert!(outcome.compiled());
+
+        // Unreadable file (a directory at the entry path) → I/O miss.
+        std::fs::remove_file(&path).unwrap();
+        std::fs::create_dir_all(&path).unwrap();
+        let fresh = ArtifactCache::with_disk_dir(&dir);
+        let (_, outcome) = fresh.compile_traced(&pipeline, &m, &machine).unwrap();
+        assert_eq!(outcome, CacheOutcome::MissDiskIo);
+        assert_eq!(outcome.as_str(), "compiled-disk-io");
 
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -996,11 +1312,11 @@ mod tests {
         let cache = ArtifactCache::in_memory();
         let a = OverlapPipeline::new(default).compile_cached(&m, &machine, &cache).unwrap();
         let b = OverlapPipeline::new(tuned).compile_cached(&m, &machine, &cache).unwrap();
-        assert_eq!(cache.stats(), CacheStats { memory_hits: 0, disk_hits: 0, misses: 2 });
+        assert_eq!(cache.stats(), CacheStats { memory_hits: 0, disk_hits: 0, peer_hits: 0, misses: 2 });
 
         let a2 = OverlapPipeline::new(default).compile_cached(&m, &machine, &cache).unwrap();
         let b2 = OverlapPipeline::new(tuned).compile_cached(&m, &machine, &cache).unwrap();
-        assert_eq!(cache.stats(), CacheStats { memory_hits: 2, disk_hits: 0, misses: 2 });
+        assert_eq!(cache.stats(), CacheStats { memory_hits: 2, disk_hits: 0, peer_hits: 0, misses: 2 });
         assert_bit_identical(&a, &a2);
         assert_bit_identical(&b, &b2);
     }

@@ -246,8 +246,11 @@ impl OverlapPipeline {
 
     /// The fault spec, filtered to `None` when it would not perturb
     /// anything — the cache keys on this, so a no-op spec shares
-    /// artifacts with fault-free compiles.
-    pub(crate) fn effective_faults(&self) -> Option<&FaultSpec> {
+    /// artifacts with fault-free compiles. Public so callers that must
+    /// *predict* the cache's artifact key (fleet peering routes
+    /// fetches by it) compute the exact key the cache will use.
+    #[must_use]
+    pub fn effective_faults(&self) -> Option<&FaultSpec> {
         self.faults.as_ref().filter(|s| !s.is_noop())
     }
 

@@ -1,13 +1,14 @@
 //! A blocking client for the overlap-serve protocol.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use overlap_json::{FromJson, ToJson};
 
 use crate::events::EventRecord;
 use crate::protocol::{
-    read_frame, write_frame, CompileRequest, CompileResponse, ErrorResponse, FrameReader,
-    Request, Response, StatsResponse, WireError,
+    read_frame, write_frame, ArtifactResponse, CompileRequest, CompileResponse, ErrorResponse,
+    FleetStatsResponse, FrameEvent, FrameReader, Request, Response, StatsResponse, WireError,
 };
 
 /// What a request can fail with, client-side.
@@ -63,6 +64,73 @@ impl Client {
         Ok(Client { stream, reader: FrameReader::new() })
     }
 
+    /// Connects with a per-attempt deadline on the TCP handshake — the
+    /// fleet's peer-fetch path, where a dead node must cost a bounded
+    /// wait, not a kernel-default connect timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the resolution or connect failure (a timeout surfaces
+    /// as `TimedOut`).
+    pub fn connect_deadline(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
+        let resolved: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let Some(first) = resolved.first() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        };
+        let stream = TcpStream::connect_timeout(first, timeout)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream, reader: FrameReader::new() })
+    }
+
+    /// Connects, retrying `ECONNREFUSED` (and `ECONNRESET` /
+    /// not-yet-bound races) with a short capped backoff for up to
+    /// `budget`. This is the client-side half of daemon startup: a
+    /// loadgen launched in the same breath as `overlapd` waits for the
+    /// listener instead of failing its whole run on the first attempt.
+    /// Errors other than refused/reset (unroutable address, permission)
+    /// fail immediately — waiting cannot fix those.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connect failure once the budget is spent.
+    pub fn connect_retry(addr: impl ToSocketAddrs + Copy, budget: Duration) -> std::io::Result<Client> {
+        let started = Instant::now();
+        let mut delay = Duration::from_millis(10);
+        loop {
+            match Self::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionRefused
+                            | std::io::ErrorKind::ConnectionReset
+                    ) && started.elapsed() + delay < budget =>
+                {
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(200));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Caps how long a single blocking read or write on this
+    /// connection may stall (`None` removes the cap). Peer fetches use
+    /// this as the hedge threshold: a stalled owner turns into a
+    /// `TimedOut` wire error and the fetcher moves to the ring
+    /// successor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket-option failure.
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
     /// Sends one request and reads its response.
     ///
     /// A send failure does not abort immediately: a shed server writes
@@ -104,6 +172,59 @@ impl Client {
             Response::Compiled(c) => Ok(*c),
             Response::Error(e) => Err(ClientError::Server(e)),
             other => Err(ClientError::Unexpected("compiled", other)),
+        }
+    }
+
+    /// As [`Client::request`], but a socket read timeout (armed via
+    /// [`Client::set_io_timeout`]) surfaces as a `TimedOut` wire error
+    /// instead of spinning: on a blocking socket [`FrameReader::poll`]
+    /// only reports `Idle` when the kernel timer fired with no frame
+    /// complete, which is exactly the hedge-threshold signal.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`], plus `TimedOut` on a stalled read.
+    pub fn request_bounded(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.to_json())
+            .map_err(|e| ClientError::Wire(WireError::Io(e)))?;
+        // `poll` itself loops until a full frame, timeout, close or error,
+        // so a single dispatch suffices here.
+        match self.reader.poll(&mut self.stream) {
+            FrameEvent::Frame(v) => Response::from_json(&v).map_err(ClientError::BadResponse),
+            FrameEvent::Idle => Err(ClientError::Wire(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "response timed out",
+            )))),
+            FrameEvent::Closed => Err(ClientError::Wire(WireError::Closed)),
+            FrameEvent::Error(e) => Err(ClientError::Wire(e)),
+        }
+    }
+
+    /// Cache peering: asks this node for the full versioned artifact
+    /// entry under `key`. Honors the I/O timeout — this is the fleet's
+    /// bounded peer-fetch primitive.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::compile`], plus `TimedOut` on a stalled read.
+    pub fn fetch(&mut self, key: &str) -> Result<ArtifactResponse, ClientError> {
+        match self.request_bounded(&Request::Fetch { key: key.to_string() })? {
+            Response::Artifact(a) => Ok(*a),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected("artifact", other)),
+        }
+    }
+
+    /// Asks this node to fan out a stats aggregation over its fleet.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::compile`].
+    pub fn fleet_stats(&mut self) -> Result<FleetStatsResponse, ClientError> {
+        match self.request(&Request::FleetStats)? {
+            Response::FleetStats(f) => Ok(*f),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Unexpected("fleet-stats", other)),
         }
     }
 

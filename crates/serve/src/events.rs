@@ -139,6 +139,35 @@ pub enum ServeEvent {
         /// Connection id.
         conn: u64,
     },
+    /// A cache-peering `fetch` frame was answered.
+    Fetch {
+        /// Connection id.
+        conn: u64,
+        /// Request id.
+        req: u64,
+        /// Hex artifact key asked for.
+        key: String,
+        /// Whether a local entry was shipped back.
+        hit: bool,
+    },
+    /// One outbound peer-fetch attempt this node made on a local miss.
+    PeerFetch {
+        /// Peer node id.
+        node: String,
+        /// Hex artifact key asked for.
+        key: String,
+        /// `hit`, `absent` (peer answered but holds no entry),
+        /// `rejected` (entry failed revalidation), or `unreachable`.
+        outcome: String,
+    },
+    /// A peer's health state changed in this node's (or the router's)
+    /// failure tracker.
+    PeerState {
+        /// Peer node id.
+        node: String,
+        /// `alive`, `probation`, or `ejected`.
+        state: String,
+    },
 }
 
 impl ServeEvent {
@@ -156,6 +185,9 @@ impl ServeEvent {
             ServeEvent::Done { .. } => "done",
             ServeEvent::Drain { .. } => "drain",
             ServeEvent::Close { .. } => "close",
+            ServeEvent::Fetch { .. } => "fetch",
+            ServeEvent::PeerFetch { .. } => "peer-fetch",
+            ServeEvent::PeerState { .. } => "peer-state",
         }
     }
 }
@@ -196,6 +228,18 @@ impl ToJson for ServeEvent {
                 .with("compile_ms", *compile_ms)
                 .with("serialize_ms", *serialize_ms),
             ServeEvent::Drain { reason } => v.with("reason", reason.as_str()),
+            ServeEvent::Fetch { conn, req, key, hit } => v
+                .with("conn", *conn)
+                .with("req", *req)
+                .with("key", key.as_str())
+                .with("hit", *hit),
+            ServeEvent::PeerFetch { node, key, outcome } => v
+                .with("node", node.as_str())
+                .with("key", key.as_str())
+                .with("outcome", outcome.as_str()),
+            ServeEvent::PeerState { node, state } => {
+                v.with("node", node.as_str()).with("state", state.as_str())
+            }
         }
     }
 }
@@ -245,6 +289,21 @@ impl FromJson for ServeEvent {
                 serialize_ms: v.decode_field("serialize_ms")?,
             }),
             "drain" => Ok(ServeEvent::Drain { reason: v.decode_field("reason")? }),
+            "fetch" => Ok(ServeEvent::Fetch {
+                conn: v.decode_field("conn")?,
+                req: v.decode_field("req")?,
+                key: v.decode_field("key")?,
+                hit: v.decode_field("hit")?,
+            }),
+            "peer-fetch" => Ok(ServeEvent::PeerFetch {
+                node: v.decode_field("node")?,
+                key: v.decode_field("key")?,
+                outcome: v.decode_field("outcome")?,
+            }),
+            "peer-state" => Ok(ServeEvent::PeerState {
+                node: v.decode_field("node")?,
+                state: v.decode_field("state")?,
+            }),
             other => Err(format!("unknown serve event type {other:?}")),
         }
     }
@@ -360,6 +419,12 @@ impl EventObserver for MetricsObserver {
             }
             ServeEvent::CompileStart { .. } => {
                 m.batches.fetch_add(1, Ordering::Relaxed);
+            }
+            ServeEvent::Fetch { .. } => {
+                m.fetches.fetch_add(1, Ordering::Relaxed);
+            }
+            ServeEvent::PeerFetch { .. } => {
+                m.peer_fetches.fetch_add(1, Ordering::Relaxed);
             }
             _ => {}
         }

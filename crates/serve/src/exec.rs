@@ -22,6 +22,8 @@ use overlap_sim::{
     simulate, simulate_faulted, simulate_order, simulate_order_faulted, SimError,
 };
 
+use crate::events::EventBus;
+use crate::fleet::FleetState;
 use crate::protocol::{
     CompileRequest, CompileResult, ErrorKind, MachineSpec, ModelRef, SimSummary,
 };
@@ -203,6 +205,28 @@ pub fn execute(
     cache: &ArtifactCache,
     deadline: Deadline,
 ) -> Result<(CompileResult, CacheOutcome), ExecError> {
+    execute_with_peers(req, cache, deadline, None, None)
+}
+
+/// [`execute`] with a fleet peer tier: when both local cache tiers
+/// miss and `fleet` is present, the artifact's ring owner (then its
+/// hedge successor) is asked for the entry before compiling locally.
+/// Fetched entries go through the full disk-tier revalidation inside
+/// the cache, so a lying or corrupt peer degrades to an ordinary local
+/// compile — never a wrong answer. With `fleet` absent this *is*
+/// [`execute`].
+///
+/// # Errors
+///
+/// Exactly as [`execute`] — peer trouble is never an error, only a
+/// provenance change.
+pub fn execute_with_peers(
+    req: &CompileRequest,
+    cache: &ArtifactCache,
+    deadline: Deadline,
+    fleet: Option<&FleetState>,
+    bus: Option<&EventBus>,
+) -> Result<(CompileResult, CacheOutcome), ExecError> {
     let resolved = resolve(req)?;
     let Resolved { label, module, machine } = resolved;
     deadline.check("compilation")?;
@@ -211,8 +235,19 @@ pub fn execute(
     if let Some(spec) = &req.fault_spec {
         pipeline = pipeline.with_faults(spec.clone());
     }
+    // The peer tier keys by the *artifact* fingerprint — computed
+    // exactly as the cache computes it, or owners would be asked for
+    // keys they never store.
+    let artifact_key = artifact_key_faulted(
+        &module,
+        &machine,
+        pipeline.options(),
+        pipeline.effective_faults(),
+    );
+    let mut fetcher = fleet.map(|f| f.fetcher(artifact_key, bus));
+    let mut fetch = move || fetcher.as_mut().and_then(super::fleet::PeerFetcher::next_entry);
     let (compiled, outcome) = cache
-        .compile_traced(&pipeline, &module, &machine)
+        .compile_traced_with_fetch(&pipeline, &module, &machine, &mut fetch)
         .map_err(|e| ExecError::new(ErrorKind::Internal, format!("cannot compile: {e}")))?;
     deadline.check("simulation")?;
 

@@ -6,8 +6,11 @@
 //! zero-dependency readiness reactor ([`reactor`]), the event-loop
 //! server with request pipelining and fingerprint batching
 //! ([`server`]), the typed event bus its progress publishes on
-//! ([`events`]), a blocking client ([`client`]) and lock-free latency
-//! metrics ([`metrics`] — fed from the bus like any other observer).
+//! ([`events`]), a blocking client ([`client`]), lock-free latency
+//! metrics ([`metrics`] — fed from the bus like any other observer),
+//! and the fault-tolerant fleet layer ([`fleet`] — consistent-hash
+//! routing, cache peering, health tracking and kill-a-node failover
+//! across N daemons).
 //!
 //! The service contract, in one sentence: a compile request's `result`
 //! object is a pure function of (model, machine, options, fault spec)
@@ -19,6 +22,7 @@
 pub mod client;
 pub mod events;
 pub mod exec;
+pub mod fleet;
 pub mod metrics;
 pub mod protocol;
 pub mod reactor;
@@ -29,13 +33,18 @@ pub use events::{
     parse_records, ChromeTraceObserver, CollectObserver, DecisionSummary, EventBus,
     EventObserver, EventRecord, MetricsObserver, RecordObserver, ServeEvent, SubscriptionHub,
 };
-pub use exec::{batch_key, execute, Deadline, ExecError};
+pub use exec::{batch_key, execute, execute_with_peers, Deadline, ExecError};
+pub use fleet::{
+    aggregate_stats, node_id, FleetConfig, FleetHarness, FleetState, HashRing, HealthPolicy,
+    HealthState, NodeHealth, RetryPolicy, Router, RouterSession, DEFAULT_VNODES,
+};
 pub use metrics::{Histogram, ServerMetrics};
 pub use protocol::{
-    event_frame_payload, read_frame, write_frame, CompileRequest, CompileResponse,
-    CompileResult, ErrorKind, ErrorResponse, FrameEvent, FrameReader, LatencySummary,
-    MachineSpec, ModelRef, Request, Response, ServedInfo, SimSummary, StatsResponse, WireError,
-    MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    event_frame_payload, read_frame, write_frame, ArtifactResponse, CompileRequest,
+    CompileResponse, CompileResult, ErrorKind, ErrorResponse, FleetNodeStatus,
+    FleetStatsResponse, FrameEvent, FrameReader, LatencySummary, MachineSpec, ModelRef, Request,
+    Response, ServedInfo, SimSummary, StatsResponse, WireError, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
 };
 pub use reactor::{Event, Interest, Pollable, Poller, Token, Waker};
 pub use server::{ServeConfig, Server, ShutdownHandle};

@@ -45,6 +45,10 @@ pub struct ServerMetrics {
     /// Requests that arrived while their connection already had a
     /// request in flight.
     pub pipelined: AtomicU64,
+    /// Cache-peering `fetch` frames this node answered.
+    pub fetches: AtomicU64,
+    /// Outbound peer-fetch attempts this node made on local misses.
+    pub peer_fetches: AtomicU64,
     /// Queue+service latency of every answered request.
     pub latency: Histogram,
 }
@@ -68,6 +72,8 @@ impl ServerMetrics {
             coalesced: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             pipelined: AtomicU64::new(0),
+            fetches: AtomicU64::new(0),
+            peer_fetches: AtomicU64::new(0),
             latency: Histogram::new(),
         }
     }

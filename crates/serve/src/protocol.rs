@@ -16,10 +16,19 @@
 //! loadgen byte-identity check compares.
 //!
 //! Requests are tagged by a `"request"` member (`compile`, `stats`,
-//! `ping`, `shutdown`), responses by `"response"` (`compiled`, `stats`,
-//! `pong`, `shutting-down`, `error`). Unknown tags and undecodable
-//! bodies produce typed [`ErrorKind`] responses, never a dropped
-//! connection.
+//! `ping`, `shutdown`, `subscribe`, `fetch`, `fleet-stats`), responses
+//! by `"response"` (`compiled`, `stats`, `pong`, `shutting-down`,
+//! `subscribed`, `event`, `artifact`, `fleet-stats`, `error`). Unknown
+//! tags and undecodable bodies produce typed [`ErrorKind`] responses,
+//! never a dropped connection.
+//!
+//! The `fetch`/`artifact` pair is the fleet's cache-peering channel: a
+//! node that misses on an artifact it does not own asks the owner for
+//! the full versioned cache entry (the same JSON the disk tier
+//! persists) and revalidates it locally — payload hash, verify-on-load,
+//! cost-table rebuild — before serving it. `fleet-stats` asks one node
+//! to fan out `stats` to its peers and answer the cluster-wide
+//! aggregate, with per-node liveness.
 
 use std::io::{Read, Write};
 
@@ -368,6 +377,19 @@ pub enum Request {
     /// [`Response::Subscribed`], then [`Response::Event`] frames flow
     /// until the connection closes or the server drains.
     Subscribe,
+    /// Cache peering: ask this node for the full versioned artifact
+    /// entry under the given hex key; answered by
+    /// [`Response::Artifact`] (with a `null` entry on a local miss —
+    /// peers never compile on each other's behalf).
+    Fetch {
+        /// Hex artifact-key fingerprint (`artifact_key_faulted`).
+        key: String,
+    },
+    /// Fleet-wide stats: the answering node fans [`Request::Stats`] out
+    /// to its peers, sums the counters, merges the latency histograms
+    /// and reports per-node liveness; [`Response::FleetStats`]. A node
+    /// with no fleet configured answers for itself alone.
+    FleetStats,
 }
 
 impl ToJson for Request {
@@ -391,6 +413,10 @@ impl ToJson for Request {
             Request::Ping => Json::obj().with("request", "ping"),
             Request::Shutdown => Json::obj().with("request", "shutdown"),
             Request::Subscribe => Json::obj().with("request", "subscribe"),
+            Request::Fetch { key } => {
+                Json::obj().with("request", "fetch").with("key", key.as_str())
+            }
+            Request::FleetStats => Json::obj().with("request", "fleet-stats"),
         }
     }
 }
@@ -427,6 +453,8 @@ impl FromJson for Request {
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             "subscribe" => Ok(Request::Subscribe),
+            "fetch" => Ok(Request::Fetch { key: v.decode_field("key")? }),
+            "fleet-stats" => Ok(Request::FleetStats),
             other => Err(format!("unknown request {other:?}")),
         }
     }
@@ -775,6 +803,8 @@ impl FromJson for LatencySummary {
 /// Server-wide counters answered to a [`Request::Stats`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsResponse {
+    /// Fleet node id (`""` for a solo daemon).
+    pub node: String,
     /// Wall-clock since the server started.
     pub uptime_ms: f64,
     /// Frames decoded into requests.
@@ -804,18 +834,30 @@ pub struct StatsResponse {
     pub cache_memory_hits: u64,
     /// Artifact-cache lookups served from the disk tier.
     pub cache_disk_hits: u64,
+    /// Artifact-cache lookups served by fetching a peer's entry.
+    pub cache_peer_hits: u64,
     /// Artifact-cache lookups that ran the pipeline.
     pub cache_misses: u64,
     /// `hits / lookups` (0 when nothing was looked up).
     pub cache_hit_rate: f64,
+    /// Peer [`Request::Fetch`] frames this node answered.
+    pub fetches: u64,
+    /// Outbound peer-fetch attempts this node made on its own misses.
+    pub peer_fetches: u64,
     /// Queue+service latency distribution of answered requests.
     pub latency: LatencySummary,
+    /// Raw histogram bucket counts behind `latency` (trailing zeros
+    /// trimmed), so a fleet aggregator can merge distributions instead
+    /// of averaging quantiles. Indices follow
+    /// `overlap_sim::Histogram::bucket_counts`.
+    pub latency_buckets: Vec<u64>,
 }
 
 impl ToJson for StatsResponse {
     fn to_json(&self) -> Json {
         Json::obj()
             .with("response", "stats")
+            .with("node", self.node.as_str())
             .with("uptime_ms", self.uptime_ms)
             .with("requests", self.requests)
             .with("ok", self.ok)
@@ -829,15 +871,20 @@ impl ToJson for StatsResponse {
             .with("qps", self.qps)
             .with("cache_memory_hits", self.cache_memory_hits)
             .with("cache_disk_hits", self.cache_disk_hits)
+            .with("cache_peer_hits", self.cache_peer_hits)
             .with("cache_misses", self.cache_misses)
             .with("cache_hit_rate", self.cache_hit_rate)
+            .with("fetches", self.fetches)
+            .with("peer_fetches", self.peer_fetches)
             .with("latency", self.latency.to_json())
+            .with("latency_buckets", self.latency_buckets.to_json())
     }
 }
 
 impl FromJson for StatsResponse {
     fn from_json(v: &Json) -> Result<Self, String> {
         Ok(StatsResponse {
+            node: v.decode_field("node")?,
             uptime_ms: v.decode_field("uptime_ms")?,
             requests: v.decode_field("requests")?,
             ok: v.decode_field("ok")?,
@@ -851,9 +898,185 @@ impl FromJson for StatsResponse {
             qps: v.decode_field("qps")?,
             cache_memory_hits: v.decode_field("cache_memory_hits")?,
             cache_disk_hits: v.decode_field("cache_disk_hits")?,
+            cache_peer_hits: v.decode_field("cache_peer_hits")?,
+            cache_misses: v.decode_field("cache_misses")?,
+            cache_hit_rate: v.decode_field("cache_hit_rate")?,
+            fetches: v.decode_field("fetches")?,
+            peer_fetches: v.decode_field("peer_fetches")?,
+            latency: v.decode_field("latency")?,
+            latency_buckets: v.decode_field("latency_buckets")?,
+        })
+    }
+}
+
+/// Answer to a cache-peering [`Request::Fetch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactResponse {
+    /// The hex key that was asked for, echoed back.
+    pub key: String,
+    /// The full versioned cache entry (the disk tier's JSON layout), or
+    /// `None` when this node holds no entry for the key. The entry is
+    /// *untrusted* on arrival: the fetcher revalidates every metadata
+    /// fingerprint, the payload hash and the decoded module before
+    /// serving it.
+    pub entry: Option<Json>,
+}
+
+impl ToJson for ArtifactResponse {
+    fn to_json(&self) -> Json {
+        let entry = match &self.entry {
+            Some(e) => e.clone(),
+            None => Json::Null,
+        };
+        Json::obj()
+            .with("response", "artifact")
+            .with("key", self.key.as_str())
+            .with("entry", entry)
+    }
+}
+
+impl FromJson for ArtifactResponse {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(ArtifactResponse {
+            key: v.decode_field("key")?,
+            entry: v.get("entry").filter(|e| !e.is_null()).cloned(),
+        })
+    }
+}
+
+/// One node's slice of a [`FleetStatsResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetNodeStatus {
+    /// Stable fleet node id (`node-0` …).
+    pub node: String,
+    /// Whether the node answered the stats fan-out.
+    pub alive: bool,
+    /// The node's frame count (0 when dead).
+    pub requests: u64,
+    /// The node's local compiles — cache misses (0 when dead).
+    pub cache_misses: u64,
+    /// The node's peer-served lookups (0 when dead).
+    pub cache_peer_hits: u64,
+}
+
+impl ToJson for FleetNodeStatus {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("node", self.node.as_str())
+            .with("alive", self.alive)
+            .with("requests", self.requests)
+            .with("cache_misses", self.cache_misses)
+            .with("cache_peer_hits", self.cache_peer_hits)
+    }
+}
+
+impl FromJson for FleetNodeStatus {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(FleetNodeStatus {
+            node: v.decode_field("node")?,
+            alive: v.decode_field("alive")?,
+            requests: v.decode_field("requests")?,
+            cache_misses: v.decode_field("cache_misses")?,
+            cache_peer_hits: v.decode_field("cache_peer_hits")?,
+        })
+    }
+}
+
+/// Cluster-wide aggregate answered to a [`Request::FleetStats`]:
+/// counters summed over every node that answered, latency histograms
+/// merged bucket-by-bucket (not quantile-averaged), and per-node
+/// liveness. Nodes are sorted by id, so two aggregations over the same
+/// fleet state encode identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStatsResponse {
+    /// Node that performed the fan-out.
+    pub origin: String,
+    /// Fleet size by configuration.
+    pub total: usize,
+    /// Nodes that answered.
+    pub alive: usize,
+    /// Summed frame count.
+    pub requests: u64,
+    /// Summed success responses.
+    pub ok: u64,
+    /// Summed typed-error responses.
+    pub errors: u64,
+    /// Summed backpressure sheds.
+    pub shed: u64,
+    /// Summed batch-coalesced compile requests.
+    pub coalesced: u64,
+    /// Summed dispatched compile jobs.
+    pub batches: u64,
+    /// Summed pipelined frames.
+    pub pipelined: u64,
+    /// Summed peer fetches answered.
+    pub fetches: u64,
+    /// Summed outbound peer-fetch attempts.
+    pub peer_fetches: u64,
+    /// Summed memory-tier cache hits.
+    pub cache_memory_hits: u64,
+    /// Summed disk-tier cache hits.
+    pub cache_disk_hits: u64,
+    /// Summed peer-tier cache hits.
+    pub cache_peer_hits: u64,
+    /// Summed cache misses — the cluster-wide compile count.
+    pub cache_misses: u64,
+    /// Cluster-wide `hits / lookups`.
+    pub cache_hit_rate: f64,
+    /// Quantiles of the *merged* latency histogram.
+    pub latency: LatencySummary,
+    /// Per-node liveness and headline counters, sorted by node id.
+    pub nodes: Vec<FleetNodeStatus>,
+}
+
+impl ToJson for FleetStatsResponse {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("response", "fleet-stats")
+            .with("origin", self.origin.as_str())
+            .with("total", self.total)
+            .with("alive", self.alive)
+            .with("requests", self.requests)
+            .with("ok", self.ok)
+            .with("errors", self.errors)
+            .with("shed", self.shed)
+            .with("coalesced", self.coalesced)
+            .with("batches", self.batches)
+            .with("pipelined", self.pipelined)
+            .with("fetches", self.fetches)
+            .with("peer_fetches", self.peer_fetches)
+            .with("cache_memory_hits", self.cache_memory_hits)
+            .with("cache_disk_hits", self.cache_disk_hits)
+            .with("cache_peer_hits", self.cache_peer_hits)
+            .with("cache_misses", self.cache_misses)
+            .with("cache_hit_rate", self.cache_hit_rate)
+            .with("latency", self.latency.to_json())
+            .with("nodes", self.nodes.to_json())
+    }
+}
+
+impl FromJson for FleetStatsResponse {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(FleetStatsResponse {
+            origin: v.decode_field("origin")?,
+            total: v.decode_field("total")?,
+            alive: v.decode_field("alive")?,
+            requests: v.decode_field("requests")?,
+            ok: v.decode_field("ok")?,
+            errors: v.decode_field("errors")?,
+            shed: v.decode_field("shed")?,
+            coalesced: v.decode_field("coalesced")?,
+            batches: v.decode_field("batches")?,
+            pipelined: v.decode_field("pipelined")?,
+            fetches: v.decode_field("fetches")?,
+            peer_fetches: v.decode_field("peer_fetches")?,
+            cache_memory_hits: v.decode_field("cache_memory_hits")?,
+            cache_disk_hits: v.decode_field("cache_disk_hits")?,
+            cache_peer_hits: v.decode_field("cache_peer_hits")?,
             cache_misses: v.decode_field("cache_misses")?,
             cache_hit_rate: v.decode_field("cache_hit_rate")?,
             latency: v.decode_field("latency")?,
+            nodes: v.decode_field("nodes")?,
         })
     }
 }
@@ -883,6 +1106,10 @@ pub enum Response {
     Subscribed,
     /// One live event-bus record, streamed to a subscriber.
     Event(Box<EventRecord>),
+    /// Answer to a cache-peering [`Request::Fetch`].
+    Artifact(Box<ArtifactResponse>),
+    /// Answer to [`Request::FleetStats`].
+    FleetStats(Box<FleetStatsResponse>),
     /// Any failure, typed.
     Error(ErrorResponse),
 }
@@ -907,6 +1134,8 @@ impl ToJson for Response {
             Response::ShuttingDown => Json::obj().with("response", "shutting-down"),
             Response::Subscribed => Json::obj().with("response", "subscribed"),
             Response::Event(r) => event_frame_payload(r),
+            Response::Artifact(a) => a.to_json(),
+            Response::FleetStats(f) => f.to_json(),
             Response::Error(e) => e.to_json(),
         }
     }
@@ -924,6 +1153,10 @@ impl FromJson for Response {
             "shutting-down" => Ok(Response::ShuttingDown),
             "subscribed" => Ok(Response::Subscribed),
             "event" => Ok(Response::Event(Box::new(v.decode_field("record")?))),
+            "artifact" => Ok(Response::Artifact(Box::new(ArtifactResponse::from_json(v)?))),
+            "fleet-stats" => {
+                Ok(Response::FleetStats(Box::new(FleetStatsResponse::from_json(v)?)))
+            }
             "error" => Ok(Response::Error(ErrorResponse::from_json(v)?)),
             other => Err(format!("unknown response {other:?}")),
         }

@@ -43,20 +43,22 @@ use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use overlap_core::{ArtifactCache, CacheOutcome};
-use overlap_json::{FromJson, Json, ToJson};
+use overlap_json::{Fingerprint, FromJson, Json, ToJson};
 
 use crate::events::{
     EventBus, EventObserver, MetricsObserver, ServeEvent, SubscriptionHub,
 };
-use crate::exec::{batch_key, execute, Deadline, ExecError};
+use crate::exec::{batch_key, execute_with_peers, Deadline, ExecError};
+use crate::fleet::{aggregate_stats, FleetState};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    write_frame, CompileRequest, CompileResponse, ErrorKind, ErrorResponse, FrameEvent,
-    FrameReader, ModelRef, Request, Response, ServedInfo, StatsResponse, PROTOCOL_VERSION,
+    write_frame, ArtifactResponse, CompileRequest, CompileResponse, CompileResult, ErrorKind,
+    ErrorResponse, FleetStatsResponse, FrameEvent, FrameReader, ModelRef, Request, Response,
+    ServedInfo, StatsResponse, PROTOCOL_VERSION,
 };
 use crate::reactor::{Interest, Poller, Token, Waker};
 
@@ -115,21 +117,35 @@ impl ShutdownHandle {
     }
 }
 
-/// One compile job handed to the pool. Members (who gets the answer)
-/// stay loop-side; the pool only needs what to execute.
+/// What a pool job does. Compiles dominate; `fleet-stats` rides the
+/// pool too because it blocks on peer sockets, which the loop thread
+/// must never do.
+enum JobWork {
+    Compile(Box<CompileRequest>),
+    FleetStats,
+}
+
+/// One job handed to the pool. Members (who gets the answer) stay
+/// loop-side; the pool only needs what to execute.
 struct Job {
     id: u64,
-    /// Hex batch fingerprint, for events.
+    /// Hex batch fingerprint (or a synthetic tag), for events.
     batch: String,
-    req: Box<CompileRequest>,
+    work: JobWork,
     /// Anchored at request receipt, so pool queueing counts against it.
     deadline: Deadline,
+}
+
+/// A pool job's successful payload.
+enum JobOutput {
+    Compile(Box<CompileResult>, CacheOutcome),
+    FleetStats(Box<FleetStatsResponse>),
 }
 
 /// What the pool sends back.
 struct Completion {
     job_id: u64,
-    result: Result<(crate::protocol::CompileResult, CacheOutcome), ExecError>,
+    result: Result<JobOutput, ExecError>,
     compile_ms: f64,
 }
 
@@ -148,6 +164,8 @@ struct Shared {
     waker: Waker,
     workers: usize,
     queue_depth: usize,
+    /// Set once (before `run`) when this daemon joins a fleet.
+    fleet: OnceLock<Arc<FleetState>>,
 }
 
 impl Shared {
@@ -157,6 +175,37 @@ impl Shared {
 
     fn queued_jobs(&self) -> usize {
         self.jobs.lock().expect("job queue lock").len()
+    }
+
+    /// A point-in-time stats snapshot. Lives on `Shared` (not the
+    /// loop) because pool workers build it too, when aggregating
+    /// `fleet-stats`.
+    fn stats(&self) -> StatsResponse {
+        let cache = self.cache.stats();
+        let m = &self.metrics;
+        StatsResponse {
+            node: self.fleet.get().map_or_else(String::new, |f| f.node_id()),
+            uptime_ms: m.uptime_ms(),
+            requests: m.requests.load(Ordering::Relaxed),
+            ok: m.ok.load(Ordering::Relaxed),
+            errors: m.errors.load(Ordering::Relaxed),
+            shed: m.shed.load(Ordering::Relaxed),
+            coalesced: m.coalesced.load(Ordering::Relaxed),
+            batches: m.batches.load(Ordering::Relaxed),
+            pipelined: m.pipelined.load(Ordering::Relaxed),
+            queue_depth: self.queued_jobs(),
+            workers: self.workers,
+            qps: m.qps(),
+            cache_memory_hits: cache.memory_hits,
+            cache_disk_hits: cache.disk_hits,
+            cache_peer_hits: cache.peer_hits,
+            cache_misses: cache.misses,
+            cache_hit_rate: cache.hit_rate(),
+            fetches: m.fetches.load(Ordering::Relaxed),
+            peer_fetches: m.peer_fetches.load(Ordering::Relaxed),
+            latency: m.latency.summary().into(),
+            latency_buckets: m.latency.bucket_counts(),
+        }
     }
 }
 
@@ -240,8 +289,18 @@ impl Server {
                 waker: Waker::new()?,
                 workers: config.workers.max(1),
                 queue_depth: config.queue_depth.max(1),
+                fleet: OnceLock::new(),
             }),
         })
+    }
+
+    /// Joins this daemon to a fleet: the ring decides which artifacts
+    /// it owns, every local cache miss consults the ring's peers, and
+    /// `fleet-stats` aggregates across the member list. Call between
+    /// [`Server::bind`] and [`Server::run`]; later calls are ignored
+    /// (the fleet view is fixed once serving starts).
+    pub fn configure_fleet(&self, state: FleetState) {
+        let _ = self.shared.fleet.set(Arc::new(state));
     }
 
     /// The bound address (useful after binding port 0).
@@ -298,28 +357,51 @@ fn pool_worker(shared: &Shared) {
             }
         };
         let Some(job) = job else { return };
-        let model = model_label(&job.req);
-        shared
-            .bus
-            .emit(ServeEvent::CompileStart { batch: job.batch.clone(), model: model.clone() });
-        let started = Instant::now();
-        let result = execute(&job.req, &shared.cache, job.deadline);
-        let compile_ms = started.elapsed().as_secs_f64() * 1e3;
-        let outcome = match &result {
-            Ok((_, o)) => o.as_str().to_string(),
-            Err(_) => "error".to_string(),
+        let completion = match job.work {
+            JobWork::Compile(req) => {
+                let model = model_label(&req);
+                shared.bus.emit(ServeEvent::CompileStart {
+                    batch: job.batch.clone(),
+                    model: model.clone(),
+                });
+                let started = Instant::now();
+                let fleet = shared.fleet.get().map(Arc::as_ref);
+                let result = execute_with_peers(
+                    &req,
+                    &shared.cache,
+                    job.deadline,
+                    fleet,
+                    Some(&shared.bus),
+                );
+                let compile_ms = started.elapsed().as_secs_f64() * 1e3;
+                let outcome = match &result {
+                    Ok((_, o)) => o.as_str().to_string(),
+                    Err(_) => "error".to_string(),
+                };
+                shared.bus.emit(ServeEvent::CompileFinish {
+                    batch: job.batch,
+                    model,
+                    compile_ms,
+                    outcome,
+                });
+                Completion {
+                    job_id: job.id,
+                    result: result.map(|(r, o)| JobOutput::Compile(Box::new(r), o)),
+                    compile_ms,
+                }
+            }
+            JobWork::FleetStats => {
+                let started = Instant::now();
+                let fleet = shared.fleet.get().map(Arc::as_ref);
+                let agg = aggregate_stats(fleet, shared.stats(), Some(&shared.bus));
+                Completion {
+                    job_id: job.id,
+                    result: Ok(JobOutput::FleetStats(Box::new(agg))),
+                    compile_ms: started.elapsed().as_secs_f64() * 1e3,
+                }
+            }
         };
-        shared.bus.emit(ServeEvent::CompileFinish {
-            batch: job.batch,
-            model,
-            compile_ms,
-            outcome,
-        });
-        shared
-            .completions
-            .lock()
-            .expect("completion list lock")
-            .push(Completion { job_id: job.id, result, compile_ms });
+        shared.completions.lock().expect("completion list lock").push(completion);
         shared.waker.wake();
     }
 }
@@ -680,6 +762,8 @@ impl<'a> EventLoop<'a> {
         let kind = match &request {
             Ok(Request::Compile(_)) => "compile",
             Ok(Request::Stats) => "stats",
+            Ok(Request::Fetch { .. }) => "fetch",
+            Ok(Request::FleetStats) => "fleet-stats",
             Ok(Request::Ping) => "ping",
             Ok(Request::Shutdown) => "shutdown",
             Ok(Request::Subscribe) => "subscribe",
@@ -697,9 +781,25 @@ impl<'a> EventLoop<'a> {
             }
             Ok(Request::Ping) => self.fill_inline(token, req_id, kind, &Response::Pong, true),
             Ok(Request::Stats) => {
-                let resp = Response::Stats(Box::new(self.stats()));
+                let resp = Response::Stats(Box::new(self.shared.stats()));
                 self.fill_inline(token, req_id, kind, &resp, true);
             }
+            Ok(Request::Fetch { key }) => {
+                // Cache peering: answer from the local tiers only,
+                // never compile and never re-fetch — a fetch must be
+                // cheap and must not recurse across the fleet.
+                let entry = Fingerprint::from_hex(&key)
+                    .and_then(|fp| self.shared.cache.export_entry(fp));
+                self.shared.bus.emit(ServeEvent::Fetch {
+                    conn: conn_id,
+                    req: req_id,
+                    key: key.clone(),
+                    hit: entry.is_some(),
+                });
+                let resp = Response::Artifact(Box::new(ArtifactResponse { key, entry }));
+                self.fill_inline(token, req_id, kind, &resp, true);
+            }
+            Ok(Request::FleetStats) => self.admit_fleet_stats(token, req_id, admitted),
             Ok(Request::Shutdown) => {
                 self.emit_drain("shutdown-request");
                 self.shared.draining.store(true, Ordering::SeqCst);
@@ -823,7 +923,34 @@ impl<'a> EventLoop<'a> {
         }
         {
             let mut queue = self.shared.jobs.lock().expect("job queue lock");
-            queue.push_back(Job { id: job_id, batch, req, deadline });
+            queue.push_back(Job { id: job_id, batch, work: JobWork::Compile(req), deadline });
+        }
+        self.shared.jobs_ready.notify_one();
+    }
+
+    /// `fleet-stats` fans out to peer sockets, so it runs on the pool
+    /// like a compile. It is deliberately *not* refused during a drain
+    /// and not shed under queue pressure: it is how operators watch a
+    /// drain converge, and [`EventLoop::drained`] already waits for
+    /// every queued job.
+    fn admit_fleet_stats(&mut self, token: Token, req_id: u64, admitted: Instant) {
+        self.next_job_id += 1;
+        let job_id = self.next_job_id;
+        self.members.insert(
+            job_id,
+            vec![Member { token, req_id, kind: "fleet-stats", admitted, leader: true }],
+        );
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.slots.push_back(Slot::Pending { req_id });
+        }
+        {
+            let mut queue = self.shared.jobs.lock().expect("job queue lock");
+            queue.push_back(Job {
+                id: job_id,
+                batch: format!("fleet-stats-{job_id}"),
+                work: JobWork::FleetStats,
+                deadline: Deadline::none(),
+            });
         }
         self.shared.jobs_ready.notify_one();
     }
@@ -852,7 +979,7 @@ impl<'a> EventLoop<'a> {
         let total_ms = member.admitted.elapsed().as_secs_f64() * 1e3;
         let queue_ms = (total_ms - completion.compile_ms).max(0.0);
         let (resp, ok, source) = match &completion.result {
-            Ok((result, outcome)) => {
+            Ok(JobOutput::Compile(result, outcome)) => {
                 let source = if member.leader {
                     outcome.as_str().to_string()
                 } else {
@@ -860,7 +987,7 @@ impl<'a> EventLoop<'a> {
                 };
                 (
                     Response::Compiled(Box::new(CompileResponse {
-                        result: result.clone(),
+                        result: (**result).clone(),
                         served: ServedInfo {
                             source: source.clone(),
                             queue_ms,
@@ -870,6 +997,9 @@ impl<'a> EventLoop<'a> {
                     true,
                     Some(source),
                 )
+            }
+            Ok(JobOutput::FleetStats(agg)) => {
+                (Response::FleetStats(agg.clone()), true, None)
             }
             Err(e) => (
                 Response::Error(ErrorResponse { kind: e.kind, message: e.message.clone() }),
@@ -956,31 +1086,6 @@ impl<'a> EventLoop<'a> {
         }
     }
 
-    // -- stats ---------------------------------------------------------------
-
-    fn stats(&self) -> StatsResponse {
-        let shared = self.shared;
-        let cache = shared.cache.stats();
-        let m = &shared.metrics;
-        StatsResponse {
-            uptime_ms: m.uptime_ms(),
-            requests: m.requests.load(Ordering::Relaxed),
-            ok: m.ok.load(Ordering::Relaxed),
-            errors: m.errors.load(Ordering::Relaxed),
-            shed: m.shed.load(Ordering::Relaxed),
-            coalesced: m.coalesced.load(Ordering::Relaxed),
-            batches: m.batches.load(Ordering::Relaxed),
-            pipelined: m.pipelined.load(Ordering::Relaxed),
-            queue_depth: shared.queued_jobs(),
-            workers: shared.workers,
-            qps: m.qps(),
-            cache_memory_hits: cache.memory_hits,
-            cache_disk_hits: cache.disk_hits,
-            cache_misses: cache.misses,
-            cache_hit_rate: cache.hit_rate(),
-            latency: m.latency.summary().into(),
-        }
-    }
 }
 
 #[cfg(test)]

@@ -124,6 +124,48 @@ impl Histogram {
         Self::upper_ms(BUCKETS - 1)
     }
 
+    /// A snapshot of the per-bucket counts, trailing zero buckets
+    /// trimmed (an empty histogram yields an empty vector). The indices
+    /// line up with [`Histogram::merge_buckets`], so a snapshot taken
+    /// on one node can be folded into an aggregate on another — that is
+    /// how the serve fleet merges per-daemon latency histograms without
+    /// shipping raw samples.
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        let mut counts: Vec<u64> =
+            self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        while counts.last() == Some(&0) {
+            counts.pop();
+        }
+        counts
+    }
+
+    /// Largest sample seen, in milliseconds (0 when empty).
+    #[must_use]
+    pub fn max_ms(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Folds another histogram's [`Histogram::bucket_counts`] snapshot
+    /// (and its exact max) into this one. Buckets beyond this
+    /// histogram's range collapse into the last bucket, mirroring how
+    /// `record` clamps oversized samples; short snapshots (trimmed
+    /// trailing zeros) are fine.
+    pub fn merge_buckets(&self, counts: &[u64], max_ms: f64) {
+        let mut added = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            self.counts[i.min(BUCKETS - 1)].fetch_add(c, Ordering::Relaxed);
+            added += c;
+        }
+        if added > 0 {
+            self.total.fetch_add(added, Ordering::Relaxed);
+            self.max_bits.fetch_max(max_ms.max(0.0).to_bits(), Ordering::Relaxed);
+        }
+    }
+
     /// The p50/p90/p99/max summary.
     #[must_use]
     pub fn summary(&self) -> HistogramSummary {
@@ -235,6 +277,42 @@ mod tests {
         assert_eq!(quantile_rank(0.99, 100), 99);
         assert_eq!(quantile_rank(0.99, 33), 33);
         assert_eq!(quantile_rank(1.0, 7), 7);
+    }
+
+    #[test]
+    fn merged_histograms_agree_with_a_single_combined_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for ms in [0.5, 1.0, 2.0, 150.0] {
+            a.record(ms);
+            combined.record(ms);
+        }
+        for ms in [3.0, 900.0] {
+            b.record(ms);
+            combined.record(ms);
+        }
+        let merged = Histogram::new();
+        merged.merge_buckets(&a.bucket_counts(), a.max_ms());
+        merged.merge_buckets(&b.bucket_counts(), b.max_ms());
+        assert_eq!(merged.count(), combined.count());
+        assert_eq!(merged.summary(), combined.summary());
+        // Empty snapshots are no-ops and don't disturb the max.
+        merged.merge_buckets(&[], 1e9);
+        merged.merge_buckets(&Histogram::new().bucket_counts(), 1e9);
+        assert_eq!(merged.summary(), combined.summary());
+    }
+
+    #[test]
+    fn oversized_merge_snapshots_clamp_to_the_last_bucket() {
+        let h = Histogram::new();
+        let mut counts = vec![0u64; 300];
+        counts[0] = 1;
+        counts[299] = 2;
+        h.merge_buckets(&counts, 7200.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.summary().max_ms, 7200.0);
+        assert!(h.quantile(1.0) > 1e3);
     }
 
     #[test]

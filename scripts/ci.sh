@@ -5,9 +5,12 @@
 # compile-throughput regression gate, and a serve smoke: a real
 # `overlapd` on an ephemeral port, concurrent loadgen clients verifying
 # byte-identity against direct pipeline runs, then a SIGTERM drain that
-# must leave no torn disk-cache entries, plus seeded fault-injection,
-# tail-latency and strategy-autotune smokes whose outputs must be
-# deterministic. Run from the repository root.
+# must leave no torn disk-cache entries, a fleet smoke: four `overlapd`
+# nodes on one consistent-hash ring, loadgen through the router with
+# cluster-wide dedup, SIGKILL of one node with zero failed responses,
+# and a deterministic fleet-summary double-run, plus seeded
+# fault-injection, tail-latency and strategy-autotune smokes whose
+# outputs must be deterministic. Run from the repository root.
 #
 #   sh scripts/ci.sh
 #
@@ -44,6 +47,11 @@ if [ "${PERFGATE:-1}" = "1" ]; then
             echo "FAIL: serve bench recorded $counter=0 in results/BENCH_sim.json"; exit 1;
         }
     done
+    # Same for the fleet section: zero peer hits means the cache-peering
+    # path silently stopped firing.
+    grep -Eq '"cluster_peer_hits": *[1-9]' results/BENCH_sim.json || {
+        echo "FAIL: fleet bench recorded cluster_peer_hits=0 in results/BENCH_sim.json"; exit 1;
+    }
 fi
 
 echo "==> artifact-cache disk tier: second run of a driver must be all hits"
@@ -99,6 +107,132 @@ if ls "$serve_cache"/*.tmp >/dev/null 2>&1; then
     echo "FAIL: torn artifact-cache entries left behind by the drain"; exit 1
 fi
 rm -rf "$port_file" "$serve_cache" "$serve_log"
+
+echo "==> fleet smoke: 4 overlapd nodes, sharded routing, SIGKILL failover, clean drain"
+# Fixed $$-derived ports: every member must know the full address list
+# before binding, so ephemeral ports cannot work here.
+fleet_base=$((21000 + $$ % 20000))
+fleet_models="GPT_32B,GPT_64B,GPT_128B"
+
+# launch_fleet BASE_PORT SUFFIX: starts 4 daemons on BASE_PORT..+3 with
+# fresh caches and waits until every one has written its port file.
+# Sets $fleet_addrs and $fleet_pids (index-ordered).
+launch_fleet() {
+    fleet_addrs=""
+    for i in 0 1 2 3; do
+        fleet_addrs="$fleet_addrs${fleet_addrs:+,}127.0.0.1:$(($1 + i))"
+    done
+    fleet_pids=""
+    for i in 0 1 2 3; do
+        rm -rf ".overlap-fleet-$2-cache.$$.$i" ".overlap-fleet-$2-port.$$.$i"
+        cargo run --release -q -p overlap-bench --bin overlapd -- \
+            --addr "127.0.0.1:$(($1 + i))" --workers 4 --queue-depth 32 \
+            --port-file ".overlap-fleet-$2-port.$$.$i" \
+            --cache-dir ".overlap-fleet-$2-cache.$$.$i" \
+            --fleet-node "$i" --fleet-peers "$fleet_addrs" \
+            2>".overlap-fleet-$2-log.$$.$i" &
+        fleet_pids="$fleet_pids $!"
+    done
+    for i in 0 1 2 3; do
+        tries=0
+        while [ ! -s ".overlap-fleet-$2-port.$$.$i" ]; do
+            tries=$((tries + 1))
+            if [ "$tries" -gt 300 ]; then
+                echo "FAIL: fleet node $i never came up"
+                cat ".overlap-fleet-$2-log.$$.$i"
+                kill $fleet_pids 2>/dev/null || true
+                exit 1
+            fi
+            for p in $fleet_pids; do
+                kill -0 "$p" 2>/dev/null || {
+                    echo "FAIL: a fleet daemon died during startup"
+                    cat ".overlap-fleet-$2-log.$$."*
+                    kill $fleet_pids 2>/dev/null || true
+                    exit 1
+                }
+            done
+            sleep 0.1
+        done
+    done
+}
+
+launch_fleet "$fleet_base" a
+# Cold pass through the router: every response byte-identical to a
+# direct pipeline run, each model compiled on exactly one node
+# cluster-wide (--expect-dedup), and the race-invariant summary saved
+# for the determinism comparison below.
+cargo run --release -q -p overlap-bench --bin overlap-client -- "$fleet_addrs" \
+    loadgen --clients 4 --models "$fleet_models" --repeat 2 --expect-dedup \
+    --fleet-summary results/fleet_summary.json || {
+    echo "FAIL: fleet loadgen (cold)"; cat ".overlap-fleet-a-log.$$."*; kill $fleet_pids 2>/dev/null; exit 1;
+}
+# SIGKILL one node mid-run: start a longer warm loadgen, hard-kill
+# node 0 while it runs (for this model set the ring puts most traffic
+# on node 0, so the corpse is load-bearing), and require zero failed
+# responses — the router must eject it and fail over down the ring.
+cargo run --release -q -p overlap-bench --bin overlap-client -- "$fleet_addrs" \
+    loadgen --clients 4 --models "$fleet_models" --repeat 200 &
+fleet_loadgen_pid=$!
+sleep 1
+fleet_victim=$(echo $fleet_pids | cut -d' ' -f1)
+kill -9 "$fleet_victim"
+wait "$fleet_loadgen_pid" || {
+    echo "FAIL: loadgen lost responses after SIGKILL of fleet node 0"
+    cat ".overlap-fleet-a-log.$$."*; kill $fleet_pids 2>/dev/null; exit 1;
+}
+# A post-kill pass over the full list (the dead address included) must
+# also fully succeed: survivors own the victim's artifacts now.
+cargo run --release -q -p overlap-bench --bin overlap-client -- "$fleet_addrs" \
+    loadgen --clients 4 --models "$fleet_models" --repeat 2 || {
+    echo "FAIL: fleet loadgen with a dead node"; kill $fleet_pids 2>/dev/null; exit 1;
+}
+# The cluster aggregate must report the outage: 3 of 4 alive.
+fleet_agg=$(cargo run --release -q -p overlap-bench --bin overlap-client -- "$fleet_addrs" fleet-stats) || {
+    echo "FAIL: fleet-stats with a dead node"; kill $fleet_pids 2>/dev/null; exit 1;
+}
+echo "$fleet_agg" | grep -q '"alive": 3' || {
+    echo "FAIL: fleet-stats did not report 3/4 alive"; echo "$fleet_agg"; kill $fleet_pids 2>/dev/null; exit 1;
+}
+# Survivors drain cleanly on SIGTERM; the SIGKILLed node is exempt.
+fleet_i=0
+for p in $fleet_pids; do
+    if [ "$fleet_i" != 0 ]; then kill -TERM "$p" 2>/dev/null || true; fi
+    fleet_i=$((fleet_i + 1))
+done
+fleet_i=0
+for p in $fleet_pids; do
+    if [ "$fleet_i" != 0 ]; then
+        wait "$p" || { echo "FAIL: fleet node $fleet_i exited nonzero after SIGTERM"; cat ".overlap-fleet-a-log.$$.$fleet_i"; exit 1; }
+        grep -q "drained cleanly" ".overlap-fleet-a-log.$$.$fleet_i" || {
+            echo "FAIL: fleet node $fleet_i did not report a clean drain"; cat ".overlap-fleet-a-log.$$.$fleet_i"; exit 1;
+        }
+        if ls ".overlap-fleet-a-cache.$$.$fleet_i"/*.tmp >/dev/null 2>&1; then
+            echo "FAIL: torn artifact-cache entries on fleet node $fleet_i"; exit 1
+        fi
+    fi
+    fleet_i=$((fleet_i + 1))
+done
+
+# Determinism: an identical cold run against a second fresh fleet (new
+# ports, new caches) must produce a byte-identical summary — routing
+# tables, response/match counts and per-node compile counts are pure
+# functions of the request set and the fleet size.
+launch_fleet $((fleet_base + 10)) b
+cargo run --release -q -p overlap-bench --bin overlap-client -- "$fleet_addrs" \
+    loadgen --clients 4 --models "$fleet_models" --repeat 2 --expect-dedup \
+    --fleet-summary results/fleet_summary.json.second || {
+    echo "FAIL: fleet loadgen (determinism rerun)"; cat ".overlap-fleet-b-log.$$."*; kill $fleet_pids 2>/dev/null; exit 1;
+}
+kill -TERM $fleet_pids 2>/dev/null || true
+for p in $fleet_pids; do wait "$p" || { echo "FAIL: determinism fleet drain"; exit 1; }; done
+cmp -s results/fleet_summary.json results/fleet_summary.json.second || {
+    echo "FAIL: fleet summaries differ between identical cold runs"
+    diff results/fleet_summary.json results/fleet_summary.json.second || true
+    exit 1
+}
+rm -f results/fleet_summary.json results/fleet_summary.json.second
+rm -rf .overlap-fleet-a-cache.$$.* .overlap-fleet-a-port.$$.* .overlap-fleet-a-log.$$.* \
+       .overlap-fleet-b-cache.$$.* .overlap-fleet-b-port.$$.* .overlap-fleet-b-log.$$.*
 
 echo "==> fault-injection smoke sweep: seeded faults, no panic, deterministic"
 smoke_one=$(OVERLAP_FAULT_SMOKE=1 OVERLAP_FAULT_SEED=7 OVERLAP_CACHE=0 \

@@ -1,0 +1,244 @@
+//! Fleet behavior, end to end: N real servers in one process behind a
+//! consistent-hash [`Router`].
+//!
+//! Covered here:
+//!
+//! 1. **Sharded dedup** — through the router, every distinct artifact
+//!    compiles on exactly one node cluster-wide, responses are
+//!    byte-identical to a direct pipeline oracle, and repeats are warm.
+//! 2. **Cache peering** — a compile sent straight at a *non-owner*
+//!    is served from the owner's cache over the `fetch` frame
+//!    (`served.source == "peer"`), then from local memory on repeat.
+//! 3. **Kill-a-node** — taking a node down mid-run loses zero
+//!    requests: the router fails over down the ring, survivors
+//!    recompile what the victim owned, and answers stay
+//!    byte-identical.
+//! 4. **Fleet stats** — one `fleet-stats` frame aggregates the whole
+//!    cluster and reports dead nodes as such.
+
+use std::time::Duration;
+
+use overlap_core::{ArtifactCache, OverlapOptions};
+use overlap_hlo::{Builder, DType, DotDims, Module, ReplicaGroups, Shape};
+use overlap_json::ToJson;
+use overlap_serve::exec::{execute, Deadline};
+use overlap_serve::{
+    Client, CompileRequest, FleetHarness, HealthPolicy, MachineSpec, ModelRef, RetryPolicy,
+    Router, ServeConfig,
+};
+
+/// Same tiny 4-way layer as the protocol tests, except each caller
+/// passes an explicit row index: the artifact key fingerprints
+/// structure, not names, so distinct requests need structurally
+/// distinct modules or they'd share (and evict) one cache slot.
+fn tiny_module(name: &str, idx: usize) -> Module {
+    let n = 4;
+    let rows = 1024 + 64 * idx;
+    let mut b = Builder::new(name, n);
+    let x = b.parameter(Shape::new(DType::BF16, vec![rows, 1024]), "x");
+    let w = b.parameter(Shape::new(DType::BF16, vec![1024, 4096 / n]), "w");
+    let wg = b.all_gather(w, 1, ReplicaGroups::full(n), "wg");
+    let y = b.einsum(x, wg, DotDims::matmul(), "y");
+    b.build(vec![y])
+}
+
+fn inline_request(name: &str, idx: usize) -> CompileRequest {
+    CompileRequest {
+        model: ModelRef::Inline(Box::new(tiny_module(name, idx))),
+        machine: MachineSpec::ModelDefault,
+        options: OverlapOptions::paper_default(),
+        fault_spec: None,
+        deadline_ms: None,
+    }
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig { addr: "127.0.0.1:0".into(), workers: 2, queue_depth: 16 }
+}
+
+/// The no-fleet oracle: a direct pipeline + simulator call.
+fn oracle(name: &str, idx: usize) -> String {
+    let (result, _) =
+        execute(&inline_request(name, idx), &ArtifactCache::in_memory(), Deadline::none())
+            .unwrap();
+    result.to_json().to_string()
+}
+
+/// Launches an `n`-node fleet with test-speed knobs: fast peer-fetch
+/// retries and short timeouts so a dead peer costs milliseconds, not
+/// the production-grade patience.
+fn launch(n: usize) -> FleetHarness {
+    FleetHarness::launch(n, &serve_config(), &|_| ArtifactCache::in_memory(), |mut cfg| {
+        cfg.io_timeout = Duration::from_millis(500);
+        cfg.retry = RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(10),
+            seed: 42,
+        };
+        cfg
+    })
+    .unwrap()
+}
+
+/// A router tuned the same way: short connect budget, one-strike
+/// ejection, probation long enough to stay out of the test's way.
+fn fast_router(fleet: &FleetHarness) -> Router {
+    Router::with_policies(
+        fleet.addrs(),
+        RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(10),
+            seed: 7,
+        },
+        HealthPolicy { eject_after: 1, probation: Duration::from_secs(60) },
+        Duration::from_millis(300),
+    )
+}
+
+#[test]
+fn router_shards_dedups_and_matches_the_oracle() {
+    let fleet = launch(4);
+    let router = fleet.router();
+    let mut session = router.session();
+
+    let names = ["fleet_a", "fleet_b", "fleet_c", "fleet_d", "fleet_e", "fleet_f"];
+
+    // Cold pass: each artifact lands on its ring owner and compiles
+    // there (sources "compiled*", never "peer" — nobody else has it).
+    for (idx, name) in names.iter().enumerate() {
+        let req = inline_request(name, idx);
+        let owner = router.owner_of(&req);
+        let (resp, served_by) = session.compile(&req).unwrap();
+        assert_eq!(served_by, owner, "healthy fleet must serve {name} on its owner");
+        assert!(
+            resp.served.source.starts_with("compiled"),
+            "{name} cold source was {:?}",
+            resp.served.source
+        );
+        assert_eq!(resp.result.to_json().to_string(), oracle(name, idx), "{name} diverged");
+    }
+
+    // Warm pass, from a *fresh* session (new connections): same owner,
+    // memory hit, byte-identical — each artifact compiled exactly once
+    // cluster-wide.
+    let mut session = router.session();
+    for (idx, name) in names.iter().enumerate() {
+        let req = inline_request(name, idx);
+        let (resp, served_by) = session.compile(&req).unwrap();
+        assert_eq!(served_by, router.owner_of(&req));
+        assert_eq!(resp.served.source, "memory", "{name} should be warm on its owner");
+        assert_eq!(resp.result.to_json().to_string(), oracle(name, idx));
+    }
+
+    // The cluster aggregate agrees: every node alive, one local
+    // compile per distinct artifact, no peer traffic.
+    let agg = session.fleet_stats().unwrap();
+    assert_eq!(agg.total, 4);
+    assert_eq!(agg.alive, 4);
+    assert_eq!(agg.nodes.len(), 4);
+    assert!(agg.nodes.iter().all(|n| n.alive));
+    let misses: u64 = agg.nodes.iter().map(|n| n.cache_misses).sum();
+    assert_eq!(misses, names.len() as u64, "each artifact must compile exactly once");
+    let peer_hits: u64 = agg.nodes.iter().map(|n| n.cache_peer_hits).sum();
+    assert_eq!(peer_hits, 0, "routed traffic never needs the peer tier");
+
+    fleet.shutdown_all();
+}
+
+#[test]
+fn a_non_owner_serves_from_the_peer_tier() {
+    let fleet = launch(2);
+    let router = fleet.router();
+    let req = inline_request("peered", 9);
+
+    // Compile on the owner (through the router, like any client).
+    let (first, owner) = router.session().compile(&req).unwrap();
+    assert!(first.served.source.starts_with("compiled"));
+
+    // Now hit the other node directly, bypassing the router. Its
+    // memory and disk tiers miss; the peer tier must fetch the
+    // owner's entry, revalidate it, and serve it.
+    let other = 1 - owner;
+    let mut client = Client::connect(&fleet.addrs()[other]).unwrap();
+    let peer = client.compile(req.clone()).unwrap();
+    assert_eq!(peer.served.source, "peer", "non-owner should fetch, not recompile");
+    assert_eq!(
+        peer.result.to_json().to_string(),
+        first.result.to_json().to_string(),
+        "a peer-fetched artifact must be byte-identical"
+    );
+
+    // The fetched entry was installed locally: repeats are memory hits.
+    let again = client.compile(req).unwrap();
+    assert_eq!(again.served.source, "memory");
+
+    // And the aggregate saw it: one compile, one peer hit.
+    let agg = client.fleet_stats().unwrap();
+    let misses: u64 = agg.nodes.iter().map(|n| n.cache_misses).sum();
+    let peer_hits: u64 = agg.nodes.iter().map(|n| n.cache_peer_hits).sum();
+    assert_eq!(misses, 1, "the artifact must compile exactly once cluster-wide");
+    assert_eq!(peer_hits, 1);
+
+    fleet.shutdown_all();
+}
+
+#[test]
+fn killing_a_node_loses_no_requests_and_keeps_answers_identical() {
+    let mut fleet = launch(3);
+    let router = fast_router(&fleet);
+    let mut session = router.session();
+
+    let names =
+        ["kill_a", "kill_b", "kill_c", "kill_d", "kill_e", "kill_f", "kill_g", "kill_h"];
+
+    // Warm the whole set through the router and remember the answers.
+    let mut warm = Vec::new();
+    for (idx, name) in names.iter().enumerate() {
+        let (resp, served_by) = session.compile(&inline_request(name, idx)).unwrap();
+        warm.push((resp.result.to_json().to_string(), served_by));
+    }
+
+    // Kill the node that owns the first artifact — the dead node is
+    // guaranteed to be load-bearing for at least one request.
+    let victim = router.owner_of(&inline_request(names[0], 0));
+    fleet.kill(victim);
+
+    // Every request still succeeds, nothing is served by the corpse,
+    // and every answer matches the pre-kill bytes. Artifacts the
+    // victim owned recompile (at most once) on a survivor; the rest
+    // stay warm on their owners.
+    for (idx, (name, (expect, warm_node))) in names.iter().zip(&warm).enumerate() {
+        let (resp, served_by) = session
+            .compile(&inline_request(name, idx))
+            .unwrap_or_else(|e| panic!("{name} failed after killing node {victim}: {e}"));
+        assert_ne!(served_by, victim, "{name} served by the killed node");
+        assert_eq!(&resp.result.to_json().to_string(), expect, "{name} changed after the kill");
+        if *warm_node != victim {
+            assert_eq!(
+                resp.served.source, "memory",
+                "{name} was not owned by the victim and should still be warm"
+            );
+        }
+    }
+
+    // A fresh session must converge too (its health table starts
+    // blank and learns about the dead node on first contact).
+    let mut fresh = router.session();
+    for (idx, (name, (expect, _))) in names.iter().zip(&warm).enumerate() {
+        let (resp, served_by) = fresh.compile(&inline_request(name, idx)).unwrap();
+        assert_ne!(served_by, victim);
+        assert_eq!(&resp.result.to_json().to_string(), expect);
+    }
+
+    // The aggregate reports the outage honestly.
+    let agg = session.fleet_stats().unwrap();
+    assert_eq!(agg.total, 3);
+    assert_eq!(agg.alive, 2);
+    let dead: Vec<&str> =
+        agg.nodes.iter().filter(|n| !n.alive).map(|n| n.node.as_str()).collect();
+    assert_eq!(dead, vec![overlap_serve::node_id(victim)]);
+
+    fleet.shutdown_all();
+}

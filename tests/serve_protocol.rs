@@ -15,7 +15,13 @@
 //!    (fingerprint-level dedup), and a shutdown request must drain
 //!    gracefully.
 
+// The offline proptest stub expands `proptest!` to nothing, leaving
+// the fuzz helpers and imports below unused; with the real crate
+// nothing is dead.
+#![allow(dead_code, unused_imports)]
+
 use overlap_core::{ArtifactCache, OverlapOptions, OverlapPipeline};
+use proptest::prelude::*;
 use overlap_hlo::{Builder, DType, DotDims, Module, ReplicaGroups, Shape};
 use overlap_json::{FromJson, Json, ToJson};
 use overlap_mesh::{FaultSpec, Machine};
@@ -64,6 +70,8 @@ fn every_request_variant_roundtrips() {
         Request::Stats,
         Request::Shutdown,
         Request::Subscribe,
+        Request::FleetStats,
+        Request::Fetch { key: "00ff00ff00ff00ff00ff00ff00ff00ff".into() },
         Request::Compile(Box::new(CompileRequest::named("GPT_32B"))),
         Request::Compile(Box::new(CompileRequest {
             model: ModelRef::Inline(Box::new(tiny_module("wire"))),
@@ -107,6 +115,7 @@ fn every_response_variant_roundtrips() {
             message: "busy".into(),
         }),
         Response::Stats(Box::new(StatsResponse {
+            node: "node-1".into(),
             uptime_ms: 12.5,
             requests: 9,
             ok: 7,
@@ -120,9 +129,57 @@ fn every_response_variant_roundtrips() {
             qps: 0.5,
             cache_memory_hits: 5,
             cache_disk_hits: 1,
+            cache_peer_hits: 2,
             cache_misses: 3,
             cache_hit_rate: 0.6667,
+            fetches: 4,
+            peer_fetches: 6,
             latency: LatencySummary { count: 9, p50_ms: 1.0, p90_ms: 2.0, p99_ms: 3.0, max_ms: 4.0 },
+            latency_buckets: vec![3, 0, 6],
+        })),
+        Response::Artifact(Box::new(overlap_serve::ArtifactResponse {
+            key: "deadbeef".into(),
+            entry: None,
+        })),
+        Response::Artifact(Box::new(overlap_serve::ArtifactResponse {
+            key: "deadbeef".into(),
+            entry: Some(Json::obj().with("key", "deadbeef").with("payload", "x")),
+        })),
+        Response::FleetStats(Box::new(overlap_serve::FleetStatsResponse {
+            origin: "node-0".into(),
+            total: 2,
+            alive: 1,
+            requests: 11,
+            ok: 10,
+            errors: 1,
+            shed: 0,
+            coalesced: 3,
+            batches: 5,
+            pipelined: 2,
+            fetches: 1,
+            peer_fetches: 2,
+            cache_memory_hits: 4,
+            cache_disk_hits: 1,
+            cache_peer_hits: 1,
+            cache_misses: 5,
+            cache_hit_rate: 0.5455,
+            latency: LatencySummary { count: 11, p50_ms: 1.0, p90_ms: 2.0, p99_ms: 3.0, max_ms: 4.0 },
+            nodes: vec![
+                overlap_serve::FleetNodeStatus {
+                    node: "node-0".into(),
+                    alive: true,
+                    requests: 11,
+                    cache_misses: 5,
+                    cache_peer_hits: 1,
+                },
+                overlap_serve::FleetNodeStatus {
+                    node: "node-1".into(),
+                    alive: false,
+                    requests: 0,
+                    cache_misses: 0,
+                    cache_peer_hits: 0,
+                },
+            ],
         })),
         Response::Compiled(Box::new(overlap_serve::CompileResponse {
             result,
@@ -247,6 +304,106 @@ fn two_frames_on_one_stream_both_decode() {
     assert_eq!(read_frame(&mut cursor, &mut reader).unwrap(), Request::Ping.to_json());
     assert_eq!(read_frame(&mut cursor, &mut reader).unwrap(), Request::Stats.to_json());
     assert!(matches!(read_frame(&mut cursor, &mut reader), Err(WireError::Closed)));
+}
+
+// ---------------------------------------------------------------------------
+// 2b. Framing fuzz: random tears, truncations, announcements
+// ---------------------------------------------------------------------------
+
+/// A reader that tears the stream into the given chunk sizes (cycled),
+/// delivering at most one chunk per `read` call — the adversarial
+/// version of a slow peer dribbling bytes.
+struct TornReader {
+    data: Vec<u8>,
+    pos: usize,
+    sizes: Vec<usize>,
+    turn: usize,
+}
+
+impl std::io::Read for TornReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let want = self.sizes[self.turn % self.sizes.len()].max(1);
+        self.turn += 1;
+        let n = want.min(out.len()).min(self.data.len() - self.pos);
+        out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// However the kernel splits the bytes, every frame reassembles
+    /// exactly once, in order, and the stream ends Closed.
+    #[test]
+    fn torn_streams_reassemble_every_frame(
+        seed in 0u64..1_000_000,
+        sizes in proptest::collection::vec(1usize..9, 1..8),
+        frames in 1usize..5,
+    ) {
+        let payloads: Vec<Json> = (0..frames)
+            .map(|i| {
+                let pad = (seed as usize).wrapping_mul(31).wrapping_add(i * 13) % 64;
+                Json::obj()
+                    .with("i", i as u64)
+                    .with("seed", seed)
+                    .with("pad", "x".repeat(pad))
+            })
+            .collect();
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let mut src = TornReader { data: buf, pos: 0, sizes, turn: 0 };
+        let mut reader = FrameReader::new();
+        for p in &payloads {
+            prop_assert_eq!(&read_frame(&mut src, &mut reader).unwrap(), p);
+        }
+        prop_assert!(matches!(read_frame(&mut src, &mut reader), Err(WireError::Closed)));
+    }
+
+    /// A stream cut anywhere never panics and never fabricates a
+    /// frame: each decode is one of the originals, at most once each,
+    /// and the tail is a typed Malformed or a clean Closed.
+    #[test]
+    fn truncated_streams_never_panic_or_misparse(cut_frac in 0.0f64..1.0) {
+        let a = Request::Ping.to_json();
+        let b = Request::Stats.to_json();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &a).unwrap();
+        write_frame(&mut buf, &b).unwrap();
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        let mut cursor = std::io::Cursor::new(buf[..cut.min(buf.len())].to_vec());
+        let mut reader = FrameReader::new();
+        let mut decoded = 0usize;
+        loop {
+            match read_frame(&mut cursor, &mut reader) {
+                Ok(v) => {
+                    let want = if decoded == 0 { &a } else { &b };
+                    prop_assert_eq!(&v, want, "fabricated or reordered frame");
+                    decoded += 1;
+                    prop_assert!(decoded <= 2);
+                }
+                Err(WireError::Closed | WireError::Malformed(_)) => break,
+                Err(e) => prop_assert!(false, "unexpected error shape: {e:?}"),
+            }
+        }
+    }
+
+    /// Any announced length past the cap is rejected as a typed
+    /// FrameTooLarge before any payload allocation happens.
+    #[test]
+    fn oversized_announcements_are_rejected(extra in 1usize..1_000_000_000) {
+        let n = overlap_serve::MAX_FRAME_BYTES + extra;
+        match read_all(format!("{PROTOCOL_VERSION} {n}\n").as_bytes()) {
+            Err(WireError::FrameTooLarge(m)) => prop_assert_eq!(m, n),
+            other => prop_assert!(false, "expected FrameTooLarge, got {other:?}"),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
