@@ -276,4 +276,20 @@ mod tests {
         assert!(both.contains(&only_faults[0]));
         assert!(both.contains(&only_strategy[0]));
     }
+
+    #[test]
+    fn banner_echoes_the_precision_knob() {
+        // A quantized `--strategy` file changes what bytes move on the
+        // wire; the banner must say so, and a lossless strategy must
+        // not invent a precision note.
+        use overlap_hlo::WireFormat;
+        let quantized = StrategySpec::paper_default().with_wire(WireFormat::int8());
+        let lines = banner_lines(None, Some(&quantized));
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("int8x64"), "banner hides the wire format: {}", lines[0]);
+
+        let lossless = banner_lines(None, Some(&StrategySpec::paper_default()));
+        assert!(!lossless[0].contains("int8"), "lossless banner grew a precision note");
+        assert!(!lossless[0].contains("bf16"), "lossless banner grew a precision note");
+    }
 }

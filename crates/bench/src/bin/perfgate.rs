@@ -19,16 +19,17 @@
 use std::time::Instant;
 
 use overlap_bench::{
-    par_map, run_comparison, run_comparisons, run_overlapped_cached, strategy_grid,
-    sweep_threads, write_json,
+    par_map, run_comparison, run_comparison_options_faulted_cached, run_comparisons,
+    run_overlapped_cached, strategy_grid, sweep_threads, write_json,
 };
 use overlap_core::{
     artifact_key, asyncify, decompose_each, find_patterns, fuse, schedule_bottom_up_with,
     ArtifactCache, CostModel, DecomposeOptions, OverlapOptions, OverlapPipeline, PhaseTimings,
+    StrategySpec,
 };
 use overlap_hlo::{
     eliminate_common_subexpressions, Builder, DType, DotDims, InstrId, Module, ReplicaGroups,
-    Shape,
+    Shape, WireFormat,
 };
 use overlap_json::{Json, ToJson};
 use overlap_mesh::{FaultSpec, Machine};
@@ -309,6 +310,97 @@ fn tail_bench() -> (TailBench, bool) {
         bench_seconds,
     };
     let ok = bench_seconds <= TAIL_BUDGET_SECONDS && p99_window2 <= p99_window1;
+    (record, ok)
+}
+
+/// Hard wall-clock budget for the quant bench, in seconds: three compiles
+/// of the mid-size perfgate layer plus three faulted simulations.
+/// Measured well under a second; the budget leaves headroom for slow CI.
+const QUANT_BUDGET_SECONDS: f64 = 60.0;
+
+/// Error budget the quant bench compiles under (mirrors `fig_quant`).
+const QUANT_ERROR_BUDGET: f64 = 5e-2;
+
+struct QuantBench {
+    /// Whether an explicit lossless wire compiled bit-identically to the
+    /// paper default (the precision axis must be invisible until used).
+    lossless_identical: bool,
+    /// Lossless overlap speedup on the damaged-link machine.
+    lossless_speedup: f64,
+    /// Quantized (int8 wire, budgeted) overlap speedup on the same
+    /// damaged-link machine.
+    quant_speedup: f64,
+    /// Fallbacks the quantized compile recorded (budget or gate).
+    fallbacks: u64,
+    bench_seconds: f64,
+}
+
+impl ToJson for QuantBench {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .with("lossless_identical", self.lossless_identical)
+            .with("lossless_speedup", self.lossless_speedup)
+            .with("quant_speedup", self.quant_speedup)
+            .with("fallbacks", self.fallbacks)
+            .with("bench_seconds", self.bench_seconds)
+    }
+}
+
+/// Precision-axis bench (hard gate): on the mid-size perfgate layer,
+/// an explicitly-lossless strategy must compile bit-identically to the
+/// paper default (same schedule, same module identity — the wire knob
+/// contributes nothing until it is actually turned), and on a
+/// damaged-link machine (half the links at half bandwidth) the int8
+/// wire under the `fig_quant` error budget must still beat the
+/// synchronous baseline (>= 1.0x). Both inside
+/// [`QUANT_BUDGET_SECONDS`]. Returns the record and whether the gate
+/// passed.
+fn quant_bench(cfg: &ModelConfig) -> (QuantBench, bool) {
+    let module = cfg.layer_module();
+    let machine = cfg.machine();
+    let t = Instant::now();
+
+    let compile = |options: OverlapOptions| {
+        OverlapPipeline::new(options).run(&module, &machine).expect("quant bench compile")
+    };
+    let paper = compile(OverlapOptions::paper_default());
+    let lossless = compile(OverlapOptions::with_strategy(
+        StrategySpec::paper_default().with_wire(WireFormat::Lossless),
+    ));
+    let lossless_identical = paper.order == lossless.order
+        && paper.module.identity_fingerprint() == lossless.module.identity_fingerprint();
+
+    let spec = FaultSpec::seeded(7).with_derated_link_fraction(machine.mesh(), 0.5, 0.5);
+    let cache = ArtifactCache::in_memory();
+    let base = run_comparison_options_faulted_cached(
+        cfg,
+        OverlapOptions::paper_default(),
+        &spec,
+        &cache,
+    );
+    let quant = run_comparison_options_faulted_cached(
+        cfg,
+        OverlapOptions {
+            error_budget: Some(QUANT_ERROR_BUDGET),
+            ..OverlapOptions::with_strategy(
+                StrategySpec::paper_default().with_wire(WireFormat::int8()),
+            )
+        },
+        &spec,
+        &cache,
+    );
+    let bench_seconds = t.elapsed().as_secs_f64();
+
+    let record = QuantBench {
+        lossless_identical,
+        lossless_speedup: base.speedup(),
+        quant_speedup: quant.speedup(),
+        fallbacks: quant.fallbacks as u64,
+        bench_seconds,
+    };
+    let ok = lossless_identical
+        && record.quant_speedup >= 1.0
+        && bench_seconds <= QUANT_BUDGET_SECONDS;
     (record, ok)
 }
 
@@ -724,6 +816,7 @@ struct PerfRecord {
     fault_smoke: FaultSmoke,
     autotune: AutotuneBench,
     tail: TailBench,
+    quant: QuantBench,
     serve: ServeBench,
     fleet: FleetBench,
     threads: usize,
@@ -744,6 +837,7 @@ impl ToJson for PerfRecord {
             .with("fault_smoke", self.fault_smoke.to_json())
             .with("autotune", self.autotune.to_json())
             .with("tail", self.tail.to_json())
+            .with("quant", self.quant.to_json())
             .with("serve", self.serve.to_json())
             .with("fleet", self.fleet.to_json())
             .with("threads", self.threads as u64)
@@ -996,6 +1090,11 @@ fn main() {
     // window=1 on p99).
     let (tail, tail_ok) = tail_bench();
 
+    // Precision axis: lossless wire must be a compile no-op and the
+    // budgeted int8 wire must still win on a damaged-link machine
+    // (hard gate).
+    let (quant, quant_ok) = quant_bench(&cfg);
+
     // Service layer: concurrent clients against an in-process daemon
     // (hard gate on byte-identity, dedup, and zero sheds/errors).
     let (serve, serve_ok) = serve_bench();
@@ -1017,6 +1116,7 @@ fn main() {
         fault_smoke,
         autotune,
         tail,
+        quant,
         serve,
         fleet,
         threads: sweep_threads(),
@@ -1067,6 +1167,15 @@ fn main() {
         record.tail.p99_window1 * 1e3,
         record.tail.p99_window2 * 1e3,
         record.tail.bench_seconds
+    );
+    println!(
+        "quant: lossless identical={}, damaged-link speedup lossless {:.2}x vs int8 {:.2}x \
+         (fallbacks={}) in {:.3}s",
+        record.quant.lossless_identical,
+        record.quant.lossless_speedup,
+        record.quant.quant_speedup,
+        record.quant.fallbacks,
+        record.quant.bench_seconds
     );
     println!(
         "serve: {} clients, cold {:.3}s, warm {:.3}s, pipelined {:.3}s (p50 {:.2}ms, p99 {:.2}ms, \
@@ -1143,6 +1252,17 @@ fn main() {
             record.tail.p99_window2 * 1e3,
             record.tail.p99_window1 * 1e3,
             record.tail.bench_seconds,
+        );
+        std::process::exit(1);
+    }
+    if !quant_ok {
+        eprintln!(
+            "quant regression: lossless-wire identity={} (must be bit-identical to the paper \
+             default), int8 damaged-link speedup {:.3}x (must be >= 1.0x) in {:.3}s \
+             (budget {QUANT_BUDGET_SECONDS}s)",
+            record.quant.lossless_identical,
+            record.quant.quant_speedup,
+            record.quant.bench_seconds,
         );
         std::process::exit(1);
     }

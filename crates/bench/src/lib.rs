@@ -344,9 +344,27 @@ pub fn run_comparison_faulted_cached(
     spec: &FaultSpec,
     cache: &ArtifactCache,
 ) -> FaultedComparison {
+    run_comparison_options_faulted_cached(cfg, OverlapOptions::paper_default(), spec, cache)
+}
+
+/// [`run_comparison_faulted_cached`] under explicit pipeline options: the
+/// precision sweeps compile the same model with different wire strategies
+/// against the same degraded machine and compare each against the shared
+/// lossless synchronous baseline.
+///
+/// # Panics
+///
+/// Panics if compilation or either simulation fails.
+#[must_use]
+pub fn run_comparison_options_faulted_cached(
+    cfg: &ModelConfig,
+    options: OverlapOptions,
+    spec: &FaultSpec,
+    cache: &ArtifactCache,
+) -> FaultedComparison {
     let module = cfg.layer_module();
     let machine = cfg.machine();
-    let compiled = OverlapPipeline::new(OverlapOptions::paper_default())
+    let compiled = OverlapPipeline::new(options)
         .with_faults(spec.clone())
         .compile_cached(&module, &machine, cache)
         .expect("faulted pipeline");

@@ -37,10 +37,10 @@ pub fn asyncify_with(module: &Module) -> (Module, ModuleAnalysis) {
             .iter()
             .map(|o| map[o.index()].expect("operands precede users"))
             .collect();
-        let new_id = if let Op::CollectivePermute { pairs } = ins.op() {
+        let new_id = if let Op::CollectivePermute { pairs, wire } = ins.op() {
             b.set_tag(ins.tag());
             let start =
-                b.collective_permute_start(operands[0], pairs.clone(), ins.name());
+                b.collective_permute_start_wire(operands[0], pairs.clone(), *wire, ins.name());
             let done = b.collective_permute_done(start, &format!("{}.done", ins.name()));
             b.set_tag(None);
             done

@@ -18,7 +18,7 @@
 
 use std::cell::RefCell;
 
-use overlap_hlo::{InstrId, Module, Op};
+use overlap_hlo::{InstrId, Module, Op, WireFormat};
 use overlap_mesh::{cost as ccost, FaultSpec, Machine};
 use overlap_sim::{einsum_cost_key, instruction_cost, CostTable, FaultModel, InstrCost, SimError};
 
@@ -242,7 +242,7 @@ impl<'m> CostModel<'m> {
         let rhs = module.shape_of(einsum.operands()[1]).clone();
         match pattern.kind {
             PatternKind::AllGatherEinsum { gathered_is_lhs, case } => {
-                let Op::AllGather { dim, groups } = module.instr(pattern.collective).op()
+                let Op::AllGather { dim, groups, .. } = module.instr(pattern.collective).op()
                 else {
                     unreachable!("pattern collective")
                 };
@@ -306,19 +306,33 @@ impl<'m> CostModel<'m> {
         }
     }
 
-    /// Per-iteration shard bytes circulated by the decomposed form.
-    fn shard_bytes(&self, module: &Module, pattern: &Pattern) -> usize {
+    /// Per-iteration shard circulated by the decomposed form.
+    fn shard_shape<'a>(&self, module: &'a Module, pattern: &Pattern) -> &'a overlap_hlo::Shape {
         match pattern.kind {
             PatternKind::AllGatherEinsum { .. } => {
                 // The gathered operand's local shard circulates.
                 let src = module.instr(pattern.collective).operands()[0];
-                module.shape_of(src).byte_size()
+                module.shape_of(src)
             }
             PatternKind::EinsumReduceScatter { .. } => {
                 // The scattered accumulator circulates.
-                module.shape_of(pattern.collective).byte_size()
+                module.shape_of(pattern.collective)
             }
         }
+    }
+
+    /// Wire bytes of a payload plus the per-transfer codec time (the
+    /// encode/decode sweeps over payload + wire buffers, priced at HBM
+    /// bandwidth). Lossless pays the dense bytes and no codec — the
+    /// exact pre-precision pricing.
+    fn wired(&self, wire: WireFormat, shape: &overlap_hlo::Shape) -> (usize, f64) {
+        if wire.is_lossless() {
+            return (shape.byte_size(), 0.0);
+        }
+        let elems = shape.num_elements();
+        let eb = shape.dtype().size_bytes();
+        let codec = self.machine.memory_time(wire.codec_bytes_moved(elems, eb));
+        (wire.wire_bytes(elems, eb), codec)
     }
 
     /// Evaluates the §5.5 inequality for one pattern: when the options
@@ -381,15 +395,33 @@ impl<'m> CostModel<'m> {
         cost_of: &dyn Fn(InstrId) -> InstrCost,
     ) -> GateDecision {
         let comp_t = Self::einsum_time_of(cost_of(pattern.einsum));
-        let comm_t = Self::collective_time_of(cost_of(pattern.collective));
         let groups = match module.instr(pattern.collective).op() {
             Op::AllGather { groups, .. } | Op::ReduceScatter { groups, .. } => groups.clone(),
             _ => unreachable!("pattern collective is AG or RS"),
         };
         let g = groups.group_size();
-        let shard = self.shard_bytes(module, pattern);
         let is_rs = matches!(pattern.kind, PatternKind::EinsumReduceScatter { .. });
         let loop_steps = if is_rs { g } else { g - 1 };
+
+        let wire = self.options_for(pattern).wire;
+        // The alternative to decomposing is the collective the pipeline
+        // will actually keep — under a quantized strategy that kept
+        // collective is itself annotated with the wire format, so price
+        // the quantized synchronous collective, not the lossless one.
+        // Lossless keeps the table-driven figure bit-identical.
+        let comm_t = if wire.is_lossless() {
+            Self::collective_time_of(cost_of(pattern.collective))
+        } else if is_rs {
+            let (bytes, codec) =
+                self.wired(wire, module.shape_of(module.instr(pattern.collective).operands()[0]));
+            ccost::reduce_scatter_time(self.machine, g, bytes) + codec
+        } else {
+            let (bytes, codec) = self.wired(wire, module.shape_of(pattern.collective));
+            ccost::all_gather_time(self.machine, g, bytes) + codec
+        };
+        // Decomposed side: the circulated shard shrinks to its wire size
+        // and every ring step pays one codec sweep (zero when lossless).
+        let (shard, step_codec) = self.wired(wire, self.shard_shape(module, pattern));
 
         let bidi = bidirectional && g % 2 == 0;
         // Price exactly the loop the decompose pass will emit: the chunk
@@ -401,13 +433,18 @@ impl<'m> CostModel<'m> {
         };
         let (comm_t_ring, extra_t) = if bidi {
             let steps = g / 2;
-            let ring = ccost::decomposed_bidi_ring_time(self.machine, steps, shard);
+            let ring = ccost::decomposed_bidi_ring_time(self.machine, steps, shard)
+                + steps as f64 * step_codec;
             // Prologue (AllGather) or epilogue (ReduceScatter) shift of one
             // whole shard, conservatively unoverlapped.
-            let extra = ccost::collective_permute_time(self.machine, shard);
+            let extra = ccost::collective_permute_time(self.machine, shard) + step_codec;
             (ring, extra)
         } else {
-            (ccost::decomposed_ring_time(self.machine, loop_steps, shard), 0.0)
+            (
+                ccost::decomposed_ring_time(self.machine, loop_steps, shard)
+                    + loop_steps as f64 * step_codec,
+                0.0,
+            )
         };
         // The decomposed side computes `g` partial einsums whose smaller
         // extents may run less efficiently and each pays a kernel launch;
@@ -593,6 +630,42 @@ mod tests {
         assert!(db.comm_t_ring < du.comm_t_ring);
         assert!(db.extra_t > 0.0);
         assert_eq!(du.extra_t, 0.0);
+    }
+
+    #[test]
+    fn quantized_wire_shrinks_both_sides_of_the_gate() {
+        let m = ag_module(8, 256, 4096, 8192);
+        let machine = Machine::with_mesh(DeviceMesh::ring(8));
+        let pats = find_patterns(&m);
+        let dense = CostModel::new(&machine, uni()).evaluate(&m, &pats[0]);
+        let int8 = CostModel::new(
+            &machine,
+            DecomposeOptions { wire: WireFormat::int8(), ..uni() },
+        )
+        .evaluate(&m, &pats[0]);
+        // f32 payload on an int8-ish wire: both the kept collective and
+        // the decomposed ring move ~4x fewer bytes, but each ring step
+        // now pays a codec sweep, so the ring shrinks by less than 4x.
+        assert!(int8.comm_t < dense.comm_t);
+        assert!(int8.comm_t_ring < dense.comm_t_ring);
+        assert!(int8.comm_t_ring * 4.0 > dense.comm_t_ring);
+        // comp_t is wire-independent.
+        assert_eq!(int8.comp_t, dense.comp_t);
+    }
+
+    #[test]
+    fn lossless_wire_is_gate_neutral() {
+        let m = ag_module(4, 1024, 1024, 1024);
+        let machine = Machine::with_mesh(DeviceMesh::ring(4));
+        let pats = find_patterns(&m);
+        let base = CostModel::new(&machine, uni()).evaluate(&m, &pats[0]);
+        let annotated = CostModel::new(
+            &machine,
+            DecomposeOptions { wire: WireFormat::Lossless, ..uni() },
+        )
+        .evaluate(&m, &pats[0]);
+        assert_eq!(base.comm_t.to_bits(), annotated.comm_t.to_bits());
+        assert_eq!(base.comm_t_ring.to_bits(), annotated.comm_t_ring.to_bits());
     }
 
     #[test]

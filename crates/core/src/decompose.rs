@@ -23,6 +23,7 @@
 
 use overlap_hlo::{
     Builder, DType, InstrId, Module, ModuleAnalysis, Op, PadDim, ReplicaGroups, Shape,
+    WireFormat,
 };
 use overlap_mesh::shift_pairs;
 
@@ -50,11 +51,21 @@ pub struct DecomposeOptions {
     /// least two super-steps. Infeasible widths fall back to `1` with
     /// the reason recorded in [`DecomposeSummary::chunk_fallback`].
     pub chunk: usize,
+    /// Wire encoding for the ring's `CollectivePermute` steps. Shards are
+    /// encoded once at their source and decoded on receipt; `Lossless`
+    /// (the default) reproduces the paper's exact arithmetic.
+    pub wire: WireFormat,
 }
 
 impl Default for DecomposeOptions {
     fn default() -> Self {
-        DecomposeOptions { unroll: true, bidirectional: true, pad_max_concat: false, chunk: 1 }
+        DecomposeOptions {
+            unroll: true,
+            bidirectional: true,
+            pad_max_concat: false,
+            chunk: 1,
+            wire: WireFormat::Lossless,
+        }
     }
 }
 
@@ -558,9 +569,10 @@ fn emit_ag_einsum(
 
     let cp = |b: &mut Builder, value: InstrId, step: i64, permutes: &mut usize| -> InstrId {
         b.set_tag(Some(LCE_CP_TAG));
-        let sent = b.collective_permute(
+        let sent = b.collective_permute_wire(
             value,
             shift_pairs(&groups, step),
+            options.wire,
             &format!("{name}.cp"),
         );
         *permutes += 1;
@@ -809,9 +821,10 @@ fn emit_einsum_rs(
 
     let cp = |b: &mut Builder, value: InstrId, step: i64, permutes: &mut usize| -> InstrId {
         b.set_tag(Some(LCE_CP_TAG));
-        let sent = b.collective_permute(
+        let sent = b.collective_permute_wire(
             value,
             shift_pairs(&groups, step),
+            options.wire,
             &format!("{name}.cp"),
         );
         *permutes += 1;

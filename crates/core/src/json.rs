@@ -11,6 +11,7 @@
 //! fingerprints before serving it (see `cache.rs`). Nothing here
 //! validates cross-references like instruction ids.
 
+use overlap_hlo::WireFormat;
 use overlap_json::{FromJson, Json, ToJson};
 
 use crate::costgate::GateDecision;
@@ -194,11 +195,18 @@ impl FromJson for FallbackRecord {
 
 impl ToJson for DecomposeOptions {
     fn to_json(&self) -> Json {
-        Json::obj()
+        let j = Json::obj()
             .with("unroll", self.unroll)
             .with("bidirectional", self.bidirectional)
             .with("pad_max_concat", self.pad_max_concat)
-            .with("chunk", self.chunk as u64)
+            .with("chunk", self.chunk as u64);
+        // Emitted only when quantized so lossless option files and cached
+        // bundles stay byte-identical to pre-precision ones.
+        if self.wire.is_lossless() {
+            j
+        } else {
+            j.with("wire", self.wire.to_json())
+        }
     }
 }
 
@@ -212,7 +220,16 @@ impl FromJson for DecomposeOptions {
                 None => 1,
                 Some(j) => usize::from_json(j)?,
             },
+            wire: decode_wire(v)?,
         })
+    }
+}
+
+/// Reads an optional `wire` field (absent ⇒ lossless).
+fn decode_wire(v: &Json) -> Result<WireFormat, String> {
+    match v.get("wire") {
+        None => Ok(WireFormat::Lossless),
+        Some(j) => WireFormat::from_json(j).map_err(|e| format!("field \"wire\": {e}")),
     }
 }
 
@@ -291,11 +308,18 @@ impl FromJson for PartitionHint {
 
 impl ToJson for PatternStrategy {
     fn to_json(&self) -> Json {
-        Json::obj()
+        let j = Json::obj()
             .with("chunk", self.chunk as u64)
             .with("unroll", self.unroll)
             .with("ring", self.ring.to_json())
-            .with("pad_max_concat", self.pad_max_concat)
+            .with("pad_max_concat", self.pad_max_concat);
+        // Emitted only when quantized so lossless strategy files stay
+        // byte-identical to pre-precision ones.
+        if self.wire.is_lossless() {
+            j
+        } else {
+            j.with("wire", self.wire.to_json())
+        }
     }
 }
 
@@ -306,6 +330,7 @@ impl FromJson for PatternStrategy {
             unroll: v.decode_field("unroll")?,
             ring: v.decode_field("ring")?,
             pad_max_concat: v.decode_field("pad_max_concat")?,
+            wire: decode_wire(v)?,
         })
     }
 }
@@ -365,11 +390,17 @@ impl FromJson for SchedulerKind {
 
 impl ToJson for OverlapOptions {
     fn to_json(&self) -> Json {
-        Json::obj()
+        let j = Json::obj()
             .with("strategy", self.strategy.to_json())
             .with("scheduler", self.scheduler.to_json())
             .with("disable_cost_gate", self.disable_cost_gate)
-            .with("split_all_reduce", self.split_all_reduce)
+            .with("split_all_reduce", self.split_all_reduce);
+        // Emitted only when set so budget-free option files stay
+        // byte-identical to pre-precision ones.
+        match self.error_budget {
+            None => j,
+            Some(b) => j.with("error_budget", b),
+        }
     }
 }
 
@@ -380,6 +411,12 @@ impl FromJson for OverlapOptions {
             scheduler: v.decode_field("scheduler")?,
             disable_cost_gate: v.decode_field("disable_cost_gate")?,
             split_all_reduce: v.decode_field("split_all_reduce")?,
+            error_budget: match v.get("error_budget") {
+                None => None,
+                Some(j) => Some(f64::from_json(j).map_err(|e| {
+                    format!("field \"error_budget\": {e}")
+                })?),
+            },
         })
     }
 }

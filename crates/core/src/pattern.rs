@@ -103,7 +103,7 @@ fn find_patterns_in(module: &Module, users: &[Vec<InstrId>]) -> Vec<Pattern> {
         // AllGather -> Einsum: check each operand.
         for (opi, &operand) in ins.operands().iter().enumerate() {
             let op_ins = module.instr(operand);
-            if let Op::AllGather { dim, groups } = op_ins.op() {
+            if let Op::AllGather { dim, groups, .. } = op_ins.op() {
                 if groups.group_size() < 2 || users[operand.index()].len() != 1 {
                     continue;
                 }
@@ -120,7 +120,7 @@ fn find_patterns_in(module: &Module, users: &[Vec<InstrId>]) -> Vec<Pattern> {
         // Einsum -> ReduceScatter: the einsum's single user.
         if users[id.index()].len() == 1 {
             let user = users[id.index()][0];
-            if let Op::ReduceScatter { dim, groups } = module.instr(user).op() {
+            if let Op::ReduceScatter { dim, groups, .. } = module.instr(user).op() {
                 if groups.group_size() < 2 {
                     continue;
                 }

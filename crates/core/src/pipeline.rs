@@ -1,6 +1,6 @@
 //! The end-to-end compilation pipeline.
 
-use overlap_hlo::{HloError, InstrId, LayerTags, Module, ModuleAnalysis};
+use overlap_hlo::{HloError, InstrId, LayerTags, Module, ModuleAnalysis, WireFormat};
 use overlap_mesh::{FaultSpec, Machine};
 use overlap_sim::CostTable;
 
@@ -46,6 +46,14 @@ pub struct OverlapOptions {
     /// [`OverlapOptions::paper_default`] — the paper's own strategy avoids
     /// AllReduces by construction.
     pub split_all_reduce: bool,
+    /// Hard numerics budget for quantized wire traffic, as a maximum
+    /// predicted relative error per collective
+    /// ([`WireFormat::predicted_rel_error`]). A quantized collective whose
+    /// prediction exceeds the budget is forced back to lossless, with the
+    /// reason recorded in [`Compiled::fallbacks`]. `None` (the default)
+    /// trusts the strategy as written; the knob is inert on lossless
+    /// strategies either way.
+    pub error_budget: Option<f64>,
 }
 
 impl OverlapOptions {
@@ -59,6 +67,7 @@ impl OverlapOptions {
             scheduler: SchedulerKind::BottomUp,
             disable_cost_gate: false,
             split_all_reduce: false,
+            error_budget: None,
         }
     }
 
@@ -128,6 +137,13 @@ impl OverlapOptions {
         });
         h.write_bool(self.disable_cost_gate);
         h.write_bool(self.split_all_reduce);
+        // Hashed only when set: budget-free options must keep the exact
+        // pre-precision fingerprints so every historical artifact-cache
+        // key and committed figure stays byte-identical.
+        if let Some(budget) = self.error_budget {
+            h.write_str("error-budget");
+            h.write_f64(budget);
+        }
         h.finish()
     }
 }
@@ -149,6 +165,37 @@ impl FallbackRecord {
     /// The marker used in [`FallbackRecord::einsum`] for whole-module
     /// fallbacks.
     pub const WHOLE_MODULE: &'static str = "<module>";
+}
+
+/// Enforces the [`OverlapOptions::error_budget`] on one collective's wire:
+/// a quantized encoding whose predicted relative error after `encodes`
+/// quantization events exceeds the budget is forced back to lossless, with
+/// the reason recorded against `name`.
+fn budget_wire(
+    wire: WireFormat,
+    encodes: usize,
+    budget: Option<f64>,
+    name: &str,
+    fallbacks: &mut Vec<FallbackRecord>,
+) -> WireFormat {
+    if wire.is_lossless() {
+        return wire;
+    }
+    let Some(budget) = budget else { return wire };
+    let predicted = wire.predicted_rel_error(encodes);
+    if predicted <= budget {
+        return wire;
+    }
+    fallbacks.push(FallbackRecord {
+        einsum: name.to_string(),
+        reason: format!(
+            "wire {} predicted relative error {predicted:.3e} over {encodes} \
+             quantization events exceeds the error budget {budget:.3e}; \
+             forced lossless",
+            wire.describe()
+        ),
+    });
+    WireFormat::Lossless
 }
 
 /// Result of running the pipeline.
@@ -341,37 +388,87 @@ impl OverlapPipeline {
             _ => decisions,
         };
         let gate_on = !self.options.disable_cost_gate;
-        let selected: Vec<_> = decisions
-            .iter()
-            .filter(|d| !gate_on || d.beneficial)
-            .map(|d| {
-                let requested = self.options.decompose_for(&d.pattern.kind);
-                // Honor the gate's uni-vs-bidi verdict where both rings are
-                // feasible; for odd groups the gate could never price the
-                // bidirectional variant, so pass the requested direction
-                // through and let the decompose pass record why it fell
-                // back (the rewrite is identical either way).
-                let g = match module.instr(d.pattern.collective).op() {
-                    overlap_hlo::Op::AllGather { groups, .. }
-                    | overlap_hlo::Op::ReduceScatter { groups, .. } => groups.group_size(),
-                    _ => 1,
-                };
-                let opts = DecomposeOptions {
-                    bidirectional: if g.is_multiple_of(2) {
-                        d.bidirectional
-                    } else {
-                        requested.bidirectional
-                    },
-                    ..requested
-                };
-                (d.pattern, opts)
-            })
-            .collect();
+        let mut selected: Vec<_> = Vec::new();
+        for d in decisions.iter().filter(|d| !gate_on || d.beneficial) {
+            let requested = self.options.decompose_for(&d.pattern.kind);
+            // Honor the gate's uni-vs-bidi verdict where both rings are
+            // feasible; for odd groups the gate could never price the
+            // bidirectional variant, so pass the requested direction
+            // through and let the decompose pass record why it fell
+            // back (the rewrite is identical either way).
+            let g = match module.instr(d.pattern.collective).op() {
+                overlap_hlo::Op::AllGather { groups, .. }
+                | overlap_hlo::Op::ReduceScatter { groups, .. } => groups.group_size(),
+                _ => 1,
+            };
+            // Error budget: a circulated AllGather shard is encoded once
+            // (re-encoding on the wire grid is exact); the ReduceScatter
+            // ring re-encodes its traveling accumulator every hop.
+            let encodes = match d.pattern.kind {
+                crate::PatternKind::AllGatherEinsum { .. } => 1,
+                crate::PatternKind::EinsumReduceScatter { .. } => g,
+            };
+            let wire = budget_wire(
+                requested.wire,
+                encodes,
+                self.options.error_budget,
+                module.instr(d.pattern.einsum).name(),
+                &mut fallbacks,
+            );
+            let opts = DecomposeOptions {
+                bidirectional: if g.is_multiple_of(2) {
+                    d.bidirectional
+                } else {
+                    requested.bidirectional
+                },
+                wire,
+                ..requested
+            };
+            selected.push((d.pattern, opts));
+        }
+        let selected = selected;
 
         // `decompose_each_with` value-numbers as it builds, so the result
         // is already in CSE normal form — no separate merge pass needed.
-        let (decomposed, summaries, _decompose_analysis) =
+        let (mut decomposed, summaries, _decompose_analysis) =
             timings.time("decompose", || decompose_each_with(module, &selected));
+
+        // Precision annotation for kept collectives: when the strategy
+        // asks for a quantized wire, collectives that survived in their
+        // original synchronous form (gate-rejected patterns, collectives
+        // outside any pattern) carry it too — the "quantize without
+        // decomposing" point of the strategy space. Lossless strategies
+        // skip the walk entirely, leaving the module untouched.
+        let ag_wire = self.options.strategy.all_gather.wire;
+        let rs_wire = self.options.strategy.reduce_scatter.wire;
+        if !ag_wire.is_lossless() || !rs_wire.is_lossless() {
+            timings.time("annotate_wire", || {
+                for id in decomposed.ids() {
+                    // An AllGather shard is encoded once at its source; a
+                    // reduction encodes every summed contribution.
+                    let (wire, encodes) = match decomposed.instr(id).op() {
+                        overlap_hlo::Op::AllGather { .. } => (ag_wire, 1),
+                        overlap_hlo::Op::ReduceScatter { groups, .. }
+                        | overlap_hlo::Op::AllReduce { groups, .. } => {
+                            (rs_wire, groups.group_size())
+                        }
+                        _ => continue,
+                    };
+                    let wire = budget_wire(
+                        wire,
+                        encodes,
+                        self.options.error_budget,
+                        decomposed.instr(id).name(),
+                        &mut fallbacks,
+                    );
+                    if !wire.is_lossless() {
+                        decomposed
+                            .set_wire(id, wire)
+                            .expect("matched ops all carry wire annotations");
+                    }
+                }
+            });
+        }
         // asyncify rebuilds the module, so its builder re-derives the
         // analysis append-by-append.
         let (asynced, mut analysis) = timings.time("asyncify", || asyncify_with(&decomposed));
@@ -642,6 +739,82 @@ mod tests {
         overlap_sim::simulate_order_faulted(&compiled.module, &machine, &compiled.order, &spec)
             .unwrap();
         assert!(compiled.timings.seconds_of("fault_smoke") > 0.0);
+    }
+
+    #[test]
+    fn quantized_strategy_annotates_the_compile() {
+        // A quantized strategy with no budget: the decomposed rings
+        // circulate quantized shards (their permutes carry the wire) and
+        // any kept collective would be annotated too.
+        let n = 8;
+        let m = layer(n);
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let wire = WireFormat::int8();
+        let compiled = OverlapPipeline::new(OverlapOptions::with_strategy(
+            StrategySpec::paper_default().with_wire(wire),
+        ))
+        .run(&m, &machine)
+        .unwrap();
+        assert_eq!(compiled.summaries.len(), 1, "the layer still decomposes");
+        let quantized_permutes = compiled.module.count_live(|i| {
+            matches!(
+                i.op(),
+                Op::CollectivePermute { wire: w, .. }
+                    | Op::CollectivePermuteStart { wire: w, .. } if *w == wire
+            )
+        });
+        assert!(quantized_permutes > 0, "ring permutes must carry the wire");
+        assert!(compiled.fallbacks.is_empty());
+    }
+
+    #[test]
+    fn error_budget_forces_lossless_with_recorded_reason() {
+        // A budget below one int8 quantization event: every quantized
+        // collective must fall back to lossless, each with a reason, and
+        // the resulting program must be bit-identical to a lossless
+        // compile of the same strategy.
+        let n = 8;
+        let m = layer(n);
+        let machine = Machine::with_mesh(DeviceMesh::ring(n));
+        let budgeted = OverlapPipeline::new(OverlapOptions {
+            error_budget: Some(1e-6),
+            ..OverlapOptions::with_strategy(
+                StrategySpec::paper_default().with_wire(WireFormat::int8()),
+            )
+        })
+        .run(&m, &machine)
+        .unwrap();
+        assert!(!budgeted.fallbacks.is_empty(), "the budget must record its fallbacks");
+        for f in &budgeted.fallbacks {
+            assert!(
+                f.reason.contains("error budget") && f.reason.contains("forced lossless"),
+                "reason: {}",
+                f.reason
+            );
+        }
+        let lossless =
+            OverlapPipeline::new(OverlapOptions::paper_default()).run(&m, &machine).unwrap();
+        assert_eq!(budgeted.order, lossless.order);
+        assert_eq!(
+            budgeted.module.identity_fingerprint(),
+            lossless.module.identity_fingerprint(),
+            "an exhausted budget must compile to the lossless program"
+        );
+
+        // A generous budget keeps the quantized wire and records nothing.
+        let roomy = OverlapPipeline::new(OverlapOptions {
+            error_budget: Some(0.5),
+            ..OverlapOptions::with_strategy(
+                StrategySpec::paper_default().with_wire(WireFormat::int8()),
+            )
+        })
+        .run(&m, &machine)
+        .unwrap();
+        assert!(roomy.fallbacks.is_empty());
+        assert_ne!(
+            roomy.module.identity_fingerprint(),
+            lossless.module.identity_fingerprint()
+        );
     }
 
     #[test]

@@ -46,20 +46,27 @@ pub fn split_all_reduces_with(module: &Module) -> (Module, ModuleAnalysis) {
             .iter()
             .map(|o| map[o.index()].expect("operands precede users"))
             .collect();
-        let new_id = if let Op::AllReduce { groups } = ins.op() {
+        let new_id = if let Op::AllReduce { groups, wire } = ins.op() {
             let shape = module.shape_of(ins.operands()[0]);
             let g = groups.group_size();
             match (0..shape.rank()).find(|&d| shape.dim(d).is_multiple_of(g) && shape.dim(d) > 0) {
                 Some(dim) if g > 1 => {
                     b.set_tag(Some(REASSOC_TAG));
-                    let rs = b.reduce_scatter(
+                    // The halves inherit the all-reduce's wire encoding.
+                    let rs = b.reduce_scatter_wire(
                         operands[0],
                         dim,
                         groups.clone(),
+                        *wire,
                         &format!("{}.rs", ins.name()),
                     );
-                    let ag =
-                        b.all_gather(rs, dim, groups.clone(), &format!("{}.ag", ins.name()));
+                    let ag = b.all_gather_wire(
+                        rs,
+                        dim,
+                        groups.clone(),
+                        *wire,
+                        &format!("{}.ag", ins.name()),
+                    );
                     b.set_tag(None);
                     ag
                 }

@@ -13,6 +13,7 @@
 //! pipeline used before strategies existed; artifacts compiled under it
 //! are byte-identical to the historical figures.
 
+use overlap_hlo::WireFormat;
 use overlap_json::{Fingerprint, StableHasher};
 
 use crate::decompose::DecomposeOptions;
@@ -80,6 +81,12 @@ pub struct PatternStrategy {
     /// Emit shard joins as `Max(PadLow, PadHigh)` instead of
     /// `Concatenate` (§5.4.3's fusion-friendly form).
     pub pad_max_concat: bool,
+    /// Wire encoding for the pattern's collective traffic (the precision
+    /// axis): decomposed rings annotate their `CollectivePermute` steps,
+    /// kept collectives carry it directly. `Lossless` (the default)
+    /// reproduces the paper's exact arithmetic and hashes/describes as
+    /// the historical knob-free strategy.
+    pub wire: WireFormat,
 }
 
 impl Default for PatternStrategy {
@@ -89,6 +96,7 @@ impl Default for PatternStrategy {
             unroll: true,
             ring: RingDirection::Bidirectional,
             pad_max_concat: false,
+            wire: WireFormat::Lossless,
         }
     }
 }
@@ -102,6 +110,7 @@ impl PatternStrategy {
             bidirectional: self.ring == RingDirection::Bidirectional,
             pad_max_concat: self.pad_max_concat,
             chunk: self.chunk,
+            wire: self.wire,
         }
     }
 
@@ -113,13 +122,26 @@ impl PatternStrategy {
             RingDirection::Bidirectional => "bidi",
         });
         h.write_bool(self.pad_max_concat);
+        // Hashed only when quantized: lossless strategies must keep the
+        // exact pre-precision fingerprints so every historical
+        // artifact-cache key and committed figure stays byte-identical.
+        if !self.wire.is_lossless() {
+            h.write_str("wire");
+            self.wire.write_to(h);
+        }
     }
 
-    /// Compact human form, e.g. `chunk=2,unroll,uni,concat`.
+    /// Compact human form, e.g. `chunk=2,unroll,uni,concat` (plus a
+    /// `,bf16`/`,int8x64` suffix when quantized).
     #[must_use]
     pub fn describe(&self) -> String {
+        let wire = if self.wire.is_lossless() {
+            String::new()
+        } else {
+            format!(",{}", self.wire.describe())
+        };
         format!(
-            "chunk={},{},{},{}",
+            "chunk={},{},{},{}{wire}",
             self.chunk,
             if self.unroll { "unroll" } else { "rolled" },
             match self.ring {
@@ -215,13 +237,16 @@ impl StrategySpec {
         for (what, p) in [("all_gather", &self.all_gather), ("reduce_scatter", &self.reduce_scatter)]
         {
             if p.chunk == 0 {
-                return Err(format!("{what}: chunk width must be at least 1"));
+                return Err(format!("{what}.chunk: width must be at least 1 (got 0)"));
             }
             if p.chunk > 64 {
                 return Err(format!(
-                    "{what}: chunk width {} is unreasonably large (max 64)",
+                    "{what}.chunk: width {} is unreasonably large (max 64)",
                     p.chunk
                 ));
+            }
+            if let Err(e) = p.wire.validate() {
+                return Err(format!("{what}.wire: {e}"));
             }
         }
         if self.reduce_scatter.chunk > 1 {
@@ -239,7 +264,7 @@ impl StrategySpec {
             );
         }
         if self.window_layers == 0 {
-            return Err("window_layers must be at least 1".to_string());
+            return Err("window_layers: must be at least 1 (got 0)".to_string());
         }
         if self.window_layers > 8 {
             return Err(format!(
@@ -354,6 +379,14 @@ impl StrategySpec {
         self.window_layers = window_layers;
         self
     }
+
+    /// Sets the wire encoding for both pattern kinds (the precision axis).
+    #[must_use]
+    pub fn with_wire(mut self, wire: WireFormat) -> Self {
+        self.all_gather.wire = wire;
+        self.reduce_scatter.wire = wire;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -368,6 +401,7 @@ mod tests {
             bidirectional: true,
             pad_max_concat: false,
             chunk: 1,
+            wire: WireFormat::Lossless,
         };
         assert_eq!(s.all_gather.decompose_options(), want);
         assert_eq!(s.reduce_scatter.decompose_options(), want);
@@ -405,6 +439,45 @@ mod tests {
     }
 
     #[test]
+    fn validate_names_the_offending_field_and_value() {
+        let e = StrategySpec::paper_default().with_chunk(0).validate().unwrap_err();
+        assert!(e.contains("all_gather.chunk") && e.contains("got 0"), "{e}");
+        let e = StrategySpec::paper_default().with_chunk(65).validate().unwrap_err();
+        assert!(e.contains("all_gather.chunk") && e.contains("65"), "{e}");
+        let e = StrategySpec::paper_default()
+            .with_wire(WireFormat::Int8Block { block: 0 })
+            .validate()
+            .unwrap_err();
+        assert!(e.contains("all_gather.wire") && e.contains("got 0"), "{e}");
+        let e = StrategySpec::paper_default().with_window_layers(0).validate().unwrap_err();
+        assert!(e.contains("window_layers") && e.contains("got 0"), "{e}");
+    }
+
+    #[test]
+    fn lossless_wire_is_fingerprint_and_describe_neutral() {
+        // Lossless is the only encoding that existed before the precision
+        // axis, so it must be indistinguishable everywhere a cache key or
+        // banner is derived.
+        let base = StrategySpec::paper_default();
+        let explicit = base.with_wire(WireFormat::Lossless);
+        assert_eq!(explicit.fingerprint(), base.fingerprint());
+        assert_eq!(explicit.describe(), base.describe());
+        let bf16 = base.with_wire(WireFormat::Bf16);
+        let int8 = base.with_wire(WireFormat::int8());
+        assert_ne!(bf16.fingerprint(), base.fingerprint());
+        assert_ne!(int8.fingerprint(), base.fingerprint());
+        assert_ne!(bf16.fingerprint(), int8.fingerprint());
+        assert_ne!(
+            int8.fingerprint(),
+            base.with_wire(WireFormat::Int8Block { block: 128 }).fingerprint(),
+            "distinct block widths must not collide"
+        );
+        assert!(bf16.describe().contains("bf16"), "{}", bf16.describe());
+        assert!(int8.describe().contains("int8x64"), "{}", int8.describe());
+        assert!(bf16.validate().is_ok());
+    }
+
+    #[test]
     fn window_one_is_fingerprint_and_describe_neutral() {
         // `window_layers = 1` must be indistinguishable from the
         // pre-window strategy everywhere a key or banner is derived, so
@@ -435,6 +508,13 @@ mod tests {
             base.with_fusion(FusionAggressiveness::Conservative),
             StrategySpec { partitioning: PartitionHint::OneD, ..base },
             StrategySpec { partitioning: PartitionHint::TwoD, ..base },
+            base.with_wire(WireFormat::Bf16),
+            base.with_wire(WireFormat::int8()),
+            // Per-pattern wire asymmetry must be visible too.
+            StrategySpec {
+                all_gather: PatternStrategy { wire: WireFormat::Bf16, ..PatternStrategy::default() },
+                ..base
+            },
             // Per-pattern asymmetry must be visible too.
             StrategySpec {
                 all_gather: PatternStrategy {

@@ -4,7 +4,7 @@ use std::collections::{HashMap, HashSet};
 
 use crate::{
     BinaryKind, DType, DotDims, InstrId, Instruction, Module, ModuleAnalysis, Op, PadDim,
-    ReplicaGroups, Shape, UnaryKind,
+    ReplicaGroups, Shape, UnaryKind, WireFormat,
 };
 
 /// Builds a [`Module`] one instruction at a time.
@@ -538,13 +538,30 @@ impl Builder {
         groups: ReplicaGroups,
         name: &str,
     ) -> InstrId {
+        self.all_gather_wire(x, dim, groups, WireFormat::Lossless, name)
+    }
+
+    /// [`Builder::all_gather`] with an explicit wire encoding.
+    ///
+    /// # Panics
+    ///
+    /// Additionally panics if the wire format's parameters are invalid.
+    pub fn all_gather_wire(
+        &mut self,
+        x: InstrId,
+        dim: usize,
+        groups: ReplicaGroups,
+        wire: WireFormat,
+        name: &str,
+    ) -> InstrId {
         let xs = self.shape_of(x).clone();
         assert!(dim < xs.rank(), "all-gather dim {dim} out of range for {xs}");
         groups
             .validate(self.module.num_partitions)
             .unwrap_or_else(|e| panic!("all-gather {name}: {e}"));
+        wire.validate().unwrap_or_else(|e| panic!("all-gather {name}: {e}"));
         let out = xs.with_dim_scaled(dim, groups.group_size());
-        self.append(Op::AllGather { dim, groups }, vec![x], out, name)
+        self.append(Op::AllGather { dim, groups, wire }, vec![x], out, name)
     }
 
     /// Appends a `ReduceScatter` of `x` along `dim` over `groups`.
@@ -560,13 +577,30 @@ impl Builder {
         groups: ReplicaGroups,
         name: &str,
     ) -> InstrId {
+        self.reduce_scatter_wire(x, dim, groups, WireFormat::Lossless, name)
+    }
+
+    /// [`Builder::reduce_scatter`] with an explicit wire encoding.
+    ///
+    /// # Panics
+    ///
+    /// Additionally panics if the wire format's parameters are invalid.
+    pub fn reduce_scatter_wire(
+        &mut self,
+        x: InstrId,
+        dim: usize,
+        groups: ReplicaGroups,
+        wire: WireFormat,
+        name: &str,
+    ) -> InstrId {
         let xs = self.shape_of(x).clone();
         assert!(dim < xs.rank(), "reduce-scatter dim {dim} out of range for {xs}");
         groups
             .validate(self.module.num_partitions)
             .unwrap_or_else(|e| panic!("reduce-scatter {name}: {e}"));
+        wire.validate().unwrap_or_else(|e| panic!("reduce-scatter {name}: {e}"));
         let out = xs.with_dim_divided(dim, groups.group_size());
-        self.append(Op::ReduceScatter { dim, groups }, vec![x], out, name)
+        self.append(Op::ReduceScatter { dim, groups, wire }, vec![x], out, name)
     }
 
     /// Appends an `AllReduce` of `x` over `groups`.
@@ -575,11 +609,27 @@ impl Builder {
     ///
     /// Panics if the groups are invalid.
     pub fn all_reduce(&mut self, x: InstrId, groups: ReplicaGroups, name: &str) -> InstrId {
+        self.all_reduce_wire(x, groups, WireFormat::Lossless, name)
+    }
+
+    /// [`Builder::all_reduce`] with an explicit wire encoding.
+    ///
+    /// # Panics
+    ///
+    /// Additionally panics if the wire format's parameters are invalid.
+    pub fn all_reduce_wire(
+        &mut self,
+        x: InstrId,
+        groups: ReplicaGroups,
+        wire: WireFormat,
+        name: &str,
+    ) -> InstrId {
         let xs = self.shape_of(x).clone();
         groups
             .validate(self.module.num_partitions)
             .unwrap_or_else(|e| panic!("all-reduce {name}: {e}"));
-        self.append(Op::AllReduce { groups }, vec![x], xs, name)
+        wire.validate().unwrap_or_else(|e| panic!("all-reduce {name}: {e}"));
+        self.append(Op::AllReduce { groups, wire }, vec![x], xs, name)
     }
 
     /// Appends an `AllToAll` of `x` over `groups`.
@@ -632,9 +682,27 @@ impl Builder {
         pairs: Vec<(u32, u32)>,
         name: &str,
     ) -> InstrId {
+        self.collective_permute_wire(x, pairs, WireFormat::Lossless, name)
+    }
+
+    /// [`Builder::collective_permute`] with an explicit wire encoding
+    /// (the decompose pass uses this for quantized ring steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a destination repeats, an id is out of range, or the
+    /// wire format's parameters are invalid.
+    pub fn collective_permute_wire(
+        &mut self,
+        x: InstrId,
+        pairs: Vec<(u32, u32)>,
+        wire: WireFormat,
+        name: &str,
+    ) -> InstrId {
         self.check_pairs(&pairs, "collective-permute");
+        wire.validate().unwrap_or_else(|e| panic!("collective-permute {name}: {e}"));
         let xs = self.shape_of(x).clone();
-        self.append(Op::CollectivePermute { pairs }, vec![x], xs, name)
+        self.append(Op::CollectivePermute { pairs, wire }, vec![x], xs, name)
     }
 
     /// Appends an asynchronous `CollectivePermuteStart` of `x`.
@@ -648,9 +716,27 @@ impl Builder {
         pairs: Vec<(u32, u32)>,
         name: &str,
     ) -> InstrId {
+        self.collective_permute_start_wire(x, pairs, WireFormat::Lossless, name)
+    }
+
+    /// [`Builder::collective_permute_start`] with an explicit wire
+    /// encoding.
+    ///
+    /// # Panics
+    ///
+    /// Additionally panics if the wire format's parameters are invalid.
+    pub fn collective_permute_start_wire(
+        &mut self,
+        x: InstrId,
+        pairs: Vec<(u32, u32)>,
+        wire: WireFormat,
+        name: &str,
+    ) -> InstrId {
         self.check_pairs(&pairs, "collective-permute-start");
+        wire.validate()
+            .unwrap_or_else(|e| panic!("collective-permute-start {name}: {e}"));
         let xs = self.shape_of(x).clone();
-        self.append(Op::CollectivePermuteStart { pairs }, vec![x], xs, name)
+        self.append(Op::CollectivePermuteStart { pairs, wire }, vec![x], xs, name)
     }
 
     /// Appends the `CollectivePermuteDone` consuming `start`.

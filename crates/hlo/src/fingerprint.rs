@@ -29,7 +29,7 @@
 
 use overlap_json::{Fingerprint, StableHasher};
 
-use crate::{DotDims, Module, Op, ReplicaGroups, Shape};
+use crate::{DotDims, Module, Op, ReplicaGroups, Shape, WireFormat};
 
 fn hash_shape(h: &mut StableHasher, shape: &Shape) {
     h.write_str("shape");
@@ -71,6 +71,16 @@ fn hash_pairs(h: &mut StableHasher, pairs: &[(u32, u32)]) {
     for &(s, d) in pairs {
         h.write_u32(s);
         h.write_u32(d);
+    }
+}
+
+/// Hashes a collective's wire encoding. Lossless (the only encoding that
+/// existed before precision annotations) contributes no bytes, so every
+/// pre-existing fingerprint is preserved verbatim.
+fn hash_wire(h: &mut StableHasher, wire: WireFormat) {
+    if !wire.is_lossless() {
+        h.write_str("wire");
+        wire.write_to(h);
     }
 }
 
@@ -123,18 +133,23 @@ fn hash_op(h: &mut StableHasher, op: &Op) {
         // a distinct one).
         Op::Binary(_) | Op::Unary(_) => {}
         Op::Einsum(dims) => hash_dot_dims(h, dims),
-        Op::AllGather { dim, groups } | Op::ReduceScatter { dim, groups } => {
+        Op::AllGather { dim, groups, wire } | Op::ReduceScatter { dim, groups, wire } => {
             h.write_usize(*dim);
             hash_groups(h, groups);
+            hash_wire(h, *wire);
         }
-        Op::AllReduce { groups } => hash_groups(h, groups),
+        Op::AllReduce { groups, wire } => {
+            hash_groups(h, groups);
+            hash_wire(h, *wire);
+        }
         Op::AllToAll { split_dim, concat_dim, groups } => {
             h.write_usize(*split_dim);
             h.write_usize(*concat_dim);
             hash_groups(h, groups);
         }
-        Op::CollectivePermute { pairs } | Op::CollectivePermuteStart { pairs } => {
+        Op::CollectivePermute { pairs, wire } | Op::CollectivePermuteStart { pairs, wire } => {
             hash_pairs(h, pairs);
+            hash_wire(h, *wire);
         }
         Op::Reshape
         | Op::DynamicUpdateSlice

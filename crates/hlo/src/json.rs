@@ -17,7 +17,7 @@ use overlap_json::{FromJson, Json, ToJson};
 
 use crate::{
     BinaryKind, DType, DotDims, FusionGroup, InstrId, Instruction, Module, Op, PadDim,
-    ReplicaGroups, Shape, UnaryKind,
+    ReplicaGroups, Shape, UnaryKind, WireFormat,
 };
 
 impl ToJson for DType {
@@ -150,6 +150,25 @@ fn variant(tag: &str, payload: Json) -> Json {
     Json::obj().with(tag, payload)
 }
 
+/// Appends a collective's `wire` field, mirroring the serde
+/// `skip_serializing_if`: lossless is the default and stays implicit so
+/// pre-annotation serialized modules re-encode byte-identically.
+fn with_wire(payload: Json, wire: WireFormat) -> Json {
+    if wire.is_lossless() {
+        payload
+    } else {
+        payload.with("wire", wire.to_json())
+    }
+}
+
+/// Reads a collective's optional `wire` field (absent ⇒ lossless).
+fn decode_wire(payload: &Json) -> Result<WireFormat, String> {
+    match payload.get("wire") {
+        None => Ok(WireFormat::Lossless),
+        Some(v) => WireFormat::from_json(v).map_err(|e| format!("field \"wire\": {e}")),
+    }
+}
+
 impl ToJson for Op {
     fn to_json(&self) -> Json {
         match self {
@@ -197,17 +216,24 @@ impl ToJson for Op {
             Op::Binary(kind) => variant("Binary", kind.to_json()),
             Op::Unary(kind) => variant("Unary", kind.to_json()),
             Op::Einsum(dims) => variant("Einsum", dims.to_json()),
-            Op::AllGather { dim, groups } => variant(
+            Op::AllGather { dim, groups, wire } => variant(
                 "AllGather",
-                Json::obj().with("dim", dim.to_json()).with("groups", groups.to_json()),
+                with_wire(
+                    Json::obj().with("dim", dim.to_json()).with("groups", groups.to_json()),
+                    *wire,
+                ),
             ),
-            Op::ReduceScatter { dim, groups } => variant(
+            Op::ReduceScatter { dim, groups, wire } => variant(
                 "ReduceScatter",
-                Json::obj().with("dim", dim.to_json()).with("groups", groups.to_json()),
+                with_wire(
+                    Json::obj().with("dim", dim.to_json()).with("groups", groups.to_json()),
+                    *wire,
+                ),
             ),
-            Op::AllReduce { groups } => {
-                variant("AllReduce", Json::obj().with("groups", groups.to_json()))
-            }
+            Op::AllReduce { groups, wire } => variant(
+                "AllReduce",
+                with_wire(Json::obj().with("groups", groups.to_json()), *wire),
+            ),
             Op::AllToAll { split_dim, concat_dim, groups } => variant(
                 "AllToAll",
                 Json::obj()
@@ -215,12 +241,14 @@ impl ToJson for Op {
                     .with("concat_dim", concat_dim.to_json())
                     .with("groups", groups.to_json()),
             ),
-            Op::CollectivePermute { pairs } => {
-                variant("CollectivePermute", Json::obj().with("pairs", pairs.to_json()))
-            }
-            Op::CollectivePermuteStart { pairs } => {
-                variant("CollectivePermuteStart", Json::obj().with("pairs", pairs.to_json()))
-            }
+            Op::CollectivePermute { pairs, wire } => variant(
+                "CollectivePermute",
+                with_wire(Json::obj().with("pairs", pairs.to_json()), *wire),
+            ),
+            Op::CollectivePermuteStart { pairs, wire } => variant(
+                "CollectivePermuteStart",
+                with_wire(Json::obj().with("pairs", pairs.to_json()), *wire),
+            ),
         }
     }
 }
@@ -283,23 +311,30 @@ impl FromJson for Op {
             "AllGather" => Op::AllGather {
                 dim: payload.decode_field("dim")?,
                 groups: payload.decode_field("groups")?,
+                wire: decode_wire(payload)?,
             },
             "ReduceScatter" => Op::ReduceScatter {
                 dim: payload.decode_field("dim")?,
                 groups: payload.decode_field("groups")?,
+                wire: decode_wire(payload)?,
             },
-            "AllReduce" => Op::AllReduce { groups: payload.decode_field("groups")? },
+            "AllReduce" => Op::AllReduce {
+                groups: payload.decode_field("groups")?,
+                wire: decode_wire(payload)?,
+            },
             "AllToAll" => Op::AllToAll {
                 split_dim: payload.decode_field("split_dim")?,
                 concat_dim: payload.decode_field("concat_dim")?,
                 groups: payload.decode_field("groups")?,
             },
-            "CollectivePermute" => {
-                Op::CollectivePermute { pairs: payload.decode_field("pairs")? }
-            }
-            "CollectivePermuteStart" => {
-                Op::CollectivePermuteStart { pairs: payload.decode_field("pairs")? }
-            }
+            "CollectivePermute" => Op::CollectivePermute {
+                pairs: payload.decode_field("pairs")?,
+                wire: decode_wire(payload)?,
+            },
+            "CollectivePermuteStart" => Op::CollectivePermuteStart {
+                pairs: payload.decode_field("pairs")?,
+                wire: decode_wire(payload)?,
+            },
             other => return Err(format!("unknown op {other:?}")),
         };
         Ok(op)

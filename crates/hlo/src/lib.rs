@@ -70,6 +70,9 @@ pub use instr::{InstrId, Instruction};
 pub use layers::LayerTags;
 pub use module::{FusionGroup, FusionId, Module};
 pub use ops::{BinaryKind, CollectiveOp, Op, PadDim, ReplicaGroups, UnaryKind};
+// Re-exported so IR consumers can annotate collectives without a direct
+// `overlap-quant` dependency.
+pub use overlap_quant::WireFormat;
 pub use shape::Shape;
 pub use transform::{
     eliminate_common_subexpressions, eliminate_common_subexpressions_with, eliminate_dead_code,

@@ -86,6 +86,25 @@ impl Module {
         &self.instrs[id.index()]
     }
 
+    /// Rewrites the wire annotation of the collective at `id` in place.
+    /// Shapes and operands are untouched — a wire change never alters
+    /// what a collective returns, only how its payload is encoded in
+    /// flight — so the module stays verified.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HloError::Verification`] if the op carries no wire
+    /// annotation (see [`Op::with_wire`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_wire(&mut self, id: InstrId, wire: crate::WireFormat) -> Result<(), HloError> {
+        let op = self.instrs[id.index()].op.clone().with_wire(wire)?;
+        self.instrs[id.index()].op = op;
+        Ok(())
+    }
+
     /// The result shape of instruction `id`.
     ///
     /// # Panics

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use overlap_quant::WireFormat;
 use serde::{Deserialize, Serialize};
 
 use crate::{DotDims, HloError};
@@ -298,6 +299,11 @@ pub enum Op {
         dim: usize,
         /// Participating partition groups.
         groups: ReplicaGroups,
+        /// Wire encoding of the transferred shards (lossless by
+        /// default; quantized formats shrink wire bytes at a bounded
+        /// accuracy cost, see `overlap-quant`).
+        #[serde(default, skip_serializing_if = "WireFormat::is_lossless")]
+        wire: WireFormat,
     },
     /// Elementwise-sum over the group, then keep this partition's shard of
     /// `dim` (output `dim` is `group_size` × smaller).
@@ -306,11 +312,21 @@ pub enum Op {
         dim: usize,
         /// Participating partition groups.
         groups: ReplicaGroups,
+        /// Wire encoding of the transferred partial sums. Quantized
+        /// reductions encode each participant's contribution once
+        /// before summation (EQuARX-style), so error grows with the
+        /// group size, not with ring hops.
+        #[serde(default, skip_serializing_if = "WireFormat::is_lossless")]
+        wire: WireFormat,
     },
     /// Elementwise-sum over the group, replicated result.
     AllReduce {
         /// Participating partition groups.
         groups: ReplicaGroups,
+        /// Wire encoding of the transferred contributions (see
+        /// [`Op::ReduceScatter`]'s `wire`).
+        #[serde(default, skip_serializing_if = "WireFormat::is_lossless")]
+        wire: WireFormat,
     },
     /// Split along `split_dim`, exchange shards within the group, and
     /// concatenate along `concat_dim` (shape-preserving when the dims match).
@@ -328,12 +344,19 @@ pub enum Op {
     CollectivePermute {
         /// `(source, destination)` pairs; destinations must be distinct.
         pairs: Vec<(u32, u32)>,
+        /// Wire encoding of the exchanged shards.
+        #[serde(default, skip_serializing_if = "WireFormat::is_lossless")]
+        wire: WireFormat,
     },
     /// Non-blocking start of a collective permute (§5.2). The result is an
     /// in-flight token consumed by exactly one `CollectivePermuteDone`.
     CollectivePermuteStart {
         /// `(source, destination)` pairs; destinations must be distinct.
         pairs: Vec<(u32, u32)>,
+        /// Wire encoding of the in-flight transfer; the paired
+        /// `CollectivePermuteDone` observes the dequantized data.
+        #[serde(default, skip_serializing_if = "WireFormat::is_lossless")]
+        wire: WireFormat,
     },
     /// Blocks until the paired start's transfer has completed; yields the
     /// received data.
@@ -407,10 +430,49 @@ impl Op {
     #[must_use]
     pub fn permute_pairs(&self) -> Option<&[(u32, u32)]> {
         match self {
-            Op::CollectivePermute { pairs } | Op::CollectivePermuteStart { pairs } => {
+            Op::CollectivePermute { pairs, .. } | Op::CollectivePermuteStart { pairs, .. } => {
                 Some(pairs)
             }
             _ => None,
+        }
+    }
+
+    /// The wire encoding this op transfers data in. Non-collective ops,
+    /// `AllToAll`, and `CollectivePermuteDone` (which observes whatever
+    /// its paired start put on the wire) report `Lossless`.
+    #[must_use]
+    pub fn wire(&self) -> WireFormat {
+        match self {
+            Op::AllGather { wire, .. }
+            | Op::ReduceScatter { wire, .. }
+            | Op::AllReduce { wire, .. }
+            | Op::CollectivePermute { wire, .. }
+            | Op::CollectivePermuteStart { wire, .. } => *wire,
+            _ => WireFormat::Lossless,
+        }
+    }
+
+    /// Returns this op with its wire encoding replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HloError::Verification`] for ops that carry no wire
+    /// annotation (only `AllGather`, `ReduceScatter`, `AllReduce` and
+    /// the synchronous/start collective permutes do).
+    pub fn with_wire(mut self, new_wire: WireFormat) -> Result<Op, HloError> {
+        match &mut self {
+            Op::AllGather { wire, .. }
+            | Op::ReduceScatter { wire, .. }
+            | Op::AllReduce { wire, .. }
+            | Op::CollectivePermute { wire, .. }
+            | Op::CollectivePermuteStart { wire, .. } => {
+                *wire = new_wire;
+                Ok(self)
+            }
+            other => Err(HloError::Verification(format!(
+                "{} carries no wire annotation",
+                other.mnemonic()
+            ))),
         }
     }
 }
@@ -455,7 +517,11 @@ mod tests {
 
     #[test]
     fn collective_classification() {
-        let ag = Op::AllGather { dim: 0, groups: ReplicaGroups::full(2) };
+        let ag = Op::AllGather {
+            dim: 0,
+            groups: ReplicaGroups::full(2),
+            wire: WireFormat::Lossless,
+        };
         assert_eq!(ag.collective_kind(), Some(CollectiveOp::AllGather));
         assert!(ag.is_collective());
         assert!(!Op::Copy.is_collective());
@@ -466,11 +532,24 @@ mod tests {
     #[test]
     fn permute_pairs_accessor() {
         let pairs = vec![(0, 1), (1, 0)];
-        let cp = Op::CollectivePermute { pairs: pairs.clone() };
-        let cps = Op::CollectivePermuteStart { pairs: pairs.clone() };
+        let cp = Op::CollectivePermute { pairs: pairs.clone(), wire: WireFormat::Lossless };
+        let cps =
+            Op::CollectivePermuteStart { pairs: pairs.clone(), wire: WireFormat::Lossless };
         assert_eq!(cp.permute_pairs(), Some(pairs.as_slice()));
         assert_eq!(cps.permute_pairs(), Some(pairs.as_slice()));
         assert_eq!(Op::CollectivePermuteDone.permute_pairs(), None);
+    }
+
+    #[test]
+    fn wire_accessor_and_rewrite() {
+        let pairs = vec![(0u32, 1u32), (1, 0)];
+        let cp = Op::CollectivePermute { pairs, wire: WireFormat::Lossless };
+        assert_eq!(cp.wire(), WireFormat::Lossless);
+        let q = cp.with_wire(WireFormat::Bf16).unwrap();
+        assert_eq!(q.wire(), WireFormat::Bf16);
+        assert!(Op::Copy.with_wire(WireFormat::Bf16).is_err());
+        assert!(Op::CollectivePermuteDone.with_wire(WireFormat::Bf16).is_err());
+        assert_eq!(Op::CollectivePermuteDone.wire(), WireFormat::Lossless);
     }
 
     #[test]

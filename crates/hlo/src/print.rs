@@ -2,7 +2,18 @@
 
 use std::fmt;
 
-use crate::{Module, Op};
+use crate::{Module, Op, WireFormat};
+
+/// Appends `, wire=<fmt>` for annotated collectives. Lossless is the
+/// implicit default and prints nothing, keeping pre-annotation renders
+/// byte-identical.
+fn write_wire(f: &mut fmt::Formatter<'_>, wire: WireFormat) -> fmt::Result {
+    if wire.is_lossless() {
+        Ok(())
+    } else {
+        write!(f, ", wire={}", wire.describe())
+    }
+}
 
 impl fmt::Display for Module {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -23,14 +34,18 @@ impl fmt::Display for Module {
                 Op::Einsum(d) => {
                     write!(f, ", batch={:?}, contracting={:?}", d.batch(), d.contracting())?;
                 }
-                Op::AllGather { dim, groups } | Op::ReduceScatter { dim, groups } => {
+                Op::AllGather { dim, groups, wire } | Op::ReduceScatter { dim, groups, wire } => {
                     write!(f, ", dim={dim}, groups={:?}", groups.groups())?;
+                    write_wire(f, *wire)?;
                 }
                 Op::AllToAll { split_dim, concat_dim, .. } => {
                     write!(f, ", split={split_dim}, concat={concat_dim}")?;
                 }
-                Op::CollectivePermute { pairs } | Op::CollectivePermuteStart { pairs } => {
+                Op::AllReduce { wire, .. } => write_wire(f, *wire)?,
+                Op::CollectivePermute { pairs, wire }
+                | Op::CollectivePermuteStart { pairs, wire } => {
                     write!(f, ", pairs={pairs:?}")?;
+                    write_wire(f, *wire)?;
                 }
                 Op::Concatenate { dim } => write!(f, ", dim={dim}")?,
                 Op::DynamicSlice { sizes } => write!(f, ", sizes={sizes:?}")?,

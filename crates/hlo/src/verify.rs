@@ -1,6 +1,6 @@
 //! Structural and shape verification of modules.
 
-use crate::{FusionId, HloError, InstrId, Module, ModuleAnalysis, Op, Shape};
+use crate::{FusionId, HloError, InstrId, Module, ModuleAnalysis, Op, Shape, WireFormat};
 
 /// Environment variable that, when set to a non-empty value other than
 /// `0`, makes [`Module::verify_incremental`] additionally run the full
@@ -167,6 +167,12 @@ impl Module {
 
     fn mismatch(&self, id: InstrId, message: String) -> HloError {
         HloError::ShapeMismatch { instr: self.instr(id).name().to_string(), message }
+    }
+
+    fn check_wire(&self, id: InstrId, wire: WireFormat) -> Result<(), HloError> {
+        wire.validate().map_err(|e| {
+            HloError::Verification(format!("{}: {e}", self.instr(id).name()))
+        })
     }
 
     fn expect_arity(&self, id: InstrId, arity: usize) -> Result<(), HloError> {
@@ -361,27 +367,30 @@ impl Module {
                     .map_err(|e| self.mismatch(id, e.to_string()))?;
                 self.expect_shape(id, &out)?;
             }
-            Op::AllGather { dim, groups } => {
+            Op::AllGather { dim, groups, wire } => {
                 self.expect_arity(id, 1)?;
                 let xs = operand(0);
                 if *dim >= xs.rank() {
                     return Err(self.mismatch(id, "all-gather dim".into()));
                 }
                 groups.validate(self.num_partitions)?;
+                self.check_wire(id, *wire)?;
                 self.expect_shape(id, &xs.with_dim_scaled(*dim, groups.group_size()))?;
             }
-            Op::ReduceScatter { dim, groups } => {
+            Op::ReduceScatter { dim, groups, wire } => {
                 self.expect_arity(id, 1)?;
                 let xs = operand(0);
                 if *dim >= xs.rank() || xs.dim(*dim) % groups.group_size() != 0 {
                     return Err(self.mismatch(id, "reduce-scatter dim".into()));
                 }
                 groups.validate(self.num_partitions)?;
+                self.check_wire(id, *wire)?;
                 self.expect_shape(id, &xs.with_dim_divided(*dim, groups.group_size()))?;
             }
-            Op::AllReduce { groups } => {
+            Op::AllReduce { groups, wire } => {
                 self.expect_arity(id, 1)?;
                 groups.validate(self.num_partitions)?;
+                self.check_wire(id, *wire)?;
                 self.expect_shape(id, &operand(0).clone())?;
             }
             Op::AllToAll { split_dim, concat_dim, groups } => {
@@ -400,8 +409,9 @@ impl Module {
                     &xs.with_dim_divided(*split_dim, g).with_dim_scaled(*concat_dim, g),
                 )?;
             }
-            Op::CollectivePermute { pairs } | Op::CollectivePermuteStart { pairs } => {
+            Op::CollectivePermute { pairs, wire } | Op::CollectivePermuteStart { pairs, wire } => {
                 self.expect_arity(id, 1)?;
+                self.check_wire(id, *wire)?;
                 let n = self.num_partitions as u32;
                 let mut dsts: Vec<u32> = pairs.iter().map(|&(_, d)| d).collect();
                 dsts.sort_unstable();
@@ -624,7 +634,7 @@ mod tests {
         let x = b.parameter(f32s(&[4]), "x");
         let p = b.collective_permute(x, vec![(0, 1), (1, 2)], "p");
         let mut bad = b.build(vec![p]);
-        if let crate::Op::CollectivePermute { pairs } = &mut bad.instrs[p.index()].op {
+        if let crate::Op::CollectivePermute { pairs, .. } = &mut bad.instrs[p.index()].op {
             pairs.push((2, 1));
         }
         assert!(bad.verify().is_err());
@@ -667,7 +677,7 @@ mod tests {
             5 => m.outputs = vec![crate::InstrId::from_index(42)],
             // Permute with a duplicate destination.
             6 => {
-                if let crate::Op::CollectivePermuteStart { pairs } = &mut m.instrs[4].op {
+                if let crate::Op::CollectivePermuteStart { pairs, .. } = &mut m.instrs[4].op {
                     pairs.push((2, 3));
                 }
             }

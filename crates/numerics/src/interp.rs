@@ -1,6 +1,6 @@
 //! Lockstep SPMD interpretation of modules on virtual devices.
 
-use overlap_hlo::{Module, Op, Shape};
+use overlap_hlo::{Module, Op, Shape, WireFormat};
 
 use crate::{kernels, EvalError, Literal};
 
@@ -95,17 +95,27 @@ pub fn run_spmd(
                 Op::Unary(k) => kernels::unary(*k, operand(0)),
                 Op::Copy => operand(0).clone(),
                 Op::Einsum(dims) => kernels::einsum(operand(0), operand(1), dims),
-                Op::AllGather { dim, groups } => {
+                Op::AllGather { dim, groups, wire } => {
                     let group = groups.group_containing(d as u32).expect("verified groups");
-                    let members: Vec<&Literal> = group
+                    // Each shard is encoded once at its source and stays
+                    // encoded while it circulates the ring, so every
+                    // device (including the source) sees the same decoded
+                    // bytes: one round-trip of error regardless of hops.
+                    let members: Vec<Literal> = group
                         .iter()
-                        .map(|&m| &values[ins.operands()[0].index()][m as usize])
+                        .map(|&m| {
+                            let mut lit =
+                                values[ins.operands()[0].index()][m as usize].clone();
+                            wire.apply(lit.data_mut());
+                            lit
+                        })
                         .collect();
-                    kernels::concatenate(&members, *dim)
+                    let refs: Vec<&Literal> = members.iter().collect();
+                    kernels::concatenate(&refs, *dim)
                 }
-                Op::ReduceScatter { dim, groups } => {
+                Op::ReduceScatter { dim, groups, wire } => {
                     let group = groups.group_containing(d as u32).expect("verified groups");
-                    let sum = group_sum(&values, ins.operands()[0], group);
+                    let sum = group_sum_wire(&values, ins.operands()[0], group, *wire);
                     let rank = groups.rank_in_group(d as u32).expect("member");
                     let shard = ins.shape().dim(*dim);
                     let mut starts = vec![0usize; sum.shape().rank()];
@@ -114,9 +124,9 @@ pub fn run_spmd(
                     limits[*dim] = (rank + 1) * shard;
                     kernels::slice(&sum, &starts, &limits)
                 }
-                Op::AllReduce { groups } => {
+                Op::AllReduce { groups, wire } => {
                     let group = groups.group_containing(d as u32).expect("verified groups");
-                    group_sum(&values, ins.operands()[0], group)
+                    group_sum_wire(&values, ins.operands()[0], group, *wire)
                 }
                 Op::AllToAll { split_dim, concat_dim, groups } => {
                     let group = groups.group_containing(d as u32).expect("verified groups");
@@ -138,7 +148,8 @@ pub fn run_spmd(
                     let refs: Vec<&Literal> = pieces.iter().collect();
                     kernels::concatenate(&refs, *concat_dim)
                 }
-                Op::CollectivePermute { pairs } | Op::CollectivePermuteStart { pairs } => {
+                Op::CollectivePermute { pairs, wire }
+                | Op::CollectivePermuteStart { pairs, wire } => {
                     // For the synchronous permute this is the final value;
                     // for the start it is evaluated by the paired done.
                     // Either way the routing math is identical.
@@ -146,17 +157,24 @@ pub fn run_spmd(
                         // Carry the operand; Done routes.
                         operand(0).clone()
                     } else {
-                        route_permute(&values, ins.operands()[0], pairs, d, ins.shape())
+                        let mut lit =
+                            route_permute(&values, ins.operands()[0], pairs, d, ins.shape());
+                        wire.apply(lit.data_mut());
+                        lit
                     }
                 }
                 Op::CollectivePermuteDone => {
                     let start_id = ins.operands()[0];
-                    let Op::CollectivePermuteStart { pairs } = module.instr(start_id).op()
+                    let Op::CollectivePermuteStart { pairs, wire } =
+                        module.instr(start_id).op()
                     else {
                         unreachable!("verifier guarantees done consumes start")
                     };
-                    // Route using the start's carried operand values.
-                    route_permute(&values, start_id, pairs, d, ins.shape())
+                    // Route using the start's carried operand values; the
+                    // payload decodes on receipt.
+                    let mut lit = route_permute(&values, start_id, pairs, d, ins.shape());
+                    wire.apply(lit.data_mut());
+                    lit
                 }
                 Op::PartitionId => Literal::scalar(overlap_hlo::DType::U32, d as f64),
             };
@@ -197,6 +215,34 @@ fn group_sum(values: &[Vec<Literal>], operand: overlap_hlo::InstrId, group: &[u3
     for &m in &group[1..] {
         let other = &values[operand.index()][m as usize];
         for (a, b) in sum.data_mut().iter_mut().zip(other.data()) {
+            *a += b;
+        }
+    }
+    sum
+}
+
+/// [`group_sum`] under a wire encoding: each device's contribution is
+/// quantized once at its source, then the encoded values reduce exactly.
+/// Error therefore grows with the group size, not with ring hops, and
+/// every member computes the identical sum.
+fn group_sum_wire(
+    values: &[Vec<Literal>],
+    operand: overlap_hlo::InstrId,
+    group: &[u32],
+    wire: WireFormat,
+) -> Literal {
+    if wire.is_lossless() {
+        return group_sum(values, operand, group);
+    }
+    let mut sum = values[operand.index()][group[0] as usize].clone();
+    wire.apply(sum.data_mut());
+    let mut contribution = Vec::new();
+    for &m in &group[1..] {
+        let other = &values[operand.index()][m as usize];
+        contribution.clear();
+        contribution.extend_from_slice(other.data());
+        wire.apply(&mut contribution);
+        for (a, b) in sum.data_mut().iter_mut().zip(&contribution) {
             *a += b;
         }
     }
@@ -329,6 +375,56 @@ mod tests {
         .unwrap();
         for (a, b) in out[0].iter().zip(&out[1]) {
             assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn quantized_all_gather_quantizes_each_shard_once() {
+        // A wire-annotated AllGather must deliver exactly the per-shard
+        // quantization of every member's contribution — one encode per
+        // shard, regardless of how it circulates.
+        let wire = WireFormat::int8();
+        let mut b = Builder::new("m", 2);
+        let x = b.parameter(f32s(&[1, 2]), "x");
+        let g = b.all_gather_wire(x, 0, ReplicaGroups::full(2), wire, "g");
+        let m = b.build(vec![g]);
+        let (d0, d1) = (vec![1.0, 2.7], vec![-3.9, 4.2]);
+        let out = run_spmd(
+            &m,
+            &[vec![lit(&[1, 2], d0.clone())], vec![lit(&[1, 2], d1.clone())]],
+        )
+        .unwrap();
+        let mut want = wire.quantize_dequantize(&d0);
+        want.extend(wire.quantize_dequantize(&d1));
+        assert_eq!(out[0][0].data(), &want[..]);
+        assert_eq!(out[0][1].data(), &want[..]);
+    }
+
+    #[test]
+    fn quantized_reduction_sums_singly_quantized_contributions() {
+        // Reduction semantics: each contribution is quantized once at its
+        // source, then summed exactly — so the error is bounded by
+        // `group_size` quantization events, not by ring hops.
+        let wire = WireFormat::Bf16;
+        let mut b = Builder::new("m", 2);
+        let x = b.parameter(f32s(&[2]), "x");
+        let ar = b.all_reduce_wire(x, ReplicaGroups::full(2), wire, "ar");
+        let m = b.build(vec![ar]);
+        let (d0, d1) = (vec![1.001, -2.7], vec![0.339, 8.01]);
+        let out =
+            run_spmd(&m, &[vec![lit(&[2], d0.clone())], vec![lit(&[2], d1.clone())]]).unwrap();
+        let q0 = wire.quantize_dequantize(&d0);
+        let q1 = wire.quantize_dequantize(&d1);
+        let want: Vec<f64> = q0.iter().zip(&q1).map(|(a, b)| a + b).collect();
+        assert_eq!(out[0][0].data(), &want[..]);
+        assert_eq!(out[0][1].data(), &want[..]);
+        // And the measured error indeed sits inside the documented
+        // group-size bound the error-budget gate relies on.
+        let exact: Vec<f64> = d0.iter().zip(&d1).map(|(a, b)| a + b).collect();
+        let max_abs = exact.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let bound = wire.predicted_rel_error(2) * max_abs;
+        for (w, e) in want.iter().zip(&exact) {
+            assert!((w - e).abs() <= bound, "error {} over bound {bound}", (w - e).abs());
         }
     }
 

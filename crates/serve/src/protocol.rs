@@ -1190,4 +1190,30 @@ mod tests {
         // later with its usual model-not-found error.
         assert_eq!(CompileRequest::tuned("no-such-model"), CompileRequest::named("no-such-model"));
     }
+
+    #[test]
+    fn precision_annotated_requests_round_trip() {
+        use overlap_core::StrategySpec;
+        use overlap_hlo::WireFormat;
+        // A quantized strategy plus an error budget must survive the
+        // frame codec exactly: the daemon keys its artifact cache on the
+        // decoded options, so a lossy decode would alias distinct
+        // compiles.
+        for wire in [WireFormat::Bf16, WireFormat::int8()] {
+            let mut req = CompileRequest::named("GPT_64B");
+            req.options = OverlapOptions {
+                error_budget: Some(1e-2),
+                ..OverlapOptions::with_strategy(StrategySpec::paper_default().with_wire(wire))
+            };
+            let framed = Request::Compile(Box::new(req));
+            let back = Request::from_json(&framed.to_json()).expect("roundtrip");
+            assert_eq!(back, framed);
+        }
+        // The lossless default contributes no JSON at all: a default
+        // request's encoding must not mention the precision knobs.
+        let framed = Request::Compile(Box::new(CompileRequest::named("GPT_64B")));
+        let text = framed.to_json().to_string();
+        assert!(!text.contains("wire"), "lossless encoding leaks the wire field: {text}");
+        assert!(!text.contains("error_budget"), "unset budget leaks into the encoding: {text}");
+    }
 }

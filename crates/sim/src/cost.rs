@@ -1,7 +1,35 @@
 //! Per-instruction cost classification.
 
-use overlap_hlo::{InstrId, Module, Op};
+use overlap_hlo::{InstrId, Module, Op, Shape, WireFormat};
 use overlap_mesh::{cost as ccost, Machine};
+
+/// Bytes a collective payload occupies on the wire under `wire`.
+///
+/// Lossless returns the dense byte size untouched so unannotated modules
+/// cost exactly what they did before precision annotations existed.
+#[must_use]
+pub fn wire_payload_bytes(wire: WireFormat, shape: &Shape) -> usize {
+    if wire.is_lossless() {
+        shape.byte_size()
+    } else {
+        wire.wire_bytes(shape.num_elements(), shape.dtype().size_bytes())
+    }
+}
+
+/// Wire bytes plus the codec time spent (de)quantizing the payload: the
+/// encode/decode passes are memory-bound sweeps over payload + wire
+/// buffers on each end, priced at the machine's memory bandwidth.
+fn wire_transfer(machine: &Machine, wire: WireFormat, shape: &Shape) -> (usize, f64) {
+    let bytes = wire_payload_bytes(wire, shape);
+    if wire.is_lossless() {
+        // Not even op overhead: a lossless collective runs no codec pass.
+        return (bytes, 0.0);
+    }
+    let codec = machine.memory_time(
+        wire.codec_bytes_moved(shape.num_elements(), shape.dtype().size_bytes()),
+    );
+    (bytes, codec)
+}
 
 /// Direction of a ring transfer, mapped onto the two DMA streams.
 ///
@@ -196,24 +224,41 @@ pub fn instruction_cost(module: &Module, id: InstrId, machine: &Machine) -> Inst
                 flops: dims.flops(lhs, rhs),
             }
         }
-        Op::AllGather { groups, .. } => InstrCost::SyncCollective {
-            seconds: ccost::all_gather_time(machine, groups.group_size(), out_bytes),
-        },
-        Op::ReduceScatter { groups, .. } => InstrCost::SyncCollective {
-            seconds: ccost::reduce_scatter_time(machine, groups.group_size(), operand_bytes(0)),
-        },
-        Op::AllReduce { groups } => InstrCost::SyncCollective {
-            seconds: ccost::all_reduce_time(machine, groups.group_size(), out_bytes),
-        },
+        Op::AllGather { groups, wire, .. } => {
+            let (bytes, codec) = wire_transfer(machine, *wire, ins.shape());
+            InstrCost::SyncCollective {
+                seconds: ccost::all_gather_time(machine, groups.group_size(), bytes) + codec,
+            }
+        }
+        Op::ReduceScatter { groups, wire, .. } => {
+            let xs = module.shape_of(ins.operands()[0]);
+            let (bytes, codec) = wire_transfer(machine, *wire, xs);
+            InstrCost::SyncCollective {
+                seconds: ccost::reduce_scatter_time(machine, groups.group_size(), bytes) + codec,
+            }
+        }
+        Op::AllReduce { groups, wire } => {
+            let (bytes, codec) = wire_transfer(machine, *wire, ins.shape());
+            InstrCost::SyncCollective {
+                seconds: ccost::all_reduce_time(machine, groups.group_size(), bytes) + codec,
+            }
+        }
         Op::AllToAll { groups, .. } => InstrCost::SyncCollective {
             seconds: ccost::all_to_all_time(machine, groups.group_size(), operand_bytes(0)),
         },
-        Op::CollectivePermute { pairs } => {
-            let t = permute_transfer(pairs, out_bytes, machine);
-            InstrCost::SyncCollective { seconds: t.seconds }
+        Op::CollectivePermute { pairs, wire } => {
+            let (bytes, codec) = wire_transfer(machine, *wire, ins.shape());
+            let t = permute_transfer(pairs, bytes, machine);
+            InstrCost::SyncCollective { seconds: t.seconds + codec }
         }
-        Op::CollectivePermuteStart { pairs } => {
-            InstrCost::AsyncStart(permute_transfer(pairs, out_bytes, machine))
+        Op::CollectivePermuteStart { pairs, wire } => {
+            let (bytes, codec) = wire_transfer(machine, *wire, ins.shape());
+            let mut t = permute_transfer(pairs, bytes, machine);
+            // The (de)quantization passes sit on the transfer's critical
+            // path: encode before the DMA fires, decode before the done
+            // retires.
+            t.seconds += codec;
+            InstrCost::AsyncStart(t)
         }
         Op::CollectivePermuteDone => InstrCost::AsyncDone,
     }

@@ -225,12 +225,15 @@ impl FaultModel {
         let ins = module.instr(id);
         let mut out = TransferOutcome { seconds: pristine_seconds, ..TransferOutcome::default() };
         let pairs: &[(u32, u32)] = match ins.op() {
-            Op::CollectivePermuteStart { pairs } | Op::CollectivePermute { pairs } => pairs,
+            Op::CollectivePermuteStart { pairs, .. } | Op::CollectivePermute { pairs, .. } => {
+                pairs
+            }
             // Defensive: the engine only calls this for permutes.
             _ => &[],
         };
         if (self.has_link_faults || self.jitter_seconds > 0.0) && !pairs.is_empty() {
-            let bytes = ins.shape().byte_size();
+            // Links carry the wire encoding, not the dense payload.
+            let bytes = crate::cost::wire_payload_bytes(ins.op().wire(), ins.shape());
             let mut worst = 0.0f64;
             for (pi, &(src, dst)) in pairs.iter().enumerate() {
                 let t =
@@ -415,7 +418,7 @@ mod tests {
         let machine = ring_machine(n);
         let t = crate::permute_transfer(
             match m.instr(s).op() {
-                Op::CollectivePermuteStart { pairs } => pairs,
+                Op::CollectivePermuteStart { pairs, .. } => pairs,
                 _ => unreachable!(),
             },
             m.instr(s).shape().byte_size(),

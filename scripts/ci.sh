@@ -251,6 +251,38 @@ echo "$smoke_one" | grep -q "fallbacks=" || {
     echo "FAIL: fault sweep reported no fallback counts"; exit 1;
 }
 
+echo "==> quant smoke sweep: seeded precision sweep, deterministic, gate-accuracy oracle"
+quant_one=$(OVERLAP_QUANT_SMOKE=1 OVERLAP_QUANT_SEED=7 OVERLAP_CACHE=0 \
+    cargo run --release -q -p overlap-bench --bin fig_quant)
+cp results/fig_quant_smoke.json results/fig_quant_smoke.json.first
+quant_two=$(OVERLAP_QUANT_SMOKE=1 OVERLAP_QUANT_SEED=7 OVERLAP_CACHE=0 \
+    cargo run --release -q -p overlap-bench --bin fig_quant)
+[ "$quant_one" = "$quant_two" ] || {
+    echo "FAIL: quant sweep stdout differs between identically-seeded runs"; exit 1;
+}
+cmp -s results/fig_quant_smoke.json results/fig_quant_smoke.json.first || {
+    echo "FAIL: quant sweep JSON differs between identically-seeded runs"; exit 1;
+}
+rm -f results/fig_quant_smoke.json.first
+echo "$quant_one" | grep -q "err<=" || {
+    echo "FAIL: quant sweep reported no error bounds"; exit 1;
+}
+# gate_accuracy doubles as the quantization error oracle (it exits
+# nonzero if any measured error beats its documented bound) and must be
+# deterministic: two runs on the small proxy model, byte-identical JSON.
+cargo run --release -q -p overlap-bench --bin gate_accuracy GPT_32B >/dev/null
+cp results/gate_accuracy.json results/gate_accuracy.json.first
+cargo run --release -q -p overlap-bench --bin gate_accuracy GPT_32B >/dev/null
+cmp -s results/gate_accuracy.json results/gate_accuracy.json.first || {
+    echo "FAIL: gate_accuracy differs between identical runs"; exit 1;
+}
+rm -f results/gate_accuracy.json.first
+grep -q '"model": "GPT_32B"' results/gate_accuracy.json || {
+    echo "FAIL: gate_accuracy JSON does not record its model"; exit 1;
+}
+# Restore the committed GPT_256B baseline artifact.
+git checkout -- results/gate_accuracy.json 2>/dev/null || true
+
 echo "==> tail smoke sweep: seeded windows-vs-straggler draws, deterministic"
 tail_one=$(OVERLAP_TAIL_SMOKE=1 OVERLAP_FAULT_SEED=7 OVERLAP_CACHE=0 \
     cargo run --release -q -p overlap-bench --bin fig_tail)

@@ -70,7 +70,14 @@ fn all_option_combos() -> Vec<DecomposeOptions> {
                 // all-gather path; infeasible widths fall back to 1, so
                 // every combination stays numerically checkable.
                 for chunk in [1, 2] {
-                    v.push(DecomposeOptions { unroll, bidirectional, pad_max_concat, chunk });
+                    // Exact-equivalence suite: wire stays lossless.
+                    v.push(DecomposeOptions {
+                        unroll,
+                        bidirectional,
+                        pad_max_concat,
+                        chunk,
+                        ..Default::default()
+                    });
                 }
             }
         }

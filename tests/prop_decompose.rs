@@ -58,11 +58,15 @@ fn options() -> impl Strategy<Value = DecomposeOptions> {
     // Chunk widths beyond the feasible range exercise the fall-back rule
     // (the decompose pass silently reverts to chunk 1 and records why).
     (any::<bool>(), any::<bool>(), any::<bool>(), 1usize..=4).prop_map(
+        // Wire stays lossless here: this suite asserts *exact*
+        // equivalence of the decomposition arithmetic. Quantized-wire
+        // error bounds are covered by the numerics-crate tests.
         |(unroll, bidirectional, pad_max_concat, chunk)| DecomposeOptions {
             unroll,
             bidirectional,
             pad_max_concat,
             chunk,
+            ..Default::default()
         },
     )
 }

@@ -131,6 +131,54 @@ fn fingerprint_flips_on_operand_swap() {
 }
 
 #[test]
+fn fingerprint_flips_on_wire_annotation() {
+    // The precision annotation is structural: a quantized collective
+    // computes different bytes, so a cached lossless artifact must not
+    // serve a quantized request (or vice versa).
+    use overlap::hlo::{Op, WireFormat};
+    let m = demo_module(4, ["x", "w_shard", "w", "y"]);
+    let ag = m
+        .ids()
+        .find(|&id| matches!(m.instr(id).op(), Op::AllGather { .. }))
+        .expect("collective");
+    let fps: Vec<_> = [WireFormat::Bf16, WireFormat::int8(), WireFormat::Int8Block { block: 128 }]
+        .into_iter()
+        .map(|wire| {
+            let mut q = m.clone();
+            q.set_wire(ag, wire).expect("annotate");
+            q.verify().expect("annotated module stays valid");
+            // The annotation must also survive the JSON codec exactly.
+            let back = Module::from_json_str(&q.to_json().to_string()).expect("decode");
+            assert_eq!(back.instr(ag).op().wire(), wire, "wire lost in the codec");
+            assert_eq!(q.fingerprint(), back.fingerprint());
+            q.fingerprint()
+        })
+        .collect();
+    assert_ne!(fps[0], m.fingerprint(), "bf16 annotation must flip the key");
+    assert_ne!(fps[1], m.fingerprint(), "int8 annotation must flip the key");
+    assert_ne!(fps[0], fps[1], "distinct wire formats must get distinct keys");
+    assert_ne!(fps[1], fps[2], "distinct int8 block sizes must get distinct keys");
+}
+
+#[test]
+fn lossless_wire_is_codec_and_fingerprint_invisible() {
+    // An explicit lossless annotation is the default: no JSON field, no
+    // hash bytes — old cache entries and old serialized modules stay
+    // byte-identical.
+    use overlap::hlo::{Op, WireFormat};
+    let m = demo_module(4, ["x", "w_shard", "w", "y"]);
+    let ag = m
+        .ids()
+        .find(|&id| matches!(m.instr(id).op(), Op::AllGather { .. }))
+        .expect("collective");
+    let mut q = m.clone();
+    q.set_wire(ag, WireFormat::Lossless).expect("annotate");
+    assert_eq!(m.fingerprint(), q.fingerprint());
+    assert_eq!(m.to_json().to_string(), q.to_json().to_string());
+    assert!(!m.to_json().to_string().contains("wire"));
+}
+
+#[test]
 fn distinct_partitionings_get_distinct_keys() {
     let fps: Vec<_> = [2usize, 4, 8]
         .into_iter()
